@@ -1,0 +1,51 @@
+//! Figure 3: proving-time comparison for the `[49,64] x [64,128]` matrix
+//! multiplication against prior work.
+//!
+//! Measured series: vanilla Groth16 (which also stands in for vCNN — the
+//! paper's own motivation is that vCNN's convolution encoding does not help
+//! general matmul), vanilla Spartan, and zkVC on both backends. ZEN / zkML
+//! numbers are echoed from the paper for context.
+//!
+//! Run with `--full` for the paper-scale shape; the default quick mode uses
+//! a reduced shape with the same structure.
+
+use zkvc_bench::{full_mode, paper, paper_matmul_dims, print_results, quick_matmul_dims, run_matmul, speedup};
+use zkvc_core::matmul::Strategy;
+use zkvc_core::Backend;
+
+fn main() {
+    let dims = if full_mode() {
+        paper_matmul_dims(128) // [49, 64] x [64, 128]
+    } else {
+        quick_matmul_dims(128)
+    };
+    println!(
+        "Figure 3 — matmul proving time, dims [{}x{}] x [{}x{}] ({})",
+        dims.0,
+        dims.1,
+        dims.1,
+        dims.2,
+        if full_mode() { "paper scale" } else { "quick mode; pass --full for paper scale" }
+    );
+
+    let results = vec![
+        run_matmul("groth16 (vanilla, ~vCNN)", dims, Strategy::Vanilla, Backend::Groth16, 1),
+        run_matmul("spartan (vanilla)", dims, Strategy::Vanilla, Backend::Spartan, 2),
+        run_matmul("zkVC-G (CRPC+PSQ)", dims, Strategy::CrpcPsq, Backend::Groth16, 3),
+        run_matmul("zkVC-S (CRPC+PSQ)", dims, Strategy::CrpcPsq, Backend::Spartan, 4),
+    ];
+    print_results("Figure 3 (measured)", &results);
+
+    let g = [&results[0], &results[2]];
+    println!(
+        "\nzkVC-G speed-up over vanilla groth16: {:.1}x (paper reports ~{:.1}x over vCNN's ~{}s)",
+        g[0].prove.as_secs_f64() / g[1].prove.as_secs_f64(),
+        paper::FIG3_ZKVC_SPEEDUP,
+        paper::FIG3_VCNN_SECONDS,
+    );
+    println!(
+        "zkVC-S speed-up over vanilla spartan: {:.1}x",
+        results[1].prove.as_secs_f64() / results[3].prove.as_secs_f64()
+    );
+    let _ = speedup(&results);
+}

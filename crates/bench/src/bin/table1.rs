@@ -1,0 +1,7 @@
+//! Table I: the qualitative feature matrix comparing zkVC with prior
+//! verifiable-DNN schemes.
+
+fn main() {
+    println!("Table I — scheme feature comparison (last column marks what this repository implements)\n");
+    print!("{}", zkvc_core::schemes::render_table_i());
+}

@@ -1,0 +1,54 @@
+//! Table II: ablation of CRPC and PSQ on the patch-embedding matmul
+//! (`[49,320] x [320,512]` at paper scale), for both backends.
+
+use zkvc_bench::{full_mode, paper, print_results, run_matmul, secs};
+use zkvc_core::matmul::Strategy;
+use zkvc_core::Backend;
+
+fn main() {
+    let dims = if full_mode() { (49, 320, 512) } else { (8, 20, 32) };
+    println!(
+        "Table II — CRPC/PSQ ablation on [{}x{}] x [{}x{}] ({})",
+        dims.0,
+        dims.1,
+        dims.1,
+        dims.2,
+        if full_mode() { "paper scale" } else { "quick mode; pass --full for paper scale" }
+    );
+
+    let rows = [
+        ("CRPC: no,  PSQ: no ", Strategy::Vanilla),
+        ("CRPC: no,  PSQ: yes", Strategy::VanillaPsq),
+        ("CRPC: yes, PSQ: no ", Strategy::Crpc),
+        ("CRPC: yes, PSQ: yes", Strategy::CrpcPsq),
+    ];
+
+    let mut groth = Vec::new();
+    let mut spartan = Vec::new();
+    for (i, (label, strategy)) in rows.iter().enumerate() {
+        groth.push(run_matmul(label, dims, *strategy, Backend::Groth16, 20 + i as u64));
+        spartan.push(run_matmul(label, dims, *strategy, Backend::Spartan, 30 + i as u64));
+    }
+    print_results("groth16 backend (measured)", &groth);
+    print_results("spartan backend (measured)", &spartan);
+
+    println!("\npaper-reported values for the same ablation ([49,320] x [320,512]):");
+    println!("{:<22} {:>12} {:>12} {:>12} {:>12}", "row", "G prove(s)", "G verify(s)", "S prove(s)", "S verify(s)");
+    for ((crpc, psq, gp, gv, sp, sv), (label, _)) in paper::TABLE_II.iter().zip(rows.iter()) {
+        let _ = (crpc, psq);
+        println!("{label:<22} {gp:>12} {gv:>12} {sp:>12} {sv:>12}");
+    }
+
+    let g_speedup = groth[0].prove.as_secs_f64() / groth[3].prove.as_secs_f64();
+    let s_speedup = spartan[0].prove.as_secs_f64() / spartan[3].prove.as_secs_f64();
+    println!(
+        "\nmeasured prove speed-up vanilla -> CRPC+PSQ: groth16 {g_speedup:.1}x (paper ~12.5x), spartan {s_speedup:.1}x (paper ~5.2x)"
+    );
+    println!(
+        "measured verify times: groth16 {} -> {} s, spartan {} -> {} s",
+        secs(groth[0].verify),
+        secs(groth[3].verify),
+        secs(spartan[0].verify),
+        secs(spartan[3].verify)
+    );
+}

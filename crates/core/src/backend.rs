@@ -1,0 +1,260 @@
+//! A uniform prove/verify interface over the two ZKP backends used in the
+//! paper: Groth16 (`zkVC-G`) and the Spartan-style transparent SNARK
+//! (`zkVC-S`).
+//!
+//! The [`Backend::prove`] path also records the per-phase timings and sizes
+//! that the benchmark harnesses print for Figure 3, Figure 6 and Table II.
+
+use std::time::{Duration, Instant};
+
+use rand::Rng;
+use zkvc_ff::Fr;
+use zkvc_groth16 as groth16;
+use zkvc_r1cs::ConstraintSystem;
+use zkvc_spartan::{SpartanProof, SpartanProver, SpartanVerifier};
+
+use crate::matmul::MatMulJob;
+
+/// The proof system used underneath a zkVC circuit.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Backend {
+    /// Groth16 over the pairing curve — constant proof size and
+    /// verification, per-circuit trusted setup (`zkVC-G`).
+    Groth16,
+    /// The Spartan-style transparent SNARK — no trusted setup,
+    /// logarithmic-size proofs (`zkVC-S`).
+    Spartan,
+}
+
+impl Backend {
+    /// Both backends, in the order used by the harnesses.
+    pub const ALL: [Backend; 2] = [Backend::Groth16, Backend::Spartan];
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Groth16 => "groth16",
+            Backend::Spartan => "spartan",
+        }
+    }
+}
+
+/// Timing and size measurements collected while producing a proof.
+#[derive(Clone, Debug)]
+pub struct ProveMetrics {
+    /// Backend used.
+    pub backend: Backend,
+    /// Time spent in setup / preprocessing (CRS generation for Groth16,
+    /// transparent preprocessing for Spartan).
+    pub setup_time: Duration,
+    /// Time spent producing the proof.
+    pub prove_time: Duration,
+    /// Serialised proof size in bytes.
+    pub proof_size_bytes: usize,
+    /// Number of R1CS constraints proved.
+    pub num_constraints: usize,
+    /// Number of R1CS variables.
+    pub num_variables: usize,
+}
+
+/// The proof plus everything needed to verify it.
+#[derive(Clone, Debug)]
+pub enum ProofData {
+    /// A Groth16 proof with its verification key.
+    Groth16 {
+        /// Verification key produced by the trusted setup.
+        vk: groth16::VerifyingKey,
+        /// The proof.
+        proof: groth16::Proof,
+    },
+    /// A Spartan-style proof (the verifier re-derives its preprocessing from
+    /// the circuit structure).
+    Spartan {
+        /// The proof.
+        proof: Box<SpartanProof>,
+    },
+}
+
+/// The output of [`Backend::prove`]: the proof data, the public inputs it
+/// binds, and the collected metrics.
+#[derive(Clone, Debug)]
+pub struct ProofArtifacts {
+    /// The proof and verification material.
+    pub data: ProofData,
+    /// The public inputs the proof commits to.
+    pub public_inputs: Vec<Fr>,
+    /// Prover-side measurements.
+    pub metrics: ProveMetrics,
+}
+
+impl Backend {
+    /// Runs setup (if any) and proves the given matmul job, collecting
+    /// metrics along the way.
+    pub fn prove<R: Rng + ?Sized>(&self, job: &MatMulJob, rng: &mut R) -> ProofArtifacts {
+        self.prove_cs(&job.cs, rng)
+    }
+
+    /// Proves an arbitrary constraint system (used by `zkvc-nn` for whole
+    /// model layers).
+    pub fn prove_cs<R: Rng + ?Sized>(
+        &self,
+        cs: &ConstraintSystem<Fr>,
+        rng: &mut R,
+    ) -> ProofArtifacts {
+        let public_inputs = cs.instance_assignment().to_vec();
+        match self {
+            Backend::Groth16 => {
+                let t0 = Instant::now();
+                let (pk, vk) = groth16::setup(cs, rng);
+                let setup_time = t0.elapsed();
+                let t1 = Instant::now();
+                let proof = groth16::prove(&pk, cs, rng);
+                let prove_time = t1.elapsed();
+                let proof_size_bytes = proof.size_in_bytes();
+                ProofArtifacts {
+                    data: ProofData::Groth16 { vk, proof },
+                    public_inputs,
+                    metrics: ProveMetrics {
+                        backend: *self,
+                        setup_time,
+                        prove_time,
+                        proof_size_bytes,
+                        num_constraints: cs.num_constraints(),
+                        num_variables: cs.num_variables(),
+                    },
+                }
+            }
+            Backend::Spartan => {
+                let t0 = Instant::now();
+                let prover = SpartanProver::preprocess(cs);
+                let setup_time = t0.elapsed();
+                let t1 = Instant::now();
+                let proof = prover.prove(cs, rng);
+                let prove_time = t1.elapsed();
+                let proof_size_bytes = proof.size_in_bytes();
+                ProofArtifacts {
+                    data: ProofData::Spartan {
+                        proof: Box::new(proof),
+                    },
+                    public_inputs,
+                    metrics: ProveMetrics {
+                        backend: *self,
+                        setup_time,
+                        prove_time,
+                        proof_size_bytes,
+                        num_constraints: cs.num_constraints(),
+                        num_variables: cs.num_variables(),
+                    },
+                }
+            }
+        }
+    }
+
+    /// Verifies the artifacts produced by [`Backend::prove`] for the same
+    /// job.
+    pub fn verify(&self, job: &MatMulJob, artifacts: &ProofArtifacts) -> bool {
+        self.verify_cs(&job.cs, artifacts)
+    }
+
+    /// Verifies against an arbitrary constraint system structure, returning
+    /// the verdict.
+    pub fn verify_cs(&self, cs: &ConstraintSystem<Fr>, artifacts: &ProofArtifacts) -> bool {
+        self.verify_cs_timed(cs, artifacts).0
+    }
+
+    /// Verifies and reports how long verification took (the "Verifier Time"
+    /// panel of Fig. 6).
+    pub fn verify_cs_timed(
+        &self,
+        cs: &ConstraintSystem<Fr>,
+        artifacts: &ProofArtifacts,
+    ) -> (bool, Duration) {
+        let t0 = Instant::now();
+        let ok = match (&artifacts.data, self) {
+            (ProofData::Groth16 { vk, proof }, Backend::Groth16) => {
+                groth16::verify(vk, &artifacts.public_inputs, proof)
+            }
+            (ProofData::Spartan { proof }, Backend::Spartan) => {
+                let verifier = SpartanVerifier::preprocess(cs);
+                verifier.verify(&artifacts.public_inputs, proof)
+            }
+            _ => false,
+        };
+        (ok, t0.elapsed())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::{MatMulBuilder, Strategy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zkvc_ff::PrimeField;
+
+    fn job(strategy: Strategy) -> MatMulJob {
+        let x = vec![vec![1i64, -2, 3], vec![4, 5, -6]];
+        let w = vec![vec![7i64, 8], vec![-9, 10], vec![11, -12]];
+        MatMulBuilder::new(2, 3, 2).strategy(strategy).build_integers(&x, &w)
+    }
+
+    #[test]
+    fn groth16_backend_roundtrip_all_strategies() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for strategy in Strategy::ALL {
+            let j = job(strategy);
+            let artifacts = Backend::Groth16.prove(&j, &mut rng);
+            assert!(Backend::Groth16.verify(&j, &artifacts), "{strategy:?}");
+            assert_eq!(artifacts.metrics.proof_size_bytes, 195);
+            assert_eq!(artifacts.metrics.num_constraints, j.stats.num_constraints);
+        }
+    }
+
+    #[test]
+    fn spartan_backend_roundtrip_all_strategies() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for strategy in Strategy::ALL {
+            let j = job(strategy);
+            let artifacts = Backend::Spartan.prove(&j, &mut rng);
+            assert!(Backend::Spartan.verify(&j, &artifacts), "{strategy:?}");
+            assert!(artifacts.metrics.proof_size_bytes > 0);
+        }
+    }
+
+    #[test]
+    fn cross_backend_verification_fails() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let j = job(Strategy::CrpcPsq);
+        let g = Backend::Groth16.prove(&j, &mut rng);
+        assert!(!Backend::Spartan.verify(&j, &g));
+    }
+
+    #[test]
+    fn tampered_public_inputs_rejected() {
+        // Use a circuit with a real public input to check binding.
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let out = cs.alloc_instance(Fr::from_u64(144));
+        let x = cs.alloc_witness(Fr::from_u64(12));
+        cs.enforce(x.into(), x.into(), out.into());
+        for backend in Backend::ALL {
+            let mut artifacts = backend.prove_cs(&cs, &mut rng);
+            assert!(backend.verify_cs(&cs, &artifacts), "{backend:?}");
+            artifacts.public_inputs[0] = Fr::from_u64(143);
+            assert!(!backend.verify_cs(&cs, &artifacts), "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn metrics_are_populated() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let j = job(Strategy::CrpcPsq);
+        let artifacts = Backend::Spartan.prove(&j, &mut rng);
+        assert!(artifacts.metrics.prove_time > Duration::ZERO);
+        assert_eq!(artifacts.metrics.backend, Backend::Spartan);
+        assert_eq!(artifacts.metrics.num_variables, j.stats.num_variables);
+        let (ok, vt) = Backend::Spartan.verify_cs_timed(&j.cs, &artifacts);
+        assert!(ok);
+        assert!(vt > Duration::ZERO);
+    }
+}

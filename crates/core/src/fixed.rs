@@ -1,0 +1,202 @@
+//! Fixed-point quantisation (NITI-style integer-only arithmetic).
+//!
+//! The paper quantises Transformer weights and activations to integers so
+//! the whole inference runs in ZKP-friendly integer arithmetic. Values are
+//! stored as `round(v * 2^fraction_bits)`; multiplication doubles the scale
+//! and is followed by a truncating rescale, which inside a circuit is the
+//! division-with-remainder gadget in [`crate::nonlinear`].
+
+use zkvc_ff::{Fr, PrimeField};
+
+/// Configuration of the fixed-point representation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FixedPointConfig {
+    /// Number of fractional bits (`f`); the scale is `2^f`.
+    pub fraction_bits: u32,
+    /// Total signed bit-width values are assumed to fit in (used to size the
+    /// comparison/range gadgets).
+    pub total_bits: u32,
+}
+
+impl Default for FixedPointConfig {
+    fn default() -> Self {
+        // 8 fractional bits and 32-bit accumulators mirror the NITI-style
+        // integer training/inference setup referenced by the paper.
+        FixedPointConfig {
+            fraction_bits: 8,
+            total_bits: 32,
+        }
+    }
+}
+
+impl FixedPointConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    /// Panics unless `0 < fraction_bits < total_bits <= 62`.
+    pub fn new(fraction_bits: u32, total_bits: u32) -> Self {
+        assert!(fraction_bits > 0 && fraction_bits < total_bits && total_bits <= 62);
+        FixedPointConfig {
+            fraction_bits,
+            total_bits,
+        }
+    }
+
+    /// The scale factor `2^f`.
+    pub fn scale(&self) -> i64 {
+        1i64 << self.fraction_bits
+    }
+
+    /// Quantises a real value to fixed point.
+    pub fn quantize(&self, v: f64) -> i64 {
+        (v * self.scale() as f64).round() as i64
+    }
+
+    /// Dequantises a fixed-point value back to a real number.
+    pub fn dequantize(&self, v: i64) -> f64 {
+        v as f64 / self.scale() as f64
+    }
+
+    /// Rescales a double-scale product (`2^{2f}`) back to single scale with
+    /// truncation toward negative infinity (matching the in-circuit
+    /// division gadget).
+    pub fn rescale(&self, v: i64) -> i64 {
+        v.div_euclid(self.scale())
+    }
+
+    /// Fixed-point multiplication of two quantised values.
+    pub fn mul(&self, a: i64, b: i64) -> i64 {
+        self.rescale(a * b)
+    }
+
+    /// The field representation of a quantised value.
+    pub fn to_field(&self, v: i64) -> Fr {
+        Fr::from_i64(v)
+    }
+
+    /// Quantises a whole vector.
+    pub fn quantize_vec(&self, vs: &[f64]) -> Vec<i64> {
+        vs.iter().map(|v| self.quantize(*v)).collect()
+    }
+
+    /// Reference (non-circuit) SoftMax over quantised inputs, mirroring the
+    /// in-circuit approximation: max-normalise, clipped Taylor exponential
+    /// `(1 + x/2^t)^{2^t}`, then normalise. Used for witness generation and
+    /// for accuracy cross-checks in tests.
+    pub fn softmax_reference(&self, xs: &[i64], taylor_log2: u32, clip_threshold: i64) -> Vec<i64> {
+        let max = xs.iter().copied().max().expect("non-empty input");
+        let exps: Vec<i64> = xs
+            .iter()
+            .map(|x| self.exp_reference(x - max, taylor_log2, clip_threshold))
+            .collect();
+        let sum: i64 = exps.iter().sum();
+        if sum == 0 {
+            return vec![0; xs.len()];
+        }
+        exps.iter()
+            .map(|e| (e * self.scale()).div_euclid(sum))
+            .collect()
+    }
+
+    /// Reference clipped Taylor exponential on non-positive fixed-point
+    /// inputs: `e^x ~= (1 + x/2^t)^{2^t}` for `x in [clip_threshold, 0]`,
+    /// `0` below the threshold.
+    pub fn exp_reference(&self, x: i64, taylor_log2: u32, clip_threshold: i64) -> i64 {
+        debug_assert!(x <= 0, "exp approximation is defined on non-positive inputs");
+        if x < clip_threshold {
+            return 0;
+        }
+        // base = 1 + x / 2^t  (fixed point)
+        let mut p = self.scale() + x.div_euclid(1i64 << taylor_log2);
+        if p < 0 {
+            p = 0;
+        }
+        // square t times, rescaling after each squaring
+        for _ in 0..taylor_log2 {
+            p = self.rescale(p * p);
+        }
+        p
+    }
+
+    /// Reference GELU approximation `x^2/8 + x/4 + 1/2` (paper §III-C),
+    /// in fixed point.
+    pub fn gelu_reference(&self, x: i64) -> i64 {
+        let s = self.scale();
+        // (x^2 + 2 s x + 4 s^2) / (8 s)
+        (x * x + 2 * s * x + 4 * s * s).div_euclid(8 * s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantize_roundtrip() {
+        let cfg = FixedPointConfig::default();
+        for v in [-3.5, -0.25, 0.0, 0.5, 1.0, 2.75, 10.125] {
+            let q = cfg.quantize(v);
+            assert!((cfg.dequantize(q) - v).abs() < 1.0 / cfg.scale() as f64);
+        }
+    }
+
+    #[test]
+    fn fixed_mul_approximates_real_mul() {
+        let cfg = FixedPointConfig::default();
+        let a = cfg.quantize(1.5);
+        let b = cfg.quantize(-2.25);
+        let prod = cfg.mul(a, b);
+        assert!((cfg.dequantize(prod) - (-3.375)).abs() < 0.02);
+    }
+
+    #[test]
+    fn rescale_truncates_toward_negative_infinity() {
+        let cfg = FixedPointConfig::new(4, 16); // scale 16
+        assert_eq!(cfg.rescale(33), 2);
+        assert_eq!(cfg.rescale(-33), -3);
+        assert_eq!(cfg.rescale(-16), -1);
+    }
+
+    #[test]
+    fn exp_reference_behaviour() {
+        let cfg = FixedPointConfig::default();
+        let clip = -8 * cfg.scale();
+        // e^0 = 1
+        assert_eq!(cfg.exp_reference(0, 5, clip), cfg.scale());
+        // decreasing in |x|
+        let e1 = cfg.exp_reference(cfg.quantize(-0.5), 5, clip);
+        let e2 = cfg.exp_reference(cfg.quantize(-1.0), 5, clip);
+        let e3 = cfg.exp_reference(cfg.quantize(-2.0), 5, clip);
+        assert!(e1 > e2 && e2 > e3);
+        // roughly e^{-1} ~ 0.37
+        let approx = cfg.dequantize(e2);
+        assert!((approx - 0.3678).abs() < 0.05, "e^-1 approx {approx}");
+        // clipped below threshold
+        assert_eq!(cfg.exp_reference(clip - 1, 5, clip), 0);
+    }
+
+    #[test]
+    fn softmax_reference_sums_to_one() {
+        let cfg = FixedPointConfig::default();
+        let clip = -8 * cfg.scale();
+        let xs: Vec<i64> = [-1.0f64, 0.5, 2.0, 0.0].iter().map(|v| cfg.quantize(*v)).collect();
+        let sm = cfg.softmax_reference(&xs, 5, clip);
+        let total: i64 = sm.iter().sum();
+        // sums to ~1.0 (within truncation error of one LSB per element)
+        assert!((total - cfg.scale()).abs() <= xs.len() as i64);
+        // monotonic in the input
+        assert!(sm[2] > sm[1] && sm[1] > sm[3] && sm[3] > sm[0]);
+    }
+
+    #[test]
+    fn gelu_reference_shape() {
+        let cfg = FixedPointConfig::default();
+        // GELU(0) ~ 0.5 under this approximation
+        assert_eq!(cfg.gelu_reference(0), cfg.scale() / 2);
+        // larger inputs grow roughly quadratically
+        let g1 = cfg.gelu_reference(cfg.quantize(1.0));
+        let g2 = cfg.gelu_reference(cfg.quantize(2.0));
+        assert!(g2 > g1);
+        assert!((cfg.dequantize(g1) - 0.875).abs() < 0.02);
+    }
+}

@@ -1,0 +1,51 @@
+//! # zkvc-core
+//!
+//! The paper's contribution: efficient zk-SNARK circuits for matrix
+//! multiplication and the non-linear approximations needed to verify
+//! Transformer inference.
+//!
+//! * [`matmul`] — the four circuit strategies compared throughout the
+//!   paper's evaluation: the vanilla `O(abn)`-constraint circuit, the
+//!   vanilla circuit with **PSQ** (Prefix-Sum Query) accumulation, **CRPC**
+//!   (Constraint-Reduced Polynomial Circuits) with `O(n)` constraints, and
+//!   CRPC + PSQ (the full zkVC construction).
+//! * [`nonlinear`] — SoftMax (max-normalisation + clipped Taylor
+//!   exponential), GELU (quadratic polynomial) and reciprocal-square-root
+//!   gadgets, all over fixed-point arithmetic.
+//! * [`fixed`] — NITI-style fixed-point quantisation shared with `zkvc-nn`.
+//! * [`backend`] — a uniform prove/verify API over the Groth16 (`zkVC-G`)
+//!   and Spartan-style (`zkVC-S`) backends, with per-run cost metrics used
+//!   by the benchmark harnesses.
+//! * [`schemes`] — the qualitative feature matrix of Table I.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use zkvc_core::matmul::{MatMulBuilder, Strategy};
+//! use zkvc_core::backend::Backend;
+//! use zkvc_ff::{Fr, PrimeField};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! // Y = X * W for a small integer matrix multiplication.
+//! let x = vec![vec![1i64, 2], vec![3, 4]];
+//! let w = vec![vec![5i64, 6], vec![7, 8]];
+//! let job = MatMulBuilder::new(2, 2, 2)
+//!     .strategy(Strategy::CrpcPsq)
+//!     .build_integers(&x, &w);
+//! let artifacts = Backend::Groth16.prove(&job, &mut rng);
+//! assert!(Backend::Groth16.verify(&job, &artifacts));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod fixed;
+pub mod matmul;
+pub mod nonlinear;
+pub mod schemes;
+
+pub use backend::{Backend, ProofArtifacts, ProveMetrics};
+pub use fixed::FixedPointConfig;
+pub use matmul::{MatMulBuilder, MatMulJob, Strategy};

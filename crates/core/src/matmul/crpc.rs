@@ -1,0 +1,256 @@
+//! Constraint-Reduced Polynomial Circuits (CRPC), with and without PSQ.
+//!
+//! CRPC folds the whole matrix multiplication into the single polynomial
+//! identity (paper §III-A):
+//!
+//! ```text
+//!   sum_{j<b} sum_{i<a} Z^{ib+j} y_ij
+//!     = sum_{k<n} ( sum_{i<a} Z^{ib} x_ik ) * ( sum_{j<b} Z^j w_kj )
+//! ```
+//!
+//! Because the coefficients `Z^m` are field constants of the linear
+//! combinations, each `k`-term costs exactly one multiplication constraint:
+//! `n` constraints instead of `a*b*n`. The products are accumulated either
+//! with one extra long-addition constraint (plain CRPC, `n + 1` constraints)
+//! or with PSQ prefix sums folded into the product constraints (`n`
+//! constraints — the full zkVC encoding).
+
+use zkvc_ff::{Field, Fr};
+use zkvc_r1cs::{ConstraintSystem, LinearCombination};
+
+use super::powers_of;
+
+/// Allocates the output matrix as witness variables holding the honest
+/// product values, and returns (y LCs, folded-output LC `sum Z^{ib+j} y_ij`).
+fn allocate_outputs(
+    cs: &mut ConstraintSystem<Fr>,
+    x: &[Vec<LinearCombination<Fr>>],
+    w: &[Vec<LinearCombination<Fr>>],
+    zp: &[Fr],
+) -> (Vec<Vec<LinearCombination<Fr>>>, LinearCombination<Fr>) {
+    let a = x.len();
+    let n = w.len();
+    let b = w[0].len();
+    let mut y = Vec::with_capacity(a);
+    let mut folded = LinearCombination::zero();
+    for (i, xi) in x.iter().enumerate() {
+        let mut row = Vec::with_capacity(b);
+        for j in 0..b {
+            let mut val = Fr::zero();
+            for (k, wk) in w.iter().enumerate().take(n) {
+                val += cs.eval_lc(&xi[k]) * cs.eval_lc(&wk[j]);
+            }
+            let v = cs.alloc_witness(val);
+            folded.push(v, zp[i * b + j]);
+            row.push(LinearCombination::from(v));
+        }
+        y.push(row);
+    }
+    (y, folded)
+}
+
+/// Builds the folded column polynomial of `X` and row polynomial of `W` for
+/// inner index `k`: `( sum_i Z^{ib} x_ik , sum_j Z^j w_kj )`.
+fn folded_operands(
+    x: &[Vec<LinearCombination<Fr>>],
+    w: &[Vec<LinearCombination<Fr>>],
+    k: usize,
+    zp: &[Fr],
+    b: usize,
+) -> (LinearCombination<Fr>, LinearCombination<Fr>) {
+    let mut xcol = LinearCombination::zero();
+    for (i, xi) in x.iter().enumerate() {
+        xcol = xcol + xi[k].scale(&zp[i * b]);
+    }
+    let mut wrow = LinearCombination::zero();
+    for (j, wkj) in w[k].iter().enumerate() {
+        wrow = wrow + wkj.scale(&zp[j]);
+    }
+    (xcol, wrow)
+}
+
+/// CRPC without PSQ: `n` product constraints plus one long addition that
+/// equates the accumulated products with the folded output (Table II row 3).
+pub fn synthesize_crpc(
+    cs: &mut ConstraintSystem<Fr>,
+    x: &[Vec<LinearCombination<Fr>>],
+    w: &[Vec<LinearCombination<Fr>>],
+    z: Fr,
+) -> Vec<Vec<LinearCombination<Fr>>> {
+    let n = w.len();
+    let b = w[0].len();
+    let a = x.len();
+    let zp = powers_of(z, a * b);
+    let (y, folded) = allocate_outputs(cs, x, w, &zp);
+
+    let mut t_vars = Vec::with_capacity(n);
+    for k in 0..n {
+        let (xcol, wrow) = folded_operands(x, w, k, &zp, b);
+        let val = cs.eval_lc(&xcol) * cs.eval_lc(&wrow);
+        let t = cs.alloc_witness(val);
+        cs.enforce_named(xcol, wrow, t.into(), "crpc product");
+        t_vars.push(t);
+    }
+    // long addition: sum_k t_k = folded output
+    let mut sum_lc = LinearCombination::zero();
+    for t in &t_vars {
+        sum_lc.push(*t, Fr::one());
+    }
+    cs.enforce_named(
+        sum_lc,
+        LinearCombination::constant(Fr::one()),
+        folded,
+        "crpc fold equality",
+    );
+    y
+}
+
+/// CRPC + PSQ — the full zkVC encoding: the `n` folded products are chained
+/// as prefix sums, and the final product constraint writes directly into the
+/// folded output, so exactly `n` constraints are emitted (Table II row 4).
+pub fn synthesize_crpc_psq(
+    cs: &mut ConstraintSystem<Fr>,
+    x: &[Vec<LinearCombination<Fr>>],
+    w: &[Vec<LinearCombination<Fr>>],
+    z: Fr,
+) -> Vec<Vec<LinearCombination<Fr>>> {
+    let n = w.len();
+    let b = w[0].len();
+    let a = x.len();
+    let zp = powers_of(z, a * b);
+    let (y, folded) = allocate_outputs(cs, x, w, &zp);
+
+    let mut prev_lc = LinearCombination::zero();
+    let mut prev_val = Fr::zero();
+    for k in 0..n {
+        let (xcol, wrow) = folded_operands(x, w, k, &zp, b);
+        if k + 1 == n {
+            // last step: xcol * wrow = folded - acc_{n-2}
+            cs.enforce_named(xcol, wrow, folded.clone() - &prev_lc, "crpc+psq final product");
+        } else {
+            let val = prev_val + cs.eval_lc(&xcol) * cs.eval_lc(&wrow);
+            let acc = cs.alloc_witness(val);
+            cs.enforce_named(
+                xcol,
+                wrow,
+                LinearCombination::from(acc) - &prev_lc,
+                "crpc+psq product",
+            );
+            prev_lc = acc.into();
+            prev_val = val;
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::{synthesize_vanilla, MatMulBuilder, Strategy, ZSource};
+    use proptest::prelude::*;
+    use zkvc_ff::PrimeField;
+
+    fn alloc_matrix(
+        cs: &mut ConstraintSystem<Fr>,
+        vals: &[Vec<u64>],
+    ) -> Vec<Vec<LinearCombination<Fr>>> {
+        vals.iter()
+            .map(|r| r.iter().map(|v| cs.alloc_witness(Fr::from_u64(*v)).into()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn crpc_matches_vanilla_outputs() {
+        let x_vals = vec![vec![3u64, 1, 4], vec![1, 5, 9], vec![2, 6, 5], vec![3, 5, 8]];
+        let w_vals = vec![vec![9u64, 7], vec![9, 3], vec![2, 3]];
+
+        let mut cs_v = ConstraintSystem::<Fr>::new();
+        let xv = alloc_matrix(&mut cs_v, &x_vals);
+        let wv = alloc_matrix(&mut cs_v, &w_vals);
+        let y_v = synthesize_vanilla(&mut cs_v, &xv, &wv);
+
+        for (strategy, expected_constraints) in [(Strategy::Crpc, 3 + 1), (Strategy::CrpcPsq, 3)] {
+            let mut cs = ConstraintSystem::<Fr>::new();
+            let x = alloc_matrix(&mut cs, &x_vals);
+            let w = alloc_matrix(&mut cs, &w_vals);
+            let input_constraints = cs.num_constraints();
+            let y = super::super::synthesize_matmul(&mut cs, &x, &w, strategy, Fr::from_u64(7919));
+            assert!(cs.is_satisfied(), "{strategy:?}");
+            assert_eq!(cs.num_constraints() - input_constraints, expected_constraints);
+            for i in 0..4 {
+                for j in 0..2 {
+                    assert_eq!(cs.eval_lc(&y[i][j]), cs_v.eval_lc(&y_v[i][j]), "{strategy:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_figure4_example() {
+        // Figure 4(b): a 3x2 by 2x2 product needs only 2 multiplications in
+        // CRPC+PSQ.
+        let x_vals = vec![vec![1u64, 2], vec![3, 4], vec![5, 6]];
+        let w_vals = vec![vec![7u64, 8], vec![9, 10]];
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let x = alloc_matrix(&mut cs, &x_vals);
+        let w = alloc_matrix(&mut cs, &w_vals);
+        synthesize_crpc_psq(&mut cs, &x, &w, Fr::from_u64(65537));
+        assert!(cs.is_satisfied());
+        assert_eq!(cs.num_constraints(), 2);
+    }
+
+    #[test]
+    fn wrong_y_is_rejected_for_random_z() {
+        // A cheating prover fixes Y before Z is derived (transcript mode), so
+        // Schwartz-Zippel applies. Simulate by corrupting y after building.
+        let x = vec![vec![1i64, 2, 3], vec![4, 5, 6]];
+        let w = vec![vec![7i64, 8], vec![9, 10], vec![11, 12]];
+        for strategy in [Strategy::Crpc, Strategy::CrpcPsq] {
+            let job = MatMulBuilder::new(2, 3, 2).strategy(strategy).build_integers(&x, &w);
+            let num_inputs = 2 * 3 + 3 * 2;
+            for y_idx in 0..4 {
+                let mut witness = job.cs.witness_assignment().to_vec();
+                witness[num_inputs + y_idx] -= Fr::from_u64(1);
+                let mut cs = job.cs.clone();
+                cs.set_witness_assignment(witness);
+                assert!(!cs.is_satisfied(), "{strategy:?} accepted wrong y[{y_idx}]");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_z_values_still_complete() {
+        // Completeness must hold for any Z, even degenerate ones like 0/1
+        // (soundness of course requires random Z).
+        let x = vec![vec![2i64, 3], vec![4, 5]];
+        let w = vec![vec![1i64, 2], vec![3, 4]];
+        for z in [0u64, 1, 2] {
+            let job = MatMulBuilder::new(2, 2, 2)
+                .strategy(Strategy::CrpcPsq)
+                .z_source(ZSource::Fixed(Fr::from_u64(z)))
+                .build_integers(&x, &w);
+            assert!(job.cs.is_satisfied(), "z={z}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// CRPC and vanilla accept exactly the same (honest) statements and
+        /// produce identical output values, for random small matrices.
+        #[test]
+        fn prop_crpc_equivalent_to_vanilla(
+            a in 1usize..4, n in 1usize..4, b in 1usize..4, seed in 0u64..1000
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let x: Vec<Vec<i64>> = (0..a).map(|_| (0..n).map(|_| rng.gen_range(-50i64..50)).collect()).collect();
+            let w: Vec<Vec<i64>> = (0..n).map(|_| (0..b).map(|_| rng.gen_range(-50i64..50)).collect()).collect();
+            let vanilla = MatMulBuilder::new(a, n, b).strategy(Strategy::Vanilla).build_integers(&x, &w);
+            let zkvc = MatMulBuilder::new(a, n, b).strategy(Strategy::CrpcPsq).build_integers(&x, &w);
+            prop_assert!(vanilla.cs.is_satisfied());
+            prop_assert!(zkvc.cs.is_satisfied());
+            prop_assert_eq!(vanilla.y, zkvc.y);
+        }
+    }
+}

@@ -1,0 +1,490 @@
+//! Matrix-multiplication circuit strategies.
+//!
+//! This module is the heart of the paper: four interchangeable ways of
+//! encoding `Y = X * W` (`X: a x n`, `W: n x b`) as R1CS constraints.
+//!
+//! | Strategy | Multiplication constraints | Notes |
+//! |----------|---------------------------|-------|
+//! | [`Strategy::Vanilla`]    | `a*b*n + a*b` | one constraint per scalar product plus one long addition per output |
+//! | [`Strategy::VanillaPsq`] | `a*b*n`       | PSQ folds the long addition into the product constraints |
+//! | [`Strategy::Crpc`]       | `n + 1`       | CRPC folds columns/rows into polynomials of the challenge `Z` |
+//! | [`Strategy::CrpcPsq`]    | `n`           | the full zkVC construction |
+//!
+//! CRPC soundness rests on the Schwartz–Zippel lemma: the folded identity
+//! is an equality of polynomials in `Z` of degree `< a*b`, so a single
+//! random `Z` from the 246-bit scalar field catches any incorrect `Y` with
+//! probability `1 - (a*b)/|F|`. The challenge is derived from a Fiat-Shamir
+//! transcript over `(X, W, Y)` by default ([`ZSource::Transcript`]), or
+//! supplied explicitly ([`ZSource::Fixed`]) when the caller samples it at
+//! setup time (the Groth16 flow used for the paper's measurements).
+
+mod crpc;
+mod vanilla;
+
+pub use crpc::{synthesize_crpc, synthesize_crpc_psq};
+pub use vanilla::{synthesize_vanilla, synthesize_vanilla_psq};
+
+use rand::Rng;
+use zkvc_ff::{Field, Fr, PrimeField};
+use zkvc_hash::Transcript;
+use zkvc_r1cs::{ConstraintSystem, LinearCombination};
+
+/// The matrix-multiplication circuit encodings compared in the paper.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// One multiplication constraint per scalar product, plus a long
+    /// addition per output element (the groth16/Spartan baselines of
+    /// Fig. 3 and Fig. 6).
+    Vanilla,
+    /// Vanilla products with Prefix-Sum Query accumulation (ablation row 2
+    /// of Table II).
+    VanillaPsq,
+    /// Constraint-Reduced Polynomial Circuits (ablation row 3 of Table II).
+    Crpc,
+    /// CRPC + PSQ — the full zkVC construction (ablation row 4 of Table II).
+    CrpcPsq,
+}
+
+impl Strategy {
+    /// All strategies, in the order used by the Table II ablation.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::Vanilla,
+        Strategy::VanillaPsq,
+        Strategy::Crpc,
+        Strategy::CrpcPsq,
+    ];
+
+    /// Human-readable name used by the benchmark harnesses.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Vanilla => "vanilla",
+            Strategy::VanillaPsq => "vanilla+psq",
+            Strategy::Crpc => "crpc",
+            Strategy::CrpcPsq => "crpc+psq (zkVC)",
+        }
+    }
+
+    /// Whether the strategy uses the CRPC polynomial folding (and therefore
+    /// a challenge `Z`).
+    pub fn uses_crpc(&self) -> bool {
+        matches!(self, Strategy::Crpc | Strategy::CrpcPsq)
+    }
+}
+
+/// Where the CRPC folding challenge `Z` comes from.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ZSource {
+    /// Derive `Z` by hashing the statement `(X, W, Y)` with a Fiat-Shamir
+    /// transcript. Sound without any setup assumption; this is the default
+    /// and the mode the Spartan backend uses (the R1CS is rebuilt per
+    /// statement, which is free of trusted setup).
+    Transcript,
+    /// Use a caller-supplied `Z` — e.g. sampled once at Groth16 setup time,
+    /// which matches the constraint counts the paper reports for zkVC-G.
+    /// The caller is responsible for sampling it after the statement is
+    /// fixed (or accepting the standard "challenge baked into the CRS"
+    /// assumption).
+    Fixed(Fr),
+}
+
+/// Synthesises the chosen matmul encoding over existing linear combinations
+/// and returns the output cells as linear combinations.
+///
+/// `x` must be `a x n` and `w` must be `n x b`; the result is `a x b`.
+/// `z` is the CRPC challenge (ignored by the vanilla strategies).
+///
+/// # Panics
+/// Panics if the matrix dimensions are inconsistent or empty.
+pub fn synthesize_matmul(
+    cs: &mut ConstraintSystem<Fr>,
+    x: &[Vec<LinearCombination<Fr>>],
+    w: &[Vec<LinearCombination<Fr>>],
+    strategy: Strategy,
+    z: Fr,
+) -> Vec<Vec<LinearCombination<Fr>>> {
+    validate_dims(x, w);
+    match strategy {
+        Strategy::Vanilla => synthesize_vanilla(cs, x, w),
+        Strategy::VanillaPsq => synthesize_vanilla_psq(cs, x, w),
+        Strategy::Crpc => synthesize_crpc(cs, x, w, z),
+        Strategy::CrpcPsq => synthesize_crpc_psq(cs, x, w, z),
+    }
+}
+
+fn validate_dims(x: &[Vec<LinearCombination<Fr>>], w: &[Vec<LinearCombination<Fr>>]) {
+    assert!(!x.is_empty() && !w.is_empty(), "matrices must be non-empty");
+    let n = x[0].len();
+    assert!(n > 0 && x.iter().all(|r| r.len() == n), "X rows must have equal length");
+    assert_eq!(w.len(), n, "inner dimensions must agree");
+    let b = w[0].len();
+    assert!(b > 0 && w.iter().all(|r| r.len() == b), "W rows must have equal length");
+}
+
+/// Computes `powers[m] = z^m` for `m < count`.
+pub(crate) fn powers_of(z: Fr, count: usize) -> Vec<Fr> {
+    let mut out = Vec::with_capacity(count);
+    let mut cur = Fr::one();
+    for _ in 0..count {
+        out.push(cur);
+        cur *= z;
+    }
+    out
+}
+
+/// Aggregate circuit statistics collected after synthesis; the quantities
+/// the paper's §III analyses (constraints for CRPC, left wires / variables
+/// for PSQ).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CircuitStats {
+    /// Number of R1CS constraints.
+    pub num_constraints: usize,
+    /// Number of variables (constant + instance + witness).
+    pub num_variables: usize,
+    /// Total distinct left-wire occurrences (`A`-matrix density).
+    pub num_left_wires: usize,
+    /// Total distinct right-wire occurrences (`B`-matrix density).
+    pub num_right_wires: usize,
+}
+
+impl CircuitStats {
+    /// Collects statistics from a constraint system.
+    pub fn of(cs: &ConstraintSystem<Fr>) -> Self {
+        CircuitStats {
+            num_constraints: cs.num_constraints(),
+            num_variables: cs.num_variables(),
+            num_left_wires: cs.num_left_wires(),
+            num_right_wires: cs.num_right_wires(),
+        }
+    }
+}
+
+/// A fully synthesised matrix-multiplication statement: the constraint
+/// system with its witness, the computed product, and circuit statistics.
+#[derive(Clone, Debug)]
+pub struct MatMulJob {
+    /// The synthesised constraint system (witness included).
+    pub cs: ConstraintSystem<Fr>,
+    /// `(a, n, b)` dimensions.
+    pub dims: (usize, usize, usize),
+    /// The strategy used.
+    pub strategy: Strategy,
+    /// The product matrix computed by the (honest) prover.
+    pub y: Vec<Vec<Fr>>,
+    /// Circuit statistics.
+    pub stats: CircuitStats,
+    /// The CRPC challenge that was used (identity for vanilla strategies).
+    pub z: Fr,
+}
+
+/// Builder for matrix-multiplication proving jobs.
+#[derive(Clone, Debug)]
+pub struct MatMulBuilder {
+    a: usize,
+    n: usize,
+    b: usize,
+    strategy: Strategy,
+    z_source: ZSource,
+}
+
+impl MatMulBuilder {
+    /// Creates a builder for `Y[a x b] = X[a x n] * W[n x b]`, defaulting to
+    /// the full zkVC strategy (CRPC + PSQ) with a transcript-derived `Z`.
+    pub fn new(a: usize, n: usize, b: usize) -> Self {
+        assert!(a > 0 && n > 0 && b > 0, "dimensions must be positive");
+        MatMulBuilder {
+            a,
+            n,
+            b,
+            strategy: Strategy::CrpcPsq,
+            z_source: ZSource::Transcript,
+        }
+    }
+
+    /// Selects the circuit strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Selects how the CRPC challenge is obtained.
+    pub fn z_source(mut self, z_source: ZSource) -> Self {
+        self.z_source = z_source;
+        self
+    }
+
+    /// The `(a, n, b)` dimensions.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.a, self.n, self.b)
+    }
+
+    /// Builds the job from signed-integer matrices (e.g. quantised model
+    /// weights and activations).
+    ///
+    /// # Panics
+    /// Panics if the matrix dimensions do not match the builder.
+    pub fn build_integers(&self, x: &[Vec<i64>], w: &[Vec<i64>]) -> MatMulJob {
+        let conv = |m: &[Vec<i64>]| -> Vec<Vec<Fr>> {
+            m.iter()
+                .map(|row| row.iter().map(|v| Fr::from_i64(*v)).collect())
+                .collect()
+        };
+        self.build_field(&conv(x), &conv(w))
+    }
+
+    /// Builds the job with uniformly random matrices (used by the benchmark
+    /// harnesses, where only the cost profile matters).
+    pub fn build_random<R: Rng + ?Sized>(&self, rng: &mut R) -> MatMulJob {
+        let x: Vec<Vec<Fr>> = (0..self.a)
+            .map(|_| (0..self.n).map(|_| Fr::from_u64(rng.gen_range(0..256))).collect())
+            .collect();
+        let w: Vec<Vec<Fr>> = (0..self.n)
+            .map(|_| (0..self.b).map(|_| Fr::from_u64(rng.gen_range(0..256))).collect())
+            .collect();
+        self.build_field(&x, &w)
+    }
+
+    /// Builds the job from field-element matrices.
+    ///
+    /// # Panics
+    /// Panics if the matrix dimensions do not match the builder.
+    pub fn build_field(&self, x: &[Vec<Fr>], w: &[Vec<Fr>]) -> MatMulJob {
+        assert_eq!(x.len(), self.a, "X row count mismatch");
+        assert!(x.iter().all(|r| r.len() == self.n), "X column count mismatch");
+        assert_eq!(w.len(), self.n, "W row count mismatch");
+        assert!(w.iter().all(|r| r.len() == self.b), "W column count mismatch");
+
+        // The honest product.
+        let mut y = vec![vec![Fr::zero(); self.b]; self.a];
+        for i in 0..self.a {
+            for j in 0..self.b {
+                let mut acc = Fr::zero();
+                for k in 0..self.n {
+                    acc += x[i][k] * w[k][j];
+                }
+                y[i][j] = acc;
+            }
+        }
+
+        // CRPC challenge.
+        let z = match self.z_source {
+            ZSource::Fixed(z) => z,
+            ZSource::Transcript => {
+                let mut t = Transcript::new(b"zkvc-crpc-challenge");
+                t.append_u64(b"a", self.a as u64);
+                t.append_u64(b"n", self.n as u64);
+                t.append_u64(b"b", self.b as u64);
+                for row in x {
+                    t.append_fields(b"x", row);
+                }
+                for row in w {
+                    t.append_fields(b"w", row);
+                }
+                for row in &y {
+                    t.append_fields(b"y", row);
+                }
+                t.challenge_field(b"z")
+            }
+        };
+
+        // Synthesise: X and W become witness variables; Y is produced by the
+        // strategy (as witness variables whose correctness the constraints
+        // enforce).
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let x_lcs: Vec<Vec<LinearCombination<Fr>>> = x
+            .iter()
+            .map(|row| row.iter().map(|v| cs.alloc_witness(*v).into()).collect())
+            .collect();
+        let w_lcs: Vec<Vec<LinearCombination<Fr>>> = w
+            .iter()
+            .map(|row| row.iter().map(|v| cs.alloc_witness(*v).into()).collect())
+            .collect();
+        let _y_lcs = synthesize_matmul(&mut cs, &x_lcs, &w_lcs, self.strategy, z);
+
+        let stats = CircuitStats::of(&cs);
+        MatMulJob {
+            cs,
+            dims: (self.a, self.n, self.b),
+            strategy: self.strategy,
+            y,
+            stats,
+            z,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_matrices() -> (Vec<Vec<i64>>, Vec<Vec<i64>>) {
+        // 3x2 * 2x2 example from the paper's Figure 4.
+        let x = vec![vec![1i64, 2], vec![3, 4], vec![5, 6]];
+        let w = vec![vec![7i64, 8], vec![9, 10]];
+        (x, w)
+    }
+
+    #[test]
+    fn all_strategies_accept_honest_witness() {
+        let (x, w) = small_matrices();
+        for strategy in Strategy::ALL {
+            let job = MatMulBuilder::new(3, 2, 2).strategy(strategy).build_integers(&x, &w);
+            assert!(job.cs.is_satisfied(), "{strategy:?}");
+            // The product is the true product.
+            assert_eq!(job.y[0][0], Fr::from_u64(1 * 7 + 2 * 9));
+            assert_eq!(job.y[2][1], Fr::from_u64(5 * 8 + 6 * 10));
+        }
+    }
+
+    #[test]
+    fn constraint_counts_match_paper_formulas() {
+        let (a, n, b) = (3usize, 4usize, 5usize);
+        let mut rng = StdRng::seed_from_u64(1);
+        let counts: Vec<(Strategy, usize)> = Strategy::ALL
+            .iter()
+            .map(|s| {
+                let job = MatMulBuilder::new(a, n, b).strategy(*s).build_random(&mut rng);
+                assert!(job.cs.is_satisfied());
+                (*s, job.stats.num_constraints)
+            })
+            .collect();
+        assert_eq!(counts[0].1, a * b * n + a * b, "vanilla: abn products + ab additions");
+        assert_eq!(counts[1].1, a * b * n, "vanilla+psq: abn products only");
+        assert_eq!(counts[2].1, n + 1, "crpc: n products + 1 fold");
+        assert_eq!(counts[3].1, n, "crpc+psq: n products");
+    }
+
+    #[test]
+    fn psq_reduces_left_wires_and_variables() {
+        let (a, n, b) = (4usize, 6usize, 5usize);
+        let mut rng = StdRng::seed_from_u64(2);
+        let vanilla = MatMulBuilder::new(a, n, b)
+            .strategy(Strategy::Vanilla)
+            .build_random(&mut rng);
+        let psq = MatMulBuilder::new(a, n, b)
+            .strategy(Strategy::VanillaPsq)
+            .build_random(&mut rng);
+        assert!(psq.stats.num_left_wires < vanilla.stats.num_left_wires);
+        assert!(psq.stats.num_variables <= vanilla.stats.num_variables);
+
+        let crpc = MatMulBuilder::new(a, n, b)
+            .strategy(Strategy::Crpc)
+            .build_random(&mut rng);
+        let crpc_psq = MatMulBuilder::new(a, n, b)
+            .strategy(Strategy::CrpcPsq)
+            .build_random(&mut rng);
+        assert!(crpc_psq.stats.num_variables < crpc.stats.num_variables);
+        assert!(crpc_psq.stats.num_constraints < crpc.stats.num_constraints);
+    }
+
+    #[test]
+    fn figure5_left_wire_example() {
+        // The paper's Figure 5: a single dot product of length 3 uses 6 left
+        // wires with the long addition but only 3 with PSQ.
+        let x = vec![vec![2i64, 3, 4]];
+        let w = vec![vec![5i64], vec![6], vec![7]];
+        let vanilla = MatMulBuilder::new(1, 3, 1)
+            .strategy(Strategy::Vanilla)
+            .build_integers(&x, &w);
+        let psq = MatMulBuilder::new(1, 3, 1)
+            .strategy(Strategy::VanillaPsq)
+            .build_integers(&x, &w);
+        assert_eq!(vanilla.stats.num_left_wires, 6);
+        assert_eq!(psq.stats.num_left_wires, 3);
+    }
+
+    #[test]
+    fn corrupted_product_rejected_by_every_strategy() {
+        let (x, w) = small_matrices();
+        for strategy in Strategy::ALL {
+            let job = MatMulBuilder::new(3, 2, 2).strategy(strategy).build_integers(&x, &w);
+            // Find the first witness variable holding a Y value and corrupt it.
+            // Y variables are allocated by the strategy after the 6 + 4 input
+            // variables; corrupting any later witness must break satisfaction
+            // for vanilla strategies, and break the folded identity for CRPC.
+            let mut witness = job.cs.witness_assignment().to_vec();
+            let idx = witness.len() - 1;
+            witness[idx] += Fr::one();
+            let mut cs = job.cs.clone();
+            cs.set_witness_assignment(witness);
+            assert!(!cs.is_satisfied(), "{strategy:?} accepted a corrupted witness");
+        }
+    }
+
+    #[test]
+    fn crpc_soundness_random_tampering() {
+        // Tamper with each Y entry in turn; the CRPC identity must catch it.
+        let (x, w) = small_matrices();
+        let job = MatMulBuilder::new(3, 2, 2)
+            .strategy(Strategy::CrpcPsq)
+            .build_integers(&x, &w);
+        let num_inputs = 3 * 2 + 2 * 2;
+        for y_idx in 0..6 {
+            let mut witness = job.cs.witness_assignment().to_vec();
+            witness[num_inputs + y_idx] += Fr::from_u64(3);
+            let mut cs = job.cs.clone();
+            cs.set_witness_assignment(witness);
+            assert!(!cs.is_satisfied(), "tampered y[{y_idx}] accepted");
+        }
+    }
+
+    #[test]
+    fn transcript_z_depends_on_statement() {
+        let (x, w) = small_matrices();
+        let j1 = MatMulBuilder::new(3, 2, 2).build_integers(&x, &w);
+        let mut x2 = x.clone();
+        x2[0][0] += 1;
+        let j2 = MatMulBuilder::new(3, 2, 2).build_integers(&x2, &w);
+        assert_ne!(j1.z, j2.z);
+        // Fixed z is honoured.
+        let j3 = MatMulBuilder::new(3, 2, 2)
+            .z_source(ZSource::Fixed(Fr::from_u64(1234)))
+            .build_integers(&x, &w);
+        assert_eq!(j3.z, Fr::from_u64(1234));
+    }
+
+    #[test]
+    fn strategies_compose_over_existing_variables() {
+        // synthesize_matmul can be chained: Y1 = X*W1 then Y2 = Y1*W2.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let rand_lc = |cs: &mut ConstraintSystem<Fr>, rng: &mut StdRng| -> LinearCombination<Fr> {
+            cs.alloc_witness(Fr::from_u64(rng.gen_range(0..100))).into()
+        };
+        let x: Vec<Vec<LinearCombination<Fr>>> =
+            (0..2).map(|_| (0..3).map(|_| rand_lc(&mut cs, &mut rng)).collect()).collect();
+        let w1: Vec<Vec<LinearCombination<Fr>>> =
+            (0..3).map(|_| (0..2).map(|_| rand_lc(&mut cs, &mut rng)).collect()).collect();
+        let w2: Vec<Vec<LinearCombination<Fr>>> =
+            (0..2).map(|_| (0..2).map(|_| rand_lc(&mut cs, &mut rng)).collect()).collect();
+        let y1 = synthesize_matmul(&mut cs, &x, &w1, Strategy::CrpcPsq, Fr::from_u64(99991));
+        let y2 = synthesize_matmul(&mut cs, &y1, &w2, Strategy::CrpcPsq, Fr::from_u64(77773));
+        assert_eq!(y2.len(), 2);
+        assert_eq!(y2[0].len(), 2);
+        assert!(cs.is_satisfied());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions must agree")]
+    fn dimension_mismatch_panics() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let x: Vec<Vec<LinearCombination<Fr>>> =
+            vec![vec![cs.alloc_witness(Fr::one()).into(); 3]; 2];
+        let w: Vec<Vec<LinearCombination<Fr>>> =
+            vec![vec![cs.alloc_witness(Fr::one()).into(); 2]; 2];
+        synthesize_matmul(&mut cs, &x, &w, Strategy::Vanilla, Fr::one());
+    }
+
+    #[test]
+    fn powers_helper() {
+        let p = powers_of(Fr::from_u64(3), 5);
+        assert_eq!(p, vec![
+            Fr::one(),
+            Fr::from_u64(3),
+            Fr::from_u64(9),
+            Fr::from_u64(27),
+            Fr::from_u64(81)
+        ]);
+    }
+}

@@ -1,0 +1,168 @@
+//! The vanilla matrix-multiplication circuit and its PSQ variant.
+
+use zkvc_ff::{Field, Fr};
+use zkvc_r1cs::{ConstraintSystem, LinearCombination};
+
+/// Vanilla encoding: one multiplication constraint per scalar product
+/// `x_ik * w_kj`, followed by one long-addition constraint per output
+/// element summing the `n` intermediate products (Figure 4(a) / Figure 5(a)
+/// of the paper).
+///
+/// Cost: `a*b*n + a*b` constraints and `a*b*n + a*b` fresh witness
+/// variables; the addition rows carry `n` left wires each.
+pub fn synthesize_vanilla(
+    cs: &mut ConstraintSystem<Fr>,
+    x: &[Vec<LinearCombination<Fr>>],
+    w: &[Vec<LinearCombination<Fr>>],
+) -> Vec<Vec<LinearCombination<Fr>>> {
+    let a = x.len();
+    let n = w.len();
+    let b = w[0].len();
+    let mut y = Vec::with_capacity(a);
+    for xi in x.iter().take(a) {
+        let mut row = Vec::with_capacity(b);
+        for j in 0..b {
+            // products
+            let mut product_vars = Vec::with_capacity(n);
+            let mut sum_val = Fr::zero();
+            for (k, wk) in w.iter().enumerate().take(n) {
+                let val = cs.eval_lc(&xi[k]) * cs.eval_lc(&wk[j]);
+                sum_val += val;
+                let p = cs.alloc_witness(val);
+                cs.enforce_named(xi[k].clone(), wk[j].clone(), p.into(), "vanilla product");
+                product_vars.push(p);
+            }
+            // long addition: (sum of products) * 1 = y_ij
+            let y_var = cs.alloc_witness(sum_val);
+            let mut sum_lc = LinearCombination::zero();
+            for p in &product_vars {
+                sum_lc.push(*p, Fr::one());
+            }
+            cs.enforce_named(
+                sum_lc,
+                LinearCombination::constant(Fr::one()),
+                y_var.into(),
+                "vanilla long addition",
+            );
+            row.push(y_var.into());
+        }
+        y.push(row);
+    }
+    y
+}
+
+/// Vanilla products with Prefix-Sum Query accumulation (Figure 5(b)): the
+/// running sums `acc_k = acc_{k-1} + x_ik * w_kj` are stored instead of the
+/// individual products, so the long addition row disappears and each
+/// constraint keeps a single left wire.
+///
+/// Cost: `a*b*n` constraints and `a*b*n` fresh witness variables; the final
+/// prefix sum *is* the output element.
+pub fn synthesize_vanilla_psq(
+    cs: &mut ConstraintSystem<Fr>,
+    x: &[Vec<LinearCombination<Fr>>],
+    w: &[Vec<LinearCombination<Fr>>],
+) -> Vec<Vec<LinearCombination<Fr>>> {
+    let a = x.len();
+    let n = w.len();
+    let b = w[0].len();
+    let mut y = Vec::with_capacity(a);
+    for xi in x.iter().take(a) {
+        let mut row = Vec::with_capacity(b);
+        for j in 0..b {
+            let mut prev_lc = LinearCombination::zero();
+            let mut prev_val = Fr::zero();
+            let mut last = LinearCombination::zero();
+            for (k, wk) in w.iter().enumerate().take(n) {
+                let term = cs.eval_lc(&xi[k]) * cs.eval_lc(&wk[j]);
+                let acc_val = prev_val + term;
+                let acc = cs.alloc_witness(acc_val);
+                // x_ik * w_kj = acc_k - acc_{k-1}
+                cs.enforce_named(
+                    xi[k].clone(),
+                    wk[j].clone(),
+                    LinearCombination::from(acc) - &prev_lc,
+                    "psq product",
+                );
+                prev_lc = acc.into();
+                prev_val = acc_val;
+                last = acc.into();
+            }
+            row.push(last);
+        }
+        y.push(row);
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkvc_ff::PrimeField;
+
+    fn inputs(cs: &mut ConstraintSystem<Fr>) -> (Vec<Vec<LinearCombination<Fr>>>, Vec<Vec<LinearCombination<Fr>>>) {
+        // X = [[1,2,3],[4,5,6]]  W = [[1,4],[2,5],[3,6]]
+        let x_vals = [[1u64, 2, 3], [4, 5, 6]];
+        let w_vals = [[1u64, 4], [2, 5], [3, 6]];
+        let x = x_vals
+            .iter()
+            .map(|r| r.iter().map(|v| cs.alloc_witness(Fr::from_u64(*v)).into()).collect())
+            .collect();
+        let w = w_vals
+            .iter()
+            .map(|r| r.iter().map(|v| cs.alloc_witness(Fr::from_u64(*v)).into()).collect())
+            .collect();
+        (x, w)
+    }
+
+    #[test]
+    fn vanilla_computes_correct_values() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let (x, w) = inputs(&mut cs);
+        let y = synthesize_vanilla(&mut cs, &x, &w);
+        assert!(cs.is_satisfied());
+        // Y = [[14, 32], [32, 77]]
+        assert_eq!(cs.eval_lc(&y[0][0]), Fr::from_u64(14));
+        assert_eq!(cs.eval_lc(&y[0][1]), Fr::from_u64(32));
+        assert_eq!(cs.eval_lc(&y[1][0]), Fr::from_u64(32));
+        assert_eq!(cs.eval_lc(&y[1][1]), Fr::from_u64(77));
+        // 2*2*3 products + 2*2 additions
+        assert_eq!(cs.num_constraints(), 16);
+    }
+
+    #[test]
+    fn psq_matches_vanilla_values_with_fewer_wires() {
+        let mut cs_v = ConstraintSystem::<Fr>::new();
+        let (x, w) = inputs(&mut cs_v);
+        let y_v = synthesize_vanilla(&mut cs_v, &x, &w);
+
+        let mut cs_p = ConstraintSystem::<Fr>::new();
+        let (x2, w2) = inputs(&mut cs_p);
+        let y_p = synthesize_vanilla_psq(&mut cs_p, &x2, &w2);
+
+        assert!(cs_v.is_satisfied());
+        assert!(cs_p.is_satisfied());
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(cs_v.eval_lc(&y_v[i][j]), cs_p.eval_lc(&y_p[i][j]));
+            }
+        }
+        assert_eq!(cs_p.num_constraints(), 12); // abn only
+        assert!(cs_p.num_left_wires() < cs_v.num_left_wires());
+        assert!(cs_p.num_variables() < cs_v.num_variables());
+    }
+
+    #[test]
+    fn psq_rejects_tampered_prefix_sum()
+    {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let (x, w) = inputs(&mut cs);
+        synthesize_vanilla_psq(&mut cs, &x, &w);
+        assert!(cs.is_satisfied());
+        let mut witness = cs.witness_assignment().to_vec();
+        // first prefix-sum variable sits right after the 12 input variables
+        witness[12] += Fr::one();
+        cs.set_witness_assignment(witness);
+        assert!(!cs.is_satisfied());
+    }
+}

@@ -1,0 +1,183 @@
+//! Verified integer division gadgets — the workhorse of every fixed-point
+//! rescaling step.
+
+use zkvc_ff::{Field, Fr, PrimeField};
+use zkvc_r1cs::gadgets::{bit_decompose, greater_equal};
+use zkvc_r1cs::{ConstraintSystem, LinearCombination, SynthesisError, Variable};
+
+/// Computes `q = floor(value / 2^shift)` for a signed fixed-point `value`
+/// with `|value| < 2^(num_bits - 1)`, returning the quotient variable.
+///
+/// Constraints enforce `value = q * 2^shift + r` with `0 <= r < 2^shift`
+/// and `|q| < 2^(num_bits - 1)`, which pins down Euclidean division
+/// (truncation toward negative infinity) uniquely.
+///
+/// # Errors
+/// Returns a range error if the assigned value exceeds the stated bound.
+pub fn div_by_const_pow2(
+    cs: &mut ConstraintSystem<Fr>,
+    value: &LinearCombination<Fr>,
+    shift: u32,
+    num_bits: usize,
+) -> Result<Variable, SynthesisError> {
+    let val = signed_value(cs.eval_lc(value), num_bits)?;
+    let divisor = 1i64 << shift;
+    let q_val = val.div_euclid(divisor);
+    let r_val = val.rem_euclid(divisor);
+
+    let q = cs.alloc_witness(Fr::from_i64(q_val));
+    let r = cs.alloc_witness(Fr::from_i64(r_val));
+
+    // value = q * 2^shift + r
+    let two_pow = Fr::from_u64(2).pow(&[shift as u64]);
+    cs.enforce_named(
+        LinearCombination::from(q) * two_pow + LinearCombination::from(r) - value,
+        LinearCombination::constant(Fr::one()),
+        LinearCombination::zero(),
+        "div_pow2 identity",
+    );
+    // 0 <= r < 2^shift
+    bit_decompose(cs, &r.into(), shift as usize)?;
+    // |q| < 2^(num_bits-1): decompose q + 2^(num_bits-1) into num_bits bits
+    let offset = Fr::from_u64(2).pow(&[(num_bits - 1) as u64]);
+    bit_decompose(
+        cs,
+        &(LinearCombination::from(q) + LinearCombination::constant(offset)),
+        num_bits,
+    )?;
+    Ok(q)
+}
+
+/// Computes `q = floor(numerator / denominator)` for a non-negative
+/// numerator and a strictly positive denominator, both `< 2^(num_bits-1)`.
+///
+/// Constraints: `numerator = q * denominator + r`, `0 <= r < denominator`
+/// and `0 <= q < 2^num_bits`.
+///
+/// # Errors
+/// Returns a range error if the assigned values are out of bounds (e.g. a
+/// zero denominator).
+pub fn div_floor(
+    cs: &mut ConstraintSystem<Fr>,
+    numerator: &LinearCombination<Fr>,
+    denominator: &LinearCombination<Fr>,
+    num_bits: usize,
+) -> Result<Variable, SynthesisError> {
+    let n_val = unsigned_value(cs.eval_lc(numerator), 2 * num_bits)?;
+    let d_val = unsigned_value(cs.eval_lc(denominator), num_bits)?;
+    if d_val == 0 {
+        return Err(SynthesisError::ValueOutOfRange("div_floor: zero denominator"));
+    }
+    let q_val = n_val / d_val;
+    let r_val = n_val % d_val;
+    let q = cs.alloc_witness(Fr::from_u64(q_val));
+    let r = cs.alloc_witness(Fr::from_u64(r_val));
+
+    // q * denominator = numerator - r
+    cs.enforce_named(
+        q.into(),
+        denominator.clone(),
+        numerator.clone() - LinearCombination::from(r),
+        "div_floor identity",
+    );
+    // 0 <= r  and r <= denominator - 1
+    bit_decompose(cs, &r.into(), num_bits)?;
+    let ge = greater_equal(
+        cs,
+        &(denominator.clone() - LinearCombination::constant(Fr::one())),
+        &r.into(),
+        num_bits,
+    )?;
+    cs.enforce_named(
+        ge.into(),
+        LinearCombination::constant(Fr::one()),
+        LinearCombination::constant(Fr::one()),
+        "div_floor remainder bound",
+    );
+    // 0 <= q < 2^num_bits
+    bit_decompose(cs, &q.into(), num_bits)?;
+    Ok(q)
+}
+
+/// Interprets a field element as a signed integer with the given bit bound.
+pub(crate) fn signed_value(v: Fr, num_bits: usize) -> Result<i64, SynthesisError> {
+    let bound = 1i64 << (num_bits - 1).min(62);
+    let canon = v.to_canonical();
+    if canon[1] == 0 && canon[2] == 0 && canon[3] == 0 && (canon[0] as i64) < bound && canon[0] <= i64::MAX as u64 {
+        return Ok(canon[0] as i64);
+    }
+    let neg = (-v).to_canonical();
+    if neg[1] == 0 && neg[2] == 0 && neg[3] == 0 && (neg[0] as i64) <= bound && neg[0] <= i64::MAX as u64 {
+        return Ok(-(neg[0] as i64));
+    }
+    Err(SynthesisError::ValueOutOfRange("signed fixed-point value"))
+}
+
+/// Interprets a field element as an unsigned integer with the given bit bound.
+pub(crate) fn unsigned_value(v: Fr, num_bits: usize) -> Result<u64, SynthesisError> {
+    let canon = v.to_canonical();
+    if canon[1] == 0 && canon[2] == 0 && canon[3] == 0 && zkvc_ff::arith::num_bits_4(&canon) as usize <= num_bits {
+        Ok(canon[0])
+    } else {
+        Err(SynthesisError::ValueOutOfRange("unsigned fixed-point value"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn div_by_pow2_signed() {
+        for (v, shift, expect) in [(100i64, 3u32, 12i64), (-100, 3, -13), (64, 6, 1), (-1, 4, -1), (0, 5, 0)] {
+            let mut cs = ConstraintSystem::<Fr>::new();
+            let x = cs.alloc_witness(Fr::from_i64(v));
+            let q = div_by_const_pow2(&mut cs, &x.into(), shift, 32).unwrap();
+            assert!(cs.is_satisfied(), "v={v}");
+            assert_eq!(cs.value(q), Fr::from_i64(expect), "v={v} shift={shift}");
+        }
+    }
+
+    #[test]
+    fn div_floor_general() {
+        for (n, d, expect) in [(100u64, 7u64, 14u64), (5, 5, 1), (3, 7, 0), (255, 16, 15)] {
+            let mut cs = ConstraintSystem::<Fr>::new();
+            let nv = cs.alloc_witness(Fr::from_u64(n));
+            let dv = cs.alloc_witness(Fr::from_u64(d));
+            let q = div_floor(&mut cs, &nv.into(), &dv.into(), 16).unwrap();
+            assert!(cs.is_satisfied(), "{n}/{d}");
+            assert_eq!(cs.value(q), Fr::from_u64(expect), "{n}/{d}");
+        }
+    }
+
+    #[test]
+    fn div_floor_zero_denominator_rejected() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let nv = cs.alloc_witness(Fr::from_u64(5));
+        let dv = cs.alloc_witness(Fr::zero());
+        assert!(div_floor(&mut cs, &nv.into(), &dv.into(), 16).is_err());
+    }
+
+    #[test]
+    fn division_soundness_wrong_quotient_rejected() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let x = cs.alloc_witness(Fr::from_i64(100));
+        let q = div_by_const_pow2(&mut cs, &x.into(), 3, 16).unwrap();
+        assert!(cs.is_satisfied());
+        let q_idx = match q {
+            Variable::Witness(i) => i,
+            _ => unreachable!(),
+        };
+        let mut w = cs.witness_assignment().to_vec();
+        w[q_idx] = Fr::from_i64(13); // wrong quotient
+        cs.set_witness_assignment(w);
+        assert!(!cs.is_satisfied());
+    }
+
+    #[test]
+    fn signed_value_parsing() {
+        assert_eq!(signed_value(Fr::from_i64(-42), 16).unwrap(), -42);
+        assert_eq!(signed_value(Fr::from_u64(42), 16).unwrap(), 42);
+        assert!(signed_value(Fr::from_u64(1 << 40), 16).is_err());
+    }
+}

@@ -1,0 +1,92 @@
+//! The verified GELU approximation `GELU(x) ~= x^2/8 + x/4 + 1/2`
+//! (paper §III-C).
+
+use zkvc_ff::{Fr, PrimeField};
+use zkvc_r1cs::{ConstraintSystem, LinearCombination, SynthesisError, Variable};
+
+use crate::fixed::FixedPointConfig;
+
+use super::division::div_by_const_pow2;
+
+/// Synthesises the quadratic GELU approximation over a fixed-point input,
+/// returning the output variable (same scale as the input).
+///
+/// The numerator `x^2 + 2*s*x + 4*s^2` (with `s = 2^f`) is formed with one
+/// multiplication constraint; dividing by `8s = 2^(f+3)` is a verified
+/// power-of-two division.
+///
+/// # Errors
+/// Propagates range errors if the value exceeds the configured bit-width.
+pub fn synthesize_gelu(
+    cs: &mut ConstraintSystem<Fr>,
+    x: &LinearCombination<Fr>,
+    cfg: &FixedPointConfig,
+) -> Result<Variable, SynthesisError> {
+    let bits = cfg.total_bits as usize;
+    let s = cfg.scale();
+
+    // x^2
+    let sq_val = cs.eval_lc(x) * cs.eval_lc(x);
+    let sq = cs.alloc_witness(sq_val);
+    cs.enforce_named(x.clone(), x.clone(), sq.into(), "gelu square");
+
+    // numerator = x^2 + 2 s x + 4 s^2
+    let numerator = LinearCombination::from(sq)
+        + x.scale(&Fr::from_i64(2 * s))
+        + LinearCombination::constant(Fr::from_i64(4 * s * s));
+
+    // divide by 8 s = 2^(f+3)
+    let out = div_by_const_pow2(cs, &numerator, cfg.fraction_bits + 3, 2 * bits)?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nonlinear::division::signed_value;
+
+    #[test]
+    fn gelu_matches_reference() {
+        let cfg = FixedPointConfig::default();
+        for x_real in [-3.0f64, -1.5, -0.5, 0.0, 0.5, 1.0, 2.0, 3.5] {
+            let xq = cfg.quantize(x_real);
+            let mut cs = ConstraintSystem::<Fr>::new();
+            let x = cs.alloc_witness(Fr::from_i64(xq));
+            let g = synthesize_gelu(&mut cs, &x.into(), &cfg).unwrap();
+            assert!(cs.is_satisfied(), "x={x_real}");
+            assert_eq!(cs.value(g), Fr::from_i64(cfg.gelu_reference(xq)), "x={x_real}");
+        }
+    }
+
+    #[test]
+    fn gelu_is_close_to_polynomial_target_near_zero() {
+        // The paper's approximation targets the true GELU near the origin.
+        let cfg = FixedPointConfig::default();
+        for x_real in [-0.5f64, 0.0, 0.5, 1.0] {
+            let xq = cfg.quantize(x_real);
+            let mut cs = ConstraintSystem::<Fr>::new();
+            let x = cs.alloc_witness(Fr::from_i64(xq));
+            let g = synthesize_gelu(&mut cs, &x.into(), &cfg).unwrap();
+            let got = cfg.dequantize(signed_value(cs.value(g), 32).unwrap());
+            let poly = x_real * x_real / 8.0 + x_real / 4.0 + 0.5;
+            assert!((got - poly).abs() < 0.02, "x={x_real}: got {got}, poly {poly}");
+        }
+    }
+
+    #[test]
+    fn gelu_soundness() {
+        let cfg = FixedPointConfig::default();
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let x = cs.alloc_witness(Fr::from_i64(cfg.quantize(1.25)));
+        let g = synthesize_gelu(&mut cs, &x.into(), &cfg).unwrap();
+        assert!(cs.is_satisfied());
+        let idx = match g {
+            Variable::Witness(i) => i,
+            _ => unreachable!(),
+        };
+        let mut w = cs.witness_assignment().to_vec();
+        w[idx] += Fr::from_u64(1);
+        cs.set_witness_assignment(w);
+        assert!(!cs.is_satisfied());
+    }
+}

@@ -1,0 +1,25 @@
+//! Non-linear function approximations as R1CS gadgets (paper §III-C).
+//!
+//! ZKP constraint systems only speak addition and multiplication, so the
+//! SoftMax and GELU layers of a Transformer are verified through arithmetic
+//! approximations:
+//!
+//! * SoftMax — inputs are max-normalised (the max itself is verified with a
+//!   comparison + membership check), the exponential is approximated on
+//!   non-positive inputs by the clipped Taylor form `(1 + x/2^t)^{2^t}`, and
+//!   the final normalisation is a verified integer division.
+//! * GELU — the quadratic polynomial `x^2/8 + x/4 + 1/2`.
+//! * LayerNorm support — a verified reciprocal-square-root gadget.
+//!
+//! All gadgets work on fixed-point values (see [`crate::fixed`]): scale
+//! `2^f`, signed magnitudes bounded by `2^(total_bits-1)`.
+
+mod division;
+mod gelu;
+mod norm;
+mod softmax;
+
+pub use division::{div_by_const_pow2, div_floor};
+pub use gelu::synthesize_gelu;
+pub use norm::synthesize_rsqrt;
+pub use softmax::{synthesize_exp_neg, synthesize_softmax, SoftmaxConfig};

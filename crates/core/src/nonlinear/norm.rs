@@ -1,0 +1,122 @@
+//! Verified reciprocal-square-root, the only non-arithmetic piece of
+//! LayerNorm.
+//!
+//! The prover supplies `s ~= 2^f / sqrt(v)` as a witness; the circuit checks
+//! `s^2 * v` is within one unit of scale of `2^(3f)` (the fixed-point value
+//! of 1 after accounting for the three multiplications), which pins `s` to
+//! the correctly rounded reciprocal square root.
+
+use zkvc_ff::{Field, Fr, PrimeField};
+use zkvc_r1cs::gadgets::greater_equal;
+use zkvc_r1cs::{ConstraintSystem, LinearCombination, SynthesisError, Variable};
+
+use crate::fixed::FixedPointConfig;
+
+use super::division::unsigned_value;
+
+/// Synthesises `s = round(2^f / sqrt(v))` for a strictly positive
+/// fixed-point variance `v`, returning the output variable.
+///
+/// Soundness: the constraints enforce `|s^2 * v - 2^(3f)| <= s*v + v`,
+/// a window that only the integers adjacent to the true reciprocal square
+/// root can satisfy (the output is pinned to within one unit in the last
+/// place, which is the same guarantee the reference fixed-point
+/// implementation provides).
+///
+/// # Errors
+/// Returns a range error if `v` is zero or out of range.
+pub fn synthesize_rsqrt(
+    cs: &mut ConstraintSystem<Fr>,
+    v: &LinearCombination<Fr>,
+    cfg: &FixedPointConfig,
+) -> Result<Variable, SynthesisError> {
+    let bits = cfg.total_bits as usize;
+    let f = cfg.fraction_bits;
+    let v_val = unsigned_value(cs.eval_lc(v), 2 * bits)?;
+    if v_val == 0 {
+        return Err(SynthesisError::ValueOutOfRange("rsqrt of zero"));
+    }
+    // Witness hint: s = round(2^f / sqrt(v / 2^f)) = round(2^(3f/2) / sqrt(v)).
+    let scale = cfg.scale() as f64;
+    let s_val = (scale * scale * scale).sqrt() / (v_val as f64).sqrt();
+    let s_val = s_val.round() as i64;
+    let s = cs.alloc_witness(Fr::from_i64(s_val));
+
+    // t = s^2 (one constraint), u = t * v (one constraint)
+    let t_val = Fr::from_i64(s_val) * Fr::from_i64(s_val);
+    let t = cs.alloc_witness(t_val);
+    cs.enforce_named(s.into(), s.into(), t.into(), "rsqrt square");
+    let u_val = t_val * cs.eval_lc(v);
+    let u = cs.alloc_witness(u_val);
+    cs.enforce_named(t.into(), v.clone(), u.into(), "rsqrt product");
+
+    // Rounding window: |u - 2^(3f)| <= s*v + v. The honest rounded witness
+    // satisfies it (|s^2 v - 2^(3f)| <= (2 s + 1/2) * v / 2 < s*v + v) and
+    // any s off by two or more units violates it.
+    let target = Fr::from_u64(2).pow(&[3 * f as u64]);
+    let m_val = Fr::from_i64(s_val) * cs.eval_lc(v);
+    let m = cs.alloc_witness(m_val);
+    cs.enforce_named(s.into(), v.clone(), m.into(), "rsqrt tolerance product");
+    let tol = LinearCombination::from(m) + v;
+    let diff = LinearCombination::from(u) - LinearCombination::constant(target);
+    // -tol <= diff <= tol
+    let upper = greater_equal(cs, &(tol.clone() - diff.clone()), &LinearCombination::zero(), 2 * bits)?;
+    let lower = greater_equal(cs, &(tol + diff), &LinearCombination::zero(), 2 * bits)?;
+    for bit in [upper, lower] {
+        cs.enforce_named(
+            bit.into(),
+            LinearCombination::constant(Fr::one()),
+            LinearCombination::constant(Fr::one()),
+            "rsqrt tolerance",
+        );
+    }
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rsqrt_matches_float_reference() {
+        let cfg = FixedPointConfig::default();
+        for var_real in [1.0f64, 2.0, 4.0, 10.0, 100.0, 1000.0] {
+            let vq = cfg.quantize(var_real);
+            let mut cs = ConstraintSystem::<Fr>::new();
+            let v = cs.alloc_witness(Fr::from_i64(vq));
+            let s = synthesize_rsqrt(&mut cs, &v.into(), &cfg).unwrap();
+            assert!(cs.is_satisfied(), "var={var_real}");
+            let got = cfg.dequantize(super::super::division::signed_value(cs.value(s), 40).unwrap());
+            let expect = 1.0 / var_real.sqrt();
+            assert!((got - expect).abs() < 0.05, "var={var_real}: got {got}, want {expect}");
+        }
+    }
+
+    #[test]
+    fn rsqrt_of_zero_rejected() {
+        let cfg = FixedPointConfig::default();
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let v = cs.alloc_witness(Fr::from_u64(0));
+        assert!(synthesize_rsqrt(&mut cs, &v.into(), &cfg).is_err());
+    }
+
+    #[test]
+    fn rsqrt_far_off_witness_rejected() {
+        let cfg = FixedPointConfig::default();
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let v = cs.alloc_witness(Fr::from_i64(cfg.quantize(4.0)));
+        let s = synthesize_rsqrt(&mut cs, &v.into(), &cfg).unwrap();
+        assert!(cs.is_satisfied());
+        let idx = match s {
+            Variable::Witness(i) => i,
+            _ => unreachable!(),
+        };
+        // Double the claimed reciprocal sqrt; the tolerance window must
+        // reject it (the dependent witnesses are left stale, which is what a
+        // lazy cheating prover would produce).
+        let mut w = cs.witness_assignment().to_vec();
+        w[idx] = w[idx] + w[idx];
+        cs.set_witness_assignment(w);
+        assert!(!cs.is_satisfied());
+    }
+}

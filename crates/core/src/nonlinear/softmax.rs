@@ -1,0 +1,240 @@
+//! The verified SoftMax approximation (paper §III-C).
+
+use zkvc_ff::{Field, Fr, PrimeField};
+use zkvc_r1cs::gadgets::{greater_equal, max_of, select};
+use zkvc_r1cs::{ConstraintSystem, LinearCombination, SynthesisError, Variable};
+
+use crate::fixed::FixedPointConfig;
+
+use super::division::{div_by_const_pow2, div_floor, signed_value};
+
+/// Parameters of the SoftMax approximation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SoftmaxConfig {
+    /// Fixed-point representation of the values.
+    pub fixed: FixedPointConfig,
+    /// `t` in the Taylor form `(1 + x/2^t)^{2^t}`.
+    pub taylor_log2: u32,
+    /// Inputs below this (fixed-point) threshold are clipped to zero.
+    pub clip_threshold: i64,
+}
+
+impl Default for SoftmaxConfig {
+    fn default() -> Self {
+        let fixed = FixedPointConfig::default();
+        SoftmaxConfig {
+            fixed,
+            taylor_log2: 5,
+            clip_threshold: -8 * fixed.scale(),
+        }
+    }
+}
+
+/// Synthesises the clipped Taylor exponential `e^x` for a non-positive
+/// fixed-point input `x`, returning the output variable (scale `2^f`).
+///
+/// The branch selection (`x < T` → 0) is itself verified with a
+/// bit-decomposition comparison, as described in the paper ("two-bit
+/// decomposition" sets: one for the comparison, one for each rescale).
+///
+/// # Errors
+/// Propagates range errors if the assigned value falls outside the
+/// configured bit-width.
+pub fn synthesize_exp_neg(
+    cs: &mut ConstraintSystem<Fr>,
+    x: &LinearCombination<Fr>,
+    cfg: &SoftmaxConfig,
+) -> Result<Variable, SynthesisError> {
+    let bits = cfg.fixed.total_bits as usize;
+    let scale = Fr::from_u64(cfg.fixed.scale() as u64);
+
+    // above_threshold = (x >= T)
+    let threshold = LinearCombination::constant(Fr::from_i64(cfg.clip_threshold));
+    let above = greater_equal(cs, x, &threshold, bits)?;
+
+    // base = 1 + x / 2^t, clamped at zero from below by the clipping branch.
+    let x_shifted = div_by_const_pow2(cs, x, cfg.taylor_log2, bits)?;
+    let base = LinearCombination::constant(scale) + LinearCombination::from(x_shifted);
+
+    // When the base itself would go negative (possible only below the
+    // clipping threshold for sensible parameter choices), the select below
+    // discards the powered value anyway; to keep the squaring chain's range
+    // checks satisfiable we work with max(base, 0).
+    let base_val = signed_value(cs.eval_lc(&base), bits)?;
+    let clamped_val = base_val.max(0);
+    let clamped = cs.alloc_witness(Fr::from_i64(clamped_val));
+    // (base - clamped) * above = 0 : when the input is above the clipping
+    // threshold the clamped copy must equal the real base.
+    cs.enforce_named(
+        base - LinearCombination::from(clamped),
+        above.into(),
+        LinearCombination::zero(),
+        "exp base clamp",
+    );
+
+    // Repeated squaring with rescale: p <- (p*p) / 2^f, t times.
+    let mut p: LinearCombination<Fr> = clamped.into();
+    for _ in 0..cfg.taylor_log2 {
+        let sq_val = cs.eval_lc(&p) * cs.eval_lc(&p);
+        let sq = cs.alloc_witness(sq_val);
+        cs.enforce_named(p.clone(), p.clone(), sq.into(), "exp squaring");
+        let rescaled = div_by_const_pow2(cs, &sq.into(), cfg.fixed.fraction_bits, 2 * bits)?;
+        p = rescaled.into();
+    }
+
+    // Output: select(above, p, 0)
+    let out = select(cs, above, &p, &LinearCombination::zero());
+    Ok(out)
+}
+
+/// Synthesises the full verified SoftMax over a vector of fixed-point
+/// logits, returning one output variable per element (scale `2^f`).
+///
+/// Steps (all verified in-circuit):
+/// 1. `x_max` via comparison + membership constraints,
+/// 2. normalised inputs `x_i - x_max` (free, linear),
+/// 3. clipped Taylor exponentials,
+/// 4. verified division by the sum of exponentials.
+///
+/// # Errors
+/// Propagates range errors from the comparison and division gadgets.
+///
+/// # Panics
+/// Panics if `inputs` is empty.
+pub fn synthesize_softmax(
+    cs: &mut ConstraintSystem<Fr>,
+    inputs: &[LinearCombination<Fr>],
+    cfg: &SoftmaxConfig,
+) -> Result<Vec<Variable>, SynthesisError> {
+    assert!(!inputs.is_empty(), "softmax over an empty vector");
+    let bits = cfg.fixed.total_bits as usize;
+
+    // 1. verified maximum
+    let x_max = max_of(cs, inputs, bits)?;
+
+    // 2/3. exponentials of the normalised inputs
+    let mut exps = Vec::with_capacity(inputs.len());
+    for x in inputs {
+        let normalised = x.clone() - LinearCombination::from(x_max);
+        let e = synthesize_exp_neg(cs, &normalised, cfg)?;
+        exps.push(e);
+    }
+
+    // 4. normalise: out_i = floor(e_i * 2^f / sum_j e_j)
+    let mut sum_lc = LinearCombination::zero();
+    for e in &exps {
+        sum_lc.push(*e, Fr::one());
+    }
+    let scale = Fr::from_u64(cfg.fixed.scale() as u64);
+    let mut outputs = Vec::with_capacity(exps.len());
+    for e in &exps {
+        let numerator = LinearCombination::from(*e) * scale;
+        let out = div_floor(cs, &numerator, &sum_lc, bits)?;
+        outputs.push(out);
+    }
+    Ok(outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SoftmaxConfig {
+        SoftmaxConfig::default()
+    }
+
+    #[test]
+    fn exp_matches_reference() {
+        let c = cfg();
+        for x_real in [0.0f64, -0.25, -0.5, -1.0, -2.0, -4.0, -7.5, -9.0, -20.0] {
+            let xq = c.fixed.quantize(x_real);
+            let mut cs = ConstraintSystem::<Fr>::new();
+            let x = cs.alloc_witness(Fr::from_i64(xq));
+            let e = synthesize_exp_neg(&mut cs, &x.into(), &c).unwrap();
+            assert!(cs.is_satisfied(), "x={x_real}");
+            let expect = c.fixed.exp_reference(xq, c.taylor_log2, c.clip_threshold);
+            assert_eq!(cs.value(e), Fr::from_i64(expect), "x={x_real}");
+        }
+    }
+
+    #[test]
+    fn exp_approximation_is_close_to_true_exp() {
+        let c = cfg();
+        for x_real in [-0.1f64, -0.5, -1.0, -2.0, -3.0] {
+            let xq = c.fixed.quantize(x_real);
+            let mut cs = ConstraintSystem::<Fr>::new();
+            let x = cs.alloc_witness(Fr::from_i64(xq));
+            let e = synthesize_exp_neg(&mut cs, &x.into(), &c).unwrap();
+            let got = c.fixed.dequantize(signed_value(cs.value(e), 32).unwrap());
+            let expect = x_real.exp();
+            assert!(
+                (got - expect).abs() < 0.08,
+                "x={x_real}: got {got}, expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_matches_reference_and_satisfies() {
+        let c = cfg();
+        let logits = [-1.0f64, 0.5, 2.0, 0.0];
+        let quantised: Vec<i64> = logits.iter().map(|v| c.fixed.quantize(*v)).collect();
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let input_lcs: Vec<LinearCombination<Fr>> = quantised
+            .iter()
+            .map(|q| cs.alloc_witness(Fr::from_i64(*q)).into())
+            .collect();
+        let outs = synthesize_softmax(&mut cs, &input_lcs, &c).unwrap();
+        assert!(cs.is_satisfied());
+        let reference = c.fixed.softmax_reference(&quantised, c.taylor_log2, c.clip_threshold);
+        for (o, r) in outs.iter().zip(reference.iter()) {
+            assert_eq!(cs.value(*o), Fr::from_i64(*r));
+        }
+        // Compare against true softmax.
+        let exp: Vec<f64> = logits.iter().map(|v| v.exp()).collect();
+        let total: f64 = exp.iter().sum();
+        for (o, e) in outs.iter().zip(exp.iter()) {
+            let got = c.fixed.dequantize(signed_value(cs.value(*o), 32).unwrap());
+            assert!((got - e / total).abs() < 0.05, "got {got}, want {}", e / total);
+        }
+    }
+
+    #[test]
+    fn softmax_soundness_tampered_output_rejected() {
+        let c = cfg();
+        let quantised: Vec<i64> = [0.3f64, -0.7, 1.1].iter().map(|v| c.fixed.quantize(*v)).collect();
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let input_lcs: Vec<LinearCombination<Fr>> = quantised
+            .iter()
+            .map(|q| cs.alloc_witness(Fr::from_i64(*q)).into())
+            .collect();
+        let outs = synthesize_softmax(&mut cs, &input_lcs, &c).unwrap();
+        assert!(cs.is_satisfied());
+        let idx = match outs[0] {
+            Variable::Witness(i) => i,
+            _ => unreachable!(),
+        };
+        let mut w = cs.witness_assignment().to_vec();
+        w[idx] += Fr::from_u64(2);
+        cs.set_witness_assignment(w);
+        assert!(!cs.is_satisfied());
+    }
+
+    #[test]
+    fn constraint_cost_is_linear_in_input_length() {
+        let c = cfg();
+        let count = |n: usize| -> usize {
+            let mut cs = ConstraintSystem::<Fr>::new();
+            let lcs: Vec<LinearCombination<Fr>> =
+                (0..n).map(|i| cs.alloc_witness(Fr::from_i64(i as i64 * 10)).into()).collect();
+            synthesize_softmax(&mut cs, &lcs, &c).unwrap();
+            cs.num_constraints()
+        };
+        let c4 = count(4);
+        let c8 = count(8);
+        let c16 = count(16);
+        // roughly linear growth
+        assert!(c8 < 2 * c4 + 64);
+        assert!(c16 < 2 * c8 + 64);
+    }
+}

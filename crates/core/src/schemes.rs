@@ -1,0 +1,183 @@
+//! The qualitative comparison of verifiable-DNN schemes (Table I of the
+//! paper), as structured data so the `table1` harness can print it and the
+//! properties of the schemes implemented in this workspace can be asserted
+//! in tests.
+
+/// A row of Table I: which properties a scheme provides.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SchemeFeatures {
+    /// Scheme name as printed in the table.
+    pub name: &'static str,
+    /// Zero-knowledge (hides the model weights).
+    pub zero_knowledge: bool,
+    /// Non-interactive (single message from prover to verifier).
+    pub non_interactive: bool,
+    /// Constant proof size (independent of model size).
+    pub constant_proof: bool,
+    /// Works without a trusted setup.
+    pub no_trusted_setup: bool,
+    /// Evaluated on Transformer architectures.
+    pub transformers: bool,
+    /// Has an efficient matrix-multiplication encoding.
+    pub efficient_matmult: bool,
+    /// Co-designs the model architecture with the ZKP cost model.
+    pub zkml_codesign: bool,
+    /// Whether this workspace implements the scheme (`true`) or only echoes
+    /// the paper's characterisation (`false`).
+    pub implemented_here: bool,
+}
+
+/// The rows of Table I, in the paper's order.
+pub const TABLE_I: [SchemeFeatures; 9] = [
+    SchemeFeatures {
+        name: "SafetyNets",
+        zero_knowledge: false,
+        non_interactive: false,
+        constant_proof: false,
+        no_trusted_setup: true,
+        transformers: false,
+        efficient_matmult: false,
+        zkml_codesign: false,
+        implemented_here: false,
+    },
+    SchemeFeatures {
+        name: "zkCNN",
+        zero_knowledge: true,
+        non_interactive: false,
+        constant_proof: false,
+        no_trusted_setup: true,
+        transformers: false,
+        efficient_matmult: false,
+        zkml_codesign: false,
+        implemented_here: true, // via the zkvc-interactive sum-check baseline
+    },
+    SchemeFeatures {
+        name: "Keuffer's",
+        zero_knowledge: true,
+        non_interactive: true,
+        constant_proof: true,
+        no_trusted_setup: false,
+        transformers: false,
+        efficient_matmult: false,
+        zkml_codesign: false,
+        implemented_here: false,
+    },
+    SchemeFeatures {
+        name: "vCNN",
+        zero_knowledge: true,
+        non_interactive: true,
+        constant_proof: true,
+        no_trusted_setup: false,
+        transformers: false,
+        efficient_matmult: false,
+        zkml_codesign: false,
+        implemented_here: false,
+    },
+    SchemeFeatures {
+        name: "VeriML",
+        zero_knowledge: true,
+        non_interactive: true,
+        constant_proof: true,
+        no_trusted_setup: false,
+        transformers: false,
+        efficient_matmult: false,
+        zkml_codesign: false,
+        implemented_here: false,
+    },
+    SchemeFeatures {
+        name: "ZEN",
+        zero_knowledge: true,
+        non_interactive: true,
+        constant_proof: true,
+        no_trusted_setup: false,
+        transformers: false,
+        efficient_matmult: false,
+        zkml_codesign: false,
+        implemented_here: false,
+    },
+    SchemeFeatures {
+        name: "zkML",
+        zero_knowledge: true,
+        non_interactive: true,
+        constant_proof: false,
+        no_trusted_setup: false,
+        transformers: false,
+        efficient_matmult: false,
+        zkml_codesign: false,
+        implemented_here: false,
+    },
+    SchemeFeatures {
+        name: "pvCNN",
+        zero_knowledge: true,
+        non_interactive: true,
+        constant_proof: true,
+        no_trusted_setup: false,
+        transformers: false,
+        efficient_matmult: false,
+        zkml_codesign: false,
+        implemented_here: false,
+    },
+    SchemeFeatures {
+        name: "zkVC",
+        zero_knowledge: true,
+        non_interactive: true,
+        constant_proof: true,
+        no_trusted_setup: true, // with the Spartan backend
+        transformers: true,
+        efficient_matmult: true,
+        zkml_codesign: true,
+        implemented_here: true,
+    },
+];
+
+/// Renders the feature matrix as an ASCII table (used by the `table1`
+/// harness binary).
+pub fn render_table_i() -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Scheme      | zk | NonInter | ConstProof | NoTrustedSetup | Transformers | EffMatMult | Codesign | InRepo\n",
+    );
+    out.push_str(
+        "------------+----+----------+------------+----------------+--------------+------------+----------+-------\n",
+    );
+    let mark = |b: bool| if b { "yes" } else { " - " };
+    for row in TABLE_I {
+        out.push_str(&format!(
+            "{:<12}| {} | {:<8} | {:<10} | {:<14} | {:<12} | {:<10} | {:<8} | {}\n",
+            row.name,
+            mark(row.zero_knowledge),
+            mark(row.non_interactive),
+            mark(row.constant_proof),
+            mark(row.no_trusted_setup),
+            mark(row.transformers),
+            mark(row.efficient_matmult),
+            mark(row.zkml_codesign),
+            mark(row.implemented_here),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_matches_paper_highlights() {
+        let zkvc = TABLE_I.last().unwrap();
+        assert_eq!(zkvc.name, "zkVC");
+        assert!(zkvc.zero_knowledge && zkvc.non_interactive && zkvc.efficient_matmult);
+        assert!(zkvc.transformers && zkvc.zkml_codesign);
+        // Only SafetyNets lacks zero-knowledge.
+        assert_eq!(TABLE_I.iter().filter(|s| !s.zero_knowledge).count(), 1);
+        // Interactive schemes: SafetyNets and zkCNN.
+        assert_eq!(TABLE_I.iter().filter(|s| !s.non_interactive).count(), 2);
+    }
+
+    #[test]
+    fn render_has_one_line_per_scheme() {
+        let s = render_table_i();
+        assert_eq!(s.lines().count(), 2 + TABLE_I.len());
+        assert!(s.contains("zkVC"));
+    }
+}

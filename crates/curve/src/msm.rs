@@ -1,0 +1,184 @@
+//! Multi-scalar multiplication (Pippenger's bucket method).
+//!
+//! The dominant cost of the Groth16 prover is three large MSMs over the CRS;
+//! this module provides a serial bucketed implementation plus a
+//! crossbeam-parallel driver that splits the windows across worker threads.
+
+use crossbeam::thread;
+use zkvc_ff::{Fr, PrimeField};
+
+use crate::g1::{G1Affine, G1Projective};
+
+/// Computes `sum_i scalars[i] * bases[i]` with Pippenger's algorithm,
+/// single-threaded.
+///
+/// # Panics
+/// Panics if `bases.len() != scalars.len()`.
+pub fn msm_serial(bases: &[G1Affine], scalars: &[Fr]) -> G1Projective {
+    assert_eq!(bases.len(), scalars.len(), "bases/scalars length mismatch");
+    if bases.is_empty() {
+        return G1Projective::identity();
+    }
+    let c = window_size(bases.len());
+    let num_bits = Fr::MODULUS_BITS as usize;
+    let windows: Vec<usize> = (0..num_bits).step_by(c).collect();
+    let canon: Vec<[u64; 4]> = scalars.iter().map(|s| s.to_canonical()).collect();
+
+    let window_sums: Vec<G1Projective> = windows
+        .iter()
+        .map(|&w_start| window_sum(bases, &canon, w_start, c))
+        .collect();
+
+    combine_windows(&window_sums, c)
+}
+
+/// Computes `sum_i scalars[i] * bases[i]`, splitting windows across threads.
+///
+/// # Panics
+/// Panics if `bases.len() != scalars.len()`.
+pub fn msm(bases: &[G1Affine], scalars: &[Fr]) -> G1Projective {
+    assert_eq!(bases.len(), scalars.len(), "bases/scalars length mismatch");
+    if bases.is_empty() {
+        return G1Projective::identity();
+    }
+    if bases.len() < 64 {
+        return msm_serial(bases, scalars);
+    }
+    let c = window_size(bases.len());
+    let num_bits = Fr::MODULUS_BITS as usize;
+    let windows: Vec<usize> = (0..num_bits).step_by(c).collect();
+    let canon: Vec<[u64; 4]> = scalars.iter().map(|s| s.to_canonical()).collect();
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(windows.len());
+
+    let mut window_sums = vec![G1Projective::identity(); windows.len()];
+    let chunk = windows.len().div_ceil(n_threads);
+    thread::scope(|s| {
+        for (out_chunk, win_chunk) in window_sums.chunks_mut(chunk).zip(windows.chunks(chunk)) {
+            let canon = &canon;
+            s.spawn(move |_| {
+                for (out, &w_start) in out_chunk.iter_mut().zip(win_chunk.iter()) {
+                    *out = window_sum(bases, canon, w_start, c);
+                }
+            });
+        }
+    })
+    .expect("msm worker thread panicked");
+
+    combine_windows(&window_sums, c)
+}
+
+fn window_size(n: usize) -> usize {
+    match n {
+        0..=31 => 3,
+        32..=255 => 5,
+        256..=4095 => 8,
+        4096..=65535 => 11,
+        65536..=1048575 => 14,
+        _ => 16,
+    }
+}
+
+fn extract_window(canon: &[u64; 4], start: usize, width: usize) -> usize {
+    // Read `width` bits starting at bit `start` (little-endian).
+    let limb = start / 64;
+    let shift = start % 64;
+    let mut v = canon[limb] >> shift;
+    if shift + width > 64 && limb + 1 < 4 {
+        v |= canon[limb + 1] << (64 - shift);
+    }
+    (v & ((1u64 << width) - 1)) as usize
+}
+
+fn window_sum(bases: &[G1Affine], canon: &[[u64; 4]], w_start: usize, c: usize) -> G1Projective {
+    let mut buckets = vec![G1Projective::identity(); (1 << c) - 1];
+    for (base, scalar) in bases.iter().zip(canon.iter()) {
+        let idx = extract_window(scalar, w_start, c);
+        if idx != 0 {
+            buckets[idx - 1] = buckets[idx - 1].add_affine(base);
+        }
+    }
+    // running-sum trick: sum_k k * bucket_k
+    let mut running = G1Projective::identity();
+    let mut acc = G1Projective::identity();
+    for b in buckets.iter().rev() {
+        running += *b;
+        acc += running;
+    }
+    acc
+}
+
+fn combine_windows(window_sums: &[G1Projective], c: usize) -> G1Projective {
+    let mut total = G1Projective::identity();
+    for w in window_sums.iter().rev() {
+        for _ in 0..c {
+            total = total.double();
+        }
+        total += *w;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zkvc_ff::Field;
+
+    fn naive_msm(bases: &[G1Affine], scalars: &[Fr]) -> G1Projective {
+        bases
+            .iter()
+            .zip(scalars.iter())
+            .map(|(b, s)| b.to_projective().mul_scalar(s))
+            .sum()
+    }
+
+    #[test]
+    fn empty_msm_is_identity() {
+        assert!(msm(&[], &[]).is_identity());
+        assert!(msm_serial(&[], &[]).is_identity());
+    }
+
+    #[test]
+    fn msm_matches_naive_small() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [1usize, 2, 3, 17, 33] {
+            let bases: Vec<G1Affine> = (0..n)
+                .map(|_| G1Projective::random(&mut rng).to_affine())
+                .collect();
+            let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+            assert_eq!(msm_serial(&bases, &scalars), naive_msm(&bases, &scalars));
+            assert_eq!(msm(&bases, &scalars), naive_msm(&bases, &scalars));
+        }
+    }
+
+    #[test]
+    fn msm_matches_naive_larger_with_structure() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 200;
+        let bases: Vec<G1Affine> = (0..n)
+            .map(|_| G1Projective::random(&mut rng).to_affine())
+            .collect();
+        // include zeros, ones and small scalars to hit bucket edge cases
+        let scalars: Vec<Fr> = (0..n)
+            .map(|i| match i % 5 {
+                0 => Fr::zero(),
+                1 => Fr::one(),
+                2 => Fr::from_u64(i as u64),
+                _ => Fr::random(&mut rng),
+            })
+            .collect();
+        assert_eq!(msm(&bases, &scalars), naive_msm(&bases, &scalars));
+    }
+
+    #[test]
+    fn extract_window_crosses_limbs() {
+        let canon = [u64::MAX, 0b1011, 0, 0];
+        // 8-bit window starting at bit 60: low 4 bits are 1111 (from limb 0),
+        // upper 4 bits are 1011 (from limb 1) -> 0b1011_1111
+        assert_eq!(extract_window(&canon, 60, 8), 0b1011_1111);
+    }
+}

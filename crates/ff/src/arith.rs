@@ -1,0 +1,156 @@
+//! Low-level 64-bit limb arithmetic primitives shared by all field
+//! implementations.
+//!
+//! The conventions follow the widely used "full-width carry" style: carries
+//! are propagated as full `u64` words and borrows are propagated as all-ones
+//! masks, which lets higher layers use branch-free conditional additions.
+
+/// Compute `a + b + carry`, returning the result and the new carry word.
+#[inline(always)]
+pub const fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
+    let ret = (a as u128) + (b as u128) + (carry as u128);
+    (ret as u64, (ret >> 64) as u64)
+}
+
+/// Compute `a - (b + borrow)`, returning the result and the new borrow.
+///
+/// The borrow-in is interpreted through its top bit (so both `1` and the
+/// all-ones mask count as "borrow"); the borrow-out is `0` or `u64::MAX`.
+#[inline(always)]
+pub const fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
+    let ret = (a as u128).wrapping_sub((b as u128) + ((borrow >> 63) as u128));
+    (ret as u64, (ret >> 64) as u64)
+}
+
+/// Compute `a + (b * c) + carry`, returning the result and the new carry.
+#[inline(always)]
+pub const fn mac(a: u64, b: u64, c: u64, carry: u64) -> (u64, u64) {
+    let ret = (a as u128) + ((b as u128) * (c as u128)) + (carry as u128);
+    (ret as u64, (ret >> 64) as u64)
+}
+
+/// Compare two 4-limb little-endian integers: `true` iff `a < b`.
+#[inline]
+pub const fn lt_4(a: &[u64; 4], b: &[u64; 4]) -> bool {
+    let mut i = 3;
+    loop {
+        if a[i] < b[i] {
+            return true;
+        }
+        if a[i] > b[i] {
+            return false;
+        }
+        if i == 0 {
+            return false;
+        }
+        i -= 1;
+    }
+}
+
+/// Add two 4-limb integers, returning the sum and the carry-out bit.
+#[inline]
+pub const fn add_4(a: &[u64; 4], b: &[u64; 4]) -> ([u64; 4], u64) {
+    let (d0, c) = adc(a[0], b[0], 0);
+    let (d1, c) = adc(a[1], b[1], c);
+    let (d2, c) = adc(a[2], b[2], c);
+    let (d3, c) = adc(a[3], b[3], c);
+    ([d0, d1, d2, d3], c)
+}
+
+/// Subtract two 4-limb integers, returning the difference and the borrow mask.
+#[inline]
+pub const fn sub_4(a: &[u64; 4], b: &[u64; 4]) -> ([u64; 4], u64) {
+    let (d0, bw) = sbb(a[0], b[0], 0);
+    let (d1, bw) = sbb(a[1], b[1], bw);
+    let (d2, bw) = sbb(a[2], b[2], bw);
+    let (d3, bw) = sbb(a[3], b[3], bw);
+    ([d0, d1, d2, d3], bw)
+}
+
+/// Test whether a 4-limb integer is zero.
+#[inline]
+pub const fn is_zero_4(a: &[u64; 4]) -> bool {
+    a[0] == 0 && a[1] == 0 && a[2] == 0 && a[3] == 0
+}
+
+/// Number of significant bits in a 4-limb little-endian integer.
+#[inline]
+pub const fn num_bits_4(a: &[u64; 4]) -> u32 {
+    let mut i = 3usize;
+    loop {
+        if a[i] != 0 {
+            return 64 * (i as u32) + (64 - a[i].leading_zeros());
+        }
+        if i == 0 {
+            return 0;
+        }
+        i -= 1;
+    }
+}
+
+/// Get bit `i` (little-endian) of a 4-limb integer.
+#[inline]
+pub const fn bit_4(a: &[u64; 4], i: u32) -> bool {
+    if i >= 256 {
+        return false;
+    }
+    (a[(i / 64) as usize] >> (i % 64)) & 1 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adc_carries() {
+        assert_eq!(adc(u64::MAX, 1, 0), (0, 1));
+        assert_eq!(adc(1, 2, 3), (6, 0));
+        assert_eq!(adc(u64::MAX, u64::MAX, 1), (u64::MAX, 1));
+    }
+
+    #[test]
+    fn sbb_borrows() {
+        let (d, b) = sbb(0, 1, 0);
+        assert_eq!(d, u64::MAX);
+        assert_eq!(b, u64::MAX);
+        let (d, b) = sbb(5, 3, 0);
+        assert_eq!(d, 2);
+        assert_eq!(b, 0);
+        // borrow-in of a full mask behaves like borrow of 1
+        let (d, b) = sbb(5, 3, u64::MAX);
+        assert_eq!(d, 1);
+        assert_eq!(b, 0);
+    }
+
+    #[test]
+    fn mac_widening() {
+        let (lo, hi) = mac(0, u64::MAX, u64::MAX, 0);
+        assert_eq!(lo, 1);
+        assert_eq!(hi, u64::MAX - 1);
+    }
+
+    #[test]
+    fn cmp_and_bits() {
+        let a = [1, 0, 0, 0];
+        let b = [0, 1, 0, 0];
+        assert!(lt_4(&a, &b));
+        assert!(!lt_4(&b, &a));
+        assert!(!lt_4(&a, &a));
+        assert_eq!(num_bits_4(&a), 1);
+        assert_eq!(num_bits_4(&b), 65);
+        assert_eq!(num_bits_4(&[0, 0, 0, 0]), 0);
+        assert!(bit_4(&b, 64));
+        assert!(!bit_4(&b, 63));
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = [u64::MAX, 5, 7, 9];
+        let b = [3, 4, 5, 6];
+        let (s, c) = add_4(&a, &b);
+        assert_eq!(c, 0);
+        let (d, bw) = sub_4(&s, &b);
+        assert_eq!(bw, 0);
+        assert_eq!(d, a);
+    }
+}

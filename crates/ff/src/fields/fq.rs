@@ -1,0 +1,30 @@
+//! The base field `Fq` of the pairing-friendly curve `E: y^2 = x^3 + x`.
+
+use super::params;
+use crate::fp::{sqrt_3mod4, Fp, FpParams};
+
+/// Parameters of the base field.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FqParameters;
+
+impl FpParams for FqParameters {
+    const MODULUS: [u64; 4] = params::FQ_MODULUS;
+    const R: [u64; 4] = params::FQ_R;
+    const R2: [u64; 4] = params::FQ_R2;
+    const INV: u64 = params::FQ_INV;
+    const MODULUS_BITS: u32 = params::FQ_MODULUS_BITS;
+    // The base field is not used for FFTs; 2-adicity of p-1 is 1.
+    const TWO_ADICITY: u32 = 1;
+    const ROOT_OF_UNITY: [u64; 4] = [0, 0, 0, 0];
+    const GENERATOR: [u64; 4] = [0, 0, 0, 0];
+}
+
+/// The curve base field (252 bits, `p = 3 mod 4`).
+pub type Fq = Fp<FqParameters>;
+
+impl Fq {
+    /// Square root (if one exists), using `x^{(p+1)/4}` since `p = 3 mod 4`.
+    pub fn sqrt(&self) -> Option<Self> {
+        sqrt_3mod4(self, &params::FQ_P_PLUS_ONE_DIV_FOUR)
+    }
+}

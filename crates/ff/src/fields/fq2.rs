@@ -1,0 +1,179 @@
+//! The quadratic extension `Fq2 = Fq[i] / (i^2 + 1)`.
+//!
+//! Because the base-field modulus satisfies `p = 3 mod 4`, `-1` is a
+//! quadratic non-residue and `x^2 + 1` is irreducible. `Fq2` hosts the image
+//! of the distortion map used by the Type-1 Tate pairing and the pairing's
+//! target group `GT`.
+
+use core::fmt;
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use rand::Rng;
+
+use super::Fq;
+use crate::traits::Field;
+
+/// An element `c0 + c1 * i` of the quadratic extension field.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Fq2 {
+    /// Coefficient of `1`.
+    pub c0: Fq,
+    /// Coefficient of `i`.
+    pub c1: Fq,
+}
+
+impl Fq2 {
+    /// Creates the element `c0 + c1 * i`.
+    pub const fn new(c0: Fq, c1: Fq) -> Self {
+        Fq2 { c0, c1 }
+    }
+
+    /// Embeds a base-field element.
+    pub fn from_base(c0: Fq) -> Self {
+        Fq2 { c0, c1: Fq::zero() }
+    }
+
+    /// The conjugate `c0 - c1 * i`, which equals the Frobenius map `x -> x^p`.
+    pub fn conjugate(&self) -> Self {
+        Fq2 {
+            c0: self.c0,
+            c1: -self.c1,
+        }
+    }
+
+    /// Frobenius endomorphism (`x -> x^p`); for `Fq2` this is conjugation.
+    pub fn frobenius(&self) -> Self {
+        self.conjugate()
+    }
+
+    /// The field norm `c0^2 + c1^2` down to `Fq`.
+    pub fn norm(&self) -> Fq {
+        self.c0.square() + self.c1.square()
+    }
+
+    fn mul_internal(&self, rhs: &Self) -> Self {
+        // Karatsuba: (a0 + a1 i)(b0 + b1 i) = (a0 b0 - a1 b1) + ((a0+a1)(b0+b1) - a0 b0 - a1 b1) i
+        let v0 = self.c0 * rhs.c0;
+        let v1 = self.c1 * rhs.c1;
+        let c0 = v0 - v1;
+        let c1 = (self.c0 + self.c1) * (rhs.c0 + rhs.c1) - v0 - v1;
+        Fq2 { c0, c1 }
+    }
+}
+
+impl fmt::Display for Fq2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} + {}*i)", self.c0, self.c1)
+    }
+}
+
+macro_rules! impl_fq2_binop {
+    ($trait:ident, $method:ident, |$a:ident, $b:ident| $body:expr) => {
+        impl $trait for Fq2 {
+            type Output = Fq2;
+            #[inline]
+            fn $method(self, rhs: Fq2) -> Fq2 {
+                let ($a, $b) = (&self, &rhs);
+                $body
+            }
+        }
+        impl<'a> $trait<&'a Fq2> for Fq2 {
+            type Output = Fq2;
+            #[inline]
+            fn $method(self, rhs: &'a Fq2) -> Fq2 {
+                let ($a, $b) = (&self, rhs);
+                $body
+            }
+        }
+    };
+}
+
+impl_fq2_binop!(Add, add, |a, b| Fq2 {
+    c0: a.c0 + b.c0,
+    c1: a.c1 + b.c1
+});
+impl_fq2_binop!(Sub, sub, |a, b| Fq2 {
+    c0: a.c0 - b.c0,
+    c1: a.c1 - b.c1
+});
+impl_fq2_binop!(Mul, mul, |a, b| a.mul_internal(b));
+
+impl AddAssign for Fq2 {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+impl SubAssign for Fq2 {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+impl MulAssign for Fq2 {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+impl Neg for Fq2 {
+    type Output = Fq2;
+    fn neg(self) -> Fq2 {
+        Fq2 {
+            c0: -self.c0,
+            c1: -self.c1,
+        }
+    }
+}
+impl Sum for Fq2 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Fq2::default(), |a, b| a + b)
+    }
+}
+impl Product for Fq2 {
+    fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Field::one(), |a, b| a * b)
+    }
+}
+
+impl Field for Fq2 {
+    fn zero() -> Self {
+        Fq2 {
+            c0: Fq::zero(),
+            c1: Fq::zero(),
+        }
+    }
+
+    fn one() -> Self {
+        Fq2 {
+            c0: Fq::one(),
+            c1: Fq::zero(),
+        }
+    }
+
+    fn is_zero(&self) -> bool {
+        self.c0.is_zero() && self.c1.is_zero()
+    }
+
+    fn square(&self) -> Self {
+        // (a + bi)^2 = (a+b)(a-b) + 2ab i
+        let ab = self.c0 * self.c1;
+        Fq2 {
+            c0: (self.c0 + self.c1) * (self.c0 - self.c1),
+            c1: ab + ab,
+        }
+    }
+
+    fn inverse(&self) -> Option<Self> {
+        // 1 / (a + bi) = (a - bi) / (a^2 + b^2)
+        self.norm().inverse().map(|n| Fq2 {
+            c0: self.c0 * n,
+            c1: -(self.c1 * n),
+        })
+    }
+
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        Fq2 {
+            c0: Fq::random(rng),
+            c1: Fq::random(rng),
+        }
+    }
+}

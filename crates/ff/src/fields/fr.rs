@@ -1,0 +1,24 @@
+//! The scalar field `Fr` — the prime-order subgroup size of the pairing
+//! group, and the field over which every constraint system in this workspace
+//! is expressed.
+
+use super::params;
+use crate::fp::{Fp, FpParams};
+
+/// Parameters of the scalar field.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FrParameters;
+
+impl FpParams for FrParameters {
+    const MODULUS: [u64; 4] = params::FR_MODULUS;
+    const R: [u64; 4] = params::FR_R;
+    const R2: [u64; 4] = params::FR_R2;
+    const INV: u64 = params::FR_INV;
+    const MODULUS_BITS: u32 = params::FR_MODULUS_BITS;
+    const TWO_ADICITY: u32 = params::FR_TWO_ADICITY;
+    const ROOT_OF_UNITY: [u64; 4] = params::FR_ROOT_OF_UNITY;
+    const GENERATOR: [u64; 4] = params::FR_GENERATOR;
+}
+
+/// The scalar field (order of G1). ~246 bits, 2-adicity 32.
+pub type Fr = Fp<FrParameters>;

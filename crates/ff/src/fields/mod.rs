@@ -1,0 +1,274 @@
+//! Concrete field instantiations used by the zkVC proof systems.
+//!
+//! * [`Fr`] — the ~246-bit scalar field (order of the pairing group G1);
+//!   all R1CS witnesses, QAP polynomials and sum-check messages live here.
+//! * [`Fq`] — the 252-bit base field of the curve `E: y^2 = x^3 + x`.
+//! * [`Fq2`] — the quadratic extension `Fq[i]/(i^2 + 1)`, target of the
+//!   embedding-degree-2 Tate pairing.
+
+pub mod params;
+
+mod fq;
+mod fq2;
+mod fr;
+
+pub use fq::{Fq, FqParameters};
+pub use fq2::Fq2;
+pub use fr::{Fr, FrParameters};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::{batch_inverse, Field, PrimeField};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0xDEC0DE)
+    }
+
+    fn arb_fr() -> impl Strategy<Value = Fr> {
+        any::<[u8; 32]>().prop_map(|b| Fr::from_bytes_le_mod_order(&b))
+    }
+
+    fn arb_fq() -> impl Strategy<Value = Fq> {
+        any::<[u8; 32]>().prop_map(|b| Fq::from_bytes_le_mod_order(&b))
+    }
+
+    #[test]
+    fn fr_basic_arithmetic() {
+        let two = Fr::from_u64(2);
+        let three = Fr::from_u64(3);
+        assert_eq!(two * three, Fr::from_u64(6));
+        assert_eq!(two + three, Fr::from_u64(5));
+        assert_eq!(three - two, Fr::from_u64(1));
+        assert_eq!(two - three, -Fr::from_u64(1));
+        assert_eq!(Fr::from_u64(0), Fr::zero());
+        assert_eq!(Fr::from_u64(1), Fr::one());
+        assert!(Fr::zero().is_zero());
+        assert!(!Fr::one().is_zero());
+    }
+
+    #[test]
+    fn fq_basic_arithmetic() {
+        let a = Fq::from_u64(123456789);
+        let b = Fq::from_u64(987654321);
+        assert_eq!(a * b, Fq::from_u64(123456789 * 987654321));
+        assert_eq!(a + b, Fq::from_u64(123456789 + 987654321));
+    }
+
+    #[test]
+    fn fr_fermat_little_theorem() {
+        let mut r = rng();
+        for _ in 0..8 {
+            let a = Fr::random(&mut r);
+            if a.is_zero() {
+                continue;
+            }
+            let mut exp = Fr::MODULUS;
+            exp[0] -= 1; // modulus is odd, no borrow
+            assert_eq!(a.pow(&exp), Fr::one());
+        }
+    }
+
+    #[test]
+    fn fq_fermat_little_theorem() {
+        let mut r = rng();
+        for _ in 0..8 {
+            let a = Fq::random(&mut r);
+            if a.is_zero() {
+                continue;
+            }
+            let mut exp = Fq::MODULUS;
+            exp[0] -= 1;
+            assert_eq!(a.pow(&exp), Fq::one());
+        }
+    }
+
+    #[test]
+    fn fr_inverse() {
+        let mut r = rng();
+        for _ in 0..16 {
+            let a = Fr::random(&mut r);
+            if a.is_zero() {
+                continue;
+            }
+            assert_eq!(a * a.inverse().unwrap(), Fr::one());
+        }
+        assert!(Fr::zero().inverse().is_none());
+    }
+
+    #[test]
+    fn fr_root_of_unity_has_correct_order() {
+        let omega = Fr::root_of_unity();
+        // omega^(2^TWO_ADICITY) == 1 and omega^(2^(TWO_ADICITY-1)) == -1
+        let mut x = omega;
+        for _ in 0..Fr::TWO_ADICITY - 1 {
+            x = x.square();
+        }
+        assert_eq!(x, -Fr::one());
+        assert_eq!(x.square(), Fr::one());
+    }
+
+    #[test]
+    fn fr_nth_root_of_unity() {
+        for log_n in [1u32, 4, 10, 16] {
+            let n = 1u64 << log_n;
+            let w = Fr::nth_root_of_unity(n).unwrap();
+            assert_eq!(w.pow(&[n]), Fr::one());
+            assert_ne!(w.pow(&[n / 2]), Fr::one());
+        }
+        assert!(Fr::nth_root_of_unity(3).is_none());
+        assert!(Fr::nth_root_of_unity(1u64 << 40).is_none());
+    }
+
+    #[test]
+    fn fr_generator_is_not_square_of_small_order() {
+        let g = Fr::multiplicative_generator();
+        assert!(!g.is_zero());
+        // g^((r-1)/2) must be -1 for a generator (it is a quadratic nonresidue).
+        assert_eq!(g.pow(&params::FR_MODULUS_MINUS_ONE_DIV_TWO), -Fr::one());
+    }
+
+    #[test]
+    fn fr_bytes_roundtrip() {
+        let mut r = rng();
+        for _ in 0..8 {
+            let a = Fr::random(&mut r);
+            let bytes = a.to_bytes_le();
+            assert_eq!(Fr::from_bytes_le(&bytes).unwrap(), a);
+        }
+        // Non-canonical bytes are rejected.
+        let mut max = [0xffu8; 32];
+        assert!(Fr::from_bytes_le(&max).is_none());
+        max[31] = 0;
+        // 248-bit value still exceeds the 246-bit modulus.
+        assert!(Fr::from_bytes_le(&max).is_none());
+    }
+
+    #[test]
+    fn fq_sqrt() {
+        let mut r = rng();
+        for _ in 0..8 {
+            let a = Fq::random(&mut r);
+            let sq = a.square();
+            let s = sq.sqrt().expect("square must have a root");
+            assert!(s == a || s == -a);
+        }
+    }
+
+    #[test]
+    fn fr_from_i64() {
+        assert_eq!(Fr::from_i64(-5) + Fr::from_u64(5), Fr::zero());
+        assert_eq!(Fr::from_i64(7), Fr::from_u64(7));
+        assert_eq!(Fr::from_i64(i64::MIN) + Fr::from_u128(1u128 << 63), Fr::zero());
+    }
+
+    #[test]
+    fn fr_from_u128() {
+        let v = 0x1234_5678_9abc_def0_1122_3344_5566_7788u128;
+        let expect = Fr::from_u64((v >> 64) as u64) * Fr::from_u64(2).pow(&[64]) + Fr::from_u64(v as u64);
+        assert_eq!(Fr::from_u128(v), expect);
+    }
+
+    #[test]
+    fn batch_inverse_matches_individual() {
+        let mut r = rng();
+        let mut v: Vec<Fr> = (0..20).map(|_| Fr::random(&mut r)).collect();
+        v[3] = Fr::zero();
+        v[11] = Fr::zero();
+        let expected: Vec<Fr> = v
+            .iter()
+            .map(|x| x.inverse().unwrap_or_else(Fr::zero))
+            .collect();
+        batch_inverse(&mut v);
+        assert_eq!(v, expected);
+    }
+
+    #[test]
+    fn fq2_is_a_field() {
+        let mut r = rng();
+        for _ in 0..8 {
+            let a = Fq2::random(&mut r);
+            let b = Fq2::random(&mut r);
+            let c = Fq2::random(&mut r);
+            assert_eq!((a + b) * c, a * c + b * c);
+            assert_eq!(a * b, b * a);
+            if !a.is_zero() {
+                assert_eq!(a * a.inverse().unwrap(), Fq2::one());
+            }
+        }
+    }
+
+    #[test]
+    fn fq2_nonresidue_structure() {
+        // i^2 == -1
+        let i = Fq2::new(Fq::zero(), Fq::one());
+        assert_eq!(i * i, -Fq2::one());
+        // conjugation is the Frobenius map x -> x^p
+        let mut r = rng();
+        let a = Fq2::random(&mut r);
+        assert_eq!(a.frobenius(), a.pow(&Fq::MODULUS));
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        let x = Fr::from_u64(42);
+        assert_eq!(format!("{x}"), "42");
+        assert!(format!("{x:?}").contains("Fp"));
+        let y = Fq2::new(Fq::from_u64(1), Fq::from_u64(2));
+        assert!(!format!("{y}").is_empty());
+        assert!(!format!("{y:?}").is_empty());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fr_add_commutative(a in arb_fr(), b in arb_fr()) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn prop_fr_mul_associative(a in arb_fr(), b in arb_fr(), c in arb_fr()) {
+            prop_assert_eq!((a * b) * c, a * (b * c));
+        }
+
+        #[test]
+        fn prop_fr_distributive(a in arb_fr(), b in arb_fr(), c in arb_fr()) {
+            prop_assert_eq!(a * (b + c), a * b + a * c);
+        }
+
+        #[test]
+        fn prop_fr_sub_is_add_neg(a in arb_fr(), b in arb_fr()) {
+            prop_assert_eq!(a - b, a + (-b));
+        }
+
+        #[test]
+        fn prop_fr_double_and_square(a in arb_fr()) {
+            prop_assert_eq!(a.double(), a + a);
+            prop_assert_eq!(a.square(), a * a);
+        }
+
+        #[test]
+        fn prop_fr_inverse(a in arb_fr()) {
+            if !a.is_zero() {
+                prop_assert_eq!(a * a.inverse().unwrap(), Fr::one());
+            }
+        }
+
+        #[test]
+        fn prop_fr_canonical_roundtrip(a in arb_fr()) {
+            prop_assert_eq!(Fr::from_canonical(a.to_canonical()).unwrap(), a);
+        }
+
+        #[test]
+        fn prop_fq_mul_associative(a in arb_fq(), b in arb_fq(), c in arb_fq()) {
+            prop_assert_eq!((a * b) * c, a * (b * c));
+        }
+
+        #[test]
+        fn prop_fq_add_neg_is_zero(a in arb_fq()) {
+            prop_assert_eq!(a + (-a), Fq::zero());
+        }
+    }
+}

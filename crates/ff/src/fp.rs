@@ -1,0 +1,407 @@
+//! Generic 256-bit prime field in Montgomery form.
+//!
+//! The concrete fields [`crate::fields::Fr`] and [`crate::fields::Fq`] are
+//! instantiations of [`Fp`] with their parameter types. All arithmetic is
+//! branch-free four-limb Montgomery arithmetic (CIOS-style reduction of the
+//! full 512-bit product).
+
+use core::fmt;
+use core::hash::{Hash, Hasher};
+use core::iter::{Product, Sum};
+use core::marker::PhantomData;
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use rand::Rng;
+
+use crate::arith::{adc, bit_4, lt_4, mac, sbb};
+use crate::traits::{Field, PrimeField};
+
+/// Compile-time parameters describing a prime field.
+pub trait FpParams: 'static + Copy + Clone + Send + Sync + core::fmt::Debug {
+    /// The modulus, little-endian limbs. Must be an odd prime `< 2^255`.
+    const MODULUS: [u64; 4];
+    /// `2^256 mod MODULUS` (the Montgomery radix).
+    const R: [u64; 4];
+    /// `R^2 mod MODULUS`.
+    const R2: [u64; 4];
+    /// `-MODULUS^{-1} mod 2^64`.
+    const INV: u64;
+    /// Number of significant bits of the modulus.
+    const MODULUS_BITS: u32;
+    /// 2-adicity of the multiplicative group (0 when unused).
+    const TWO_ADICITY: u32;
+    /// A primitive `2^TWO_ADICITY`-th root of unity, standard form limbs.
+    const ROOT_OF_UNITY: [u64; 4];
+    /// A multiplicative generator of the field, standard form limbs.
+    const GENERATOR: [u64; 4];
+}
+
+/// An element of the prime field described by `P`, kept in Montgomery form.
+#[derive(Copy, Clone)]
+pub struct Fp<P: FpParams>(pub(crate) [u64; 4], pub(crate) PhantomData<P>);
+
+impl<P: FpParams> Fp<P> {
+    /// The zero element.
+    pub const fn zero_const() -> Self {
+        Fp([0, 0, 0, 0], PhantomData)
+    }
+
+    /// Builds an element directly from Montgomery-form limbs.
+    ///
+    /// Intended for constants produced by the parameter generator; the caller
+    /// must guarantee the limbs are reduced.
+    pub const fn from_montgomery_limbs(limbs: [u64; 4]) -> Self {
+        Fp(limbs, PhantomData)
+    }
+
+    /// The raw Montgomery-form limbs.
+    pub const fn montgomery_limbs(&self) -> [u64; 4] {
+        self.0
+    }
+
+    #[inline]
+    fn subtract_p(&self) -> Self {
+        let (r0, borrow) = sbb(self.0[0], P::MODULUS[0], 0);
+        let (r1, borrow) = sbb(self.0[1], P::MODULUS[1], borrow);
+        let (r2, borrow) = sbb(self.0[2], P::MODULUS[2], borrow);
+        let (r3, borrow) = sbb(self.0[3], P::MODULUS[3], borrow);
+        // If the subtraction underflowed, keep the original limbs.
+        let r0 = (self.0[0] & borrow) | (r0 & !borrow);
+        let r1 = (self.0[1] & borrow) | (r1 & !borrow);
+        let r2 = (self.0[2] & borrow) | (r2 & !borrow);
+        let r3 = (self.0[3] & borrow) | (r3 & !borrow);
+        Fp([r0, r1, r2, r3], PhantomData)
+    }
+
+    #[inline]
+    fn montgomery_reduce(t: [u64; 8]) -> Self {
+        let [r0, r1, r2, r3, r4, r5, r6, r7] = t;
+
+        let k = r0.wrapping_mul(P::INV);
+        let (_, carry) = mac(r0, k, P::MODULUS[0], 0);
+        let (r1, carry) = mac(r1, k, P::MODULUS[1], carry);
+        let (r2, carry) = mac(r2, k, P::MODULUS[2], carry);
+        let (r3, carry) = mac(r3, k, P::MODULUS[3], carry);
+        let (r4, carry2) = adc(r4, 0, carry);
+
+        let k = r1.wrapping_mul(P::INV);
+        let (_, carry) = mac(r1, k, P::MODULUS[0], 0);
+        let (r2, carry) = mac(r2, k, P::MODULUS[1], carry);
+        let (r3, carry) = mac(r3, k, P::MODULUS[2], carry);
+        let (r4, carry) = mac(r4, k, P::MODULUS[3], carry);
+        let (r5, carry2) = adc(r5, carry2, carry);
+
+        let k = r2.wrapping_mul(P::INV);
+        let (_, carry) = mac(r2, k, P::MODULUS[0], 0);
+        let (r3, carry) = mac(r3, k, P::MODULUS[1], carry);
+        let (r4, carry) = mac(r4, k, P::MODULUS[2], carry);
+        let (r5, carry) = mac(r5, k, P::MODULUS[3], carry);
+        let (r6, carry2) = adc(r6, carry2, carry);
+
+        let k = r3.wrapping_mul(P::INV);
+        let (_, carry) = mac(r3, k, P::MODULUS[0], 0);
+        let (r4, carry) = mac(r4, k, P::MODULUS[1], carry);
+        let (r5, carry) = mac(r5, k, P::MODULUS[2], carry);
+        let (r6, carry) = mac(r6, k, P::MODULUS[3], carry);
+        let (r7, _) = adc(r7, carry2, carry);
+
+        Fp([r4, r5, r6, r7], PhantomData).subtract_p()
+    }
+
+    #[inline]
+    fn mul_internal(&self, rhs: &Self) -> Self {
+        let (t0, carry) = mac(0, self.0[0], rhs.0[0], 0);
+        let (t1, carry) = mac(0, self.0[0], rhs.0[1], carry);
+        let (t2, carry) = mac(0, self.0[0], rhs.0[2], carry);
+        let (t3, t4) = mac(0, self.0[0], rhs.0[3], carry);
+
+        let (t1, carry) = mac(t1, self.0[1], rhs.0[0], 0);
+        let (t2, carry) = mac(t2, self.0[1], rhs.0[1], carry);
+        let (t3, carry) = mac(t3, self.0[1], rhs.0[2], carry);
+        let (t4, t5) = mac(t4, self.0[1], rhs.0[3], carry);
+
+        let (t2, carry) = mac(t2, self.0[2], rhs.0[0], 0);
+        let (t3, carry) = mac(t3, self.0[2], rhs.0[1], carry);
+        let (t4, carry) = mac(t4, self.0[2], rhs.0[2], carry);
+        let (t5, t6) = mac(t5, self.0[2], rhs.0[3], carry);
+
+        let (t3, carry) = mac(t3, self.0[3], rhs.0[0], 0);
+        let (t4, carry) = mac(t4, self.0[3], rhs.0[1], carry);
+        let (t5, carry) = mac(t5, self.0[3], rhs.0[2], carry);
+        let (t6, t7) = mac(t6, self.0[3], rhs.0[3], carry);
+
+        Self::montgomery_reduce([t0, t1, t2, t3, t4, t5, t6, t7])
+    }
+
+    #[inline]
+    fn add_internal(&self, rhs: &Self) -> Self {
+        let (d0, carry) = adc(self.0[0], rhs.0[0], 0);
+        let (d1, carry) = adc(self.0[1], rhs.0[1], carry);
+        let (d2, carry) = adc(self.0[2], rhs.0[2], carry);
+        let (d3, _) = adc(self.0[3], rhs.0[3], carry);
+        Fp([d0, d1, d2, d3], PhantomData).subtract_p()
+    }
+
+    #[inline]
+    fn sub_internal(&self, rhs: &Self) -> Self {
+        let (d0, borrow) = sbb(self.0[0], rhs.0[0], 0);
+        let (d1, borrow) = sbb(self.0[1], rhs.0[1], borrow);
+        let (d2, borrow) = sbb(self.0[2], rhs.0[2], borrow);
+        let (d3, borrow) = sbb(self.0[3], rhs.0[3], borrow);
+        // If we underflowed, add back the modulus (borrow is an all-ones mask).
+        let (d0, carry) = adc(d0, P::MODULUS[0] & borrow, 0);
+        let (d1, carry) = adc(d1, P::MODULUS[1] & borrow, carry);
+        let (d2, carry) = adc(d2, P::MODULUS[2] & borrow, carry);
+        let (d3, _) = adc(d3, P::MODULUS[3] & borrow, carry);
+        Fp([d0, d1, d2, d3], PhantomData)
+    }
+
+    #[inline]
+    fn neg_internal(&self) -> Self {
+        let (d0, borrow) = sbb(P::MODULUS[0], self.0[0], 0);
+        let (d1, borrow) = sbb(P::MODULUS[1], self.0[1], borrow);
+        let (d2, borrow) = sbb(P::MODULUS[2], self.0[2], borrow);
+        let (d3, _) = sbb(P::MODULUS[3], self.0[3], borrow);
+        // Mask to zero when the input was zero.
+        let mask = if crate::arith::is_zero_4(&self.0) { 0 } else { u64::MAX };
+        Fp([d0 & mask, d1 & mask, d2 & mask, d3 & mask], PhantomData)
+    }
+
+    /// Exponentiation by the modulus minus two (Fermat inversion helper).
+    fn pow_p_minus_2(&self) -> Self {
+        let (m, _) = crate::arith::sub_4(&P::MODULUS, &[2, 0, 0, 0]);
+        Field::pow(self, &m)
+    }
+}
+
+impl<P: FpParams> Default for Fp<P> {
+    fn default() -> Self {
+        Self::zero_const()
+    }
+}
+
+impl<P: FpParams> PartialEq for Fp<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+impl<P: FpParams> Eq for Fp<P> {}
+
+impl<P: FpParams> Hash for Fp<P> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+impl<P: FpParams> PartialOrd for Fp<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<P: FpParams> Ord for Fp<P> {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        let a = self.to_canonical();
+        let b = other.to_canonical();
+        if a == b {
+            core::cmp::Ordering::Equal
+        } else if lt_4(&a, &b) {
+            core::cmp::Ordering::Less
+        } else {
+            core::cmp::Ordering::Greater
+        }
+    }
+}
+
+impl<P: FpParams> fmt::Debug for Fp<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = self.to_canonical();
+        write!(f, "Fp(0x")?;
+        for limb in c.iter().rev() {
+            write!(f, "{limb:016x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl<P: FpParams> fmt::Display for Fp<P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = self.to_canonical();
+        if c[1] == 0 && c[2] == 0 && c[3] == 0 {
+            write!(f, "{}", c[0])
+        } else {
+            write!(f, "0x")?;
+            for limb in c.iter().rev() {
+                write!(f, "{limb:016x}")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+macro_rules! impl_binop {
+    ($trait:ident, $method:ident, $internal:ident) => {
+        impl<P: FpParams> $trait for Fp<P> {
+            type Output = Fp<P>;
+            #[inline]
+            fn $method(self, rhs: Fp<P>) -> Fp<P> {
+                self.$internal(&rhs)
+            }
+        }
+        impl<'a, P: FpParams> $trait<&'a Fp<P>> for Fp<P> {
+            type Output = Fp<P>;
+            #[inline]
+            fn $method(self, rhs: &'a Fp<P>) -> Fp<P> {
+                self.$internal(rhs)
+            }
+        }
+        impl<'a, 'b, P: FpParams> $trait<&'b Fp<P>> for &'a Fp<P> {
+            type Output = Fp<P>;
+            #[inline]
+            fn $method(self, rhs: &'b Fp<P>) -> Fp<P> {
+                self.$internal(rhs)
+            }
+        }
+    };
+}
+
+impl_binop!(Add, add, add_internal);
+impl_binop!(Sub, sub, sub_internal);
+impl_binop!(Mul, mul, mul_internal);
+
+impl<P: FpParams> AddAssign for Fp<P> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        *self = self.add_internal(&rhs);
+    }
+}
+impl<P: FpParams> SubAssign for Fp<P> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = self.sub_internal(&rhs);
+    }
+}
+impl<P: FpParams> MulAssign for Fp<P> {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = self.mul_internal(&rhs);
+    }
+}
+
+impl<P: FpParams> Neg for Fp<P> {
+    type Output = Fp<P>;
+    #[inline]
+    fn neg(self) -> Fp<P> {
+        self.neg_internal()
+    }
+}
+
+impl<P: FpParams> Sum for Fp<P> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::zero_const(), |acc, x| acc + x)
+    }
+}
+
+impl<P: FpParams> Product for Fp<P> {
+    fn product<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(<Self as Field>::one(), |acc, x| acc * x)
+    }
+}
+
+impl<P: FpParams> From<u64> for Fp<P> {
+    fn from(v: u64) -> Self {
+        Self::from_u64(v)
+    }
+}
+
+impl<P: FpParams> Field for Fp<P> {
+    fn zero() -> Self {
+        Self::zero_const()
+    }
+
+    fn one() -> Self {
+        Fp(P::R, PhantomData)
+    }
+
+    fn is_zero(&self) -> bool {
+        crate::arith::is_zero_4(&self.0)
+    }
+
+    fn square(&self) -> Self {
+        self.mul_internal(self)
+    }
+
+    fn inverse(&self) -> Option<Self> {
+        if self.is_zero() {
+            None
+        } else {
+            Some(self.pow_p_minus_2())
+        }
+    }
+
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        loop {
+            let mut limbs = [0u64; 4];
+            for l in limbs.iter_mut() {
+                *l = rng.gen();
+            }
+            // Mask away bits above the modulus to make rejection fast.
+            let shift = 256 - P::MODULUS_BITS;
+            limbs[3] &= u64::MAX >> shift.min(64);
+            if lt_4(&limbs, &P::MODULUS) {
+                // Convert canonical -> Montgomery.
+                return Fp(limbs, PhantomData) * Fp(P::R2, PhantomData);
+            }
+        }
+    }
+}
+
+impl<P: FpParams> PrimeField for Fp<P> {
+    const MODULUS: [u64; 4] = P::MODULUS;
+    const MODULUS_BITS: u32 = P::MODULUS_BITS;
+    const TWO_ADICITY: u32 = P::TWO_ADICITY;
+
+    fn from_u64(v: u64) -> Self {
+        Fp([v, 0, 0, 0], PhantomData) * Fp(P::R2, PhantomData)
+    }
+
+    fn to_canonical(&self) -> [u64; 4] {
+        Self::montgomery_reduce([self.0[0], self.0[1], self.0[2], self.0[3], 0, 0, 0, 0]).0
+    }
+
+    fn from_canonical(limbs: [u64; 4]) -> Option<Self> {
+        if lt_4(&limbs, &P::MODULUS) {
+            Some(Fp(limbs, PhantomData) * Fp(P::R2, PhantomData))
+        } else {
+            None
+        }
+    }
+
+    fn multiplicative_generator() -> Self {
+        Self::from_canonical_reduced(P::GENERATOR)
+    }
+
+    fn root_of_unity() -> Self {
+        Self::from_canonical_reduced(P::ROOT_OF_UNITY)
+    }
+}
+
+/// Square root in fields where the modulus is `3 mod 4`, via `x^{(p+1)/4}`.
+///
+/// Returns `None` if the element is a non-residue.
+pub fn sqrt_3mod4<P: FpParams>(x: &Fp<P>, p_plus_one_div_four: &[u64; 4]) -> Option<Fp<P>> {
+    if x.is_zero() {
+        return Some(*x);
+    }
+    let cand = Field::pow(x, p_plus_one_div_four);
+    if cand.square() == *x {
+        Some(cand)
+    } else {
+        None
+    }
+}
+
+/// Returns true iff bit `i` of the canonical form of `x` is set.
+pub fn canonical_bit<P: FpParams>(x: &Fp<P>, i: u32) -> bool {
+    bit_4(&x.to_canonical(), i)
+}

@@ -1,0 +1,331 @@
+//! Dense univariate polynomials over a prime field.
+
+use core::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+use crate::traits::{Field, PrimeField};
+
+use super::EvaluationDomain;
+
+/// A dense univariate polynomial, stored as coefficients in increasing degree
+/// order (`coeffs[i]` is the coefficient of `X^i`).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct DensePolynomial<F: Field> {
+    /// Coefficients, lowest degree first. Trailing zeros are trimmed.
+    pub coeffs: Vec<F>,
+}
+
+impl<F: Field> DensePolynomial<F> {
+    /// Creates a polynomial from coefficients (lowest degree first),
+    /// trimming trailing zeros.
+    pub fn from_coeffs(mut coeffs: Vec<F>) -> Self {
+        while coeffs.last().map(Field::is_zero).unwrap_or(false) {
+            coeffs.pop();
+        }
+        DensePolynomial { coeffs }
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        DensePolynomial { coeffs: vec![] }
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: F) -> Self {
+        Self::from_coeffs(vec![c])
+    }
+
+    /// Returns `true` iff this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// Degree of the polynomial (0 for the zero polynomial).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len().saturating_sub(1)
+    }
+
+    /// Evaluates the polynomial at `x` using Horner's rule.
+    pub fn evaluate(&self, x: &F) -> F {
+        let mut acc = F::zero();
+        for c in self.coeffs.iter().rev() {
+            acc = acc * *x + *c;
+        }
+        acc
+    }
+
+    /// Schoolbook multiplication; used for small polynomials and as a
+    /// reference for the FFT-based product.
+    pub fn naive_mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let mut out = vec![F::zero(); self.coeffs.len() + other.coeffs.len() - 1];
+        for (i, a) in self.coeffs.iter().enumerate() {
+            if a.is_zero() {
+                continue;
+            }
+            for (j, b) in other.coeffs.iter().enumerate() {
+                out[i + j] += *a * *b;
+            }
+        }
+        Self::from_coeffs(out)
+    }
+
+    /// Multiplies two polynomials by a scalar.
+    pub fn scale(&self, k: &F) -> Self {
+        Self::from_coeffs(self.coeffs.iter().map(|c| *c * *k).collect())
+    }
+
+    /// Long division by another polynomial, returning `(quotient, remainder)`.
+    ///
+    /// # Panics
+    /// Panics if the divisor is zero.
+    pub fn divide_with_remainder(&self, divisor: &Self) -> (Self, Self) {
+        assert!(!divisor.is_zero(), "division by the zero polynomial");
+        if self.degree() < divisor.degree() || self.is_zero() {
+            return (Self::zero(), self.clone());
+        }
+        let mut remainder = self.coeffs.clone();
+        let d = divisor.degree();
+        let lead_inv = divisor.coeffs[d]
+            .inverse()
+            .expect("leading coefficient is non-zero by construction");
+        let mut quotient = vec![F::zero(); self.degree() - d + 1];
+        for i in (d..remainder.len()).rev() {
+            let q = remainder[i] * lead_inv;
+            quotient[i - d] = q;
+            if q.is_zero() {
+                continue;
+            }
+            for (j, dc) in divisor.coeffs.iter().enumerate() {
+                let idx = i - d + j;
+                let sub = *dc * q;
+                remainder[idx] = remainder[idx] - sub;
+            }
+        }
+        remainder.truncate(d);
+        (Self::from_coeffs(quotient), Self::from_coeffs(remainder))
+    }
+}
+
+impl<F: PrimeField> DensePolynomial<F> {
+    /// FFT-based multiplication over a prime field with sufficient 2-adicity.
+    pub fn fft_mul(&self, other: &Self) -> Self {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let result_len = self.coeffs.len() + other.coeffs.len() - 1;
+        let domain = match EvaluationDomain::<F>::new(result_len) {
+            Some(d) => d,
+            None => return self.naive_mul(other),
+        };
+        let mut a = self.coeffs.clone();
+        let mut b = other.coeffs.clone();
+        a.resize(domain.size(), F::zero());
+        b.resize(domain.size(), F::zero());
+        domain.fft_in_place(&mut a);
+        domain.fft_in_place(&mut b);
+        for (x, y) in a.iter_mut().zip(b.iter()) {
+            *x *= *y;
+        }
+        domain.ifft_in_place(&mut a);
+        a.truncate(result_len);
+        Self::from_coeffs(a)
+    }
+
+    /// Lagrange interpolation through `(points[i], values[i])` pairs.
+    ///
+    /// Runs in `O(n^2)`; intended for small instances and tests (the QAP
+    /// reduction uses FFT-domain interpolation instead).
+    ///
+    /// # Panics
+    /// Panics if `points` contains duplicates or lengths differ.
+    pub fn interpolate(points: &[F], values: &[F]) -> Self {
+        assert_eq!(points.len(), values.len(), "points/values length mismatch");
+        let mut acc = Self::zero();
+        for (i, (xi, yi)) in points.iter().zip(values.iter()).enumerate() {
+            // numerator: prod_{j != i} (X - xj), denominator: prod (xi - xj)
+            let mut num = Self::constant(F::one());
+            let mut denom = F::one();
+            for (j, xj) in points.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                num = num.naive_mul(&Self::from_coeffs(vec![-*xj, F::one()]));
+                denom *= *xi - *xj;
+            }
+            let denom_inv = denom
+                .inverse()
+                .expect("interpolation points must be distinct");
+            acc = acc + num.scale(&(*yi * denom_inv));
+        }
+        acc
+    }
+}
+
+impl<F: Field> Add for DensePolynomial<F> {
+    type Output = DensePolynomial<F>;
+    fn add(self, rhs: Self) -> Self {
+        &self + &rhs
+    }
+}
+
+impl<'a, F: Field> Add<&'a DensePolynomial<F>> for &DensePolynomial<F> {
+    type Output = DensePolynomial<F>;
+    fn add(self, rhs: &'a DensePolynomial<F>) -> DensePolynomial<F> {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let mut out = vec![F::zero(); n];
+        for (i, c) in self.coeffs.iter().enumerate() {
+            out[i] += *c;
+        }
+        for (i, c) in rhs.coeffs.iter().enumerate() {
+            out[i] += *c;
+        }
+        DensePolynomial::from_coeffs(out)
+    }
+}
+
+impl<F: Field> AddAssign<&DensePolynomial<F>> for DensePolynomial<F> {
+    fn add_assign(&mut self, rhs: &DensePolynomial<F>) {
+        *self = &*self + rhs;
+    }
+}
+
+impl<F: Field> Sub for DensePolynomial<F> {
+    type Output = DensePolynomial<F>;
+    fn sub(self, rhs: Self) -> Self {
+        &self - &rhs
+    }
+}
+
+impl<'a, F: Field> Sub<&'a DensePolynomial<F>> for &DensePolynomial<F> {
+    type Output = DensePolynomial<F>;
+    fn sub(self, rhs: &'a DensePolynomial<F>) -> DensePolynomial<F> {
+        let n = self.coeffs.len().max(rhs.coeffs.len());
+        let mut out = vec![F::zero(); n];
+        for (i, c) in self.coeffs.iter().enumerate() {
+            out[i] += *c;
+        }
+        for (i, c) in rhs.coeffs.iter().enumerate() {
+            out[i] -= *c;
+        }
+        DensePolynomial::from_coeffs(out)
+    }
+}
+
+impl<F: Field> Neg for DensePolynomial<F> {
+    type Output = DensePolynomial<F>;
+    fn neg(self) -> Self {
+        DensePolynomial::from_coeffs(self.coeffs.into_iter().map(|c| -c).collect())
+    }
+}
+
+impl<F: PrimeField> Mul for &DensePolynomial<F> {
+    type Output = DensePolynomial<F>;
+    fn mul(self, rhs: Self) -> DensePolynomial<F> {
+        if self.coeffs.len().min(rhs.coeffs.len()) <= 32 {
+            self.naive_mul(rhs)
+        } else {
+            self.fft_mul(rhs)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::Fr;
+    use crate::traits::PrimeField;
+    use proptest::prelude::*;
+
+    fn poly(v: &[u64]) -> DensePolynomial<Fr> {
+        DensePolynomial::from_coeffs(v.iter().map(|x| Fr::from_u64(*x)).collect())
+    }
+
+    #[test]
+    fn trims_trailing_zeros() {
+        let p = DensePolynomial::from_coeffs(vec![Fr::from_u64(1), Fr::zero(), Fr::zero()]);
+        assert_eq!(p.degree(), 0);
+        assert_eq!(p.coeffs.len(), 1);
+        assert!(DensePolynomial::<Fr>::from_coeffs(vec![Fr::zero()]).is_zero());
+    }
+
+    #[test]
+    fn evaluate_horner() {
+        // p(x) = 1 + 2x + 3x^2 at x = 5 -> 1 + 10 + 75 = 86
+        let p = poly(&[1, 2, 3]);
+        assert_eq!(p.evaluate(&Fr::from_u64(5)), Fr::from_u64(86));
+        assert_eq!(DensePolynomial::<Fr>::zero().evaluate(&Fr::from_u64(5)), Fr::zero());
+    }
+
+    #[test]
+    fn naive_mul_small() {
+        // (1 + x)(1 - x) = 1 - x^2
+        let a = DensePolynomial::from_coeffs(vec![Fr::one(), Fr::one()]);
+        let b = DensePolynomial::from_coeffs(vec![Fr::one(), -Fr::one()]);
+        let c = a.naive_mul(&b);
+        assert_eq!(c.coeffs, vec![Fr::one(), Fr::zero(), -Fr::one()]);
+    }
+
+    #[test]
+    fn division_with_remainder() {
+        // x^3 - 1 = (x - 1)(x^2 + x + 1)
+        let num = DensePolynomial::from_coeffs(vec![-Fr::one(), Fr::zero(), Fr::zero(), Fr::one()]);
+        let div = DensePolynomial::from_coeffs(vec![-Fr::one(), Fr::one()]);
+        let (q, r) = num.divide_with_remainder(&div);
+        assert!(r.is_zero());
+        assert_eq!(q, poly(&[1, 1, 1]));
+
+        // remainder case: x^2 + 1 divided by x + 1 -> q = x - 1, r = 2
+        let num = poly(&[1, 0, 1]);
+        let div = poly(&[1, 1]);
+        let (q, r) = num.divide_with_remainder(&div);
+        assert_eq!(q, DensePolynomial::from_coeffs(vec![-Fr::one(), Fr::one()]));
+        assert_eq!(r, poly(&[2]));
+    }
+
+    #[test]
+    fn interpolation_recovers_polynomial() {
+        let p = poly(&[3, 1, 4, 1, 5]);
+        let points: Vec<Fr> = (10..15).map(Fr::from_u64).collect();
+        let values: Vec<Fr> = points.iter().map(|x| p.evaluate(x)).collect();
+        let q = DensePolynomial::interpolate(&points, &values);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn fft_mul_matches_naive() {
+        let a = poly(&(0..100).collect::<Vec<u64>>());
+        let b = poly(&(1..80).collect::<Vec<u64>>());
+        assert_eq!(a.fft_mul(&b), a.naive_mul(&b));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_mul_then_divide(a in prop::collection::vec(1u64..1000, 1..12),
+                                b in prop::collection::vec(1u64..1000, 1..12)) {
+            let pa = poly(&a);
+            let pb = poly(&b);
+            if pa.is_zero() || pb.is_zero() { return Ok(()); }
+            let prod = pa.naive_mul(&pb);
+            let (q, r) = prod.divide_with_remainder(&pb);
+            prop_assert!(r.is_zero());
+            prop_assert_eq!(q, pa);
+        }
+
+        #[test]
+        fn prop_eval_homomorphism(a in prop::collection::vec(0u64..1000, 0..10),
+                                  b in prop::collection::vec(0u64..1000, 0..10),
+                                  x in 0u64..10_000) {
+            let pa = poly(&a);
+            let pb = poly(&b);
+            let x = Fr::from_u64(x);
+            let sum = &pa + &pb;
+            let prod = pa.naive_mul(&pb);
+            prop_assert_eq!(sum.evaluate(&x), pa.evaluate(&x) + pb.evaluate(&x));
+            prop_assert_eq!(prod.evaluate(&x), pa.evaluate(&x) * pb.evaluate(&x));
+        }
+    }
+}

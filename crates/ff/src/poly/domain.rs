@@ -1,0 +1,305 @@
+//! Radix-2 FFT evaluation domains over a prime field.
+//!
+//! A domain of size `n = 2^k` is the set of `n`-th roots of unity
+//! `{1, w, w^2, ...}`. It supports forward/inverse FFTs, evaluation of the
+//! vanishing polynomial `Z(X) = X^n - 1`, Lagrange-coefficient computation
+//! and coset FFTs — everything the QAP reduction and the Groth16 prover need.
+
+use crate::traits::PrimeField;
+
+/// A multiplicative subgroup of order `2^k` used for polynomial interpolation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EvaluationDomain<F: PrimeField> {
+    size: usize,
+    log_size: u32,
+    /// Primitive `size`-th root of unity.
+    pub group_gen: F,
+    /// Inverse of `group_gen`.
+    pub group_gen_inv: F,
+    /// `size` as a field element, inverted (for iFFT normalisation).
+    pub size_inv: F,
+    /// Multiplicative coset shift used by [`Self::coset_fft_in_place`].
+    pub coset_shift: F,
+}
+
+impl<F: PrimeField> EvaluationDomain<F> {
+    /// Creates the smallest power-of-two domain with at least `min_size`
+    /// elements, or `None` if the field's 2-adicity is insufficient.
+    pub fn new(min_size: usize) -> Option<Self> {
+        let size = min_size.max(1).next_power_of_two();
+        let log_size = size.trailing_zeros();
+        if log_size > F::TWO_ADICITY {
+            return None;
+        }
+        let group_gen = F::nth_root_of_unity(size as u64)?;
+        let group_gen_inv = group_gen.inverse()?;
+        let size_inv = F::from_u64(size as u64).inverse()?;
+        Some(EvaluationDomain {
+            size,
+            log_size,
+            group_gen,
+            group_gen_inv,
+            size_inv,
+            coset_shift: F::multiplicative_generator(),
+        })
+    }
+
+    /// The number of elements in the domain.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// log2 of the domain size.
+    pub fn log_size(&self) -> u32 {
+        self.log_size
+    }
+
+    /// The `i`-th domain element `w^i`.
+    pub fn element(&self, i: usize) -> F {
+        self.group_gen.pow(&[i as u64])
+    }
+
+    /// All domain elements in order.
+    pub fn elements(&self) -> Vec<F> {
+        let mut out = Vec::with_capacity(self.size);
+        let mut cur = F::one();
+        for _ in 0..self.size {
+            out.push(cur);
+            cur *= self.group_gen;
+        }
+        out
+    }
+
+    /// Evaluates the vanishing polynomial `Z(X) = X^n - 1` at `x`.
+    pub fn evaluate_vanishing_polynomial(&self, x: &F) -> F {
+        x.pow(&[self.size as u64]) - F::one()
+    }
+
+    /// In-place forward FFT: coefficients -> evaluations over the domain.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != self.size()`.
+    pub fn fft_in_place(&self, values: &mut [F]) {
+        assert_eq!(values.len(), self.size, "FFT input must match domain size");
+        Self::radix2_fft(values, self.group_gen);
+    }
+
+    /// In-place inverse FFT: evaluations -> coefficients.
+    pub fn ifft_in_place(&self, values: &mut [F]) {
+        assert_eq!(values.len(), self.size, "iFFT input must match domain size");
+        Self::radix2_fft(values, self.group_gen_inv);
+        for v in values.iter_mut() {
+            *v *= self.size_inv;
+        }
+    }
+
+    /// Forward FFT over the coset `shift * H`.
+    pub fn coset_fft_in_place(&self, values: &mut [F]) {
+        Self::distribute_powers(values, self.coset_shift);
+        self.fft_in_place(values);
+    }
+
+    /// Inverse FFT over the coset `shift * H`.
+    pub fn coset_ifft_in_place(&self, values: &mut [F]) {
+        self.ifft_in_place(values);
+        let shift_inv = self
+            .coset_shift
+            .inverse()
+            .expect("coset shift is non-zero");
+        Self::distribute_powers(values, shift_inv);
+    }
+
+    /// Evaluates the vanishing polynomial on the coset `shift * H`, where it
+    /// is the constant `shift^n - 1`.
+    pub fn vanishing_on_coset(&self) -> F {
+        self.coset_shift.pow(&[self.size as u64]) - F::one()
+    }
+
+    /// Evaluates all `n` Lagrange basis polynomials at the point `tau`.
+    ///
+    /// `L_i(tau) = Z(tau) / (n * (tau - w^i)) * w^i`.
+    pub fn lagrange_coefficients_at(&self, tau: &F) -> Vec<F> {
+        let z = self.evaluate_vanishing_polynomial(tau);
+        if z.is_zero() {
+            // tau is in the domain: indicator vector.
+            return self
+                .elements()
+                .iter()
+                .map(|e| if e == tau { F::one() } else { F::zero() })
+                .collect();
+        }
+        let mut denoms: Vec<F> = self.elements().iter().map(|e| *tau - *e).collect();
+        crate::traits::batch_inverse(&mut denoms);
+        let zn = z * self.size_inv;
+        self.elements()
+            .iter()
+            .zip(denoms.iter())
+            .map(|(e, d)| zn * *e * *d)
+            .collect()
+    }
+
+    /// Interpolates evaluations over the domain into coefficient form.
+    pub fn interpolate(&self, mut evals: Vec<F>) -> Vec<F> {
+        evals.resize(self.size, F::zero());
+        self.ifft_in_place(&mut evals);
+        evals
+    }
+
+    /// Evaluates coefficient-form polynomial over the whole domain.
+    pub fn evaluate_all(&self, coeffs: &[F]) -> Vec<F> {
+        let mut vals = coeffs.to_vec();
+        vals.resize(self.size, F::zero());
+        self.fft_in_place(&mut vals);
+        vals
+    }
+
+    fn distribute_powers(values: &mut [F], g: F) {
+        let mut pow = F::one();
+        for v in values.iter_mut() {
+            *v *= pow;
+            pow *= g;
+        }
+    }
+
+    /// Iterative in-place Cooley-Tukey radix-2 FFT.
+    fn radix2_fft(values: &mut [F], omega: F) {
+        let n = values.len();
+        let log_n = n.trailing_zeros();
+        debug_assert_eq!(1 << log_n, n);
+
+        // bit-reversal permutation
+        for i in 0..n as u64 {
+            let r = i.reverse_bits() >> (64 - log_n);
+            if i < r {
+                values.swap(i as usize, r as usize);
+            }
+        }
+
+        let mut m = 1usize;
+        for _ in 0..log_n {
+            let w_m = omega.pow(&[(n / (2 * m)) as u64]);
+            let mut k = 0;
+            while k < n {
+                let mut w = F::one();
+                for j in 0..m {
+                    let t = values[k + j + m] * w;
+                    let u = values[k + j];
+                    values[k + j] = u + t;
+                    values[k + j + m] = u - t;
+                    w *= w_m;
+                }
+                k += 2 * m;
+            }
+            m *= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::Fr;
+    use crate::traits::Field;
+    use crate::poly::DensePolynomial;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn domain_sizes() {
+        assert_eq!(EvaluationDomain::<Fr>::new(1).unwrap().size(), 1);
+        assert_eq!(EvaluationDomain::<Fr>::new(3).unwrap().size(), 4);
+        assert_eq!(EvaluationDomain::<Fr>::new(16).unwrap().size(), 16);
+        assert_eq!(EvaluationDomain::<Fr>::new(17).unwrap().size(), 32);
+        // The field supports 2^32; anything above that must fail.
+        assert!(EvaluationDomain::<Fr>::new(1usize << 33).is_none());
+    }
+
+    #[test]
+    fn fft_ifft_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let domain = EvaluationDomain::<Fr>::new(64).unwrap();
+        let original: Vec<Fr> = (0..64).map(|_| Fr::random(&mut rng)).collect();
+        let mut v = original.clone();
+        domain.fft_in_place(&mut v);
+        domain.ifft_in_place(&mut v);
+        assert_eq!(v, original);
+    }
+
+    #[test]
+    fn coset_fft_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let domain = EvaluationDomain::<Fr>::new(32).unwrap();
+        let original: Vec<Fr> = (0..32).map(|_| Fr::random(&mut rng)).collect();
+        let mut v = original.clone();
+        domain.coset_fft_in_place(&mut v);
+        domain.coset_ifft_in_place(&mut v);
+        assert_eq!(v, original);
+    }
+
+    #[test]
+    fn fft_agrees_with_direct_evaluation() {
+        let domain = EvaluationDomain::<Fr>::new(8).unwrap();
+        let coeffs: Vec<Fr> = (1..=8).map(Fr::from_u64).collect();
+        let poly = DensePolynomial::from_coeffs(coeffs.clone());
+        let evals = domain.evaluate_all(&coeffs);
+        for (i, e) in evals.iter().enumerate() {
+            assert_eq!(*e, poly.evaluate(&domain.element(i)));
+        }
+    }
+
+    #[test]
+    fn vanishing_polynomial_zero_on_domain() {
+        let domain = EvaluationDomain::<Fr>::new(16).unwrap();
+        for e in domain.elements() {
+            assert!(domain.evaluate_vanishing_polynomial(&e).is_zero());
+        }
+        assert!(!domain
+            .evaluate_vanishing_polynomial(&Fr::from_u64(12345))
+            .is_zero());
+        // On the coset, the vanishing polynomial is the nonzero constant.
+        let c = domain.vanishing_on_coset();
+        assert!(!c.is_zero());
+        let x = domain.coset_shift * domain.element(3);
+        assert_eq!(domain.evaluate_vanishing_polynomial(&x), c);
+    }
+
+    #[test]
+    fn lagrange_coefficients_interpolate() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let domain = EvaluationDomain::<Fr>::new(8).unwrap();
+        let evals: Vec<Fr> = (0..8).map(|_| Fr::random(&mut rng)).collect();
+        let coeffs = domain.interpolate(evals.clone());
+        let poly = DensePolynomial::from_coeffs(coeffs);
+        let tau = Fr::random(&mut rng);
+        let lag = domain.lagrange_coefficients_at(&tau);
+        let via_lagrange: Fr = lag.iter().zip(evals.iter()).map(|(l, e)| *l * *e).sum();
+        assert_eq!(via_lagrange, poly.evaluate(&tau));
+    }
+
+    #[test]
+    fn lagrange_at_domain_point_is_indicator() {
+        let domain = EvaluationDomain::<Fr>::new(8).unwrap();
+        let tau = domain.element(5);
+        let lag = domain.lagrange_coefficients_at(&tau);
+        for (i, l) in lag.iter().enumerate() {
+            assert_eq!(*l, if i == 5 { Fr::one() } else { Fr::zero() });
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_interpolate_evaluate_roundtrip(vals in prop::collection::vec(0u64..1_000_000, 1..33)) {
+            let domain = EvaluationDomain::<Fr>::new(vals.len()).unwrap();
+            let evals: Vec<Fr> = vals.iter().map(|v| Fr::from_u64(*v))
+                .chain(std::iter::repeat(Fr::zero()))
+                .take(domain.size())
+                .collect();
+            let coeffs = domain.interpolate(evals.clone());
+            let back = domain.evaluate_all(&coeffs);
+            prop_assert_eq!(back, evals);
+        }
+    }
+}

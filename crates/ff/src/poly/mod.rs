@@ -1,0 +1,12 @@
+//! Polynomial arithmetic: dense/sparse univariate polynomials, radix-2 FFT
+//! evaluation domains, and multilinear extensions for sum-check protocols.
+
+mod dense;
+mod domain;
+mod multilinear;
+mod sparse;
+
+pub use dense::DensePolynomial;
+pub use domain::EvaluationDomain;
+pub use multilinear::{eq_evals, MultilinearPolynomial};
+pub use sparse::SparsePolynomial;

@@ -1,0 +1,224 @@
+//! Multilinear polynomials in evaluation form over the boolean hypercube.
+//!
+//! These back the sum-check protocols in `zkvc-spartan` (R1CS satisfiability)
+//! and `zkvc-interactive` (Thaler's matrix-multiplication protocol).
+
+use crate::traits::Field;
+
+/// A multilinear polynomial in `num_vars` variables, stored as its `2^v`
+/// evaluations over the boolean hypercube `{0,1}^v`.
+///
+/// Index `i` stores the evaluation at the point whose bits are
+/// `(i_0, i_1, ..., i_{v-1})` with `i_0` the **lowest** bit of `i`
+/// corresponding to the **first** variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MultilinearPolynomial<F: Field> {
+    num_vars: usize,
+    evals: Vec<F>,
+}
+
+impl<F: Field> MultilinearPolynomial<F> {
+    /// Creates a multilinear polynomial from hypercube evaluations, padding
+    /// with zeros up to the next power of two.
+    pub fn from_evaluations(mut evals: Vec<F>) -> Self {
+        let n = evals.len().max(1).next_power_of_two();
+        evals.resize(n, F::zero());
+        MultilinearPolynomial {
+            num_vars: n.trailing_zeros() as usize,
+            evals,
+        }
+    }
+
+    /// The number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// The number of stored evaluations (`2^num_vars`).
+    pub fn len(&self) -> usize {
+        self.evals.len()
+    }
+
+    /// Whether the polynomial has no evaluations (never true after
+    /// construction, kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.evals.is_empty()
+    }
+
+    /// Borrow the evaluation table.
+    pub fn evaluations(&self) -> &[F] {
+        &self.evals
+    }
+
+    /// Sum of all hypercube evaluations.
+    pub fn sum_over_hypercube(&self) -> F {
+        self.evals.iter().copied().sum()
+    }
+
+    /// Fixes the **first** variable to `r`, halving the table.
+    ///
+    /// After this call the polynomial has one fewer variable.
+    pub fn fix_first_variable(&mut self, r: F) {
+        assert!(self.num_vars > 0, "no variables left to fix");
+        let half = self.evals.len() / 2;
+        let mut out = Vec::with_capacity(half);
+        for i in 0..half {
+            let a = self.evals[2 * i];
+            let b = self.evals[2 * i + 1];
+            out.push(a + (b - a) * r);
+        }
+        self.evals = out;
+        self.num_vars -= 1;
+    }
+
+    /// Evaluates the polynomial at an arbitrary point in `F^v`.
+    ///
+    /// # Panics
+    /// Panics if `point.len() != num_vars`.
+    pub fn evaluate(&self, point: &[F]) -> F {
+        assert_eq!(point.len(), self.num_vars, "point arity mismatch");
+        let mut cur = self.clone();
+        for r in point {
+            cur.fix_first_variable(*r);
+        }
+        cur.evals[0]
+    }
+
+    /// Evaluate via the eq-table inner product (no mutation); used in tests
+    /// to cross-check [`Self::evaluate`].
+    pub fn evaluate_with_tables(&self, point: &[F]) -> F {
+        assert_eq!(point.len(), self.num_vars, "point arity mismatch");
+        let chi = eq_evals(point);
+        self.evals
+            .iter()
+            .zip(chi.iter())
+            .map(|(e, c)| *e * *c)
+            .sum()
+    }
+
+    /// Consumes the polynomial and returns its evaluation table.
+    pub fn into_evaluations(self) -> Vec<F> {
+        self.evals
+    }
+}
+
+/// Computes the table `chi_i(point)` for all `i` in `{0,1}^v`, where
+/// `chi_i(x) = prod_j (i_j x_j + (1-i_j)(1-x_j))` is the multilinear
+/// Lagrange basis ("eq") polynomial.
+///
+/// Bit `j` of the table index corresponds to variable `j` (low bit = first
+/// variable), matching [`MultilinearPolynomial`]'s indexing.
+pub fn eq_evals<F: Field>(point: &[F]) -> Vec<F> {
+    let mut table = vec![F::one()];
+    for (j, r) in point.iter().enumerate() {
+        let half = 1usize << j;
+        let mut next = vec![F::zero(); half * 2];
+        for i in 0..half {
+            let with_one = table[i] * *r;
+            next[i] = table[i] - with_one; // variable j = 0
+            next[i + half] = with_one; // variable j = 1
+        }
+        table = next;
+    }
+    // Reorder: our construction put variable j at bit position j from the
+    // "half" offset, i.e. bit j of the index — which is already the desired
+    // order. (next[i + half * bit_j])
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::Fr;
+    use crate::traits::PrimeField;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mle(v: &[u64]) -> MultilinearPolynomial<Fr> {
+        MultilinearPolynomial::from_evaluations(v.iter().map(|x| Fr::from_u64(*x)).collect())
+    }
+
+    #[test]
+    fn pads_to_power_of_two() {
+        let p = mle(&[1, 2, 3]);
+        assert_eq!(p.num_vars(), 2);
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.evaluations()[3], Fr::zero());
+    }
+
+    #[test]
+    fn evaluate_on_hypercube_matches_table() {
+        let p = mle(&[7, 3, 9, 4]);
+        // points (x0, x1): index = x0 + 2*x1
+        for i in 0..4usize {
+            let point = vec![Fr::from_u64((i & 1) as u64), Fr::from_u64((i >> 1) as u64)];
+            assert_eq!(p.evaluate(&point), p.evaluations()[i]);
+        }
+    }
+
+    #[test]
+    fn two_evaluation_methods_agree() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = MultilinearPolynomial::from_evaluations(
+            (0..16).map(|_| Fr::random(&mut rng)).collect(),
+        );
+        let point: Vec<Fr> = (0..4).map(|_| Fr::random(&mut rng)).collect();
+        assert_eq!(p.evaluate(&point), p.evaluate_with_tables(&point));
+    }
+
+    #[test]
+    fn eq_table_is_indicator_on_hypercube() {
+        let point = vec![Fr::from_u64(1), Fr::from_u64(0), Fr::from_u64(1)];
+        let table = eq_evals(&point);
+        // point = (1,0,1) -> index with bit0=1, bit1=0, bit2=1 -> 0b101 = 5
+        for (i, v) in table.iter().enumerate() {
+            assert_eq!(*v, if i == 5 { Fr::one() } else { Fr::zero() });
+        }
+    }
+
+    #[test]
+    fn eq_table_sums_to_one() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let point: Vec<Fr> = (0..5).map(|_| Fr::random(&mut rng)).collect();
+        let sum: Fr = eq_evals(&point).iter().copied().sum();
+        assert_eq!(sum, Fr::one());
+    }
+
+    #[test]
+    fn fix_first_variable_partial_eval() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = MultilinearPolynomial::from_evaluations(
+            (0..8).map(|_| Fr::random(&mut rng)).collect(),
+        );
+        let r = Fr::random(&mut rng);
+        let mut q = p.clone();
+        q.fix_first_variable(r);
+        let a = Fr::random(&mut rng);
+        let b = Fr::random(&mut rng);
+        assert_eq!(q.evaluate(&[a, b]), p.evaluate(&[r, a, b]));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn prop_sum_over_hypercube(vals in prop::collection::vec(0u64..1000, 1..17)) {
+            let p = mle(&vals);
+            let expected: u64 = vals.iter().sum();
+            prop_assert_eq!(p.sum_over_hypercube(), Fr::from_u64(expected));
+        }
+
+        #[test]
+        fn prop_multilinearity(vals in prop::collection::vec(0u64..1000, 8..9), r in 0u64..1000) {
+            // f(r, x) = (1-r) f(0,x) + r f(1,x) for the first variable
+            let p = mle(&vals);
+            let r = Fr::from_u64(r);
+            let x = [Fr::from_u64(3), Fr::from_u64(5)];
+            let f0 = p.evaluate(&[Fr::zero(), x[0], x[1]]);
+            let f1 = p.evaluate(&[Fr::one(), x[0], x[1]]);
+            let fr = p.evaluate(&[r, x[0], x[1]]);
+            prop_assert_eq!(fr, (Fr::one() - r) * f0 + r * f1);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Sparse univariate polynomials (few non-zero coefficients).
+//!
+//! Used for the vanishing polynomial `X^n - 1` and for CRPC's power-of-`Z`
+//! bookkeeping where only a handful of monomials appear.
+
+use crate::traits::Field;
+
+use super::DensePolynomial;
+
+/// A univariate polynomial stored as `(degree, coefficient)` pairs.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct SparsePolynomial<F: Field> {
+    /// Non-zero terms sorted by ascending degree.
+    terms: Vec<(usize, F)>,
+}
+
+impl<F: Field> SparsePolynomial<F> {
+    /// Creates a sparse polynomial from `(degree, coefficient)` terms.
+    /// Zero coefficients are dropped and duplicate degrees are merged.
+    pub fn from_terms(terms: Vec<(usize, F)>) -> Self {
+        let mut map: std::collections::BTreeMap<usize, F> = std::collections::BTreeMap::new();
+        for (d, c) in terms {
+            if c.is_zero() {
+                continue;
+            }
+            let e = map.entry(d).or_insert_with(F::zero);
+            *e += c;
+        }
+        SparsePolynomial {
+            terms: map.into_iter().filter(|(_, c)| !c.is_zero()).collect(),
+        }
+    }
+
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        SparsePolynomial { terms: vec![] }
+    }
+
+    /// Returns `true` iff this is the zero polynomial.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Degree (0 for the zero polynomial).
+    pub fn degree(&self) -> usize {
+        self.terms.last().map(|(d, _)| *d).unwrap_or(0)
+    }
+
+    /// The non-zero terms, ascending by degree.
+    pub fn terms(&self) -> &[(usize, F)] {
+        &self.terms
+    }
+
+    /// Evaluates at `x`.
+    pub fn evaluate(&self, x: &F) -> F {
+        self.terms
+            .iter()
+            .map(|(d, c)| *c * x.pow(&[*d as u64]))
+            .sum()
+    }
+
+    /// Converts to a dense polynomial.
+    pub fn to_dense(&self) -> DensePolynomial<F> {
+        let mut coeffs = vec![F::zero(); self.degree() + 1];
+        for (d, c) in &self.terms {
+            coeffs[*d] = *c;
+        }
+        DensePolynomial::from_coeffs(coeffs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fields::Fr;
+    use crate::traits::PrimeField;
+
+    #[test]
+    fn merges_and_drops_terms() {
+        let p = SparsePolynomial::from_terms(vec![
+            (2, Fr::from_u64(3)),
+            (0, Fr::from_u64(1)),
+            (2, -Fr::from_u64(3)),
+            (5, Fr::zero()),
+        ]);
+        assert_eq!(p.terms().len(), 1);
+        assert_eq!(p.degree(), 0);
+    }
+
+    #[test]
+    fn evaluation_matches_dense() {
+        let p = SparsePolynomial::from_terms(vec![
+            (0, Fr::from_u64(4)),
+            (3, Fr::from_u64(7)),
+            (10, Fr::from_u64(2)),
+        ]);
+        let d = p.to_dense();
+        for x in 0..10u64 {
+            let x = Fr::from_u64(x);
+            assert_eq!(p.evaluate(&x), d.evaluate(&x));
+        }
+    }
+
+    #[test]
+    fn zero_polynomial() {
+        let p = SparsePolynomial::<Fr>::zero();
+        assert!(p.is_zero());
+        assert_eq!(p.evaluate(&Fr::from_u64(9)), Fr::zero());
+        assert!(p.to_dense().is_zero());
+    }
+}

@@ -1,0 +1,251 @@
+//! Core algebraic traits used across the zkVC stack.
+
+use core::fmt::{Debug, Display};
+use core::hash::Hash;
+use core::iter::{Product, Sum};
+use core::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use rand::Rng;
+
+/// An element of a finite field.
+///
+/// Every proof system in this workspace is generic over this trait, so the
+/// same R1CS/QAP/sum-check machinery can run over the scalar field `Fr`, the
+/// base field `Fq` or the quadratic extension `Fq2`.
+pub trait Field:
+    Sized
+    + Copy
+    + Clone
+    + Debug
+    + Display
+    + Default
+    + PartialEq
+    + Eq
+    + Hash
+    + Send
+    + Sync
+    + 'static
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + for<'a> Add<&'a Self, Output = Self>
+    + for<'a> Sub<&'a Self, Output = Self>
+    + for<'a> Mul<&'a Self, Output = Self>
+    + Sum<Self>
+    + Product<Self>
+{
+    /// The additive identity.
+    fn zero() -> Self;
+
+    /// The multiplicative identity.
+    fn one() -> Self;
+
+    /// Returns `true` iff this element is the additive identity.
+    fn is_zero(&self) -> bool;
+
+    /// Returns `true` iff this element is the multiplicative identity.
+    fn is_one(&self) -> bool {
+        *self == Self::one()
+    }
+
+    /// Squares the element.
+    fn square(&self) -> Self;
+
+    /// Doubles the element.
+    fn double(&self) -> Self {
+        *self + *self
+    }
+
+    /// Multiplicative inverse, or `None` for zero.
+    fn inverse(&self) -> Option<Self>;
+
+    /// Exponentiation by a little-endian slice of 64-bit limbs.
+    fn pow(&self, exp: &[u64]) -> Self {
+        let mut res = Self::one();
+        let mut found_one = false;
+        for limb in exp.iter().rev() {
+            for i in (0..64).rev() {
+                if found_one {
+                    res = res.square();
+                }
+                if (limb >> i) & 1 == 1 {
+                    found_one = true;
+                    res *= *self;
+                }
+            }
+        }
+        res
+    }
+
+    /// Samples a uniformly random field element.
+    fn random<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+/// A prime field of 4 x 64-bit limbs with an FFT-friendly multiplicative
+/// subgroup.
+pub trait PrimeField: Field + Ord + PartialOrd + From<u64> {
+    /// The field modulus as little-endian limbs.
+    const MODULUS: [u64; 4];
+    /// Number of significant bits of the modulus.
+    const MODULUS_BITS: u32;
+    /// Largest `s` such that `2^s` divides `modulus - 1`.
+    const TWO_ADICITY: u32;
+    /// Capacity in bits usable for embedding integers without overflow
+    /// (`MODULUS_BITS - 1`).
+    const CAPACITY: u32 = Self::MODULUS_BITS - 1;
+
+    /// Constructs an element from a `u64`.
+    fn from_u64(v: u64) -> Self;
+
+    /// Constructs an element from a `u128`.
+    fn from_u128(v: u128) -> Self {
+        Self::from_u64((v >> 64) as u64) * Self::from_u64(1u64 << 32) * Self::from_u64(1u64 << 32)
+            + Self::from_u64(v as u64)
+    }
+
+    /// Constructs an element from a signed integer (negative values map to
+    /// `modulus - |v|`).
+    fn from_i64(v: i64) -> Self {
+        if v < 0 {
+            -Self::from_u64(v.unsigned_abs())
+        } else {
+            Self::from_u64(v as u64)
+        }
+    }
+
+    /// The canonical (non-Montgomery) little-endian limb representation.
+    fn to_canonical(&self) -> [u64; 4];
+
+    /// Builds an element from a canonical little-endian limb representation.
+    ///
+    /// Returns `None` if the value is not reduced modulo the field modulus.
+    fn from_canonical(limbs: [u64; 4]) -> Option<Self>;
+
+    /// Canonical little-endian byte representation (32 bytes).
+    fn to_bytes_le(&self) -> [u8; 32] {
+        let limbs = self.to_canonical();
+        let mut out = [0u8; 32];
+        for (i, l) in limbs.iter().enumerate() {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&l.to_le_bytes());
+        }
+        out
+    }
+
+    /// Parses a canonical little-endian byte representation.
+    fn from_bytes_le(bytes: &[u8; 32]) -> Option<Self> {
+        let mut limbs = [0u64; 4];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(&bytes[i * 8..(i + 1) * 8]);
+            *limb = u64::from_le_bytes(b);
+        }
+        Self::from_canonical(limbs)
+    }
+
+    /// Reduces an arbitrary 32-byte string into the field (not necessarily
+    /// canonical input); used for Fiat-Shamir challenge derivation.
+    fn from_bytes_le_mod_order(bytes: &[u8; 32]) -> Self {
+        // Horner evaluation in base 256, starting from the most significant
+        // byte, so arbitrary byte strings reduce correctly modulo the field.
+        let radix = Self::from_u64(256);
+        let mut acc = Self::zero();
+        for b in bytes.iter().rev() {
+            acc = acc * radix + Self::from_u64(*b as u64);
+        }
+        acc
+    }
+
+    /// Builds an element from limbs known (by the caller) to be `< modulus`.
+    ///
+    /// # Panics
+    /// Panics if the limbs are not reduced.
+    fn from_canonical_reduced(limbs: [u64; 4]) -> Self {
+        Self::from_canonical(limbs).expect("limbs must be reduced modulo the field modulus")
+    }
+
+    /// A fixed multiplicative generator of the field.
+    fn multiplicative_generator() -> Self;
+
+    /// A primitive `2^TWO_ADICITY`-th root of unity.
+    fn root_of_unity() -> Self;
+
+    /// A primitive `n`-th root of unity, for `n` a power of two dividing
+    /// `2^TWO_ADICITY`.
+    fn nth_root_of_unity(n: u64) -> Option<Self> {
+        if !n.is_power_of_two() {
+            return None;
+        }
+        let log_n = n.trailing_zeros();
+        if log_n > Self::TWO_ADICITY {
+            return None;
+        }
+        let mut omega = Self::root_of_unity();
+        for _ in log_n..Self::TWO_ADICITY {
+            omega = omega.square();
+        }
+        Some(omega)
+    }
+
+    /// Number of bits in the canonical representation of this element.
+    fn num_bits(&self) -> u32 {
+        crate::arith::num_bits_4(&self.to_canonical())
+    }
+
+    /// Returns bit `i` of the canonical representation.
+    fn bit(&self, i: u32) -> bool {
+        crate::arith::bit_4(&self.to_canonical(), i)
+    }
+
+    /// Interprets the canonical value as `u64` if it fits.
+    fn as_u64(&self) -> Option<u64> {
+        let c = self.to_canonical();
+        if c[1] == 0 && c[2] == 0 && c[3] == 0 {
+            Some(c[0])
+        } else {
+            None
+        }
+    }
+}
+
+/// Batch-inverts a slice of field elements using Montgomery's trick.
+///
+/// Zero entries are left untouched. Runs in `O(n)` multiplications plus a
+/// single inversion.
+pub fn batch_inverse<F: Field>(elems: &mut [F]) {
+    let mut prod = Vec::with_capacity(elems.len());
+    let mut acc = F::one();
+    for e in elems.iter() {
+        if !e.is_zero() {
+            acc *= *e;
+        }
+        prod.push(acc);
+    }
+    let mut inv = match acc.inverse() {
+        Some(i) => i,
+        None => return, // all elements zero
+    };
+    for i in (0..elems.len()).rev() {
+        if elems[i].is_zero() {
+            continue;
+        }
+        let prev = if i == 0 {
+            F::one()
+        } else {
+            // product of all non-zero elements before i
+            prod[i - 1]
+        };
+        let new = inv * prev;
+        inv *= elems[i];
+        elems[i] = new;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Trait-level behaviour is exercised through the concrete fields in
+    // `crate::fields::tests`.
+}

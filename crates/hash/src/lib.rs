@@ -1,0 +1,30 @@
+//! # zkvc-hash
+//!
+//! A from-scratch SHA-256 implementation and a Fiat-Shamir transcript built
+//! on top of it. The transcript turns the interactive sum-check and Spartan
+//! protocols into non-interactive ones and derives the CRPC folding
+//! challenge `Z` from committed statements.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use zkvc_hash::{sha256, Transcript};
+//! use zkvc_ff::Fr;
+//!
+//! // SHA-256 of the empty string (well-known vector).
+//! let d = sha256(b"");
+//! assert_eq!(d[0], 0xe3);
+//!
+//! let mut t = Transcript::new(b"example");
+//! t.append_bytes(b"data", b"hello");
+//! let c: Fr = t.challenge_field(b"c");
+//! assert_ne!(c, zkvc_ff::Field::zero());
+//! ```
+
+#![warn(missing_docs)]
+
+mod sha256;
+mod transcript;
+
+pub use sha256::{sha256, Sha256};
+pub use transcript::Transcript;

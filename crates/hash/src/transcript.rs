@@ -1,0 +1,150 @@
+//! Fiat-Shamir transcript.
+//!
+//! A simple hash-chain transcript: every absorbed message updates a running
+//! SHA-256 state commitment, and challenges are derived by hashing the
+//! current state with a domain-separation label and a counter. This is the
+//! non-interactivity layer for the Spartan-style SNARK, the interactive
+//! matmul baseline (made non-interactive), and CRPC's `Z` derivation.
+
+use zkvc_curve::G1Affine;
+use zkvc_ff::{PrimeField, Fr};
+
+use crate::sha256::Sha256;
+
+/// A Fiat-Shamir transcript with domain separation.
+#[derive(Clone, Debug)]
+pub struct Transcript {
+    state: [u8; 32],
+    counter: u64,
+}
+
+impl Transcript {
+    /// Creates a transcript bound to a protocol label.
+    pub fn new(label: &[u8]) -> Self {
+        let mut h = Sha256::new();
+        h.update(b"zkvc-transcript-v1");
+        h.update(&(label.len() as u64).to_le_bytes());
+        h.update(label);
+        Transcript {
+            state: h.finalize(),
+            counter: 0,
+        }
+    }
+
+    fn absorb(&mut self, label: &[u8], data: &[u8]) {
+        let mut h = Sha256::new();
+        h.update(&self.state);
+        h.update(&(label.len() as u64).to_le_bytes());
+        h.update(label);
+        h.update(&(data.len() as u64).to_le_bytes());
+        h.update(data);
+        self.state = h.finalize();
+    }
+
+    /// Appends raw bytes under a label.
+    pub fn append_bytes(&mut self, label: &[u8], data: &[u8]) {
+        self.absorb(label, data);
+    }
+
+    /// Appends a `u64`.
+    pub fn append_u64(&mut self, label: &[u8], v: u64) {
+        self.absorb(label, &v.to_le_bytes());
+    }
+
+    /// Appends a scalar-field element.
+    pub fn append_field(&mut self, label: &[u8], v: &Fr) {
+        self.absorb(label, &v.to_bytes_le());
+    }
+
+    /// Appends a slice of scalar-field elements.
+    pub fn append_fields(&mut self, label: &[u8], vs: &[Fr]) {
+        let mut bytes = Vec::with_capacity(vs.len() * 32);
+        for v in vs {
+            bytes.extend_from_slice(&v.to_bytes_le());
+        }
+        self.absorb(label, &bytes);
+    }
+
+    /// Appends a curve point.
+    pub fn append_point(&mut self, label: &[u8], p: &G1Affine) {
+        self.absorb(label, &p.to_bytes());
+    }
+
+    /// Derives a challenge as 32 pseudo-random bytes.
+    pub fn challenge_bytes(&mut self, label: &[u8]) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(&self.state);
+        h.update(b"challenge");
+        h.update(&(label.len() as u64).to_le_bytes());
+        h.update(label);
+        h.update(&self.counter.to_le_bytes());
+        self.counter += 1;
+        let out = h.finalize();
+        // ratchet the state so challenges also bind future messages
+        self.state = out;
+        out
+    }
+
+    /// Derives a scalar-field challenge.
+    pub fn challenge_field(&mut self, label: &[u8]) -> Fr {
+        let bytes = self.challenge_bytes(label);
+        Fr::from_bytes_le_mod_order(&bytes)
+    }
+
+    /// Derives `n` scalar-field challenges.
+    pub fn challenge_fields(&mut self, label: &[u8], n: usize) -> Vec<Fr> {
+        (0..n).map(|_| self.challenge_field(label)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkvc_ff::Field;
+
+    #[test]
+    fn deterministic_and_label_separated() {
+        let mut a = Transcript::new(b"test");
+        let mut b = Transcript::new(b"test");
+        a.append_u64(b"x", 7);
+        b.append_u64(b"x", 7);
+        assert_eq!(a.challenge_field(b"c"), b.challenge_field(b"c"));
+
+        let mut c = Transcript::new(b"test");
+        c.append_u64(b"y", 7); // different label
+        assert_ne!(a.challenge_field(b"c"), c.challenge_field(b"c"));
+    }
+
+    #[test]
+    fn sequential_challenges_differ() {
+        let mut t = Transcript::new(b"seq");
+        let c1 = t.challenge_field(b"c");
+        let c2 = t.challenge_field(b"c");
+        assert_ne!(c1, c2);
+        let cs = t.challenge_fields(b"batch", 5);
+        assert_eq!(cs.len(), 5);
+        assert!(cs.iter().all(|c| !c.is_zero()));
+    }
+
+    #[test]
+    fn message_order_matters() {
+        let mut a = Transcript::new(b"t");
+        a.append_u64(b"x", 1);
+        a.append_u64(b"y", 2);
+        let mut b = Transcript::new(b"t");
+        b.append_u64(b"y", 2);
+        b.append_u64(b"x", 1);
+        assert_ne!(a.challenge_bytes(b"c"), b.challenge_bytes(b"c"));
+    }
+
+    #[test]
+    fn field_and_point_absorption() {
+        use zkvc_curve::G1Projective;
+        let mut t = Transcript::new(b"pts");
+        t.append_field(b"f", &Fr::from_u64(99));
+        t.append_fields(b"fs", &[Fr::from_u64(1), Fr::from_u64(2)]);
+        t.append_point(b"g", &G1Projective::generator().to_affine());
+        let c = t.challenge_field(b"out");
+        assert!(!c.is_zero());
+    }
+}

@@ -1,0 +1,256 @@
+//! The model-to-circuit compiler: turns a [`ModelConfig`] plus a
+//! [`MixerSchedule`] into one R1CS covering the whole forward pass
+//! (embedding, every Transformer block, pooling and the classifier head),
+//! together with per-layer constraint statistics.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zkvc_core::fixed::FixedPointConfig;
+use zkvc_core::matmul::Strategy;
+use zkvc_core::nonlinear::SoftmaxConfig;
+use zkvc_ff::{Fr, PrimeField};
+use zkvc_r1cs::ConstraintSystem;
+
+use crate::layers::{alloc_tensor, linear, transformer_block, BlockWeights, LcMatrix};
+use crate::mixer::MixerSchedule;
+use crate::models::ModelConfig;
+use crate::tensor::Tensor;
+
+/// Per-layer constraint accounting.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LayerStats {
+    /// Layer label ("embed", "block 3 (SoftFree-S)", "classifier").
+    pub label: String,
+    /// Constraints added by this layer.
+    pub constraints: usize,
+    /// Variables added by this layer.
+    pub variables: usize,
+}
+
+/// A fully synthesised verifiable-inference circuit.
+#[derive(Clone, Debug)]
+pub struct ModelCircuit {
+    /// The constraint system with the complete witness.
+    pub cs: ConstraintSystem<Fr>,
+    /// Per-layer statistics.
+    pub layers: Vec<LayerStats>,
+    /// The model's class-logit outputs (quantised) from the reference run.
+    pub logits: Vec<Fr>,
+    /// Name of the model + schedule combination.
+    pub name: String,
+}
+
+impl ModelCircuit {
+    /// Builds the circuit for a model with synthetic weights and a synthetic
+    /// input, using the given matmul strategy. `seed` makes the synthetic
+    /// initialisation reproducible.
+    pub fn build(
+        model: &ModelConfig,
+        schedule: &MixerSchedule,
+        strategy: Strategy,
+        seed: u64,
+    ) -> ModelCircuit {
+        assert_eq!(
+            schedule.num_layers(),
+            model.num_layers(),
+            "mixer schedule must cover every layer"
+        );
+        let cfg = FixedPointConfig::default();
+        let softmax_cfg = SoftmaxConfig::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let mut layers = Vec::new();
+
+        // CRPC challenge: derived from the seed here; production callers
+        // would derive it from a transcript over committed inputs/weights
+        // (see zkvc-core::matmul::ZSource).
+        let z = Fr::from_u64(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1);
+
+        let first = &model.layers[0];
+        // Synthetic input tokens and embedding.
+        let input = Tensor::random(first.seq_len, model.input_dim, &cfg, &mut rng);
+        let w_embed = Tensor::random(model.input_dim, first.dim, &cfg, &mut rng);
+        let before = (cs.num_constraints(), cs.num_variables());
+        let input_lcs = alloc_tensor(&mut cs, &input);
+        let w_embed_lcs = alloc_tensor(&mut cs, &w_embed);
+        let mut tokens: LcMatrix = linear(&mut cs, &input_lcs, &w_embed_lcs, strategy, z, &cfg);
+        layers.push(LayerStats {
+            label: "embed".to_string(),
+            constraints: cs.num_constraints() - before.0,
+            variables: cs.num_variables() - before.1,
+        });
+
+        // Transformer blocks.
+        for (idx, (spec, mixer)) in model.layers.iter().zip(schedule.layers.iter()).enumerate() {
+            // When the spec's sequence length or dim changes between stages
+            // (hierarchical ViT), downsample tokens by truncation/projection.
+            tokens = resize_tokens(&mut cs, &tokens, spec.seq_len, spec.dim, strategy, z, &cfg, &mut rng);
+            let weights = BlockWeights::random(spec.seq_len, spec.dim, spec.mlp_dim, &cfg, &mut rng);
+            let before = (cs.num_constraints(), cs.num_variables());
+            tokens = transformer_block(
+                &mut cs,
+                &tokens,
+                &weights,
+                *mixer,
+                spec.num_heads,
+                strategy,
+                z,
+                &cfg,
+                &softmax_cfg,
+            );
+            layers.push(LayerStats {
+                label: format!("block {idx} ({})", mixer.name()),
+                constraints: cs.num_constraints() - before.0,
+                variables: cs.num_variables() - before.1,
+            });
+        }
+
+        // Classifier: mean-pool tokens (linear), then a projection to
+        // `num_classes` logits.
+        let last = model.layers.last().expect("at least one layer");
+        let before = (cs.num_constraints(), cs.num_variables());
+        let mut pooled: LcMatrix = vec![Vec::with_capacity(last.dim)];
+        for c in 0..tokens[0].len() {
+            let mut acc = zkvc_r1cs::LinearCombination::zero();
+            for row in &tokens {
+                acc = acc + &row[c];
+            }
+            pooled[0].push(acc);
+        }
+        let w_head = Tensor::random(tokens[0].len(), model.num_classes, &cfg, &mut rng);
+        let w_head_lcs = alloc_tensor(&mut cs, &w_head);
+        let logits_lcs = linear(&mut cs, &pooled, &w_head_lcs, strategy, z, &cfg);
+        let logits: Vec<Fr> = logits_lcs[0].iter().map(|lc| cs.eval_lc(lc)).collect();
+        layers.push(LayerStats {
+            label: "classifier".to_string(),
+            constraints: cs.num_constraints() - before.0,
+            variables: cs.num_variables() - before.1,
+        });
+
+        ModelCircuit {
+            cs,
+            layers,
+            logits,
+            name: format!("{} / {}", model.name, schedule.name),
+        }
+    }
+
+    /// Total constraints in the circuit.
+    pub fn num_constraints(&self) -> usize {
+        self.cs.num_constraints()
+    }
+
+    /// Total variables in the circuit.
+    pub fn num_variables(&self) -> usize {
+        self.cs.num_variables()
+    }
+}
+
+/// Adjusts the token matrix to a target `(seq, dim)` shape between stages:
+/// sequences are shortened by merging adjacent tokens (sum), dimensions are
+/// changed with a verified linear projection.
+#[allow(clippy::too_many_arguments)]
+fn resize_tokens(
+    cs: &mut ConstraintSystem<Fr>,
+    tokens: &LcMatrix,
+    target_seq: usize,
+    target_dim: usize,
+    strategy: Strategy,
+    z: Fr,
+    cfg: &FixedPointConfig,
+    rng: &mut StdRng,
+) -> LcMatrix {
+    let cur_seq = tokens.len();
+    let cur_dim = tokens[0].len();
+    let mut out: LcMatrix = tokens.clone();
+    if target_seq < cur_seq {
+        let merge = cur_seq.div_ceil(target_seq);
+        out = (0..target_seq)
+            .map(|t| {
+                let mut merged = vec![zkvc_r1cs::LinearCombination::zero(); cur_dim];
+                for s in 0..merge {
+                    let idx = t * merge + s;
+                    if idx < cur_seq {
+                        for (c, m) in merged.iter_mut().enumerate() {
+                            *m = m.clone() + &out[idx][c];
+                        }
+                    }
+                }
+                merged
+            })
+            .collect();
+    }
+    if target_dim != cur_dim {
+        let proj = Tensor::random(cur_dim, target_dim, cfg, rng);
+        let proj_lcs = alloc_tensor(cs, &proj);
+        out = linear(cs, &out, &proj_lcs, strategy, z, cfg);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::VitConfig;
+
+    #[test]
+    fn tiny_vit_circuit_is_satisfiable_for_all_schedules() {
+        let cfg = VitConfig::custom(2, 2, 8, 4, 4).to_model();
+        for schedule in [
+            MixerSchedule::soft_approx(2),
+            MixerSchedule::soft_free_s(2),
+            MixerSchedule::soft_free_p(2),
+            MixerSchedule::zkvc_hybrid(2),
+        ] {
+            let circuit = ModelCircuit::build(&cfg, &schedule, Strategy::CrpcPsq, 7);
+            assert!(circuit.cs.is_satisfied(), "{}", schedule.name);
+            // embed + 2 blocks + classifier
+            assert_eq!(circuit.layers.len(), 4);
+            assert_eq!(circuit.logits.len(), 4);
+            assert!(circuit.num_constraints() > 0);
+        }
+    }
+
+    #[test]
+    fn zkvc_strategy_shrinks_the_circuit() {
+        let cfg = VitConfig::custom(2, 2, 8, 4, 4).to_model();
+        let schedule = MixerSchedule::soft_approx(2);
+        let vanilla = ModelCircuit::build(&cfg, &schedule, Strategy::Vanilla, 7);
+        let zkvc = ModelCircuit::build(&cfg, &schedule, Strategy::CrpcPsq, 7);
+        assert!(zkvc.num_constraints() < vanilla.num_constraints());
+        assert!(vanilla.cs.is_satisfied() && zkvc.cs.is_satisfied());
+    }
+
+    #[test]
+    fn softmax_schedule_costs_more_than_hybrid() {
+        let cfg = VitConfig::custom(3, 2, 8, 6, 4).to_model();
+        let soft = ModelCircuit::build(&cfg, &MixerSchedule::soft_approx(3), Strategy::CrpcPsq, 3);
+        let hybrid = ModelCircuit::build(&cfg, &MixerSchedule::zkvc_hybrid(3), Strategy::CrpcPsq, 3);
+        let pool = ModelCircuit::build(&cfg, &MixerSchedule::soft_free_p(3), Strategy::CrpcPsq, 3);
+        assert!(soft.num_constraints() > hybrid.num_constraints());
+        assert!(hybrid.num_constraints() > pool.num_constraints());
+    }
+
+    #[test]
+    fn hierarchical_resize_keeps_satisfiability() {
+        // Two layers with different seq/dim force a resize between them.
+        use crate::models::{LayerSpec, ModelConfig};
+        let model = ModelConfig {
+            name: "mini-hierarchical".to_string(),
+            input_dim: 12,
+            layers: vec![
+                LayerSpec { seq_len: 8, dim: 8, num_heads: 2, mlp_dim: 16 },
+                LayerSpec { seq_len: 2, dim: 12, num_heads: 2, mlp_dim: 24 },
+            ],
+            num_classes: 3,
+        };
+        let circuit = ModelCircuit::build(
+            &model,
+            &MixerSchedule::zkvc_hybrid(2),
+            Strategy::CrpcPsq,
+            11,
+        );
+        assert!(circuit.cs.is_satisfied());
+        assert_eq!(circuit.logits.len(), 3);
+    }
+}

@@ -1,0 +1,42 @@
+//! # zkvc-nn
+//!
+//! The quantised Transformer substrate used for the paper's end-to-end
+//! experiments (Tables III and IV): fixed-point tensors, the four token
+//! mixers compared in the evaluation (SoftMax attention, scaling attention,
+//! average pooling, linear mixing), ViT and BERT model configurations, and
+//! the compiler that turns a model's forward pass into one R1CS per layer.
+//!
+//! Model weights are synthetically initialised (substitution S4 in
+//! DESIGN.md): the proving-time columns of Tables III/IV depend only on the
+//! circuit structure — layer shapes, sequence lengths and mixer choices —
+//! not on trained weight values, so the cost profile is reproduced without
+//! the GPUs/datasets needed to re-train the models. Accuracy columns are
+//! echoed from the paper and marked as such by the harness.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use zkvc_nn::models::VitConfig;
+//! use zkvc_nn::mixer::MixerSchedule;
+//! use zkvc_nn::circuit::ModelCircuit;
+//! use zkvc_core::matmul::Strategy;
+//!
+//! // A tiny ViT: 2 layers, 16 tokens, hidden dim 32.
+//! let cfg = VitConfig::custom(2, 2, 32, 16, 10);
+//! let schedule = MixerSchedule::zkvc_hybrid(cfg.num_layers);
+//! let circuit = ModelCircuit::build(&cfg.to_model(), &schedule, Strategy::CrpcPsq, 42);
+//! assert!(circuit.cs.is_satisfied());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod layers;
+pub mod mixer;
+pub mod models;
+pub mod tensor;
+
+pub use circuit::{LayerStats, ModelCircuit};
+pub use mixer::{MixerSchedule, TokenMixer};
+pub use models::{BertConfig, ModelConfig, VitConfig};
+pub use tensor::Tensor;

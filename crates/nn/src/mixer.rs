@@ -1,0 +1,152 @@
+//! Token mixers — the architectural knob the paper's end-to-end experiments
+//! turn (Tables III and IV).
+
+/// How tokens exchange information inside a Transformer block.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum TokenMixer {
+    /// Standard SoftMax self-attention, verified through the approximation
+    /// of §III-C ("SoftApprox." rows).
+    SoftmaxAttention,
+    /// Scaling (efficient/linear) attention: `Q (K^T V) / n` — no SoftMax,
+    /// linear in sequence length ("SoftFree-S" rows).
+    ScalingAttention,
+    /// Average pooling over tokens ("SoftFree-P" rows).
+    Pooling,
+    /// A learned linear transformation over the token axis (FNet-style,
+    /// "SoftFree-L" rows of Table IV).
+    LinearMixing,
+}
+
+impl TokenMixer {
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TokenMixer::SoftmaxAttention => "SoftApprox.",
+            TokenMixer::ScalingAttention => "SoftFree-S",
+            TokenMixer::Pooling => "SoftFree-P",
+            TokenMixer::LinearMixing => "SoftFree-L",
+        }
+    }
+}
+
+/// A per-layer assignment of token mixers — what the paper calls the model
+/// produced by its "planner". zkVC's hybrid schedules mix SoftMax attention
+/// (in the later, shorter-sequence layers) with SoftMax-free mixers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MixerSchedule {
+    /// One mixer per Transformer layer.
+    pub layers: Vec<TokenMixer>,
+    /// Name used by the harnesses ("SoftApprox.", "zkVC", ...).
+    pub name: &'static str,
+}
+
+impl MixerSchedule {
+    /// All layers use verified SoftMax attention.
+    pub fn soft_approx(num_layers: usize) -> Self {
+        MixerSchedule {
+            layers: vec![TokenMixer::SoftmaxAttention; num_layers],
+            name: "SoftApprox.",
+        }
+    }
+
+    /// All layers use scaling attention.
+    pub fn soft_free_s(num_layers: usize) -> Self {
+        MixerSchedule {
+            layers: vec![TokenMixer::ScalingAttention; num_layers],
+            name: "SoftFree-S",
+        }
+    }
+
+    /// All layers use average pooling.
+    pub fn soft_free_p(num_layers: usize) -> Self {
+        MixerSchedule {
+            layers: vec![TokenMixer::Pooling; num_layers],
+            name: "SoftFree-P",
+        }
+    }
+
+    /// All layers use linear token mixing (the NLP "SoftFree-L" variant).
+    pub fn soft_free_l(num_layers: usize) -> Self {
+        MixerSchedule {
+            layers: vec![TokenMixer::LinearMixing; num_layers],
+            name: "SoftFree-L",
+        }
+    }
+
+    /// The zkVC hybrid: SoftMax-free mixers in the early (long-sequence)
+    /// layers, SoftMax attention re-introduced in the last third of the
+    /// network where sequences are short — the planner outcome described in
+    /// §V-B.
+    pub fn zkvc_hybrid(num_layers: usize) -> Self {
+        let cutover = num_layers - num_layers / 3;
+        let layers = (0..num_layers)
+            .map(|i| {
+                if i < cutover {
+                    TokenMixer::ScalingAttention
+                } else {
+                    TokenMixer::SoftmaxAttention
+                }
+            })
+            .collect();
+        MixerSchedule {
+            layers,
+            name: "zkVC",
+        }
+    }
+
+    /// The zkVC hybrid for NLP models: linear mixing early, SoftMax late.
+    pub fn zkvc_hybrid_nlp(num_layers: usize) -> Self {
+        let cutover = num_layers - num_layers / 3;
+        let layers = (0..num_layers)
+            .map(|i| {
+                if i < cutover {
+                    TokenMixer::ScalingAttention
+                } else {
+                    TokenMixer::SoftmaxAttention
+                }
+            })
+            .collect();
+        MixerSchedule {
+            layers,
+            name: "zkVC",
+        }
+    }
+
+    /// Number of layers covered by the schedule.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_cover_all_layers() {
+        for n in [1usize, 4, 7, 12] {
+            assert_eq!(MixerSchedule::soft_approx(n).num_layers(), n);
+            assert_eq!(MixerSchedule::zkvc_hybrid(n).num_layers(), n);
+        }
+    }
+
+    #[test]
+    fn hybrid_uses_softmax_late_only() {
+        let s = MixerSchedule::zkvc_hybrid(9);
+        assert_eq!(s.layers[0], TokenMixer::ScalingAttention);
+        assert_eq!(s.layers[8], TokenMixer::SoftmaxAttention);
+        let softmax_count = s
+            .layers
+            .iter()
+            .filter(|m| **m == TokenMixer::SoftmaxAttention)
+            .count();
+        assert_eq!(softmax_count, 3);
+    }
+
+    #[test]
+    fn names_match_paper_rows() {
+        assert_eq!(TokenMixer::SoftmaxAttention.name(), "SoftApprox.");
+        assert_eq!(TokenMixer::Pooling.name(), "SoftFree-P");
+        assert_eq!(MixerSchedule::zkvc_hybrid(4).name, "zkVC");
+    }
+}

@@ -1,0 +1,304 @@
+//! Model configurations matching the paper's experimental setup (§IV).
+
+use crate::mixer::MixerSchedule;
+
+/// Shape of one Transformer layer.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct LayerSpec {
+    /// Sequence length (number of tokens) entering the layer.
+    pub seq_len: usize,
+    /// Hidden (embedding) dimension.
+    pub dim: usize,
+    /// Number of attention heads.
+    pub num_heads: usize,
+    /// MLP expansion dimension.
+    pub mlp_dim: usize,
+}
+
+/// A full model: patch/token embedding, a stack of Transformer layers and a
+/// classifier head.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ModelConfig {
+    /// Name used in tables ("ViT-CIFAR10", "BERT-GLUE", ...).
+    pub name: String,
+    /// Input feature dimension per token before the embedding projection
+    /// (patch pixels for ViT, vocabulary embedding width for BERT).
+    pub input_dim: usize,
+    /// The per-layer shapes, in order.
+    pub layers: Vec<LayerSpec>,
+    /// Number of output classes.
+    pub num_classes: usize,
+}
+
+impl ModelConfig {
+    /// Number of Transformer layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// A copy with every sequence length and dimension divided by `divisor`
+    /// (minimum 1/2/4 respectively), used by the harnesses to produce
+    /// tractable "reduced-scale" runs on the same architecture shape.
+    pub fn scaled_down(&self, divisor: usize) -> ModelConfig {
+        let d = divisor.max(1);
+        ModelConfig {
+            name: format!("{} (1/{d} scale)", self.name),
+            input_dim: (self.input_dim / d).max(4),
+            layers: self
+                .layers
+                .iter()
+                .map(|l| LayerSpec {
+                    seq_len: (l.seq_len / d).max(2),
+                    dim: (l.dim / d).max(4),
+                    num_heads: l.num_heads.min((l.dim / d).max(4)),
+                    mlp_dim: (l.mlp_dim / d).max(8),
+                })
+                .collect(),
+            num_classes: self.num_classes.min(10),
+        }
+    }
+
+    /// Total number of multiply-accumulate operations in all matmuls (a
+    /// hardware-independent size proxy used in reports).
+    pub fn total_macs(&self) -> u128 {
+        let mut total: u128 = 0;
+        for l in &self.layers {
+            let (s, d, m) = (l.seq_len as u128, l.dim as u128, l.mlp_dim as u128);
+            // qkv + output projections + attention matmuls + MLP
+            total += 4 * s * d * d + 2 * s * s * d + 2 * s * d * m;
+        }
+        total
+    }
+}
+
+/// Vision Transformer configurations from §IV.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct VitConfig {
+    /// Number of Transformer layers.
+    pub num_layers: usize,
+    /// Number of attention heads.
+    pub num_heads: usize,
+    /// Hidden dimension (0 selects the hierarchical ImageNet dims).
+    pub hidden_dim: usize,
+    /// Number of tokens after patchification.
+    pub num_tokens: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+    /// Patch size (pixels).
+    pub patch_size: usize,
+    /// Hierarchical stage dims (ImageNet model); empty for flat ViTs.
+    pub stage_dims: [usize; 4],
+    /// Layers per stage for the hierarchical model.
+    pub stage_layers: [usize; 4],
+}
+
+impl VitConfig {
+    /// CIFAR-10 ViT: 7 layers, 4 heads, hidden 256, patch 4 on 32x32 images
+    /// (64 tokens).
+    pub fn cifar10() -> Self {
+        VitConfig {
+            num_layers: 7,
+            num_heads: 4,
+            hidden_dim: 256,
+            num_tokens: (32 / 4) * (32 / 4),
+            num_classes: 10,
+            patch_size: 4,
+            stage_dims: [0; 4],
+            stage_layers: [0; 4],
+        }
+    }
+
+    /// Tiny-ImageNet ViT: 9 layers, 12 heads, hidden 192, patch 4 on 64x64
+    /// images (256 tokens).
+    pub fn tiny_imagenet() -> Self {
+        VitConfig {
+            num_layers: 9,
+            num_heads: 12,
+            hidden_dim: 192,
+            num_tokens: (64 / 4) * (64 / 4),
+            num_classes: 200,
+            patch_size: 4,
+            stage_dims: [0; 4],
+            stage_layers: [0; 4],
+        }
+    }
+
+    /// ImageNet hierarchical model: 12 layers over 4 stages with embedding
+    /// dimensions 64/128/320/512 on 224x224 images, patch 4 (3136 tokens in
+    /// the first stage, downsampled 4x between stages).
+    pub fn imagenet_hierarchical() -> Self {
+        VitConfig {
+            num_layers: 12,
+            num_heads: 4,
+            hidden_dim: 0,
+            num_tokens: (224 / 4) * (224 / 4),
+            num_classes: 1000,
+            patch_size: 4,
+            stage_dims: [64, 128, 320, 512],
+            stage_layers: [2, 2, 6, 2],
+        }
+    }
+
+    /// A small custom flat ViT (used by examples and tests).
+    pub fn custom(
+        num_layers: usize,
+        num_heads: usize,
+        hidden_dim: usize,
+        num_tokens: usize,
+        num_classes: usize,
+    ) -> Self {
+        VitConfig {
+            num_layers,
+            num_heads,
+            hidden_dim,
+            num_tokens,
+            num_classes,
+            patch_size: 4,
+            stage_dims: [0; 4],
+            stage_layers: [0; 4],
+        }
+    }
+
+    /// Expands the configuration into a generic [`ModelConfig`].
+    pub fn to_model(&self) -> ModelConfig {
+        let patch_dim = self.patch_size * self.patch_size * 3;
+        let layers = if self.stage_dims[0] != 0 {
+            // hierarchical: tokens shrink 4x per stage, dims follow stage_dims
+            let mut layers = Vec::new();
+            let mut tokens = self.num_tokens;
+            for (stage, (&dim, &count)) in self
+                .stage_dims
+                .iter()
+                .zip(self.stage_layers.iter())
+                .enumerate()
+            {
+                for _ in 0..count {
+                    layers.push(LayerSpec {
+                        seq_len: tokens,
+                        dim,
+                        num_heads: self.num_heads,
+                        mlp_dim: dim * 4,
+                    });
+                }
+                if stage < 3 {
+                    tokens = (tokens / 4).max(1);
+                }
+            }
+            layers
+        } else {
+            vec![
+                LayerSpec {
+                    seq_len: self.num_tokens,
+                    dim: self.hidden_dim,
+                    num_heads: self.num_heads,
+                    mlp_dim: self.hidden_dim * 4,
+                };
+                self.num_layers
+            ]
+        };
+        ModelConfig {
+            name: format!("ViT-{}L", self.num_layers),
+            input_dim: patch_dim,
+            layers,
+            num_classes: self.num_classes,
+        }
+    }
+
+    /// The default zkVC hybrid mixer schedule for this model.
+    pub fn default_schedule(&self) -> MixerSchedule {
+        MixerSchedule::zkvc_hybrid(self.num_layers)
+    }
+}
+
+/// BERT configuration from §IV: 4 layers, 4 heads, embedding 256, evaluated
+/// on GLUE tasks.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BertConfig {
+    /// Number of Transformer layers.
+    pub num_layers: usize,
+    /// Number of attention heads.
+    pub num_heads: usize,
+    /// Embedding dimension.
+    pub hidden_dim: usize,
+    /// Input sequence length.
+    pub seq_len: usize,
+    /// Number of output classes of the GLUE task head.
+    pub num_classes: usize,
+}
+
+impl BertConfig {
+    /// The paper's BERT: 4 layers, 4 heads, 256-dim embeddings.
+    pub fn paper() -> Self {
+        BertConfig {
+            num_layers: 4,
+            num_heads: 4,
+            hidden_dim: 256,
+            seq_len: 128,
+            num_classes: 3,
+        }
+    }
+
+    /// Expands into a generic [`ModelConfig`].
+    pub fn to_model(&self) -> ModelConfig {
+        ModelConfig {
+            name: format!("BERT-{}L", self.num_layers),
+            input_dim: self.hidden_dim,
+            layers: vec![
+                LayerSpec {
+                    seq_len: self.seq_len,
+                    dim: self.hidden_dim,
+                    num_heads: self.num_heads,
+                    mlp_dim: self.hidden_dim * 4,
+                };
+                self.num_layers
+            ],
+            num_classes: self.num_classes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configurations() {
+        let cifar = VitConfig::cifar10();
+        assert_eq!(cifar.num_layers, 7);
+        assert_eq!(cifar.num_tokens, 64);
+        assert_eq!(cifar.to_model().layers.len(), 7);
+        assert_eq!(cifar.to_model().layers[0].dim, 256);
+
+        let tiny = VitConfig::tiny_imagenet();
+        assert_eq!(tiny.num_tokens, 256);
+        assert_eq!(tiny.to_model().layers[0].dim, 192);
+
+        let imagenet = VitConfig::imagenet_hierarchical();
+        let m = imagenet.to_model();
+        assert_eq!(m.layers.len(), 12);
+        assert_eq!(m.layers[0].seq_len, 3136);
+        assert_eq!(m.layers[0].dim, 64);
+        assert_eq!(m.layers[11].dim, 512);
+        assert_eq!(m.layers[11].seq_len, 49);
+
+        let bert = BertConfig::paper();
+        assert_eq!(bert.to_model().layers.len(), 4);
+        assert_eq!(bert.to_model().layers[0].seq_len, 128);
+    }
+
+    #[test]
+    fn scaled_down_preserves_layer_count() {
+        let m = VitConfig::imagenet_hierarchical().to_model();
+        let s = m.scaled_down(8);
+        assert_eq!(s.layers.len(), m.layers.len());
+        assert!(s.layers[0].seq_len < m.layers[0].seq_len);
+        assert!(s.total_macs() < m.total_macs());
+    }
+
+    #[test]
+    fn macs_grow_with_model_size() {
+        let small = VitConfig::cifar10().to_model();
+        let big = VitConfig::imagenet_hierarchical().to_model();
+        assert!(big.total_macs() > small.total_macs());
+    }
+}

@@ -1,0 +1,203 @@
+//! A minimal 2-D fixed-point tensor used for reference forward passes and
+//! witness generation.
+
+use rand::Rng;
+use zkvc_core::fixed::FixedPointConfig;
+
+/// A row-major 2-D tensor of quantised (fixed-point) values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tensor {
+    rows: usize,
+    cols: usize,
+    data: Vec<i64>,
+}
+
+impl Tensor {
+    /// Creates a tensor filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Tensor {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Creates a tensor from row-major data.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_data(rows: usize, cols: usize, data: Vec<i64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "data length mismatch");
+        Tensor { rows, cols, data }
+    }
+
+    /// Creates a tensor with small random quantised values (used for the
+    /// synthetic weights of substitution S4).
+    pub fn random<R: Rng + ?Sized>(rows: usize, cols: usize, cfg: &FixedPointConfig, rng: &mut R) -> Self {
+        let scale = cfg.scale();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-scale / 2..=scale / 2))
+            .collect();
+        Tensor { rows, cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element access.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> i64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable element access.
+    ///
+    /// # Panics
+    /// Panics if out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: i64) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow the raw data (row-major).
+    pub fn data(&self) -> &[i64] {
+        &self.data
+    }
+
+    /// The tensor as nested vectors (row-major), the format the circuit
+    /// builders consume.
+    pub fn to_rows(&self) -> Vec<Vec<i64>> {
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols..(r + 1) * self.cols].to_vec())
+            .collect()
+    }
+
+    /// Matrix multiplication with rescaling back to single scale.
+    ///
+    /// # Panics
+    /// Panics if the inner dimensions differ.
+    pub fn matmul(&self, rhs: &Tensor, cfg: &FixedPointConfig) -> Tensor {
+        assert_eq!(self.cols, rhs.rows, "inner dimension mismatch");
+        let mut out = Tensor::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for j in 0..rhs.cols {
+                let mut acc: i64 = 0;
+                for k in 0..self.cols {
+                    acc += self.get(i, k) * rhs.get(k, j);
+                }
+                out.set(i, j, cfg.rescale(acc));
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Tensor {
+        let mut out = Tensor::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn add(&self, rhs: &Tensor) -> Tensor {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        Tensor {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// Mean over each row (used by the pooling mixer), truncating division.
+    pub fn row_mean(&self) -> Vec<i64> {
+        (0..self.rows)
+            .map(|r| {
+                let s: i64 = self.data[r * self.cols..(r + 1) * self.cols].iter().sum();
+                s.div_euclid(self.cols as i64)
+            })
+            .collect()
+    }
+
+    /// Mean over each column (token pooling), truncating division.
+    pub fn col_mean(&self) -> Vec<i64> {
+        (0..self.cols)
+            .map(|c| {
+                let s: i64 = (0..self.rows).map(|r| self.get(r, c)).sum();
+                s.div_euclid(self.rows as i64)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_matches_manual() {
+        let cfg = FixedPointConfig::new(4, 32); // scale 16
+        // A = [[1.0, 2.0]], B = [[0.5], [0.25]] -> 1.0*0.5 + 2.0*0.25 = 1.0
+        let a = Tensor::from_data(1, 2, vec![16, 32]);
+        let b = Tensor::from_data(2, 1, vec![8, 4]);
+        let c = a.matmul(&b, &cfg);
+        assert_eq!(c.get(0, 0), 16);
+    }
+
+    #[test]
+    fn transpose_and_add() {
+        let a = Tensor::from_data(2, 3, vec![1, 2, 3, 4, 5, 6]);
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.get(2, 1), 6);
+        let s = a.add(&a);
+        assert_eq!(s.get(1, 2), 12);
+    }
+
+    #[test]
+    fn means() {
+        let a = Tensor::from_data(2, 2, vec![2, 4, 6, 8]);
+        assert_eq!(a.row_mean(), vec![3, 7]);
+        assert_eq!(a.col_mean(), vec![4, 6]);
+    }
+
+    #[test]
+    fn random_is_bounded() {
+        let cfg = FixedPointConfig::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = Tensor::random(4, 4, &cfg, &mut rng);
+        assert!(t.data().iter().all(|v| v.abs() <= cfg.scale() / 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension mismatch")]
+    fn bad_matmul_panics() {
+        let cfg = FixedPointConfig::default();
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        a.matmul(&b, &cfg);
+    }
+}

@@ -1,0 +1,266 @@
+//! Arithmetic helper gadgets: multiplication, inversion, zero / equality
+//! tests, conditional selection and product-of-many-terms.
+
+use zkvc_ff::Field;
+
+use crate::cs::ConstraintSystem;
+use crate::lc::{LinearCombination, Variable};
+
+/// Allocates `a * b` as a new witness and enforces the product constraint.
+pub fn mul<F: Field>(
+    cs: &mut ConstraintSystem<F>,
+    a: &LinearCombination<F>,
+    b: &LinearCombination<F>,
+) -> Variable {
+    let val = cs.eval_lc(a) * cs.eval_lc(b);
+    let out = cs.alloc_witness(val);
+    cs.enforce_named(a.clone(), b.clone(), out.into(), "mul");
+    out
+}
+
+/// Allocates the multiplicative inverse of `a` and enforces `a * inv = 1`.
+///
+/// If the assigned value is zero the inverse witness is set to zero and the
+/// resulting system is unsatisfiable — callers that allow zero should use
+/// [`is_zero`] first.
+pub fn inverse<F: Field>(cs: &mut ConstraintSystem<F>, a: &LinearCombination<F>) -> Variable {
+    let val = cs.eval_lc(a);
+    let inv = cs.alloc_witness(val.inverse().unwrap_or_else(F::zero));
+    cs.enforce_named(
+        a.clone(),
+        inv.into(),
+        LinearCombination::constant(F::one()),
+        "inverse",
+    );
+    inv
+}
+
+/// Returns a boolean variable that is 1 iff `a == 0`.
+///
+/// Uses the classic trick: allocate `inv`, enforce `a * inv = 1 - b` and
+/// `a * b = 0`.
+pub fn is_zero<F: Field>(cs: &mut ConstraintSystem<F>, a: &LinearCombination<F>) -> Variable {
+    let val = cs.eval_lc(a);
+    let b_val = val.is_zero();
+    let b = cs.alloc_witness(if b_val { F::one() } else { F::zero() });
+    let inv = cs.alloc_witness(val.inverse().unwrap_or_else(F::zero));
+    // a * inv = 1 - b
+    cs.enforce_named(
+        a.clone(),
+        inv.into(),
+        LinearCombination::constant(F::one()) - LinearCombination::from(b),
+        "is_zero: a*inv",
+    );
+    // a * b = 0
+    cs.enforce_named(a.clone(), b.into(), LinearCombination::zero(), "is_zero: a*b");
+    b
+}
+
+/// Returns a boolean variable that is 1 iff `a == b`.
+pub fn is_equal<F: Field>(
+    cs: &mut ConstraintSystem<F>,
+    a: &LinearCombination<F>,
+    b: &LinearCombination<F>,
+) -> Variable {
+    is_zero(cs, &(a.clone() - b))
+}
+
+/// Returns `cond ? x : y` as a new witness, where `cond` must already be
+/// constrained boolean. Adds a single constraint
+/// `cond * (x - y) = out - y`.
+pub fn select<F: Field>(
+    cs: &mut ConstraintSystem<F>,
+    cond: Variable,
+    x: &LinearCombination<F>,
+    y: &LinearCombination<F>,
+) -> Variable {
+    let c = cs.value(cond);
+    let out_val = if c == F::one() {
+        cs.eval_lc(x)
+    } else {
+        cs.eval_lc(y)
+    };
+    let out = cs.alloc_witness(out_val);
+    cs.enforce_named(
+        cond.into(),
+        x.clone() - y,
+        LinearCombination::from(out) - y,
+        "select",
+    );
+    out
+}
+
+/// Enforces that the product of all `terms` is zero (i.e. at least one term
+/// vanishes). This is the membership check the paper uses to verify
+/// `x_max ∈ x`: `prod_j (x_max - x_j) = 0`.
+///
+/// Uses a chain of `terms.len() - 1` multiplication constraints.
+pub fn enforce_product_is_zero<F: Field>(
+    cs: &mut ConstraintSystem<F>,
+    terms: &[LinearCombination<F>],
+) {
+    if terms.is_empty() {
+        return;
+    }
+    if terms.len() == 1 {
+        cs.enforce_zero(terms[0].clone());
+        return;
+    }
+    // acc_1 = t0 * t1; acc_i = acc_{i-1} * t_i; last product must be 0.
+    let mut acc_val = cs.eval_lc(&terms[0]) * cs.eval_lc(&terms[1]);
+    let mut acc: LinearCombination<F> = if terms.len() == 2 {
+        // directly enforce t0 * t1 = 0
+        cs.enforce_named(
+            terms[0].clone(),
+            terms[1].clone(),
+            LinearCombination::zero(),
+            "product_zero",
+        );
+        return;
+    } else {
+        let v = cs.alloc_witness(acc_val);
+        cs.enforce_named(terms[0].clone(), terms[1].clone(), v.into(), "product_zero step");
+        v.into()
+    };
+    for (i, t) in terms.iter().enumerate().skip(2) {
+        acc_val *= cs.eval_lc(t);
+        if i + 1 == terms.len() {
+            cs.enforce_named(acc, t.clone(), LinearCombination::zero(), "product_zero final");
+            return;
+        }
+        let v = cs.alloc_witness(acc_val);
+        cs.enforce_named(acc, t.clone(), v.into(), "product_zero step");
+        acc = v.into();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkvc_ff::{Fr, PrimeField};
+
+    #[test]
+    fn mul_gadget() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let a = cs.alloc_witness(Fr::from_u64(6));
+        let b = cs.alloc_witness(Fr::from_u64(7));
+        let c = mul(&mut cs, &a.into(), &b.into());
+        assert_eq!(cs.value(c), Fr::from_u64(42));
+        assert!(cs.is_satisfied());
+    }
+
+    #[test]
+    fn inverse_gadget() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let a = cs.alloc_witness(Fr::from_u64(5));
+        let inv = inverse(&mut cs, &a.into());
+        assert_eq!(cs.value(inv) * Fr::from_u64(5), Fr::one());
+        assert!(cs.is_satisfied());
+
+        // inverse of zero cannot be satisfied
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let z = cs.alloc_witness(Fr::zero());
+        inverse(&mut cs, &z.into());
+        assert!(!cs.is_satisfied());
+    }
+
+    #[test]
+    fn is_zero_gadget() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let z = cs.alloc_witness(Fr::zero());
+        let nz = cs.alloc_witness(Fr::from_u64(11));
+        let b1 = is_zero(&mut cs, &z.into());
+        let b2 = is_zero(&mut cs, &nz.into());
+        assert_eq!(cs.value(b1), Fr::one());
+        assert_eq!(cs.value(b2), Fr::zero());
+        assert!(cs.is_satisfied());
+    }
+
+    #[test]
+    fn is_zero_soundness_against_lying_prover() {
+        // A prover who claims a non-zero value is zero cannot satisfy the
+        // constraints no matter what inverse value they pick.
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let nz = cs.alloc_witness(Fr::from_u64(11));
+        let b = is_zero(&mut cs, &nz.into());
+        assert!(cs.is_satisfied());
+        // tamper: claim b = 1
+        let mut w = cs.witness_assignment().to_vec();
+        let b_index = match b {
+            crate::lc::Variable::Witness(i) => i,
+            _ => unreachable!(),
+        };
+        w[b_index] = Fr::one();
+        cs.set_witness_assignment(w);
+        assert!(!cs.is_satisfied());
+    }
+
+    #[test]
+    fn is_equal_gadget() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let a = cs.alloc_witness(Fr::from_u64(9));
+        let b = cs.alloc_witness(Fr::from_u64(9));
+        let c = cs.alloc_witness(Fr::from_u64(10));
+        let eq = is_equal(&mut cs, &a.into(), &b.into());
+        let ne = is_equal(&mut cs, &a.into(), &c.into());
+        assert_eq!(cs.value(eq), Fr::one());
+        assert_eq!(cs.value(ne), Fr::zero());
+        assert!(cs.is_satisfied());
+    }
+
+    #[test]
+    fn select_gadget() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let t = crate::gadgets::alloc_bit(&mut cs, true);
+        let f = crate::gadgets::alloc_bit(&mut cs, false);
+        let x = cs.alloc_witness(Fr::from_u64(100));
+        let y = cs.alloc_witness(Fr::from_u64(200));
+        let s1 = select(&mut cs, t, &x.into(), &y.into());
+        let s2 = select(&mut cs, f, &x.into(), &y.into());
+        assert_eq!(cs.value(s1), Fr::from_u64(100));
+        assert_eq!(cs.value(s2), Fr::from_u64(200));
+        assert!(cs.is_satisfied());
+    }
+
+    #[test]
+    fn product_is_zero() {
+        // one of the terms is zero -> satisfiable
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let vals = [3u64, 0, 7, 9];
+        let lcs: Vec<LinearCombination<Fr>> = vals
+            .iter()
+            .map(|v| cs.alloc_witness(Fr::from_u64(*v)).into())
+            .collect();
+        enforce_product_is_zero(&mut cs, &lcs);
+        assert!(cs.is_satisfied());
+
+        // no zero term -> unsatisfiable
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let lcs: Vec<LinearCombination<Fr>> = [3u64, 2, 7, 9]
+            .iter()
+            .map(|v| cs.alloc_witness(Fr::from_u64(*v)).into())
+            .collect();
+        enforce_product_is_zero(&mut cs, &lcs);
+        assert!(!cs.is_satisfied());
+    }
+
+    #[test]
+    fn product_is_zero_short_lists() {
+        // single zero term
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let z: LinearCombination<Fr> = cs.alloc_witness(Fr::zero()).into();
+        enforce_product_is_zero(&mut cs, std::slice::from_ref(&z));
+        assert!(cs.is_satisfied());
+        // two terms, one zero
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let a: LinearCombination<Fr> = cs.alloc_witness(Fr::from_u64(5)).into();
+        let z: LinearCombination<Fr> = cs.alloc_witness(Fr::zero()).into();
+        enforce_product_is_zero(&mut cs, &[a, z]);
+        assert!(cs.is_satisfied());
+        // empty list is a no-op
+        let mut cs = ConstraintSystem::<Fr>::new();
+        enforce_product_is_zero::<Fr>(&mut cs, &[]);
+        assert!(cs.is_satisfied());
+        assert_eq!(cs.num_constraints(), 0);
+    }
+}

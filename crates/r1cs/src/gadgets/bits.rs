@@ -1,0 +1,142 @@
+//! Boolean and bit-decomposition gadgets.
+
+use zkvc_ff::{Field, PrimeField};
+
+use crate::cs::{ConstraintSystem, SynthesisError};
+use crate::lc::{LinearCombination, Variable};
+
+/// Allocates a witness bit with value `bit` and constrains it to be boolean
+/// (`b * (1 - b) = 0`).
+pub fn alloc_bit<F: PrimeField>(cs: &mut ConstraintSystem<F>, bit: bool) -> Variable {
+    let v = cs.alloc_witness(if bit { F::one() } else { F::zero() });
+    enforce_boolean(cs, v);
+    v
+}
+
+/// Constrains an existing variable to be 0 or 1.
+pub fn enforce_boolean<F: Field>(cs: &mut ConstraintSystem<F>, v: Variable) {
+    cs.enforce_named(
+        v.into(),
+        LinearCombination::constant(F::one()) - LinearCombination::from(v),
+        LinearCombination::zero(),
+        "boolean",
+    );
+}
+
+/// Decomposes `value` (interpreted as an unsigned integer `< 2^num_bits`)
+/// into `num_bits` boolean witness variables, least-significant first, and
+/// enforces that the bits recompose to `value`.
+///
+/// # Errors
+/// Returns [`SynthesisError::ValueOutOfRange`] if the assigned value does not
+/// fit in `num_bits` bits (the constraint system would be unsatisfiable).
+pub fn bit_decompose<F: PrimeField>(
+    cs: &mut ConstraintSystem<F>,
+    value: &LinearCombination<F>,
+    num_bits: usize,
+) -> Result<Vec<Variable>, SynthesisError> {
+    let val = cs.eval_lc(value);
+    let canonical = val.to_canonical();
+    if num_bits < 256 && zkvc_ff::arith::num_bits_4(&canonical) as usize > num_bits {
+        return Err(SynthesisError::ValueOutOfRange("bit_decompose"));
+    }
+    let mut bits = Vec::with_capacity(num_bits);
+    let mut packing = LinearCombination::zero();
+    let mut coeff = F::one();
+    for i in 0..num_bits {
+        let bit_val = (canonical[i / 64] >> (i % 64)) & 1 == 1;
+        let b = alloc_bit(cs, bit_val);
+        packing.push(b, coeff);
+        coeff = coeff.double();
+        bits.push(b);
+    }
+    // sum_i 2^i b_i = value
+    cs.enforce_named(
+        packing - value.clone(),
+        LinearCombination::constant(F::one()),
+        LinearCombination::zero(),
+        "bit packing",
+    );
+    Ok(bits)
+}
+
+/// Packs boolean variables (LSB first) into a single linear combination
+/// `sum_i 2^i b_i`.
+pub fn pack_bits<F: PrimeField>(bits: &[Variable]) -> LinearCombination<F> {
+    let mut lc = LinearCombination::zero();
+    let mut coeff = F::one();
+    for b in bits {
+        lc.push(*b, coeff);
+        coeff = coeff.double();
+    }
+    lc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkvc_ff::Fr;
+
+    #[test]
+    fn boolean_constraint() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        alloc_bit(&mut cs, true);
+        alloc_bit(&mut cs, false);
+        assert!(cs.is_satisfied());
+
+        // a non-boolean value must violate the constraint
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let v = cs.alloc_witness(Fr::from_u64(2));
+        enforce_boolean(&mut cs, v);
+        assert!(!cs.is_satisfied());
+    }
+
+    #[test]
+    fn decompose_and_pack_roundtrip() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let x = cs.alloc_witness(Fr::from_u64(0b1011_0110));
+        let bits = bit_decompose(&mut cs, &x.into(), 8).unwrap();
+        assert_eq!(bits.len(), 8);
+        assert!(cs.is_satisfied());
+        // check individual bit values
+        let expected = [0, 1, 1, 0, 1, 1, 0, 1];
+        for (b, e) in bits.iter().zip(expected.iter()) {
+            assert_eq!(cs.value(*b), Fr::from_u64(*e));
+        }
+        // packing the bits gives back the value
+        let packed = pack_bits::<Fr>(&bits);
+        assert_eq!(cs.eval_lc(&packed), Fr::from_u64(0b1011_0110));
+    }
+
+    #[test]
+    fn decompose_rejects_oversized_values() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let x = cs.alloc_witness(Fr::from_u64(300));
+        assert_eq!(
+            bit_decompose(&mut cs, &x.into(), 8),
+            Err(SynthesisError::ValueOutOfRange("bit_decompose"))
+        );
+    }
+
+    #[test]
+    fn decomposition_constraint_count() {
+        // n booleanity constraints + 1 packing constraint
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let x = cs.alloc_witness(Fr::from_u64(5));
+        bit_decompose(&mut cs, &x.into(), 16).unwrap();
+        assert_eq!(cs.num_constraints(), 17);
+    }
+
+    #[test]
+    fn tampered_bit_breaks_packing() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let x = cs.alloc_witness(Fr::from_u64(6));
+        bit_decompose(&mut cs, &x.into(), 4).unwrap();
+        assert!(cs.is_satisfied());
+        // flip the witness bit 0 (stored right after x)
+        let mut w: Vec<Fr> = cs.witness_assignment().to_vec();
+        w[1] = Fr::one() - w[1];
+        cs.set_witness_assignment(w);
+        assert!(!cs.is_satisfied());
+    }
+}

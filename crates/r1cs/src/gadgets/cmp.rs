@@ -1,0 +1,216 @@
+//! Comparison gadgets based on bit decomposition.
+//!
+//! These implement the two checks the paper's SoftMax verification needs
+//! (§III-C): `x_max >= x_j` for all `j` (via bit-decomposition comparison)
+//! and `prod_j (x_max - x_j) = 0` (membership), plus the signed-negativity
+//! test used to select the clipping branch of the exponential approximation.
+
+use zkvc_ff::PrimeField;
+
+use crate::cs::{ConstraintSystem, SynthesisError};
+use crate::lc::{LinearCombination, Variable};
+
+use super::{bit_decompose, enforce_product_is_zero};
+
+/// Default bit width for quantised fixed-point values (matches the 32-bit
+/// accumulators produced by the NITI-style quantisation in `zkvc-nn`).
+pub const BIT_WIDTH_DEFAULT: usize = 32;
+
+/// Returns a boolean variable equal to 1 iff `a >= b`, where both operands
+/// are signed values of magnitude `< 2^(num_bits - 1)`.
+///
+/// Internally computes `a - b + 2^num_bits` and decomposes it into
+/// `num_bits + 1` bits; the top bit is the comparison result.
+///
+/// # Errors
+/// Propagates [`SynthesisError::ValueOutOfRange`] if the operands exceed the
+/// stated magnitude bound.
+pub fn greater_equal<F: PrimeField>(
+    cs: &mut ConstraintSystem<F>,
+    a: &LinearCombination<F>,
+    b: &LinearCombination<F>,
+    num_bits: usize,
+) -> Result<Variable, SynthesisError> {
+    let offset = F::from_u64(2).pow(&[num_bits as u64]);
+    let shifted = a.clone() - b + LinearCombination::constant(offset);
+    let bits = bit_decompose(cs, &shifted, num_bits + 1)?;
+    Ok(bits[num_bits])
+}
+
+/// Returns a boolean variable equal to 1 iff the signed value `x` (with
+/// magnitude `< 2^(num_bits - 1)`) is negative.
+pub fn is_negative_fixed<F: PrimeField>(
+    cs: &mut ConstraintSystem<F>,
+    x: &LinearCombination<F>,
+    num_bits: usize,
+) -> Result<Variable, SynthesisError> {
+    let ge_zero = greater_equal(cs, x, &LinearCombination::zero(), num_bits)?;
+    // neg = 1 - ge_zero, constrained by neg + ge_zero = 1 (both boolean).
+    let neg_val = F::one() - cs.value(ge_zero);
+    let neg = cs.alloc_witness(neg_val);
+    cs.enforce_named(
+        LinearCombination::from(neg) + LinearCombination::from(ge_zero),
+        LinearCombination::constant(F::one()),
+        LinearCombination::constant(F::one()),
+        "is_negative complement",
+    );
+    Ok(neg)
+}
+
+/// Allocates and constrains the maximum of `values` exactly as described in
+/// the paper: (1) `max >= x_j` for every `j`, and (2)
+/// `prod_j (max - x_j) = 0` so `max` is one of the inputs.
+///
+/// Values are signed with magnitude `< 2^(num_bits - 1)`.
+///
+/// # Errors
+/// Propagates range errors from the comparison decompositions.
+///
+/// # Panics
+/// Panics if `values` is empty.
+pub fn max_of<F: PrimeField>(
+    cs: &mut ConstraintSystem<F>,
+    values: &[LinearCombination<F>],
+    num_bits: usize,
+) -> Result<Variable, SynthesisError> {
+    assert!(!values.is_empty(), "max_of requires at least one value");
+    // Hint the maximum value (as a signed comparison on canonical values,
+    // using the fact that quantities are bounded by 2^(num_bits-1)).
+    let half = F::from_u64(2).pow(&[(num_bits - 1) as u64]);
+    let to_signed_key = |v: F| {
+        // map field value to an ordered key: add 2^(num_bits-1) so that
+        // negative values (p - |v|) wrap below positives
+        (v + half).to_canonical()
+    };
+    let max_val = values
+        .iter()
+        .map(|lc| cs.eval_lc(lc))
+        .max_by(|a, b| {
+            let ka = to_signed_key(*a);
+            let kb = to_signed_key(*b);
+            if ka == kb {
+                core::cmp::Ordering::Equal
+            } else if zkvc_ff::arith::lt_4(&ka, &kb) {
+                core::cmp::Ordering::Less
+            } else {
+                core::cmp::Ordering::Greater
+            }
+        })
+        .expect("non-empty");
+    let max_var = cs.alloc_witness(max_val);
+
+    // (1) max >= x_j for all j
+    for v in values {
+        let ge = greater_equal(cs, &max_var.into(), v, num_bits)?;
+        cs.enforce_named(
+            ge.into(),
+            LinearCombination::constant(F::one()),
+            LinearCombination::constant(F::one()),
+            "max dominates",
+        );
+    }
+    // (2) membership: prod (max - x_j) = 0
+    let diffs: Vec<LinearCombination<F>> = values
+        .iter()
+        .map(|v| LinearCombination::from(max_var) - v)
+        .collect();
+    enforce_product_is_zero(cs, &diffs);
+    Ok(max_var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkvc_ff::{Field, Fr};
+
+    fn lc_of(cs: &mut ConstraintSystem<Fr>, v: i64) -> LinearCombination<Fr> {
+        cs.alloc_witness(Fr::from_i64(v)).into()
+    }
+
+    #[test]
+    fn greater_equal_positive_and_negative() {
+        let cases = [
+            (5i64, 3i64, true),
+            (3, 5, false),
+            (4, 4, true),
+            (-2, -7, true),
+            (-7, -2, false),
+            (-1, 1, false),
+            (1, -1, true),
+            (0, 0, true),
+        ];
+        for (a, b, expect) in cases {
+            let mut cs = ConstraintSystem::<Fr>::new();
+            let la = lc_of(&mut cs, a);
+            let lb = lc_of(&mut cs, b);
+            let ge = greater_equal(&mut cs, &la, &lb, 16).unwrap();
+            assert!(cs.is_satisfied(), "a={a}, b={b}");
+            assert_eq!(
+                cs.value(ge),
+                if expect { Fr::one() } else { Fr::zero() },
+                "a={a}, b={b}"
+            );
+        }
+    }
+
+    #[test]
+    fn greater_equal_out_of_range_rejected() {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let la = lc_of(&mut cs, 1 << 20);
+        let lb = lc_of(&mut cs, 0);
+        // 8-bit comparison cannot hold a 2^20 difference
+        assert!(greater_equal(&mut cs, &la, &lb, 8).is_err());
+    }
+
+    #[test]
+    fn is_negative() {
+        for (v, expect) in [(-5i64, true), (5, false), (0, false), (-1, true)] {
+            let mut cs = ConstraintSystem::<Fr>::new();
+            let lv = lc_of(&mut cs, v);
+            let neg = is_negative_fixed(&mut cs, &lv, 16).unwrap();
+            assert!(cs.is_satisfied());
+            assert_eq!(cs.value(neg), if expect { Fr::one() } else { Fr::zero() }, "v={v}");
+        }
+    }
+
+    #[test]
+    fn max_of_values() {
+        let cases: Vec<(Vec<i64>, i64)> = vec![
+            (vec![1, 5, 3], 5),
+            (vec![-4, -2, -9], -2),
+            (vec![7], 7),
+            (vec![-1, 0, 1], 1),
+            (vec![4, 4, 4], 4),
+        ];
+        for (vals, expect) in cases {
+            let mut cs = ConstraintSystem::<Fr>::new();
+            let lcs: Vec<LinearCombination<Fr>> =
+                vals.iter().map(|v| lc_of(&mut cs, *v)).collect();
+            let m = max_of(&mut cs, &lcs, 16).unwrap();
+            assert!(cs.is_satisfied(), "vals={vals:?}");
+            assert_eq!(cs.value(m), Fr::from_i64(expect), "vals={vals:?}");
+        }
+    }
+
+    #[test]
+    fn max_soundness_rejects_wrong_max() {
+        // Claiming a non-maximal element fails the domination check, and
+        // claiming a too-large value fails the membership product.
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let lcs: Vec<LinearCombination<Fr>> = [1i64, 5, 3]
+            .iter()
+            .map(|v| lc_of(&mut cs, *v))
+            .collect();
+        let m = max_of(&mut cs, &lcs, 16).unwrap();
+        assert!(cs.is_satisfied());
+        let m_idx = match m {
+            Variable::Witness(i) => i,
+            _ => unreachable!(),
+        };
+        // tamper with the max witness only (leaving the rest inconsistent)
+        let mut w = cs.witness_assignment().to_vec();
+        w[m_idx] = Fr::from_u64(6); // not a member
+        cs.set_witness_assignment(w);
+        assert!(!cs.is_satisfied());
+    }
+}

@@ -1,0 +1,14 @@
+//! Reusable constraint gadgets.
+//!
+//! These are the building blocks the paper's non-linear approximations rely
+//! on: booleanity, bit decomposition (for the comparisons in the SoftMax max
+//! check and the clipping threshold), equality/zero tests, selection, and
+//! products of many terms.
+
+mod arith;
+mod bits;
+mod cmp;
+
+pub use arith::{enforce_product_is_zero, inverse, is_equal, is_zero, mul, select};
+pub use bits::{alloc_bit, bit_decompose, enforce_boolean, pack_bits};
+pub use cmp::{greater_equal, is_negative_fixed, max_of, BIT_WIDTH_DEFAULT};

@@ -1,0 +1,187 @@
+//! Sparse matrix form of an R1CS instance.
+//!
+//! Both the QAP reduction (Groth16 path) and the Spartan-style sum-check
+//! SNARK consume the constraint system as three sparse matrices `A`, `B`,
+//! `C` with `Az ∘ Bz = Cz`.
+
+use zkvc_ff::Field;
+
+use crate::cs::ConstraintSystem;
+
+/// A sparse matrix in row-major coordinate form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SparseMatrix<F: Field> {
+    /// Number of rows (constraints).
+    pub num_rows: usize,
+    /// Number of columns (variables, including the constant-one column 0).
+    pub num_cols: usize,
+    /// Rows: each row is a list of `(column, coefficient)` entries.
+    pub rows: Vec<Vec<(usize, F)>>,
+}
+
+impl<F: Field> SparseMatrix<F> {
+    /// Multiplies the matrix by a dense vector.
+    ///
+    /// # Panics
+    /// Panics if `z.len() != self.num_cols`.
+    pub fn mul_vector(&self, z: &[F]) -> Vec<F> {
+        assert_eq!(z.len(), self.num_cols, "assignment length mismatch");
+        self.rows
+            .iter()
+            .map(|row| row.iter().map(|(j, v)| z[*j] * *v).sum())
+            .collect()
+    }
+
+    /// Total number of non-zero entries.
+    pub fn num_nonzero(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// Evaluates the multilinear extension of the matrix (viewed as a
+    /// function `{0,1}^log(rows) x {0,1}^log(cols) -> F`) at `(rx, ry)`.
+    ///
+    /// Used by the Spartan-style verifier, which evaluates the public
+    /// matrices itself instead of relying on a sparse commitment.
+    pub fn evaluate_mle(&self, rx: &[F], ry: &[F]) -> F {
+        let chi_rx = zkvc_ff::poly::eq_evals(rx);
+        let chi_ry = zkvc_ff::poly::eq_evals(ry);
+        let mut acc = F::zero();
+        for (i, row) in self.rows.iter().enumerate() {
+            if chi_rx[i].is_zero() {
+                continue;
+            }
+            for (j, v) in row {
+                acc += chi_rx[i] * chi_ry[*j] * *v;
+            }
+        }
+        acc
+    }
+}
+
+/// The three sparse matrices of an R1CS instance plus its dimensions.
+#[derive(Clone, Debug)]
+pub struct R1csMatrices<F: Field> {
+    /// Left matrix.
+    pub a: SparseMatrix<F>,
+    /// Right matrix.
+    pub b: SparseMatrix<F>,
+    /// Output matrix.
+    pub c: SparseMatrix<F>,
+    /// Number of instance variables (excluding the constant one).
+    pub num_instance: usize,
+    /// Number of witness variables.
+    pub num_witness: usize,
+}
+
+impl<F: Field> R1csMatrices<F> {
+    /// Extracts the matrices from a constraint system.
+    pub fn from_constraint_system(cs: &ConstraintSystem<F>) -> Self {
+        let num_cols = cs.num_variables();
+        let (a_lcs, b_lcs, c_lcs) = cs.constraints();
+        let build = |lcs: &[crate::lc::LinearCombination<F>]| SparseMatrix {
+            num_rows: lcs.len(),
+            num_cols,
+            rows: lcs
+                .iter()
+                .map(|lc| {
+                    lc.normalize()
+                        .terms
+                        .iter()
+                        .map(|(v, c)| (cs.variable_index(*v), *c))
+                        .collect()
+                })
+                .collect(),
+        };
+        R1csMatrices {
+            a: build(a_lcs),
+            b: build(b_lcs),
+            c: build(c_lcs),
+            num_instance: cs.num_instance(),
+            num_witness: cs.num_witness(),
+        }
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.a.num_rows
+    }
+
+    /// Number of variables (columns), including the constant one.
+    pub fn num_variables(&self) -> usize {
+        self.a.num_cols
+    }
+
+    /// Checks `Az ∘ Bz = Cz` for a full assignment `z`.
+    pub fn is_satisfied(&self, z: &[F]) -> bool {
+        let az = self.a.mul_vector(z);
+        let bz = self.b.mul_vector(z);
+        let cz = self.c.mul_vector(z);
+        az.iter()
+            .zip(bz.iter())
+            .zip(cz.iter())
+            .all(|((a, b), c)| *a * *b == *c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lc::LinearCombination;
+    use zkvc_ff::{Fr, PrimeField};
+
+    fn toy_cs() -> ConstraintSystem<Fr> {
+        // (x + y) * y = z  with x=2, y=3, z=15
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let x = cs.alloc_instance(Fr::from_u64(2));
+        let y = cs.alloc_witness(Fr::from_u64(3));
+        let z = cs.alloc_witness(Fr::from_u64(15));
+        cs.enforce(
+            LinearCombination::from(x) + LinearCombination::from(y),
+            y.into(),
+            z.into(),
+        );
+        cs
+    }
+
+    #[test]
+    fn matrices_reflect_constraints() {
+        let cs = toy_cs();
+        let m = cs.to_matrices();
+        assert_eq!(m.num_constraints(), 1);
+        assert_eq!(m.num_variables(), 4);
+        assert_eq!(m.a.num_nonzero(), 2);
+        assert_eq!(m.b.num_nonzero(), 1);
+        assert_eq!(m.c.num_nonzero(), 1);
+        assert!(m.is_satisfied(&cs.full_assignment()));
+    }
+
+    #[test]
+    fn unsatisfied_assignment_detected() {
+        let cs = toy_cs();
+        let m = cs.to_matrices();
+        let mut z = cs.full_assignment();
+        z[3] = Fr::from_u64(16); // wrong product
+        assert!(!m.is_satisfied(&z));
+    }
+
+    #[test]
+    fn mle_matches_direct_entries() {
+        let cs = toy_cs();
+        let m = cs.to_matrices();
+        // On boolean points the MLE must equal the matrix entries. The A
+        // matrix is 1 row x 4 cols; pad to 1 x 4 -> 0 row vars, 2 col vars.
+        let a = &m.a;
+        for j in 0..4usize {
+            let ry = vec![
+                Fr::from_u64((j & 1) as u64),
+                Fr::from_u64(((j >> 1) & 1) as u64),
+            ];
+            let direct = a.rows[0]
+                .iter()
+                .find(|(col, _)| *col == j)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(Fr::zero);
+            assert_eq!(a.evaluate_mle(&[], &ry), direct);
+        }
+    }
+}

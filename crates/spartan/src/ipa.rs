@@ -1,0 +1,280 @@
+//! A Bulletproofs-style inner-product argument (non-hiding).
+//!
+//! Proves knowledge of a vector `a` such that `P = <a, G> + <a, b> * Q` for
+//! public generators `G`, `Q` and a public vector `b`, with a proof of
+//! `2 log n` group elements. The Spartan-style SNARK uses it to open the
+//! multilinear evaluation of the committed witness at the random point
+//! produced by the second sum-check.
+
+use zkvc_curve::{msm, G1Affine, G1Projective};
+use zkvc_ff::{batch_inverse, Field, Fr};
+use zkvc_hash::Transcript;
+
+/// Generators for the inner-product argument.
+#[derive(Clone, Debug)]
+pub struct IpaGenerators {
+    /// Vector bases (`n`, a power of two).
+    pub g: Vec<G1Affine>,
+    /// The base that carries the inner-product value.
+    pub q: G1Affine,
+}
+
+impl IpaGenerators {
+    /// Derives generators from a label; `n` is rounded up to a power of two.
+    pub fn new(n: usize, label: &[u8]) -> Self {
+        let n = n.max(1).next_power_of_two();
+        let pts: Vec<G1Projective> = (0..n)
+            .map(|i| {
+                let mut seed = label.to_vec();
+                seed.extend_from_slice(b"/ipa-g/");
+                seed.extend_from_slice(&(i as u64).to_le_bytes());
+                G1Projective::hash_to_curve(&seed)
+            })
+            .collect();
+        let mut qs = label.to_vec();
+        qs.extend_from_slice(b"/ipa-q");
+        IpaGenerators {
+            g: G1Projective::batch_to_affine(&pts),
+            q: G1Projective::hash_to_curve(&qs).to_affine(),
+        }
+    }
+
+    /// The (padded) vector length supported by these generators.
+    pub fn len(&self) -> usize {
+        self.g.len()
+    }
+
+    /// Whether the generator vector is empty (never true after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.g.is_empty()
+    }
+
+    /// Commits to the vector `a`: `<a, G>` (no blinding).
+    pub fn commit(&self, a: &[Fr]) -> G1Projective {
+        assert!(a.len() <= self.g.len(), "vector longer than generators");
+        msm(&self.g[..a.len()], a)
+    }
+}
+
+/// A logarithmic-size inner-product proof.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InnerProductProof {
+    /// Left cross terms, one per round.
+    pub l_vec: Vec<G1Affine>,
+    /// Right cross terms, one per round.
+    pub r_vec: Vec<G1Affine>,
+    /// The single remaining vector entry after all folding rounds.
+    pub a_final: Fr,
+}
+
+impl InnerProductProof {
+    /// Serialised size in bytes (65 bytes per point + 32 for the scalar).
+    pub fn size_in_bytes(&self) -> usize {
+        (self.l_vec.len() + self.r_vec.len()) * 65 + 32
+    }
+
+    /// Proves that the committed vector `a` satisfies `<a, b> = c`, where the
+    /// verifier knows `commit = <a, G>`, the public vector `b` and `c`.
+    ///
+    /// # Panics
+    /// Panics if `a.len() != b.len()` or the length is not a power of two
+    /// matching the generators.
+    pub fn prove(
+        gens: &IpaGenerators,
+        transcript: &mut Transcript,
+        a: &[Fr],
+        b: &[Fr],
+    ) -> InnerProductProof {
+        assert_eq!(a.len(), b.len(), "vector length mismatch");
+        assert!(a.len().is_power_of_two(), "length must be a power of two");
+        assert_eq!(a.len(), gens.g.len(), "generator length mismatch");
+
+        let mut a = a.to_vec();
+        let mut b = b.to_vec();
+        let mut g = gens.g.to_vec();
+        let q = gens.q.to_projective();
+
+        let mut l_vec = Vec::new();
+        let mut r_vec = Vec::new();
+
+        while a.len() > 1 {
+            let half = a.len() / 2;
+            let (a_l, a_r) = a.split_at(half);
+            let (b_l, b_r) = b.split_at(half);
+            let (g_l, g_r) = g.split_at(half);
+
+            let c_l: Fr = a_l.iter().zip(b_r.iter()).map(|(x, y)| *x * *y).sum();
+            let c_r: Fr = a_r.iter().zip(b_l.iter()).map(|(x, y)| *x * *y).sum();
+
+            let l = msm(g_r, a_l) + q * c_l;
+            let r = msm(g_l, a_r) + q * c_r;
+            let l_aff = l.to_affine();
+            let r_aff = r.to_affine();
+            transcript.append_point(b"ipa L", &l_aff);
+            transcript.append_point(b"ipa R", &r_aff);
+            l_vec.push(l_aff);
+            r_vec.push(r_aff);
+
+            let x = transcript.challenge_field(b"ipa x");
+            let x_inv = x.inverse().expect("challenge is non-zero w.o.p.");
+
+            // fold
+            let mut a_next = Vec::with_capacity(half);
+            let mut b_next = Vec::with_capacity(half);
+            let mut g_next = Vec::with_capacity(half);
+            for i in 0..half {
+                a_next.push(a_l[i] * x + a_r[i] * x_inv);
+                b_next.push(b_l[i] * x_inv + b_r[i] * x);
+                g_next.push((g_l[i].to_projective() * x_inv + g_r[i].to_projective() * x).to_affine());
+            }
+            a = a_next;
+            b = b_next;
+            g = g_next;
+        }
+
+        InnerProductProof {
+            l_vec,
+            r_vec,
+            a_final: a[0],
+        }
+    }
+
+    /// Verifies the proof against `commit = <a, G>`, the public vector `b`
+    /// and the claimed inner product `c`.
+    pub fn verify(
+        &self,
+        gens: &IpaGenerators,
+        transcript: &mut Transcript,
+        commit: &G1Projective,
+        b: &[Fr],
+        c: &Fr,
+    ) -> bool {
+        let n = gens.g.len();
+        if b.len() != n || !n.is_power_of_two() {
+            return false;
+        }
+        let rounds = n.trailing_zeros() as usize;
+        if self.l_vec.len() != rounds || self.r_vec.len() != rounds {
+            return false;
+        }
+
+        // Reconstruct challenges.
+        let mut challenges = Vec::with_capacity(rounds);
+        for (l, r) in self.l_vec.iter().zip(self.r_vec.iter()) {
+            if !l.is_on_curve() || !r.is_on_curve() {
+                return false;
+            }
+            transcript.append_point(b"ipa L", l);
+            transcript.append_point(b"ipa R", r);
+            challenges.push(transcript.challenge_field(b"ipa x"));
+        }
+        let mut challenges_inv = challenges.clone();
+        batch_inverse(&mut challenges_inv);
+
+        // s_i = prod_j x_j^{+1 or -1} depending on bit j of i (MSB = round 0)
+        let mut s = vec![Fr::one(); n];
+        for i in 0..n {
+            for (j, (x, x_inv)) in challenges.iter().zip(challenges_inv.iter()).enumerate() {
+                // round j splits on bit (rounds-1-j)... with our folding the
+                // first round pairs index i and i+half, i.e. bit (rounds-1).
+                let bit = (i >> (rounds - 1 - j)) & 1;
+                s[i] *= if bit == 1 { *x } else { *x_inv };
+            }
+        }
+
+        // b folds exactly like G, so b_final = <b, s>.
+        let b_final: Fr = b.iter().zip(s.iter()).map(|(bi, si)| *bi * *si).sum();
+
+        // G_final = <s, G>
+        let g_final = msm(&gens.g, &s);
+
+        // P' = commit + c*Q + sum_j (x_j^2 L_j + x_j^{-2} R_j)
+        let q = gens.q.to_projective();
+        let mut p = *commit + q * *c;
+        for ((l, r), (x, x_inv)) in self
+            .l_vec
+            .iter()
+            .zip(self.r_vec.iter())
+            .zip(challenges.iter().zip(challenges_inv.iter()))
+        {
+            p = p + l.to_projective() * (x.square()) + r.to_projective() * (x_inv.square());
+        }
+
+        // Check P' == a_final * G_final + (a_final * b_final) * Q
+        p == g_final * self.a_final + q * (self.a_final * b_final)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn inner(a: &[Fr], b: &[Fr]) -> Fr {
+        a.iter().zip(b.iter()).map(|(x, y)| *x * *y).sum()
+    }
+
+    #[test]
+    fn prove_verify_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(100);
+        for log_n in [0usize, 1, 3, 5] {
+            let n = 1 << log_n;
+            let gens = IpaGenerators::new(n, b"ipa test");
+            let a: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+            let b: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+            let c = inner(&a, &b);
+            let commit = gens.commit(&a);
+
+            let mut tp = Transcript::new(b"ipa");
+            let proof = InnerProductProof::prove(&gens, &mut tp, &a, &b);
+            let mut tv = Transcript::new(b"ipa");
+            assert!(proof.verify(&gens, &mut tv, &commit, &b, &c), "n={n}");
+            assert!(proof.size_in_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn wrong_claim_rejected() {
+        let mut rng = StdRng::seed_from_u64(101);
+        let n = 8;
+        let gens = IpaGenerators::new(n, b"ipa test");
+        let a: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        let b: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        let commit = gens.commit(&a);
+        let mut tp = Transcript::new(b"ipa");
+        let proof = InnerProductProof::prove(&gens, &mut tp, &a, &b);
+        let mut tv = Transcript::new(b"ipa");
+        let wrong = inner(&a, &b) + Fr::one();
+        assert!(!proof.verify(&gens, &mut tv, &commit, &b, &wrong));
+    }
+
+    #[test]
+    fn wrong_commitment_rejected() {
+        let mut rng = StdRng::seed_from_u64(102);
+        let n = 4;
+        let gens = IpaGenerators::new(n, b"ipa test");
+        let a: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        let b: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        let mut tp = Transcript::new(b"ipa");
+        let proof = InnerProductProof::prove(&gens, &mut tp, &a, &b);
+        let bad_commit = gens.commit(&a) + G1Projective::generator();
+        let mut tv = Transcript::new(b"ipa");
+        assert!(!proof.verify(&gens, &mut tv, &bad_commit, &b, &inner(&a, &b)));
+    }
+
+    #[test]
+    fn tampered_proof_rejected() {
+        let mut rng = StdRng::seed_from_u64(103);
+        let n = 8;
+        let gens = IpaGenerators::new(n, b"ipa test");
+        let a: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        let b: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        let commit = gens.commit(&a);
+        let mut tp = Transcript::new(b"ipa");
+        let mut proof = InnerProductProof::prove(&gens, &mut tp, &a, &b);
+        proof.a_final += Fr::one();
+        let mut tv = Transcript::new(b"ipa");
+        assert!(!proof.verify(&gens, &mut tv, &commit, &b, &inner(&a, &b)));
+    }
+}

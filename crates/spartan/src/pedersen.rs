@@ -1,0 +1,124 @@
+//! Pedersen vector commitments over G1.
+//!
+//! Generators are derived transparently (hash-to-curve from a domain
+//! label), so no trusted setup is required — this is what lets the paper
+//! list "No Trusted Setup" for the Spartan backend in Table I.
+
+use rand::Rng;
+use zkvc_curve::{msm, G1Affine, G1Projective};
+use zkvc_ff::{Field, Fr};
+
+/// A set of Pedersen generators: `n` vector bases plus one blinding base.
+#[derive(Clone, Debug)]
+pub struct PedersenGenerators {
+    /// Bases for the committed vector entries.
+    pub bases: Vec<G1Affine>,
+    /// Base for the blinding factor.
+    pub blinding: G1Affine,
+}
+
+impl PedersenGenerators {
+    /// Derives `n` generators from a domain-separation label.
+    pub fn new(n: usize, label: &[u8]) -> Self {
+        let points: Vec<G1Projective> = (0..n)
+            .map(|i| {
+                let mut seed = label.to_vec();
+                seed.extend_from_slice(b"/basis/");
+                seed.extend_from_slice(&(i as u64).to_le_bytes());
+                G1Projective::hash_to_curve(&seed)
+            })
+            .collect();
+        let mut blind_seed = label.to_vec();
+        blind_seed.extend_from_slice(b"/blinding");
+        PedersenGenerators {
+            bases: G1Projective::batch_to_affine(&points),
+            blinding: G1Projective::hash_to_curve(&blind_seed).to_affine(),
+        }
+    }
+
+    /// Number of vector bases.
+    pub fn len(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// Whether there are no vector bases.
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+
+    /// Commits to a vector with an explicit blinding factor:
+    /// `sum_i v_i * G_i + blind * H`.
+    ///
+    /// # Panics
+    /// Panics if the vector is longer than the generator set.
+    pub fn commit(&self, values: &[Fr], blind: &Fr) -> G1Projective {
+        assert!(
+            values.len() <= self.bases.len(),
+            "vector longer than the generator set"
+        );
+        msm(&self.bases[..values.len()], values) + self.blinding.to_projective() * *blind
+    }
+
+    /// Commits with a random blinding factor, returning it alongside the
+    /// commitment.
+    pub fn commit_random<R: Rng + ?Sized>(
+        &self,
+        values: &[Fr],
+        rng: &mut R,
+    ) -> (G1Projective, Fr) {
+        let blind = Fr::random(rng);
+        (self.commit(values, &blind), blind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zkvc_ff::PrimeField;
+
+    #[test]
+    fn commitments_are_binding_on_values_and_blinds() {
+        let gens = PedersenGenerators::new(8, b"test");
+        let v1: Vec<Fr> = (1..=8).map(Fr::from_u64).collect();
+        let v2: Vec<Fr> = (2..=9).map(Fr::from_u64).collect();
+        let c1 = gens.commit(&v1, &Fr::from_u64(5));
+        let c2 = gens.commit(&v2, &Fr::from_u64(5));
+        let c3 = gens.commit(&v1, &Fr::from_u64(6));
+        assert_ne!(c1, c2);
+        assert_ne!(c1, c3);
+        // deterministic
+        assert_eq!(c1, gens.commit(&v1, &Fr::from_u64(5)));
+    }
+
+    #[test]
+    fn commitments_are_homomorphic() {
+        let gens = PedersenGenerators::new(4, b"hom");
+        let a: Vec<Fr> = (1..=4).map(Fr::from_u64).collect();
+        let b: Vec<Fr> = (5..=8).map(Fr::from_u64).collect();
+        let sum: Vec<Fr> = a.iter().zip(b.iter()).map(|(x, y)| *x + *y).collect();
+        let ca = gens.commit(&a, &Fr::from_u64(1));
+        let cb = gens.commit(&b, &Fr::from_u64(2));
+        let csum = gens.commit(&sum, &Fr::from_u64(3));
+        assert_eq!(ca + cb, csum);
+    }
+
+    #[test]
+    fn distinct_labels_give_distinct_generators() {
+        let g1 = PedersenGenerators::new(3, b"a");
+        let g2 = PedersenGenerators::new(3, b"b");
+        assert_ne!(g1.bases[0], g2.bases[0]);
+        assert_eq!(g1.len(), 3);
+        assert!(!g1.is_empty());
+    }
+
+    #[test]
+    fn short_vectors_allowed() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let gens = PedersenGenerators::new(8, b"short");
+        let v: Vec<Fr> = (1..=3).map(Fr::from_u64).collect();
+        let (c, blind) = gens.commit_random(&v, &mut rng);
+        assert_eq!(c, gens.commit(&v, &blind));
+    }
+}

@@ -1,0 +1,58 @@
+//! # zkVC
+//!
+//! A from-scratch Rust reproduction of **"zkVC: Fast Zero-Knowledge Proof
+//! for Private and Verifiable Computing"** (DAC 2025): efficient zk-SNARK
+//! circuits for matrix multiplication (CRPC + PSQ), verified non-linear
+//! approximations, and end-to-end verifiable Transformer inference over two
+//! proof-system backends built in this workspace (Groth16 and a
+//! Spartan-style transparent SNARK).
+//!
+//! This crate is the umbrella: it re-exports every sub-crate so downstream
+//! users can depend on `zkvc` alone.
+//!
+//! ```rust
+//! use zkvc::core::matmul::{MatMulBuilder, Strategy};
+//! use zkvc::core::Backend;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let x = vec![vec![1i64, 2], vec![3, 4]];
+//! let w = vec![vec![5i64, 6], vec![7, 8]];
+//! let job = MatMulBuilder::new(2, 2, 2).strategy(Strategy::CrpcPsq).build_integers(&x, &w);
+//! let proof = Backend::Spartan.prove(&job, &mut rng);
+//! assert!(Backend::Spartan.verify(&job, &proof));
+//! ```
+
+#![warn(missing_docs)]
+
+/// Finite fields, polynomials, FFT domains and multilinear extensions.
+pub use zkvc_ff as ff;
+
+/// The pairing-friendly curve, MSM and the Tate pairing.
+pub use zkvc_curve as curve;
+
+/// SHA-256 and Fiat-Shamir transcripts.
+pub use zkvc_hash as hash;
+
+/// The R1CS constraint system and gadget library.
+pub use zkvc_r1cs as r1cs;
+
+/// The R1CS-to-QAP reduction.
+pub use zkvc_qap as qap;
+
+/// The Groth16 zk-SNARK (the `zkVC-G` backend).
+pub use zkvc_groth16 as groth16;
+
+/// The Spartan-style transparent SNARK (the `zkVC-S` backend).
+pub use zkvc_spartan as spartan;
+
+/// The interactive sum-check matmul baseline (zkCNN-style).
+pub use zkvc_interactive as interactive;
+
+/// The paper's contribution: CRPC, PSQ, non-linear gadgets and the
+/// high-level prove/verify API.
+pub use zkvc_core as core;
+
+/// The quantised Transformer substrate and model-to-circuit compiler.
+pub use zkvc_nn as nn;
