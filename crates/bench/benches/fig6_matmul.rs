@@ -24,14 +24,17 @@ fn bench_prover_scaling(c: &mut Criterion) {
             let job = MatMulBuilder::new(dims.0, dims.1, dims.2)
                 .strategy(Strategy::CrpcPsq)
                 .build_random(&mut rng);
-            b.iter(|| Backend::Groth16.prove(&job, &mut rng));
+            // Setup amortises per shape; measure proving only.
+            let (pk, _vk) = Backend::Groth16.setup(&job.cs, &mut rng);
+            b.iter(|| Backend::Groth16.prove_with_key(&pk, &job.cs, &mut rng));
         });
         group.bench_with_input(BenchmarkId::new("zkvc_s", dim), &dims, |b, dims| {
             let mut rng = StdRng::seed_from_u64(3);
             let job = MatMulBuilder::new(dims.0, dims.1, dims.2)
                 .strategy(Strategy::CrpcPsq)
                 .build_random(&mut rng);
-            b.iter(|| Backend::Spartan.prove(&job, &mut rng));
+            let (pk, _vk) = Backend::Spartan.setup(&job.cs, &mut rng);
+            b.iter(|| Backend::Spartan.prove_with_key(&pk, &job.cs, &mut rng));
         });
     }
     group.finish();
@@ -46,10 +49,18 @@ fn bench_interactive_baseline(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(4);
     let dims = (8usize, 32usize, 64usize);
     let x: Vec<Vec<Fr>> = (0..dims.0)
-        .map(|_| (0..dims.1).map(|_| Fr::from_u64(rng.gen_range(0..256))).collect())
+        .map(|_| {
+            (0..dims.1)
+                .map(|_| Fr::from_u64(rng.gen_range(0..256)))
+                .collect()
+        })
         .collect();
     let w: Vec<Vec<Fr>> = (0..dims.1)
-        .map(|_| (0..dims.2).map(|_| Fr::from_u64(rng.gen_range(0..256))).collect())
+        .map(|_| {
+            (0..dims.2)
+                .map(|_| Fr::from_u64(rng.gen_range(0..256)))
+                .collect()
+        })
         .collect();
     let claim = zkvc_interactive::MatMulClaim::compute(&x, &w);
     group.bench_function("zkcnn_style_prove", |b| {

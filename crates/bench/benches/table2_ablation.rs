@@ -24,7 +24,9 @@ fn bench_ablation(c: &mut Criterion) {
                 let job = MatMulBuilder::new(dims.0, dims.1, dims.2)
                     .strategy(strategy)
                     .build_random(&mut rng);
-                b.iter(|| backend.prove(&job, &mut rng));
+                // Setup amortises per shape; measure proving only.
+                let (pk, _vk) = backend.setup(&job.cs, &mut rng);
+                b.iter(|| backend.prove_with_key(&pk, &job.cs, &mut rng));
             });
         }
     }

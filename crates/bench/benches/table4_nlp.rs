@@ -36,7 +36,9 @@ fn bench_nlp(c: &mut Criterion) {
         assert!(circuit.cs.is_satisfied());
         group.bench_function(BenchmarkId::new("spartan", schedule.name), |b| {
             let mut rng = StdRng::seed_from_u64(8);
-            b.iter(|| Backend::Spartan.prove_cs(&circuit.cs, &mut rng));
+            // Preprocessing amortises per model; measure proving only.
+            let (pk, _vk) = Backend::Spartan.setup(&circuit.cs, &mut rng);
+            b.iter(|| Backend::Spartan.prove_with_key(&pk, &circuit.cs, &mut rng));
         });
     }
     group.finish();

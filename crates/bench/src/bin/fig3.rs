@@ -9,7 +9,9 @@
 //! Run with `--full` for the paper-scale shape; the default quick mode uses
 //! a reduced shape with the same structure.
 
-use zkvc_bench::{full_mode, paper, paper_matmul_dims, print_results, quick_matmul_dims, run_matmul, speedup};
+use zkvc_bench::{
+    full_mode, paper, paper_matmul_dims, print_results, quick_matmul_dims, run_matmul, speedup,
+};
 use zkvc_core::matmul::Strategy;
 use zkvc_core::Backend;
 
@@ -25,14 +27,42 @@ fn main() {
         dims.1,
         dims.1,
         dims.2,
-        if full_mode() { "paper scale" } else { "quick mode; pass --full for paper scale" }
+        if full_mode() {
+            "paper scale"
+        } else {
+            "quick mode; pass --full for paper scale"
+        }
     );
 
     let results = vec![
-        run_matmul("groth16 (vanilla, ~vCNN)", dims, Strategy::Vanilla, Backend::Groth16, 1),
-        run_matmul("spartan (vanilla)", dims, Strategy::Vanilla, Backend::Spartan, 2),
-        run_matmul("zkVC-G (CRPC+PSQ)", dims, Strategy::CrpcPsq, Backend::Groth16, 3),
-        run_matmul("zkVC-S (CRPC+PSQ)", dims, Strategy::CrpcPsq, Backend::Spartan, 4),
+        run_matmul(
+            "groth16 (vanilla, ~vCNN)",
+            dims,
+            Strategy::Vanilla,
+            Backend::Groth16,
+            1,
+        ),
+        run_matmul(
+            "spartan (vanilla)",
+            dims,
+            Strategy::Vanilla,
+            Backend::Spartan,
+            2,
+        ),
+        run_matmul(
+            "zkVC-G (CRPC+PSQ)",
+            dims,
+            Strategy::CrpcPsq,
+            Backend::Groth16,
+            3,
+        ),
+        run_matmul(
+            "zkVC-S (CRPC+PSQ)",
+            dims,
+            Strategy::CrpcPsq,
+            Backend::Spartan,
+            4,
+        ),
     ];
     print_results("Figure 3 (measured)", &results);
 

@@ -8,7 +8,10 @@
 //! sum-check baseline standing in for zkCNN, and zkVC-G / zkVC-S.
 //! ZEN / zkML are not re-implemented (S5).
 
-use zkvc_bench::{full_mode, paper, paper_matmul_dims, print_results, quick_matmul_dims, run_interactive, run_matmul};
+use zkvc_bench::{
+    full_mode, paper, paper_matmul_dims, print_results, quick_matmul_dims, run_interactive,
+    run_matmul,
+};
 use zkvc_core::matmul::Strategy;
 use zkvc_core::Backend;
 
@@ -17,18 +20,39 @@ fn main() {
     let full = full_mode();
     println!(
         "Figure 6 — matmul benchmark across embedding dimensions ({})",
-        if full { "paper scale" } else { "quick mode; pass --full for paper scale" }
+        if full {
+            "paper scale"
+        } else {
+            "quick mode; pass --full for paper scale"
+        }
     );
     println!(
         "paper-reported zkVC speed-up over the vanilla baselines: {:.0}x to {:.0}x",
-        paper::FIG6_SPEEDUP_RANGE.0, paper::FIG6_SPEEDUP_RANGE.1
+        paper::FIG6_SPEEDUP_RANGE.0,
+        paper::FIG6_SPEEDUP_RANGE.1
     );
 
     for dim in dims_list {
-        let dims = if full { paper_matmul_dims(dim) } else { quick_matmul_dims(dim) };
+        let dims = if full {
+            paper_matmul_dims(dim)
+        } else {
+            quick_matmul_dims(dim)
+        };
         let results = vec![
-            run_matmul("groth16 (vanilla, ~vCNN)", dims, Strategy::Vanilla, Backend::Groth16, 10),
-            run_matmul("spartan (vanilla)", dims, Strategy::Vanilla, Backend::Spartan, 11),
+            run_matmul(
+                "groth16 (vanilla, ~vCNN)",
+                dims,
+                Strategy::Vanilla,
+                Backend::Groth16,
+                10,
+            ),
+            run_matmul(
+                "spartan (vanilla)",
+                dims,
+                Strategy::Vanilla,
+                Backend::Spartan,
+                11,
+            ),
             run_interactive("zkCNN-style (interactive)", dims, 12),
             run_matmul("zkVC-G", dims, Strategy::CrpcPsq, Backend::Groth16, 13),
             run_matmul("zkVC-S", dims, Strategy::CrpcPsq, Backend::Spartan, 14),

@@ -1,0 +1,74 @@
+//! Batch-proving throughput harness: the acceptance demonstration for the
+//! `zkvc-runtime` subsystem.
+//!
+//! Proves N same-shape matmul jobs two ways and prints both metric tables:
+//!
+//! 1. through the `ProvingPool` + `KeyCache` (one setup, K workers), and
+//! 2. as N independent one-shot `Backend::prove` calls (setup every time,
+//!    one thread) — the state of the stack before the runtime existed.
+//!
+//! Run with `--full` for the paper-scale `[49,64] x [64,128]` shape; the
+//! default quick mode uses a reduced shape with the same structure. The
+//! harness asserts the pooled path is at least 2x faster end-to-end.
+
+use std::time::Instant;
+
+use zkvc_bench::{full_mode, paper_matmul_dims, quick_matmul_dims};
+use zkvc_core::matmul::Strategy;
+use zkvc_core::Backend;
+use zkvc_runtime::{prove_batch, prove_batch_serial, JobSpec};
+
+fn main() {
+    let dims = if full_mode() {
+        paper_matmul_dims(128)
+    } else {
+        quick_matmul_dims(64)
+    };
+    let jobs = 8;
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(jobs);
+    let seed = 0xB00570;
+
+    println!(
+        "== pool throughput: {jobs} x {}x{}x{} vanilla/groth16 jobs, {workers} workers ==",
+        dims.0, dims.1, dims.2
+    );
+    // Vanilla is the setup-heaviest strategy per constraint, i.e. the
+    // workload where amortisation matters most; CRPC+PSQ numbers are in the
+    // prove-batch CLI examples.
+    let specs = vec![
+        JobSpec::new(dims.0, dims.1, dims.2)
+            .strategy(Strategy::Vanilla)
+            .backend(Backend::Groth16);
+        jobs
+    ];
+
+    let t0 = Instant::now();
+    let pooled = prove_batch(&specs, workers, seed);
+    let pooled_wall = t0.elapsed();
+    print!("{}", pooled.render_table("pooled (ProvingPool + KeyCache)"));
+    assert!(pooled.all_verified(), "pooled proofs must verify");
+
+    let t1 = Instant::now();
+    let serial = prove_batch_serial(&specs, seed);
+    let serial_wall = t1.elapsed();
+    print!(
+        "{}",
+        serial.render_table("serial baseline (one-shot prove per job)")
+    );
+    assert!(serial.all_verified(), "serial proofs must verify");
+
+    let speedup = serial_wall.as_secs_f64() / pooled_wall.as_secs_f64();
+    println!(
+        "\nend-to-end: pooled {:.3}s vs serial {:.3}s -> {speedup:.2}x speedup",
+        pooled_wall.as_secs_f64(),
+        serial_wall.as_secs_f64()
+    );
+    assert!(
+        speedup >= 2.0,
+        "acceptance: pool+cache must be >=2x faster, got {speedup:.2}x"
+    );
+    println!("acceptance: >=2x speedup over one-shot proving: PASS");
+}

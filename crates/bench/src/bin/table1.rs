@@ -2,6 +2,8 @@
 //! verifiable-DNN schemes.
 
 fn main() {
-    println!("Table I — scheme feature comparison (last column marks what this repository implements)\n");
+    println!(
+        "Table I — scheme feature comparison (last column marks what this repository implements)\n"
+    );
     print!("{}", zkvc_core::schemes::render_table_i());
 }

@@ -6,14 +6,22 @@ use zkvc_core::matmul::Strategy;
 use zkvc_core::Backend;
 
 fn main() {
-    let dims = if full_mode() { (49, 320, 512) } else { (8, 20, 32) };
+    let dims = if full_mode() {
+        (49, 320, 512)
+    } else {
+        (8, 20, 32)
+    };
     println!(
         "Table II — CRPC/PSQ ablation on [{}x{}] x [{}x{}] ({})",
         dims.0,
         dims.1,
         dims.1,
         dims.2,
-        if full_mode() { "paper scale" } else { "quick mode; pass --full for paper scale" }
+        if full_mode() {
+            "paper scale"
+        } else {
+            "quick mode; pass --full for paper scale"
+        }
     );
 
     let rows = [
@@ -26,14 +34,29 @@ fn main() {
     let mut groth = Vec::new();
     let mut spartan = Vec::new();
     for (i, (label, strategy)) in rows.iter().enumerate() {
-        groth.push(run_matmul(label, dims, *strategy, Backend::Groth16, 20 + i as u64));
-        spartan.push(run_matmul(label, dims, *strategy, Backend::Spartan, 30 + i as u64));
+        groth.push(run_matmul(
+            label,
+            dims,
+            *strategy,
+            Backend::Groth16,
+            20 + i as u64,
+        ));
+        spartan.push(run_matmul(
+            label,
+            dims,
+            *strategy,
+            Backend::Spartan,
+            30 + i as u64,
+        ));
     }
     print_results("groth16 backend (measured)", &groth);
     print_results("spartan backend (measured)", &spartan);
 
     println!("\npaper-reported values for the same ablation ([49,320] x [320,512]):");
-    println!("{:<22} {:>12} {:>12} {:>12} {:>12}", "row", "G prove(s)", "G verify(s)", "S prove(s)", "S verify(s)");
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>12}",
+        "row", "G prove(s)", "G verify(s)", "S prove(s)", "S verify(s)"
+    );
     for ((crpc, psq, gp, gv, sp, sv), (label, _)) in paper::TABLE_II.iter().zip(rows.iter()) {
         let _ = (crpc, psq);
         println!("{label:<22} {gp:>12} {gv:>12} {sp:>12} {sv:>12}");

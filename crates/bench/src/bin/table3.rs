@@ -48,12 +48,22 @@ fn prepare(model: ModelConfig) -> ModelConfig {
 fn main() {
     let datasets: Vec<(&str, ModelConfig)> = vec![
         ("CIFAR-10", prepare(VitConfig::cifar10().to_model())),
-        ("Tiny-ImageNet", prepare(VitConfig::tiny_imagenet().to_model())),
-        ("ImageNet", prepare(VitConfig::imagenet_hierarchical().to_model())),
+        (
+            "Tiny-ImageNet",
+            prepare(VitConfig::tiny_imagenet().to_model()),
+        ),
+        (
+            "ImageNet",
+            prepare(VitConfig::imagenet_hierarchical().to_model()),
+        ),
     ];
     println!(
         "Table III — verifiable ViT inference ({})",
-        if full_mode() { "paper-scale models" } else { "quick mode: 1/8-scale two-block slices; pass --full for paper scale" }
+        if full_mode() {
+            "paper-scale models"
+        } else {
+            "quick mode: 1/8-scale two-block slices; pass --full for paper scale"
+        }
     );
     println!(
         "{:<15} {:<12} {:>12} {:>10} {:>10} {:>10}",
@@ -91,7 +101,10 @@ fn main() {
     }
 
     println!("\npaper-reported Table III (accuracy echoed, not re-measured):");
-    println!("{:<15} {:<12} {:>8} {:>10} {:>10}", "dataset", "schedule", "top1(%)", "P_G (s)", "P_S (s)");
+    println!(
+        "{:<15} {:<12} {:>8} {:>10} {:>10}",
+        "dataset", "schedule", "top1(%)", "P_G (s)", "P_S (s)"
+    );
     for (dataset, schedule, acc, pg, ps) in paper::TABLE_III {
         println!("{dataset:<15} {schedule:<12} {acc:>8} {pg:>10} {ps:>10}");
     }

@@ -39,7 +39,11 @@ fn main() {
 
     println!(
         "Table IV — verifiable BERT inference ({})",
-        if full_mode() { "paper-scale model" } else { "quick mode: 1/8-scale two-block slice; pass --full for paper scale" }
+        if full_mode() {
+            "paper-scale model"
+        } else {
+            "quick mode: 1/8-scale two-block slice; pass --full for paper scale"
+        }
     );
     println!(
         "{:<12} {:>12} {:>10} {:>10}",

@@ -56,6 +56,10 @@ pub fn full_mode() -> bool {
 }
 
 /// Measures one matmul proving run for a strategy/backend pair.
+///
+/// Uses the split lifecycle API: setup is timed once, separately, and the
+/// `prove` column measures proving against the prepared key — so the
+/// Figure 3 / Figure 6 numbers report prover cost, not CRS generation.
 pub fn run_matmul(
     label: &str,
     dims: (usize, usize, usize),
@@ -67,11 +71,16 @@ pub fn run_matmul(
     let job = MatMulBuilder::new(dims.0, dims.1, dims.2)
         .strategy(strategy)
         .build_random(&mut rng);
-    let artifacts = backend.prove(&job, &mut rng);
-    let (ok, verify) = backend.verify_cs_timed(&job.cs, &artifacts);
+    let t0 = Instant::now();
+    let (pk, vk) = backend.setup(&job.cs, &mut rng);
+    let setup = t0.elapsed();
+    let artifacts = backend.prove_with_key(&pk, &job.cs, &mut rng);
+    let t1 = Instant::now();
+    let ok = backend.verify_with_key(&vk, &artifacts);
+    let verify = t1.elapsed();
     RunResult {
         label: label.to_string(),
-        setup: artifacts.metrics.setup_time,
+        setup,
         prove: artifacts.metrics.prove_time,
         verify,
         proof_bytes: artifacts.metrics.proof_size_bytes,
@@ -87,10 +96,18 @@ pub fn run_interactive(label: &str, dims: (usize, usize, usize), seed: u64) -> R
     use zkvc_ff::{Fr, PrimeField};
     let mut rng = StdRng::seed_from_u64(seed);
     let x: Vec<Vec<Fr>> = (0..dims.0)
-        .map(|_| (0..dims.1).map(|_| Fr::from_u64(rng.gen_range(0..256))).collect())
+        .map(|_| {
+            (0..dims.1)
+                .map(|_| Fr::from_u64(rng.gen_range(0..256)))
+                .collect()
+        })
         .collect();
     let w: Vec<Vec<Fr>> = (0..dims.1)
-        .map(|_| (0..dims.2).map(|_| Fr::from_u64(rng.gen_range(0..256))).collect())
+        .map(|_| {
+            (0..dims.2)
+                .map(|_| Fr::from_u64(rng.gen_range(0..256)))
+                .collect()
+        })
         .collect();
     let claim = zkvc_interactive::MatMulClaim::compute(&x, &w);
     let t0 = Instant::now();

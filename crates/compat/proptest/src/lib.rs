@@ -1,0 +1,321 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the subset of the proptest 1.x API used by the zkVC test
+//! suites: the [`proptest!`] macro with an optional
+//! `#![proptest_config(...)]` header, `a in strategy` argument binding,
+//! [`prop_assert!`]/[`prop_assert_eq!`], integer-range strategies,
+//! [`collection::vec`], [`any`] and [`Strategy::prop_map`].
+//!
+//! Cases are generated from a deterministic per-test seed (derived from the
+//! test's module path and name), so failures are reproducible run-to-run.
+//! There is no shrinking: a failing case reports its arguments via `Debug`
+//! and panics.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+
+// Re-exported so the `proptest!` macro can name the rng via `$crate::rand`
+// regardless of the caller's own dependencies.
+pub use rand;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Error type produced by failing `prop_assert*` macros.
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// A generator of random values of type `Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a canonical full-domain strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+/// Strategy over the full domain of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: core::marker::PhantomData,
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct AnyStrategy<T> {
+    _marker: core::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy producing `Vec`s with elements from `elem` and a length
+    /// drawn from `size`.
+    pub fn vec<S: Strategy>(elem: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Derives a deterministic seed for one test case from the test name.
+pub fn case_seed(test_name: &str, case: u64) -> u64 {
+    // FNV-1a over the name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h.wrapping_add(case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Everything a proptest-based test module needs in scope.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, proptest, Arbitrary, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+
+    /// Alias module matching proptest's `prop::` paths.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Asserts a condition inside a property, failing the case (not panicking
+/// directly) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let left = $left;
+        let right = $right;
+        if left != right {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Defines property tests: each `fn` runs `cases` times with arguments
+/// freshly drawn from its strategies.
+#[macro_export]
+macro_rules! proptest {
+    (@impl ($config:expr)
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let test_name = concat!(module_path!(), "::", stringify!($name));
+                for case in 0..config.cases {
+                    let mut __rng =
+                        <$crate::rand::rngs::StdRng as $crate::rand::SeedableRng>::seed_from_u64(
+                            $crate::case_seed(test_name, case as u64),
+                        );
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);)+
+                    let __dbg = format!(concat!($("\n  ", stringify!($arg), " = {:?}"),+), $(&$arg),+);
+                    let outcome: ::core::result::Result<(), $crate::TestCaseError> =
+                        (move || { $body Ok(()) })();
+                    if let Err(e) = outcome {
+                        panic!(
+                            "proptest case {}/{} of {} failed: {}{}",
+                            case + 1, config.cases, test_name, e, __dbg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn ranges_and_vecs(a in 1usize..4, v in prop::collection::vec(0u64..10, 1..5)) {
+            prop_assert!((1..4).contains(&a));
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|x| *x < 10));
+        }
+
+        #[test]
+        fn mapped_any(bytes in any::<[u8; 4]>().prop_map(u32::from_le_bytes)) {
+            prop_assert_eq!(bytes, bytes);
+        }
+
+        #[test]
+        fn early_ok_return(n in 0u64..10) {
+            if n > 100 {
+                return Ok(());
+            }
+            prop_assert!(n < 10);
+        }
+    }
+
+    #[test]
+    fn seeds_are_deterministic() {
+        assert_eq!(case_seed("x", 3), case_seed("x", 3));
+        assert_ne!(case_seed("x", 3), case_seed("y", 3));
+    }
+
+    use crate::case_seed;
+}

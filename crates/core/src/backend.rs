@@ -58,6 +58,9 @@ pub struct ProveMetrics {
 }
 
 /// The proof plus everything needed to verify it.
+// Variant sizes legitimately differ: a Groth16 vk embeds its gamma_abc
+// vector while Spartan's proof is boxed; both are heap-dominated anyway.
+#[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum ProofData {
     /// A Groth16 proof with its verification key.
@@ -87,6 +90,50 @@ pub struct ProofArtifacts {
     pub metrics: ProveMetrics,
 }
 
+/// Reusable prover-side key material for one circuit *shape*, produced by
+/// [`Backend::setup`]: the Groth16 CRS, or the Spartan preprocessed
+/// instance. Computing this once and proving many statements against it is
+/// what makes batch proving amortise (see `zkvc-runtime`'s `KeyCache`).
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+pub enum ProverKey {
+    /// Groth16 proving key (circuit-specific CRS).
+    Groth16(groth16::ProvingKey),
+    /// Spartan preprocessed prover state (transparent, no trusted setup).
+    Spartan(SpartanProver),
+}
+
+impl ProverKey {
+    /// The backend this key belongs to.
+    pub fn backend(&self) -> Backend {
+        match self {
+            ProverKey::Groth16(_) => Backend::Groth16,
+            ProverKey::Spartan(_) => Backend::Spartan,
+        }
+    }
+}
+
+/// Reusable verifier-side key material for one circuit shape, produced by
+/// [`Backend::setup`].
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug)]
+pub enum VerifierKey {
+    /// Groth16 verification key.
+    Groth16(groth16::VerifyingKey),
+    /// Spartan preprocessed verifier state.
+    Spartan(SpartanVerifier),
+}
+
+impl VerifierKey {
+    /// The backend this key belongs to.
+    pub fn backend(&self) -> Backend {
+        match self {
+            VerifierKey::Groth16(_) => Backend::Groth16,
+            VerifierKey::Spartan(_) => Backend::Spartan,
+        }
+    }
+}
+
 impl Backend {
     /// Runs setup (if any) and proves the given matmul job, collecting
     /// metrics along the way.
@@ -94,60 +141,122 @@ impl Backend {
         self.prove_cs(&job.cs, rng)
     }
 
+    /// Runs the per-circuit-shape setup: CRS generation for Groth16,
+    /// transparent preprocessing for Spartan.
+    ///
+    /// Only the constraint *structure* (and coefficient values) of `cs`
+    /// matter; the assignment is ignored. The returned keys can prove and
+    /// verify any number of statements for circuits with identical
+    /// structure via [`Backend::prove_with_key`] /
+    /// [`Backend::verify_with_key`].
+    pub fn setup<R: Rng + ?Sized>(
+        &self,
+        cs: &ConstraintSystem<Fr>,
+        rng: &mut R,
+    ) -> (ProverKey, VerifierKey) {
+        match self {
+            Backend::Groth16 => {
+                let (pk, vk) = groth16::setup(cs, rng);
+                (ProverKey::Groth16(pk), VerifierKey::Groth16(vk))
+            }
+            Backend::Spartan => {
+                // Preprocess once; the verifier reuses the prover's instance
+                // instead of re-deriving it from the constraint system.
+                let prover = SpartanProver::preprocess(cs);
+                let verifier = prover.to_verifier();
+                (ProverKey::Spartan(prover), VerifierKey::Spartan(verifier))
+            }
+        }
+    }
+
+    /// Proves the assignment held in `cs` against a key prepared by
+    /// [`Backend::setup`] for the same circuit shape. The returned metrics
+    /// report zero setup time: the key is assumed amortised across calls.
+    ///
+    /// # Panics
+    /// Panics if the key belongs to the other backend, or (for Spartan) if
+    /// the circuit shape differs from the preprocessed structure.
+    pub fn prove_with_key<R: Rng + ?Sized>(
+        &self,
+        key: &ProverKey,
+        cs: &ConstraintSystem<Fr>,
+        rng: &mut R,
+    ) -> ProofArtifacts {
+        let public_inputs = cs.instance_assignment().to_vec();
+        let t0 = Instant::now();
+        let (data, proof_size_bytes) = match (self, key) {
+            (Backend::Groth16, ProverKey::Groth16(pk)) => {
+                let proof = groth16::prove(pk, cs, rng);
+                let size = proof.size_in_bytes();
+                (
+                    ProofData::Groth16 {
+                        vk: pk.vk.clone(),
+                        proof,
+                    },
+                    size,
+                )
+            }
+            (Backend::Spartan, ProverKey::Spartan(prover)) => {
+                let proof = prover.prove(cs, rng);
+                let size = proof.size_in_bytes();
+                (
+                    ProofData::Spartan {
+                        proof: Box::new(proof),
+                    },
+                    size,
+                )
+            }
+            _ => panic!(
+                "backend/key mismatch: {:?} cannot prove with a {:?} key",
+                self,
+                key.backend()
+            ),
+        };
+        let prove_time = t0.elapsed();
+        ProofArtifacts {
+            data,
+            public_inputs,
+            metrics: ProveMetrics {
+                backend: *self,
+                setup_time: Duration::ZERO,
+                prove_time,
+                proof_size_bytes,
+                num_constraints: cs.num_constraints(),
+                num_variables: cs.num_variables(),
+            },
+        }
+    }
+
+    /// Verifies artifacts against a key prepared by [`Backend::setup`],
+    /// avoiding the per-verification re-preprocessing that
+    /// [`Backend::verify_cs`] performs for Spartan. Returns `false` on
+    /// backend/key mismatch.
+    pub fn verify_with_key(&self, key: &VerifierKey, artifacts: &ProofArtifacts) -> bool {
+        match (&artifacts.data, key, self) {
+            (ProofData::Groth16 { proof, .. }, VerifierKey::Groth16(vk), Backend::Groth16) => {
+                groth16::verify(vk, &artifacts.public_inputs, proof)
+            }
+            (ProofData::Spartan { proof }, VerifierKey::Spartan(verifier), Backend::Spartan) => {
+                verifier.verify(&artifacts.public_inputs, proof)
+            }
+            _ => false,
+        }
+    }
+
     /// Proves an arbitrary constraint system (used by `zkvc-nn` for whole
-    /// model layers).
+    /// model layers): one-shot setup + prove, with the setup time recorded
+    /// in the metrics.
     pub fn prove_cs<R: Rng + ?Sized>(
         &self,
         cs: &ConstraintSystem<Fr>,
         rng: &mut R,
     ) -> ProofArtifacts {
-        let public_inputs = cs.instance_assignment().to_vec();
-        match self {
-            Backend::Groth16 => {
-                let t0 = Instant::now();
-                let (pk, vk) = groth16::setup(cs, rng);
-                let setup_time = t0.elapsed();
-                let t1 = Instant::now();
-                let proof = groth16::prove(&pk, cs, rng);
-                let prove_time = t1.elapsed();
-                let proof_size_bytes = proof.size_in_bytes();
-                ProofArtifacts {
-                    data: ProofData::Groth16 { vk, proof },
-                    public_inputs,
-                    metrics: ProveMetrics {
-                        backend: *self,
-                        setup_time,
-                        prove_time,
-                        proof_size_bytes,
-                        num_constraints: cs.num_constraints(),
-                        num_variables: cs.num_variables(),
-                    },
-                }
-            }
-            Backend::Spartan => {
-                let t0 = Instant::now();
-                let prover = SpartanProver::preprocess(cs);
-                let setup_time = t0.elapsed();
-                let t1 = Instant::now();
-                let proof = prover.prove(cs, rng);
-                let prove_time = t1.elapsed();
-                let proof_size_bytes = proof.size_in_bytes();
-                ProofArtifacts {
-                    data: ProofData::Spartan {
-                        proof: Box::new(proof),
-                    },
-                    public_inputs,
-                    metrics: ProveMetrics {
-                        backend: *self,
-                        setup_time,
-                        prove_time,
-                        proof_size_bytes,
-                        num_constraints: cs.num_constraints(),
-                        num_variables: cs.num_variables(),
-                    },
-                }
-            }
-        }
+        let t0 = Instant::now();
+        let (pk, _vk) = self.setup(cs, rng);
+        let setup_time = t0.elapsed();
+        let mut artifacts = self.prove_with_key(&pk, cs, rng);
+        artifacts.metrics.setup_time = setup_time;
+        artifacts
     }
 
     /// Verifies the artifacts produced by [`Backend::prove`] for the same
@@ -195,7 +304,9 @@ mod tests {
     fn job(strategy: Strategy) -> MatMulJob {
         let x = vec![vec![1i64, -2, 3], vec![4, 5, -6]];
         let w = vec![vec![7i64, 8], vec![-9, 10], vec![11, -12]];
-        MatMulBuilder::new(2, 3, 2).strategy(strategy).build_integers(&x, &w)
+        MatMulBuilder::new(2, 3, 2)
+            .strategy(strategy)
+            .build_integers(&x, &w)
     }
 
     #[test]
@@ -243,6 +354,78 @@ mod tests {
             artifacts.public_inputs[0] = Fr::from_u64(143);
             assert!(!backend.verify_cs(&cs, &artifacts), "{backend:?}");
         }
+    }
+
+    #[test]
+    fn split_setup_prove_reuses_keys_across_statements() {
+        // One setup, many proofs: the core amortisation contract the
+        // runtime's KeyCache builds on. The two statements share a circuit
+        // shape but carry different assignments.
+        let mut rng = StdRng::seed_from_u64(21);
+        let x1 = vec![vec![1i64, 2], vec![3, 4]];
+        let x2 = vec![vec![5i64, 6], vec![7, 8]];
+        let w = vec![vec![9i64, 1], vec![2, 3]];
+        for backend in Backend::ALL {
+            let build = |x: &Vec<Vec<i64>>| {
+                MatMulBuilder::new(2, 2, 2)
+                    .strategy(Strategy::Vanilla)
+                    .build_integers(x, &w)
+            };
+            let j1 = build(&x1);
+            let j2 = build(&x2);
+            let (pk, vk) = backend.setup(&j1.cs, &mut rng);
+            assert_eq!(pk.backend(), backend);
+            assert_eq!(vk.backend(), backend);
+            let a1 = backend.prove_with_key(&pk, &j1.cs, &mut rng);
+            let a2 = backend.prove_with_key(&pk, &j2.cs, &mut rng);
+            assert!(backend.verify_with_key(&vk, &a1), "{backend:?} stmt 1");
+            assert!(backend.verify_with_key(&vk, &a2), "{backend:?} stmt 2");
+            assert_eq!(a1.metrics.setup_time, Duration::ZERO);
+            // The keyed verifier agrees with the re-preprocessing one.
+            assert!(backend.verify_cs(&j2.cs, &a2));
+        }
+    }
+
+    #[test]
+    fn keyed_verification_binds_public_inputs() {
+        // Matmul jobs carry no instance variables, so public-input binding
+        // needs a circuit that actually has one.
+        let mut rng = StdRng::seed_from_u64(24);
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let out = cs.alloc_instance(Fr::from_u64(121));
+        let x = cs.alloc_witness(Fr::from_u64(11));
+        cs.enforce(x.into(), x.into(), out.into());
+        for backend in Backend::ALL {
+            let (pk, vk) = backend.setup(&cs, &mut rng);
+            let mut artifacts = backend.prove_with_key(&pk, &cs, &mut rng);
+            assert!(backend.verify_with_key(&vk, &artifacts), "{backend:?}");
+            artifacts.public_inputs[0] = Fr::from_u64(120);
+            assert!(
+                !backend.verify_with_key(&vk, &artifacts),
+                "{backend:?} accepted tampered public input"
+            );
+        }
+    }
+
+    #[test]
+    fn mismatched_keys_are_rejected() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let j = job(Strategy::CrpcPsq);
+        let (_pk_g, vk_g) = Backend::Groth16.setup(&j.cs, &mut rng);
+        let spartan_artifacts = Backend::Spartan.prove_cs(&j.cs, &mut rng);
+        // Verifying Spartan artifacts with a Groth16 key is a mismatch, not
+        // a panic.
+        assert!(!Backend::Groth16.verify_with_key(&vk_g, &spartan_artifacts));
+        assert!(!Backend::Spartan.verify_with_key(&vk_g, &spartan_artifacts));
+    }
+
+    #[test]
+    #[should_panic(expected = "backend/key mismatch")]
+    fn proving_with_wrong_key_panics() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let j = job(Strategy::CrpcPsq);
+        let (pk, _vk) = Backend::Spartan.setup(&j.cs, &mut rng);
+        Backend::Groth16.prove_with_key(&pk, &j.cs, &mut rng);
     }
 
     #[test]

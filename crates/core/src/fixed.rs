@@ -102,7 +102,10 @@ impl FixedPointConfig {
     /// inputs: `e^x ~= (1 + x/2^t)^{2^t}` for `x in [clip_threshold, 0]`,
     /// `0` below the threshold.
     pub fn exp_reference(&self, x: i64, taylor_log2: u32, clip_threshold: i64) -> i64 {
-        debug_assert!(x <= 0, "exp approximation is defined on non-positive inputs");
+        debug_assert!(
+            x <= 0,
+            "exp approximation is defined on non-positive inputs"
+        );
         if x < clip_threshold {
             return 0;
         }
@@ -179,7 +182,10 @@ mod tests {
     fn softmax_reference_sums_to_one() {
         let cfg = FixedPointConfig::default();
         let clip = -8 * cfg.scale();
-        let xs: Vec<i64> = [-1.0f64, 0.5, 2.0, 0.0].iter().map(|v| cfg.quantize(*v)).collect();
+        let xs: Vec<i64> = [-1.0f64, 0.5, 2.0, 0.0]
+            .iter()
+            .map(|v| cfg.quantize(*v))
+            .collect();
         let sm = cfg.softmax_reference(&xs, 5, clip);
         let total: i64 = sm.iter().sum();
         // sums to ~1.0 (within truncation error of one LSB per element)

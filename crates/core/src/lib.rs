@@ -46,6 +46,6 @@ pub mod matmul;
 pub mod nonlinear;
 pub mod schemes;
 
-pub use backend::{Backend, ProofArtifacts, ProveMetrics};
+pub use backend::{Backend, ProofArtifacts, ProveMetrics, ProverKey, VerifierKey};
 pub use fixed::FixedPointConfig;
 pub use matmul::{MatMulBuilder, MatMulJob, Strategy};

@@ -126,7 +126,12 @@ pub fn synthesize_crpc_psq(
         let (xcol, wrow) = folded_operands(x, w, k, &zp, b);
         if k + 1 == n {
             // last step: xcol * wrow = folded - acc_{n-2}
-            cs.enforce_named(xcol, wrow, folded.clone() - &prev_lc, "crpc+psq final product");
+            cs.enforce_named(
+                xcol,
+                wrow,
+                folded.clone() - &prev_lc,
+                "crpc+psq final product",
+            );
         } else {
             let val = prev_val + cs.eval_lc(&xcol) * cs.eval_lc(&wrow);
             let acc = cs.alloc_witness(val);
@@ -155,13 +160,22 @@ mod tests {
         vals: &[Vec<u64>],
     ) -> Vec<Vec<LinearCombination<Fr>>> {
         vals.iter()
-            .map(|r| r.iter().map(|v| cs.alloc_witness(Fr::from_u64(*v)).into()).collect())
+            .map(|r| {
+                r.iter()
+                    .map(|v| cs.alloc_witness(Fr::from_u64(*v)).into())
+                    .collect()
+            })
             .collect()
     }
 
     #[test]
     fn crpc_matches_vanilla_outputs() {
-        let x_vals = vec![vec![3u64, 1, 4], vec![1, 5, 9], vec![2, 6, 5], vec![3, 5, 8]];
+        let x_vals = vec![
+            vec![3u64, 1, 4],
+            vec![1, 5, 9],
+            vec![2, 6, 5],
+            vec![3, 5, 8],
+        ];
         let w_vals = vec![vec![9u64, 7], vec![9, 3], vec![2, 3]];
 
         let mut cs_v = ConstraintSystem::<Fr>::new();
@@ -176,10 +190,17 @@ mod tests {
             let input_constraints = cs.num_constraints();
             let y = super::super::synthesize_matmul(&mut cs, &x, &w, strategy, Fr::from_u64(7919));
             assert!(cs.is_satisfied(), "{strategy:?}");
-            assert_eq!(cs.num_constraints() - input_constraints, expected_constraints);
+            assert_eq!(
+                cs.num_constraints() - input_constraints,
+                expected_constraints
+            );
             for i in 0..4 {
                 for j in 0..2 {
-                    assert_eq!(cs.eval_lc(&y[i][j]), cs_v.eval_lc(&y_v[i][j]), "{strategy:?}");
+                    assert_eq!(
+                        cs.eval_lc(&y[i][j]),
+                        cs_v.eval_lc(&y_v[i][j]),
+                        "{strategy:?}"
+                    );
                 }
             }
         }
@@ -206,7 +227,9 @@ mod tests {
         let x = vec![vec![1i64, 2, 3], vec![4, 5, 6]];
         let w = vec![vec![7i64, 8], vec![9, 10], vec![11, 12]];
         for strategy in [Strategy::Crpc, Strategy::CrpcPsq] {
-            let job = MatMulBuilder::new(2, 3, 2).strategy(strategy).build_integers(&x, &w);
+            let job = MatMulBuilder::new(2, 3, 2)
+                .strategy(strategy)
+                .build_integers(&x, &w);
             let num_inputs = 2 * 3 + 3 * 2;
             for y_idx in 0..4 {
                 let mut witness = job.cs.witness_assignment().to_vec();

@@ -114,10 +114,16 @@ pub fn synthesize_matmul(
 fn validate_dims(x: &[Vec<LinearCombination<Fr>>], w: &[Vec<LinearCombination<Fr>>]) {
     assert!(!x.is_empty() && !w.is_empty(), "matrices must be non-empty");
     let n = x[0].len();
-    assert!(n > 0 && x.iter().all(|r| r.len() == n), "X rows must have equal length");
+    assert!(
+        n > 0 && x.iter().all(|r| r.len() == n),
+        "X rows must have equal length"
+    );
     assert_eq!(w.len(), n, "inner dimensions must agree");
     let b = w[0].len();
-    assert!(b > 0 && w.iter().all(|r| r.len() == b), "W rows must have equal length");
+    assert!(
+        b > 0 && w.iter().all(|r| r.len() == b),
+        "W rows must have equal length"
+    );
 }
 
 /// Computes `powers[m] = z^m` for `m < count`.
@@ -235,10 +241,18 @@ impl MatMulBuilder {
     /// harnesses, where only the cost profile matters).
     pub fn build_random<R: Rng + ?Sized>(&self, rng: &mut R) -> MatMulJob {
         let x: Vec<Vec<Fr>> = (0..self.a)
-            .map(|_| (0..self.n).map(|_| Fr::from_u64(rng.gen_range(0..256))).collect())
+            .map(|_| {
+                (0..self.n)
+                    .map(|_| Fr::from_u64(rng.gen_range(0..256)))
+                    .collect()
+            })
             .collect();
         let w: Vec<Vec<Fr>> = (0..self.n)
-            .map(|_| (0..self.b).map(|_| Fr::from_u64(rng.gen_range(0..256))).collect())
+            .map(|_| {
+                (0..self.b)
+                    .map(|_| Fr::from_u64(rng.gen_range(0..256)))
+                    .collect()
+            })
             .collect();
         self.build_field(&x, &w)
     }
@@ -249,9 +263,15 @@ impl MatMulBuilder {
     /// Panics if the matrix dimensions do not match the builder.
     pub fn build_field(&self, x: &[Vec<Fr>], w: &[Vec<Fr>]) -> MatMulJob {
         assert_eq!(x.len(), self.a, "X row count mismatch");
-        assert!(x.iter().all(|r| r.len() == self.n), "X column count mismatch");
+        assert!(
+            x.iter().all(|r| r.len() == self.n),
+            "X column count mismatch"
+        );
         assert_eq!(w.len(), self.n, "W row count mismatch");
-        assert!(w.iter().all(|r| r.len() == self.b), "W column count mismatch");
+        assert!(
+            w.iter().all(|r| r.len() == self.b),
+            "W column count mismatch"
+        );
 
         // The honest product.
         let mut y = vec![vec![Fr::zero(); self.b]; self.a];
@@ -329,10 +349,12 @@ mod tests {
     fn all_strategies_accept_honest_witness() {
         let (x, w) = small_matrices();
         for strategy in Strategy::ALL {
-            let job = MatMulBuilder::new(3, 2, 2).strategy(strategy).build_integers(&x, &w);
+            let job = MatMulBuilder::new(3, 2, 2)
+                .strategy(strategy)
+                .build_integers(&x, &w);
             assert!(job.cs.is_satisfied(), "{strategy:?}");
             // The product is the true product.
-            assert_eq!(job.y[0][0], Fr::from_u64(1 * 7 + 2 * 9));
+            assert_eq!(job.y[0][0], Fr::from_u64(7 + 2 * 9));
             assert_eq!(job.y[2][1], Fr::from_u64(5 * 8 + 6 * 10));
         }
     }
@@ -344,12 +366,18 @@ mod tests {
         let counts: Vec<(Strategy, usize)> = Strategy::ALL
             .iter()
             .map(|s| {
-                let job = MatMulBuilder::new(a, n, b).strategy(*s).build_random(&mut rng);
+                let job = MatMulBuilder::new(a, n, b)
+                    .strategy(*s)
+                    .build_random(&mut rng);
                 assert!(job.cs.is_satisfied());
                 (*s, job.stats.num_constraints)
             })
             .collect();
-        assert_eq!(counts[0].1, a * b * n + a * b, "vanilla: abn products + ab additions");
+        assert_eq!(
+            counts[0].1,
+            a * b * n + a * b,
+            "vanilla: abn products + ab additions"
+        );
         assert_eq!(counts[1].1, a * b * n, "vanilla+psq: abn products only");
         assert_eq!(counts[2].1, n + 1, "crpc: n products + 1 fold");
         assert_eq!(counts[3].1, n, "crpc+psq: n products");
@@ -398,7 +426,9 @@ mod tests {
     fn corrupted_product_rejected_by_every_strategy() {
         let (x, w) = small_matrices();
         for strategy in Strategy::ALL {
-            let job = MatMulBuilder::new(3, 2, 2).strategy(strategy).build_integers(&x, &w);
+            let job = MatMulBuilder::new(3, 2, 2)
+                .strategy(strategy)
+                .build_integers(&x, &w);
             // Find the first witness variable holding a Y value and corrupt it.
             // Y variables are allocated by the strategy after the 6 + 4 input
             // variables; corrupting any later witness must break satisfaction
@@ -408,7 +438,10 @@ mod tests {
             witness[idx] += Fr::one();
             let mut cs = job.cs.clone();
             cs.set_witness_assignment(witness);
-            assert!(!cs.is_satisfied(), "{strategy:?} accepted a corrupted witness");
+            assert!(
+                !cs.is_satisfied(),
+                "{strategy:?} accepted a corrupted witness"
+            );
         }
     }
 
@@ -452,12 +485,15 @@ mod tests {
         let rand_lc = |cs: &mut ConstraintSystem<Fr>, rng: &mut StdRng| -> LinearCombination<Fr> {
             cs.alloc_witness(Fr::from_u64(rng.gen_range(0..100))).into()
         };
-        let x: Vec<Vec<LinearCombination<Fr>>> =
-            (0..2).map(|_| (0..3).map(|_| rand_lc(&mut cs, &mut rng)).collect()).collect();
-        let w1: Vec<Vec<LinearCombination<Fr>>> =
-            (0..3).map(|_| (0..2).map(|_| rand_lc(&mut cs, &mut rng)).collect()).collect();
-        let w2: Vec<Vec<LinearCombination<Fr>>> =
-            (0..2).map(|_| (0..2).map(|_| rand_lc(&mut cs, &mut rng)).collect()).collect();
+        let x: Vec<Vec<LinearCombination<Fr>>> = (0..2)
+            .map(|_| (0..3).map(|_| rand_lc(&mut cs, &mut rng)).collect())
+            .collect();
+        let w1: Vec<Vec<LinearCombination<Fr>>> = (0..3)
+            .map(|_| (0..2).map(|_| rand_lc(&mut cs, &mut rng)).collect())
+            .collect();
+        let w2: Vec<Vec<LinearCombination<Fr>>> = (0..2)
+            .map(|_| (0..2).map(|_| rand_lc(&mut cs, &mut rng)).collect())
+            .collect();
         let y1 = synthesize_matmul(&mut cs, &x, &w1, Strategy::CrpcPsq, Fr::from_u64(99991));
         let y2 = synthesize_matmul(&mut cs, &y1, &w2, Strategy::CrpcPsq, Fr::from_u64(77773));
         assert_eq!(y2.len(), 2);
@@ -479,12 +515,15 @@ mod tests {
     #[test]
     fn powers_helper() {
         let p = powers_of(Fr::from_u64(3), 5);
-        assert_eq!(p, vec![
-            Fr::one(),
-            Fr::from_u64(3),
-            Fr::from_u64(9),
-            Fr::from_u64(27),
-            Fr::from_u64(81)
-        ]);
+        assert_eq!(
+            p,
+            vec![
+                Fr::one(),
+                Fr::from_u64(3),
+                Fr::from_u64(9),
+                Fr::from_u64(27),
+                Fr::from_u64(81)
+            ]
+        );
     }
 }

@@ -100,17 +100,27 @@ mod tests {
     use super::*;
     use zkvc_ff::PrimeField;
 
-    fn inputs(cs: &mut ConstraintSystem<Fr>) -> (Vec<Vec<LinearCombination<Fr>>>, Vec<Vec<LinearCombination<Fr>>>) {
+    type LcMatrix = Vec<Vec<LinearCombination<Fr>>>;
+
+    fn inputs(cs: &mut ConstraintSystem<Fr>) -> (LcMatrix, LcMatrix) {
         // X = [[1,2,3],[4,5,6]]  W = [[1,4],[2,5],[3,6]]
         let x_vals = [[1u64, 2, 3], [4, 5, 6]];
         let w_vals = [[1u64, 4], [2, 5], [3, 6]];
         let x = x_vals
             .iter()
-            .map(|r| r.iter().map(|v| cs.alloc_witness(Fr::from_u64(*v)).into()).collect())
+            .map(|r| {
+                r.iter()
+                    .map(|v| cs.alloc_witness(Fr::from_u64(*v)).into())
+                    .collect()
+            })
             .collect();
         let w = w_vals
             .iter()
-            .map(|r| r.iter().map(|v| cs.alloc_witness(Fr::from_u64(*v)).into()).collect())
+            .map(|r| {
+                r.iter()
+                    .map(|v| cs.alloc_witness(Fr::from_u64(*v)).into())
+                    .collect()
+            })
             .collect();
         (x, w)
     }
@@ -153,8 +163,7 @@ mod tests {
     }
 
     #[test]
-    fn psq_rejects_tampered_prefix_sum()
-    {
+    fn psq_rejects_tampered_prefix_sum() {
         let mut cs = ConstraintSystem::<Fr>::new();
         let (x, w) = inputs(&mut cs);
         synthesize_vanilla_psq(&mut cs, &x, &w);

@@ -66,7 +66,9 @@ pub fn div_floor(
     let n_val = unsigned_value(cs.eval_lc(numerator), 2 * num_bits)?;
     let d_val = unsigned_value(cs.eval_lc(denominator), num_bits)?;
     if d_val == 0 {
-        return Err(SynthesisError::ValueOutOfRange("div_floor: zero denominator"));
+        return Err(SynthesisError::ValueOutOfRange(
+            "div_floor: zero denominator",
+        ));
     }
     let q_val = n_val / d_val;
     let r_val = n_val % d_val;
@@ -103,11 +105,21 @@ pub fn div_floor(
 pub(crate) fn signed_value(v: Fr, num_bits: usize) -> Result<i64, SynthesisError> {
     let bound = 1i64 << (num_bits - 1).min(62);
     let canon = v.to_canonical();
-    if canon[1] == 0 && canon[2] == 0 && canon[3] == 0 && (canon[0] as i64) < bound && canon[0] <= i64::MAX as u64 {
+    if canon[1] == 0
+        && canon[2] == 0
+        && canon[3] == 0
+        && (canon[0] as i64) < bound
+        && canon[0] <= i64::MAX as u64
+    {
         return Ok(canon[0] as i64);
     }
     let neg = (-v).to_canonical();
-    if neg[1] == 0 && neg[2] == 0 && neg[3] == 0 && (neg[0] as i64) <= bound && neg[0] <= i64::MAX as u64 {
+    if neg[1] == 0
+        && neg[2] == 0
+        && neg[3] == 0
+        && (neg[0] as i64) <= bound
+        && neg[0] <= i64::MAX as u64
+    {
         return Ok(-(neg[0] as i64));
     }
     Err(SynthesisError::ValueOutOfRange("signed fixed-point value"))
@@ -116,10 +128,16 @@ pub(crate) fn signed_value(v: Fr, num_bits: usize) -> Result<i64, SynthesisError
 /// Interprets a field element as an unsigned integer with the given bit bound.
 pub(crate) fn unsigned_value(v: Fr, num_bits: usize) -> Result<u64, SynthesisError> {
     let canon = v.to_canonical();
-    if canon[1] == 0 && canon[2] == 0 && canon[3] == 0 && zkvc_ff::arith::num_bits_4(&canon) as usize <= num_bits {
+    if canon[1] == 0
+        && canon[2] == 0
+        && canon[3] == 0
+        && zkvc_ff::arith::num_bits_4(&canon) as usize <= num_bits
+    {
         Ok(canon[0])
     } else {
-        Err(SynthesisError::ValueOutOfRange("unsigned fixed-point value"))
+        Err(SynthesisError::ValueOutOfRange(
+            "unsigned fixed-point value",
+        ))
     }
 }
 
@@ -129,7 +147,13 @@ mod tests {
 
     #[test]
     fn div_by_pow2_signed() {
-        for (v, shift, expect) in [(100i64, 3u32, 12i64), (-100, 3, -13), (64, 6, 1), (-1, 4, -1), (0, 5, 0)] {
+        for (v, shift, expect) in [
+            (100i64, 3u32, 12i64),
+            (-100, 3, -13),
+            (64, 6, 1),
+            (-1, 4, -1),
+            (0, 5, 0),
+        ] {
             let mut cs = ConstraintSystem::<Fr>::new();
             let x = cs.alloc_witness(Fr::from_i64(v));
             let q = div_by_const_pow2(&mut cs, &x.into(), shift, 32).unwrap();

@@ -54,7 +54,11 @@ mod tests {
             let x = cs.alloc_witness(Fr::from_i64(xq));
             let g = synthesize_gelu(&mut cs, &x.into(), &cfg).unwrap();
             assert!(cs.is_satisfied(), "x={x_real}");
-            assert_eq!(cs.value(g), Fr::from_i64(cfg.gelu_reference(xq)), "x={x_real}");
+            assert_eq!(
+                cs.value(g),
+                Fr::from_i64(cfg.gelu_reference(xq)),
+                "x={x_real}"
+            );
         }
     }
 
@@ -69,7 +73,10 @@ mod tests {
             let g = synthesize_gelu(&mut cs, &x.into(), &cfg).unwrap();
             let got = cfg.dequantize(signed_value(cs.value(g), 32).unwrap());
             let poly = x_real * x_real / 8.0 + x_real / 4.0 + 0.5;
-            assert!((got - poly).abs() < 0.02, "x={x_real}: got {got}, poly {poly}");
+            assert!(
+                (got - poly).abs() < 0.02,
+                "x={x_real}: got {got}, poly {poly}"
+            );
         }
     }
 

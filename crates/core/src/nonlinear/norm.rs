@@ -60,7 +60,12 @@ pub fn synthesize_rsqrt(
     let tol = LinearCombination::from(m) + v;
     let diff = LinearCombination::from(u) - LinearCombination::constant(target);
     // -tol <= diff <= tol
-    let upper = greater_equal(cs, &(tol.clone() - diff.clone()), &LinearCombination::zero(), 2 * bits)?;
+    let upper = greater_equal(
+        cs,
+        &(tol.clone() - diff.clone()),
+        &LinearCombination::zero(),
+        2 * bits,
+    )?;
     let lower = greater_equal(cs, &(tol + diff), &LinearCombination::zero(), 2 * bits)?;
     for bit in [upper, lower] {
         cs.enforce_named(
@@ -86,9 +91,13 @@ mod tests {
             let v = cs.alloc_witness(Fr::from_i64(vq));
             let s = synthesize_rsqrt(&mut cs, &v.into(), &cfg).unwrap();
             assert!(cs.is_satisfied(), "var={var_real}");
-            let got = cfg.dequantize(super::super::division::signed_value(cs.value(s), 40).unwrap());
+            let got =
+                cfg.dequantize(super::super::division::signed_value(cs.value(s), 40).unwrap());
             let expect = 1.0 / var_real.sqrt();
-            assert!((got - expect).abs() < 0.05, "var={var_real}: got {got}, want {expect}");
+            assert!(
+                (got - expect).abs() < 0.05,
+                "var={var_real}: got {got}, want {expect}"
+            );
         }
     }
 

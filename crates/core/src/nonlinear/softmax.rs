@@ -186,7 +186,9 @@ mod tests {
             .collect();
         let outs = synthesize_softmax(&mut cs, &input_lcs, &c).unwrap();
         assert!(cs.is_satisfied());
-        let reference = c.fixed.softmax_reference(&quantised, c.taylor_log2, c.clip_threshold);
+        let reference = c
+            .fixed
+            .softmax_reference(&quantised, c.taylor_log2, c.clip_threshold);
         for (o, r) in outs.iter().zip(reference.iter()) {
             assert_eq!(cs.value(*o), Fr::from_i64(*r));
         }
@@ -195,14 +197,21 @@ mod tests {
         let total: f64 = exp.iter().sum();
         for (o, e) in outs.iter().zip(exp.iter()) {
             let got = c.fixed.dequantize(signed_value(cs.value(*o), 32).unwrap());
-            assert!((got - e / total).abs() < 0.05, "got {got}, want {}", e / total);
+            assert!(
+                (got - e / total).abs() < 0.05,
+                "got {got}, want {}",
+                e / total
+            );
         }
     }
 
     #[test]
     fn softmax_soundness_tampered_output_rejected() {
         let c = cfg();
-        let quantised: Vec<i64> = [0.3f64, -0.7, 1.1].iter().map(|v| c.fixed.quantize(*v)).collect();
+        let quantised: Vec<i64> = [0.3f64, -0.7, 1.1]
+            .iter()
+            .map(|v| c.fixed.quantize(*v))
+            .collect();
         let mut cs = ConstraintSystem::<Fr>::new();
         let input_lcs: Vec<LinearCombination<Fr>> = quantised
             .iter()
@@ -225,8 +234,9 @@ mod tests {
         let c = cfg();
         let count = |n: usize| -> usize {
             let mut cs = ConstraintSystem::<Fr>::new();
-            let lcs: Vec<LinearCombination<Fr>> =
-                (0..n).map(|i| cs.alloc_witness(Fr::from_i64(i as i64 * 10)).into()).collect();
+            let lcs: Vec<LinearCombination<Fr>> = (0..n)
+                .map(|i| cs.alloc_witness(Fr::from_i64(i as i64 * 10)).into())
+                .collect();
             synthesize_softmax(&mut cs, &lcs, &c).unwrap();
             cs.num_constraints()
         };

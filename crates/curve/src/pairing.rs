@@ -47,12 +47,16 @@ impl fmt::Display for Gt {
     }
 }
 
+// `Gt` is written additively although its representation is the
+// multiplicative subgroup of Fq2, hence the "suspicious" `*` underneath.
+#[allow(clippy::suspicious_arithmetic_impl)]
 impl Add for Gt {
     type Output = Gt;
     fn add(self, rhs: Gt) -> Gt {
         Gt(self.0 * rhs.0)
     }
 }
+#[allow(clippy::suspicious_op_assign_impl)]
 impl AddAssign for Gt {
     fn add_assign(&mut self, rhs: Gt) {
         self.0 *= rhs.0;
@@ -118,7 +122,8 @@ pub fn pairing_miller_loop(p: &G1Affine, q: &G1Affine) -> Fq2 {
                 let y3 = lambda * (tx - x3) - ty;
                 // line through T with slope lambda, evaluated at S:
                 //   l(S) = y_S - y_T - lambda (x_S - x_T)
-                let l = sy - Fq2::new(ty, Fq::zero())
+                let l = sy
+                    - Fq2::new(ty, Fq::zero())
                     - Fq2::new(lambda, Fq::zero()) * (sx - Fq2::new(tx, Fq::zero()));
                 // vertical at 2T: v(S) = x_S - x_{2T}
                 let v = sx - Fq2::new(x3, Fq::zero());
@@ -141,7 +146,8 @@ pub fn pairing_miller_loop(p: &G1Affine, q: &G1Affine) -> Fq2 {
                     * (ty.double()).inverse().expect("ty != 0");
                 let x3 = lambda.square() - tx.double();
                 let y3 = lambda * (tx - x3) - ty;
-                let l = sy - Fq2::new(ty, Fq::zero())
+                let l = sy
+                    - Fq2::new(ty, Fq::zero())
                     - Fq2::new(lambda, Fq::zero()) * (sx - Fq2::new(tx, Fq::zero()));
                 let v = sx - Fq2::new(x3, Fq::zero());
                 num *= l;
@@ -152,7 +158,8 @@ pub fn pairing_miller_loop(p: &G1Affine, q: &G1Affine) -> Fq2 {
                 let lambda = (p.y - ty) * (p.x - tx).inverse().expect("tx != p.x");
                 let x3 = lambda.square() - tx - p.x;
                 let y3 = lambda * (tx - x3) - ty;
-                let l = sy - Fq2::new(ty, Fq::zero())
+                let l = sy
+                    - Fq2::new(ty, Fq::zero())
                     - Fq2::new(lambda, Fq::zero()) * (sx - Fq2::new(tx, Fq::zero()));
                 let v = sx - Fq2::new(x3, Fq::zero());
                 num *= l;
@@ -163,7 +170,9 @@ pub fn pairing_miller_loop(p: &G1Affine, q: &G1Affine) -> Fq2 {
         }
     }
 
-    num * den.inverse().expect("denominator never vanishes for valid inputs")
+    num * den
+        .inverse()
+        .expect("denominator never vanishes for valid inputs")
 }
 
 /// Final exponentiation `f -> f^((p^2 - 1)/r)` into the order-`r` subgroup.

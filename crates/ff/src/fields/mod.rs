@@ -162,13 +162,17 @@ mod tests {
     fn fr_from_i64() {
         assert_eq!(Fr::from_i64(-5) + Fr::from_u64(5), Fr::zero());
         assert_eq!(Fr::from_i64(7), Fr::from_u64(7));
-        assert_eq!(Fr::from_i64(i64::MIN) + Fr::from_u128(1u128 << 63), Fr::zero());
+        assert_eq!(
+            Fr::from_i64(i64::MIN) + Fr::from_u128(1u128 << 63),
+            Fr::zero()
+        );
     }
 
     #[test]
     fn fr_from_u128() {
         let v = 0x1234_5678_9abc_def0_1122_3344_5566_7788u128;
-        let expect = Fr::from_u64((v >> 64) as u64) * Fr::from_u64(2).pow(&[64]) + Fr::from_u64(v as u64);
+        let expect =
+            Fr::from_u64((v >> 64) as u64) * Fr::from_u64(2).pow(&[64]) + Fr::from_u64(v as u64);
         assert_eq!(Fr::from_u128(v), expect);
     }
 

@@ -9,39 +9,117 @@ pub const NUM_LIMBS: usize = 4;
 
 // ---- Scalar field Fr (group order) ----
 /// Fr modulus r = 56539106072908298546665520023773392506479484700019806659891401718423879681
-pub const FR_MODULUS: [u64; 4] = [0x000002fb00000001, 0x0000000000000000, 0x0000000000000000, 0x0020000000000000];
-pub const FR_R: [u64; 4] = [0xffe82afafffff801, 0xffffffffffffffff, 0xffffffffffffffff, 0x001fffffffffffff];
-pub const FR_R2: [u64; 4] = [0x7d80000000400000, 0x0000023886400001, 0x0000000000000000, 0x0000000000000000];
-pub const FR_R3: [u64; 4] = [0x000002f900000001, 0xffcab369ffffee1e, 0xffffffffcb0c3ef9, 0x001fffffffffffff];
+pub const FR_MODULUS: [u64; 4] = [
+    0x000002fb00000001,
+    0x0000000000000000,
+    0x0000000000000000,
+    0x0020000000000000,
+];
+pub const FR_R: [u64; 4] = [
+    0xffe82afafffff801,
+    0xffffffffffffffff,
+    0xffffffffffffffff,
+    0x001fffffffffffff,
+];
+pub const FR_R2: [u64; 4] = [
+    0x7d80000000400000,
+    0x0000023886400001,
+    0x0000000000000000,
+    0x0000000000000000,
+];
+pub const FR_R3: [u64; 4] = [
+    0x000002f900000001,
+    0xffcab369ffffee1e,
+    0xffffffffcb0c3ef9,
+    0x001fffffffffffff,
+];
 pub const FR_INV: u64 = 0x000002faffffffff;
 pub const FR_TWO_ADICITY: u32 = 32;
 /// 2^32-th primitive root of unity, standard form.
-pub const FR_ROOT_OF_UNITY: [u64; 4] = [0xc1b8475711f8e3ae, 0x40d459d1dedb6513, 0x15685824e7378dc9, 0x0003ecd6ecd9f9af];
+pub const FR_ROOT_OF_UNITY: [u64; 4] = [
+    0xc1b8475711f8e3ae,
+    0x40d459d1dedb6513,
+    0x15685824e7378dc9,
+    0x0003ecd6ecd9f9af,
+];
 /// Multiplicative generator 14 of Fr, standard form.
-pub const FR_GENERATOR: [u64; 4] = [0x000000000000000e, 0x0000000000000000, 0x0000000000000000, 0x0000000000000000];
+pub const FR_GENERATOR: [u64; 4] = [
+    0x000000000000000e,
+    0x0000000000000000,
+    0x0000000000000000,
+    0x0000000000000000,
+];
 pub const FR_MODULUS_BITS: u32 = 246;
 /// (r-1)/2
-pub const FR_MODULUS_MINUS_ONE_DIV_TWO: [u64; 4] = [0x0000017d80000000, 0x0000000000000000, 0x0000000000000000, 0x0010000000000000];
+pub const FR_MODULUS_MINUS_ONE_DIV_TWO: [u64; 4] = [
+    0x0000017d80000000,
+    0x0000000000000000,
+    0x0000000000000000,
+    0x0010000000000000,
+];
 
 // ---- Base field Fq (curve coordinates) ----
 /// Fq modulus p = 4749284910124297077919903681996964970544276714801663759430877744347605893203
-pub const FQ_MODULUS: [u64; 4] = [0x0000fa5c00000053, 0x0000000000000000, 0x0000000000000000, 0x0a80000000000000];
-pub const FQ_R: [u64; 4] = [0xffe8875ffffff838, 0xffffffffffffffff, 0xffffffffffffffff, 0x03ffffffffffffff];
-pub const FQ_R2: [u64; 4] = [0xda7b6e483101886b, 0x861863be9ea18619, 0x1861861861861861, 0x0006186186186186];
-pub const FQ_R3: [u64; 4] = [0x66ad44451053d037, 0xe9bc3e0c957a6ac4, 0x833157a78ead0b4f, 0x02fc3a0cc55e9f0e];
+pub const FQ_MODULUS: [u64; 4] = [
+    0x0000fa5c00000053,
+    0x0000000000000000,
+    0x0000000000000000,
+    0x0a80000000000000,
+];
+pub const FQ_R: [u64; 4] = [
+    0xffe8875ffffff838,
+    0xffffffffffffffff,
+    0xffffffffffffffff,
+    0x03ffffffffffffff,
+];
+pub const FQ_R2: [u64; 4] = [
+    0xda7b6e483101886b,
+    0x861863be9ea18619,
+    0x1861861861861861,
+    0x0006186186186186,
+];
+pub const FQ_R3: [u64; 4] = [
+    0x66ad44451053d037,
+    0xe9bc3e0c957a6ac4,
+    0x833157a78ead0b4f,
+    0x02fc3a0cc55e9f0e,
+];
 pub const FQ_INV: u64 = 0xff122bf5d4d1bc25;
 pub const FQ_MODULUS_BITS: u32 = 252;
 /// (p+1)/4 used for square roots since p = 3 mod 4.
-pub const FQ_P_PLUS_ONE_DIV_FOUR: [u64; 4] = [0x00003e9700000015, 0x0000000000000000, 0x0000000000000000, 0x02a0000000000000];
+pub const FQ_P_PLUS_ONE_DIV_FOUR: [u64; 4] = [
+    0x00003e9700000015,
+    0x0000000000000000,
+    0x0000000000000000,
+    0x02a0000000000000,
+];
 
 // ---- Curve E: y^2 = x^3 + x over Fq ----
 /// Cofactor h such that #E(F_p) = h * r.
 pub const COFACTOR: u64 = 84;
 /// Generator of the order-r subgroup G1 (standard form coordinates).
-pub const G1_GENERATOR_X: [u64; 4] = [0x30a4682c10e32a88, 0x3749cac6203854dc, 0xe62c13f7a98bacbe, 0x032d712fd78e407a];
-pub const G1_GENERATOR_Y: [u64; 4] = [0xd5b6bd07fee3b604, 0x09d8de143b0e2a5c, 0xf89a9655172ac9fb, 0x04962d4871c01155];
+pub const G1_GENERATOR_X: [u64; 4] = [
+    0x30a4682c10e32a88,
+    0x3749cac6203854dc,
+    0xe62c13f7a98bacbe,
+    0x032d712fd78e407a,
+];
+pub const G1_GENERATOR_Y: [u64; 4] = [
+    0xd5b6bd07fee3b604,
+    0x09d8de143b0e2a5c,
+    0xf89a9655172ac9fb,
+    0x04962d4871c01155,
+];
 
 // ---- Pairing ----
 /// Final exponentiation power (p^2 - 1) / r, little-endian 64-bit limbs (8 limbs).
-pub const FINAL_EXP: [u64; 8] = [0x0052263000001ae8, 0x0000000000000000, 0x0000000000000000, 0x7200000000000000, 0x0000000000000003, 0x0000000000000000, 0x0000000000000000, 0x0000000000000000];
-
+pub const FINAL_EXP: [u64; 8] = [
+    0x0052263000001ae8,
+    0x0000000000000000,
+    0x0000000000000000,
+    0x7200000000000000,
+    0x0000000000000003,
+    0x0000000000000000,
+    0x0000000000000000,
+    0x0000000000000000,
+];

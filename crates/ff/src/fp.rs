@@ -163,7 +163,11 @@ impl<P: FpParams> Fp<P> {
         let (d2, borrow) = sbb(P::MODULUS[2], self.0[2], borrow);
         let (d3, _) = sbb(P::MODULUS[3], self.0[3], borrow);
         // Mask to zero when the input was zero.
-        let mask = if crate::arith::is_zero_4(&self.0) { 0 } else { u64::MAX };
+        let mask = if crate::arith::is_zero_4(&self.0) {
+            0
+        } else {
+            u64::MAX
+        };
         Fp([d0 & mask, d1 & mask, d2 & mask, d3 & mask], PhantomData)
     }
 

@@ -100,7 +100,7 @@ impl<F: Field> DensePolynomial<F> {
             for (j, dc) in divisor.coeffs.iter().enumerate() {
                 let idx = i - d + j;
                 let sub = *dc * q;
-                remainder[idx] = remainder[idx] - sub;
+                remainder[idx] -= sub;
             }
         }
         remainder.truncate(d);
@@ -255,7 +255,10 @@ mod tests {
         // p(x) = 1 + 2x + 3x^2 at x = 5 -> 1 + 10 + 75 = 86
         let p = poly(&[1, 2, 3]);
         assert_eq!(p.evaluate(&Fr::from_u64(5)), Fr::from_u64(86));
-        assert_eq!(DensePolynomial::<Fr>::zero().evaluate(&Fr::from_u64(5)), Fr::zero());
+        assert_eq!(
+            DensePolynomial::<Fr>::zero().evaluate(&Fr::from_u64(5)),
+            Fr::zero()
+        );
     }
 
     #[test]

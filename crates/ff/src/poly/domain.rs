@@ -102,10 +102,7 @@ impl<F: PrimeField> EvaluationDomain<F> {
     /// Inverse FFT over the coset `shift * H`.
     pub fn coset_ifft_in_place(&self, values: &mut [F]) {
         self.ifft_in_place(values);
-        let shift_inv = self
-            .coset_shift
-            .inverse()
-            .expect("coset shift is non-zero");
+        let shift_inv = self.coset_shift.inverse().expect("coset shift is non-zero");
         Self::distribute_powers(values, shift_inv);
     }
 
@@ -199,8 +196,8 @@ impl<F: PrimeField> EvaluationDomain<F> {
 mod tests {
     use super::*;
     use crate::fields::Fr;
-    use crate::traits::Field;
     use crate::poly::DensePolynomial;
+    use crate::traits::Field;
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -188,9 +188,8 @@ mod tests {
     #[test]
     fn fix_first_variable_partial_eval() {
         let mut rng = StdRng::seed_from_u64(5);
-        let p = MultilinearPolynomial::from_evaluations(
-            (0..8).map(|_| Fr::random(&mut rng)).collect(),
-        );
+        let p =
+            MultilinearPolynomial::from_evaluations((0..8).map(|_| Fr::random(&mut rng)).collect());
         let r = Fr::random(&mut rng);
         let mut q = p.clone();
         q.fix_first_variable(r);

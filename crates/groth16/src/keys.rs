@@ -73,6 +73,54 @@ impl VerifyingKey {
     pub fn size_in_bytes(&self) -> usize {
         (4 + self.gamma_abc_g1.len()) * 65 + 64
     }
+
+    /// Canonical byte serialisation: the four fixed points, then a `u32`
+    /// count followed by the `gamma_abc` points. The cached pairing
+    /// `e(alpha, beta)` is *not* stored; [`Self::from_bytes`] recomputes it,
+    /// so a deserialised key cannot carry an inconsistent cache.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity((4 + self.gamma_abc_g1.len()) * 65 + 4);
+        out.extend_from_slice(&self.alpha_g1.to_bytes());
+        out.extend_from_slice(&self.beta_g2.to_bytes());
+        out.extend_from_slice(&self.gamma_g2.to_bytes());
+        out.extend_from_slice(&self.delta_g2.to_bytes());
+        out.extend_from_slice(&(self.gamma_abc_g1.len() as u32).to_le_bytes());
+        for p in &self.gamma_abc_g1 {
+            out.extend_from_slice(&p.to_bytes());
+        }
+        out
+    }
+
+    /// Deserialises a key written by [`Self::to_bytes`], validating that
+    /// every point is on the curve and recomputing the cached pairing.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let point = |off: usize| -> Option<G1Affine> {
+            let mut buf = [0u8; 65];
+            buf.copy_from_slice(bytes.get(off..off + 65)?);
+            G1Affine::from_bytes(&buf)
+        };
+        let alpha_g1 = point(0)?;
+        let beta_g2 = point(65)?;
+        let gamma_g2 = point(130)?;
+        let delta_g2 = point(195)?;
+        let count_bytes: [u8; 4] = bytes.get(260..264)?.try_into().ok()?;
+        let count = u32::from_le_bytes(count_bytes) as usize;
+        if bytes.len() != 264 + count * 65 {
+            return None;
+        }
+        let mut gamma_abc_g1 = Vec::with_capacity(count);
+        for i in 0..count {
+            gamma_abc_g1.push(point(264 + i * 65)?);
+        }
+        Some(VerifyingKey {
+            alpha_g1,
+            beta_g2,
+            gamma_g2,
+            delta_g2,
+            gamma_abc_g1,
+            alpha_beta_gt: pairing(&alpha_g1, &beta_g2),
+        })
+    }
 }
 
 /// The proving key (CRS): everything the prover needs.
@@ -117,7 +165,10 @@ impl ProvingKey {
 /// The constraint *structure* of `cs` is what matters here; the assigned
 /// values are ignored (callers typically synthesise the circuit with
 /// placeholder values first).
-pub fn setup<R: Rng + ?Sized>(cs: &ConstraintSystem<Fr>, rng: &mut R) -> (ProvingKey, VerifyingKey) {
+pub fn setup<R: Rng + ?Sized>(
+    cs: &ConstraintSystem<Fr>,
+    rng: &mut R,
+) -> (ProvingKey, VerifyingKey) {
     let matrices = cs.to_matrices();
 
     // Toxic waste.
@@ -251,5 +302,54 @@ mod tests {
         let mut corrupted = bytes.clone();
         corrupted[1] ^= 0xff;
         assert!(Proof::from_bytes(&corrupted).is_none());
+    }
+
+    #[test]
+    fn verifying_key_serialization_roundtrip() {
+        let cs = square_circuit();
+        let mut rng = StdRng::seed_from_u64(4);
+        let (_pk, vk) = setup(&cs, &mut rng);
+        let bytes = vk.to_bytes();
+        let back = VerifyingKey::from_bytes(&bytes).expect("round trip");
+        assert_eq!(back.alpha_g1, vk.alpha_g1);
+        assert_eq!(back.beta_g2, vk.beta_g2);
+        assert_eq!(back.gamma_g2, vk.gamma_g2);
+        assert_eq!(back.delta_g2, vk.delta_g2);
+        assert_eq!(back.gamma_abc_g1, vk.gamma_abc_g1);
+        // The pairing cache must be recomputed, not trusted from the wire.
+        assert_eq!(back.alpha_beta_gt, vk.alpha_beta_gt);
+        // Truncated and padded inputs are rejected.
+        assert!(VerifyingKey::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(VerifyingKey::from_bytes(&padded).is_none());
+    }
+
+    #[test]
+    fn deserialized_key_verifies_real_proof_and_flips_fail() {
+        // End-to-end: proof + vk cross a byte boundary, then every
+        // single-bit flip of the proof is either rejected at decode time or
+        // fails verification.
+        let cs = square_circuit();
+        let mut rng = StdRng::seed_from_u64(5);
+        let (pk, vk) = setup(&cs, &mut rng);
+        let proof = crate::prove(&pk, &cs, &mut rng);
+
+        let vk2 = VerifyingKey::from_bytes(&vk.to_bytes()).unwrap();
+        let proof_bytes = proof.to_bytes();
+        let proof2 = Proof::from_bytes(&proof_bytes).unwrap();
+        assert!(crate::verify(&vk2, cs.instance_assignment(), &proof2));
+
+        for byte_idx in 0..proof_bytes.len() {
+            let mut tampered = proof_bytes.clone();
+            tampered[byte_idx] ^= 1;
+            match Proof::from_bytes(&tampered) {
+                None => {} // rejected by curve-membership validation
+                Some(p) => assert!(
+                    !crate::verify(&vk2, cs.instance_assignment(), &p),
+                    "flipped byte {byte_idx} still verified"
+                ),
+            }
+        }
     }
 }

@@ -7,7 +7,7 @@
 //! matmul baseline (made non-interactive), and CRPC's `Z` derivation.
 
 use zkvc_curve::G1Affine;
-use zkvc_ff::{PrimeField, Fr};
+use zkvc_ff::{Fr, PrimeField};
 
 use crate::sha256::Sha256;
 

@@ -222,7 +222,11 @@ mod tests {
 
     fn random_matrix(rows: usize, cols: usize, rng: &mut StdRng) -> Vec<Vec<Fr>> {
         (0..rows)
-            .map(|_| (0..cols).map(|_| Fr::from_u64(rng.gen_range(0..1000))).collect())
+            .map(|_| {
+                (0..cols)
+                    .map(|_| Fr::from_u64(rng.gen_range(0..1000)))
+                    .collect()
+            })
             .collect()
     }
 

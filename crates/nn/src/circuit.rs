@@ -84,8 +84,18 @@ impl ModelCircuit {
         for (idx, (spec, mixer)) in model.layers.iter().zip(schedule.layers.iter()).enumerate() {
             // When the spec's sequence length or dim changes between stages
             // (hierarchical ViT), downsample tokens by truncation/projection.
-            tokens = resize_tokens(&mut cs, &tokens, spec.seq_len, spec.dim, strategy, z, &cfg, &mut rng);
-            let weights = BlockWeights::random(spec.seq_len, spec.dim, spec.mlp_dim, &cfg, &mut rng);
+            tokens = resize_tokens(
+                &mut cs,
+                &tokens,
+                spec.seq_len,
+                spec.dim,
+                strategy,
+                z,
+                &cfg,
+                &mut rng,
+            );
+            let weights =
+                BlockWeights::random(spec.seq_len, spec.dim, spec.mlp_dim, &cfg, &mut rng);
             let before = (cs.num_constraints(), cs.num_variables());
             tokens = transformer_block(
                 &mut cs,
@@ -225,7 +235,8 @@ mod tests {
     fn softmax_schedule_costs_more_than_hybrid() {
         let cfg = VitConfig::custom(3, 2, 8, 6, 4).to_model();
         let soft = ModelCircuit::build(&cfg, &MixerSchedule::soft_approx(3), Strategy::CrpcPsq, 3);
-        let hybrid = ModelCircuit::build(&cfg, &MixerSchedule::zkvc_hybrid(3), Strategy::CrpcPsq, 3);
+        let hybrid =
+            ModelCircuit::build(&cfg, &MixerSchedule::zkvc_hybrid(3), Strategy::CrpcPsq, 3);
         let pool = ModelCircuit::build(&cfg, &MixerSchedule::soft_free_p(3), Strategy::CrpcPsq, 3);
         assert!(soft.num_constraints() > hybrid.num_constraints());
         assert!(hybrid.num_constraints() > pool.num_constraints());
@@ -239,8 +250,18 @@ mod tests {
             name: "mini-hierarchical".to_string(),
             input_dim: 12,
             layers: vec![
-                LayerSpec { seq_len: 8, dim: 8, num_heads: 2, mlp_dim: 16 },
-                LayerSpec { seq_len: 2, dim: 12, num_heads: 2, mlp_dim: 24 },
+                LayerSpec {
+                    seq_len: 8,
+                    dim: 8,
+                    num_heads: 2,
+                    mlp_dim: 16,
+                },
+                LayerSpec {
+                    seq_len: 2,
+                    dim: 12,
+                    num_heads: 2,
+                    mlp_dim: 24,
+                },
             ],
             num_classes: 3,
         };

@@ -54,7 +54,11 @@ pub fn linear(
 
 /// Rescales every element of a matrix of double-scale values back to single
 /// scale.
-pub fn rescale_all(cs: &mut ConstraintSystem<Fr>, x: &LcMatrix, cfg: &FixedPointConfig) -> LcMatrix {
+pub fn rescale_all(
+    cs: &mut ConstraintSystem<Fr>,
+    x: &LcMatrix,
+    cfg: &FixedPointConfig,
+) -> LcMatrix {
     x.iter()
         .map(|row| {
             row.iter()
@@ -99,7 +103,11 @@ pub fn softmax_rows(cs: &mut ConstraintSystem<Fr>, x: &LcMatrix, cfg: &SoftmaxCo
 /// Row-wise RMS normalisation (`x_i * rsqrt(mean(x^2))`), the
 /// LayerNorm-style stabiliser used between blocks. The reciprocal square
 /// root is verified with the gadget from `zkvc-core`.
-pub fn rmsnorm_rows(cs: &mut ConstraintSystem<Fr>, x: &LcMatrix, cfg: &FixedPointConfig) -> LcMatrix {
+pub fn rmsnorm_rows(
+    cs: &mut ConstraintSystem<Fr>,
+    x: &LcMatrix,
+    cfg: &FixedPointConfig,
+) -> LcMatrix {
     let d = x[0].len() as i64;
     x.iter()
         .map(|row| {
@@ -312,12 +320,7 @@ fn transpose_lcs(m: &LcMatrix) -> LcMatrix {
 fn concat_cols(parts: &[LcMatrix]) -> LcMatrix {
     let rows = parts[0].len();
     (0..rows)
-        .map(|r| {
-            parts
-                .iter()
-                .flat_map(|p| p[r].iter().cloned())
-                .collect()
-        })
+        .map(|r| parts.iter().flat_map(|p| p[r].iter().cloned()).collect())
         .collect()
 }
 
@@ -327,7 +330,12 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn setup() -> (ConstraintSystem<Fr>, FixedPointConfig, SoftmaxConfig, StdRng) {
+    fn setup() -> (
+        ConstraintSystem<Fr>,
+        FixedPointConfig,
+        SoftmaxConfig,
+        StdRng,
+    ) {
         (
             ConstraintSystem::<Fr>::new(),
             FixedPointConfig::default(),
@@ -343,12 +351,19 @@ mod tests {
         let w = Tensor::random(4, 2, &cfg, &mut rng);
         let x_lcs = alloc_tensor(&mut cs, &x);
         let w_lcs = alloc_tensor(&mut cs, &w);
-        let y = linear(&mut cs, &x_lcs, &w_lcs, Strategy::CrpcPsq, Fr::from_u64(99991), &cfg);
+        let y = linear(
+            &mut cs,
+            &x_lcs,
+            &w_lcs,
+            Strategy::CrpcPsq,
+            Fr::from_u64(99991),
+            &cfg,
+        );
         assert!(cs.is_satisfied());
         let reference = x.matmul(&w, &cfg);
-        for i in 0..3 {
-            for j in 0..2 {
-                assert_eq!(cs.eval_lc(&y[i][j]), Fr::from_i64(reference.get(i, j)));
+        for (i, row) in y.iter().enumerate() {
+            for (j, cell) in row.iter().enumerate() {
+                assert_eq!(cs.eval_lc(cell), Fr::from_i64(reference.get(i, j)));
             }
         }
     }

@@ -33,7 +33,12 @@ impl Tensor {
 
     /// Creates a tensor with small random quantised values (used for the
     /// synthetic weights of substitution S4).
-    pub fn random<R: Rng + ?Sized>(rows: usize, cols: usize, cfg: &FixedPointConfig, rng: &mut R) -> Self {
+    pub fn random<R: Rng + ?Sized>(
+        rows: usize,
+        cols: usize,
+        cfg: &FixedPointConfig,
+        rng: &mut R,
+    ) -> Self {
         let scale = cfg.scale();
         let data = (0..rows * cols)
             .map(|_| rng.gen_range(-scale / 2..=scale / 2))
@@ -117,7 +122,11 @@ impl Tensor {
     /// # Panics
     /// Panics if the shapes differ.
     pub fn add(&self, rhs: &Tensor) -> Tensor {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "shape mismatch"
+        );
         Tensor {
             rows: self.rows,
             cols: self.cols,
@@ -160,7 +169,7 @@ mod tests {
     #[test]
     fn matmul_matches_manual() {
         let cfg = FixedPointConfig::new(4, 32); // scale 16
-        // A = [[1.0, 2.0]], B = [[0.5], [0.25]] -> 1.0*0.5 + 2.0*0.25 = 1.0
+                                                // A = [[1.0, 2.0]], B = [[0.5], [0.25]] -> 1.0*0.5 + 2.0*0.25 = 1.0
         let a = Tensor::from_data(1, 2, vec![16, 32]);
         let b = Tensor::from_data(2, 1, vec![8, 4]);
         let c = a.matmul(&b, &cfg);

@@ -162,13 +162,7 @@ pub fn check_qap_identity_at<F: PrimeField>(
     t: &F,
 ) -> bool {
     let evals = evaluate_qap_at_point(matrices, t);
-    let dot = |polys: &[F]| -> F {
-        polys
-            .iter()
-            .zip(z.iter())
-            .map(|(p, zi)| *p * *zi)
-            .sum()
-    };
+    let dot = |polys: &[F]| -> F { polys.iter().zip(z.iter()).map(|(p, zi)| *p * *zi).sum() };
     let at = dot(&evals.a);
     let bt = dot(&evals.b);
     let ct = dot(&evals.c);

@@ -34,6 +34,14 @@ impl fmt::Display for SynthesisError {
 
 impl std::error::Error for SynthesisError {}
 
+/// Borrowed `(A, B, C)` rows of a constraint system, as returned by
+/// [`ConstraintSystem::constraints`].
+pub type ConstraintTriples<'a, F> = (
+    &'a [LinearCombination<F>],
+    &'a [LinearCombination<F>],
+    &'a [LinearCombination<F>],
+);
+
 /// A rank-1 constraint system with its witness assignment.
 ///
 /// The full assignment vector is `z = (1, instance..., witness...)`; every
@@ -100,7 +108,11 @@ impl<F: Field> ConstraintSystem<F> {
     /// Enforces that a linear combination equals zero
     /// (encoded as `lc * 1 = 0`).
     pub fn enforce_zero(&mut self, lc: LinearCombination<F>) {
-        self.enforce(lc, LinearCombination::constant(F::one()), LinearCombination::zero());
+        self.enforce(
+            lc,
+            LinearCombination::constant(F::one()),
+            LinearCombination::zero(),
+        );
     }
 
     /// Enforces equality of two linear combinations.
@@ -119,10 +131,7 @@ impl<F: Field> ConstraintSystem<F> {
 
     /// Evaluates a linear combination under the current assignment.
     pub fn eval_lc(&self, lc: &LinearCombination<F>) -> F {
-        lc.terms
-            .iter()
-            .map(|(v, c)| self.value(*v) * *c)
-            .sum()
+        lc.terms.iter().map(|(v, c)| self.value(*v) * *c).sum()
     }
 
     /// Returns `true` iff every constraint is satisfied.
@@ -218,18 +227,16 @@ impl<F: Field> ConstraintSystem<F> {
     /// # Panics
     /// Panics if the length differs from the allocated instance count.
     pub fn set_instance_assignment(&mut self, instance: Vec<F>) {
-        assert_eq!(instance.len(), self.instance.len(), "instance length mismatch");
+        assert_eq!(
+            instance.len(),
+            self.instance.len(),
+            "instance length mismatch"
+        );
         self.instance = instance;
     }
 
     /// Borrow the constraint triples.
-    pub fn constraints(
-        &self,
-    ) -> (
-        &[LinearCombination<F>],
-        &[LinearCombination<F>],
-        &[LinearCombination<F>],
-    ) {
+    pub fn constraints(&self) -> ConstraintTriples<'_, F> {
         (&self.a, &self.b, &self.c)
     }
 

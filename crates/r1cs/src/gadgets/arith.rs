@@ -52,7 +52,12 @@ pub fn is_zero<F: Field>(cs: &mut ConstraintSystem<F>, a: &LinearCombination<F>)
         "is_zero: a*inv",
     );
     // a * b = 0
-    cs.enforce_named(a.clone(), b.into(), LinearCombination::zero(), "is_zero: a*b");
+    cs.enforce_named(
+        a.clone(),
+        b.into(),
+        LinearCombination::zero(),
+        "is_zero: a*b",
+    );
     b
 }
 
@@ -119,13 +124,23 @@ pub fn enforce_product_is_zero<F: Field>(
         return;
     } else {
         let v = cs.alloc_witness(acc_val);
-        cs.enforce_named(terms[0].clone(), terms[1].clone(), v.into(), "product_zero step");
+        cs.enforce_named(
+            terms[0].clone(),
+            terms[1].clone(),
+            v.into(),
+            "product_zero step",
+        );
         v.into()
     };
     for (i, t) in terms.iter().enumerate().skip(2) {
         acc_val *= cs.eval_lc(t);
         if i + 1 == terms.len() {
-            cs.enforce_named(acc, t.clone(), LinearCombination::zero(), "product_zero final");
+            cs.enforce_named(
+                acc,
+                t.clone(),
+                LinearCombination::zero(),
+                "product_zero final",
+            );
             return;
         }
         let v = cs.alloc_witness(acc_val);

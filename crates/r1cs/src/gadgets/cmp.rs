@@ -169,7 +169,11 @@ mod tests {
             let lv = lc_of(&mut cs, v);
             let neg = is_negative_fixed(&mut cs, &lv, 16).unwrap();
             assert!(cs.is_satisfied());
-            assert_eq!(cs.value(neg), if expect { Fr::one() } else { Fr::zero() }, "v={v}");
+            assert_eq!(
+                cs.value(neg),
+                if expect { Fr::one() } else { Fr::zero() },
+                "v={v}"
+            );
         }
     }
 
@@ -184,8 +188,7 @@ mod tests {
         ];
         for (vals, expect) in cases {
             let mut cs = ConstraintSystem::<Fr>::new();
-            let lcs: Vec<LinearCombination<Fr>> =
-                vals.iter().map(|v| lc_of(&mut cs, *v)).collect();
+            let lcs: Vec<LinearCombination<Fr>> = vals.iter().map(|v| lc_of(&mut cs, *v)).collect();
             let m = max_of(&mut cs, &lcs, 16).unwrap();
             assert!(cs.is_satisfied(), "vals={vals:?}");
             assert_eq!(cs.value(m), Fr::from_i64(expect), "vals={vals:?}");
@@ -197,10 +200,8 @@ mod tests {
         // Claiming a non-maximal element fails the domination check, and
         // claiming a too-large value fails the membership product.
         let mut cs = ConstraintSystem::<Fr>::new();
-        let lcs: Vec<LinearCombination<Fr>> = [1i64, 5, 3]
-            .iter()
-            .map(|v| lc_of(&mut cs, *v))
-            .collect();
+        let lcs: Vec<LinearCombination<Fr>> =
+            [1i64, 5, 3].iter().map(|v| lc_of(&mut cs, *v)).collect();
         let m = max_of(&mut cs, &lcs, 16).unwrap();
         assert!(cs.is_satisfied());
         let m_idx = match m {

@@ -124,8 +124,7 @@ impl<F: Field> Sub for LinearCombination<F> {
 impl<F: Field> Sub<&LinearCombination<F>> for LinearCombination<F> {
     type Output = LinearCombination<F>;
     fn sub(mut self, rhs: &Self) -> Self {
-        self.terms
-            .extend(rhs.terms.iter().map(|(v, c)| (*v, -*c)));
+        self.terms.extend(rhs.terms.iter().map(|(v, c)| (*v, -*c)));
         self
     }
 }
@@ -176,8 +175,7 @@ mod tests {
     #[test]
     fn zero_coefficients_are_dropped() {
         let x = Variable::Witness(0);
-        let lc: LinearCombination<Fr> =
-            LinearCombination::from(x) - LinearCombination::from(x);
+        let lc: LinearCombination<Fr> = LinearCombination::from(x) - LinearCombination::from(x);
         assert_eq!(lc.normalize().num_wires(), 0);
         let mut lc2 = LinearCombination::<Fr>::zero();
         lc2.push(x, Fr::zero());

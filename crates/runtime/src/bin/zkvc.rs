@@ -1,0 +1,240 @@
+//! The `zkvc` command-line interface: batch proving with key caching and a
+//! worker pool, plus single-proof file round trips.
+//!
+//! ```text
+//! zkvc prove-batch --spec 8x8x16:crpc+psq:groth16:x8 --workers 4 [--seed N] [--compare-serial]
+//! zkvc prove  --spec 8x8x16:zkvc:g [--seed N] --out proof.bin
+//! zkvc verify --in proof.bin --spec 8x8x16:zkvc:g [--seed N]
+//! zkvc help
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zkvc_runtime::{
+    build_statement, prove_batch_serial, JobSpec, KeyCache, ProofEnvelope, ProvingPool,
+};
+
+const USAGE: &str = "\
+zkvc - concurrent batch proving for the zkVC stack
+
+USAGE:
+    zkvc prove-batch --spec SPEC [--spec SPEC ...] [OPTIONS]
+    zkvc prove  --spec SPEC [--seed N] --out FILE
+    zkvc verify --in FILE --spec SPEC [--seed N]
+    zkvc help
+
+SPEC grammar:
+    AxNxB[:STRATEGY][:BACKEND][:xCOUNT]
+    STRATEGY: vanilla | vanilla+psq | crpc | crpc+psq (alias: zkvc)
+    BACKEND:  groth16 (alias: g) | spartan (alias: s)
+    xCOUNT:   repeat the job COUNT times (prove-batch only)
+
+OPTIONS (prove-batch):
+    --workers K        worker threads (default: available parallelism)
+    --seed N           determinism seed (default 0); same seed => same proofs
+    --compare-serial   also run N independent one-shot proves and report the speedup
+
+EXAMPLES:
+    zkvc prove-batch --spec 8x8x16:crpc+psq:groth16:x8 --workers 4 --compare-serial
+    zkvc prove-batch --spec 4x4x4:zkvc:g:x4 --spec 4x4x4:zkvc:s:x4
+    zkvc prove --spec 8x8x16:zkvc:g --out proof.bin && zkvc verify --in proof.bin --spec 8x8x16:zkvc:g
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "prove-batch" => cmd_prove_batch(&args[1..]),
+        "prove" => cmd_prove(&args[1..]),
+        "verify" => cmd_verify(&args[1..]),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command {other:?}; try `zkvc help`")),
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Rejects any argument that is not a recognised flag of the current
+/// subcommand (so a typo'd `--sede 7` errors out instead of silently
+/// proving with the default seed).
+fn reject_unknown_args(
+    args: &[String],
+    flags_with_value: &[&str],
+    bare_flags: &[&str],
+) -> Result<(), String> {
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if flags_with_value.contains(&arg) {
+            i += 2; // skip the flag and its value; presence checked later
+        } else if bare_flags.contains(&arg) {
+            i += 1;
+        } else {
+            return Err(format!("unknown argument {arg:?}; try `zkvc help`"));
+        }
+    }
+    Ok(())
+}
+
+/// Pulls the value following a `--flag` occurrence out of `args`.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .map(|s| Some(s.as_str()))
+            .ok_or_else(|| format!("{flag} requires a value")),
+    }
+}
+
+fn parse_common(args: &[String]) -> Result<(Vec<JobSpec>, u64), String> {
+    let mut specs = Vec::new();
+    for (i, arg) in args.iter().enumerate() {
+        if arg == "--spec" {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| "--spec requires a value".to_string())?;
+            let (spec, count) = JobSpec::parse(value)?;
+            specs.extend(std::iter::repeat_n(spec, count));
+        }
+    }
+    let seed = match flag_value(args, "--seed")? {
+        Some(s) => s.parse::<u64>().map_err(|_| format!("bad --seed {s:?}"))?,
+        None => 0,
+    };
+    Ok((specs, seed))
+}
+
+fn cmd_prove_batch(args: &[String]) -> Result<bool, String> {
+    reject_unknown_args(
+        args,
+        &["--spec", "--seed", "--workers"],
+        &["--compare-serial"],
+    )?;
+    let (specs, seed) = parse_common(args)?;
+    if specs.is_empty() {
+        return Err("prove-batch needs at least one --spec".into());
+    }
+    let workers = match flag_value(args, "--workers")? {
+        Some(s) => s
+            .parse::<usize>()
+            .ok()
+            .filter(|w| *w > 0)
+            .ok_or_else(|| format!("bad --workers {s:?}"))?,
+        None => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
+    };
+
+    let t0 = Instant::now();
+    let pool = ProvingPool::with_cache(workers, seed, Arc::new(KeyCache::with_seed(seed)));
+    for spec in &specs {
+        pool.submit(*spec);
+    }
+    let report = pool.join();
+    let pooled_wall = t0.elapsed();
+    print!("{}", report.render_table("zkvc prove-batch"));
+
+    if args.iter().any(|a| a == "--compare-serial") {
+        let t1 = Instant::now();
+        let serial = prove_batch_serial(&specs, seed);
+        let serial_wall = t1.elapsed();
+        print!(
+            "{}",
+            serial.render_table("serial baseline (one-shot prove per job)")
+        );
+        println!(
+            "speedup: {:.2}x (pooled {:.3}s vs serial {:.3}s)",
+            serial_wall.as_secs_f64() / pooled_wall.as_secs_f64(),
+            pooled_wall.as_secs_f64(),
+            serial_wall.as_secs_f64()
+        );
+        if !serial.all_verified() {
+            return Ok(false);
+        }
+    }
+    Ok(report.all_verified())
+}
+
+fn cmd_prove(args: &[String]) -> Result<bool, String> {
+    reject_unknown_args(args, &["--spec", "--seed", "--out"], &[])?;
+    let (specs, seed) = parse_common(args)?;
+    let [spec] = specs[..] else {
+        return Err("prove needs exactly one --spec (without :xCOUNT)".into());
+    };
+    let out_path =
+        flag_value(args, "--out")?.ok_or_else(|| "prove requires --out FILE".to_string())?;
+
+    let statement = build_statement(seed, 0, &spec);
+    let cache = KeyCache::with_seed(seed);
+    let (keys, _) = cache.get_or_setup(spec.backend, &statement.cs);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let t0 = Instant::now();
+    let artifacts = spec
+        .backend
+        .prove_with_key(&keys.prover, &statement.cs, &mut rng);
+    let bytes = ProofEnvelope::from_artifacts(&artifacts).to_bytes();
+    std::fs::write(out_path, &bytes).map_err(|e| format!("writing {out_path:?}: {e}"))?;
+    println!(
+        "proved {spec} in {:.3}s ({} constraints), wrote {} bytes to {out_path}",
+        t0.elapsed().as_secs_f64(),
+        artifacts.metrics.num_constraints,
+        bytes.len()
+    );
+    Ok(true)
+}
+
+fn cmd_verify(args: &[String]) -> Result<bool, String> {
+    reject_unknown_args(args, &["--spec", "--seed", "--in"], &[])?;
+    let (specs, seed) = parse_common(args)?;
+    let [spec] = specs[..] else {
+        return Err("verify needs exactly one --spec matching the one used to prove".into());
+    };
+    let in_path =
+        flag_value(args, "--in")?.ok_or_else(|| "verify requires --in FILE".to_string())?;
+    let bytes = std::fs::read(in_path).map_err(|e| format!("reading {in_path:?}: {e}"))?;
+    let envelope =
+        ProofEnvelope::from_bytes(&bytes).ok_or_else(|| "malformed proof envelope".to_string())?;
+    if envelope.backend != spec.backend {
+        return Err(format!(
+            "proof was produced by the {} backend, spec says {}",
+            envelope.backend.name(),
+            spec.backend.name()
+        ));
+    }
+    // Re-derive the expected verifier key for the spec'd circuit shape
+    // (the CRS/preprocessing is deterministic in (seed, shape)) and verify
+    // against it — never against the envelope's own embedded vk — so an
+    // envelope built from some other circuit's setup fails even though it
+    // is internally consistent. Note the matmul circuits keep X/W/Y as
+    // witness variables (no public inputs), so this binds the proof to the
+    // circuit shape and key material, not to one specific input matrix;
+    // statement-level binding needs public outputs (see ROADMAP).
+    let statement = build_statement(seed, 0, &spec);
+    let cache = KeyCache::with_seed(seed);
+    let (keys, _) = cache.get_or_setup(spec.backend, &statement.cs);
+    let t0 = Instant::now();
+    let ok = envelope.verify_with_key(&keys.verifier);
+    println!(
+        "verification: {} in {:.3}s",
+        if ok { "OK" } else { "FAILED" },
+        t0.elapsed().as_secs_f64()
+    );
+    Ok(ok)
+}

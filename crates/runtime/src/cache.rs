@@ -1,0 +1,247 @@
+//! The key cache: one `setup` per circuit shape, shared by every job.
+//!
+//! [`KeyCache`] maps a [`circuit_shape_digest`](crate::circuit_shape_digest)
+//! (plus backend) to the [`ProverKey`]/[`VerifierKey`] pair produced by
+//! [`Backend::setup`]. Lookups are lock-light: a short-held map mutex hands
+//! out a per-entry [`OnceLock`], so concurrent workers proving different
+//! shapes never serialise each other's setups, and concurrent workers
+//! racing on the *same* new shape run setup exactly once (the losers block
+//! on the `OnceLock` and reuse the winner's keys).
+//!
+//! Setup randomness is derived deterministically from the shape digest and
+//! the cache's seed, so a batch re-run with the same seed reproduces
+//! byte-identical CRS material and proofs. For Groth16 this means the CRS
+//! trapdoor is derivable from public data — the right trade-off for a
+//! benchmarking/amortisation runtime, and the same "challenge baked into
+//! the CRS" assumption the paper's measured zkVC-G flow already makes; a
+//! deployment needing a real ceremony would inject entropy via
+//! [`KeyCache::with_seed`].
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zkvc_core::{Backend, ProverKey, VerifierKey};
+use zkvc_ff::Fr;
+use zkvc_r1cs::ConstraintSystem;
+
+use crate::digest::circuit_shape_digest;
+
+/// The cached product of one [`Backend::setup`] run for one circuit shape.
+#[derive(Debug)]
+pub struct CircuitKeys {
+    /// Backend the keys belong to.
+    pub backend: Backend,
+    /// Shape digest the keys were generated for.
+    pub digest: [u8; 32],
+    /// Prover-side key material.
+    pub prover: ProverKey,
+    /// Verifier-side key material.
+    pub verifier: VerifierKey,
+    /// How long the setup took (amortised across every job that hits this
+    /// entry).
+    pub setup_time: Duration,
+}
+
+/// Aggregate cache counters.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from an existing entry.
+    pub hits: u64,
+    /// Lookups that ran a fresh setup.
+    pub misses: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from cache, in `[0, 1]`; zero when no
+    /// lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+type CacheKey = ([u8; 32], Backend);
+
+/// A concurrent, shape-keyed cache of proving/verifying keys.
+#[derive(Debug, Default)]
+pub struct KeyCache {
+    entries: Mutex<HashMap<CacheKey, std::sync::Arc<OnceLock<std::sync::Arc<CircuitKeys>>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    seed: u64,
+}
+
+impl KeyCache {
+    /// An empty cache with the default (zero) setup seed.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty cache whose setup randomness additionally mixes in `seed`.
+    pub fn with_seed(seed: u64) -> Self {
+        KeyCache {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Returns the keys for the shape of `cs`, running `backend.setup` at
+    /// most once per shape. The boolean is `true` when the entry already
+    /// existed (a cache hit).
+    pub fn get_or_setup(
+        &self,
+        backend: Backend,
+        cs: &ConstraintSystem<Fr>,
+    ) -> (std::sync::Arc<CircuitKeys>, bool) {
+        let digest = circuit_shape_digest(cs);
+        let cell = {
+            let mut map = self.entries.lock().expect("key cache poisoned");
+            map.entry((digest, backend))
+                .or_insert_with(|| std::sync::Arc::new(OnceLock::new()))
+                .clone()
+        };
+
+        let mut ran_setup = false;
+        let keys = cell
+            .get_or_init(|| {
+                ran_setup = true;
+                let mut rng = StdRng::seed_from_u64(self.setup_seed(&digest, backend));
+                let t0 = Instant::now();
+                let (prover, verifier) = backend.setup(cs, &mut rng);
+                std::sync::Arc::new(CircuitKeys {
+                    backend,
+                    digest,
+                    prover,
+                    verifier,
+                    setup_time: t0.elapsed(),
+                })
+            })
+            .clone();
+
+        if ran_setup {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        (keys, !ran_setup)
+    }
+
+    fn setup_seed(&self, digest: &[u8; 32], backend: Backend) -> u64 {
+        let mut seed = u64::from_le_bytes(digest[..8].try_into().expect("8 bytes"));
+        seed ^= self.seed.rotate_left(17);
+        seed ^= match backend {
+            Backend::Groth16 => 0x4752_4F54_4831_3600, // "GROTH16\0"
+            Backend::Spartan => 0x5350_4152_5441_4E00, // "SPARTAN\0"
+        };
+        seed
+    }
+
+    /// Counters and current size.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.lock().expect("key cache poisoned").len(),
+        }
+    }
+
+    /// Drops every cached entry (counters are kept).
+    pub fn clear(&self) {
+        self.entries.lock().expect("key cache poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zkvc_core::matmul::{MatMulBuilder, Strategy};
+
+    fn matmul_cs(seed: u64, n: usize) -> ConstraintSystem<Fr> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        MatMulBuilder::new(2, n, 2)
+            .strategy(Strategy::Vanilla)
+            .build_random(&mut rng)
+            .cs
+    }
+
+    #[test]
+    fn same_shape_hits_different_shape_misses() {
+        let cache = KeyCache::new();
+        let (k1, hit1) = cache.get_or_setup(Backend::Spartan, &matmul_cs(1, 3));
+        let (k2, hit2) = cache.get_or_setup(Backend::Spartan, &matmul_cs(2, 3));
+        assert!(!hit1 && hit2);
+        assert_eq!(k1.digest, k2.digest);
+        assert!(std::sync::Arc::ptr_eq(&k1, &k2));
+
+        // Different shape and different backend each get their own entry.
+        let (_k3, hit3) = cache.get_or_setup(Backend::Spartan, &matmul_cs(3, 4));
+        let (_k4, hit4) = cache.get_or_setup(Backend::Groth16, &matmul_cs(4, 3));
+        assert!(!hit3 && !hit4);
+
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.entries, 3);
+        assert!((stats.hit_rate() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cached_keys_prove_and_verify_fresh_statements() {
+        let cache = KeyCache::new();
+        let mut rng = StdRng::seed_from_u64(99);
+        for backend in Backend::ALL {
+            let cs1 = matmul_cs(10, 3);
+            let cs2 = matmul_cs(11, 3);
+            let (keys, _) = cache.get_or_setup(backend, &cs1);
+            let (keys_again, hit) = cache.get_or_setup(backend, &cs2);
+            assert!(hit, "{backend:?}");
+            let artifacts = backend.prove_with_key(&keys_again.prover, &cs2, &mut rng);
+            assert!(
+                backend.verify_with_key(&keys.verifier, &artifacts),
+                "{backend:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_lookups_run_setup_once() {
+        let cache = std::sync::Arc::new(KeyCache::new());
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let cache = cache.clone();
+            handles.push(std::thread::spawn(move || {
+                let cs = matmul_cs(100 + i, 3);
+                cache.get_or_setup(Backend::Spartan, &cs).0
+            }));
+        }
+        let keys: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1, "exactly one setup for one shape");
+        assert_eq!(stats.hits, 7);
+        assert!(keys
+            .windows(2)
+            .all(|w| std::sync::Arc::ptr_eq(&w[0], &w[1])));
+    }
+
+    #[test]
+    fn clear_retains_counters() {
+        let cache = KeyCache::new();
+        cache.get_or_setup(Backend::Spartan, &matmul_cs(1, 2));
+        cache.clear();
+        let stats = cache.stats();
+        assert_eq!(stats.entries, 0);
+        assert_eq!(stats.misses, 1);
+    }
+}

@@ -1,0 +1,102 @@
+//! Circuit-shape digests: a collision-resistant fingerprint of an R1CS
+//! *structure* (constraint matrices and coefficient values, not the
+//! assignment), used as the [`crate::KeyCache`] key.
+//!
+//! Two constraint systems get the same digest iff they have the same
+//! instance/witness split and identical `A`, `B`, `C` matrices — exactly
+//! the condition under which Groth16 CRS material and Spartan preprocessed
+//! state are interchangeable between them.
+
+use zkvc_ff::{Fr, PrimeField};
+use zkvc_hash::Sha256;
+use zkvc_r1cs::{ConstraintSystem, LinearCombination};
+
+/// Domain-separation prefix so shape digests can never collide with other
+/// SHA-256 uses in the stack.
+const DOMAIN: &[u8] = b"zkvc-runtime-circuit-shape-v1";
+
+/// Computes the shape digest of a constraint system.
+///
+/// The encoding is injective: every section is length-prefixed and each
+/// linear-combination term serialises its resolved column index alongside
+/// the canonical coefficient bytes, so distinct structures hash distinct
+/// byte strings.
+pub fn circuit_shape_digest(cs: &ConstraintSystem<Fr>) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(DOMAIN);
+    h.update(&(cs.num_instance() as u64).to_le_bytes());
+    h.update(&(cs.num_witness() as u64).to_le_bytes());
+    h.update(&(cs.num_constraints() as u64).to_le_bytes());
+
+    let absorb_lcs = |h: &mut Sha256, tag: u8, lcs: &[LinearCombination<Fr>]| {
+        h.update(&[tag]);
+        for lc in lcs {
+            h.update(&(lc.terms.len() as u64).to_le_bytes());
+            for (var, coeff) in &lc.terms {
+                h.update(&(cs.variable_index(*var) as u64).to_le_bytes());
+                h.update(&coeff.to_bytes_le());
+            }
+        }
+    };
+
+    let (a, b, c) = cs.constraints();
+    absorb_lcs(&mut h, b'A', a);
+    absorb_lcs(&mut h, b'B', b);
+    absorb_lcs(&mut h, b'C', c);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkvc_ff::Field;
+
+    fn square_cs(x: u64) -> ConstraintSystem<Fr> {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let out = cs.alloc_instance(Fr::from_u64(x * x));
+        let w = cs.alloc_witness(Fr::from_u64(x));
+        cs.enforce(w.into(), w.into(), out.into());
+        cs
+    }
+
+    #[test]
+    fn digest_ignores_assignment_values() {
+        assert_eq!(
+            circuit_shape_digest(&square_cs(3)),
+            circuit_shape_digest(&square_cs(7))
+        );
+    }
+
+    #[test]
+    fn digest_distinguishes_structure() {
+        let base = circuit_shape_digest(&square_cs(3));
+
+        // Extra constraint.
+        let mut cs = square_cs(3);
+        cs.enforce_zero(LinearCombination::zero());
+        assert_ne!(circuit_shape_digest(&cs), base);
+
+        // Extra (unconstrained) variable.
+        let mut cs = square_cs(3);
+        cs.alloc_witness(Fr::zero());
+        assert_ne!(circuit_shape_digest(&cs), base);
+
+        // Different coefficient.
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let out = cs.alloc_instance(Fr::from_u64(18));
+        let w = cs.alloc_witness(Fr::from_u64(3));
+        cs.enforce(
+            LinearCombination::from(w) * Fr::from_u64(2),
+            w.into(),
+            out.into(),
+        );
+        assert_ne!(circuit_shape_digest(&cs), base);
+
+        // Instance/witness split matters even with identical matrices.
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let out = cs.alloc_witness(Fr::from_u64(9));
+        let w = cs.alloc_witness(Fr::from_u64(3));
+        cs.enforce(w.into(), w.into(), out.into());
+        assert_ne!(circuit_shape_digest(&cs), base);
+    }
+}

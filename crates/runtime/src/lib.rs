@@ -1,0 +1,49 @@
+//! # zkvc-runtime
+//!
+//! The batch-proving service layer above the raw `zkvc-core` backends:
+//! turns the one-shot `prove` call into a reusable, concurrent pipeline.
+//!
+//! * [`circuit_shape_digest`] — a SHA-256 fingerprint of an R1CS
+//!   *structure*, the identity under which key material is reusable.
+//! * [`KeyCache`] — runs [`Backend::setup`](zkvc_core::Backend::setup)
+//!   once per circuit shape and shares the resulting
+//!   [`ProverKey`](zkvc_core::ProverKey)/[`VerifierKey`](zkvc_core::VerifierKey)
+//!   across every job that proves that shape (Groth16 CRS and Spartan
+//!   preprocessing both amortise this way).
+//! * [`ProvingPool`] — a fixed set of worker threads draining an mpsc job
+//!   queue with `submit`/`join` semantics, per-job metrics
+//!   ([`JobResult`]) and aggregate throughput stats ([`BatchReport`]).
+//! * [`ProofEnvelope`] — the self-describing byte format proofs travel in
+//!   (the pool round-trips every proof through it before verifying).
+//! * [`JobSpec`] — the `AxNxB:strategy:backend` job grammar shared with
+//!   the `zkvc` CLI binary.
+//!
+//! ## Example
+//!
+//! ```rust
+//! use zkvc_runtime::{prove_batch, JobSpec};
+//! use zkvc_core::Backend;
+//!
+//! // Four same-shape jobs: one setup, four proofs, two workers.
+//! let specs = vec![JobSpec::new(2, 3, 2).backend(Backend::Spartan); 4];
+//! let report = prove_batch(&specs, 2, 1);
+//! assert!(report.all_verified());
+//! assert_eq!(report.cache.misses, 1);
+//! assert_eq!(report.cache.hits, 3);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+mod digest;
+mod pool;
+mod serial;
+mod spec;
+
+pub use cache::{CacheStats, CircuitKeys, KeyCache};
+pub use digest::circuit_shape_digest;
+pub use pool::{
+    build_statement, prove_batch, prove_batch_serial, BatchReport, JobResult, ProvingPool,
+};
+pub use serial::ProofEnvelope;
+pub use spec::{parse_backend, parse_strategy, strategy_token, JobSpec};

@@ -1,0 +1,526 @@
+//! The proving pool: a fixed set of worker threads draining an mpsc job
+//! queue, sharing one [`KeyCache`] so each circuit shape pays for setup
+//! exactly once across the whole batch.
+//!
+//! Every job is fully deterministic given `(pool seed, job id)`: inputs,
+//! the CRPC folding challenge, setup randomness (via the cache) and prover
+//! randomness are all derived from them, so a batch re-run reproduces
+//! byte-identical proofs regardless of how jobs land on workers. Proofs
+//! additionally make a round trip through the
+//! [`ProofEnvelope`](crate::ProofEnvelope) byte format before verification,
+//! so the pool continuously exercises the cross-process path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zkvc_core::matmul::{MatMulBuilder, MatMulJob, ZSource};
+use zkvc_hash::Transcript;
+
+use crate::cache::{CacheStats, KeyCache};
+use crate::serial::ProofEnvelope;
+use crate::spec::{strategy_token, JobSpec};
+
+/// The outcome of one pooled proving job.
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// Submission-order id (results are returned sorted by it).
+    pub id: usize,
+    /// The spec the job ran.
+    pub spec: JobSpec,
+    /// Serialised proof envelope (backend tag, public inputs, proof, and
+    /// for Groth16 the verification key).
+    pub proof_bytes: Vec<u8>,
+    /// Whether the proof — after a bytes round trip — verified against the
+    /// cached verifier key.
+    pub verified: bool,
+    /// Whether key material came from the cache (`false` exactly once per
+    /// circuit shape per batch).
+    pub cache_hit: bool,
+    /// Time from submission until a worker picked the job up.
+    pub queue_wait: Duration,
+    /// Circuit synthesis time (witness generation included).
+    pub build_time: Duration,
+    /// Proving time against the cached key.
+    pub prove_time: Duration,
+    /// Verification time (from the deserialised envelope).
+    pub verify_time: Duration,
+    /// R1CS constraints proved.
+    pub num_constraints: usize,
+}
+
+/// Aggregate outcome of a batch run.
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    /// Per-job results, sorted by id.
+    pub results: Vec<JobResult>,
+    /// Wall-clock time from pool creation to the last worker finishing.
+    pub wall_time: Duration,
+    /// Number of worker threads used.
+    pub workers: usize,
+    /// Key-cache counters at the end of the batch.
+    pub cache: CacheStats,
+}
+
+impl BatchReport {
+    /// `true` iff every job's proof verified.
+    pub fn all_verified(&self) -> bool {
+        !self.results.is_empty() && self.results.iter().all(|r| r.verified)
+    }
+
+    /// End-to-end throughput in jobs per second.
+    pub fn jobs_per_sec(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.results.len() as f64 / secs
+        }
+    }
+
+    /// Fraction of jobs served key material from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.results.is_empty() {
+            0.0
+        } else {
+            self.results.iter().filter(|r| r.cache_hit).count() as f64 / self.results.len() as f64
+        }
+    }
+
+    /// Sum of per-job proving times (CPU time, not wall time).
+    pub fn total_prove_time(&self) -> Duration {
+        self.results.iter().map(|r| r.prove_time).sum()
+    }
+
+    /// Renders the per-job metrics table plus aggregate lines, as printed
+    /// by the `zkvc` CLI.
+    pub fn render_table(&self, title: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "== {title} ==");
+        let _ = writeln!(
+            out,
+            "{:>4} {:<12} {:<12} {:<8} {:>6} {:>10} {:>10} {:>10} {:>9} {:>6}",
+            "job",
+            "shape",
+            "strategy",
+            "backend",
+            "cache",
+            "build(ms)",
+            "prove(ms)",
+            "verify(ms)",
+            "proof(B)",
+            "ok"
+        );
+        for r in &self.results {
+            let _ = writeln!(
+                out,
+                "{:>4} {:<12} {:<12} {:<8} {:>6} {:>10.2} {:>10.2} {:>10.2} {:>9} {:>6}",
+                r.id,
+                format!("{}x{}x{}", r.spec.dims.0, r.spec.dims.1, r.spec.dims.2),
+                strategy_token(r.spec.strategy),
+                r.spec.backend.name(),
+                if r.cache_hit { "hit" } else { "miss" },
+                r.build_time.as_secs_f64() * 1e3,
+                r.prove_time.as_secs_f64() * 1e3,
+                r.verify_time.as_secs_f64() * 1e3,
+                r.proof_bytes.len(),
+                if r.verified { "yes" } else { "NO" },
+            );
+        }
+        let _ = writeln!(
+            out,
+            "jobs: {}  workers: {}  wall: {:.3}s  throughput: {:.2} jobs/s",
+            self.results.len(),
+            self.workers,
+            self.wall_time.as_secs_f64(),
+            self.jobs_per_sec()
+        );
+        // The percentage must agree with the counters on the same line, so
+        // both come from the cache's lifetime stats (a shared or pre-warmed
+        // cache can have seen lookups outside this batch); the batch-local
+        // rate is reported separately when it differs.
+        let _ = writeln!(
+            out,
+            "key cache: {} hits / {} misses ({:.0}% hit rate), {} entries",
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate() * 100.0,
+            self.cache.entries
+        );
+        if (self.cache.hit_rate() - self.cache_hit_rate()).abs() > 1e-9 {
+            let _ = writeln!(
+                out,
+                "this batch: {:.0}% of jobs hit the cache",
+                self.cache_hit_rate() * 100.0
+            );
+        }
+        out
+    }
+}
+
+struct QueuedJob {
+    id: usize,
+    spec: JobSpec,
+    enqueued: Instant,
+}
+
+/// A worker pool proving jobs concurrently with shared key caching.
+pub struct ProvingPool {
+    sender: Option<mpsc::Sender<QueuedJob>>,
+    handles: Vec<thread::JoinHandle<()>>,
+    results: Arc<Mutex<Vec<JobResult>>>,
+    cache: Arc<KeyCache>,
+    workers: usize,
+    seed: u64,
+    next_id: AtomicUsize,
+    started: Instant,
+    /// Set when the pool is dropped without `join`: workers drain the
+    /// queue without proving, so abandoned batches don't burn CPU on
+    /// results nobody will read.
+    discard: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl ProvingPool {
+    /// A pool with `workers` threads, a fresh key cache and seed 0.
+    pub fn new(workers: usize) -> Self {
+        Self::with_cache(workers, 0, Arc::new(KeyCache::new()))
+    }
+
+    /// A pool with `workers` threads, the given determinism seed, and a
+    /// (possibly shared) key cache.
+    pub fn with_cache(workers: usize, seed: u64, cache: Arc<KeyCache>) -> Self {
+        let workers = workers.max(1);
+        let (sender, receiver) = mpsc::channel::<QueuedJob>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let results = Arc::new(Mutex::new(Vec::new()));
+        let discard = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let receiver = Arc::clone(&receiver);
+            let results = Arc::clone(&results);
+            let cache = Arc::clone(&cache);
+            let discard = Arc::clone(&discard);
+            handles.push(thread::spawn(move || loop {
+                let job = {
+                    let guard = receiver.lock().expect("job queue poisoned");
+                    guard.recv()
+                };
+                let Ok(job) = job else {
+                    break; // channel closed: pool is joining
+                };
+                if discard.load(Ordering::Relaxed) {
+                    continue; // abandoned pool: drain without proving
+                }
+                let result = run_job(job, seed, &cache);
+                results.lock().expect("results poisoned").push(result);
+            }));
+        }
+        ProvingPool {
+            sender: Some(sender),
+            handles,
+            results,
+            cache,
+            workers,
+            seed,
+            next_id: AtomicUsize::new(0),
+            started: Instant::now(),
+            discard,
+        }
+    }
+
+    /// Enqueues a job, returning its id (ids are assigned in submission
+    /// order and order the results of [`Self::join`]).
+    pub fn submit(&self, spec: JobSpec) -> usize {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.sender
+            .as_ref()
+            .expect("pool already joined")
+            .send(QueuedJob {
+                id,
+                spec,
+                enqueued: Instant::now(),
+            })
+            .expect("workers terminated early");
+        id
+    }
+
+    /// The shared key cache (e.g. to pre-warm it or to read stats).
+    pub fn cache(&self) -> &Arc<KeyCache> {
+        &self.cache
+    }
+
+    /// The pool's determinism seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Closes the queue, waits for every submitted job to finish, and
+    /// returns the batch report with results sorted by job id.
+    pub fn join(mut self) -> BatchReport {
+        drop(self.sender.take()); // close the channel; workers drain + exit
+        for handle in self.handles.drain(..) {
+            handle.join().expect("worker thread panicked");
+        }
+        let mut results = std::mem::take(&mut *self.results.lock().expect("results poisoned"));
+        results.sort_by_key(|r| r.id);
+        BatchReport {
+            wall_time: self.started.elapsed(),
+            workers: self.workers,
+            cache: self.cache.stats(),
+            results,
+        }
+    }
+}
+
+impl Drop for ProvingPool {
+    fn drop(&mut self) {
+        // `join` consumed the sender and handles already; this path only
+        // fires when the pool is abandoned (early return, panic). Tell the
+        // workers to drain without proving, then wait for them to exit so
+        // no detached thread keeps burning CPU on a discarded batch.
+        if let Some(sender) = self.sender.take() {
+            self.discard.store(true, Ordering::Relaxed);
+            drop(sender);
+            for handle in self.handles.drain(..) {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// Derives the fixed CRPC folding challenge shared by every job with the
+/// same (seed, dims, strategy) — required so same-shape jobs share one
+/// circuit template and therefore one cache entry. This is the paper's
+/// "challenge sampled at setup time" Groth16 flow (`ZSource::Fixed`); see
+/// the soundness note on [`zkvc_core::matmul::ZSource`].
+fn fixed_z(seed: u64, spec: &JobSpec) -> zkvc_ff::Fr {
+    let mut t = Transcript::new(b"zkvc-runtime-template-z");
+    t.append_u64(b"seed", seed);
+    t.append_u64(b"a", spec.dims.0 as u64);
+    t.append_u64(b"n", spec.dims.1 as u64);
+    t.append_u64(b"b", spec.dims.2 as u64);
+    t.append_bytes(b"strategy", strategy_token(spec.strategy).as_bytes());
+    t.challenge_field(b"z")
+}
+
+/// Builds the deterministic statement for `(seed, id, spec)`: random
+/// matrices drawn from the seeded per-job rng, and (for CRPC strategies)
+/// the shape-level fixed folding challenge. This is exactly the statement
+/// the pool proves for job `id`, so external tools (the `zkvc` CLI's
+/// `verify` subcommand) can reconstruct the circuit a proof refers to.
+pub fn build_statement(seed: u64, id: usize, spec: &JobSpec) -> MatMulJob {
+    let mut rng = StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut builder =
+        MatMulBuilder::new(spec.dims.0, spec.dims.1, spec.dims.2).strategy(spec.strategy);
+    if spec.strategy.uses_crpc() {
+        builder = builder.z_source(ZSource::Fixed(fixed_z(seed, spec)));
+    }
+    builder.build_random(&mut rng)
+}
+
+fn run_job(job: QueuedJob, seed: u64, cache: &KeyCache) -> JobResult {
+    let queue_wait = job.enqueued.elapsed();
+
+    let t0 = Instant::now();
+    let statement = build_statement(seed, job.id, &job.spec);
+    let build_time = t0.elapsed();
+
+    let (keys, cache_hit) = cache.get_or_setup(job.spec.backend, &statement.cs);
+
+    let mut prover_rng =
+        StdRng::seed_from_u64(seed ^ (job.id as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+    let t1 = Instant::now();
+    let artifacts = job
+        .spec
+        .backend
+        .prove_with_key(&keys.prover, &statement.cs, &mut prover_rng);
+    let prove_time = t1.elapsed();
+    let num_constraints = artifacts.metrics.num_constraints;
+
+    // Cross the byte boundary before verifying, as a remote consumer would.
+    let proof_bytes = ProofEnvelope::from_artifacts(&artifacts).to_bytes();
+    let t2 = Instant::now();
+    let verified = match ProofEnvelope::from_bytes(&proof_bytes) {
+        Some(envelope) => envelope.verify_with_key(&keys.verifier),
+        None => false,
+    };
+    let verify_time = t2.elapsed();
+
+    JobResult {
+        id: job.id,
+        spec: job.spec,
+        proof_bytes,
+        verified,
+        cache_hit,
+        queue_wait,
+        build_time,
+        prove_time,
+        verify_time,
+        num_constraints,
+    }
+}
+
+/// Proves `specs` on a `workers`-thread pool with a fresh cache; the
+/// convenience entry point behind the `zkvc prove-batch` CLI.
+pub fn prove_batch(specs: &[JobSpec], workers: usize, seed: u64) -> BatchReport {
+    let pool = ProvingPool::with_cache(workers, seed, Arc::new(KeyCache::with_seed(seed)));
+    for spec in specs {
+        pool.submit(*spec);
+    }
+    pool.join()
+}
+
+/// The naive baseline the pool is measured against: the same deterministic
+/// jobs, proved sequentially with a fresh one-shot `Backend::prove` (setup
+/// re-run per job, no cache, no parallelism).
+pub fn prove_batch_serial(specs: &[JobSpec], seed: u64) -> BatchReport {
+    let started = Instant::now();
+    let mut results = Vec::with_capacity(specs.len());
+    for (id, spec) in specs.iter().enumerate() {
+        let t0 = Instant::now();
+        let statement = build_statement(seed, id, spec);
+        let build_time = t0.elapsed();
+        let mut rng = StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+        let artifacts = spec.backend.prove(&statement, &mut rng);
+        let proof_bytes = ProofEnvelope::from_artifacts(&artifacts).to_bytes();
+        let t2 = Instant::now();
+        let verified = match ProofEnvelope::from_bytes(&proof_bytes) {
+            Some(envelope) => envelope.verify_cs(&statement.cs),
+            None => false,
+        };
+        let verify_time = t2.elapsed();
+        results.push(JobResult {
+            id,
+            spec: *spec,
+            proof_bytes,
+            verified,
+            cache_hit: false,
+            queue_wait: Duration::ZERO,
+            build_time,
+            // One-shot proving pays setup every time; count it as part of
+            // the per-job proving cost, which is exactly the figure the
+            // split API exists to improve.
+            prove_time: artifacts.metrics.setup_time + artifacts.metrics.prove_time,
+            verify_time,
+            num_constraints: artifacts.metrics.num_constraints,
+        });
+    }
+    BatchReport {
+        wall_time: started.elapsed(),
+        workers: 1,
+        cache: CacheStats::default(),
+        results,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use zkvc_core::matmul::Strategy;
+    use zkvc_core::Backend;
+
+    #[test]
+    fn pool_proves_mixed_batch_deterministically() {
+        // 8 jobs over 4 workers: two shapes x two backends x two strategies.
+        let specs: Vec<JobSpec> = vec![
+            JobSpec::new(4, 4, 4),
+            JobSpec::new(4, 4, 4),
+            JobSpec::new(4, 4, 4).backend(Backend::Spartan),
+            JobSpec::new(4, 4, 4).backend(Backend::Spartan),
+            JobSpec::new(3, 2, 3).strategy(Strategy::Vanilla),
+            JobSpec::new(3, 2, 3).strategy(Strategy::Vanilla),
+            JobSpec::new(3, 2, 3)
+                .strategy(Strategy::VanillaPsq)
+                .backend(Backend::Spartan),
+            JobSpec::new(4, 4, 4),
+        ];
+        let report = prove_batch(&specs, 4, 42);
+        assert_eq!(report.results.len(), 8);
+        assert!(report.all_verified(), "all 8 proofs must verify");
+        assert_eq!(
+            report.results.iter().map(|r| r.id).collect::<Vec<_>>(),
+            (0..8).collect::<Vec<_>>(),
+            "results ordered by id"
+        );
+        // 4 distinct (shape, backend) pairs -> 4 misses, 4 hits.
+        assert_eq!(report.cache.misses, 4);
+        assert_eq!(report.cache.hits, 4);
+        assert!((report.cache_hit_rate() - 0.5).abs() < 1e-9);
+        assert!(report.jobs_per_sec() > 0.0);
+
+        // Re-running the identical batch reproduces byte-identical proofs,
+        // regardless of worker scheduling.
+        let rerun = prove_batch(&specs, 2, 42);
+        for (a, b) in report.results.iter().zip(rerun.results.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(
+                a.proof_bytes, b.proof_bytes,
+                "job {} not deterministic",
+                a.id
+            );
+        }
+
+        // A different seed produces different proofs.
+        let other = prove_batch(&specs, 2, 43);
+        assert!(report
+            .results
+            .iter()
+            .zip(other.results.iter())
+            .any(|(a, b)| a.proof_bytes != b.proof_bytes));
+    }
+
+    #[test]
+    fn same_shape_jobs_share_one_setup() {
+        let specs = vec![JobSpec::new(3, 3, 3).backend(Backend::Spartan); 2];
+        let report = prove_batch(&specs, 2, 7);
+        assert!(report.all_verified());
+        assert_eq!(report.cache.misses, 1, "one setup");
+        assert_eq!(report.cache.hits, 1, "second job reuses it");
+        let table = report.render_table("test");
+        assert!(table.contains("hit") && table.contains("miss"));
+    }
+
+    #[test]
+    fn submit_after_results_and_empty_join() {
+        let pool = ProvingPool::new(2);
+        let report = pool.join();
+        assert!(report.results.is_empty());
+        assert!(
+            !report.all_verified(),
+            "empty batch is not vacuously verified"
+        );
+        assert_eq!(report.jobs_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn abandoned_pool_drains_without_proving() {
+        // Dropping a pool without join must not leave workers proving a
+        // discarded backlog; the drop blocks only until the queue is
+        // drained (skipping the work), which this test bounds implicitly
+        // by finishing fast despite 32 queued Groth16 jobs.
+        let pool = ProvingPool::new(1);
+        for _ in 0..32 {
+            pool.submit(JobSpec::new(6, 6, 6).strategy(Strategy::Vanilla));
+        }
+        let cache = Arc::clone(pool.cache());
+        drop(pool);
+        // At most the in-flight job ran setup; the drained backlog didn't.
+        assert!(cache.stats().misses <= 1);
+    }
+
+    #[test]
+    fn serial_baseline_matches_pool_verdicts() {
+        let specs = vec![
+            JobSpec::new(2, 3, 2),
+            JobSpec::new(2, 3, 2).backend(Backend::Spartan),
+        ];
+        let serial = prove_batch_serial(&specs, 11);
+        assert!(serial.all_verified());
+        assert_eq!(serial.workers, 1);
+        assert_eq!(serial.cache, CacheStats::default());
+    }
+}

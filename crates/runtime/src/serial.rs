@@ -1,0 +1,242 @@
+//! A self-describing wire envelope for proofs produced by either backend:
+//! backend tag, public inputs, and the backend-specific proof material
+//! (including the Groth16 verification key, so Groth16 envelopes verify
+//! without any other context). This is the format the `zkvc` CLI writes to
+//! disk and the proving pool uses to shuttle proofs across threads.
+
+use std::time::Duration;
+
+use zkvc_core::backend::ProofData;
+use zkvc_core::{Backend, ProofArtifacts, ProveMetrics, VerifierKey};
+use zkvc_ff::{Fr, PrimeField};
+use zkvc_groth16 as groth16;
+use zkvc_r1cs::ConstraintSystem;
+use zkvc_spartan::SpartanProof;
+
+/// Magic prefix identifying the envelope format (and its version).
+const MAGIC: &[u8; 8] = b"ZKVCPRF1";
+
+/// Backend tags on the wire.
+const TAG_GROTH16: u8 = 1;
+const TAG_SPARTAN: u8 = 2;
+
+/// A decoded proof envelope: everything a verifier needs except (for
+/// Spartan) the circuit structure itself.
+#[derive(Clone, Debug)]
+pub struct ProofEnvelope {
+    /// Which backend produced the proof.
+    pub backend: Backend,
+    /// The public inputs the proof binds.
+    pub public_inputs: Vec<Fr>,
+    /// The proof (plus, for Groth16, its verification key).
+    pub data: ProofData,
+}
+
+impl ProofEnvelope {
+    /// Wraps prover output for the wire.
+    pub fn from_artifacts(artifacts: &ProofArtifacts) -> Self {
+        ProofEnvelope {
+            backend: artifacts.metrics.backend,
+            public_inputs: artifacts.public_inputs.clone(),
+            data: artifacts.data.clone(),
+        }
+    }
+
+    /// Serialises the envelope.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(self.public_inputs.len() as u32).to_le_bytes());
+        for v in &self.public_inputs {
+            out.extend_from_slice(&v.to_bytes_le());
+        }
+        match &self.data {
+            ProofData::Groth16 { vk, proof } => {
+                out.push(TAG_GROTH16);
+                let vk_bytes = vk.to_bytes();
+                out.extend_from_slice(&(vk_bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(&vk_bytes);
+                out.extend_from_slice(&proof.to_bytes());
+            }
+            ProofData::Spartan { proof } => {
+                out.push(TAG_SPARTAN);
+                out.extend_from_slice(&proof.to_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses an envelope, validating every field element and group
+    /// element. Returns `None` on any malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let rest = bytes.strip_prefix(MAGIC.as_slice())?;
+        let count_bytes: [u8; 4] = rest.get(..4)?.try_into().ok()?;
+        let count = u32::from_le_bytes(count_bytes) as usize;
+        // Bound the count by what the buffer can actually hold before
+        // allocating, so a malicious length header cannot force a huge
+        // up-front allocation.
+        if count > rest.len().saturating_sub(4) / 32 {
+            return None;
+        }
+        let mut pos = 4;
+        let mut public_inputs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let b: [u8; 32] = rest.get(pos..pos + 32)?.try_into().ok()?;
+            public_inputs.push(Fr::from_bytes_le(&b)?);
+            pos += 32;
+        }
+        let tag = *rest.get(pos)?;
+        let payload = rest.get(pos + 1..)?;
+        let (backend, data) = match tag {
+            TAG_GROTH16 => {
+                let len_bytes: [u8; 4] = payload.get(..4)?.try_into().ok()?;
+                let vk_len = u32::from_le_bytes(len_bytes) as usize;
+                let vk = groth16::VerifyingKey::from_bytes(payload.get(4..4 + vk_len)?)?;
+                let proof = groth16::Proof::from_bytes(payload.get(4 + vk_len..)?)?;
+                (Backend::Groth16, ProofData::Groth16 { vk, proof })
+            }
+            TAG_SPARTAN => {
+                let proof = SpartanProof::from_bytes(payload)?;
+                (
+                    Backend::Spartan,
+                    ProofData::Spartan {
+                        proof: Box::new(proof),
+                    },
+                )
+            }
+            _ => return None,
+        };
+        Some(ProofEnvelope {
+            backend,
+            public_inputs,
+            data,
+        })
+    }
+
+    /// Verifies against a prepared verifier key (both backends), ignoring
+    /// any key material embedded in the envelope itself. Borrows the
+    /// envelope — no copies on the per-job verify path.
+    pub fn verify_with_key(&self, key: &VerifierKey) -> bool {
+        match (&self.data, key) {
+            (ProofData::Groth16 { proof, .. }, VerifierKey::Groth16(vk)) => {
+                groth16::verify(vk, &self.public_inputs, proof)
+            }
+            (ProofData::Spartan { proof }, VerifierKey::Spartan(verifier)) => {
+                verifier.verify(&self.public_inputs, proof)
+            }
+            _ => false,
+        }
+    }
+
+    /// Verifies against a circuit structure: Spartan preprocessing is
+    /// re-derived from `cs`, while the Groth16 arm trusts the envelope's
+    /// embedded key (`cs` does not enter the pairing check). When the
+    /// expected key material is known, prefer [`Self::verify_with_key`],
+    /// which binds the proof to that key instead.
+    pub fn verify_cs(&self, cs: &ConstraintSystem<Fr>) -> bool {
+        match &self.data {
+            ProofData::Groth16 { vk, proof } => groth16::verify(vk, &self.public_inputs, proof),
+            ProofData::Spartan { proof } => {
+                zkvc_spartan::SpartanVerifier::preprocess(cs).verify(&self.public_inputs, proof)
+            }
+        }
+    }
+
+    /// Converts back into [`ProofArtifacts`] for the verification APIs.
+    /// Prover-side metrics do not cross the wire: the metrics field is
+    /// zeroed except for backend and serialised size.
+    pub fn into_artifacts(self) -> ProofArtifacts {
+        let proof_size_bytes = match &self.data {
+            ProofData::Groth16 { proof, .. } => proof.size_in_bytes(),
+            ProofData::Spartan { proof } => proof.size_in_bytes(),
+        };
+        ProofArtifacts {
+            data: self.data,
+            public_inputs: self.public_inputs,
+            metrics: ProveMetrics {
+                backend: self.backend,
+                setup_time: Duration::ZERO,
+                prove_time: Duration::ZERO,
+                proof_size_bytes,
+                num_constraints: 0,
+                num_variables: 0,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zkvc_core::matmul::{MatMulBuilder, Strategy};
+
+    #[test]
+    fn envelope_roundtrip_both_backends() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let job = MatMulBuilder::new(2, 3, 2)
+            .strategy(Strategy::CrpcPsq)
+            .build_random(&mut rng);
+        for backend in Backend::ALL {
+            let artifacts = backend.prove_cs(&job.cs, &mut rng);
+            let bytes = ProofEnvelope::from_artifacts(&artifacts).to_bytes();
+            let envelope = ProofEnvelope::from_bytes(&bytes).expect("round trip");
+            assert_eq!(envelope.backend, backend);
+            assert_eq!(envelope.public_inputs, artifacts.public_inputs);
+            assert!(envelope.verify_cs(&job.cs), "{backend:?}");
+            // Stable re-encoding.
+            assert_eq!(envelope.to_bytes(), bytes);
+        }
+    }
+
+    #[test]
+    fn huge_public_input_count_rejected_without_allocation() {
+        // magic + count claiming ~16M field elements in a 13-byte file.
+        let mut bytes = b"ZKVCPRF1".to_vec();
+        bytes.extend_from_slice(&0x00FF_FFFFu32.to_le_bytes());
+        bytes.push(0);
+        assert!(ProofEnvelope::from_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn envelope_from_unrelated_circuit_fails_against_expected_keys() {
+        // A valid, internally consistent Groth16 envelope for circuit B must
+        // not verify against the verifier key of circuit A: this is the
+        // binding `zkvc verify` relies on.
+        use crate::cache::KeyCache;
+        let mut rng = StdRng::seed_from_u64(7);
+        let job_a = MatMulBuilder::new(2, 3, 2)
+            .strategy(Strategy::Vanilla)
+            .build_random(&mut rng);
+        let job_b = MatMulBuilder::new(2, 2, 2)
+            .strategy(Strategy::Vanilla)
+            .build_random(&mut rng);
+        let cache = KeyCache::new();
+        let (keys_a, _) = cache.get_or_setup(Backend::Groth16, &job_a.cs);
+        let forged = Backend::Groth16.prove_cs(&job_b.cs, &mut rng);
+        let envelope =
+            ProofEnvelope::from_bytes(&ProofEnvelope::from_artifacts(&forged).to_bytes()).unwrap();
+        // Internally consistent (its own embedded vk accepts it)...
+        assert!(envelope.verify_cs(&job_b.cs));
+        // ...but rejected by the key the statement actually demands.
+        assert!(!envelope.verify_with_key(&keys_a.verifier));
+    }
+
+    #[test]
+    fn malformed_envelopes_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let job = MatMulBuilder::new(2, 2, 2)
+            .strategy(Strategy::Vanilla)
+            .build_random(&mut rng);
+        let artifacts = Backend::Spartan.prove_cs(&job.cs, &mut rng);
+        let bytes = ProofEnvelope::from_artifacts(&artifacts).to_bytes();
+        assert!(ProofEnvelope::from_bytes(&bytes[..bytes.len() - 1]).is_none());
+        assert!(ProofEnvelope::from_bytes(b"NOTMAGIC").is_none());
+        let mut wrong_tag = bytes.clone();
+        // magic(8) + count(4) + publics(0 here? job has no instance vars)
+        let tag_pos = 8 + 4 + 32 * artifacts.public_inputs.len();
+        wrong_tag[tag_pos] = 9;
+        assert!(ProofEnvelope::from_bytes(&wrong_tag).is_none());
+    }
+}

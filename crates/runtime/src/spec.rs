@@ -1,0 +1,184 @@
+//! Job specifications: the unit of work submitted to the
+//! [`ProvingPool`](crate::ProvingPool) and the grammar the `zkvc` CLI
+//! accepts.
+
+use core::fmt;
+
+use zkvc_core::matmul::Strategy;
+use zkvc_core::Backend;
+
+/// One matmul proving job: prove `Y = X * W` for `X: a x n`, `W: n x b`
+/// under a circuit strategy and a proof-system backend. Inputs are drawn
+/// deterministically from the pool seed and job id.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct JobSpec {
+    /// `(a, n, b)` matrix dimensions.
+    pub dims: (usize, usize, usize),
+    /// Circuit encoding strategy.
+    pub strategy: Strategy,
+    /// Proof system.
+    pub backend: Backend,
+}
+
+impl JobSpec {
+    /// A job with the paper's default strategy (CRPC + PSQ) on Groth16.
+    pub fn new(a: usize, n: usize, b: usize) -> Self {
+        JobSpec {
+            dims: (a, n, b),
+            strategy: Strategy::CrpcPsq,
+            backend: Backend::Groth16,
+        }
+    }
+
+    /// Replaces the strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Replaces the backend.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Parses `AxNxB[:strategy][:backend][:xCOUNT]` into a spec and a
+    /// repetition count, e.g. `8x8x16:crpc+psq:groth16:x4`.
+    ///
+    /// Strategy names: `vanilla`, `vanilla+psq`, `crpc`, `crpc+psq` (alias
+    /// `zkvc`). Backends: `groth16` (alias `g`), `spartan` (alias `s`).
+    /// Omitted fields default to `crpc+psq` on `groth16`, one repetition.
+    pub fn parse(input: &str) -> Result<(JobSpec, usize), String> {
+        let mut parts = input.split(':');
+        let dims_part = parts.next().ok_or_else(|| "empty spec".to_string())?;
+        let dims = parse_dims(dims_part)?;
+        let mut spec = JobSpec::new(dims.0, dims.1, dims.2);
+        let mut count = 1usize;
+        for part in parts {
+            if let Some(n) = part.strip_prefix('x') {
+                count = n
+                    .parse::<usize>()
+                    .map_err(|_| format!("bad repetition count {part:?}"))?;
+                if count == 0 {
+                    return Err("repetition count must be positive".into());
+                }
+            } else if let Some(strategy) = parse_strategy(part) {
+                spec.strategy = strategy;
+            } else if let Some(backend) = parse_backend(part) {
+                spec.backend = backend;
+            } else {
+                return Err(format!(
+                    "unknown spec field {part:?} (expected a strategy, a backend, or xCOUNT)"
+                ));
+            }
+        }
+        Ok((spec, count))
+    }
+}
+
+impl fmt::Display for JobSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}x{}x{}:{}:{}",
+            self.dims.0,
+            self.dims.1,
+            self.dims.2,
+            strategy_token(self.strategy),
+            self.backend.name()
+        )
+    }
+}
+
+/// The spec-grammar token for a strategy (unlike [`Strategy::name`], which
+/// is a display label containing spaces).
+pub fn strategy_token(strategy: Strategy) -> &'static str {
+    match strategy {
+        Strategy::Vanilla => "vanilla",
+        Strategy::VanillaPsq => "vanilla+psq",
+        Strategy::Crpc => "crpc",
+        Strategy::CrpcPsq => "crpc+psq",
+    }
+}
+
+fn parse_dims(s: &str) -> Result<(usize, usize, usize), String> {
+    let nums: Vec<usize> = s
+        .split('x')
+        .map(|p| {
+            p.parse::<usize>()
+                .map_err(|_| format!("bad dimension {p:?} in {s:?}"))
+        })
+        .collect::<Result<_, _>>()?;
+    match nums[..] {
+        [a, n, b] if a > 0 && n > 0 && b > 0 => Ok((a, n, b)),
+        [_, _, _] => Err(format!("dimensions must be positive in {s:?}")),
+        _ => Err(format!("expected AxNxB, got {s:?}")),
+    }
+}
+
+/// Parses a strategy name as used in specs (`crpc+psq`, `zkvc`, ...).
+pub fn parse_strategy(s: &str) -> Option<Strategy> {
+    match s.to_ascii_lowercase().as_str() {
+        "vanilla" => Some(Strategy::Vanilla),
+        "vanilla+psq" | "vanilla-psq" | "psq" => Some(Strategy::VanillaPsq),
+        "crpc" => Some(Strategy::Crpc),
+        "crpc+psq" | "crpc-psq" | "zkvc" => Some(Strategy::CrpcPsq),
+        _ => None,
+    }
+}
+
+/// Parses a backend name as used in specs.
+pub fn parse_backend(s: &str) -> Option<Backend> {
+    match s.to_ascii_lowercase().as_str() {
+        "groth16" | "g" => Some(Backend::Groth16),
+        "spartan" | "s" => Some(Backend::Spartan),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_and_partial_specs() {
+        let (spec, count) = JobSpec::parse("8x8x16:crpc+psq:groth16:x4").unwrap();
+        assert_eq!(spec.dims, (8, 8, 16));
+        assert_eq!(spec.strategy, Strategy::CrpcPsq);
+        assert_eq!(spec.backend, Backend::Groth16);
+        assert_eq!(count, 4);
+
+        let (spec, count) = JobSpec::parse("2x3x4").unwrap();
+        assert_eq!(spec, JobSpec::new(2, 3, 4));
+        assert_eq!(count, 1);
+
+        // Field order is free; aliases work.
+        let (spec, _) = JobSpec::parse("2x2x2:s:vanilla").unwrap();
+        assert_eq!(spec.backend, Backend::Spartan);
+        assert_eq!(spec.strategy, Strategy::Vanilla);
+        let (spec, _) = JobSpec::parse("2x2x2:zkvc:g").unwrap();
+        assert_eq!(spec.strategy, Strategy::CrpcPsq);
+        assert_eq!(spec.backend, Backend::Groth16);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(JobSpec::parse("8x8").is_err());
+        assert!(JobSpec::parse("0x2x2").is_err());
+        assert!(JobSpec::parse("2x2x2:nope").is_err());
+        assert!(JobSpec::parse("2x2x2:x0").is_err());
+        assert!(JobSpec::parse("axbxc").is_err());
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        let spec = JobSpec::new(3, 4, 5)
+            .strategy(Strategy::Vanilla)
+            .backend(Backend::Spartan);
+        let shown = spec.to_string();
+        assert_eq!(shown, "3x4x5:vanilla:spartan");
+        let (back, count) = JobSpec::parse(&shown).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(count, 1);
+    }
+}

@@ -125,7 +125,9 @@ impl InnerProductProof {
             for i in 0..half {
                 a_next.push(a_l[i] * x + a_r[i] * x_inv);
                 b_next.push(b_l[i] * x_inv + b_r[i] * x);
-                g_next.push((g_l[i].to_projective() * x_inv + g_r[i].to_projective() * x).to_affine());
+                g_next.push(
+                    (g_l[i].to_projective() * x_inv + g_r[i].to_projective() * x).to_affine(),
+                );
             }
             a = a_next;
             b = b_next;
@@ -173,12 +175,12 @@ impl InnerProductProof {
 
         // s_i = prod_j x_j^{+1 or -1} depending on bit j of i (MSB = round 0)
         let mut s = vec![Fr::one(); n];
-        for i in 0..n {
+        for (i, si) in s.iter_mut().enumerate() {
             for (j, (x, x_inv)) in challenges.iter().zip(challenges_inv.iter()).enumerate() {
                 // round j splits on bit (rounds-1-j)... with our folding the
                 // first round pairs index i and i+half, i.e. bit (rounds-1).
                 let bit = (i >> (rounds - 1 - j)) & 1;
-                s[i] *= if bit == 1 { *x } else { *x_inv };
+                *si *= if bit == 1 { *x } else { *x_inv };
             }
         }
 

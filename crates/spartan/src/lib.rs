@@ -43,6 +43,7 @@
 
 mod ipa;
 mod pedersen;
+mod serial;
 mod snark;
 pub mod sumcheck;
 

@@ -61,11 +61,7 @@ impl PedersenGenerators {
 
     /// Commits with a random blinding factor, returning it alongside the
     /// commitment.
-    pub fn commit_random<R: Rng + ?Sized>(
-        &self,
-        values: &[Fr],
-        rng: &mut R,
-    ) -> (G1Projective, Fr) {
+    pub fn commit_random<R: Rng + ?Sized>(&self, values: &[Fr], rng: &mut R) -> (G1Projective, Fr) {
         let blind = Fr::random(rng);
         (self.commit(values, &blind), blind)
     }

@@ -126,16 +126,19 @@ impl SpartanProof {
     }
 }
 
-/// Prover-side preprocessed state for a fixed circuit structure.
+/// Prover-side preprocessed state for a fixed circuit structure. The
+/// instance is behind an `Arc` so the matching verifier (and any clones
+/// held by a key cache) share one copy of the remapped matrices and
+/// commitment generators.
 #[derive(Clone, Debug)]
 pub struct SpartanProver {
-    instance: Instance,
+    instance: std::sync::Arc<Instance>,
 }
 
 /// Verifier-side preprocessed state for a fixed circuit structure.
 #[derive(Clone, Debug)]
 pub struct SpartanVerifier {
-    instance: Instance,
+    instance: std::sync::Arc<Instance>,
 }
 
 impl SpartanProver {
@@ -143,7 +146,16 @@ impl SpartanProver {
     /// derived transparently).
     pub fn preprocess(cs: &ConstraintSystem<Fr>) -> Self {
         SpartanProver {
-            instance: Instance::from_cs(cs),
+            instance: std::sync::Arc::new(Instance::from_cs(cs)),
+        }
+    }
+
+    /// Builds the matching verifier, sharing the already-preprocessed
+    /// instance instead of running the `from_cs` pass (matrix remap and
+    /// generator derivation) a second time.
+    pub fn to_verifier(&self) -> SpartanVerifier {
+        SpartanVerifier {
+            instance: std::sync::Arc::clone(&self.instance),
         }
     }
 
@@ -236,7 +248,7 @@ impl SpartanVerifier {
     /// Preprocesses the circuit structure for verification.
     pub fn preprocess(cs: &ConstraintSystem<Fr>) -> Self {
         SpartanVerifier {
-            instance: Instance::from_cs(cs),
+            instance: std::sync::Arc::new(Instance::from_cs(cs)),
         }
     }
 
@@ -251,8 +263,7 @@ impl SpartanVerifier {
 
         // 1. first sum-check
         let tau = transcript.challenge_fields(b"tau", inst.log_m);
-        let sub1 = match sumcheck::verify(&Fr::zero(), inst.log_m, 3, &proof.sc1, &mut transcript)
-        {
+        let sub1 = match sumcheck::verify(&Fr::zero(), inst.log_m, 3, &proof.sc1, &mut transcript) {
             Some(s) => s,
             None => return false,
         };
@@ -275,11 +286,10 @@ impl SpartanVerifier {
         let r_b = transcript.challenge_field(b"r_b");
         let r_c = transcript.challenge_field(b"r_c");
         let claim2 = r_a * va + r_b * vb + r_c * vc;
-        let sub2 =
-            match sumcheck::verify(&claim2, inst.log_cols, 2, &proof.sc2, &mut transcript) {
-                Some(s) => s,
-                None => return false,
-            };
+        let sub2 = match sumcheck::verify(&claim2, inst.log_cols, 2, &proof.sc2, &mut transcript) {
+            Some(s) => s,
+            None => return false,
+        };
         let rx = &sub1.point;
         let ry = &sub2.point;
 
@@ -322,9 +332,9 @@ impl SpartanVerifier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use zkvc_ff::PrimeField;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use zkvc_ff::PrimeField;
     use zkvc_r1cs::LinearCombination;
 
     fn cubic_cs(x_val: u64) -> ConstraintSystem<Fr> {
@@ -387,7 +397,7 @@ mod tests {
         assert!(!verifier.verify(cs.instance_assignment(), &p));
 
         let mut p = base.clone();
-        p.comm_w = p.comm_w + G1Projective::generator();
+        p.comm_w += G1Projective::generator();
         assert!(!verifier.verify(cs.instance_assignment(), &p));
 
         let mut p = base;

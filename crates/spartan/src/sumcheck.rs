@@ -139,7 +139,9 @@ pub fn prove_cubic(
         let half = e.len() / 2;
         let mut evals = vec![Fr::zero(); 4]; // evaluations at t = 0,1,2,3
         for i in 0..half {
-            let fetch = |m: &MultilinearPolynomial<Fr>| (m.evaluations()[2 * i], m.evaluations()[2 * i + 1]);
+            let fetch = |m: &MultilinearPolynomial<Fr>| {
+                (m.evaluations()[2 * i], m.evaluations()[2 * i + 1])
+            };
             let (e0, e1) = fetch(&e);
             let (a0, a1) = fetch(&a);
             let (b0, b1) = fetch(&b);

@@ -22,7 +22,9 @@ fn main() {
 
     let mut baseline = None;
     for strategy in Strategy::ALL {
-        let job = MatMulBuilder::new(a, n, b).strategy(strategy).build_random(&mut rng);
+        let job = MatMulBuilder::new(a, n, b)
+            .strategy(strategy)
+            .build_random(&mut rng);
         assert!(job.cs.is_satisfied());
         let t = Instant::now();
         let artifacts = Backend::Groth16.prove(&job, &mut rng);

@@ -28,7 +28,11 @@ fn main() {
         .collect();
     let outputs = synthesize_softmax(&mut cs, &inputs, &cfg).expect("inputs are in range");
     assert!(cs.is_satisfied());
-    println!("SoftMax circuit: {} constraints, {} variables", cs.num_constraints(), cs.num_variables());
+    println!(
+        "SoftMax circuit: {} constraints, {} variables",
+        cs.num_constraints(),
+        cs.num_variables()
+    );
 
     // Compare the in-circuit approximation against the real softmax.
     let exp: Vec<f64> = logits.iter().map(|v| v.exp()).collect();

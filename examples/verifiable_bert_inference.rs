@@ -23,7 +23,10 @@ fn main() {
     };
     let n = model.num_layers();
 
-    println!("Constraint cost of each token-mixer schedule on {}:", model.name);
+    println!(
+        "Constraint cost of each token-mixer schedule on {}:",
+        model.name
+    );
     let schedules = [
         MixerSchedule::soft_approx(n),
         MixerSchedule::soft_free_s(n),
@@ -34,7 +37,11 @@ fn main() {
     for schedule in schedules {
         let circuit = ModelCircuit::build(&model, &schedule, Strategy::CrpcPsq, 31);
         assert!(circuit.cs.is_satisfied());
-        println!("  {:<12} {:>9} constraints", schedule.name, circuit.num_constraints());
+        println!(
+            "  {:<12} {:>9} constraints",
+            schedule.name,
+            circuit.num_constraints()
+        );
         circuits.push((schedule, circuit));
     }
 

@@ -18,17 +18,34 @@ fn main() {
     // A ViT with 3 layers, 2 heads, hidden dim 16, 8 tokens, 10 classes.
     let model = VitConfig::custom(3, 2, 16, 8, 10).to_model();
     let schedule = MixerSchedule::zkvc_hybrid(3);
-    println!("Compiling {} with the '{}' mixer schedule...", model.name, schedule.name);
+    println!(
+        "Compiling {} with the '{}' mixer schedule...",
+        model.name, schedule.name
+    );
 
     let circuit = ModelCircuit::build(&model, &schedule, Strategy::CrpcPsq, 2024);
-    assert!(circuit.cs.is_satisfied(), "the forward pass must satisfy its own circuit");
+    assert!(
+        circuit.cs.is_satisfied(),
+        "the forward pass must satisfy its own circuit"
+    );
 
     println!("Per-layer constraint breakdown:");
     for layer in &circuit.layers {
-        println!("  {:<28} {:>8} constraints  {:>8} variables", layer.label, layer.constraints, layer.variables);
+        println!(
+            "  {:<28} {:>8} constraints  {:>8} variables",
+            layer.label, layer.constraints, layer.variables
+        );
     }
-    println!("  {:<28} {:>8} constraints  {:>8} variables", "TOTAL", circuit.num_constraints(), circuit.num_variables());
-    println!("Class logits (fixed-point field elements): {:?}", circuit.logits);
+    println!(
+        "  {:<28} {:>8} constraints  {:>8} variables",
+        "TOTAL",
+        circuit.num_constraints(),
+        circuit.num_variables()
+    );
+    println!(
+        "Class logits (fixed-point field elements): {:?}",
+        circuit.logits
+    );
 
     let mut rng = StdRng::seed_from_u64(9);
     for backend in Backend::ALL {

@@ -56,3 +56,7 @@ pub use zkvc_core as core;
 
 /// The quantised Transformer substrate and model-to-circuit compiler.
 pub use zkvc_nn as nn;
+
+/// The batch-proving service: key caching, the concurrent proving pool,
+/// proof envelopes, and the `zkvc` CLI's job grammar.
+pub use zkvc_runtime as runtime;

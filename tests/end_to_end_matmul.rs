@@ -9,10 +9,18 @@ use zkvc::ff::{Field, Fr, PrimeField};
 
 fn matrices(a: usize, n: usize, b: usize, seed: i64) -> (Vec<Vec<i64>>, Vec<Vec<i64>>) {
     let x = (0..a)
-        .map(|i| (0..n).map(|k| ((i as i64 + 1) * (k as i64 + 2) + seed) % 97 - 48).collect())
+        .map(|i| {
+            (0..n)
+                .map(|k| ((i as i64 + 1) * (k as i64 + 2) + seed) % 97 - 48)
+                .collect()
+        })
         .collect();
     let w = (0..n)
-        .map(|k| (0..b).map(|j| ((k as i64 + 3) * (j as i64 + 1) - seed) % 89 - 44).collect())
+        .map(|k| {
+            (0..b)
+                .map(|j| ((k as i64 + 3) * (j as i64 + 1) - seed) % 89 - 44)
+                .collect()
+        })
         .collect();
     (x, w)
 }
@@ -22,11 +30,16 @@ fn every_strategy_proves_and_verifies_on_both_backends() {
     let mut rng = StdRng::seed_from_u64(1);
     let (x, w) = matrices(4, 6, 5, 3);
     for strategy in Strategy::ALL {
-        let job = MatMulBuilder::new(4, 6, 5).strategy(strategy).build_integers(&x, &w);
+        let job = MatMulBuilder::new(4, 6, 5)
+            .strategy(strategy)
+            .build_integers(&x, &w);
         assert!(job.cs.is_satisfied(), "{strategy:?}");
         for backend in Backend::ALL {
             let artifacts = backend.prove(&job, &mut rng);
-            assert!(backend.verify(&job, &artifacts), "{strategy:?} on {backend:?}");
+            assert!(
+                backend.verify(&job, &artifacts),
+                "{strategy:?} on {backend:?}"
+            );
         }
     }
 }
@@ -115,7 +128,9 @@ fn interactive_baseline_agrees_with_snark_statement() {
     // the zkVC SNARK path.
     let (x, w) = matrices(4, 4, 4, 13);
     let to_field = |m: &Vec<Vec<i64>>| -> Vec<Vec<Fr>> {
-        m.iter().map(|r| r.iter().map(|v| Fr::from_i64(*v)).collect()).collect()
+        m.iter()
+            .map(|r| r.iter().map(|v| Fr::from_i64(*v)).collect())
+            .collect()
     };
     let xf = to_field(&x);
     let wf = to_field(&w);

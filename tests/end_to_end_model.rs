@@ -43,14 +43,24 @@ fn mixer_cost_ordering_matches_table_iii() {
     // count, with the zkVC hybrid between scaling and SoftApprox — the
     // ordering behind the proving times of Table III.
     let model = VitConfig::custom(3, 2, 8, 6, 3).to_model();
-    let count = |s: &MixerSchedule| ModelCircuit::build(&model, s, Strategy::CrpcPsq, 2).num_constraints();
+    let count =
+        |s: &MixerSchedule| ModelCircuit::build(&model, s, Strategy::CrpcPsq, 2).num_constraints();
     let soft = count(&MixerSchedule::soft_approx(3));
     let scaling = count(&MixerSchedule::soft_free_s(3));
     let pooling = count(&MixerSchedule::soft_free_p(3));
     let hybrid = count(&MixerSchedule::zkvc_hybrid(3));
-    assert!(soft > hybrid, "SoftApprox {soft} must exceed hybrid {hybrid}");
-    assert!(hybrid > scaling, "hybrid {hybrid} must exceed pure scaling {scaling}");
-    assert!(scaling > pooling, "scaling {scaling} must exceed pooling {pooling}");
+    assert!(
+        soft > hybrid,
+        "SoftApprox {soft} must exceed hybrid {hybrid}"
+    );
+    assert!(
+        hybrid > scaling,
+        "hybrid {hybrid} must exceed pure scaling {scaling}"
+    );
+    assert!(
+        scaling > pooling,
+        "scaling {scaling} must exceed pooling {pooling}"
+    );
 }
 
 #[test]
@@ -59,7 +69,10 @@ fn crpc_psq_reduces_model_circuit_size() {
     let schedule = MixerSchedule::soft_free_s(2);
     let vanilla = ModelCircuit::build(&model, &schedule, Strategy::Vanilla, 3).num_constraints();
     let zkvc = ModelCircuit::build(&model, &schedule, Strategy::CrpcPsq, 3).num_constraints();
-    assert!(zkvc < vanilla, "zkVC {zkvc} must be smaller than vanilla {vanilla}");
+    assert!(
+        zkvc < vanilla,
+        "zkVC {zkvc} must be smaller than vanilla {vanilla}"
+    );
 }
 
 #[test]
@@ -86,7 +99,12 @@ fn bert_slice_with_linear_mixer_builds_and_proves() {
     let micro = ModelConfig {
         name: "bert-micro".to_string(),
         input_dim: 4,
-        layers: vec![zkvc::nn::models::LayerSpec { seq_len: 2, dim: 4, num_heads: 1, mlp_dim: 4 }],
+        layers: vec![zkvc::nn::models::LayerSpec {
+            seq_len: 2,
+            dim: 4,
+            num_heads: 1,
+            mlp_dim: 4,
+        }],
         num_classes: 2,
     };
     let circuit = ModelCircuit::build(&micro, &schedule, Strategy::CrpcPsq, 4);
@@ -97,7 +115,12 @@ fn bert_slice_with_linear_mixer_builds_and_proves() {
 
 #[test]
 fn per_layer_stats_sum_to_total() {
-    let circuit = ModelCircuit::build(&tiny_vit(), &MixerSchedule::soft_approx(2), Strategy::CrpcPsq, 5);
+    let circuit = ModelCircuit::build(
+        &tiny_vit(),
+        &MixerSchedule::soft_approx(2),
+        Strategy::CrpcPsq,
+        5,
+    );
     let sum: usize = circuit.layers.iter().map(|l| l.constraints).sum();
     assert_eq!(sum, circuit.num_constraints());
 }
