@@ -12,6 +12,8 @@ use rand::Rng;
 use zkvc_ff::fields::params;
 use zkvc_ff::{Field, Fq, Fr, PrimeField};
 
+use crate::group::{AffinePoint, CurveGroup};
+
 /// A point on `E(Fq)` in affine coordinates (or the point at infinity).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct G1Affine {
@@ -120,6 +122,87 @@ impl G1Affine {
         } else {
             None
         }
+    }
+}
+
+impl AffinePoint for G1Affine {
+    type Base = Fq;
+    type Scalar = Fr;
+    type Projective = G1Projective;
+
+    fn coeff_a() -> Fq {
+        // E: y^2 = x^3 + x
+        Fq::one()
+    }
+
+    fn identity() -> Self {
+        G1Affine::identity()
+    }
+
+    fn is_identity(&self) -> bool {
+        self.infinity
+    }
+
+    fn xy(&self) -> Option<(Fq, Fq)> {
+        if self.infinity {
+            None
+        } else {
+            Some((self.x, self.y))
+        }
+    }
+
+    fn from_xy_unchecked(x: Fq, y: Fq) -> Self {
+        G1Affine {
+            x,
+            y,
+            infinity: false,
+        }
+    }
+
+    fn neg_point(&self) -> Self {
+        G1Affine::neg_point(self)
+    }
+
+    fn to_projective(&self) -> G1Projective {
+        G1Affine::to_projective(self)
+    }
+}
+
+impl CurveGroup for G1Projective {
+    type Base = Fq;
+    type Scalar = Fr;
+    type Affine = G1Affine;
+
+    fn identity() -> Self {
+        G1Projective::identity()
+    }
+
+    fn is_identity(&self) -> bool {
+        G1Projective::is_identity(self)
+    }
+
+    fn double(&self) -> Self {
+        G1Projective::double(self)
+    }
+
+    fn add(&self, other: &Self) -> Self {
+        G1Projective::add(self, other)
+    }
+
+    fn add_affine(&self, other: &G1Affine) -> Self {
+        G1Projective::add_affine(self, other)
+    }
+
+    fn neg_point(&self) -> Self {
+        G1Projective::neg_point(self)
+    }
+
+    fn to_affine(&self) -> G1Affine {
+        G1Projective::to_affine(self)
+    }
+
+    fn mul_scalar(&self, scalar: &Fr) -> Self {
+        G1Projective::mul_scalar(self, scalar)
     }
 }
 

@@ -1,0 +1,90 @@
+//! Generic short-Weierstrass group abstractions.
+//!
+//! The MSM kernel (and any future multi-curve code) is written against these
+//! traits rather than the concrete `G1` types, so the `G1` and `G2` sides of
+//! the Groth16 prover share one implementation. For the Type-1 (symmetric)
+//! pairing used by this stack `G2 == G1`, but the prover's `b_g2_query` MSM
+//! goes through the same generic entry point a distinct-`G2` curve would.
+
+use core::fmt::Debug;
+
+use zkvc_ff::{Field, PrimeField};
+
+/// A point on a short-Weierstrass curve `y^2 = x^3 + a*x + b` in affine
+/// coordinates, plus the point at infinity.
+///
+/// The coordinate accessors exist so generic kernels (batch-affine bucket
+/// accumulation in the MSM) can run the affine addition formulas with
+/// batched inversions; [`Self::from_xy_unchecked`] is the matching
+/// constructor and must only be fed coordinates produced by the curve's own
+/// group law.
+pub trait AffinePoint:
+    Copy + Clone + Debug + PartialEq + Eq + Send + Sync + Sized + 'static
+{
+    /// The coordinate (base) field.
+    type Base: Field;
+    /// The scalar field of the prime-order (sub)group.
+    type Scalar: PrimeField;
+    /// The projective representation of the same group.
+    type Projective: CurveGroup<Base = Self::Base, Scalar = Self::Scalar, Affine = Self>;
+
+    /// The curve coefficient `a` (used by the doubling formula).
+    fn coeff_a() -> Self::Base;
+
+    /// The group identity (point at infinity).
+    fn identity() -> Self;
+
+    /// Returns `true` iff this is the identity.
+    fn is_identity(&self) -> bool;
+
+    /// The affine coordinates, or `None` for the identity.
+    fn xy(&self) -> Option<(Self::Base, Self::Base)>;
+
+    /// Builds a point from coordinates assumed to satisfy the curve
+    /// equation (no validation).
+    fn from_xy_unchecked(x: Self::Base, y: Self::Base) -> Self;
+
+    /// The additive inverse.
+    fn neg_point(&self) -> Self;
+
+    /// Converts to projective coordinates.
+    fn to_projective(&self) -> Self::Projective;
+}
+
+/// A prime-order group in a projective representation: the arithmetic
+/// surface the generic MSM drivers need.
+pub trait CurveGroup:
+    Copy + Clone + Debug + PartialEq + Eq + Send + Sync + Sized + 'static
+{
+    /// The coordinate (base) field.
+    type Base: Field;
+    /// The scalar field.
+    type Scalar: PrimeField;
+    /// The affine representation of the same group.
+    type Affine: AffinePoint<Base = Self::Base, Scalar = Self::Scalar, Projective = Self>;
+
+    /// The group identity.
+    fn identity() -> Self;
+
+    /// Returns `true` iff this is the identity.
+    fn is_identity(&self) -> bool;
+
+    /// Point doubling.
+    fn double(&self) -> Self;
+
+    /// Full projective addition.
+    fn add(&self, other: &Self) -> Self;
+
+    /// Mixed addition with an affine point.
+    fn add_affine(&self, other: &Self::Affine) -> Self;
+
+    /// The additive inverse.
+    fn neg_point(&self) -> Self;
+
+    /// Converts to affine coordinates (one inversion).
+    fn to_affine(&self) -> Self::Affine;
+
+    /// Scalar multiplication (reference implementation for tests/small
+    /// inputs; kernels use MSM instead).
+    fn mul_scalar(&self, scalar: &Self::Scalar) -> Self;
+}

@@ -29,9 +29,11 @@
 #![warn(missing_docs)]
 
 mod g1;
+mod group;
 mod msm;
 mod pairing;
 
 pub use g1::{G1Affine, G1Projective};
-pub use msm::{msm, msm_serial};
+pub use group::{AffinePoint, CurveGroup};
+pub use msm::{msm, msm_serial, msm_window_parallel};
 pub use pairing::{pairing, pairing_miller_loop, Gt};

@@ -1,51 +1,73 @@
 //! Multi-scalar multiplication (Pippenger's bucket method).
 //!
-//! The dominant cost of the Groth16 prover is three large MSMs over the CRS;
-//! this module provides a serial bucketed implementation plus a
-//! crossbeam-parallel driver that splits the windows across worker threads.
+//! The dominant cost of the Groth16 prover is five large MSMs over the CRS.
+//! The fast path here ([`msm`]) combines three classic optimisations on top
+//! of the bucketed window method:
+//!
+//! 1. **Signed-digit windows** — scalars are decomposed into digits in
+//!    `(-2^(c-1), 2^(c-1)]`, halving the bucket count per window (negative
+//!    digits add the negated point, which is free in affine coordinates).
+//! 2. **Chunk-parallel scheduling** — the *points* are split across worker
+//!    threads; each chunk computes partial bucket sums for every window, so
+//!    total work scales with cores instead of every thread walking all `N`
+//!    points (the seed implementation, kept as [`msm_window_parallel`],
+//!    parallelised only across the ~30 windows).
+//! 3. **Batch-affine bucket accumulation** — bucket additions are performed
+//!    in affine coordinates with the per-addition field inversion amortised
+//!    across a whole round of independent bucket updates via
+//!    [`batch_inverse`] (Montgomery's trick), making each digit addition
+//!    several times cheaper than a mixed projective addition.
+//!
+//! Everything is generic over [`AffinePoint`]/[`CurveGroup`], so the `G1`
+//! and `G2` MSMs of the prover share this single implementation.
 
 use crossbeam::thread;
-use zkvc_ff::{Fr, PrimeField};
+use zkvc_ff::{batch_inverse, Field, PrimeField};
 
-use crate::g1::{G1Affine, G1Projective};
+use crate::group::{AffinePoint, CurveGroup};
 
 /// Computes `sum_i scalars[i] * bases[i]` with Pippenger's algorithm,
-/// single-threaded.
+/// single-threaded, using unsigned digits and projective buckets. Kept as
+/// the simple reference implementation (and the small-input path).
 ///
 /// # Panics
 /// Panics if `bases.len() != scalars.len()`.
-pub fn msm_serial(bases: &[G1Affine], scalars: &[Fr]) -> G1Projective {
+pub fn msm_serial<A: AffinePoint>(bases: &[A], scalars: &[A::Scalar]) -> A::Projective {
     assert_eq!(bases.len(), scalars.len(), "bases/scalars length mismatch");
     if bases.is_empty() {
-        return G1Projective::identity();
+        return A::Projective::identity();
     }
-    let c = window_size(bases.len());
-    let num_bits = Fr::MODULUS_BITS as usize;
+    let c = unsigned_window_size(bases.len());
+    let num_bits = A::Scalar::MODULUS_BITS as usize;
     let windows: Vec<usize> = (0..num_bits).step_by(c).collect();
     let canon: Vec<[u64; 4]> = scalars.iter().map(|s| s.to_canonical()).collect();
 
-    let window_sums: Vec<G1Projective> = windows
+    let window_sums: Vec<A::Projective> = windows
         .iter()
-        .map(|&w_start| window_sum(bases, &canon, w_start, c))
+        .map(|&w_start| unsigned_window_sum(bases, &canon, w_start, c))
         .collect();
 
     combine_windows(&window_sums, c)
 }
 
-/// Computes `sum_i scalars[i] * bases[i]`, splitting windows across threads.
+/// The seed parallel driver: Pippenger with the *windows* split across
+/// worker threads. Every thread still walks all `N` points, so total work
+/// is `N x windows` regardless of core count. Kept as the baseline that
+/// the chunk-parallel [`msm`] is benchmarked against (see
+/// `crates/bench/src/bin/kernels.rs`).
 ///
 /// # Panics
 /// Panics if `bases.len() != scalars.len()`.
-pub fn msm(bases: &[G1Affine], scalars: &[Fr]) -> G1Projective {
+pub fn msm_window_parallel<A: AffinePoint>(bases: &[A], scalars: &[A::Scalar]) -> A::Projective {
     assert_eq!(bases.len(), scalars.len(), "bases/scalars length mismatch");
     if bases.is_empty() {
-        return G1Projective::identity();
+        return A::Projective::identity();
     }
     if bases.len() < 64 {
         return msm_serial(bases, scalars);
     }
-    let c = window_size(bases.len());
-    let num_bits = Fr::MODULUS_BITS as usize;
+    let c = unsigned_window_size(bases.len());
+    let num_bits = A::Scalar::MODULUS_BITS as usize;
     let windows: Vec<usize> = (0..num_bits).step_by(c).collect();
     let canon: Vec<[u64; 4]> = scalars.iter().map(|s| s.to_canonical()).collect();
     let n_threads = std::thread::available_parallelism()
@@ -53,14 +75,14 @@ pub fn msm(bases: &[G1Affine], scalars: &[Fr]) -> G1Projective {
         .unwrap_or(4)
         .min(windows.len());
 
-    let mut window_sums = vec![G1Projective::identity(); windows.len()];
+    let mut window_sums = vec![A::Projective::identity(); windows.len()];
     let chunk = windows.len().div_ceil(n_threads);
     thread::scope(|s| {
         for (out_chunk, win_chunk) in window_sums.chunks_mut(chunk).zip(windows.chunks(chunk)) {
             let canon = &canon;
             s.spawn(move |_| {
                 for (out, &w_start) in out_chunk.iter_mut().zip(win_chunk.iter()) {
-                    *out = window_sum(bases, canon, w_start, c);
+                    *out = unsigned_window_sum(bases, canon, w_start, c);
                 }
             });
         }
@@ -70,7 +92,311 @@ pub fn msm(bases: &[G1Affine], scalars: &[Fr]) -> G1Projective {
     combine_windows(&window_sums, c)
 }
 
-fn window_size(n: usize) -> usize {
+/// Computes `sum_i scalars[i] * bases[i]`: signed-digit windows,
+/// batch-affine buckets, and the points chunked across worker threads so
+/// the work scales with available cores.
+///
+/// # Panics
+/// Panics if `bases.len() != scalars.len()`.
+pub fn msm<A: AffinePoint>(bases: &[A], scalars: &[A::Scalar]) -> A::Projective {
+    assert_eq!(bases.len(), scalars.len(), "bases/scalars length mismatch");
+    let n = bases.len();
+    if n == 0 {
+        return A::Projective::identity();
+    }
+    if n < 4096 {
+        // Below this size the batched-inversion amortisation is too weak
+        // (few buckets per batch) to beat the plain projective driver.
+        return msm_window_parallel(bases, scalars);
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(4);
+    // Below ~MIN_CHUNK points per thread the spawn + bucket-merge overhead
+    // dominates; shrink the chunk count instead of the chunks.
+    const MIN_CHUNK: usize = 1 << 8;
+    let num_chunks = threads.min(n.div_ceil(MIN_CHUNK)).max(1);
+    msm_with_chunks(bases, scalars, num_chunks)
+}
+
+/// The chunk-parallel driver with an explicit chunk count (exposed to the
+/// tests so the multi-chunk path is exercised deterministically).
+fn msm_with_chunks<A: AffinePoint>(
+    bases: &[A],
+    scalars: &[A::Scalar],
+    num_chunks: usize,
+) -> A::Projective {
+    let n = bases.len();
+    let c = signed_window_size(n, num_chunks);
+    let num_windows = (A::Scalar::MODULUS_BITS as usize + 1).div_ceil(c);
+
+    if num_chunks <= 1 {
+        return combine_windows(&chunk_window_sums(bases, scalars, c, num_windows), c);
+    }
+
+    let chunk_len = n.div_ceil(num_chunks);
+    let mut partials: Vec<Vec<A::Projective>> = Vec::with_capacity(num_chunks);
+    thread::scope(|s| {
+        let handles: Vec<_> = bases
+            .chunks(chunk_len)
+            .zip(scalars.chunks(chunk_len))
+            .map(|(b, sc)| s.spawn(move |_| chunk_window_sums(b, sc, c, num_windows)))
+            .collect();
+        for h in handles {
+            partials.push(h.join().expect("msm worker thread panicked"));
+        }
+    })
+    .expect("msm scope failed");
+
+    let mut window_sums = vec![A::Projective::identity(); num_windows];
+    for part in &partials {
+        for (sum, p) in window_sums.iter_mut().zip(part.iter()) {
+            *sum = sum.add(p);
+        }
+    }
+    combine_windows(&window_sums, c)
+}
+
+/// High bit of a pair code: the point enters its bucket negated.
+const SIGN_BIT: u32 = 1 << 31;
+
+/// Per-chunk work: decompose the chunk's scalars into signed digits once
+/// (column-major, so each window scans a contiguous slice), then accumulate
+/// every window's buckets batch-affine and collapse each window to a single
+/// partial sum.
+///
+/// Pending bucket additions travel through the scheduler as compact
+/// `(bucket, point-index | sign)` codes — 8 bytes instead of a full affine
+/// point — so deferring conflicted additions across rounds moves almost no
+/// memory; the point itself is fetched from `bases` exactly once, when the
+/// addition is actually scheduled.
+fn chunk_window_sums<A: AffinePoint>(
+    bases: &[A],
+    scalars: &[A::Scalar],
+    c: usize,
+    num_windows: usize,
+) -> Vec<A::Projective> {
+    let n = bases.len();
+    let half = 1usize << (c - 1);
+    let mut digits = vec![0i32; n * num_windows];
+    let mut row = vec![0i32; num_windows];
+    for (i, s) in scalars.iter().enumerate() {
+        if bases[i].is_identity() {
+            continue; // leave the digit column zero: identity adds nothing
+        }
+        signed_digits(&s.to_canonical(), c, &mut row);
+        for (w, &d) in row.iter().enumerate() {
+            digits[w * n + i] = d;
+        }
+    }
+
+    let mut acc = BatchAffineBuckets::<A>::new(half);
+    let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(n);
+    let mut out = Vec::with_capacity(num_windows);
+    for w in 0..num_windows {
+        pairs.clear();
+        for (i, &d) in digits[w * n..(w + 1) * n].iter().enumerate() {
+            match d.cmp(&0) {
+                core::cmp::Ordering::Greater => pairs.push((d as u32 - 1, i as u32)),
+                core::cmp::Ordering::Less => pairs.push(((-d) as u32 - 1, i as u32 | SIGN_BIT)),
+                core::cmp::Ordering::Equal => {}
+            }
+        }
+        acc.accumulate(&mut pairs, bases);
+        out.push(acc.window_sum_and_reset());
+    }
+    out
+}
+
+/// Decodes a scheduler pair code back into the (possibly negated) point.
+#[inline]
+fn resolve<A: AffinePoint>(bases: &[A], code: u32) -> A {
+    let base = &bases[(code & !SIGN_BIT) as usize];
+    if code & SIGN_BIT != 0 {
+        base.neg_point()
+    } else {
+        *base
+    }
+}
+
+/// Affine buckets with batched-inversion addition.
+///
+/// Buckets are plain affine points (`identity` marks an empty bucket). Each
+/// scheduling round picks at most one pending addition per bucket, computes
+/// all the addition-slope denominators, inverts them together with one
+/// [`batch_inverse`] call, and completes every addition with a couple of
+/// multiplications. Conflicting additions are deferred to the next round;
+/// once too few independent additions remain for batching to pay off (a
+/// pathological digit distribution, e.g. thousands of identical scalars),
+/// the tail is flushed through ordinary projective mixed additions into a
+/// lazily-allocated overflow table, so the worst case degrades to the seed
+/// algorithm's cost instead of one inversion per addition.
+struct BatchAffineBuckets<A: AffinePoint> {
+    buckets: Vec<A>,
+    overflow: Option<Vec<A::Projective>>,
+    /// Round stamp per bucket (avoids clearing a bitset every round).
+    stamp: Vec<u32>,
+    round: u32,
+    jobs: Vec<(u32, A)>,
+    denoms: Vec<A::Base>,
+}
+
+/// Below this many independent additions per round, batching no longer
+/// amortises the inversion; flush the remainder projectively.
+const MIN_BATCH: usize = 16;
+
+impl<A: AffinePoint> BatchAffineBuckets<A> {
+    fn new(num_buckets: usize) -> Self {
+        BatchAffineBuckets {
+            buckets: vec![A::identity(); num_buckets],
+            overflow: None,
+            stamp: vec![0; num_buckets],
+            round: 0,
+            jobs: Vec::new(),
+            denoms: Vec::new(),
+        }
+    }
+
+    /// Adds every `(bucket, code)` pair into the buckets; `pending` is
+    /// drained. Referenced points must not be the identity.
+    ///
+    /// Streaming scheduler: each round first replays the retry list, then
+    /// consumes up to half-a-bucket-table's worth of fresh pairs (so the
+    /// expected conflict rate stays low — streaming to bucket saturation
+    /// would defer most of the tail), scheduling at most one addition per
+    /// bucket per round via the stamps. Conflicting pairs go to the retry
+    /// list and get first pick next round, so each pair is visited O(1)
+    /// times amortised and the scheduler stays linear even when points
+    /// vastly outnumber buckets. If the retry list outgrows the bucket
+    /// count (a degenerate digit distribution, e.g. thousands of identical
+    /// scalars), it is flushed through ordinary projective additions.
+    fn accumulate(&mut self, pending: &mut Vec<(u32, u32)>, bases: &[A]) {
+        let num_buckets = self.buckets.len();
+        let quota = (num_buckets / 2).clamp(MIN_BATCH, 1024);
+        let retry_cap = num_buckets.max(4 * MIN_BATCH);
+        let mut retry: Vec<(u32, u32)> = Vec::new();
+        let mut next: Vec<(u32, u32)> = Vec::new();
+        let mut i = 0;
+        while i < pending.len() || !retry.is_empty() {
+            self.round += 1;
+            self.jobs.clear();
+            self.denoms.clear();
+            next.clear();
+            for &(b, code) in retry.iter() {
+                if self.stamp[b as usize] == self.round {
+                    next.push((b, code));
+                } else {
+                    self.stamp[b as usize] = self.round;
+                    self.schedule(b, resolve(bases, code));
+                }
+            }
+            for &(b, code) in pending.iter().skip(i).take(quota) {
+                if self.stamp[b as usize] == self.round {
+                    next.push((b, code));
+                } else {
+                    self.stamp[b as usize] = self.round;
+                    self.schedule(b, resolve(bases, code));
+                }
+            }
+            i += quota.min(pending.len() - i);
+            self.apply_batch();
+            core::mem::swap(&mut retry, &mut next);
+            if retry.len() > retry_cap {
+                self.flush_projective(&mut retry, bases);
+            }
+        }
+        pending.clear();
+    }
+
+    /// Phase A of a round: either resolve the addition immediately (empty
+    /// bucket, or cancellation to the identity) or queue it with its slope
+    /// denominator for the batched inversion.
+    fn schedule(&mut self, b: u32, p: A) {
+        let bucket = &mut self.buckets[b as usize];
+        if bucket.is_identity() {
+            *bucket = p;
+            return;
+        }
+        let (x1, y1) = bucket.xy().expect("non-identity bucket");
+        let (x2, y2) = p.xy().expect("non-identity point");
+        if x1 == x2 {
+            if y1 == y2 && !y1.is_zero() {
+                // Doubling: slope = (3*x1^2 + a) / (2*y1).
+                self.denoms.push(y1.double());
+                self.jobs.push((b, p));
+            } else {
+                // Opposite points (or a 2-torsion point): sum is identity.
+                *bucket = A::identity();
+            }
+        } else {
+            self.denoms.push(x2 - x1);
+            self.jobs.push((b, p));
+        }
+    }
+
+    /// Phase B: one batched inversion, then finish every queued addition
+    /// with the affine chord/tangent formulas.
+    fn apply_batch(&mut self) {
+        batch_inverse(&mut self.denoms);
+        for (&(b, p), inv) in self.jobs.iter().zip(self.denoms.iter()) {
+            let bucket = &mut self.buckets[b as usize];
+            let (x1, y1) = bucket.xy().expect("job bucket is non-identity");
+            let (x2, y2) = p.xy().expect("job point is non-identity");
+            let lambda = if x1 == x2 {
+                let xx = x1.square();
+                (xx.double() + xx + A::coeff_a()) * *inv
+            } else {
+                (y2 - y1) * *inv
+            };
+            let x3 = lambda.square() - x1 - x2;
+            let y3 = lambda * (x1 - x3) - y1;
+            *bucket = A::from_xy_unchecked(x3, y3);
+        }
+    }
+
+    /// Tail path for conflict-heavy digit distributions: ordinary mixed
+    /// projective additions into an overflow table.
+    fn flush_projective(&mut self, pending: &mut Vec<(u32, u32)>, bases: &[A]) {
+        let overflow = self
+            .overflow
+            .get_or_insert_with(|| vec![A::Projective::identity(); self.buckets.len()]);
+        for (b, code) in pending.drain(..) {
+            let p = resolve(bases, code);
+            let idx = b as usize;
+            let mut t = overflow[idx];
+            if !self.buckets[idx].is_identity() {
+                t = t.add_affine(&self.buckets[idx]);
+                self.buckets[idx] = A::identity();
+            }
+            overflow[idx] = t.add_affine(&p);
+        }
+    }
+
+    /// The window's `sum_k k * bucket_k` via the running-sum trick, leaving
+    /// the accumulator empty for the next window.
+    fn window_sum_and_reset(&mut self) -> A::Projective {
+        let mut running = A::Projective::identity();
+        let mut acc = A::Projective::identity();
+        for idx in (0..self.buckets.len()).rev() {
+            if let Some(ov) = &mut self.overflow {
+                if !ov[idx].is_identity() {
+                    running = running.add(&ov[idx]);
+                    ov[idx] = A::Projective::identity();
+                }
+            }
+            if !self.buckets[idx].is_identity() {
+                running = running.add_affine(&self.buckets[idx]);
+                self.buckets[idx] = A::identity();
+            }
+            acc = acc.add(&running);
+        }
+        acc
+    }
+}
+
+/// Window width for the unsigned serial/window-parallel drivers (the seed
+/// heuristic).
+fn unsigned_window_size(n: usize) -> usize {
     match n {
         0..=31 => 3,
         32..=255 => 5,
@@ -81,42 +407,90 @@ fn window_size(n: usize) -> usize {
     }
 }
 
-fn extract_window(canon: &[u64; 4], start: usize, width: usize) -> usize {
-    // Read `width` bits starting at bit `start` (little-endian).
+/// Window width for the signed chunk-parallel driver, chosen by a small
+/// cost model in field-multiplication units: each window costs `n` digit
+/// additions — a batch-affine addition is ~6 muls plus a share of one
+/// batched inversion (~512 muls spread over up to `half/2` additions per
+/// round, so narrow windows amortise it poorly) — plus, per chunk, a
+/// projective running sum over the `2^(c-1)` buckets at ~32 muls per
+/// bucket. Splitting points across more chunks pushes the optimum towards
+/// narrower windows; weak inversion amortisation pushes it wider.
+fn signed_window_size(n: usize, num_chunks: usize) -> usize {
+    (3..=15usize)
+        .min_by_key(|&c| {
+            let windows = 256usize.div_ceil(c);
+            let half = 1usize << (c - 1);
+            windows * (n * (6 * half + 512) / half + 32 * num_chunks * half)
+        })
+        .expect("non-empty window range")
+}
+
+/// Reads `width` bits starting at bit `start` (little-endian); bits past
+/// the 256-bit representation read as zero.
+fn extract_window(canon: &[u64; 4], start: usize, width: usize) -> u64 {
     let limb = start / 64;
+    if limb >= 4 {
+        return 0;
+    }
     let shift = start % 64;
     let mut v = canon[limb] >> shift;
     if shift + width > 64 && limb + 1 < 4 {
         v |= canon[limb + 1] << (64 - shift);
     }
-    (v & ((1u64 << width) - 1)) as usize
+    v & ((1u64 << width) - 1)
 }
 
-fn window_sum(bases: &[G1Affine], canon: &[[u64; 4]], w_start: usize, c: usize) -> G1Projective {
-    let mut buckets = vec![G1Projective::identity(); (1 << c) - 1];
+/// Decomposes a canonical scalar into `out.len()` signed base-`2^c` digits
+/// in `(-2^(c-1), 2^(c-1)]` with `sum_w digit_w * 2^(c*w)` equal to the
+/// scalar. The caller sizes `out` to `ceil((MODULUS_BITS + 1) / c)` windows
+/// so the final carry always lands inside the top window.
+fn signed_digits(canon: &[u64; 4], c: usize, out: &mut [i32]) {
+    let half = 1i64 << (c - 1);
+    let full = 1i64 << c;
+    let mut carry = 0i64;
+    for (w, slot) in out.iter_mut().enumerate() {
+        let raw = extract_window(canon, w * c, c) as i64 + carry;
+        if raw > half {
+            *slot = (raw - full) as i32;
+            carry = 1;
+        } else {
+            *slot = raw as i32;
+            carry = 0;
+        }
+    }
+    debug_assert_eq!(carry, 0, "signed-digit carry escaped the top window");
+}
+
+fn unsigned_window_sum<A: AffinePoint>(
+    bases: &[A],
+    canon: &[[u64; 4]],
+    w_start: usize,
+    c: usize,
+) -> A::Projective {
+    let mut buckets = vec![A::Projective::identity(); (1 << c) - 1];
     for (base, scalar) in bases.iter().zip(canon.iter()) {
-        let idx = extract_window(scalar, w_start, c);
+        let idx = extract_window(scalar, w_start, c) as usize;
         if idx != 0 {
             buckets[idx - 1] = buckets[idx - 1].add_affine(base);
         }
     }
     // running-sum trick: sum_k k * bucket_k
-    let mut running = G1Projective::identity();
-    let mut acc = G1Projective::identity();
+    let mut running = A::Projective::identity();
+    let mut acc = A::Projective::identity();
     for b in buckets.iter().rev() {
-        running += *b;
-        acc += running;
+        running = running.add(b);
+        acc = acc.add(&running);
     }
     acc
 }
 
-fn combine_windows(window_sums: &[G1Projective], c: usize) -> G1Projective {
-    let mut total = G1Projective::identity();
+fn combine_windows<P: CurveGroup>(window_sums: &[P], c: usize) -> P {
+    let mut total = P::identity();
     for w in window_sums.iter().rev() {
         for _ in 0..c {
             total = total.double();
         }
-        total += *w;
+        total = total.add(w);
     }
     total
 }
@@ -124,54 +498,143 @@ fn combine_windows(window_sums: &[G1Projective], c: usize) -> G1Projective {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::g1::{G1Affine, G1Projective};
+    use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use zkvc_ff::Field;
+    use zkvc_ff::{Field, Fr};
 
     fn naive_msm(bases: &[G1Affine], scalars: &[Fr]) -> G1Projective {
         bases
             .iter()
             .zip(scalars.iter())
             .map(|(b, s)| b.to_projective().mul_scalar(s))
-            .sum()
+            .fold(G1Projective::identity(), |a, b| a + b)
+    }
+
+    fn random_bases(n: usize, rng: &mut StdRng) -> Vec<G1Affine> {
+        // Derive the points cheaply from a few random ones so large-n tests
+        // stay fast; distinctness is not required for correctness.
+        let seedlings: Vec<G1Projective> = (0..8).map(|_| G1Projective::random(rng)).collect();
+        let mut cur = seedlings[0];
+        (0..n)
+            .map(|i| {
+                cur = cur.add(&seedlings[i % 8]);
+                CurveGroup::to_affine(&cur)
+            })
+            .collect()
     }
 
     #[test]
     fn empty_msm_is_identity() {
-        assert!(msm(&[], &[]).is_identity());
-        assert!(msm_serial(&[], &[]).is_identity());
+        assert!(msm::<G1Affine>(&[], &[]).is_identity());
+        assert!(msm_serial::<G1Affine>(&[], &[]).is_identity());
+        assert!(msm_window_parallel::<G1Affine>(&[], &[]).is_identity());
     }
 
     #[test]
     fn msm_matches_naive_small() {
         let mut rng = StdRng::seed_from_u64(1);
-        for n in [1usize, 2, 3, 17, 33] {
+        for n in [1usize, 2, 3, 17, 33, 65] {
             let bases: Vec<G1Affine> = (0..n)
                 .map(|_| G1Projective::random(&mut rng).to_affine())
                 .collect();
             let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
-            assert_eq!(msm_serial(&bases, &scalars), naive_msm(&bases, &scalars));
-            assert_eq!(msm(&bases, &scalars), naive_msm(&bases, &scalars));
+            let expect = naive_msm(&bases, &scalars);
+            assert_eq!(msm_serial(&bases, &scalars), expect, "serial n={n}");
+            assert_eq!(msm_window_parallel(&bases, &scalars), expect, "wp n={n}");
+            assert_eq!(msm(&bases, &scalars), expect, "fast n={n}");
         }
     }
 
     #[test]
-    fn msm_matches_naive_larger_with_structure() {
+    fn msm_matches_naive_with_edge_scalars() {
         let mut rng = StdRng::seed_from_u64(2);
         let n = 200;
-        let bases: Vec<G1Affine> = (0..n)
-            .map(|_| G1Projective::random(&mut rng).to_affine())
-            .collect();
-        // include zeros, ones and small scalars to hit bucket edge cases
+        let bases = random_bases(n, &mut rng);
+        // zeros, ones, small values, -1, +/- window-boundary values and the
+        // identity point: all the bucket/digit edge cases at once.
         let scalars: Vec<Fr> = (0..n)
-            .map(|i| match i % 5 {
+            .map(|i| match i % 8 {
                 0 => Fr::zero(),
                 1 => Fr::one(),
                 2 => Fr::from_u64(i as u64),
+                3 => -Fr::one(),
+                4 => Fr::from_u64(1 << 7),        // +half for c=8
+                5 => -Fr::from_u64((1 << 7) + 1), // just past -half
+                6 => Fr::from_u64((1 << 8) - 1),
                 _ => Fr::random(&mut rng),
             })
             .collect();
-        assert_eq!(msm(&bases, &scalars), naive_msm(&bases, &scalars));
+        let mut bases = bases;
+        bases[7] = G1Affine::identity();
+        let expect = naive_msm(&bases, &scalars);
+        assert_eq!(msm(&bases, &scalars), expect);
+        assert_eq!(msm_serial(&bases, &scalars), expect);
+        assert_eq!(msm_with_chunks(&bases, &scalars, 4), expect);
+    }
+
+    #[test]
+    fn msm_identical_scalars_hit_the_flush_path() {
+        // Every point lands in the same bucket of every window, so the
+        // batch-affine scheduler defers almost everything and must fall back
+        // to the projective flush without losing points.
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 150;
+        let bases = random_bases(n, &mut rng);
+        for s in [Fr::one(), Fr::from_u64(5), -Fr::from_u64(3)] {
+            let scalars = vec![s; n];
+            assert_eq!(msm(&bases, &scalars), naive_msm(&bases, &scalars));
+            assert_eq!(
+                msm_with_chunks(&bases, &scalars, 3),
+                naive_msm(&bases, &scalars)
+            );
+        }
+    }
+
+    #[test]
+    fn chunked_msm_matches_unchunked() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 513; // deliberately not a multiple of the chunk count
+        let bases = random_bases(n, &mut rng);
+        let scalars: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+        let expect = naive_msm(&bases, &scalars);
+        for chunks in [1usize, 2, 3, 8] {
+            assert_eq!(
+                msm_with_chunks(&bases, &scalars, chunks),
+                expect,
+                "{chunks}"
+            );
+        }
+    }
+
+    #[test]
+    fn signed_digits_reconstruct_scalar() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for c in [3usize, 7, 8, 13, 15] {
+            let num_windows = (Fr::MODULUS_BITS as usize + 1).div_ceil(c);
+            let mut digits = vec![0i32; num_windows];
+            for case in 0..20 {
+                let s = match case {
+                    0 => Fr::zero(),
+                    1 => Fr::one(),
+                    2 => -Fr::one(),
+                    3 => Fr::from_u64((1 << c) as u64),
+                    _ => Fr::random(&mut rng),
+                };
+                signed_digits(&s.to_canonical(), c, &mut digits);
+                let mut acc = Fr::zero();
+                let radix = Fr::from_u64(1u64 << c);
+                for &d in digits.iter().rev() {
+                    acc = acc * radix + Fr::from_i64(d as i64);
+                }
+                assert_eq!(acc, s, "c={c} case={case}");
+                let half = 1i64 << (c - 1);
+                assert!(digits
+                    .iter()
+                    .all(|&d| (d as i64) > -half && (d as i64) <= half));
+            }
+        }
     }
 
     #[test]
@@ -180,5 +643,29 @@ mod tests {
         // 8-bit window starting at bit 60: low 4 bits are 1111 (from limb 0),
         // upper 4 bits are 1011 (from limb 1) -> 0b1011_1111
         assert_eq!(extract_window(&canon, 60, 8), 0b1011_1111);
+        // Reads past the representation are zero.
+        assert_eq!(extract_window(&canon, 256, 8), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn prop_msm_equals_naive(raw in prop::collection::vec(0u64..u64::MAX, 1..48)) {
+            let seed = raw.iter().fold(0u64, |a, v| a.wrapping_add(*v)) ^ raw.len() as u64;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let bases = random_bases(raw.len(), &mut rng);
+            // Mix raw u64 values with structured negatives of them.
+            let scalars: Vec<Fr> = raw
+                .iter()
+                .enumerate()
+                .map(|(i, v)| if i % 3 == 0 { -Fr::from_u64(*v) } else { Fr::from_u64(*v) })
+                .collect();
+            let expect = naive_msm(&bases, &scalars);
+            prop_assert_eq!(msm(&bases, &scalars), expect);
+            prop_assert_eq!(msm_serial(&bases, &scalars), expect);
+            prop_assert_eq!(msm_window_parallel(&bases, &scalars), expect);
+            prop_assert_eq!(msm_with_chunks(&bases, &scalars, 2), expect);
+        }
     }
 }

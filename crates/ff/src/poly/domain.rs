@@ -4,8 +4,25 @@
 //! `{1, w, w^2, ...}`. It supports forward/inverse FFTs, evaluation of the
 //! vanishing polynomial `Z(X) = X^n - 1`, Lagrange-coefficient computation
 //! and coset FFTs — everything the QAP reduction and the Groth16 prover need.
+//!
+//! Construction precomputes the forward and inverse twiddle tables (the
+//! first `n/2` powers of the group generator and of its inverse), so every
+//! FFT over the domain does one table lookup per butterfly instead of a
+//! running multiplication, and [`EvaluationDomain::element`] answers in
+//! `O(1)`. Domains are meant to be built once per circuit shape and reused
+//! — the Groth16 `ProvingKey` carries its quotient-domain instance so the
+//! runtime key cache amortises the tables across every proof of a shape.
+//! Large FFTs additionally split the butterfly work across scoped worker
+//! threads.
 
+use crate::par::{for_chunks_mut, num_threads};
 use crate::traits::PrimeField;
+
+/// Below this size a parallel FFT is all spawn overhead.
+const PAR_FFT_MIN: usize = 1 << 12;
+/// Minimum elements per thread for the data-parallel loops (power
+/// distribution, iFFT normalisation).
+const PAR_CHUNK_MIN: usize = 1 << 12;
 
 /// A multiplicative subgroup of order `2^k` used for polynomial interpolation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -20,11 +37,18 @@ pub struct EvaluationDomain<F: PrimeField> {
     pub size_inv: F,
     /// Multiplicative coset shift used by [`Self::coset_fft_in_place`].
     pub coset_shift: F,
+    /// `[w^0, w^1, ..., w^{n/2-1}]` — forward FFT twiddles.
+    twiddles: Vec<F>,
+    /// `[w^0, w^-1, ..., w^-(n/2-1)]` — inverse FFT twiddles.
+    inv_twiddles: Vec<F>,
 }
 
 impl<F: PrimeField> EvaluationDomain<F> {
     /// Creates the smallest power-of-two domain with at least `min_size`
     /// elements, or `None` if the field's 2-adicity is insufficient.
+    ///
+    /// Costs `O(n)` multiplications for the twiddle tables; build a domain
+    /// once per shape and reuse it across FFT calls.
     pub fn new(min_size: usize) -> Option<Self> {
         let size = min_size.max(1).next_power_of_two();
         let log_size = size.trailing_zeros();
@@ -41,6 +65,8 @@ impl<F: PrimeField> EvaluationDomain<F> {
             group_gen_inv,
             size_inv,
             coset_shift: F::multiplicative_generator(),
+            twiddles: power_table(group_gen, size / 2),
+            inv_twiddles: power_table(group_gen_inv, size / 2),
         })
     }
 
@@ -54,9 +80,18 @@ impl<F: PrimeField> EvaluationDomain<F> {
         self.log_size
     }
 
-    /// The `i`-th domain element `w^i`.
+    /// The `i`-th domain element `w^(i mod n)`, answered from the twiddle
+    /// table in `O(1)` (the second half of the domain is the negation of
+    /// the first, since `w^(n/2) = -1`).
     pub fn element(&self, i: usize) -> F {
-        self.group_gen.pow(&[i as u64])
+        let i = i & (self.size - 1);
+        if i < self.twiddles.len() {
+            self.twiddles[i]
+        } else if i == 0 {
+            F::one() // size 1: empty table
+        } else {
+            -self.twiddles[i - self.twiddles.len()]
+        }
     }
 
     /// All domain elements in order.
@@ -76,18 +111,48 @@ impl<F: PrimeField> EvaluationDomain<F> {
     }
 
     /// In-place forward FFT: coefficients -> evaluations over the domain.
+    /// Splits the butterfly work across worker threads for large domains.
     ///
     /// # Panics
     /// Panics if `values.len() != self.size()`.
     pub fn fft_in_place(&self, values: &mut [F]) {
         assert_eq!(values.len(), self.size, "FFT input must match domain size");
-        Self::radix2_fft(values, self.group_gen);
+        let threads = num_threads();
+        if self.size >= PAR_FFT_MIN && threads > 1 {
+            parallel_radix2_fft(values, &self.twiddles, threads);
+        } else {
+            radix2_fft(values, &self.twiddles);
+        }
     }
 
     /// In-place inverse FFT: evaluations -> coefficients.
     pub fn ifft_in_place(&self, values: &mut [F]) {
         assert_eq!(values.len(), self.size, "iFFT input must match domain size");
-        Self::radix2_fft(values, self.group_gen_inv);
+        let threads = num_threads();
+        if self.size >= PAR_FFT_MIN && threads > 1 {
+            parallel_radix2_fft(values, &self.inv_twiddles, threads);
+        } else {
+            radix2_fft(values, &self.inv_twiddles);
+        }
+        let size_inv = self.size_inv;
+        for_chunks_mut(values, PAR_CHUNK_MIN, threads, |_, chunk| {
+            for v in chunk.iter_mut() {
+                *v *= size_inv;
+            }
+        });
+    }
+
+    /// Single-threaded forward FFT: the reference implementation the
+    /// parallel path is property-tested (and benchmarked) against.
+    pub fn fft_in_place_serial(&self, values: &mut [F]) {
+        assert_eq!(values.len(), self.size, "FFT input must match domain size");
+        radix2_fft(values, &self.twiddles);
+    }
+
+    /// Single-threaded inverse FFT (reference implementation).
+    pub fn ifft_in_place_serial(&self, values: &mut [F]) {
+        assert_eq!(values.len(), self.size, "iFFT input must match domain size");
+        radix2_fft(values, &self.inv_twiddles);
         for v in values.iter_mut() {
             *v *= self.size_inv;
         }
@@ -95,7 +160,7 @@ impl<F: PrimeField> EvaluationDomain<F> {
 
     /// Forward FFT over the coset `shift * H`.
     pub fn coset_fft_in_place(&self, values: &mut [F]) {
-        Self::distribute_powers(values, self.coset_shift);
+        self.distribute_powers(values, self.coset_shift);
         self.fft_in_place(values);
     }
 
@@ -103,7 +168,7 @@ impl<F: PrimeField> EvaluationDomain<F> {
     pub fn coset_ifft_in_place(&self, values: &mut [F]) {
         self.ifft_in_place(values);
         let shift_inv = self.coset_shift.inverse().expect("coset shift is non-zero");
-        Self::distribute_powers(values, shift_inv);
+        self.distribute_powers(values, shift_inv);
     }
 
     /// Evaluates the vanishing polynomial on the coset `shift * H`, where it
@@ -150,45 +215,146 @@ impl<F: PrimeField> EvaluationDomain<F> {
         vals
     }
 
-    fn distribute_powers(values: &mut [F], g: F) {
-        let mut pow = F::one();
-        for v in values.iter_mut() {
-            *v *= pow;
-            pow *= g;
+    /// Multiplies `values[i]` by `g^i`, in parallel for large inputs (each
+    /// chunk starts from `g^offset` and runs its own running product).
+    fn distribute_powers(&self, values: &mut [F], g: F) {
+        for_chunks_mut(values, PAR_CHUNK_MIN, num_threads(), |offset, chunk| {
+            let mut pow = g.pow(&[offset as u64]);
+            for v in chunk.iter_mut() {
+                *v *= pow;
+                pow *= g;
+            }
+        });
+    }
+}
+
+/// `[1, g, g^2, ..., g^{len-1}]`.
+fn power_table<F: PrimeField>(g: F, len: usize) -> Vec<F> {
+    let mut out = Vec::with_capacity(len);
+    let mut cur = F::one();
+    for _ in 0..len {
+        out.push(cur);
+        cur *= g;
+    }
+    out
+}
+
+/// In-place bit-reversal permutation.
+fn bit_reverse<F>(values: &mut [F]) {
+    let n = values.len() as u64;
+    if n <= 1 {
+        return; // also avoids the 64-bit shift below overflowing
+    }
+    let log_n = n.trailing_zeros();
+    for i in 0..n {
+        let r = i.reverse_bits() >> (64 - log_n);
+        if i < r {
+            values.swap(i as usize, r as usize);
         }
     }
+}
 
-    /// Iterative in-place Cooley-Tukey radix-2 FFT.
-    fn radix2_fft(values: &mut [F], omega: F) {
-        let n = values.len();
-        let log_n = n.trailing_zeros();
-        debug_assert_eq!(1 << log_n, n);
+/// One stage's worth of butterflies over paired slices: `lo[j]`/`hi[j]`
+/// combine with twiddle `twiddles[(j0 + j) * stride]`.
+fn butterflies<F: PrimeField>(
+    lo: &mut [F],
+    hi: &mut [F],
+    twiddles: &[F],
+    stride: usize,
+    j0: usize,
+) {
+    for (j, (l, h)) in lo.iter_mut().zip(hi.iter_mut()).enumerate() {
+        let t = *h * twiddles[(j0 + j) * stride];
+        let u = *l;
+        *l = u + t;
+        *h = u - t;
+    }
+}
 
-        // bit-reversal permutation
-        for i in 0..n as u64 {
-            let r = i.reverse_bits() >> (64 - log_n);
-            if i < r {
-                values.swap(i as usize, r as usize);
-            }
+/// Iterative in-place Cooley-Tukey radix-2 FFT driven by a precomputed
+/// twiddle table (`twiddles[j] = omega^j`, `values.len() / 2` entries):
+/// one multiplication per butterfly, no per-stage root recomputation.
+fn radix2_fft<F: PrimeField>(values: &mut [F], twiddles: &[F]) {
+    let n = values.len();
+    let log_n = n.trailing_zeros();
+    debug_assert_eq!(1 << log_n, n);
+    debug_assert_eq!(twiddles.len(), n / 2);
+
+    bit_reverse(values);
+    let mut m = 1usize;
+    for _ in 0..log_n {
+        let stride = n / (2 * m);
+        for block in values.chunks_mut(2 * m) {
+            let (lo, hi) = block.split_at_mut(m);
+            butterflies(lo, hi, twiddles, stride, 0);
         }
+        m *= 2;
+    }
+}
 
-        let mut m = 1usize;
-        for _ in 0..log_n {
-            let w_m = omega.pow(&[(n / (2 * m)) as u64]);
-            let mut k = 0;
-            while k < n {
-                let mut w = F::one();
-                for j in 0..m {
-                    let t = values[k + j + m] * w;
-                    let u = values[k + j];
-                    values[k + j] = u + t;
-                    values[k + j + m] = u - t;
-                    w *= w_m;
+/// Parallel radix-2 FFT. Two phases after the bit-reversal permutation:
+///
+/// 1. stages whose blocks fit inside one contiguous chunk run fully local
+///    to a worker thread (no synchronisation between stages);
+/// 2. the remaining `log2(chunks)` cross-chunk stages split every block's
+///    butterfly range across the workers, one scope per stage.
+///
+/// Identical arithmetic to [`radix2_fft`] — field addition is exact, so
+/// results are bit-equal regardless of thread count.
+fn parallel_radix2_fft<F: PrimeField>(values: &mut [F], twiddles: &[F], threads: usize) {
+    let n = values.len();
+    // Power-of-two chunk count, at least two local stages per chunk.
+    let chunks = threads
+        .next_power_of_two()
+        .min(n / PAR_FFT_MIN.min(n / 2).max(1))
+        .max(1);
+    if chunks <= 1 {
+        radix2_fft(values, twiddles);
+        return;
+    }
+    let chunk_len = n / chunks;
+
+    bit_reverse(values);
+
+    // Phase 1: all stages with block size <= chunk_len, local per chunk.
+    crossbeam::thread::scope(|s| {
+        for chunk in values.chunks_mut(chunk_len) {
+            s.spawn(move |_| {
+                let mut m = 1usize;
+                while 2 * m <= chunk_len {
+                    let stride = n / (2 * m);
+                    for block in chunk.chunks_mut(2 * m) {
+                        let (lo, hi) = block.split_at_mut(m);
+                        butterflies(lo, hi, twiddles, stride, 0);
+                    }
+                    m *= 2;
                 }
-                k += 2 * m;
-            }
-            m *= 2;
+            });
         }
+    })
+    .expect("fft worker panicked");
+
+    // Phase 2: cross-chunk stages; split each block's butterflies.
+    let mut m = chunk_len;
+    while m < n {
+        let stride = n / (2 * m);
+        let num_blocks = n / (2 * m);
+        let pieces = (threads / num_blocks).max(1);
+        let piece_len = (m / pieces).max(1);
+        crossbeam::thread::scope(|s| {
+            for block in values.chunks_mut(2 * m) {
+                let (lo, hi) = block.split_at_mut(m);
+                for (pi, (lp, hp)) in lo
+                    .chunks_mut(piece_len)
+                    .zip(hi.chunks_mut(piece_len))
+                    .enumerate()
+                {
+                    s.spawn(move |_| butterflies(lp, hp, twiddles, stride, pi * piece_len));
+                }
+            }
+        })
+        .expect("fft worker panicked");
+        m *= 2;
     }
 }
 
@@ -210,6 +376,66 @@ mod tests {
         assert_eq!(EvaluationDomain::<Fr>::new(17).unwrap().size(), 32);
         // The field supports 2^32; anything above that must fail.
         assert!(EvaluationDomain::<Fr>::new(1usize << 33).is_none());
+    }
+
+    #[test]
+    fn element_is_constant_time_table_lookup() {
+        for n in [1usize, 2, 8, 32, 64] {
+            let domain = EvaluationDomain::<Fr>::new(n).unwrap();
+            for i in 0..domain.size() {
+                assert_eq!(
+                    domain.element(i),
+                    domain.group_gen.pow(&[i as u64]),
+                    "n={n} i={i}"
+                );
+            }
+            // Indices wrap around the domain (w^n = 1).
+            assert_eq!(
+                domain.element(domain.size() + 3),
+                domain.element(3 % domain.size())
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_fft_matches_serial_bit_for_bit() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for log_n in [6usize, 9, 13] {
+            let n = 1usize << log_n;
+            let domain = EvaluationDomain::<Fr>::new(n).unwrap();
+            let original: Vec<Fr> = (0..n).map(|_| Fr::random(&mut rng)).collect();
+
+            let mut serial = original.clone();
+            domain.fft_in_place_serial(&mut serial);
+            for threads in [2usize, 3, 8] {
+                let mut par = original.clone();
+                parallel_radix2_fft(&mut par, &domain.twiddles, threads);
+                assert_eq!(par, serial, "fft log_n={log_n} threads={threads}");
+            }
+            // The dispatching entry point agrees regardless of which path
+            // it takes on this machine.
+            let mut v = original.clone();
+            domain.fft_in_place(&mut v);
+            assert_eq!(v, serial);
+
+            let mut iserial = original.clone();
+            domain.ifft_in_place_serial(&mut iserial);
+            let mut ipar = original.clone();
+            parallel_radix2_fft(&mut ipar, &domain.inv_twiddles, 4);
+            for x in ipar.iter_mut() {
+                *x *= domain.size_inv;
+            }
+            assert_eq!(ipar, iserial, "ifft log_n={log_n}");
+        }
+    }
+
+    #[test]
+    fn size_one_domain_fft_is_identity() {
+        let domain = EvaluationDomain::<Fr>::new(1).unwrap();
+        let mut v = vec![Fr::from_u64(5)];
+        domain.fft_in_place(&mut v);
+        domain.ifft_in_place(&mut v);
+        assert_eq!(v, vec![Fr::from_u64(5)]);
     }
 
     #[test]

@@ -55,18 +55,29 @@ impl<F: Field> MultilinearPolynomial<F> {
         self.evals.iter().copied().sum()
     }
 
-    /// Fixes the **first** variable to `r`, halving the table.
+    /// Fixes the **first** variable to `r`, halving the table. The fold is
+    /// data-parallel (entry `i` of the result depends only on entries
+    /// `2i, 2i+1`), so large tables are split across worker threads; the
+    /// result is identical to the serial fold.
     ///
     /// After this call the polynomial has one fewer variable.
     pub fn fix_first_variable(&mut self, r: F) {
         assert!(self.num_vars > 0, "no variables left to fix");
         let half = self.evals.len() / 2;
-        let mut out = Vec::with_capacity(half);
-        for i in 0..half {
-            let a = self.evals[2 * i];
-            let b = self.evals[2 * i + 1];
-            out.push(a + (b - a) * r);
-        }
+        let mut out = vec![F::zero(); half];
+        let evals = &self.evals;
+        crate::par::for_chunks_mut(
+            &mut out,
+            1 << 12,
+            crate::par::num_threads(),
+            |off, chunk| {
+                for (k, o) in chunk.iter_mut().enumerate() {
+                    let a = evals[2 * (off + k)];
+                    let b = evals[2 * (off + k) + 1];
+                    *o = a + (b - a) * r;
+                }
+            },
+        );
         self.evals = out;
         self.num_vars -= 1;
     }

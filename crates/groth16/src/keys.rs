@@ -128,6 +128,10 @@ impl VerifyingKey {
 pub struct ProvingKey {
     /// The verification key (the prover embeds it in proofs' metadata).
     pub vk: VerifyingKey,
+    /// The QAP quotient domain (with its precomputed twiddle tables), built
+    /// once at setup so repeated proofs against this key skip the per-proof
+    /// domain construction.
+    pub h_domain: zkvc_ff::EvaluationDomain<Fr>,
     /// `[beta]_1`.
     pub beta_g1: G1Affine,
     /// `[delta]_1`.
@@ -250,6 +254,8 @@ pub fn setup<R: Rng + ?Sized>(
 
     let pk = ProvingKey {
         vk: vk.clone(),
+        h_domain: zkvc_qap::qap_domain::<Fr>(matrices.num_constraints())
+            .expect("constraint count exceeds the field's FFT capacity"),
         beta_g1,
         delta_g1,
         a_query,

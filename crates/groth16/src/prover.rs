@@ -10,7 +10,7 @@
 use rand::Rng;
 use zkvc_curve::msm;
 use zkvc_ff::{Field, Fr};
-use zkvc_qap::compute_h_coefficients;
+use zkvc_qap::compute_h_coefficients_in;
 use zkvc_r1cs::ConstraintSystem;
 
 use crate::keys::{Proof, ProvingKey};
@@ -32,8 +32,9 @@ pub fn prove<R: Rng + ?Sized>(pk: &ProvingKey, cs: &ConstraintSystem<Fr>, rng: &
     let matrices = cs.to_matrices();
     let z = cs.full_assignment();
 
-    // Quotient polynomial H(X).
-    let h = compute_h_coefficients(&matrices, &z);
+    // Quotient polynomial H(X), over the domain cached in the proving key
+    // (twiddle tables are built once per key, not once per proof).
+    let h = compute_h_coefficients_in(&pk.h_domain, &matrices, &z);
 
     // Zero-knowledge blinders.
     let r = Fr::random(rng);

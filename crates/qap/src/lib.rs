@@ -17,7 +17,8 @@
 //!   secret point `tau` (used by the trusted setup);
 //! * [`compute_h_coefficients`] — computes the quotient polynomial `H` from
 //!   a full assignment (used by the prover), via coset FFTs in
-//!   `O(d log d)` time.
+//!   `O(d log d)` time; [`compute_h_coefficients_in`] is the same against a
+//!   caller-cached [`EvaluationDomain`] (no per-proof twiddle rebuild).
 
 #![warn(missing_docs)]
 
@@ -102,13 +103,37 @@ pub fn evaluate_qap_at_point<F: PrimeField>(
 /// the assignment does not satisfy the R1CS (the division would not be
 /// exact). Use [`R1csMatrices::is_satisfied`] first when unsure.
 pub fn compute_h_coefficients<F: PrimeField>(matrices: &R1csMatrices<F>, z: &[F]) -> Vec<F> {
+    let domain = qap_domain::<F>(matrices.num_constraints())
+        .expect("constraint count exceeds the field's FFT capacity");
+    compute_h_coefficients_in(&domain, matrices, z)
+}
+
+/// [`compute_h_coefficients`] against a caller-supplied domain, so a prover
+/// that proves many statements of one shape (e.g. through the runtime's key
+/// cache) builds the domain — and its twiddle tables — once instead of per
+/// proof. The Groth16 `ProvingKey` carries this domain.
+///
+/// # Panics
+/// Panics if `domain` is not the QAP domain for `matrices` (wrong size), in
+/// addition to the conditions on [`compute_h_coefficients`].
+pub fn compute_h_coefficients_in<F: PrimeField>(
+    domain: &EvaluationDomain<F>,
+    matrices: &R1csMatrices<F>,
+    z: &[F],
+) -> Vec<F> {
     assert_eq!(
         z.len(),
         matrices.num_variables(),
         "assignment length must match the R1CS variable count"
     );
-    let domain = qap_domain::<F>(matrices.num_constraints())
-        .expect("constraint count exceeds the field's FFT capacity");
+    // The expected size is computed arithmetically — building a throwaway
+    // domain here would re-pay the twiddle tables this function exists to
+    // avoid.
+    assert_eq!(
+        domain.size(),
+        matrices.num_constraints().max(2).next_power_of_two(),
+        "domain does not match the R1CS constraint count"
+    );
     let d = domain.size();
 
     // Evaluations of A(X), B(X), C(X) over the domain: entry j is <M_j, z>.

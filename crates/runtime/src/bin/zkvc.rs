@@ -15,7 +15,8 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use zkvc_runtime::{
-    build_statement, prove_batch_serial, JobSpec, KeyCache, ProofEnvelope, ProvingPool,
+    build_statement, circuit_shape_digest, prove_batch_serial, DiskKeyCache, JobSpec, KeyCache,
+    ProofEnvelope, ProvingPool,
 };
 
 const USAGE: &str = "\
@@ -23,8 +24,8 @@ zkvc - concurrent batch proving for the zkVC stack
 
 USAGE:
     zkvc prove-batch --spec SPEC [--spec SPEC ...] [OPTIONS]
-    zkvc prove  --spec SPEC [--seed N] --out FILE
-    zkvc verify --in FILE --spec SPEC [--seed N]
+    zkvc prove  --spec SPEC [--seed N] [--key-cache DIR|none] --out FILE
+    zkvc verify --in FILE --spec SPEC [--seed N] [--key-cache DIR|none]
     zkvc help
 
 SPEC grammar:
@@ -37,6 +38,13 @@ OPTIONS (prove-batch):
     --workers K        worker threads (default: available parallelism)
     --seed N           determinism seed (default 0); same seed => same proofs
     --compare-serial   also run N independent one-shot proves and report the speedup
+
+OPTIONS (prove / verify):
+    --key-cache DIR    persist/load groth16 verification keys under DIR so a
+                       repeat `zkvc verify` skips CRS re-derivation entirely.
+                       Default: $ZKVC_KEY_CACHE, else the user cache dir
+                       ($XDG_CACHE_HOME or ~/.cache)/zkvc/keys; disabled if
+                       neither exists. Pass `none` to disable.
 
 EXAMPLES:
     zkvc prove-batch --spec 8x8x16:crpc+psq:groth16:x8 --workers 4 --compare-serial
@@ -172,8 +180,33 @@ fn cmd_prove_batch(args: &[String]) -> Result<bool, String> {
     Ok(report.all_verified())
 }
 
+/// Resolves the `--key-cache` flag: explicit directory, `none` to disable,
+/// or the default — `$ZKVC_KEY_CACHE`, else a *user-owned* cache directory
+/// (`$XDG_CACHE_HOME/zkvc/keys` or `$HOME/.cache/zkvc/keys`). Verification
+/// trusts whatever key the cache returns for a digest, so the default must
+/// never point at a world-writable location like the shared OS temp dir
+/// (another user could plant a well-formed vk + matching forged proof at
+/// the predictable path). With no home directory the cache is disabled.
+fn key_cache_from_args(args: &[String]) -> Result<Option<DiskKeyCache>, String> {
+    match flag_value(args, "--key-cache")? {
+        Some("none") => Ok(None),
+        Some(dir) => Ok(Some(DiskKeyCache::new(dir))),
+        None => {
+            if let Some(dir) = std::env::var_os("ZKVC_KEY_CACHE") {
+                return Ok(Some(DiskKeyCache::new(dir)));
+            }
+            let base = std::env::var_os("XDG_CACHE_HOME")
+                .map(std::path::PathBuf::from)
+                .or_else(|| {
+                    std::env::var_os("HOME").map(|h| std::path::PathBuf::from(h).join(".cache"))
+                });
+            Ok(base.map(|b| DiskKeyCache::new(b.join("zkvc").join("keys"))))
+        }
+    }
+}
+
 fn cmd_prove(args: &[String]) -> Result<bool, String> {
-    reject_unknown_args(args, &["--spec", "--seed", "--out"], &[])?;
+    reject_unknown_args(args, &["--spec", "--seed", "--out", "--key-cache"], &[])?;
     let (specs, seed) = parse_common(args)?;
     let [spec] = specs[..] else {
         return Err("prove needs exactly one --spec (without :xCOUNT)".into());
@@ -184,6 +217,15 @@ fn cmd_prove(args: &[String]) -> Result<bool, String> {
     let statement = build_statement(seed, 0, &spec);
     let cache = KeyCache::with_seed(seed);
     let (keys, _) = cache.get_or_setup(spec.backend, &statement.cs);
+    // Seed the disk cache so a later `zkvc verify` starts warm.
+    if let (Some(disk), zkvc_core::VerifierKey::Groth16(vk)) =
+        (key_cache_from_args(args)?, &keys.verifier)
+    {
+        let digest = circuit_shape_digest(&statement.cs);
+        if let Err(e) = disk.store_groth16_vk(&digest, seed, vk) {
+            eprintln!("warning: could not persist vk to key cache: {e}");
+        }
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let t0 = Instant::now();
     let artifacts = spec
@@ -201,7 +243,7 @@ fn cmd_prove(args: &[String]) -> Result<bool, String> {
 }
 
 fn cmd_verify(args: &[String]) -> Result<bool, String> {
-    reject_unknown_args(args, &["--spec", "--seed", "--in"], &[])?;
+    reject_unknown_args(args, &["--spec", "--seed", "--in", "--key-cache"], &[])?;
     let (specs, seed) = parse_common(args)?;
     let [spec] = specs[..] else {
         return Err("verify needs exactly one --spec matching the one used to prove".into());
@@ -218,19 +260,60 @@ fn cmd_verify(args: &[String]) -> Result<bool, String> {
             spec.backend.name()
         ));
     }
-    // Re-derive the expected verifier key for the spec'd circuit shape
-    // (the CRS/preprocessing is deterministic in (seed, shape)) and verify
+    // Obtain the expected verifier key for the spec'd circuit shape (the
+    // CRS/preprocessing is deterministic in (seed, shape)) and verify
     // against it — never against the envelope's own embedded vk — so an
     // envelope built from some other circuit's setup fails even though it
-    // is internally consistent. Note the matmul circuits keep X/W/Y as
-    // witness variables (no public inputs), so this binds the proof to the
-    // circuit shape and key material, not to one specific input matrix;
-    // statement-level binding needs public outputs (see ROADMAP).
+    // is internally consistent. For Groth16 the key is loaded from the
+    // on-disk cache when available, making repeat verification
+    // O(pairing); on a miss the CRS is derived once and the vk persisted.
+    // Note the matmul circuits keep X/W/Y as witness variables (no public
+    // inputs), so this binds the proof to the circuit shape and key
+    // material, not to one specific input matrix; statement-level binding
+    // needs public outputs (see ROADMAP).
     let statement = build_statement(seed, 0, &spec);
-    let cache = KeyCache::with_seed(seed);
-    let (keys, _) = cache.get_or_setup(spec.backend, &statement.cs);
+    let digest = circuit_shape_digest(&statement.cs);
+    let disk = key_cache_from_args(args)?;
+
+    let t_key = Instant::now();
+    let mut key_source = "derived (no key cache)";
+    let verifier = if spec.backend == zkvc_core::Backend::Groth16 {
+        match disk.as_ref().and_then(|d| d.load_groth16_vk(&digest, seed)) {
+            Some(vk) => {
+                key_source = "disk cache hit";
+                zkvc_core::VerifierKey::Groth16(vk)
+            }
+            None => {
+                let cache = KeyCache::with_seed(seed);
+                let (keys, _) = cache.get_or_setup(spec.backend, &statement.cs);
+                if let (Some(d), zkvc_core::VerifierKey::Groth16(vk)) = (&disk, &keys.verifier) {
+                    if let Err(e) = d.store_groth16_vk(&digest, seed, vk) {
+                        eprintln!("warning: could not persist vk to key cache: {e}");
+                    } else {
+                        key_source = "disk cache miss (CRS derived, vk persisted)";
+                    }
+                }
+                keys.verifier.clone()
+            }
+        }
+    } else {
+        // Spartan preprocessing is transparent and derived from the
+        // circuit structure; nothing worth persisting.
+        let cache = KeyCache::with_seed(seed);
+        cache
+            .get_or_setup(spec.backend, &statement.cs)
+            .0
+            .verifier
+            .clone()
+    };
+    let key_time = t_key.elapsed();
+
     let t0 = Instant::now();
-    let ok = envelope.verify_with_key(&keys.verifier);
+    let ok = envelope.verify_with_key(&verifier);
+    println!(
+        "key material: {key_source} in {:.3}s",
+        key_time.as_secs_f64()
+    );
     println!(
         "verification: {} in {:.3}s",
         if ok { "OK" } else { "FAILED" },

@@ -146,6 +146,18 @@ impl KeyCache {
         seed
     }
 
+    /// A snapshot of every fully-initialised cache entry (entries whose
+    /// setup is still in flight on another thread are skipped). Used by the
+    /// pool to assemble the once-per-batch key table.
+    pub fn entries(&self) -> Vec<std::sync::Arc<CircuitKeys>> {
+        self.entries
+            .lock()
+            .expect("key cache poisoned")
+            .values()
+            .filter_map(|cell| cell.get().cloned())
+            .collect()
+    }
+
     /// Counters and current size.
     pub fn stats(&self) -> CacheStats {
         CacheStats {

@@ -10,6 +10,9 @@
 //!   [`ProverKey`](zkvc_core::ProverKey)/[`VerifierKey`](zkvc_core::VerifierKey)
 //!   across every job that proves that shape (Groth16 CRS and Spartan
 //!   preprocessing both amortise this way).
+//! * [`DiskKeyCache`] — persists Groth16 verification keys on disk keyed
+//!   by shape digest + setup seed, so repeat `zkvc verify` invocations skip
+//!   CRS re-derivation entirely (constant-pairing verification).
 //! * [`ProvingPool`] — a fixed set of worker threads draining an mpsc job
 //!   queue with `submit`/`join` semantics, per-job metrics
 //!   ([`JobResult`]) and aggregate throughput stats ([`BatchReport`]).
@@ -36,14 +39,16 @@
 
 mod cache;
 mod digest;
+mod disk;
 mod pool;
 mod serial;
 mod spec;
 
 pub use cache::{CacheStats, CircuitKeys, KeyCache};
 pub use digest::circuit_shape_digest;
+pub use disk::DiskKeyCache;
 pub use pool::{
-    build_statement, prove_batch, prove_batch_serial, BatchReport, JobResult, ProvingPool,
+    build_statement, prove_batch, prove_batch_serial, BatchKey, BatchReport, JobResult, ProvingPool,
 };
-pub use serial::ProofEnvelope;
+pub use serial::{EnvelopeProof, ProofEnvelope};
 pub use spec::{parse_backend, parse_strategy, strategy_token, JobSpec};

@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use zkvc_core::matmul::{MatMulBuilder, MatMulJob, ZSource};
+use zkvc_core::VerifierKey;
 use zkvc_hash::Transcript;
 
 use crate::cache::{CacheStats, KeyCache};
@@ -31,8 +32,9 @@ pub struct JobResult {
     pub id: usize,
     /// The spec the job ran.
     pub spec: JobSpec,
-    /// Serialised proof envelope (backend tag, public inputs, proof, and
-    /// for Groth16 the verification key).
+    /// Serialised proof envelope (backend tag, public inputs, proof).
+    /// Pool envelopes are keyless: Groth16 verification keys ship once per
+    /// batch in [`BatchReport::key_table`].
     pub proof_bytes: Vec<u8>,
     /// Whether the proof — after a bytes round trip — verified against the
     /// cached verifier key.
@@ -40,6 +42,9 @@ pub struct JobResult {
     /// Whether key material came from the cache (`false` exactly once per
     /// circuit shape per batch).
     pub cache_hit: bool,
+    /// Digest of the circuit shape this job proved (keys into
+    /// [`BatchReport::key_table`]).
+    pub shape_digest: [u8; 32],
     /// Time from submission until a worker picked the job up.
     pub queue_wait: Duration,
     /// Circuit synthesis time (witness generation included).
@@ -50,6 +55,18 @@ pub struct JobResult {
     pub verify_time: Duration,
     /// R1CS constraints proved.
     pub num_constraints: usize,
+}
+
+/// One entry of a batch's out-of-band key table: the verification key for
+/// every distinct Groth16 circuit shape the batch proved, shipped once per
+/// batch instead of embedded in every proof envelope (~330 B per proof).
+#[derive(Clone, Debug)]
+pub struct BatchKey {
+    /// Circuit-shape digest the key belongs to.
+    pub digest: [u8; 32],
+    /// Serialised Groth16 verification key
+    /// ([`zkvc_groth16::VerifyingKey::to_bytes`]).
+    pub vk_bytes: Vec<u8>,
 }
 
 /// Aggregate outcome of a batch run.
@@ -63,6 +80,11 @@ pub struct BatchReport {
     pub workers: usize,
     /// Key-cache counters at the end of the batch.
     pub cache: CacheStats,
+    /// Groth16 verification keys for the batch's circuit shapes: job
+    /// envelopes are keyless, so a consumer verifies them against this
+    /// table (Spartan preprocessing is derived from the circuit structure
+    /// and has no wire form).
+    pub key_table: Vec<BatchKey>,
 }
 
 impl BatchReport {
@@ -151,6 +173,15 @@ impl BatchReport {
             self.cache.hit_rate() * 100.0,
             self.cache.entries
         );
+        if !self.key_table.is_empty() {
+            let total: usize = self.key_table.iter().map(|k| k.vk_bytes.len()).sum();
+            let _ = writeln!(
+                out,
+                "key table: {} groth16 vk(s), {} B shipped once per batch (job envelopes are keyless)",
+                self.key_table.len(),
+                total
+            );
+        }
         if (self.cache.hit_rate() - self.cache_hit_rate()).abs() > 1e-9 {
             let _ = writeln!(
                 out,
@@ -267,11 +298,30 @@ impl ProvingPool {
         }
         let mut results = std::mem::take(&mut *self.results.lock().expect("results poisoned"));
         results.sort_by_key(|r| r.id);
+        // Only the shapes this batch actually proved: a shared or
+        // pre-warmed cache may hold keys for unrelated shapes, which must
+        // not leak into this report's table.
+        let batch_digests: std::collections::HashSet<[u8; 32]> =
+            results.iter().map(|r| r.shape_digest).collect();
+        let key_table = self
+            .cache
+            .entries()
+            .iter()
+            .filter(|entry| batch_digests.contains(&entry.digest))
+            .filter_map(|entry| match &entry.verifier {
+                VerifierKey::Groth16(vk) => Some(BatchKey {
+                    digest: entry.digest,
+                    vk_bytes: vk.to_bytes(),
+                }),
+                VerifierKey::Spartan(_) => None,
+            })
+            .collect();
         BatchReport {
             wall_time: self.started.elapsed(),
             workers: self.workers,
             cache: self.cache.stats(),
             results,
+            key_table,
         }
     }
 }
@@ -341,8 +391,12 @@ fn run_job(job: QueuedJob, seed: u64, cache: &KeyCache) -> JobResult {
     let prove_time = t1.elapsed();
     let num_constraints = artifacts.metrics.num_constraints;
 
-    // Cross the byte boundary before verifying, as a remote consumer would.
-    let proof_bytes = ProofEnvelope::from_artifacts(&artifacts).to_bytes();
+    // Cross the byte boundary before verifying, as a remote consumer
+    // would. Pool envelopes are keyless: the Groth16 vk ships once per
+    // batch in the report's key table, not once per proof.
+    let proof_bytes = ProofEnvelope::from_artifacts(&artifacts)
+        .without_vk()
+        .to_bytes();
     let t2 = Instant::now();
     let verified = match ProofEnvelope::from_bytes(&proof_bytes) {
         Some(envelope) => envelope.verify_with_key(&keys.verifier),
@@ -356,6 +410,7 @@ fn run_job(job: QueuedJob, seed: u64, cache: &KeyCache) -> JobResult {
         proof_bytes,
         verified,
         cache_hit,
+        shape_digest: keys.digest,
         queue_wait,
         build_time,
         prove_time,
@@ -399,6 +454,7 @@ pub fn prove_batch_serial(specs: &[JobSpec], seed: u64) -> BatchReport {
             proof_bytes,
             verified,
             cache_hit: false,
+            shape_digest: crate::digest::circuit_shape_digest(&statement.cs),
             queue_wait: Duration::ZERO,
             build_time,
             // One-shot proving pays setup every time; count it as part of
@@ -414,6 +470,8 @@ pub fn prove_batch_serial(specs: &[JobSpec], seed: u64) -> BatchReport {
         workers: 1,
         cache: CacheStats::default(),
         results,
+        // One-shot envelopes embed their vk, so there is no key table.
+        key_table: Vec::new(),
     }
 }
 

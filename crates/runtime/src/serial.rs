@@ -1,8 +1,14 @@
 //! A self-describing wire envelope for proofs produced by either backend:
-//! backend tag, public inputs, and the backend-specific proof material
-//! (including the Groth16 verification key, so Groth16 envelopes verify
-//! without any other context). This is the format the `zkvc` CLI writes to
-//! disk and the proving pool uses to shuttle proofs across threads.
+//! backend tag, public inputs, and the backend-specific proof material.
+//!
+//! Groth16 envelopes can travel in two forms: *self-contained* (the
+//! verification key embedded, ~330 bytes of overhead, decodable-and-
+//! verifiable with no other context — what `zkvc prove` writes to disk) or
+//! *keyless* (proof + publics only — what the proving pool ships per job,
+//! with the vk carried once per batch in the
+//! [`BatchReport::key_table`](crate::BatchReport) instead of once per
+//! proof). Keyed verification ([`ProofEnvelope::verify_with_key`]) never
+//! trusts an embedded vk, so the keyless form loses nothing on that path.
 
 use std::time::Duration;
 
@@ -19,26 +25,76 @@ const MAGIC: &[u8; 8] = b"ZKVCPRF1";
 /// Backend tags on the wire.
 const TAG_GROTH16: u8 = 1;
 const TAG_SPARTAN: u8 = 2;
+const TAG_GROTH16_KEYLESS: u8 = 3;
 
-/// A decoded proof envelope: everything a verifier needs except (for
-/// Spartan) the circuit structure itself.
+/// The proof material carried by an envelope.
+#[allow(clippy::large_enum_variant)] // heap-dominated either way
+#[derive(Clone, Debug)]
+pub enum EnvelopeProof {
+    /// A Groth16 proof, optionally with its verification key embedded.
+    Groth16 {
+        /// The verification key, present only in self-contained envelopes.
+        vk: Option<groth16::VerifyingKey>,
+        /// The proof.
+        proof: groth16::Proof,
+    },
+    /// A Spartan-style proof (the verifier re-derives its preprocessing
+    /// from the circuit structure).
+    Spartan {
+        /// The proof.
+        proof: Box<SpartanProof>,
+    },
+}
+
+/// A decoded proof envelope: everything a verifier needs except the
+/// verifier key material when the envelope is keyless (Groth16) or
+/// structure-derived (Spartan).
 #[derive(Clone, Debug)]
 pub struct ProofEnvelope {
     /// Which backend produced the proof.
     pub backend: Backend,
     /// The public inputs the proof binds.
     pub public_inputs: Vec<Fr>,
-    /// The proof (plus, for Groth16, its verification key).
-    pub data: ProofData,
+    /// The proof (plus, for self-contained Groth16, its verification key).
+    pub proof: EnvelopeProof,
 }
 
 impl ProofEnvelope {
-    /// Wraps prover output for the wire.
+    /// Wraps prover output for the wire, embedding the Groth16 vk
+    /// (self-contained form).
     pub fn from_artifacts(artifacts: &ProofArtifacts) -> Self {
+        let proof = match &artifacts.data {
+            ProofData::Groth16 { vk, proof } => EnvelopeProof::Groth16 {
+                vk: Some(vk.clone()),
+                proof: proof.clone(),
+            },
+            ProofData::Spartan { proof } => EnvelopeProof::Spartan {
+                proof: proof.clone(),
+            },
+        };
         ProofEnvelope {
             backend: artifacts.metrics.backend,
             public_inputs: artifacts.public_inputs.clone(),
-            data: artifacts.data.clone(),
+            proof,
+        }
+    }
+
+    /// Drops the embedded Groth16 verification key (~330 bytes per proof),
+    /// for transports that carry the key out of band — the proving pool
+    /// ships it once per batch. No-op for Spartan envelopes.
+    pub fn without_vk(mut self) -> Self {
+        if let EnvelopeProof::Groth16 { vk, .. } = &mut self.proof {
+            *vk = None;
+        }
+        self
+    }
+
+    /// The embedded Groth16 verification key, if this is a self-contained
+    /// Groth16 envelope.
+    pub fn embedded_vk(&self) -> Option<&groth16::VerifyingKey> {
+        match &self.proof {
+            EnvelopeProof::Groth16 { vk, .. } => vk.as_ref(),
+            EnvelopeProof::Spartan { .. } => None,
         }
     }
 
@@ -50,15 +106,22 @@ impl ProofEnvelope {
         for v in &self.public_inputs {
             out.extend_from_slice(&v.to_bytes_le());
         }
-        match &self.data {
-            ProofData::Groth16 { vk, proof } => {
+        match &self.proof {
+            EnvelopeProof::Groth16 {
+                vk: Some(vk),
+                proof,
+            } => {
                 out.push(TAG_GROTH16);
                 let vk_bytes = vk.to_bytes();
                 out.extend_from_slice(&(vk_bytes.len() as u32).to_le_bytes());
                 out.extend_from_slice(&vk_bytes);
                 out.extend_from_slice(&proof.to_bytes());
             }
-            ProofData::Spartan { proof } => {
+            EnvelopeProof::Groth16 { vk: None, proof } => {
+                out.push(TAG_GROTH16_KEYLESS);
+                out.extend_from_slice(&proof.to_bytes());
+            }
+            EnvelopeProof::Spartan { proof } => {
                 out.push(TAG_SPARTAN);
                 out.extend_from_slice(&proof.to_bytes());
             }
@@ -87,19 +150,29 @@ impl ProofEnvelope {
         }
         let tag = *rest.get(pos)?;
         let payload = rest.get(pos + 1..)?;
-        let (backend, data) = match tag {
+        let (backend, proof) = match tag {
             TAG_GROTH16 => {
                 let len_bytes: [u8; 4] = payload.get(..4)?.try_into().ok()?;
                 let vk_len = u32::from_le_bytes(len_bytes) as usize;
                 let vk = groth16::VerifyingKey::from_bytes(payload.get(4..4 + vk_len)?)?;
                 let proof = groth16::Proof::from_bytes(payload.get(4 + vk_len..)?)?;
-                (Backend::Groth16, ProofData::Groth16 { vk, proof })
+                (
+                    Backend::Groth16,
+                    EnvelopeProof::Groth16 {
+                        vk: Some(vk),
+                        proof,
+                    },
+                )
+            }
+            TAG_GROTH16_KEYLESS => {
+                let proof = groth16::Proof::from_bytes(payload)?;
+                (Backend::Groth16, EnvelopeProof::Groth16 { vk: None, proof })
             }
             TAG_SPARTAN => {
                 let proof = SpartanProof::from_bytes(payload)?;
                 (
                     Backend::Spartan,
-                    ProofData::Spartan {
+                    EnvelopeProof::Spartan {
                         proof: Box::new(proof),
                     },
                 )
@@ -109,19 +182,20 @@ impl ProofEnvelope {
         Some(ProofEnvelope {
             backend,
             public_inputs,
-            data,
+            proof,
         })
     }
 
     /// Verifies against a prepared verifier key (both backends), ignoring
-    /// any key material embedded in the envelope itself. Borrows the
-    /// envelope — no copies on the per-job verify path.
+    /// any key material embedded in the envelope itself — so keyless and
+    /// self-contained envelopes verify identically here. Borrows the
+    /// envelope: no copies on the per-job verify path.
     pub fn verify_with_key(&self, key: &VerifierKey) -> bool {
-        match (&self.data, key) {
-            (ProofData::Groth16 { proof, .. }, VerifierKey::Groth16(vk)) => {
+        match (&self.proof, key) {
+            (EnvelopeProof::Groth16 { proof, .. }, VerifierKey::Groth16(vk)) => {
                 groth16::verify(vk, &self.public_inputs, proof)
             }
-            (ProofData::Spartan { proof }, VerifierKey::Spartan(verifier)) => {
+            (EnvelopeProof::Spartan { proof }, VerifierKey::Spartan(verifier)) => {
                 verifier.verify(&self.public_inputs, proof)
             }
             _ => false,
@@ -130,28 +204,44 @@ impl ProofEnvelope {
 
     /// Verifies against a circuit structure: Spartan preprocessing is
     /// re-derived from `cs`, while the Groth16 arm trusts the envelope's
-    /// embedded key (`cs` does not enter the pairing check). When the
-    /// expected key material is known, prefer [`Self::verify_with_key`],
-    /// which binds the proof to that key instead.
+    /// embedded key (`cs` does not enter the pairing check) and therefore
+    /// rejects keyless envelopes — there is nothing to check them against.
+    /// When the expected key material is known, prefer
+    /// [`Self::verify_with_key`], which binds the proof to that key.
     pub fn verify_cs(&self, cs: &ConstraintSystem<Fr>) -> bool {
-        match &self.data {
-            ProofData::Groth16 { vk, proof } => groth16::verify(vk, &self.public_inputs, proof),
-            ProofData::Spartan { proof } => {
+        match &self.proof {
+            EnvelopeProof::Groth16 {
+                vk: Some(vk),
+                proof,
+            } => groth16::verify(vk, &self.public_inputs, proof),
+            EnvelopeProof::Groth16 { vk: None, .. } => false,
+            EnvelopeProof::Spartan { proof } => {
                 zkvc_spartan::SpartanVerifier::preprocess(cs).verify(&self.public_inputs, proof)
             }
         }
     }
 
     /// Converts back into [`ProofArtifacts`] for the verification APIs.
-    /// Prover-side metrics do not cross the wire: the metrics field is
-    /// zeroed except for backend and serialised size.
-    pub fn into_artifacts(self) -> ProofArtifacts {
-        let proof_size_bytes = match &self.data {
-            ProofData::Groth16 { proof, .. } => proof.size_in_bytes(),
-            ProofData::Spartan { proof } => proof.size_in_bytes(),
+    /// Returns `None` for keyless Groth16 envelopes (the artifact format
+    /// requires the vk). Prover-side metrics do not cross the wire: the
+    /// metrics field is zeroed except for backend and serialised size.
+    pub fn into_artifacts(self) -> Option<ProofArtifacts> {
+        let (data, proof_size_bytes) = match self.proof {
+            EnvelopeProof::Groth16 {
+                vk: Some(vk),
+                proof,
+            } => {
+                let size = proof.size_in_bytes();
+                (ProofData::Groth16 { vk, proof }, size)
+            }
+            EnvelopeProof::Groth16 { vk: None, .. } => return None,
+            EnvelopeProof::Spartan { proof } => {
+                let size = proof.size_in_bytes();
+                (ProofData::Spartan { proof }, size)
+            }
         };
-        ProofArtifacts {
-            data: self.data,
+        Some(ProofArtifacts {
+            data,
             public_inputs: self.public_inputs,
             metrics: ProveMetrics {
                 backend: self.backend,
@@ -161,7 +251,7 @@ impl ProofEnvelope {
                 num_constraints: 0,
                 num_variables: 0,
             },
-        }
+        })
     }
 }
 
@@ -188,6 +278,44 @@ mod tests {
             // Stable re-encoding.
             assert_eq!(envelope.to_bytes(), bytes);
         }
+    }
+
+    #[test]
+    fn keyless_envelope_shrinks_and_verifies_with_key() {
+        use crate::cache::KeyCache;
+        let mut rng = StdRng::seed_from_u64(9);
+        let job = MatMulBuilder::new(2, 3, 2)
+            .strategy(Strategy::Vanilla)
+            .build_random(&mut rng);
+        let cache = KeyCache::new();
+        let (keys, _) = cache.get_or_setup(Backend::Groth16, &job.cs);
+        let artifacts = Backend::Groth16.prove_with_key(&keys.prover, &job.cs, &mut rng);
+
+        let full = ProofEnvelope::from_artifacts(&artifacts);
+        let full_bytes = full.to_bytes();
+        let keyless_bytes = full.clone().without_vk().to_bytes();
+        let saved = full_bytes.len() - keyless_bytes.len();
+        assert!(
+            saved >= 300,
+            "expected ~330B of vk dead weight, saved {saved}"
+        );
+
+        let decoded = ProofEnvelope::from_bytes(&keyless_bytes).expect("keyless decodes");
+        assert!(decoded.embedded_vk().is_none());
+        // Keyed verification is unaffected by the missing vk...
+        assert!(decoded.verify_with_key(&keys.verifier));
+        // ...while the self-verifying paths are (correctly) unavailable.
+        assert!(!decoded.verify_cs(&job.cs));
+        assert!(decoded.into_artifacts().is_none());
+        // The self-contained form still round-trips through artifacts.
+        assert!(full.clone().into_artifacts().is_some());
+        // Stable re-encoding of the keyless form.
+        assert_eq!(
+            ProofEnvelope::from_bytes(&keyless_bytes)
+                .unwrap()
+                .to_bytes(),
+            keyless_bytes
+        );
     }
 
     #[test]
@@ -238,5 +366,9 @@ mod tests {
         let tag_pos = 8 + 4 + 32 * artifacts.public_inputs.len();
         wrong_tag[tag_pos] = 9;
         assert!(ProofEnvelope::from_bytes(&wrong_tag).is_none());
+        // A truncated keyless Groth16 envelope is rejected too.
+        let g16 = Backend::Groth16.prove_cs(&job.cs, &mut rng);
+        let keyless = ProofEnvelope::from_artifacts(&g16).without_vk().to_bytes();
+        assert!(ProofEnvelope::from_bytes(&keyless[..keyless.len() - 1]).is_none());
     }
 }

@@ -61,13 +61,22 @@ fn serialized_proofs_verify_after_bytes_roundtrip_on_both_backends() {
         let report = prove_batch(&specs, 2, 17);
         assert!(report.all_verified(), "{backend:?}");
 
+        // Pool envelopes are keyless; the batch ships each distinct
+        // Groth16 vk exactly once in the report's key table.
+        if backend == Backend::Groth16 {
+            assert_eq!(report.key_table.len(), 1, "one shape, one vk");
+        } else {
+            assert!(
+                report.key_table.is_empty(),
+                "spartan keys have no wire form"
+            );
+        }
+
         for result in &report.results {
             // The pool already verified through the envelope; re-verify the
             // raw bytes on a fresh thread with no shared state except the
-            // bytes themselves (Groth16 carries its vk; Spartan re-derives
-            // preprocessing from the rebuilt circuit inside verify_cs in
-            // the pool, so here we just check the envelope decodes and the
-            // Groth16 path verifies standalone).
+            // bytes themselves plus (for Groth16) the batch key table, as a
+            // remote consumer of a batch would.
             let bytes = result.proof_bytes.clone();
             let decoded = std::thread::spawn(move || ProofEnvelope::from_bytes(&bytes))
                 .join()
@@ -76,26 +85,23 @@ fn serialized_proofs_verify_after_bytes_roundtrip_on_both_backends() {
             assert_eq!(envelope.backend, backend);
 
             // A flipped byte in the middle of the payload must never
-            // produce a valid envelope that still verifies (Groth16 is
-            // self-contained, so check end-to-end there).
+            // produce a valid envelope that still verifies (checked
+            // end-to-end on Groth16, whose key travels in the table).
             if backend == Backend::Groth16 {
-                let artifacts = envelope.clone().into_artifacts();
-                if let zkvc_core::backend::ProofData::Groth16 { vk, proof } = &artifacts.data {
-                    assert!(zkvc_groth16::verify(vk, &artifacts.public_inputs, proof));
-                }
+                assert!(
+                    envelope.embedded_vk().is_none(),
+                    "pool envelopes must not embed the vk"
+                );
+                let vk = zkvc_groth16::VerifyingKey::from_bytes(&report.key_table[0].vk_bytes)
+                    .expect("key table entry decodes");
+                let key = zkvc_core::VerifierKey::Groth16(vk);
+                assert!(envelope.verify_with_key(&key));
+
                 let mut tampered = result.proof_bytes.clone();
                 let mid = tampered.len() / 2;
                 tampered[mid] ^= 0x01;
                 if let Some(bad) = ProofEnvelope::from_bytes(&tampered) {
-                    let bad_artifacts = bad.into_artifacts();
-                    if let zkvc_core::backend::ProofData::Groth16 { vk, proof } =
-                        &bad_artifacts.data
-                    {
-                        assert!(
-                            !zkvc_groth16::verify(vk, &bad_artifacts.public_inputs, proof),
-                            "tampered envelope verified"
-                        );
-                    }
+                    assert!(!bad.verify_with_key(&key), "tampered envelope verified");
                 }
             }
         }

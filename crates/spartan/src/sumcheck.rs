@@ -63,6 +63,119 @@ fn interpolate_uni(evals: &[Fr], x: &Fr) -> Fr {
 
 use zkvc_ff::PrimeField;
 
+/// Below this many index pairs a parallel round evaluation is all spawn
+/// overhead.
+const PAR_ROUND_MIN: usize = 1 << 12;
+
+fn round_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits `0..half` across `threads` workers, runs `fold` on each range and
+/// sums the per-range partial vectors in range order. Field addition is
+/// exact (associative and commutative), so the result — and therefore the
+/// Fiat-Shamir transcript built from it — is bit-identical to a serial
+/// fold regardless of the thread count.
+fn parallel_fold_sum<const K: usize, F>(half: usize, threads: usize, fold: F) -> [Fr; K]
+where
+    F: Fn(core::ops::Range<usize>) -> [Fr; K] + Send + Sync,
+{
+    if half < PAR_ROUND_MIN || threads <= 1 {
+        return fold(0..half);
+    }
+    let chunk = half.div_ceil(threads);
+    let starts: Vec<usize> = (0..half).step_by(chunk).collect();
+    let mut partials = vec![[Fr::zero(); K]; starts.len()];
+    crossbeam::thread::scope(|s| {
+        for (slot, &start) in partials.iter_mut().zip(starts.iter()) {
+            let fold = &fold;
+            s.spawn(move |_| *slot = fold(start..(start + chunk).min(half)));
+        }
+    })
+    .expect("sumcheck fold worker panicked");
+    let mut total = [Fr::zero(); K];
+    for part in &partials {
+        for (t, v) in total.iter_mut().zip(part.iter()) {
+            *t += *v;
+        }
+    }
+    total
+}
+
+/// One round of the degree-2 sum-check: evaluations of the round polynomial
+/// at `t = 0, 1, 2`, accumulated chunk-parallel for large tables.
+fn quadratic_round_evals(
+    p: &MultilinearPolynomial<Fr>,
+    q: &MultilinearPolynomial<Fr>,
+    threads: usize,
+) -> [Fr; 3] {
+    let half = p.len() / 2;
+    let pe = p.evaluations();
+    let qe = q.evaluations();
+    parallel_fold_sum(half, threads, |range| {
+        let (mut e0, mut e1, mut e2) = (Fr::zero(), Fr::zero(), Fr::zero());
+        for i in range {
+            let p0 = pe[2 * i];
+            let p1 = pe[2 * i + 1];
+            let q0 = qe[2 * i];
+            let q1 = qe[2 * i + 1];
+            e0 += p0 * q0;
+            e1 += p1 * q1;
+            // evaluation at t=2: p(2) = 2*p1 - p0 (linear extrapolation)
+            let p2 = p1.double() - p0;
+            let q2 = q1.double() - q0;
+            e2 += p2 * q2;
+        }
+        [e0, e1, e2]
+    })
+}
+
+/// One round of the degree-3 sum-check: evaluations at `t = 0, 1, 2, 3`.
+fn cubic_round_evals(
+    e: &MultilinearPolynomial<Fr>,
+    a: &MultilinearPolynomial<Fr>,
+    b: &MultilinearPolynomial<Fr>,
+    c: &MultilinearPolynomial<Fr>,
+    threads: usize,
+) -> [Fr; 4] {
+    let half = e.len() / 2;
+    let (ee, ae, be, ce) = (
+        e.evaluations(),
+        a.evaluations(),
+        b.evaluations(),
+        c.evaluations(),
+    );
+    parallel_fold_sum(half, threads, |range| {
+        let mut evals = [Fr::zero(); 4];
+        for i in range {
+            let (e0, e1) = (ee[2 * i], ee[2 * i + 1]);
+            let (a0, a1) = (ae[2 * i], ae[2 * i + 1]);
+            let (b0, b1) = (be[2 * i], be[2 * i + 1]);
+            let (c0, c1) = (ce[2 * i], ce[2 * i + 1]);
+            // linear in t: v(t) = v0 + t*(v1 - v0)
+            let de = e1 - e0;
+            let da = a1 - a0;
+            let db = b1 - b0;
+            let dc = c1 - c0;
+            let mut et = e0;
+            let mut at = a0;
+            let mut bt = b0;
+            let mut ct = c0;
+            evals[0] += et * (at * bt - ct);
+            for item in evals.iter_mut().skip(1) {
+                et += de;
+                at += da;
+                bt += db;
+                ct += dc;
+                *item += et * (at * bt - ct);
+            }
+        }
+        evals
+    })
+}
+
 /// Proves `claim = sum_{x in {0,1}^v} P(x) * Q(x)`.
 ///
 /// Returns the proof, the challenge point and the final evaluations
@@ -73,6 +186,18 @@ pub fn prove_quadratic(
     q: &MultilinearPolynomial<Fr>,
     transcript: &mut Transcript,
 ) -> (SumcheckProof, Vec<Fr>, (Fr, Fr)) {
+    prove_quadratic_with_threads(claim, p, q, transcript, round_threads())
+}
+
+/// [`prove_quadratic`] with an explicit worker count (`1` forces the serial
+/// reference path; the tests assert transcript equality across counts).
+fn prove_quadratic_with_threads(
+    claim: &Fr,
+    p: &MultilinearPolynomial<Fr>,
+    q: &MultilinearPolynomial<Fr>,
+    transcript: &mut Transcript,
+    threads: usize,
+) -> (SumcheckProof, Vec<Fr>, (Fr, Fr)) {
     assert_eq!(p.num_vars(), q.num_vars(), "operand arity mismatch");
     let mut p = p.clone();
     let mut q = q.clone();
@@ -82,21 +207,7 @@ pub fn prove_quadratic(
     let mut claim = *claim;
 
     for _ in 0..num_vars {
-        let half = p.len() / 2;
-        let (mut e0, mut e1, mut e2) = (Fr::zero(), Fr::zero(), Fr::zero());
-        for i in 0..half {
-            let p0 = p.evaluations()[2 * i];
-            let p1 = p.evaluations()[2 * i + 1];
-            let q0 = q.evaluations()[2 * i];
-            let q1 = q.evaluations()[2 * i + 1];
-            e0 += p0 * q0;
-            e1 += p1 * q1;
-            // evaluation at t=2: p(2) = 2*p1 - p0 (linear extrapolation)
-            let p2 = p1.double() - p0;
-            let q2 = q1.double() - q0;
-            e2 += p2 * q2;
-        }
-        let evals = vec![e0, e1, e2];
+        let evals = quadratic_round_evals(&p, &q, threads).to_vec();
         transcript.append_fields(b"sumcheck round", &evals);
         let r = transcript.challenge_field(b"sumcheck challenge");
         claim = interpolate_uni(&evals, &r);
@@ -122,6 +233,21 @@ pub fn prove_cubic(
     c: &MultilinearPolynomial<Fr>,
     transcript: &mut Transcript,
 ) -> (SumcheckProof, Vec<Fr>, (Fr, Fr, Fr, Fr)) {
+    prove_cubic_with_threads(claim, e, a, b, c, transcript, round_threads())
+}
+
+/// [`prove_cubic`] with an explicit worker count (`1` forces the serial
+/// reference path; the tests assert transcript equality across counts).
+#[allow(clippy::too_many_arguments)]
+fn prove_cubic_with_threads(
+    claim: &Fr,
+    e: &MultilinearPolynomial<Fr>,
+    a: &MultilinearPolynomial<Fr>,
+    b: &MultilinearPolynomial<Fr>,
+    c: &MultilinearPolynomial<Fr>,
+    transcript: &mut Transcript,
+    threads: usize,
+) -> (SumcheckProof, Vec<Fr>, (Fr, Fr, Fr, Fr)) {
     let num_vars = e.num_vars();
     assert!(
         a.num_vars() == num_vars && b.num_vars() == num_vars && c.num_vars() == num_vars,
@@ -136,34 +262,7 @@ pub fn prove_cubic(
     let mut claim = *claim;
 
     for _ in 0..num_vars {
-        let half = e.len() / 2;
-        let mut evals = vec![Fr::zero(); 4]; // evaluations at t = 0,1,2,3
-        for i in 0..half {
-            let fetch = |m: &MultilinearPolynomial<Fr>| {
-                (m.evaluations()[2 * i], m.evaluations()[2 * i + 1])
-            };
-            let (e0, e1) = fetch(&e);
-            let (a0, a1) = fetch(&a);
-            let (b0, b1) = fetch(&b);
-            let (c0, c1) = fetch(&c);
-            // linear in t: v(t) = v0 + t*(v1 - v0)
-            let de = e1 - e0;
-            let da = a1 - a0;
-            let db = b1 - b0;
-            let dc = c1 - c0;
-            let mut et = e0;
-            let mut at = a0;
-            let mut bt = b0;
-            let mut ct = c0;
-            evals[0] += et * (at * bt - ct);
-            for item in evals.iter_mut().skip(1) {
-                et += de;
-                at += da;
-                bt += db;
-                ct += dc;
-                *item += et * (at * bt - ct);
-            }
-        }
+        let evals = cubic_round_evals(&e, &a, &b, &c, threads).to_vec();
         transcript.append_fields(b"sumcheck round", &evals);
         let r = transcript.challenge_field(b"sumcheck challenge");
         claim = interpolate_uni(&evals, &r);
@@ -313,6 +412,66 @@ mod tests {
         let (proof, _, _) = prove_quadratic(&claim, &p, &q, &mut tp);
         let mut tv = Transcript::new(b"t");
         assert!(verify(&(claim + Fr::one()), 3, 2, &proof, &mut tv).is_none());
+    }
+
+    #[test]
+    fn parallel_sumcheck_transcript_matches_serial_byte_for_byte() {
+        // Table large enough that the chunked fold actually engages
+        // (half == PAR_ROUND_MIN); proofs, challenge points, final claims
+        // and the post-protocol transcript state must all be identical to
+        // the single-threaded reference.
+        let mut rng = StdRng::seed_from_u64(25);
+        let n = 2 * PAR_ROUND_MIN;
+        let log_n = n.trailing_zeros() as usize;
+        let p = random_mle(n, &mut rng);
+        let q = random_mle(n, &mut rng);
+        let claim: Fr = (0..n)
+            .map(|i| p.evaluations()[i] * q.evaluations()[i])
+            .sum();
+
+        let mut t_serial = Transcript::new(b"par");
+        let serial = prove_quadratic_with_threads(&claim, &p, &q, &mut t_serial, 1);
+        let serial_tail = t_serial.challenge_field(b"tail");
+        for threads in [2usize, 3, 8] {
+            let mut t_par = Transcript::new(b"par");
+            let par = prove_quadratic_with_threads(&claim, &p, &q, &mut t_par, threads);
+            assert_eq!(par.0, serial.0, "round polys, threads={threads}");
+            assert_eq!(par.1, serial.1, "challenge point");
+            assert_eq!(par.2, serial.2, "final evaluations");
+            assert_eq!(
+                t_par.challenge_field(b"tail"),
+                serial_tail,
+                "transcript state diverged (threads={threads})"
+            );
+        }
+        let mut tv = Transcript::new(b"par");
+        assert!(verify(&claim, log_n, 2, &serial.0, &mut tv).is_some());
+    }
+
+    #[test]
+    fn parallel_cubic_sumcheck_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(26);
+        let n = 2 * PAR_ROUND_MIN;
+        let e = random_mle(n, &mut rng);
+        let a = random_mle(n, &mut rng);
+        let b = random_mle(n, &mut rng);
+        let c = random_mle(n, &mut rng);
+        let claim: Fr = (0..n)
+            .map(|i| {
+                e.evaluations()[i] * (a.evaluations()[i] * b.evaluations()[i] - c.evaluations()[i])
+            })
+            .sum();
+        let mut t_serial = Transcript::new(b"cpar");
+        let serial = prove_cubic_with_threads(&claim, &e, &a, &b, &c, &mut t_serial, 1);
+        let mut t_par = Transcript::new(b"cpar");
+        let par = prove_cubic_with_threads(&claim, &e, &a, &b, &c, &mut t_par, 4);
+        assert_eq!(par.0, serial.0);
+        assert_eq!(par.1, serial.1);
+        assert_eq!(par.2, serial.2);
+        assert_eq!(
+            t_par.challenge_field(b"tail"),
+            t_serial.challenge_field(b"tail")
+        );
     }
 
     #[test]
