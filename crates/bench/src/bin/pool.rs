@@ -40,8 +40,8 @@ fn main() {
     // prove-batch CLI examples.
     let specs = vec![
         JobSpec::new(dims.0, dims.1, dims.2)
-            .strategy(Strategy::Vanilla)
-            .backend(Backend::Groth16);
+            .with_strategy(Strategy::Vanilla)
+            .with_backend(Backend::Groth16);
         jobs
     ];
 

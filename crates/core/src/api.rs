@@ -1,0 +1,528 @@
+//! The circuit-generic proving API: the [`Circuit`] and [`ProofSystem`]
+//! traits that decouple *what* is proved from *how* it is proved.
+//!
+//! Anything that can synthesise an R1CS with a witness — a matmul statement
+//! ([`MatMulJob`](crate::matmul::MatMulJob)), a whole Transformer forward
+//! pass (`zkvc_nn::ModelCircuit`), or a raw constraint system wrapped in
+//! [`RawCircuit`] — implements [`Circuit`] and can then be proved by any
+//! [`ProofSystem`]. The two systems built in this workspace are
+//! [`Groth16System`] (`zkVC-G`) and [`SpartanSystem`] (`zkVC-S`); the
+//! [`Backend`] enum remains as a thin dispatcher over them for callers
+//! that want a `Copy` value instead of a trait object.
+//!
+//! A circuit's **public outputs** are its instance assignment: the values a
+//! proof *binds*. A circuit with no instance variables (e.g. a matmul with
+//! X, W and Y all private) only commits to its shape — any honest proof for
+//! the same shape verifies interchangeably. Exposing outputs as public
+//! inputs (see `MatMulBuilder::public_outputs`) upgrades that to
+//! statement-level binding: a proof replayed against different claimed
+//! outputs fails verification.
+//!
+//! ```rust
+//! use zkvc_core::api::{Circuit, ProofSystem};
+//! use zkvc_core::matmul::{MatMulBuilder, Strategy};
+//! use zkvc_core::Backend;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let x = vec![vec![1i64, 2], vec![3, 4]];
+//! let w = vec![vec![5i64, 6], vec![7, 8]];
+//! let job = MatMulBuilder::new(2, 2, 2)
+//!     .strategy(Strategy::CrpcPsq)
+//!     .public_outputs(true)
+//!     .build_integers(&x, &w);
+//!
+//! // Pick a proof system at runtime; `job` is just a `Circuit`.
+//! let system: &dyn ProofSystem = Backend::Spartan.system();
+//! let (pk, vk) = system.setup(&job, &mut rng);
+//! let artifacts = system.prove(&pk, &job, &mut rng);
+//! assert!(system.verify(&vk, &artifacts));
+//!
+//! // The proof binds the public outputs: tampering with Y must fail.
+//! let mut tampered = artifacts.clone();
+//! tampered.public_inputs[0] += zkvc_ff::Fr::one();
+//! # use zkvc_ff::Field;
+//! assert!(!system.verify(&vk, &tampered));
+//! ```
+
+use std::time::Instant;
+
+use rand::RngCore;
+use zkvc_ff::{Fr, PrimeField};
+use zkvc_groth16 as groth16;
+use zkvc_hash::Sha256;
+use zkvc_r1cs::{ConstraintSystem, LinearCombination};
+use zkvc_spartan::{SpartanProver, SpartanVerifier};
+
+use crate::backend::{Backend, ProofArtifacts, ProofData, ProverKey, VerifierKey};
+
+/// A statement plus its witness, in the only form the proof systems need:
+/// a synthesised constraint system together with a canonical identity
+/// (shape digest) and the public outputs the statement binds.
+///
+/// Implementors typically hold the constraint system they built during
+/// synthesis; the trait only *reads* it, so one circuit value can be proved
+/// many times (or by several systems) without re-synthesising.
+pub trait Circuit {
+    /// The synthesised constraint system, witness included.
+    fn constraint_system(&self) -> &ConstraintSystem<Fr>;
+
+    /// Human-readable label for reports and diagnostics.
+    fn name(&self) -> String {
+        "r1cs".to_string()
+    }
+
+    /// The public outputs this statement binds — the circuit's instance
+    /// assignment, in allocation order. Empty for circuits that keep every
+    /// value private (shape-level binding only).
+    fn public_outputs(&self) -> Vec<Fr> {
+        self.constraint_system().instance_assignment().to_vec()
+    }
+
+    /// A collision-resistant fingerprint of the circuit *structure* (not
+    /// the assignment): the identity under which proving/verifying key
+    /// material is reusable. See [`circuit_shape_digest`].
+    fn shape_digest(&self) -> [u8; 32] {
+        circuit_shape_digest(self.constraint_system())
+    }
+}
+
+/// A raw constraint system viewed as a [`Circuit`], for callers that
+/// synthesise R1CS directly instead of going through a builder.
+#[derive(Clone, Debug)]
+pub struct RawCircuit<'a> {
+    cs: &'a ConstraintSystem<Fr>,
+    label: &'a str,
+}
+
+impl<'a> RawCircuit<'a> {
+    /// Wraps a constraint system with the default label.
+    pub fn new(cs: &'a ConstraintSystem<Fr>) -> Self {
+        RawCircuit { cs, label: "r1cs" }
+    }
+
+    /// Wraps a constraint system with a custom label.
+    pub fn named(cs: &'a ConstraintSystem<Fr>, label: &'a str) -> Self {
+        RawCircuit { cs, label }
+    }
+}
+
+impl Circuit for RawCircuit<'_> {
+    fn constraint_system(&self) -> &ConstraintSystem<Fr> {
+        self.cs
+    }
+
+    fn name(&self) -> String {
+        self.label.to_string()
+    }
+}
+
+/// A zero-knowledge proof system that can prove and verify any [`Circuit`]:
+/// per-shape `setup`, per-statement `prove`, and `verify` against prepared
+/// key material.
+///
+/// The trait is object-safe — the runtime's pool, cache and CLI all work
+/// with `&dyn ProofSystem` — which is why randomness arrives as
+/// `&mut dyn RngCore` rather than a generic parameter.
+pub trait ProofSystem: Send + Sync {
+    /// The [`Backend`] tag this system dispatches as.
+    fn backend(&self) -> Backend;
+
+    /// Short system name ("groth16", "spartan").
+    fn name(&self) -> &'static str {
+        self.backend().name()
+    }
+
+    /// Runs the per-circuit-shape setup: CRS generation for Groth16,
+    /// transparent preprocessing for Spartan. Only the constraint
+    /// *structure* of the circuit matters; the returned keys prove and
+    /// verify any statement with an identical shape.
+    fn setup(&self, circuit: &dyn Circuit, rng: &mut dyn RngCore) -> (ProverKey, VerifierKey);
+
+    /// Proves the circuit's witness against a key prepared by
+    /// [`ProofSystem::setup`] for the same shape. The returned metrics
+    /// report zero setup time (the key is assumed amortised).
+    ///
+    /// # Panics
+    /// Panics if the key belongs to a different proof system.
+    fn prove(
+        &self,
+        key: &ProverKey,
+        circuit: &dyn Circuit,
+        rng: &mut dyn RngCore,
+    ) -> ProofArtifacts;
+
+    /// Verifies artifacts against a key prepared by [`ProofSystem::setup`].
+    /// Returns `false` (rather than panicking) on key/proof mismatch.
+    fn verify(&self, key: &VerifierKey, artifacts: &ProofArtifacts) -> bool;
+
+    /// Verifies against the circuit structure without prepared keys:
+    /// Spartan re-derives its preprocessing from the constraint system,
+    /// while Groth16 trusts the verification key embedded in the artifacts.
+    /// When the expected key material is known, prefer
+    /// [`ProofSystem::verify`], which binds the proof to that key.
+    fn verify_with_circuit(&self, circuit: &dyn Circuit, artifacts: &ProofArtifacts) -> bool;
+
+    /// One-shot setup + prove, with the setup time recorded in the metrics.
+    fn prove_oneshot(&self, circuit: &dyn Circuit, rng: &mut dyn RngCore) -> ProofArtifacts {
+        let t0 = Instant::now();
+        let (pk, _vk) = self.setup(circuit, rng);
+        let setup_time = t0.elapsed();
+        let mut artifacts = self.prove(&pk, circuit, rng);
+        artifacts.metrics.setup_time = setup_time;
+        artifacts
+    }
+}
+
+/// The Groth16 proof system (`zkVC-G`): constant proof size and pairing
+/// verification, per-circuit trusted setup.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Groth16System;
+
+/// The Spartan-style transparent proof system (`zkVC-S`): no trusted setup,
+/// logarithmic-size proofs.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct SpartanSystem;
+
+/// The static [`Groth16System`] instance [`Backend::system`] dispatches to.
+pub static GROTH16: Groth16System = Groth16System;
+
+/// The static [`SpartanSystem`] instance [`Backend::system`] dispatches to.
+pub static SPARTAN: SpartanSystem = SpartanSystem;
+
+fn artifacts_from(
+    data: ProofData,
+    proof_size_bytes: usize,
+    backend: Backend,
+    cs: &ConstraintSystem<Fr>,
+    prove_time: std::time::Duration,
+) -> ProofArtifacts {
+    ProofArtifacts {
+        data,
+        public_inputs: cs.instance_assignment().to_vec(),
+        metrics: crate::backend::ProveMetrics {
+            backend,
+            setup_time: std::time::Duration::ZERO,
+            prove_time,
+            proof_size_bytes,
+            num_constraints: cs.num_constraints(),
+            num_variables: cs.num_variables(),
+        },
+    }
+}
+
+impl ProofSystem for Groth16System {
+    fn backend(&self) -> Backend {
+        Backend::Groth16
+    }
+
+    fn setup(&self, circuit: &dyn Circuit, rng: &mut dyn RngCore) -> (ProverKey, VerifierKey) {
+        let (pk, vk) = groth16::setup(circuit.constraint_system(), rng);
+        (ProverKey::Groth16(pk), VerifierKey::Groth16(vk))
+    }
+
+    fn prove(
+        &self,
+        key: &ProverKey,
+        circuit: &dyn Circuit,
+        rng: &mut dyn RngCore,
+    ) -> ProofArtifacts {
+        let ProverKey::Groth16(pk) = key else {
+            panic!(
+                "backend/key mismatch: Groth16 cannot prove with a {:?} key",
+                key.backend()
+            );
+        };
+        let cs = circuit.constraint_system();
+        let t0 = Instant::now();
+        let proof = groth16::prove(pk, cs, rng);
+        let prove_time = t0.elapsed();
+        let size = proof.size_in_bytes();
+        artifacts_from(
+            ProofData::Groth16 {
+                vk: pk.vk.clone(),
+                proof,
+            },
+            size,
+            Backend::Groth16,
+            cs,
+            prove_time,
+        )
+    }
+
+    fn verify(&self, key: &VerifierKey, artifacts: &ProofArtifacts) -> bool {
+        match (key, &artifacts.data) {
+            (VerifierKey::Groth16(vk), ProofData::Groth16 { proof, .. }) => {
+                groth16::verify(vk, &artifacts.public_inputs, proof)
+            }
+            _ => false,
+        }
+    }
+
+    fn verify_with_circuit(&self, _circuit: &dyn Circuit, artifacts: &ProofArtifacts) -> bool {
+        match &artifacts.data {
+            ProofData::Groth16 { vk, proof } => {
+                groth16::verify(vk, &artifacts.public_inputs, proof)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl ProofSystem for SpartanSystem {
+    fn backend(&self) -> Backend {
+        Backend::Spartan
+    }
+
+    fn setup(&self, circuit: &dyn Circuit, _rng: &mut dyn RngCore) -> (ProverKey, VerifierKey) {
+        // Preprocess once; the verifier reuses the prover's instance
+        // instead of re-deriving it from the constraint system.
+        let prover = SpartanProver::preprocess(circuit.constraint_system());
+        let verifier = prover.to_verifier();
+        (ProverKey::Spartan(prover), VerifierKey::Spartan(verifier))
+    }
+
+    fn prove(
+        &self,
+        key: &ProverKey,
+        circuit: &dyn Circuit,
+        rng: &mut dyn RngCore,
+    ) -> ProofArtifacts {
+        let ProverKey::Spartan(prover) = key else {
+            panic!(
+                "backend/key mismatch: Spartan cannot prove with a {:?} key",
+                key.backend()
+            );
+        };
+        let cs = circuit.constraint_system();
+        let t0 = Instant::now();
+        let proof = prover.prove(cs, rng);
+        let prove_time = t0.elapsed();
+        let size = proof.size_in_bytes();
+        artifacts_from(
+            ProofData::Spartan {
+                proof: Box::new(proof),
+            },
+            size,
+            Backend::Spartan,
+            cs,
+            prove_time,
+        )
+    }
+
+    fn verify(&self, key: &VerifierKey, artifacts: &ProofArtifacts) -> bool {
+        match (key, &artifacts.data) {
+            (VerifierKey::Spartan(verifier), ProofData::Spartan { proof }) => {
+                verifier.verify(&artifacts.public_inputs, proof)
+            }
+            _ => false,
+        }
+    }
+
+    fn verify_with_circuit(&self, circuit: &dyn Circuit, artifacts: &ProofArtifacts) -> bool {
+        match &artifacts.data {
+            ProofData::Spartan { proof } => {
+                SpartanVerifier::preprocess(circuit.constraint_system())
+                    .verify(&artifacts.public_inputs, proof)
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Pins each value to its public counterpart with one equality constraint
+/// per cell: `(value_i - public_i) * 1 = 0`.
+///
+/// This is the one audited form of the statement-binding construction,
+/// shared by the CRPC public-output matmuls and `zkvc-nn`'s logit binding.
+/// Per-cell constraints are essential: any single *aggregate* relation
+/// over the publics (e.g. the CRPC Z-fold, whose `Z` is public) can be
+/// satisfied by a forged assignment with the same aggregate, whereas one
+/// constraint per cell gives every public output its own independent
+/// column in the verification key.
+///
+/// # Panics
+/// Panics if the two slices differ in length.
+pub fn bind_public_outputs(
+    cs: &mut ConstraintSystem<Fr>,
+    values: &[LinearCombination<Fr>],
+    publics: &[LinearCombination<Fr>],
+) {
+    assert_eq!(
+        values.len(),
+        publics.len(),
+        "binding requires one public cell per value"
+    );
+    for (value, public) in values.iter().zip(publics.iter()) {
+        cs.enforce_named(
+            value.clone() - public,
+            LinearCombination::constant(zkvc_ff::Field::one()),
+            LinearCombination::zero(),
+            "public output binding",
+        );
+    }
+}
+
+/// Domain-separation prefix so shape digests can never collide with other
+/// SHA-256 uses in the stack (string kept from the digest's previous home
+/// in `zkvc-runtime`). Note the digest of any given *job* still moves
+/// whenever its circuit structure does — e.g. this API redesign changed
+/// every default runtime matmul shape by making outputs public — in which
+/// case stale `DiskKeyCache` entries simply stop hitting; they are keyed
+/// by digest and never returned for a different circuit.
+const DIGEST_DOMAIN: &[u8] = b"zkvc-runtime-circuit-shape-v1";
+
+/// Computes the shape digest of a constraint system: a collision-resistant
+/// fingerprint of the R1CS *structure* (constraint matrices, coefficient
+/// values and the instance/witness split — not the assignment).
+///
+/// Two constraint systems get the same digest iff Groth16 CRS material and
+/// Spartan preprocessed state are interchangeable between them. The
+/// encoding is injective: every section is length-prefixed and each
+/// linear-combination term serialises its resolved column index alongside
+/// the canonical coefficient bytes.
+pub fn circuit_shape_digest(cs: &ConstraintSystem<Fr>) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(DIGEST_DOMAIN);
+    h.update(&(cs.num_instance() as u64).to_le_bytes());
+    h.update(&(cs.num_witness() as u64).to_le_bytes());
+    h.update(&(cs.num_constraints() as u64).to_le_bytes());
+
+    let absorb_lcs = |h: &mut Sha256, tag: u8, lcs: &[LinearCombination<Fr>]| {
+        h.update(&[tag]);
+        for lc in lcs {
+            h.update(&(lc.terms.len() as u64).to_le_bytes());
+            for (var, coeff) in &lc.terms {
+                h.update(&(cs.variable_index(*var) as u64).to_le_bytes());
+                h.update(&coeff.to_bytes_le());
+            }
+        }
+    };
+
+    let (a, b, c) = cs.constraints();
+    absorb_lcs(&mut h, b'A', a);
+    absorb_lcs(&mut h, b'B', b);
+    absorb_lcs(&mut h, b'C', c);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matmul::{MatMulBuilder, Strategy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use zkvc_ff::Field;
+
+    fn square_cs(x: u64) -> ConstraintSystem<Fr> {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let out = cs.alloc_instance(Fr::from_u64(x * x));
+        let w = cs.alloc_witness(Fr::from_u64(x));
+        cs.enforce(w.into(), w.into(), out.into());
+        cs
+    }
+
+    #[test]
+    fn trait_objects_prove_and_verify_both_systems() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let cs = square_cs(12);
+        let circuit = RawCircuit::named(&cs, "square");
+        assert_eq!(circuit.name(), "square");
+        assert_eq!(circuit.public_outputs(), vec![Fr::from_u64(144)]);
+        for backend in Backend::ALL {
+            let system: &dyn ProofSystem = backend.system();
+            assert_eq!(system.backend(), backend);
+            assert_eq!(system.name(), backend.name());
+            let (pk, vk) = system.setup(&circuit, &mut rng);
+            let artifacts = system.prove(&pk, &circuit, &mut rng);
+            assert!(system.verify(&vk, &artifacts), "{backend:?}");
+            assert!(
+                system.verify_with_circuit(&circuit, &artifacts),
+                "{backend:?}"
+            );
+            // The trait binds public outputs exactly like the Backend API.
+            let mut tampered = artifacts.clone();
+            tampered.public_inputs[0] += Fr::one();
+            assert!(!system.verify(&vk, &tampered), "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn oneshot_records_setup_time_and_cross_system_verify_fails() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let cs = square_cs(5);
+        let circuit = RawCircuit::new(&cs);
+        let g = Backend::Groth16.system().prove_oneshot(&circuit, &mut rng);
+        let s = Backend::Spartan.system().prove_oneshot(&circuit, &mut rng);
+        let (_pk, vk_s) = Backend::Spartan.system().setup(&circuit, &mut rng);
+        // A Groth16 proof against a Spartan key is a mismatch, not a panic.
+        assert!(!Backend::Spartan.system().verify(&vk_s, &g));
+        assert!(Backend::Spartan.system().verify(&vk_s, &s));
+        assert!(!Backend::Groth16.system().verify_with_circuit(&circuit, &s));
+    }
+
+    #[test]
+    #[should_panic(expected = "backend/key mismatch")]
+    fn proving_with_foreign_key_panics() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let cs = square_cs(4);
+        let circuit = RawCircuit::new(&cs);
+        let (pk, _vk) = Backend::Spartan.system().setup(&circuit, &mut rng);
+        Backend::Groth16.system().prove(&pk, &circuit, &mut rng);
+    }
+
+    #[test]
+    fn matmul_job_is_a_circuit() {
+        let mut rng = StdRng::seed_from_u64(34);
+        let job = MatMulBuilder::new(2, 3, 2)
+            .strategy(Strategy::CrpcPsq)
+            .build_random(&mut rng);
+        let circuit: &dyn Circuit = &job;
+        assert_eq!(circuit.shape_digest(), circuit_shape_digest(&job.cs));
+        assert!(circuit.name().contains("2x3x2"));
+        // Private-output jobs bind nothing.
+        assert!(circuit.public_outputs().is_empty());
+    }
+
+    #[test]
+    fn digest_ignores_assignment_values() {
+        assert_eq!(
+            circuit_shape_digest(&square_cs(3)),
+            circuit_shape_digest(&square_cs(7))
+        );
+    }
+
+    #[test]
+    fn digest_distinguishes_structure() {
+        let base = circuit_shape_digest(&square_cs(3));
+
+        // Extra constraint.
+        let mut cs = square_cs(3);
+        cs.enforce_zero(LinearCombination::zero());
+        assert_ne!(circuit_shape_digest(&cs), base);
+
+        // Extra (unconstrained) variable.
+        let mut cs = square_cs(3);
+        cs.alloc_witness(Fr::zero());
+        assert_ne!(circuit_shape_digest(&cs), base);
+
+        // Different coefficient.
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let out = cs.alloc_instance(Fr::from_u64(18));
+        let w = cs.alloc_witness(Fr::from_u64(3));
+        cs.enforce(
+            LinearCombination::from(w) * Fr::from_u64(2),
+            w.into(),
+            out.into(),
+        );
+        assert_ne!(circuit_shape_digest(&cs), base);
+
+        // Instance/witness split matters even with identical matrices.
+        let mut cs = ConstraintSystem::<Fr>::new();
+        let out = cs.alloc_witness(Fr::from_u64(9));
+        let w = cs.alloc_witness(Fr::from_u64(3));
+        cs.enforce(w.into(), w.into(), out.into());
+        assert_ne!(circuit_shape_digest(&cs), base);
+    }
+}

@@ -2,9 +2,14 @@
 //! paper: Groth16 (`zkVC-G`) and the Spartan-style transparent SNARK
 //! (`zkVC-S`).
 //!
-//! The [`Backend::prove`] path also records the per-phase timings and sizes
-//! that the benchmark harnesses print for Figure 3, Figure 6 and Table II.
+//! As of the circuit-generic API redesign the real proving logic lives in
+//! the [`crate::api`] module behind the [`ProofSystem`] trait; [`Backend`]
+//! remains as a `Copy` tag plus a thin dispatcher
+//! ([`Backend::system`]) so existing call sites — and anything that wants a
+//! hashable enum rather than a trait object — keep working unchanged.
 
+use core::fmt;
+use std::str::FromStr;
 use std::time::{Duration, Instant};
 
 use rand::Rng;
@@ -13,6 +18,7 @@ use zkvc_groth16 as groth16;
 use zkvc_r1cs::ConstraintSystem;
 use zkvc_spartan::{SpartanProof, SpartanProver, SpartanVerifier};
 
+use crate::api::{ProofSystem, RawCircuit, GROTH16, SPARTAN};
 use crate::matmul::MatMulJob;
 
 /// The proof system used underneath a zkVC circuit.
@@ -35,6 +41,55 @@ impl Backend {
         match self {
             Backend::Groth16 => "groth16",
             Backend::Spartan => "spartan",
+        }
+    }
+
+    /// The [`ProofSystem`] implementation this tag dispatches to.
+    pub fn system(&self) -> &'static dyn ProofSystem {
+        match self {
+            Backend::Groth16 => &GROTH16,
+            Backend::Spartan => &SPARTAN,
+        }
+    }
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when a [`Backend`] or
+/// [`Strategy`](crate::matmul::Strategy) token fails to parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownTokenError {
+    /// What was being parsed ("backend", "strategy").
+    pub what: &'static str,
+    /// The offending input token.
+    pub token: String,
+}
+
+impl fmt::Display for UnknownTokenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown {} {:?}", self.what, self.token)
+    }
+}
+
+impl std::error::Error for UnknownTokenError {}
+
+impl FromStr for Backend {
+    type Err = UnknownTokenError;
+
+    /// Parses a backend token as used in job specs: `groth16` (alias `g`)
+    /// or `spartan` (alias `s`), case-insensitive.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "groth16" | "g" => Ok(Backend::Groth16),
+            "spartan" | "s" => Ok(Backend::Spartan),
+            _ => Err(UnknownTokenError {
+                what: "backend",
+                token: s.to_string(),
+            }),
         }
     }
 }
@@ -78,8 +133,8 @@ pub enum ProofData {
     },
 }
 
-/// The output of [`Backend::prove`]: the proof data, the public inputs it
-/// binds, and the collected metrics.
+/// The output of [`ProofSystem::prove`]: the proof data, the public inputs
+/// it binds, and the collected metrics.
 #[derive(Clone, Debug)]
 pub struct ProofArtifacts {
     /// The proof and verification material.
@@ -91,7 +146,7 @@ pub struct ProofArtifacts {
 }
 
 /// Reusable prover-side key material for one circuit *shape*, produced by
-/// [`Backend::setup`]: the Groth16 CRS, or the Spartan preprocessed
+/// [`ProofSystem::setup`]: the Groth16 CRS, or the Spartan preprocessed
 /// instance. Computing this once and proving many statements against it is
 /// what makes batch proving amortise (see `zkvc-runtime`'s `KeyCache`).
 #[allow(clippy::large_enum_variant)]
@@ -114,7 +169,7 @@ impl ProverKey {
 }
 
 /// Reusable verifier-side key material for one circuit shape, produced by
-/// [`Backend::setup`].
+/// [`ProofSystem::setup`].
 #[allow(clippy::large_enum_variant)]
 #[derive(Clone, Debug)]
 pub enum VerifierKey {
@@ -138,7 +193,8 @@ impl Backend {
     /// Runs setup (if any) and proves the given matmul job, collecting
     /// metrics along the way.
     pub fn prove<R: Rng + ?Sized>(&self, job: &MatMulJob, rng: &mut R) -> ProofArtifacts {
-        self.prove_cs(&job.cs, rng)
+        let mut rng = rng;
+        self.system().prove_oneshot(job, &mut rng)
     }
 
     /// Runs the per-circuit-shape setup: CRS generation for Groth16,
@@ -154,19 +210,8 @@ impl Backend {
         cs: &ConstraintSystem<Fr>,
         rng: &mut R,
     ) -> (ProverKey, VerifierKey) {
-        match self {
-            Backend::Groth16 => {
-                let (pk, vk) = groth16::setup(cs, rng);
-                (ProverKey::Groth16(pk), VerifierKey::Groth16(vk))
-            }
-            Backend::Spartan => {
-                // Preprocess once; the verifier reuses the prover's instance
-                // instead of re-deriving it from the constraint system.
-                let prover = SpartanProver::preprocess(cs);
-                let verifier = prover.to_verifier();
-                (ProverKey::Spartan(prover), VerifierKey::Spartan(verifier))
-            }
-        }
+        let mut rng = rng;
+        self.system().setup(&RawCircuit::new(cs), &mut rng)
     }
 
     /// Proves the assignment held in `cs` against a key prepared by
@@ -182,49 +227,8 @@ impl Backend {
         cs: &ConstraintSystem<Fr>,
         rng: &mut R,
     ) -> ProofArtifacts {
-        let public_inputs = cs.instance_assignment().to_vec();
-        let t0 = Instant::now();
-        let (data, proof_size_bytes) = match (self, key) {
-            (Backend::Groth16, ProverKey::Groth16(pk)) => {
-                let proof = groth16::prove(pk, cs, rng);
-                let size = proof.size_in_bytes();
-                (
-                    ProofData::Groth16 {
-                        vk: pk.vk.clone(),
-                        proof,
-                    },
-                    size,
-                )
-            }
-            (Backend::Spartan, ProverKey::Spartan(prover)) => {
-                let proof = prover.prove(cs, rng);
-                let size = proof.size_in_bytes();
-                (
-                    ProofData::Spartan {
-                        proof: Box::new(proof),
-                    },
-                    size,
-                )
-            }
-            _ => panic!(
-                "backend/key mismatch: {:?} cannot prove with a {:?} key",
-                self,
-                key.backend()
-            ),
-        };
-        let prove_time = t0.elapsed();
-        ProofArtifacts {
-            data,
-            public_inputs,
-            metrics: ProveMetrics {
-                backend: *self,
-                setup_time: Duration::ZERO,
-                prove_time,
-                proof_size_bytes,
-                num_constraints: cs.num_constraints(),
-                num_variables: cs.num_variables(),
-            },
-        }
+        let mut rng = rng;
+        self.system().prove(key, &RawCircuit::new(cs), &mut rng)
     }
 
     /// Verifies artifacts against a key prepared by [`Backend::setup`],
@@ -232,15 +236,7 @@ impl Backend {
     /// [`Backend::verify_cs`] performs for Spartan. Returns `false` on
     /// backend/key mismatch.
     pub fn verify_with_key(&self, key: &VerifierKey, artifacts: &ProofArtifacts) -> bool {
-        match (&artifacts.data, key, self) {
-            (ProofData::Groth16 { proof, .. }, VerifierKey::Groth16(vk), Backend::Groth16) => {
-                groth16::verify(vk, &artifacts.public_inputs, proof)
-            }
-            (ProofData::Spartan { proof }, VerifierKey::Spartan(verifier), Backend::Spartan) => {
-                verifier.verify(&artifacts.public_inputs, proof)
-            }
-            _ => false,
-        }
+        self.system().verify(key, artifacts)
     }
 
     /// Proves an arbitrary constraint system (used by `zkvc-nn` for whole
@@ -251,18 +247,14 @@ impl Backend {
         cs: &ConstraintSystem<Fr>,
         rng: &mut R,
     ) -> ProofArtifacts {
-        let t0 = Instant::now();
-        let (pk, _vk) = self.setup(cs, rng);
-        let setup_time = t0.elapsed();
-        let mut artifacts = self.prove_with_key(&pk, cs, rng);
-        artifacts.metrics.setup_time = setup_time;
-        artifacts
+        let mut rng = rng;
+        self.system().prove_oneshot(&RawCircuit::new(cs), &mut rng)
     }
 
     /// Verifies the artifacts produced by [`Backend::prove`] for the same
     /// job.
     pub fn verify(&self, job: &MatMulJob, artifacts: &ProofArtifacts) -> bool {
-        self.verify_cs(&job.cs, artifacts)
+        self.system().verify_with_circuit(job, artifacts)
     }
 
     /// Verifies against an arbitrary constraint system structure, returning
@@ -279,16 +271,9 @@ impl Backend {
         artifacts: &ProofArtifacts,
     ) -> (bool, Duration) {
         let t0 = Instant::now();
-        let ok = match (&artifacts.data, self) {
-            (ProofData::Groth16 { vk, proof }, Backend::Groth16) => {
-                groth16::verify(vk, &artifacts.public_inputs, proof)
-            }
-            (ProofData::Spartan { proof }, Backend::Spartan) => {
-                let verifier = SpartanVerifier::preprocess(cs);
-                verifier.verify(&artifacts.public_inputs, proof)
-            }
-            _ => false,
-        };
+        let ok = self
+            .system()
+            .verify_with_circuit(&RawCircuit::new(cs), artifacts);
         (ok, t0.elapsed())
     }
 }
@@ -388,8 +373,8 @@ mod tests {
 
     #[test]
     fn keyed_verification_binds_public_inputs() {
-        // Matmul jobs carry no instance variables, so public-input binding
-        // needs a circuit that actually has one.
+        // Matmul jobs carry no instance variables by default, so
+        // public-input binding needs a circuit that actually has one.
         let mut rng = StdRng::seed_from_u64(24);
         let mut cs = ConstraintSystem::<Fr>::new();
         let out = cs.alloc_instance(Fr::from_u64(121));
@@ -439,5 +424,17 @@ mod tests {
         let (ok, vt) = Backend::Spartan.verify_cs_timed(&j.cs, &artifacts);
         assert!(ok);
         assert!(vt > Duration::ZERO);
+    }
+
+    #[test]
+    fn backend_parses_and_displays() {
+        for backend in Backend::ALL {
+            assert_eq!(backend.to_string().parse::<Backend>(), Ok(backend));
+        }
+        assert_eq!("g".parse::<Backend>(), Ok(Backend::Groth16));
+        assert_eq!("S".parse::<Backend>(), Ok(Backend::Spartan));
+        let err = "nope".parse::<Backend>().unwrap_err();
+        assert_eq!(err.what, "backend");
+        assert!(err.to_string().contains("nope"));
     }
 }

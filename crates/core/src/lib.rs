@@ -13,9 +13,12 @@
 //!   exponential), GELU (quadratic polynomial) and reciprocal-square-root
 //!   gadgets, all over fixed-point arithmetic.
 //! * [`fixed`] — NITI-style fixed-point quantisation shared with `zkvc-nn`.
-//! * [`backend`] — a uniform prove/verify API over the Groth16 (`zkVC-G`)
-//!   and Spartan-style (`zkVC-S`) backends, with per-run cost metrics used
-//!   by the benchmark harnesses.
+//! * [`api`] — the circuit-generic proving API: the [`Circuit`] and
+//!   [`ProofSystem`] traits, their Groth16/Spartan implementations, and the
+//!   canonical circuit-shape digest.
+//! * [`backend`] — the [`Backend`] enum, a `Copy` dispatcher over the two
+//!   [`ProofSystem`] implementations, with per-run cost metrics used by the
+//!   benchmark harnesses.
 //! * [`schemes`] — the qualitative feature matrix of Table I.
 //!
 //! ## Example
@@ -40,12 +43,16 @@
 
 #![warn(missing_docs)]
 
+pub mod api;
 pub mod backend;
 pub mod fixed;
 pub mod matmul;
 pub mod nonlinear;
 pub mod schemes;
 
-pub use backend::{Backend, ProofArtifacts, ProveMetrics, ProverKey, VerifierKey};
+pub use api::{circuit_shape_digest, Circuit, ProofSystem};
+pub use backend::{
+    Backend, ProofArtifacts, ProveMetrics, ProverKey, UnknownTokenError, VerifierKey,
+};
 pub use fixed::FixedPointConfig;
 pub use matmul::{MatMulBuilder, MatMulJob, Strategy};

@@ -69,23 +69,22 @@ fn folded_operands(
     (xcol, wrow)
 }
 
-/// CRPC without PSQ: `n` product constraints plus one long addition that
-/// equates the accumulated products with the folded output (Table II row 3).
-pub fn synthesize_crpc(
+/// Emits the `n` CRPC product constraints plus the long addition equating
+/// the accumulated products with `folded` — the one copy of the
+/// soundness-critical loop shared by [`synthesize_crpc`] and
+/// [`synthesize_crpc_into`]. `n + 1` constraints.
+fn synthesize_crpc_fold(
     cs: &mut ConstraintSystem<Fr>,
     x: &[Vec<LinearCombination<Fr>>],
     w: &[Vec<LinearCombination<Fr>>],
-    z: Fr,
-) -> Vec<Vec<LinearCombination<Fr>>> {
+    zp: &[Fr],
+    folded: LinearCombination<Fr>,
+) {
     let n = w.len();
     let b = w[0].len();
-    let a = x.len();
-    let zp = powers_of(z, a * b);
-    let (y, folded) = allocate_outputs(cs, x, w, &zp);
-
     let mut t_vars = Vec::with_capacity(n);
     for k in 0..n {
-        let (xcol, wrow) = folded_operands(x, w, k, &zp, b);
+        let (xcol, wrow) = folded_operands(x, w, k, zp, b);
         let val = cs.eval_lc(&xcol) * cs.eval_lc(&wrow);
         let t = cs.alloc_witness(val);
         cs.enforce_named(xcol, wrow, t.into(), "crpc product");
@@ -102,28 +101,25 @@ pub fn synthesize_crpc(
         folded,
         "crpc fold equality",
     );
-    y
 }
 
-/// CRPC + PSQ — the full zkVC encoding: the `n` folded products are chained
-/// as prefix sums, and the final product constraint writes directly into the
-/// folded output, so exactly `n` constraints are emitted (Table II row 4).
-pub fn synthesize_crpc_psq(
+/// Emits the `n` CRPC+PSQ prefix-sum product constraints, with the final
+/// product writing directly into `folded` — shared by
+/// [`synthesize_crpc_psq`] and [`synthesize_crpc_psq_into`]. `n`
+/// constraints.
+fn synthesize_crpc_psq_fold(
     cs: &mut ConstraintSystem<Fr>,
     x: &[Vec<LinearCombination<Fr>>],
     w: &[Vec<LinearCombination<Fr>>],
-    z: Fr,
-) -> Vec<Vec<LinearCombination<Fr>>> {
+    zp: &[Fr],
+    folded: LinearCombination<Fr>,
+) {
     let n = w.len();
     let b = w[0].len();
-    let a = x.len();
-    let zp = powers_of(z, a * b);
-    let (y, folded) = allocate_outputs(cs, x, w, &zp);
-
     let mut prev_lc = LinearCombination::zero();
     let mut prev_val = Fr::zero();
     for k in 0..n {
-        let (xcol, wrow) = folded_operands(x, w, k, &zp, b);
+        let (xcol, wrow) = folded_operands(x, w, k, zp, b);
         if k + 1 == n {
             // last step: xcol * wrow = folded - acc_{n-2}
             cs.enforce_named(
@@ -145,7 +141,98 @@ pub fn synthesize_crpc_psq(
             prev_val = val;
         }
     }
+}
+
+/// CRPC without PSQ: `n` product constraints plus one long addition that
+/// equates the accumulated products with the folded output (Table II row 3).
+pub fn synthesize_crpc(
+    cs: &mut ConstraintSystem<Fr>,
+    x: &[Vec<LinearCombination<Fr>>],
+    w: &[Vec<LinearCombination<Fr>>],
+    z: Fr,
+) -> Vec<Vec<LinearCombination<Fr>>> {
+    let a = x.len();
+    let b = w[0].len();
+    let zp = powers_of(z, a * b);
+    let (y, folded) = allocate_outputs(cs, x, w, &zp);
+    synthesize_crpc_fold(cs, x, w, &zp, folded);
     y
+}
+
+/// CRPC + PSQ — the full zkVC encoding: the `n` folded products are chained
+/// as prefix sums, and the final product constraint writes directly into the
+/// folded output, so exactly `n` constraints are emitted (Table II row 4).
+pub fn synthesize_crpc_psq(
+    cs: &mut ConstraintSystem<Fr>,
+    x: &[Vec<LinearCombination<Fr>>],
+    w: &[Vec<LinearCombination<Fr>>],
+    z: Fr,
+) -> Vec<Vec<LinearCombination<Fr>>> {
+    let a = x.len();
+    let b = w[0].len();
+    let zp = powers_of(z, a * b);
+    let (y, folded) = allocate_outputs(cs, x, w, &zp);
+    synthesize_crpc_psq_fold(cs, x, w, &zp, folded);
+    y
+}
+
+/// Binds each caller-supplied output cell to the corresponding witness
+/// output with its own equality constraint (`a*b` constraints).
+///
+/// The per-cell constraints are what make public CRPC outputs *bind*: the
+/// Z-fold alone is a single public linear relation with a publicly known
+/// `Z`, so any `Y'` with the same fold (e.g. `y_0 + Z, y_1 - 1`) would
+/// satisfy it — a verifier checking only the fold could be handed an
+/// honest proof with forged outputs. The constraint form lives in
+/// [`crate::api::bind_public_outputs`].
+fn bind_outputs(
+    cs: &mut ConstraintSystem<Fr>,
+    y_wit: &[Vec<LinearCombination<Fr>>],
+    y_out: &[Vec<LinearCombination<Fr>>],
+) {
+    for (wit_row, out_row) in y_wit.iter().zip(y_out.iter()) {
+        crate::api::bind_public_outputs(cs, wit_row, out_row);
+    }
+}
+
+/// [`synthesize_crpc`] with caller-supplied output cells (typically public
+/// instance variables holding the honest product): the fold runs over
+/// freshly allocated output witnesses, and each witness is additionally
+/// pinned to its supplied cell with a per-cell equality constraint —
+/// `n + 1 + a*b` constraints in total (the `a*b` binding constraints are
+/// the price of statement-level outputs).
+pub fn synthesize_crpc_into(
+    cs: &mut ConstraintSystem<Fr>,
+    x: &[Vec<LinearCombination<Fr>>],
+    w: &[Vec<LinearCombination<Fr>>],
+    y_out: &[Vec<LinearCombination<Fr>>],
+    z: Fr,
+) {
+    let a = x.len();
+    let b = w[0].len();
+    let zp = powers_of(z, a * b);
+    let (y_wit, folded) = allocate_outputs(cs, x, w, &zp);
+    synthesize_crpc_fold(cs, x, w, &zp, folded);
+    bind_outputs(cs, &y_wit, y_out);
+}
+
+/// [`synthesize_crpc_psq`] with caller-supplied output cells: the
+/// prefix-sum fold runs over freshly allocated output witnesses, each
+/// pinned to its supplied cell — `n + a*b` constraints (the per-cell
+/// constraints are required because the public-Z fold alone is forgeable).
+pub fn synthesize_crpc_psq_into(
+    cs: &mut ConstraintSystem<Fr>,
+    x: &[Vec<LinearCombination<Fr>>],
+    w: &[Vec<LinearCombination<Fr>>],
+    y_out: &[Vec<LinearCombination<Fr>>],
+    z: Fr,
+) {
+    let a = x.len();
+    let b = w[0].len();
+    let zp = powers_of(z, a * b);
+    let (y_wit, folded) = allocate_outputs(cs, x, w, &zp);
+    synthesize_crpc_psq_fold(cs, x, w, &zp, folded);
+    bind_outputs(cs, &y_wit, y_out);
 }
 
 #[cfg(test)]

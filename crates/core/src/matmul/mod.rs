@@ -21,13 +21,24 @@
 mod crpc;
 mod vanilla;
 
-pub use crpc::{synthesize_crpc, synthesize_crpc_psq};
-pub use vanilla::{synthesize_vanilla, synthesize_vanilla_psq};
+pub use crpc::{
+    synthesize_crpc, synthesize_crpc_into, synthesize_crpc_psq, synthesize_crpc_psq_into,
+};
+pub use vanilla::{
+    synthesize_vanilla, synthesize_vanilla_into, synthesize_vanilla_psq,
+    synthesize_vanilla_psq_into,
+};
+
+use core::fmt;
+use std::str::FromStr;
 
 use rand::Rng;
 use zkvc_ff::{Field, Fr, PrimeField};
 use zkvc_hash::Transcript;
 use zkvc_r1cs::{ConstraintSystem, LinearCombination};
+
+use crate::api::Circuit;
+use crate::backend::UnknownTokenError;
 
 /// The matrix-multiplication circuit encodings compared in the paper.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
@@ -69,6 +80,44 @@ impl Strategy {
     pub fn uses_crpc(&self) -> bool {
         matches!(self, Strategy::Crpc | Strategy::CrpcPsq)
     }
+
+    /// The machine-friendly spec token (unlike [`Strategy::name`], which is
+    /// a display label containing spaces); also what [`fmt::Display`]
+    /// prints.
+    pub fn token(&self) -> &'static str {
+        match self {
+            Strategy::Vanilla => "vanilla",
+            Strategy::VanillaPsq => "vanilla+psq",
+            Strategy::Crpc => "crpc",
+            Strategy::CrpcPsq => "crpc+psq",
+        }
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+impl FromStr for Strategy {
+    type Err = UnknownTokenError;
+
+    /// Parses a strategy token as used in job specs: `vanilla`,
+    /// `vanilla+psq` (aliases `vanilla-psq`, `psq`), `crpc`, `crpc+psq`
+    /// (aliases `crpc-psq`, `zkvc`), case-insensitive.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "vanilla" => Ok(Strategy::Vanilla),
+            "vanilla+psq" | "vanilla-psq" | "psq" => Ok(Strategy::VanillaPsq),
+            "crpc" => Ok(Strategy::Crpc),
+            "crpc+psq" | "crpc-psq" | "zkvc" => Ok(Strategy::CrpcPsq),
+            _ => Err(UnknownTokenError {
+                what: "strategy",
+                token: s.to_string(),
+            }),
+        }
+    }
 }
 
 /// Where the CRPC folding challenge `Z` comes from.
@@ -108,6 +157,45 @@ pub fn synthesize_matmul(
         Strategy::VanillaPsq => synthesize_vanilla_psq(cs, x, w),
         Strategy::Crpc => synthesize_crpc(cs, x, w, z),
         Strategy::CrpcPsq => synthesize_crpc_psq(cs, x, w, z),
+    }
+}
+
+/// Synthesises the chosen matmul encoding with the output cells *supplied
+/// by the caller* instead of freshly allocated: each `y[i][j]` is a linear
+/// combination (typically a public instance variable) whose assigned value
+/// must already equal the honest product, and the emitted constraints force
+/// it to — **per cell**, so every output is independently bound.
+///
+/// This is the statement-binding variant: with `y` allocated as instance
+/// variables, a proof commits to the concrete output matrix, not just the
+/// circuit shape. The vanilla strategies bind at no extra cost (their
+/// final per-cell sums write directly into `y`); the CRPC strategies add
+/// `a*b` per-cell equality constraints on top of the paper counts, because
+/// the Z-fold alone is a single public linear relation that a same-fold
+/// `Y'` could satisfy (see `crpc::bind_outputs`).
+///
+/// # Panics
+/// Panics if the matrix dimensions are inconsistent or empty, or if `y` is
+/// not `a x b`.
+pub fn synthesize_matmul_into(
+    cs: &mut ConstraintSystem<Fr>,
+    x: &[Vec<LinearCombination<Fr>>],
+    w: &[Vec<LinearCombination<Fr>>],
+    y: &[Vec<LinearCombination<Fr>>],
+    strategy: Strategy,
+    z: Fr,
+) {
+    validate_dims(x, w);
+    let (a, b) = (x.len(), w[0].len());
+    assert!(
+        y.len() == a && y.iter().all(|r| r.len() == b),
+        "output matrix must be {a} x {b}"
+    );
+    match strategy {
+        Strategy::Vanilla => synthesize_vanilla_into(cs, x, w, y),
+        Strategy::VanillaPsq => synthesize_vanilla_psq_into(cs, x, w, y),
+        Strategy::Crpc => synthesize_crpc_into(cs, x, w, y, z),
+        Strategy::CrpcPsq => synthesize_crpc_psq_into(cs, x, w, y, z),
     }
 }
 
@@ -180,6 +268,24 @@ pub struct MatMulJob {
     pub stats: CircuitStats,
     /// The CRPC challenge that was used (identity for vanilla strategies).
     pub z: Fr,
+    /// Whether `Y` was allocated as public instance variables (statement
+    /// binding) rather than private witnesses (shape binding only). Named
+    /// distinctly from the inherited [`Circuit::public_outputs`] method,
+    /// which returns the bound *values*.
+    pub outputs_public: bool,
+}
+
+impl Circuit for MatMulJob {
+    fn constraint_system(&self) -> &ConstraintSystem<Fr> {
+        &self.cs
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "matmul {}x{}x{} ({})",
+            self.dims.0, self.dims.1, self.dims.2, self.strategy
+        )
+    }
 }
 
 /// Builder for matrix-multiplication proving jobs.
@@ -190,11 +296,13 @@ pub struct MatMulBuilder {
     b: usize,
     strategy: Strategy,
     z_source: ZSource,
+    public_outputs: bool,
 }
 
 impl MatMulBuilder {
     /// Creates a builder for `Y[a x b] = X[a x n] * W[n x b]`, defaulting to
-    /// the full zkVC strategy (CRPC + PSQ) with a transcript-derived `Z`.
+    /// the full zkVC strategy (CRPC + PSQ) with a transcript-derived `Z` and
+    /// private outputs.
     pub fn new(a: usize, n: usize, b: usize) -> Self {
         assert!(a > 0 && n > 0 && b > 0, "dimensions must be positive");
         MatMulBuilder {
@@ -203,12 +311,26 @@ impl MatMulBuilder {
             b,
             strategy: Strategy::CrpcPsq,
             z_source: ZSource::Transcript,
+            public_outputs: false,
         }
     }
 
     /// Selects the circuit strategy.
     pub fn strategy(mut self, strategy: Strategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// When `true`, allocates `Y` as *public instance* variables, each
+    /// bound by its own constraint, so the proof binds the concrete output
+    /// matrix (statement-level binding); a proof for the same shape but a
+    /// different `Y` then fails verification. When `false` (the default),
+    /// `Y` stays a private witness and the proof binds only the circuit
+    /// shape. Vanilla strategies keep their constraint counts; CRPC
+    /// strategies pay `a*b` extra per-cell binding constraints (see
+    /// [`synthesize_matmul_into`]).
+    pub fn public_outputs(mut self, public_outputs: bool) -> Self {
+        self.public_outputs = public_outputs;
         self
     }
 
@@ -306,9 +428,10 @@ impl MatMulBuilder {
             }
         };
 
-        // Synthesise: X and W become witness variables; Y is produced by the
-        // strategy (as witness variables whose correctness the constraints
-        // enforce).
+        // Synthesise: X and W become witness variables; Y is either
+        // produced by the strategy (as witness variables whose correctness
+        // the constraints enforce) or pre-allocated as public instance
+        // variables the strategy writes into.
         let mut cs = ConstraintSystem::<Fr>::new();
         let x_lcs: Vec<Vec<LinearCombination<Fr>>> = x
             .iter()
@@ -318,7 +441,15 @@ impl MatMulBuilder {
             .iter()
             .map(|row| row.iter().map(|v| cs.alloc_witness(*v).into()).collect())
             .collect();
-        let _y_lcs = synthesize_matmul(&mut cs, &x_lcs, &w_lcs, self.strategy, z);
+        if self.public_outputs {
+            let y_lcs: Vec<Vec<LinearCombination<Fr>>> = y
+                .iter()
+                .map(|row| row.iter().map(|v| cs.alloc_instance(*v).into()).collect())
+                .collect();
+            synthesize_matmul_into(&mut cs, &x_lcs, &w_lcs, &y_lcs, self.strategy, z);
+        } else {
+            let _y_lcs = synthesize_matmul(&mut cs, &x_lcs, &w_lcs, self.strategy, z);
+        }
 
         let stats = CircuitStats::of(&cs);
         MatMulJob {
@@ -328,6 +459,7 @@ impl MatMulBuilder {
             y,
             stats,
             z,
+            outputs_public: self.public_outputs,
         }
     }
 }
@@ -510,6 +642,114 @@ mod tests {
         let w: Vec<Vec<LinearCombination<Fr>>> =
             vec![vec![cs.alloc_witness(Fr::one()).into(); 2]; 2];
         synthesize_matmul(&mut cs, &x, &w, Strategy::Vanilla, Fr::one());
+    }
+
+    #[test]
+    fn public_outputs_constraint_counts() {
+        // Exposing Y as instance variables keeps the vanilla counts
+        // unchanged (their per-cell sums write into the public cells
+        // directly) and adds exactly a*b per-cell binding constraints for
+        // the CRPC strategies — the price of sound statement binding, and
+        // still O(n + ab) vs the vanilla O(abn).
+        let (a, n, b) = (3usize, 4usize, 5usize);
+        let mut rng = StdRng::seed_from_u64(8);
+        let expected = [
+            (Strategy::Vanilla, a * b * n + a * b),
+            (Strategy::VanillaPsq, a * b * n),
+            (Strategy::Crpc, n + 1 + a * b),
+            (Strategy::CrpcPsq, n + a * b),
+        ];
+        for (strategy, count) in expected {
+            let job = MatMulBuilder::new(a, n, b)
+                .strategy(strategy)
+                .public_outputs(true)
+                .build_random(&mut rng);
+            assert!(job.cs.is_satisfied(), "{strategy:?}");
+            assert!(job.outputs_public);
+            assert_eq!(job.stats.num_constraints, count, "{strategy:?}");
+            assert_eq!(job.cs.num_instance(), a * b, "{strategy:?}");
+            // The instance assignment is exactly the flattened product.
+            let flat: Vec<Fr> = job.y.iter().flatten().copied().collect();
+            assert_eq!(job.cs.instance_assignment(), &flat[..], "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn tampered_public_output_breaks_satisfiability() {
+        let (x, w) = small_matrices();
+        for strategy in Strategy::ALL {
+            let job = MatMulBuilder::new(3, 2, 2)
+                .strategy(strategy)
+                .public_outputs(true)
+                .build_integers(&x, &w);
+            assert!(job.cs.is_satisfied(), "{strategy:?}");
+            for idx in 0..6 {
+                let mut instance = job.cs.instance_assignment().to_vec();
+                instance[idx] += Fr::one();
+                let mut cs = job.cs.clone();
+                cs.set_instance_assignment(instance);
+                assert!(
+                    !cs.is_satisfied(),
+                    "{strategy:?} accepted a tampered public y[{idx}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fold_preserving_tamper_breaks_public_crpc_outputs() {
+        // The CRPC fold `sum Z^{i*b+j} y_ij` is a single public linear
+        // relation with a publicly known Z, so `y_0 += Z, y_1 -= 1` leaves
+        // the fold unchanged. Without the per-cell binding constraints
+        // such a compensated tamper would still satisfy the circuit —
+        // regression test for the fold-only binding gap.
+        let (x, w) = small_matrices();
+        for strategy in [Strategy::Crpc, Strategy::CrpcPsq] {
+            let job = MatMulBuilder::new(3, 2, 2)
+                .strategy(strategy)
+                .public_outputs(true)
+                .build_integers(&x, &w);
+            assert!(job.cs.is_satisfied(), "{strategy:?}");
+            let mut instance = job.cs.instance_assignment().to_vec();
+            // coeff(y[0]) = Z^0 = 1, coeff(y[1]) = Z^1: net fold delta is
+            // 1*Z + Z*(-1) = 0.
+            instance[0] += job.z;
+            instance[1] -= Fr::one();
+            let mut cs = job.cs.clone();
+            cs.set_instance_assignment(instance);
+            assert!(
+                !cs.is_satisfied(),
+                "{strategy:?} accepted a fold-preserving tamper"
+            );
+        }
+    }
+
+    #[test]
+    fn public_and_private_outputs_compute_identical_products() {
+        let (x, w) = small_matrices();
+        for strategy in Strategy::ALL {
+            let private = MatMulBuilder::new(3, 2, 2)
+                .strategy(strategy)
+                .build_integers(&x, &w);
+            let public = MatMulBuilder::new(3, 2, 2)
+                .strategy(strategy)
+                .public_outputs(true)
+                .build_integers(&x, &w);
+            assert_eq!(private.y, public.y, "{strategy:?}");
+            // Vanilla public-output circuits drop the Y witnesses; CRPC
+            // ones keep them (the fold runs over witnesses, each pinned to
+            // a public cell), so witness counts never grow.
+            assert!(
+                public.cs.num_witness() <= private.cs.num_witness(),
+                "{strategy:?}"
+            );
+            if !strategy.uses_crpc() {
+                assert!(
+                    public.cs.num_witness() < private.cs.num_witness(),
+                    "{strategy:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -15,40 +15,7 @@ pub fn synthesize_vanilla(
     x: &[Vec<LinearCombination<Fr>>],
     w: &[Vec<LinearCombination<Fr>>],
 ) -> Vec<Vec<LinearCombination<Fr>>> {
-    let a = x.len();
-    let n = w.len();
-    let b = w[0].len();
-    let mut y = Vec::with_capacity(a);
-    for xi in x.iter().take(a) {
-        let mut row = Vec::with_capacity(b);
-        for j in 0..b {
-            // products
-            let mut product_vars = Vec::with_capacity(n);
-            let mut sum_val = Fr::zero();
-            for (k, wk) in w.iter().enumerate().take(n) {
-                let val = cs.eval_lc(&xi[k]) * cs.eval_lc(&wk[j]);
-                sum_val += val;
-                let p = cs.alloc_witness(val);
-                cs.enforce_named(xi[k].clone(), wk[j].clone(), p.into(), "vanilla product");
-                product_vars.push(p);
-            }
-            // long addition: (sum of products) * 1 = y_ij
-            let y_var = cs.alloc_witness(sum_val);
-            let mut sum_lc = LinearCombination::zero();
-            for p in &product_vars {
-                sum_lc.push(*p, Fr::one());
-            }
-            cs.enforce_named(
-                sum_lc,
-                LinearCombination::constant(Fr::one()),
-                y_var.into(),
-                "vanilla long addition",
-            );
-            row.push(y_var.into());
-        }
-        y.push(row);
-    }
-    y
+    vanilla_core(cs, x, w, None)
 }
 
 /// Vanilla products with Prefix-Sum Query accumulation (Figure 5(b)): the
@@ -63,17 +30,110 @@ pub fn synthesize_vanilla_psq(
     x: &[Vec<LinearCombination<Fr>>],
     w: &[Vec<LinearCombination<Fr>>],
 ) -> Vec<Vec<LinearCombination<Fr>>> {
-    let a = x.len();
+    vanilla_psq_core(cs, x, w, None)
+}
+
+/// [`synthesize_vanilla`] with caller-supplied output cells: the long
+/// addition writes directly into `y_out[i][j]` (typically a public instance
+/// variable holding the honest product) instead of a fresh witness. Same
+/// `a*b*n + a*b` constraints, `a*b` fewer witness variables.
+pub fn synthesize_vanilla_into(
+    cs: &mut ConstraintSystem<Fr>,
+    x: &[Vec<LinearCombination<Fr>>],
+    w: &[Vec<LinearCombination<Fr>>],
+    y_out: &[Vec<LinearCombination<Fr>>],
+) {
+    vanilla_core(cs, x, w, Some(y_out));
+}
+
+/// [`synthesize_vanilla_psq`] with caller-supplied output cells: the last
+/// prefix-sum constraint writes `y_out[i][j] - acc_{n-2}` instead of
+/// allocating the final accumulator. Same `a*b*n` constraints.
+pub fn synthesize_vanilla_psq_into(
+    cs: &mut ConstraintSystem<Fr>,
+    x: &[Vec<LinearCombination<Fr>>],
+    w: &[Vec<LinearCombination<Fr>>],
+    y_out: &[Vec<LinearCombination<Fr>>],
+) {
+    vanilla_psq_core(cs, x, w, Some(y_out));
+}
+
+/// The one copy of the vanilla constraint-emission loop: products are
+/// computed (and their witnesses allocated) exactly once; the long
+/// addition writes into the supplied cell when `y_out` is given, or into a
+/// fresh witness otherwise.
+fn vanilla_core(
+    cs: &mut ConstraintSystem<Fr>,
+    x: &[Vec<LinearCombination<Fr>>],
+    w: &[Vec<LinearCombination<Fr>>],
+    y_out: Option<&[Vec<LinearCombination<Fr>>]>,
+) -> Vec<Vec<LinearCombination<Fr>>> {
     let n = w.len();
     let b = w[0].len();
-    let mut y = Vec::with_capacity(a);
-    for xi in x.iter().take(a) {
+    let mut y = Vec::with_capacity(x.len());
+    for (i, xi) in x.iter().enumerate() {
+        let mut row = Vec::with_capacity(b);
+        for j in 0..b {
+            let mut sum_val = Fr::zero();
+            let mut sum_lc = LinearCombination::zero();
+            for (k, wk) in w.iter().enumerate().take(n) {
+                let val = cs.eval_lc(&xi[k]) * cs.eval_lc(&wk[j]);
+                sum_val += val;
+                let p = cs.alloc_witness(val);
+                cs.enforce_named(xi[k].clone(), wk[j].clone(), p.into(), "vanilla product");
+                sum_lc.push(p, Fr::one());
+            }
+            // long addition: (sum of products) * 1 = y_ij
+            let y_ij = match y_out {
+                Some(out) => out[i][j].clone(),
+                None => cs.alloc_witness(sum_val).into(),
+            };
+            cs.enforce_named(
+                sum_lc,
+                LinearCombination::constant(Fr::one()),
+                y_ij.clone(),
+                "vanilla long addition",
+            );
+            row.push(y_ij);
+        }
+        y.push(row);
+    }
+    y
+}
+
+/// The one copy of the PSQ constraint-emission loop: each product feeds a
+/// prefix-sum accumulator exactly once; the final constraint writes into
+/// the supplied cell when `y_out` is given, or into a fresh accumulator
+/// witness (which *is* the output) otherwise.
+fn vanilla_psq_core(
+    cs: &mut ConstraintSystem<Fr>,
+    x: &[Vec<LinearCombination<Fr>>],
+    w: &[Vec<LinearCombination<Fr>>],
+    y_out: Option<&[Vec<LinearCombination<Fr>>]>,
+) -> Vec<Vec<LinearCombination<Fr>>> {
+    let n = w.len();
+    let b = w[0].len();
+    let mut y = Vec::with_capacity(x.len());
+    for (i, xi) in x.iter().enumerate() {
         let mut row = Vec::with_capacity(b);
         for j in 0..b {
             let mut prev_lc = LinearCombination::zero();
             let mut prev_val = Fr::zero();
             let mut last = LinearCombination::zero();
             for (k, wk) in w.iter().enumerate().take(n) {
+                // last step with a supplied cell: x_ik * w_kj = y_ij - acc_{n-2}
+                if k + 1 == n {
+                    if let Some(out) = y_out {
+                        cs.enforce_named(
+                            xi[k].clone(),
+                            wk[j].clone(),
+                            out[i][j].clone() - &prev_lc,
+                            "psq final product",
+                        );
+                        last = out[i][j].clone();
+                        continue;
+                    }
+                }
                 let term = cs.eval_lc(&xi[k]) * cs.eval_lc(&wk[j]);
                 let acc_val = prev_val + term;
                 let acc = cs.alloc_witness(acc_val);

@@ -2,9 +2,16 @@
 //! [`MixerSchedule`] into one R1CS covering the whole forward pass
 //! (embedding, every Transformer block, pooling and the classifier head),
 //! together with per-layer constraint statistics.
+//!
+//! The class logits of the reference run are bound as **public instance
+//! variables**, so a proof over a [`ModelCircuit`] commits to the concrete
+//! inference result: verifying the same proof against different claimed
+//! logits fails. `ModelCircuit` implements [`Circuit`], which is how the
+//! `zkvc-runtime` proving pool and CLI consume it.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use zkvc_core::api::Circuit;
 use zkvc_core::fixed::FixedPointConfig;
 use zkvc_core::matmul::Strategy;
 use zkvc_core::nonlinear::SoftmaxConfig;
@@ -43,12 +50,33 @@ pub struct ModelCircuit {
 impl ModelCircuit {
     /// Builds the circuit for a model with synthetic weights and a synthetic
     /// input, using the given matmul strategy. `seed` makes the synthetic
-    /// initialisation reproducible.
+    /// initialisation reproducible and also derives the CRPC challenge.
     pub fn build(
         model: &ModelConfig,
         schedule: &MixerSchedule,
         strategy: Strategy,
         seed: u64,
+    ) -> ModelCircuit {
+        // CRPC challenge: derived from the seed here; production callers
+        // would derive it from a transcript over committed inputs/weights
+        // (see zkvc-core::matmul::ZSource) or sample it at setup time and
+        // pass it through [`ModelCircuit::build_seeded`].
+        let z = Fr::from_u64(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1);
+        Self::build_seeded(model, schedule, strategy, seed, z)
+    }
+
+    /// Like [`ModelCircuit::build`], but with the CRPC challenge supplied
+    /// by the caller, decoupled from the weight/input seed. Because `z` is
+    /// baked into the constraint coefficients, every circuit built with the
+    /// same `(model, schedule, strategy, z)` shares one shape — which is
+    /// what lets a batch of per-`weight_seed` model jobs share a single
+    /// setup in the runtime's key cache.
+    pub fn build_seeded(
+        model: &ModelConfig,
+        schedule: &MixerSchedule,
+        strategy: Strategy,
+        weight_seed: u64,
+        z: Fr,
     ) -> ModelCircuit {
         assert_eq!(
             schedule.num_layers(),
@@ -57,14 +85,9 @@ impl ModelCircuit {
         );
         let cfg = FixedPointConfig::default();
         let softmax_cfg = SoftmaxConfig::default();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = StdRng::seed_from_u64(weight_seed);
         let mut cs = ConstraintSystem::<Fr>::new();
         let mut layers = Vec::new();
-
-        // CRPC challenge: derived from the seed here; production callers
-        // would derive it from a transcript over committed inputs/weights
-        // (see zkvc-core::matmul::ZSource).
-        let z = Fr::from_u64(seed.wrapping_mul(0x9E3779B97F4A7C15) | 1);
 
         let first = &model.layers[0];
         // Synthetic input tokens and embedding.
@@ -131,6 +154,14 @@ impl ModelCircuit {
         let w_head_lcs = alloc_tensor(&mut cs, &w_head);
         let logits_lcs = linear(&mut cs, &pooled, &w_head_lcs, strategy, z, &cfg);
         let logits: Vec<Fr> = logits_lcs[0].iter().map(|lc| cs.eval_lc(lc)).collect();
+        // Bind the inference result: each logit becomes a public instance
+        // variable constrained to equal the classifier output, so the proof
+        // commits to the concrete logits, not just the circuit shape.
+        let public_logits: Vec<zkvc_r1cs::LinearCombination<Fr>> = logits
+            .iter()
+            .map(|value| cs.alloc_instance(*value).into())
+            .collect();
+        zkvc_core::api::bind_public_outputs(&mut cs, &logits_lcs[0], &public_logits);
         layers.push(LayerStats {
             label: "classifier".to_string(),
             constraints: cs.num_constraints() - before.0,
@@ -153,6 +184,16 @@ impl ModelCircuit {
     /// Total variables in the circuit.
     pub fn num_variables(&self) -> usize {
         self.cs.num_variables()
+    }
+}
+
+impl Circuit for ModelCircuit {
+    fn constraint_system(&self) -> &ConstraintSystem<Fr> {
+        &self.cs
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
     }
 }
 
@@ -202,6 +243,7 @@ fn resize_tokens(
 mod tests {
     use super::*;
     use crate::models::VitConfig;
+    use zkvc_ff::Field;
 
     #[test]
     fn tiny_vit_circuit_is_satisfiable_for_all_schedules() {
@@ -240,6 +282,41 @@ mod tests {
         let pool = ModelCircuit::build(&cfg, &MixerSchedule::soft_free_p(3), Strategy::CrpcPsq, 3);
         assert!(soft.num_constraints() > hybrid.num_constraints());
         assert!(hybrid.num_constraints() > pool.num_constraints());
+    }
+
+    #[test]
+    fn logits_are_bound_as_public_outputs() {
+        let cfg = VitConfig::custom(1, 1, 4, 2, 3).to_model();
+        let circuit =
+            ModelCircuit::build(&cfg, &MixerSchedule::soft_free_p(1), Strategy::CrpcPsq, 5);
+        assert!(circuit.cs.is_satisfied());
+        // The instance assignment is exactly the logits, in order.
+        assert_eq!(circuit.cs.num_instance(), 3);
+        assert_eq!(circuit.public_outputs(), circuit.logits);
+        // Claiming different logits breaks the circuit.
+        let mut instance = circuit.cs.instance_assignment().to_vec();
+        instance[1] += Fr::one();
+        let mut cs = circuit.cs.clone();
+        cs.set_instance_assignment(instance);
+        assert!(!cs.is_satisfied(), "tampered logit accepted");
+    }
+
+    #[test]
+    fn build_seeded_shares_shape_across_weight_seeds() {
+        // Same (model, schedule, strategy, z), different weights: one
+        // circuit shape — the property the runtime key cache relies on.
+        let cfg = VitConfig::custom(1, 1, 4, 2, 2).to_model();
+        let schedule = MixerSchedule::soft_free_p(1);
+        let z = Fr::from_u64(0xABCD_1234);
+        let c1 = ModelCircuit::build_seeded(&cfg, &schedule, Strategy::CrpcPsq, 1, z);
+        let c2 = ModelCircuit::build_seeded(&cfg, &schedule, Strategy::CrpcPsq, 2, z);
+        assert!(c1.cs.is_satisfied() && c2.cs.is_satisfied());
+        assert_eq!(c1.shape_digest(), c2.shape_digest());
+        assert_ne!(c1.logits, c2.logits, "different weights, different result");
+        // A different challenge is a different shape (z sits in the
+        // constraint coefficients).
+        let c3 = ModelCircuit::build_seeded(&cfg, &schedule, Strategy::CrpcPsq, 1, z + Fr::one());
+        assert_ne!(c1.shape_digest(), c3.shape_digest());
     }
 
     #[test]

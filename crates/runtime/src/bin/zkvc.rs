@@ -1,12 +1,19 @@
 //! The `zkvc` command-line interface: batch proving with key caching and a
-//! worker pool, plus single-proof file round trips.
+//! worker pool, plus single-proof file round trips — for matmul statements
+//! *and* whole model-block inferences, all through the
+//! `Circuit`/`ProofSystem` trait layer.
 //!
 //! ```text
 //! zkvc prove-batch --spec 8x8x16:crpc+psq:groth16:x8 --workers 4 [--seed N] [--compare-serial]
 //! zkvc prove  --spec 8x8x16:zkvc:g [--seed N] --out proof.bin
+//! zkvc prove  --spec mixer-block:spartan --out model.bin
 //! zkvc verify --in proof.bin --spec 8x8x16:zkvc:g [--seed N]
 //! zkvc help
 //! ```
+//!
+//! Every command path returns `Result<(), zkvc_runtime::Error>`; exit codes
+//! are data-driven in `main` via [`Error::exit_code`] (`1` = the proof is
+//! bad, `2` = the invocation is bad).
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -15,8 +22,8 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use zkvc_runtime::{
-    build_statement, circuit_shape_digest, prove_batch_serial, DiskKeyCache, JobSpec, KeyCache,
-    ProofEnvelope, ProvingPool,
+    build_statement, prove_batch_serial, DiskKeyCache, Error, JobSpec, KeyCache, ProofEnvelope,
+    ProvingPool,
 };
 
 const USAGE: &str = "\
@@ -29,9 +36,14 @@ USAGE:
     zkvc help
 
 SPEC grammar:
-    AxNxB[:STRATEGY][:BACKEND][:xCOUNT]
+    FIRST[:FIELD]*  where FIRST selects the statement and FIELDs follow in
+    any order:
+    FIRST:    AxNxB matmul dimensions, or a model preset:
+              mixer-block | bert-block | vit-micro
     STRATEGY: vanilla | vanilla+psq | crpc | crpc+psq (alias: zkvc)
     BACKEND:  groth16 (alias: g) | spartan (alias: s)
+    private:  keep matmul outputs as witnesses (shape binding only);
+              by default Y is public, so the proof binds the statement
     xCOUNT:   repeat the job COUNT times (prove-batch only)
 
 OPTIONS (prove-batch):
@@ -48,8 +60,9 @@ OPTIONS (prove / verify):
 
 EXAMPLES:
     zkvc prove-batch --spec 8x8x16:crpc+psq:groth16:x8 --workers 4 --compare-serial
-    zkvc prove-batch --spec 4x4x4:zkvc:g:x4 --spec 4x4x4:zkvc:s:x4
+    zkvc prove-batch --spec 4x4x4:zkvc:g:x4 --spec mixer-block:spartan:x4
     zkvc prove --spec 8x8x16:zkvc:g --out proof.bin && zkvc verify --in proof.bin --spec 8x8x16:zkvc:g
+    zkvc prove --spec bert-block:spartan --out bert.bin && zkvc verify --in bert.bin --spec bert-block:spartan
 ";
 
 fn main() -> ExitCode {
@@ -66,14 +79,15 @@ fn main() -> ExitCode {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
         }
-        other => Err(format!("unknown command {other:?}; try `zkvc help`")),
+        other => Err(Error::Usage(format!(
+            "unknown command {other:?}; try `zkvc help`"
+        ))),
     };
     match result {
-        Ok(true) => ExitCode::SUCCESS,
-        Ok(false) => ExitCode::FAILURE,
-        Err(message) => {
-            eprintln!("error: {message}");
-            ExitCode::from(2)
+        Ok(()) => ExitCode::SUCCESS,
+        Err(error) => {
+            eprintln!("error: {error}");
+            ExitCode::from(error.exit_code())
         }
     }
 }
@@ -85,7 +99,7 @@ fn reject_unknown_args(
     args: &[String],
     flags_with_value: &[&str],
     bare_flags: &[&str],
-) -> Result<(), String> {
+) -> Result<(), Error> {
     let mut i = 0;
     while i < args.len() {
         let arg = args[i].as_str();
@@ -94,42 +108,46 @@ fn reject_unknown_args(
         } else if bare_flags.contains(&arg) {
             i += 1;
         } else {
-            return Err(format!("unknown argument {arg:?}; try `zkvc help`"));
+            return Err(Error::Usage(format!(
+                "unknown argument {arg:?}; try `zkvc help`"
+            )));
         }
     }
     Ok(())
 }
 
 /// Pulls the value following a `--flag` occurrence out of `args`.
-fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, String> {
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Result<Option<&'a str>, Error> {
     match args.iter().position(|a| a == flag) {
         None => Ok(None),
         Some(i) => args
             .get(i + 1)
             .map(|s| Some(s.as_str()))
-            .ok_or_else(|| format!("{flag} requires a value")),
+            .ok_or_else(|| Error::Usage(format!("{flag} requires a value"))),
     }
 }
 
-fn parse_common(args: &[String]) -> Result<(Vec<JobSpec>, u64), String> {
+fn parse_common(args: &[String]) -> Result<(Vec<JobSpec>, u64), Error> {
     let mut specs = Vec::new();
     for (i, arg) in args.iter().enumerate() {
         if arg == "--spec" {
             let value = args
                 .get(i + 1)
-                .ok_or_else(|| "--spec requires a value".to_string())?;
+                .ok_or_else(|| Error::Usage("--spec requires a value".into()))?;
             let (spec, count) = JobSpec::parse(value)?;
             specs.extend(std::iter::repeat_n(spec, count));
         }
     }
     let seed = match flag_value(args, "--seed")? {
-        Some(s) => s.parse::<u64>().map_err(|_| format!("bad --seed {s:?}"))?,
+        Some(s) => s
+            .parse::<u64>()
+            .map_err(|_| Error::Usage(format!("bad --seed {s:?}")))?,
         None => 0,
     };
     Ok((specs, seed))
 }
 
-fn cmd_prove_batch(args: &[String]) -> Result<bool, String> {
+fn cmd_prove_batch(args: &[String]) -> Result<(), Error> {
     reject_unknown_args(
         args,
         &["--spec", "--seed", "--workers"],
@@ -137,14 +155,14 @@ fn cmd_prove_batch(args: &[String]) -> Result<bool, String> {
     )?;
     let (specs, seed) = parse_common(args)?;
     if specs.is_empty() {
-        return Err("prove-batch needs at least one --spec".into());
+        return Err(Error::Usage("prove-batch needs at least one --spec".into()));
     }
     let workers = match flag_value(args, "--workers")? {
         Some(s) => s
             .parse::<usize>()
             .ok()
             .filter(|w| *w > 0)
-            .ok_or_else(|| format!("bad --workers {s:?}"))?,
+            .ok_or_else(|| Error::Usage(format!("bad --workers {s:?}")))?,
         None => std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(4),
@@ -159,6 +177,7 @@ fn cmd_prove_batch(args: &[String]) -> Result<bool, String> {
     let pooled_wall = t0.elapsed();
     print!("{}", report.render_table("zkvc prove-batch"));
 
+    let mut all_ok = report.all_verified();
     if args.iter().any(|a| a == "--compare-serial") {
         let t1 = Instant::now();
         let serial = prove_batch_serial(&specs, seed);
@@ -173,11 +192,13 @@ fn cmd_prove_batch(args: &[String]) -> Result<bool, String> {
             pooled_wall.as_secs_f64(),
             serial_wall.as_secs_f64()
         );
-        if !serial.all_verified() {
-            return Ok(false);
-        }
+        all_ok &= serial.all_verified();
     }
-    Ok(report.all_verified())
+    if all_ok {
+        Ok(())
+    } else {
+        Err(Error::VerificationFailed)
+    }
 }
 
 /// Resolves the `--key-cache` flag: explicit directory, `none` to disable,
@@ -187,7 +208,7 @@ fn cmd_prove_batch(args: &[String]) -> Result<bool, String> {
 /// never point at a world-writable location like the shared OS temp dir
 /// (another user could plant a well-formed vk + matching forged proof at
 /// the predictable path). With no home directory the cache is disabled.
-fn key_cache_from_args(args: &[String]) -> Result<Option<DiskKeyCache>, String> {
+fn key_cache_from_args(args: &[String]) -> Result<Option<DiskKeyCache>, Error> {
     match flag_value(args, "--key-cache")? {
         Some("none") => Ok(None),
         Some(dir) => Ok(Some(DiskKeyCache::new(dir))),
@@ -205,79 +226,103 @@ fn key_cache_from_args(args: &[String]) -> Result<Option<DiskKeyCache>, String> 
     }
 }
 
-fn cmd_prove(args: &[String]) -> Result<bool, String> {
+fn cmd_prove(args: &[String]) -> Result<(), Error> {
     reject_unknown_args(args, &["--spec", "--seed", "--out", "--key-cache"], &[])?;
     let (specs, seed) = parse_common(args)?;
     let [spec] = specs[..] else {
-        return Err("prove needs exactly one --spec (without :xCOUNT)".into());
+        return Err(Error::Usage(
+            "prove needs exactly one --spec (without :xCOUNT)".into(),
+        ));
     };
-    let out_path =
-        flag_value(args, "--out")?.ok_or_else(|| "prove requires --out FILE".to_string())?;
+    let out_path = flag_value(args, "--out")?
+        .ok_or_else(|| Error::Usage("prove requires --out FILE".into()))?;
 
     let statement = build_statement(seed, 0, &spec);
     let cache = KeyCache::with_seed(seed);
-    let (keys, _) = cache.get_or_setup(spec.backend, &statement.cs);
+    let (keys, _) = cache.get_or_setup_circuit(spec.backend(), statement.as_ref());
     // Seed the disk cache so a later `zkvc verify` starts warm.
     if let (Some(disk), zkvc_core::VerifierKey::Groth16(vk)) =
         (key_cache_from_args(args)?, &keys.verifier)
     {
-        let digest = circuit_shape_digest(&statement.cs);
-        if let Err(e) = disk.store_groth16_vk(&digest, seed, vk) {
+        if let Err(e) = disk.store_groth16_vk(&keys.digest, seed, vk) {
             eprintln!("warning: could not persist vk to key cache: {e}");
         }
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let t0 = Instant::now();
     let artifacts = spec
-        .backend
-        .prove_with_key(&keys.prover, &statement.cs, &mut rng);
+        .backend()
+        .system()
+        .prove(&keys.prover, statement.as_ref(), &mut rng);
     let bytes = ProofEnvelope::from_artifacts(&artifacts).to_bytes();
-    std::fs::write(out_path, &bytes).map_err(|e| format!("writing {out_path:?}: {e}"))?;
+    std::fs::write(out_path, &bytes).map_err(|e| Error::io(out_path, e))?;
     println!(
-        "proved {spec} in {:.3}s ({} constraints), wrote {} bytes to {out_path}",
+        "proved {} ({spec}) in {:.3}s ({} constraints, {} public outputs), wrote {} bytes to {out_path}",
+        statement.name(),
         t0.elapsed().as_secs_f64(),
         artifacts.metrics.num_constraints,
+        artifacts.public_inputs.len(),
         bytes.len()
     );
-    Ok(true)
+    Ok(())
 }
 
-fn cmd_verify(args: &[String]) -> Result<bool, String> {
+fn cmd_verify(args: &[String]) -> Result<(), Error> {
     reject_unknown_args(args, &["--spec", "--seed", "--in", "--key-cache"], &[])?;
     let (specs, seed) = parse_common(args)?;
     let [spec] = specs[..] else {
-        return Err("verify needs exactly one --spec matching the one used to prove".into());
-    };
-    let in_path =
-        flag_value(args, "--in")?.ok_or_else(|| "verify requires --in FILE".to_string())?;
-    let bytes = std::fs::read(in_path).map_err(|e| format!("reading {in_path:?}: {e}"))?;
-    let envelope =
-        ProofEnvelope::from_bytes(&bytes).ok_or_else(|| "malformed proof envelope".to_string())?;
-    if envelope.backend != spec.backend {
-        return Err(format!(
-            "proof was produced by the {} backend, spec says {}",
-            envelope.backend.name(),
-            spec.backend.name()
+        return Err(Error::Usage(
+            "verify needs exactly one --spec matching the one used to prove".into(),
         ));
+    };
+    let in_path = flag_value(args, "--in")?
+        .ok_or_else(|| Error::Usage("verify requires --in FILE".into()))?;
+    let bytes = std::fs::read(in_path).map_err(|e| Error::io(in_path, e))?;
+    let envelope = ProofEnvelope::from_bytes(&bytes).ok_or(Error::MalformedEnvelope)?;
+    if envelope.backend != spec.backend() {
+        return Err(Error::BackendMismatch {
+            proof: envelope.backend,
+            expected: spec.backend(),
+        });
     }
-    // Obtain the expected verifier key for the spec'd circuit shape (the
-    // CRS/preprocessing is deterministic in (seed, shape)) and verify
-    // against it — never against the envelope's own embedded vk — so an
-    // envelope built from some other circuit's setup fails even though it
-    // is internally consistent. For Groth16 the key is loaded from the
-    // on-disk cache when available, making repeat verification
-    // O(pairing); on a miss the CRS is derived once and the vk persisted.
-    // Note the matmul circuits keep X/W/Y as witness variables (no public
-    // inputs), so this binds the proof to the circuit shape and key
-    // material, not to one specific input matrix; statement-level binding
-    // needs public outputs (see ROADMAP).
+    // Rebuild the statement the spec names (inputs, weights and public
+    // outputs are all deterministic in the seed) and check the proof
+    // against it in two steps. First, statement binding: the envelope's
+    // public inputs must be exactly the statement's expected public
+    // outputs — a replayed proof for the same shape but a different Y (or
+    // different logits) is rejected here, before any cryptography runs.
+    // Circuits built with `:private` have no public outputs, in which case
+    // the proof binds the circuit shape + key material only.
     let statement = build_statement(seed, 0, &spec);
-    let digest = circuit_shape_digest(&statement.cs);
+    let expected = statement.public_outputs();
+    if expected.is_empty() {
+        println!("statement binding: none (private outputs; shape + key binding only)");
+    } else if envelope.public_inputs == expected {
+        println!(
+            "statement binding: OK ({} public outputs match)",
+            expected.len()
+        );
+    } else {
+        println!(
+            "statement binding: MISMATCH (proof binds different outputs than {spec} job 0 at seed {seed})"
+        );
+        return Err(Error::StatementMismatch);
+    }
+
+    // Second, cryptographic verification against the *expected* verifier
+    // key for the spec'd circuit shape (the CRS/preprocessing is
+    // deterministic in (seed, shape)) — never against the envelope's own
+    // embedded vk — so an envelope built from some other circuit's setup
+    // fails even though it is internally consistent. For Groth16 the key
+    // is loaded from the on-disk cache when available, making repeat
+    // verification O(pairing); on a miss the CRS is derived once and the
+    // vk persisted.
+    let digest = statement.shape_digest();
     let disk = key_cache_from_args(args)?;
 
     let t_key = Instant::now();
     let mut key_source = "derived (no key cache)";
-    let verifier = if spec.backend == zkvc_core::Backend::Groth16 {
+    let verifier = if spec.backend() == zkvc_core::Backend::Groth16 {
         match disk.as_ref().and_then(|d| d.load_groth16_vk(&digest, seed)) {
             Some(vk) => {
                 key_source = "disk cache hit";
@@ -285,7 +330,7 @@ fn cmd_verify(args: &[String]) -> Result<bool, String> {
             }
             None => {
                 let cache = KeyCache::with_seed(seed);
-                let (keys, _) = cache.get_or_setup(spec.backend, &statement.cs);
+                let (keys, _) = cache.get_or_setup_circuit(spec.backend(), statement.as_ref());
                 if let (Some(d), zkvc_core::VerifierKey::Groth16(vk)) = (&disk, &keys.verifier) {
                     if let Err(e) = d.store_groth16_vk(&digest, seed, vk) {
                         eprintln!("warning: could not persist vk to key cache: {e}");
@@ -301,7 +346,7 @@ fn cmd_verify(args: &[String]) -> Result<bool, String> {
         // circuit structure; nothing worth persisting.
         let cache = KeyCache::with_seed(seed);
         cache
-            .get_or_setup(spec.backend, &statement.cs)
+            .get_or_setup_circuit(spec.backend(), statement.as_ref())
             .0
             .verifier
             .clone()
@@ -319,5 +364,9 @@ fn cmd_verify(args: &[String]) -> Result<bool, String> {
         if ok { "OK" } else { "FAILED" },
         t0.elapsed().as_secs_f64()
     );
-    Ok(ok)
+    if ok {
+        Ok(())
+    } else {
+        Err(Error::VerificationFailed)
+    }
 }

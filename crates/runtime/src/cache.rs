@@ -24,11 +24,10 @@ use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use zkvc_core::api::{Circuit, RawCircuit};
 use zkvc_core::{Backend, ProverKey, VerifierKey};
 use zkvc_ff::Fr;
 use zkvc_r1cs::ConstraintSystem;
-
-use crate::digest::circuit_shape_digest;
 
 /// The cached product of one [`Backend::setup`] run for one circuit shape.
 #[derive(Debug)]
@@ -95,15 +94,27 @@ impl KeyCache {
         }
     }
 
-    /// Returns the keys for the shape of `cs`, running `backend.setup` at
-    /// most once per shape. The boolean is `true` when the entry already
-    /// existed (a cache hit).
+    /// Returns the keys for the shape of `cs`, running the backend's
+    /// [`ProofSystem::setup`](zkvc_core::ProofSystem::setup) at most once
+    /// per shape. The boolean is `true` when the entry already existed (a
+    /// cache hit).
     pub fn get_or_setup(
         &self,
         backend: Backend,
         cs: &ConstraintSystem<Fr>,
     ) -> (std::sync::Arc<CircuitKeys>, bool) {
-        let digest = circuit_shape_digest(cs);
+        self.get_or_setup_circuit(backend, &RawCircuit::new(cs))
+    }
+
+    /// Trait-object entry point used by the proving pool: any
+    /// [`Circuit`] — a matmul job, a whole model forward pass — is cached
+    /// under its [`Circuit::shape_digest`].
+    pub fn get_or_setup_circuit(
+        &self,
+        backend: Backend,
+        circuit: &dyn Circuit,
+    ) -> (std::sync::Arc<CircuitKeys>, bool) {
+        let digest = circuit.shape_digest();
         let cell = {
             let mut map = self.entries.lock().expect("key cache poisoned");
             map.entry((digest, backend))
@@ -117,7 +128,7 @@ impl KeyCache {
                 ran_setup = true;
                 let mut rng = StdRng::seed_from_u64(self.setup_seed(&digest, backend));
                 let t0 = Instant::now();
-                let (prover, verifier) = backend.setup(cs, &mut rng);
+                let (prover, verifier) = backend.system().setup(circuit, &mut rng);
                 std::sync::Arc::new(CircuitKeys {
                     backend,
                     digest,

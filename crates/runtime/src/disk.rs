@@ -79,7 +79,7 @@ mod tests {
     use zkvc_core::{Backend, VerifierKey};
 
     use crate::cache::KeyCache;
-    use crate::digest::circuit_shape_digest;
+    use zkvc_core::circuit_shape_digest;
 
     fn temp_dir(tag: &str) -> PathBuf {
         let dir =

@@ -1,0 +1,145 @@
+//! The typed error surface of the runtime and the `zkvc` CLI.
+//!
+//! Every CLI command path returns `Result<(), Error>`; `main` maps the
+//! error to a process exit code via [`Error::exit_code`], so exit statuses
+//! are data-driven rather than scattered `process::exit` calls:
+//! verification-class failures exit `1`, usage/input errors exit `2`.
+
+use core::fmt;
+use std::io;
+use std::path::PathBuf;
+
+use zkvc_core::Backend;
+
+/// Everything that can go wrong in the runtime's CLI-facing paths.
+#[derive(Debug)]
+pub enum Error {
+    /// The command line was malformed: unknown flag, missing value,
+    /// missing required argument.
+    Usage(String),
+    /// A job spec string failed to parse.
+    Spec {
+        /// The offending spec input.
+        input: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// An I/O operation on a user-supplied path failed.
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
+    /// Proof envelope bytes could not be decoded.
+    MalformedEnvelope,
+    /// The envelope was produced by a different backend than the spec
+    /// demands.
+    BackendMismatch {
+        /// Backend recorded in the envelope.
+        proof: Backend,
+        /// Backend the spec expects.
+        expected: Backend,
+    },
+    /// The proof's claimed public outputs differ from the statement being
+    /// verified — a replayed or cross-statement proof.
+    StatementMismatch,
+    /// The proof failed cryptographic verification.
+    VerificationFailed,
+}
+
+impl Error {
+    /// Builds a [`Error::Spec`] from an input string and a reason.
+    pub fn spec(input: impl Into<String>, reason: impl fmt::Display) -> Self {
+        Error::Spec {
+            input: input.into(),
+            reason: reason.to_string(),
+        }
+    }
+
+    /// Builds a [`Error::Io`] from a path and an I/O error.
+    pub fn io(path: impl Into<PathBuf>, source: io::Error) -> Self {
+        Error::Io {
+            path: path.into(),
+            source,
+        }
+    }
+
+    /// The process exit code this error maps to: `1` for
+    /// verification-class failures (the proof is bad), `2` for
+    /// usage/input errors (the invocation is bad).
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            Error::VerificationFailed | Error::StatementMismatch => 1,
+            Error::Usage(_)
+            | Error::Spec { .. }
+            | Error::Io { .. }
+            | Error::MalformedEnvelope
+            | Error::BackendMismatch { .. } => 2,
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Usage(message) => write!(f, "{message}"),
+            Error::Spec { input, reason } => write!(f, "bad spec {input:?}: {reason}"),
+            Error::Io { path, source } => write!(f, "{}: {source}", path.display()),
+            Error::MalformedEnvelope => write!(f, "malformed proof envelope"),
+            Error::BackendMismatch { proof, expected } => write!(
+                f,
+                "proof was produced by the {proof} backend, spec says {expected}"
+            ),
+            Error::StatementMismatch => {
+                write!(f, "proof public outputs do not match the statement")
+            }
+            Error::VerificationFailed => write!(f, "proof verification failed"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_are_data_driven() {
+        assert_eq!(Error::VerificationFailed.exit_code(), 1);
+        assert_eq!(Error::StatementMismatch.exit_code(), 1);
+        assert_eq!(Error::Usage("x".into()).exit_code(), 2);
+        assert_eq!(Error::spec("1x2", "oops").exit_code(), 2);
+        assert_eq!(Error::MalformedEnvelope.exit_code(), 2);
+        assert_eq!(
+            Error::BackendMismatch {
+                proof: Backend::Groth16,
+                expected: Backend::Spartan
+            }
+            .exit_code(),
+            2
+        );
+        let io = Error::io("/nope", io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert_eq!(io.exit_code(), 2);
+        assert!(std::error::Error::source(&io).is_some());
+    }
+
+    #[test]
+    fn messages_name_the_offender() {
+        let e = Error::spec("2x2x2:bogus", "unknown strategy \"bogus\"");
+        assert!(e.to_string().contains("2x2x2:bogus"));
+        let e = Error::BackendMismatch {
+            proof: Backend::Groth16,
+            expected: Backend::Spartan,
+        };
+        assert!(e.to_string().contains("groth16") && e.to_string().contains("spartan"));
+    }
+}

@@ -1,15 +1,19 @@
 //! # zkvc-runtime
 //!
-//! The batch-proving service layer above the raw `zkvc-core` backends:
-//! turns the one-shot `prove` call into a reusable, concurrent pipeline.
+//! The batch-proving service layer above the `zkvc-core` proof systems:
+//! turns the one-shot prove call into a reusable, concurrent pipeline. The
+//! whole layer is **circuit-generic** — jobs route through the
+//! [`Circuit`](zkvc_core::Circuit)/[`ProofSystem`](zkvc_core::ProofSystem)
+//! traits, so a bare matmul and a whole Transformer-block inference are
+//! the same thing to the pool, the cache and the CLI.
 //!
-//! * [`circuit_shape_digest`] — a SHA-256 fingerprint of an R1CS
-//!   *structure*, the identity under which key material is reusable.
-//! * [`KeyCache`] — runs [`Backend::setup`](zkvc_core::Backend::setup)
-//!   once per circuit shape and shares the resulting
-//!   [`ProverKey`](zkvc_core::ProverKey)/[`VerifierKey`](zkvc_core::VerifierKey)
-//!   across every job that proves that shape (Groth16 CRS and Spartan
-//!   preprocessing both amortise this way).
+//! * [`KeyCache`] — runs [`ProofSystem::setup`](zkvc_core::ProofSystem::setup)
+//!   once per circuit shape (keyed by
+//!   [`Circuit::shape_digest`](zkvc_core::Circuit::shape_digest)) and
+//!   shares the resulting [`ProverKey`](zkvc_core::ProverKey)/
+//!   [`VerifierKey`](zkvc_core::VerifierKey) across every job that proves
+//!   that shape (Groth16 CRS and Spartan preprocessing both amortise this
+//!   way).
 //! * [`DiskKeyCache`] — persists Groth16 verification keys on disk keyed
 //!   by shape digest + setup seed, so repeat `zkvc verify` invocations skip
 //!   CRS re-derivation entirely (constant-pairing verification).
@@ -18,37 +22,49 @@
 //!   ([`JobResult`]) and aggregate throughput stats ([`BatchReport`]).
 //! * [`ProofEnvelope`] — the self-describing byte format proofs travel in
 //!   (the pool round-trips every proof through it before verifying).
-//! * [`JobSpec`] — the `AxNxB:strategy:backend` job grammar shared with
-//!   the `zkvc` CLI binary.
+//! * [`JobSpec`] — the job grammar shared with the `zkvc` CLI binary:
+//!   `AxNxB` matmuls (public outputs by default, so proofs bind the
+//!   concrete `Y`) and [`ModelPreset`] forward passes whose logits are
+//!   always bound.
+//! * [`Error`] — the typed error surface of the CLI command paths, with
+//!   data-driven process exit codes.
 //!
 //! ## Example
 //!
 //! ```rust
-//! use zkvc_runtime::{prove_batch, JobSpec};
+//! use zkvc_runtime::{prove_batch, JobSpec, ModelPreset};
 //! use zkvc_core::Backend;
 //!
-//! // Four same-shape jobs: one setup, four proofs, two workers.
-//! let specs = vec![JobSpec::new(2, 3, 2).backend(Backend::Spartan); 4];
+//! // Four same-shape matmul jobs: one setup, four proofs, two workers.
+//! let specs = vec![JobSpec::new(2, 3, 2).with_backend(Backend::Spartan); 4];
 //! let report = prove_batch(&specs, 2, 1);
 //! assert!(report.all_verified());
 //! assert_eq!(report.cache.misses, 1);
 //! assert_eq!(report.cache.hits, 3);
+//!
+//! // A whole model block goes through the same pipeline.
+//! let nn = vec![JobSpec::model(ModelPreset::MixerBlock).with_backend(Backend::Spartan)];
+//! assert!(prove_batch(&nn, 1, 1).all_verified());
 //! ```
 
 #![warn(missing_docs)]
 
 mod cache;
-mod digest;
 mod disk;
+mod error;
 mod pool;
 mod serial;
 mod spec;
 
 pub use cache::{CacheStats, CircuitKeys, KeyCache};
-pub use digest::circuit_shape_digest;
 pub use disk::DiskKeyCache;
+pub use error::Error;
 pub use pool::{
     build_statement, prove_batch, prove_batch_serial, BatchKey, BatchReport, JobResult, ProvingPool,
 };
 pub use serial::{EnvelopeProof, ProofEnvelope};
-pub use spec::{parse_backend, parse_strategy, strategy_token, JobSpec};
+pub use spec::{JobSpec, ModelPreset};
+// The shape digest moved into `zkvc-core` with the trait API; re-exported
+// here so existing `zkvc_runtime::circuit_shape_digest` callers keep
+// working.
+pub use zkvc_core::circuit_shape_digest;

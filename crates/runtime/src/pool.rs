@@ -17,13 +17,15 @@ use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use zkvc_core::matmul::{MatMulBuilder, MatMulJob, ZSource};
+use zkvc_core::api::Circuit;
+use zkvc_core::matmul::{MatMulBuilder, ZSource};
 use zkvc_core::VerifierKey;
 use zkvc_hash::Transcript;
+use zkvc_nn::circuit::ModelCircuit;
 
 use crate::cache::{CacheStats, KeyCache};
 use crate::serial::ProofEnvelope;
-use crate::spec::{strategy_token, JobSpec};
+use crate::spec::JobSpec;
 
 /// The outcome of one pooled proving job.
 #[derive(Clone, Debug)]
@@ -142,9 +144,9 @@ impl BatchReport {
                 out,
                 "{:>4} {:<12} {:<12} {:<8} {:>6} {:>10.2} {:>10.2} {:>10.2} {:>9} {:>6}",
                 r.id,
-                format!("{}x{}x{}", r.spec.dims.0, r.spec.dims.1, r.spec.dims.2),
-                strategy_token(r.spec.strategy),
-                r.spec.backend.name(),
+                r.spec.shape_label(),
+                r.spec.strategy().token(),
+                r.spec.backend().name(),
                 if r.cache_hit { "hit" } else { "miss" },
                 r.build_time.as_secs_f64() * 1e3,
                 r.prove_time.as_secs_f64() * 1e3,
@@ -343,33 +345,77 @@ impl Drop for ProvingPool {
 }
 
 /// Derives the fixed CRPC folding challenge shared by every job with the
-/// same (seed, dims, strategy) — required so same-shape jobs share one
+/// same (seed, statement shape) — required so same-shape jobs share one
 /// circuit template and therefore one cache entry. This is the paper's
 /// "challenge sampled at setup time" Groth16 flow (`ZSource::Fixed`); see
 /// the soundness note on [`zkvc_core::matmul::ZSource`].
 fn fixed_z(seed: u64, spec: &JobSpec) -> zkvc_ff::Fr {
     let mut t = Transcript::new(b"zkvc-runtime-template-z");
     t.append_u64(b"seed", seed);
-    t.append_u64(b"a", spec.dims.0 as u64);
-    t.append_u64(b"n", spec.dims.1 as u64);
-    t.append_u64(b"b", spec.dims.2 as u64);
-    t.append_bytes(b"strategy", strategy_token(spec.strategy).as_bytes());
+    t.append_bytes(b"shape", spec.shape_label().as_bytes());
+    t.append_bytes(b"strategy", spec.strategy().token().as_bytes());
     t.challenge_field(b"z")
 }
 
-/// Builds the deterministic statement for `(seed, id, spec)`: random
-/// matrices drawn from the seeded per-job rng, and (for CRPC strategies)
-/// the shape-level fixed folding challenge. This is exactly the statement
-/// the pool proves for job `id`, so external tools (the `zkvc` CLI's
-/// `verify` subcommand) can reconstruct the circuit a proof refers to.
-pub fn build_statement(seed: u64, id: usize, spec: &JobSpec) -> MatMulJob {
-    let mut rng = StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-    let mut builder =
-        MatMulBuilder::new(spec.dims.0, spec.dims.1, spec.dims.2).strategy(spec.strategy);
-    if spec.strategy.uses_crpc() {
-        builder = builder.z_source(ZSource::Fixed(fixed_z(seed, spec)));
+/// Builds the deterministic statement for `(seed, id, spec)` as a
+/// [`Circuit`] trait object: matmul inputs (or model weights) drawn from
+/// the seeded per-job rng, and — for CRPC strategies — the shape-level
+/// fixed folding challenge. This is exactly the statement the pool proves
+/// for job `id`, so external tools (the `zkvc` CLI's `verify` subcommand)
+/// can reconstruct the circuit a proof refers to, including its expected
+/// public outputs.
+pub fn build_statement(seed: u64, id: usize, spec: &JobSpec) -> Box<dyn Circuit> {
+    let input_seed = seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    match spec {
+        JobSpec::MatMul {
+            dims,
+            strategy,
+            public_outputs,
+            ..
+        } => {
+            let mut rng = StdRng::seed_from_u64(input_seed);
+            let mut builder = MatMulBuilder::new(dims.0, dims.1, dims.2)
+                .strategy(*strategy)
+                .public_outputs(*public_outputs);
+            if strategy.uses_crpc() {
+                builder = builder.z_source(ZSource::Fixed(fixed_z(seed, spec)));
+            }
+            Box::new(builder.build_random(&mut rng))
+        }
+        JobSpec::Model {
+            preset, strategy, ..
+        } => {
+            let (model, schedule) = preset.config();
+            // The challenge is shape-level (shared across ids) while the
+            // weights are per-id, so a batch of model jobs shares one
+            // circuit shape and therefore one cache entry.
+            let circuit = ModelCircuit::build_seeded(
+                &model,
+                &schedule,
+                *strategy,
+                input_seed,
+                fixed_z(seed, spec),
+            );
+            Box::new(circuit)
+        }
     }
-    builder.build_random(&mut rng)
+}
+
+/// The pool's acceptance predicate for a proof that claims to prove
+/// `statement`: the envelope must decode, its public inputs must be
+/// exactly the statement's expected public outputs (statement binding — a
+/// replayed same-shape proof for a different `Y` dies here; trivially
+/// satisfied for circuits with no public outputs), and the proof must pass
+/// the supplied cryptographic check.
+fn envelope_verifies_for_statement(
+    bytes: &[u8],
+    statement: &dyn Circuit,
+    verify: impl FnOnce(&ProofEnvelope) -> bool,
+) -> bool {
+    match ProofEnvelope::from_bytes(bytes) {
+        Some(envelope) => envelope.public_inputs == statement.public_outputs() && verify(&envelope),
+        None => false,
+    }
 }
 
 fn run_job(job: QueuedJob, seed: u64, cache: &KeyCache) -> JobResult {
@@ -379,29 +425,28 @@ fn run_job(job: QueuedJob, seed: u64, cache: &KeyCache) -> JobResult {
     let statement = build_statement(seed, job.id, &job.spec);
     let build_time = t0.elapsed();
 
-    let (keys, cache_hit) = cache.get_or_setup(job.spec.backend, &statement.cs);
+    let system = job.spec.backend().system();
+    let (keys, cache_hit) = cache.get_or_setup_circuit(job.spec.backend(), statement.as_ref());
 
     let mut prover_rng =
         StdRng::seed_from_u64(seed ^ (job.id as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
     let t1 = Instant::now();
-    let artifacts = job
-        .spec
-        .backend
-        .prove_with_key(&keys.prover, &statement.cs, &mut prover_rng);
+    let artifacts = system.prove(&keys.prover, statement.as_ref(), &mut prover_rng);
     let prove_time = t1.elapsed();
     let num_constraints = artifacts.metrics.num_constraints;
 
     // Cross the byte boundary before verifying, as a remote consumer
     // would. Pool envelopes are keyless: the Groth16 vk ships once per
-    // batch in the report's key table, not once per proof.
+    // batch in the report's key table, not once per proof. Verification
+    // checks statement binding first: the envelope's public inputs must be
+    // exactly the statement's expected public outputs.
     let proof_bytes = ProofEnvelope::from_artifacts(&artifacts)
         .without_vk()
         .to_bytes();
     let t2 = Instant::now();
-    let verified = match ProofEnvelope::from_bytes(&proof_bytes) {
-        Some(envelope) => envelope.verify_with_key(&keys.verifier),
-        None => false,
-    };
+    let verified = envelope_verifies_for_statement(&proof_bytes, statement.as_ref(), |envelope| {
+        envelope.verify_with_key(&keys.verifier)
+    });
     let verify_time = t2.elapsed();
 
     JobResult {
@@ -430,8 +475,9 @@ pub fn prove_batch(specs: &[JobSpec], workers: usize, seed: u64) -> BatchReport 
 }
 
 /// The naive baseline the pool is measured against: the same deterministic
-/// jobs, proved sequentially with a fresh one-shot `Backend::prove` (setup
-/// re-run per job, no cache, no parallelism).
+/// jobs, proved sequentially with a fresh one-shot
+/// [`ProofSystem::prove_oneshot`](zkvc_core::ProofSystem::prove_oneshot)
+/// (setup re-run per job, no cache, no parallelism).
 pub fn prove_batch_serial(specs: &[JobSpec], seed: u64) -> BatchReport {
     let started = Instant::now();
     let mut results = Vec::with_capacity(specs.len());
@@ -440,13 +486,16 @@ pub fn prove_batch_serial(specs: &[JobSpec], seed: u64) -> BatchReport {
         let statement = build_statement(seed, id, spec);
         let build_time = t0.elapsed();
         let mut rng = StdRng::seed_from_u64(seed ^ (id as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
-        let artifacts = spec.backend.prove(&statement, &mut rng);
+        let artifacts = spec
+            .backend()
+            .system()
+            .prove_oneshot(statement.as_ref(), &mut rng);
         let proof_bytes = ProofEnvelope::from_artifacts(&artifacts).to_bytes();
         let t2 = Instant::now();
-        let verified = match ProofEnvelope::from_bytes(&proof_bytes) {
-            Some(envelope) => envelope.verify_cs(&statement.cs),
-            None => false,
-        };
+        let verified =
+            envelope_verifies_for_statement(&proof_bytes, statement.as_ref(), |envelope| {
+                envelope.verify_cs(statement.constraint_system())
+            });
         let verify_time = t2.elapsed();
         results.push(JobResult {
             id,
@@ -454,7 +503,7 @@ pub fn prove_batch_serial(specs: &[JobSpec], seed: u64) -> BatchReport {
             proof_bytes,
             verified,
             cache_hit: false,
-            shape_digest: crate::digest::circuit_shape_digest(&statement.cs),
+            shape_digest: statement.shape_digest(),
             queue_wait: Duration::ZERO,
             build_time,
             // One-shot proving pays setup every time; count it as part of
@@ -478,6 +527,7 @@ pub fn prove_batch_serial(specs: &[JobSpec], seed: u64) -> BatchReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spec::ModelPreset;
     use zkvc_core::matmul::Strategy;
     use zkvc_core::Backend;
 
@@ -487,13 +537,13 @@ mod tests {
         let specs: Vec<JobSpec> = vec![
             JobSpec::new(4, 4, 4),
             JobSpec::new(4, 4, 4),
-            JobSpec::new(4, 4, 4).backend(Backend::Spartan),
-            JobSpec::new(4, 4, 4).backend(Backend::Spartan),
-            JobSpec::new(3, 2, 3).strategy(Strategy::Vanilla),
-            JobSpec::new(3, 2, 3).strategy(Strategy::Vanilla),
+            JobSpec::new(4, 4, 4).with_backend(Backend::Spartan),
+            JobSpec::new(4, 4, 4).with_backend(Backend::Spartan),
+            JobSpec::new(3, 2, 3).with_strategy(Strategy::Vanilla),
+            JobSpec::new(3, 2, 3).with_strategy(Strategy::Vanilla),
             JobSpec::new(3, 2, 3)
-                .strategy(Strategy::VanillaPsq)
-                .backend(Backend::Spartan),
+                .with_strategy(Strategy::VanillaPsq)
+                .with_backend(Backend::Spartan),
             JobSpec::new(4, 4, 4),
         ];
         let report = prove_batch(&specs, 4, 42);
@@ -533,13 +583,71 @@ mod tests {
 
     #[test]
     fn same_shape_jobs_share_one_setup() {
-        let specs = vec![JobSpec::new(3, 3, 3).backend(Backend::Spartan); 2];
+        let specs = vec![JobSpec::new(3, 3, 3).with_backend(Backend::Spartan); 2];
         let report = prove_batch(&specs, 2, 7);
         assert!(report.all_verified());
         assert_eq!(report.cache.misses, 1, "one setup");
         assert_eq!(report.cache.hits, 1, "second job reuses it");
         let table = report.render_table("test");
         assert!(table.contains("hit") && table.contains("miss"));
+    }
+
+    #[test]
+    fn model_jobs_flow_through_the_pool() {
+        // Two jobs of the same preset (different per-id weights) plus one
+        // of another preset: the per-shape challenge lets the same-preset
+        // pair share one setup, and every proof still verifies after the
+        // envelope round trip, publics binding included.
+        let specs = vec![
+            JobSpec::model(ModelPreset::MixerBlock).with_backend(Backend::Spartan),
+            JobSpec::model(ModelPreset::MixerBlock).with_backend(Backend::Spartan),
+            JobSpec::model(ModelPreset::BertBlock).with_backend(Backend::Spartan),
+        ];
+        let report = prove_batch(&specs, 2, 17);
+        assert!(report.all_verified(), "model proofs must verify");
+        assert_eq!(report.cache.misses, 2, "one setup per preset");
+        assert_eq!(report.cache.hits, 1, "same-preset job reuses it");
+        // Different weights per id: the two mixer-block proofs bind
+        // different logits.
+        let e0 = ProofEnvelope::from_bytes(&report.results[0].proof_bytes).unwrap();
+        let e1 = ProofEnvelope::from_bytes(&report.results[1].proof_bytes).unwrap();
+        assert!(!e0.public_inputs.is_empty());
+        assert_ne!(e0.public_inputs, e1.public_inputs);
+        let table = report.render_table("models");
+        assert!(table.contains("mixer-block") && table.contains("bert-block"));
+    }
+
+    #[test]
+    fn pool_rejects_replayed_statement_proofs() {
+        // A proof for job id 0 presented as job id 1 (same shape, different
+        // Y) must fail the exact acceptance predicate run_job and
+        // prove_batch_serial use, on both of their cryptographic paths.
+        let spec = JobSpec::new(3, 3, 3).with_backend(Backend::Spartan);
+        let s0 = build_statement(21, 0, &spec);
+        let s1 = build_statement(21, 1, &spec);
+        assert_eq!(s0.shape_digest(), s1.shape_digest(), "same shape");
+        assert_ne!(s0.public_outputs(), s1.public_outputs(), "different Y");
+        let cache = KeyCache::with_seed(21);
+        let (keys, _) = cache.get_or_setup_circuit(spec.backend(), s0.as_ref());
+        let mut rng = StdRng::seed_from_u64(99);
+        let system = spec.backend().system();
+        let artifacts = system.prove(&keys.prover, s0.as_ref(), &mut rng);
+        let bytes = ProofEnvelope::from_artifacts(&artifacts).to_bytes();
+
+        // Honest: accepted for the statement it proves...
+        assert!(envelope_verifies_for_statement(&bytes, s0.as_ref(), |e| e
+            .verify_with_key(&keys.verifier)));
+        assert!(envelope_verifies_for_statement(&bytes, s0.as_ref(), |e| e
+            .verify_cs(s0.constraint_system())));
+        // ...replayed: rejected for job 1's statement, even though the
+        // cryptographic check alone would accept it (same shape and keys).
+        assert!(ProofEnvelope::from_bytes(&bytes)
+            .unwrap()
+            .verify_with_key(&keys.verifier));
+        assert!(!envelope_verifies_for_statement(&bytes, s1.as_ref(), |e| e
+            .verify_with_key(&keys.verifier)));
+        assert!(!envelope_verifies_for_statement(&bytes, s1.as_ref(), |e| e
+            .verify_cs(s1.constraint_system())));
     }
 
     #[test]
@@ -562,7 +670,7 @@ mod tests {
         // by finishing fast despite 32 queued Groth16 jobs.
         let pool = ProvingPool::new(1);
         for _ in 0..32 {
-            pool.submit(JobSpec::new(6, 6, 6).strategy(Strategy::Vanilla));
+            pool.submit(JobSpec::new(6, 6, 6).with_strategy(Strategy::Vanilla));
         }
         let cache = Arc::clone(pool.cache());
         drop(pool);
@@ -574,7 +682,7 @@ mod tests {
     fn serial_baseline_matches_pool_verdicts() {
         let specs = vec![
             JobSpec::new(2, 3, 2),
-            JobSpec::new(2, 3, 2).backend(Backend::Spartan),
+            JobSpec::new(2, 3, 2).with_backend(Backend::Spartan),
         ];
         let serial = prove_batch_serial(&specs, 11);
         assert!(serial.all_verified());

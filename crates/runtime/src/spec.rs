@@ -1,75 +1,262 @@
 //! Job specifications: the unit of work submitted to the
 //! [`ProvingPool`](crate::ProvingPool) and the grammar the `zkvc` CLI
 //! accepts.
+//!
+//! A spec is either a **matmul** statement (`AxNxB`, with the paper's four
+//! circuit strategies) or a **model** statement — one of the
+//! [`ModelPreset`] forward passes compiled by `zkvc-nn`. Both parse from
+//! the same `first[:field]*` grammar, where the leading token decides the
+//! variant and the remaining fields (strategy, backend, `xCOUNT`
+//! repetition, `private`) may appear in any order:
+//!
+//! ```text
+//! 8x8x16:crpc+psq:groth16:x4      four bound matmul jobs
+//! 4x4x4:private:spartan           one shape-only (unbound) matmul job
+//! mixer-block:spartan:x2          two MLP-Mixer block inferences
+//! bert-block:zkvc:g               one BERT block on Groth16
+//! ```
+//!
+//! Strategy and backend tokens parse through the [`FromStr`] impls on
+//! [`Strategy`] and [`Backend`] in `zkvc-core` — the CLI, the benches and
+//! the tests all share one grammar.
 
 use core::fmt;
+use std::str::FromStr;
 
 use zkvc_core::matmul::Strategy;
-use zkvc_core::Backend;
+use zkvc_core::{Backend, UnknownTokenError};
+use zkvc_nn::mixer::MixerSchedule;
+use zkvc_nn::models::{BertConfig, ModelConfig, VitConfig};
 
-/// One matmul proving job: prove `Y = X * W` for `X: a x n`, `W: n x b`
-/// under a circuit strategy and a proof-system backend. Inputs are drawn
+use crate::error::Error;
+
+/// The tiny reference models a [`JobSpec::Model`] job can prove: one
+/// Transformer block each, sized so they are provable under the
+/// unoptimised debug profile used by `cargo test` (the release-mode
+/// harnesses exercise paper-scale shapes).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ModelPreset {
+    /// One MLP-Mixer-style block: linear token mixing ("SoftFree-L").
+    MixerBlock,
+    /// One BERT-shaped block under the zkVC NLP hybrid schedule.
+    BertBlock,
+    /// One micro-ViT block under the zkVC hybrid schedule.
+    VitMicro,
+}
+
+impl ModelPreset {
+    /// Every preset, in grammar order.
+    pub const ALL: [ModelPreset; 3] = [
+        ModelPreset::MixerBlock,
+        ModelPreset::BertBlock,
+        ModelPreset::VitMicro,
+    ];
+
+    /// The spec-grammar token for this preset.
+    pub fn token(&self) -> &'static str {
+        match self {
+            ModelPreset::MixerBlock => "mixer-block",
+            ModelPreset::BertBlock => "bert-block",
+            ModelPreset::VitMicro => "vit-micro",
+        }
+    }
+
+    /// The model configuration and mixer schedule this preset compiles.
+    pub fn config(&self) -> (ModelConfig, MixerSchedule) {
+        match self {
+            ModelPreset::MixerBlock => (
+                VitConfig::custom(1, 1, 4, 2, 2).to_model(),
+                MixerSchedule::soft_free_l(1),
+            ),
+            ModelPreset::BertBlock => (
+                BertConfig {
+                    num_layers: 1,
+                    num_heads: 1,
+                    hidden_dim: 4,
+                    seq_len: 2,
+                    num_classes: 2,
+                }
+                .to_model(),
+                MixerSchedule::zkvc_hybrid_nlp(1),
+            ),
+            ModelPreset::VitMicro => (
+                VitConfig::custom(1, 1, 4, 2, 2).to_model(),
+                MixerSchedule::zkvc_hybrid(1),
+            ),
+        }
+    }
+}
+
+impl fmt::Display for ModelPreset {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+impl FromStr for ModelPreset {
+    type Err = UnknownTokenError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ModelPreset::ALL
+            .into_iter()
+            .find(|p| p.token() == s.to_ascii_lowercase())
+            .ok_or_else(|| UnknownTokenError {
+                what: "model preset",
+                token: s.to_string(),
+            })
+    }
+}
+
+/// One proving job: either `Y = X * W` for deterministic pseudo-random
+/// matrices, or a preset model's forward pass. Inputs/weights are drawn
 /// deterministically from the pool seed and job id.
 #[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
-pub struct JobSpec {
-    /// `(a, n, b)` matrix dimensions.
-    pub dims: (usize, usize, usize),
-    /// Circuit encoding strategy.
-    pub strategy: Strategy,
-    /// Proof system.
-    pub backend: Backend,
+pub enum JobSpec {
+    /// Prove `Y = X * W` for `X: a x n`, `W: n x b`.
+    MatMul {
+        /// `(a, n, b)` matrix dimensions.
+        dims: (usize, usize, usize),
+        /// Circuit encoding strategy.
+        strategy: Strategy,
+        /// Proof system.
+        backend: Backend,
+        /// Whether `Y` is exposed as public inputs (statement binding,
+        /// the default) or kept as a private witness (shape binding only).
+        public_outputs: bool,
+    },
+    /// Prove one forward pass of a preset model, logits bound as public
+    /// outputs.
+    Model {
+        /// Which model to compile and prove.
+        preset: ModelPreset,
+        /// Matmul strategy used throughout the model.
+        strategy: Strategy,
+        /// Proof system.
+        backend: Backend,
+    },
 }
 
 impl JobSpec {
-    /// A job with the paper's default strategy (CRPC + PSQ) on Groth16.
+    /// A matmul job with the paper's default strategy (CRPC + PSQ) on
+    /// Groth16, with `Y` bound as public outputs.
     pub fn new(a: usize, n: usize, b: usize) -> Self {
-        JobSpec {
+        JobSpec::MatMul {
             dims: (a, n, b),
+            strategy: Strategy::CrpcPsq,
+            backend: Backend::Groth16,
+            public_outputs: true,
+        }
+    }
+
+    /// A model job for `preset` with the default strategy (CRPC + PSQ) on
+    /// Groth16.
+    pub fn model(preset: ModelPreset) -> Self {
+        JobSpec::Model {
+            preset,
             strategy: Strategy::CrpcPsq,
             backend: Backend::Groth16,
         }
     }
 
     /// Replaces the strategy.
-    pub fn strategy(mut self, strategy: Strategy) -> Self {
-        self.strategy = strategy;
+    pub fn with_strategy(mut self, new: Strategy) -> Self {
+        match &mut self {
+            JobSpec::MatMul { strategy, .. } | JobSpec::Model { strategy, .. } => *strategy = new,
+        }
         self
     }
 
     /// Replaces the backend.
-    pub fn backend(mut self, backend: Backend) -> Self {
-        self.backend = backend;
+    pub fn with_backend(mut self, new: Backend) -> Self {
+        match &mut self {
+            JobSpec::MatMul { backend, .. } | JobSpec::Model { backend, .. } => *backend = new,
+        }
         self
     }
 
-    /// Parses `AxNxB[:strategy][:backend][:xCOUNT]` into a spec and a
-    /// repetition count, e.g. `8x8x16:crpc+psq:groth16:x4`.
-    ///
-    /// Strategy names: `vanilla`, `vanilla+psq`, `crpc`, `crpc+psq` (alias
-    /// `zkvc`). Backends: `groth16` (alias `g`), `spartan` (alias `s`).
-    /// Omitted fields default to `crpc+psq` on `groth16`, one repetition.
-    pub fn parse(input: &str) -> Result<(JobSpec, usize), String> {
+    /// Keeps matmul outputs as private witnesses (shape-level binding
+    /// only). No-op for model jobs, whose logits are always public.
+    pub fn with_private_outputs(mut self) -> Self {
+        if let JobSpec::MatMul { public_outputs, .. } = &mut self {
+            *public_outputs = false;
+        }
+        self
+    }
+
+    /// The circuit strategy.
+    pub fn strategy(&self) -> Strategy {
+        match self {
+            JobSpec::MatMul { strategy, .. } | JobSpec::Model { strategy, .. } => *strategy,
+        }
+    }
+
+    /// The proof-system backend.
+    pub fn backend(&self) -> Backend {
+        match self {
+            JobSpec::MatMul { backend, .. } | JobSpec::Model { backend, .. } => *backend,
+        }
+    }
+
+    /// Whether the proved statement binds public outputs.
+    pub fn binds_outputs(&self) -> bool {
+        match self {
+            JobSpec::MatMul { public_outputs, .. } => *public_outputs,
+            JobSpec::Model { .. } => true,
+        }
+    }
+
+    /// Short label for the statement shape ("8x8x16", "mixer-block").
+    pub fn shape_label(&self) -> String {
+        match self {
+            JobSpec::MatMul { dims, .. } => format!("{}x{}x{}", dims.0, dims.1, dims.2),
+            JobSpec::Model { preset, .. } => preset.token().to_string(),
+        }
+    }
+
+    /// Parses `FIRST[:FIELD]*` into a spec and a repetition count, where
+    /// `FIRST` is `AxNxB` or a [`ModelPreset`] token and each `FIELD` is a
+    /// strategy, a backend, `xCOUNT`, or `private` (matmul only). See the
+    /// module docs for the grammar.
+    pub fn parse(input: &str) -> Result<(JobSpec, usize), Error> {
+        let bad = |reason: &dyn fmt::Display| Error::spec(input, reason);
         let mut parts = input.split(':');
-        let dims_part = parts.next().ok_or_else(|| "empty spec".to_string())?;
-        let dims = parse_dims(dims_part)?;
-        let mut spec = JobSpec::new(dims.0, dims.1, dims.2);
+        let first = parts.next().unwrap_or_default();
+        let mut spec = match parse_dims(first) {
+            Some(result) => {
+                let (a, n, b) = result.map_err(|e| bad(&e))?;
+                JobSpec::new(a, n, b)
+            }
+            None => {
+                let preset = ModelPreset::from_str(first).map_err(|e| {
+                    bad(&format!(
+                        "{e} (expected AxNxB dimensions or one of: {})",
+                        ModelPreset::ALL.map(|p| p.token()).join(", ")
+                    ))
+                })?;
+                JobSpec::model(preset)
+            }
+        };
         let mut count = 1usize;
         for part in parts {
             if let Some(n) = part.strip_prefix('x') {
                 count = n
                     .parse::<usize>()
-                    .map_err(|_| format!("bad repetition count {part:?}"))?;
-                if count == 0 {
-                    return Err("repetition count must be positive".into());
+                    .ok()
+                    .filter(|c| *c > 0)
+                    .ok_or_else(|| bad(&format!("bad repetition count {part:?}")))?;
+            } else if let Ok(strategy) = part.parse::<Strategy>() {
+                spec = spec.with_strategy(strategy);
+            } else if let Ok(backend) = part.parse::<Backend>() {
+                spec = spec.with_backend(backend);
+            } else if part.eq_ignore_ascii_case("private") {
+                if matches!(spec, JobSpec::Model { .. }) {
+                    return Err(bad(&"model outputs are always public"));
                 }
-            } else if let Some(strategy) = parse_strategy(part) {
-                spec.strategy = strategy;
-            } else if let Some(backend) = parse_backend(part) {
-                spec.backend = backend;
+                spec = spec.with_private_outputs();
             } else {
-                return Err(format!(
-                    "unknown spec field {part:?} (expected a strategy, a backend, or xCOUNT)"
-                ));
+                return Err(bad(&format!(
+                    "unknown field {part:?} (expected a strategy, a backend, `private`, or xCOUNT)"
+                )));
             }
         }
         Ok((spec, count))
@@ -80,60 +267,38 @@ impl fmt::Display for JobSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}x{}x{}:{}:{}",
-            self.dims.0,
-            self.dims.1,
-            self.dims.2,
-            strategy_token(self.strategy),
-            self.backend.name()
-        )
+            "{}:{}:{}",
+            self.shape_label(),
+            self.strategy(),
+            self.backend()
+        )?;
+        if !self.binds_outputs() {
+            write!(f, ":private")?;
+        }
+        Ok(())
     }
 }
 
-/// The spec-grammar token for a strategy (unlike [`Strategy::name`], which
-/// is a display label containing spaces).
-pub fn strategy_token(strategy: Strategy) -> &'static str {
-    match strategy {
-        Strategy::Vanilla => "vanilla",
-        Strategy::VanillaPsq => "vanilla+psq",
-        Strategy::Crpc => "crpc",
-        Strategy::CrpcPsq => "crpc+psq",
+/// Distinguishes the `AxNxB` form from preset tokens: returns `None` when
+/// the token does not look like a dimension triple at all, and
+/// `Some(Err(..))` when it does but is invalid.
+#[allow(clippy::type_complexity)]
+fn parse_dims(s: &str) -> Option<Result<(usize, usize, usize), String>> {
+    if !s.chars().next()?.is_ascii_digit() {
+        return None;
     }
-}
-
-fn parse_dims(s: &str) -> Result<(usize, usize, usize), String> {
-    let nums: Vec<usize> = s
+    let nums: Result<Vec<usize>, String> = s
         .split('x')
         .map(|p| {
             p.parse::<usize>()
                 .map_err(|_| format!("bad dimension {p:?} in {s:?}"))
         })
-        .collect::<Result<_, _>>()?;
-    match nums[..] {
+        .collect();
+    Some(nums.and_then(|nums| match nums[..] {
         [a, n, b] if a > 0 && n > 0 && b > 0 => Ok((a, n, b)),
         [_, _, _] => Err(format!("dimensions must be positive in {s:?}")),
         _ => Err(format!("expected AxNxB, got {s:?}")),
-    }
-}
-
-/// Parses a strategy name as used in specs (`crpc+psq`, `zkvc`, ...).
-pub fn parse_strategy(s: &str) -> Option<Strategy> {
-    match s.to_ascii_lowercase().as_str() {
-        "vanilla" => Some(Strategy::Vanilla),
-        "vanilla+psq" | "vanilla-psq" | "psq" => Some(Strategy::VanillaPsq),
-        "crpc" => Some(Strategy::Crpc),
-        "crpc+psq" | "crpc-psq" | "zkvc" => Some(Strategy::CrpcPsq),
-        _ => None,
-    }
-}
-
-/// Parses a backend name as used in specs.
-pub fn parse_backend(s: &str) -> Option<Backend> {
-    match s.to_ascii_lowercase().as_str() {
-        "groth16" | "g" => Some(Backend::Groth16),
-        "spartan" | "s" => Some(Backend::Spartan),
-        _ => None,
-    }
+    }))
 }
 
 #[cfg(test)]
@@ -141,11 +306,12 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parses_full_and_partial_specs() {
+    fn parses_full_and_partial_matmul_specs() {
         let (spec, count) = JobSpec::parse("8x8x16:crpc+psq:groth16:x4").unwrap();
-        assert_eq!(spec.dims, (8, 8, 16));
-        assert_eq!(spec.strategy, Strategy::CrpcPsq);
-        assert_eq!(spec.backend, Backend::Groth16);
+        assert_eq!(spec, JobSpec::new(8, 8, 16));
+        assert_eq!(spec.strategy(), Strategy::CrpcPsq);
+        assert_eq!(spec.backend(), Backend::Groth16);
+        assert!(spec.binds_outputs());
         assert_eq!(count, 4);
 
         let (spec, count) = JobSpec::parse("2x3x4").unwrap();
@@ -154,31 +320,78 @@ mod tests {
 
         // Field order is free; aliases work.
         let (spec, _) = JobSpec::parse("2x2x2:s:vanilla").unwrap();
-        assert_eq!(spec.backend, Backend::Spartan);
-        assert_eq!(spec.strategy, Strategy::Vanilla);
+        assert_eq!(spec.backend(), Backend::Spartan);
+        assert_eq!(spec.strategy(), Strategy::Vanilla);
         let (spec, _) = JobSpec::parse("2x2x2:zkvc:g").unwrap();
-        assert_eq!(spec.strategy, Strategy::CrpcPsq);
-        assert_eq!(spec.backend, Backend::Groth16);
+        assert_eq!(spec.strategy(), Strategy::CrpcPsq);
+        assert_eq!(spec.backend(), Backend::Groth16);
+
+        // Shape-only binding is opt-in.
+        let (spec, _) = JobSpec::parse("2x2x2:private").unwrap();
+        assert!(!spec.binds_outputs());
+    }
+
+    #[test]
+    fn parses_model_specs() {
+        let (spec, count) = JobSpec::parse("mixer-block:spartan:x3").unwrap();
+        assert_eq!(
+            spec,
+            JobSpec::model(ModelPreset::MixerBlock).with_backend(Backend::Spartan)
+        );
+        assert_eq!(count, 3);
+        assert!(spec.binds_outputs());
+        assert_eq!(spec.shape_label(), "mixer-block");
+
+        for preset in ModelPreset::ALL {
+            let (spec, _) = JobSpec::parse(preset.token()).unwrap();
+            assert_eq!(spec, JobSpec::model(preset));
+            let (model, schedule) = preset.config();
+            assert_eq!(model.num_layers(), schedule.num_layers());
+        }
     }
 
     #[test]
     fn rejects_malformed_specs() {
-        assert!(JobSpec::parse("8x8").is_err());
-        assert!(JobSpec::parse("0x2x2").is_err());
-        assert!(JobSpec::parse("2x2x2:nope").is_err());
-        assert!(JobSpec::parse("2x2x2:x0").is_err());
-        assert!(JobSpec::parse("axbxc").is_err());
+        for bad in [
+            "8x8",
+            "0x2x2",
+            "2x2x2:nope",
+            "2x2x2:x0",
+            "axbxc",
+            "bert-blok",
+            "mixer-block:private",
+            "",
+        ] {
+            let err = JobSpec::parse(bad).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{bad:?}");
+            assert!(err.to_string().contains("bad spec"), "{bad:?}");
+        }
     }
 
     #[test]
     fn display_roundtrips_through_parse() {
-        let spec = JobSpec::new(3, 4, 5)
-            .strategy(Strategy::Vanilla)
-            .backend(Backend::Spartan);
-        let shown = spec.to_string();
-        assert_eq!(shown, "3x4x5:vanilla:spartan");
-        let (back, count) = JobSpec::parse(&shown).unwrap();
-        assert_eq!(back, spec);
-        assert_eq!(count, 1);
+        let specs = [
+            JobSpec::new(3, 4, 5)
+                .with_strategy(Strategy::Vanilla)
+                .with_backend(Backend::Spartan),
+            JobSpec::new(2, 2, 2).with_private_outputs(),
+            JobSpec::model(ModelPreset::BertBlock).with_backend(Backend::Spartan),
+        ];
+        for spec in specs {
+            let shown = spec.to_string();
+            let (back, count) = JobSpec::parse(&shown).unwrap();
+            assert_eq!(back, spec, "{shown}");
+            assert_eq!(count, 1);
+        }
+        assert_eq!(
+            JobSpec::new(2, 2, 2).with_private_outputs().to_string(),
+            "2x2x2:crpc+psq:groth16:private"
+        );
+    }
+
+    #[test]
+    fn private_outputs_is_a_model_noop() {
+        let spec = JobSpec::model(ModelPreset::VitMicro).with_private_outputs();
+        assert!(spec.binds_outputs());
     }
 }

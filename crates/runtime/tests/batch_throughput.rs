@@ -20,8 +20,8 @@ use zkvc_runtime::{prove_batch, prove_batch_serial, JobSpec, ProofEnvelope};
 fn pooled_batch_at_least_2x_faster_than_one_shot_proving() {
     let specs = vec![
         JobSpec::new(5, 5, 5)
-            .strategy(Strategy::Vanilla)
-            .backend(Backend::Groth16);
+            .with_strategy(Strategy::Vanilla)
+            .with_backend(Backend::Groth16);
         8
     ];
 
@@ -57,7 +57,7 @@ fn pooled_batch_at_least_2x_faster_than_one_shot_proving() {
 #[test]
 fn serialized_proofs_verify_after_bytes_roundtrip_on_both_backends() {
     for backend in Backend::ALL {
-        let specs = vec![JobSpec::new(3, 4, 3).backend(backend); 2];
+        let specs = vec![JobSpec::new(3, 4, 3).with_backend(backend); 2];
         let report = prove_batch(&specs, 2, 17);
         assert!(report.all_verified(), "{backend:?}");
 

@@ -1,46 +1,64 @@
-//! Quickstart: prove and verify a single matrix multiplication with zkVC.
+//! Quickstart: prove and verify a single matrix multiplication with zkVC
+//! through the circuit-generic `Circuit`/`ProofSystem` trait API.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use zkvc::core::api::{Circuit, ProofSystem};
 use zkvc::core::matmul::{MatMulBuilder, Strategy};
 use zkvc::core::Backend;
+use zkvc::ff::Field;
 
 fn main() {
     let mut rng = StdRng::seed_from_u64(42);
 
     // The server computed Y = X * W and wants to convince the client without
-    // revealing W.
+    // revealing W. With `public_outputs(true)` the proof *binds* Y: it is
+    // part of the statement, not the witness.
     let x = vec![vec![3i64, -1, 4], vec![1, 5, -9], vec![2, 6, 5]];
     let w = vec![vec![2i64, 7], vec![1, -8], vec![-2, 8]];
 
     println!("Building the CRPC+PSQ circuit for a 3x3 * 3x2 multiplication...");
     let job = MatMulBuilder::new(3, 3, 2)
         .strategy(Strategy::CrpcPsq)
+        .public_outputs(true)
         .build_integers(&x, &w);
     println!(
-        "  constraints: {}   variables: {}   (a vanilla circuit would need {})",
+        "  constraints: {}   variables: {}   public outputs: {}   (a vanilla circuit would need {} constraints)",
         job.stats.num_constraints,
         job.stats.num_variables,
+        job.public_outputs().len(),
         3 * 3 * 2 + 3 * 2,
     );
 
     for backend in Backend::ALL {
-        let artifacts = backend.prove(&job, &mut rng);
-        let ok = backend.verify(&job, &artifacts);
+        // `job` is just a `Circuit`; either proof system proves it.
+        let system: &dyn ProofSystem = backend.system();
+        let (pk, vk) = system.setup(&job, &mut rng);
+        let artifacts = system.prove(&pk, &job, &mut rng);
+        let ok = system.verify(&vk, &artifacts);
         println!(
             "{:<8}  prove: {:>8.3?}  proof: {:>6} bytes  verified: {}",
-            backend.name(),
+            system.name(),
             artifacts.metrics.prove_time,
             artifacts.metrics.proof_size_bytes,
             ok
         );
         assert!(ok, "verification must succeed for an honest prover");
+
+        // Statement binding: the same proof against a tampered Y fails.
+        let mut tampered = artifacts.clone();
+        tampered.public_inputs[0] += zkvc::ff::Fr::one();
+        assert!(
+            !system.verify(&vk, &tampered),
+            "a tampered Y must be rejected"
+        );
     }
 
-    println!("\nThe product the proof attests to:");
+    println!("\nThe product the proof binds (and attests to):");
     for row in &job.y {
         println!("  {row:?}");
     }
+    println!("Tampering with any bound output makes verification fail.");
 }

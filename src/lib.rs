@@ -11,6 +11,7 @@
 //! users can depend on `zkvc` alone.
 //!
 //! ```rust
+//! use zkvc::core::api::ProofSystem;
 //! use zkvc::core::matmul::{MatMulBuilder, Strategy};
 //! use zkvc::core::Backend;
 //! use rand::rngs::StdRng;
@@ -19,9 +20,15 @@
 //! let mut rng = StdRng::seed_from_u64(1);
 //! let x = vec![vec![1i64, 2], vec![3, 4]];
 //! let w = vec![vec![5i64, 6], vec![7, 8]];
-//! let job = MatMulBuilder::new(2, 2, 2).strategy(Strategy::CrpcPsq).build_integers(&x, &w);
-//! let proof = Backend::Spartan.prove(&job, &mut rng);
-//! assert!(Backend::Spartan.verify(&job, &proof));
+//! // Public outputs: the proof binds Y, not just the circuit shape.
+//! let job = MatMulBuilder::new(2, 2, 2)
+//!     .strategy(Strategy::CrpcPsq)
+//!     .public_outputs(true)
+//!     .build_integers(&x, &w);
+//! let system = Backend::Spartan.system();
+//! let (pk, vk) = system.setup(&job, &mut rng);
+//! let proof = system.prove(&pk, &job, &mut rng);
+//! assert!(system.verify(&vk, &proof));
 //! ```
 
 #![warn(missing_docs)]

@@ -11,10 +11,10 @@ fn batch_service_end_to_end_through_umbrella() {
     let specs = vec![
         JobSpec::new(3, 4, 3),
         JobSpec::new(3, 4, 3),
-        JobSpec::new(3, 4, 3).backend(Backend::Spartan),
+        JobSpec::new(3, 4, 3).with_backend(Backend::Spartan),
         JobSpec::new(2, 2, 2)
-            .strategy(Strategy::Vanilla)
-            .backend(Backend::Spartan),
+            .with_strategy(Strategy::Vanilla)
+            .with_backend(Backend::Spartan),
     ];
     let report = prove_batch(&specs, 2, 123);
     assert!(report.all_verified());
@@ -28,7 +28,7 @@ fn batch_service_end_to_end_through_umbrella() {
     // Each proof decodes from bytes and reports the right backend.
     for (result, spec) in report.results.iter().zip(&specs) {
         let envelope = ProofEnvelope::from_bytes(&result.proof_bytes).expect("decodes");
-        assert_eq!(envelope.backend, spec.backend);
+        assert_eq!(envelope.backend, spec.backend());
     }
 }
 
