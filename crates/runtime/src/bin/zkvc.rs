@@ -1,10 +1,12 @@
 //! The `zkvc` command-line interface: batch proving with key caching and a
-//! worker pool, plus single-proof file round trips — for matmul statements
-//! *and* whole model-block inferences, all through the
-//! `Circuit`/`ProofSystem` trait layer.
+//! work-stealing worker pool, a resident JSON-lines proving server, plus
+//! single-proof file round trips — for matmul statements *and* whole
+//! model-block inferences, all through the `Circuit`/`ProofSystem` trait
+//! layer.
 //!
 //! ```text
-//! zkvc prove-batch --spec 8x8x16:crpc+psq:groth16:x8 --workers 4 [--seed N] [--compare-serial]
+//! zkvc prove-batch --spec 8x8x16:crpc+psq:groth16:x8 --workers 4 [--seed N] [--compare-serial] [--report FILE]
+//! zkvc serve [--workers K] [--seed N] [--queue-bound B] [--max-request BYTES] [--no-proofs]
 //! zkvc prove  --spec 8x8x16:zkvc:g [--seed N] --out proof.bin
 //! zkvc prove  --spec mixer-block:spartan --out model.bin
 //! zkvc verify --in proof.bin --spec 8x8x16:zkvc:g [--seed N]
@@ -22,8 +24,8 @@ use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use zkvc_runtime::{
-    build_statement, prove_batch_serial, DiskKeyCache, Error, JobSpec, KeyCache, ProofEnvelope,
-    ProvingPool,
+    build_statement, prove_batch_serial, serve, DiskKeyCache, Error, JobSpec, KeyCache,
+    ProofEnvelope, ProvingPool, ServeConfig,
 };
 
 const USAGE: &str = "\
@@ -31,6 +33,8 @@ zkvc - concurrent batch proving for the zkVC stack
 
 USAGE:
     zkvc prove-batch --spec SPEC [--spec SPEC ...] [OPTIONS]
+    zkvc serve  [--workers K] [--seed N] [--queue-bound B] [--max-request BYTES]
+                [--no-proofs] [--key-cache DIR|none]
     zkvc prove  --spec SPEC [--seed N] [--key-cache DIR|none] --out FILE
     zkvc verify --in FILE --spec SPEC [--seed N] [--key-cache DIR|none]
     zkvc help
@@ -44,12 +48,28 @@ SPEC grammar:
     BACKEND:  groth16 (alias: g) | spartan (alias: s)
     private:  keep matmul outputs as witnesses (shape binding only);
               by default Y is public, so the proof binds the statement
-    xCOUNT:   repeat the job COUNT times (prove-batch only)
+    xCOUNT:   repeat the job COUNT times (prove-batch and serve)
 
 OPTIONS (prove-batch):
     --workers K        worker threads (default: available parallelism)
     --seed N           determinism seed (default 0); same seed => same proofs
     --compare-serial   also run N independent one-shot proves and report the speedup
+    --report FILE      write a machine-readable batch report (deterministic
+                       fields only: verdicts, proof digests, key table) —
+                       two same-seed runs must produce identical files
+
+OPTIONS (serve):
+    reads one JSON request per line from stdin, e.g.
+        {\"spec\": \"8x8x16:zkvc:g\", \"id\": \"req-1\", \"seed\": 7}
+    and streams JSON responses to stdout as proofs complete (out of
+    order, tagged with the request id). See README \"zkvc serve\" for the
+    full schema.
+    --workers K        worker threads (default: available parallelism)
+    --seed N           default statement seed for requests without one
+    --queue-bound B    block request intake while B jobs are queued (default 256)
+    --max-request N    reject request lines longer than N bytes (default 65536)
+    --no-proofs        omit proof_hex from responses (verdict/throughput mode)
+    --key-cache DIR    persist groth16 vks as shapes are first proved
 
 OPTIONS (prove / verify):
     --key-cache DIR    persist/load groth16 verification keys under DIR so a
@@ -61,6 +81,7 @@ OPTIONS (prove / verify):
 EXAMPLES:
     zkvc prove-batch --spec 8x8x16:crpc+psq:groth16:x8 --workers 4 --compare-serial
     zkvc prove-batch --spec 4x4x4:zkvc:g:x4 --spec mixer-block:spartan:x4
+    echo '{\"spec\": \"4x4x4:zkvc:s\", \"id\": 1}' | zkvc serve --workers 2
     zkvc prove --spec 8x8x16:zkvc:g --out proof.bin && zkvc verify --in proof.bin --spec 8x8x16:zkvc:g
     zkvc prove --spec bert-block:spartan --out bert.bin && zkvc verify --in bert.bin --spec bert-block:spartan
 ";
@@ -73,6 +94,7 @@ fn main() -> ExitCode {
     };
     let result = match command.as_str() {
         "prove-batch" => cmd_prove_batch(&args[1..]),
+        "serve" => cmd_serve(&args[1..]),
         "prove" => cmd_prove(&args[1..]),
         "verify" => cmd_verify(&args[1..]),
         "help" | "--help" | "-h" => {
@@ -147,26 +169,31 @@ fn parse_common(args: &[String]) -> Result<(Vec<JobSpec>, u64), Error> {
     Ok((specs, seed))
 }
 
+/// Parses `--workers K`, defaulting to available parallelism.
+fn workers_from_args(args: &[String]) -> Result<usize, Error> {
+    match flag_value(args, "--workers")? {
+        Some(s) => s
+            .parse::<usize>()
+            .ok()
+            .filter(|w| *w > 0)
+            .ok_or_else(|| Error::Usage(format!("bad --workers {s:?}"))),
+        None => Ok(std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)),
+    }
+}
+
 fn cmd_prove_batch(args: &[String]) -> Result<(), Error> {
     reject_unknown_args(
         args,
-        &["--spec", "--seed", "--workers"],
+        &["--spec", "--seed", "--workers", "--report"],
         &["--compare-serial"],
     )?;
     let (specs, seed) = parse_common(args)?;
     if specs.is_empty() {
         return Err(Error::Usage("prove-batch needs at least one --spec".into()));
     }
-    let workers = match flag_value(args, "--workers")? {
-        Some(s) => s
-            .parse::<usize>()
-            .ok()
-            .filter(|w| *w > 0)
-            .ok_or_else(|| Error::Usage(format!("bad --workers {s:?}")))?,
-        None => std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4),
-    };
+    let workers = workers_from_args(args)?;
 
     let t0 = Instant::now();
     let pool = ProvingPool::with_cache(workers, seed, Arc::new(KeyCache::with_seed(seed)));
@@ -176,6 +203,10 @@ fn cmd_prove_batch(args: &[String]) -> Result<(), Error> {
     let report = pool.join();
     let pooled_wall = t0.elapsed();
     print!("{}", report.render_table("zkvc prove-batch"));
+    if let Some(path) = flag_value(args, "--report")? {
+        std::fs::write(path, report.render_report_json()).map_err(|e| Error::io(path, e))?;
+        println!("wrote deterministic batch report to {path}");
+    }
 
     let mut all_ok = report.all_verified();
     if args.iter().any(|a| a == "--compare-serial") {
@@ -195,6 +226,62 @@ fn cmd_prove_batch(args: &[String]) -> Result<(), Error> {
         all_ok &= serial.all_verified();
     }
     if all_ok {
+        Ok(())
+    } else {
+        Err(Error::VerificationFailed)
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), Error> {
+    reject_unknown_args(
+        args,
+        &[
+            "--workers",
+            "--seed",
+            "--queue-bound",
+            "--max-request",
+            "--key-cache",
+        ],
+        &["--no-proofs"],
+    )?;
+    let workers = workers_from_args(args)?;
+    let seed = match flag_value(args, "--seed")? {
+        Some(s) => s
+            .parse::<u64>()
+            .map_err(|_| Error::Usage(format!("bad --seed {s:?}")))?,
+        None => 0,
+    };
+    let mut config = ServeConfig::new(workers)
+        .seed(seed)
+        .include_proofs(!args.iter().any(|a| a == "--no-proofs"))
+        .disk_cache(key_cache_from_args(args)?);
+    if let Some(s) = flag_value(args, "--queue-bound")? {
+        let bound = s
+            .parse::<usize>()
+            .ok()
+            .filter(|b| *b > 0)
+            .ok_or_else(|| Error::Usage(format!("bad --queue-bound {s:?}")))?;
+        config = config.queue_bound(bound);
+    }
+    if let Some(s) = flag_value(args, "--max-request")? {
+        let max = s
+            .parse::<usize>()
+            .ok()
+            .filter(|m| *m > 0)
+            .ok_or_else(|| Error::Usage(format!("bad --max-request {s:?}")))?;
+        config = config.max_request_bytes(max);
+    }
+
+    // Requests come from stdin, responses go to stdout (line-buffered by
+    // the serve loop itself); diagnostics would go to stderr. Malformed
+    // requests are answered in-stream and never kill the server — the
+    // exit code reflects proving outcomes only.
+    let summary = serve(std::io::stdin().lock(), std::io::stdout(), config)?;
+    eprintln!(
+        "zkvc serve: {} job(s), {} verified, {} failed, {} request line(s) rejected",
+        summary.jobs, summary.verified, summary.failed, summary.rejected
+    );
+    if summary.failed == 0 {
         Ok(())
     } else {
         Err(Error::VerificationFailed)

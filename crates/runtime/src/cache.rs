@@ -9,13 +9,22 @@
 //! on the `OnceLock` and reuse the winner's keys).
 //!
 //! Setup randomness is derived deterministically from the shape digest and
-//! the cache's seed, so a batch re-run with the same seed reproduces
+//! a setup seed, so a batch re-run with the same seed reproduces
 //! byte-identical CRS material and proofs. For Groth16 this means the CRS
 //! trapdoor is derivable from public data — the right trade-off for a
 //! benchmarking/amortisation runtime, and the same "challenge baked into
 //! the CRS" assumption the paper's measured zkVC-G flow already makes; a
 //! deployment needing a real ceremony would inject entropy via
 //! [`KeyCache::with_seed`].
+//!
+//! Entries are keyed by `(shape digest, backend, setup seed)`. The seed in
+//! the key is what lets one long-lived cache serve a resident `zkvc serve`
+//! process across requests carrying *different* seeds: each seed gets its
+//! own deterministic CRS (so serve proofs stay verifiable offline by
+//! `zkvc verify --seed N`, which re-derives setup from the same seed),
+//! while repeat shapes under the same seed hit the cache and stay
+//! O(prove). Batch pools pass their pool seed for every job, so their
+//! behaviour is unchanged: one setup per shape per batch.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -36,6 +45,8 @@ pub struct CircuitKeys {
     pub backend: Backend,
     /// Shape digest the keys were generated for.
     pub digest: [u8; 32],
+    /// Setup seed the key material was derived under.
+    pub setup_seed: u64,
     /// Prover-side key material.
     pub prover: ProverKey,
     /// Verifier-side key material.
@@ -69,7 +80,7 @@ impl CacheStats {
     }
 }
 
-type CacheKey = ([u8; 32], Backend);
+type CacheKey = ([u8; 32], Backend, u64);
 
 /// A concurrent, shape-keyed cache of proving/verifying keys.
 #[derive(Debug, Default)]
@@ -106,18 +117,32 @@ impl KeyCache {
         self.get_or_setup_circuit(backend, &RawCircuit::new(cs))
     }
 
-    /// Trait-object entry point used by the proving pool: any
-    /// [`Circuit`] — a matmul job, a whole model forward pass — is cached
-    /// under its [`Circuit::shape_digest`].
+    /// Trait-object entry point: any [`Circuit`] — a matmul job, a whole
+    /// model forward pass — is cached under its [`Circuit::shape_digest`]
+    /// and the cache's own default setup seed.
     pub fn get_or_setup_circuit(
         &self,
         backend: Backend,
         circuit: &dyn Circuit,
     ) -> (std::sync::Arc<CircuitKeys>, bool) {
+        self.get_or_setup_circuit_seeded(backend, circuit, self.seed)
+    }
+
+    /// Seed-explicit entry point used by the proving pool: the entry is
+    /// keyed by `(digest, backend, seed)`, so jobs carrying different
+    /// seeds (resident `zkvc serve` requests) get independent — and
+    /// independently reproducible — key material, while same-seed jobs
+    /// still share one setup.
+    pub fn get_or_setup_circuit_seeded(
+        &self,
+        backend: Backend,
+        circuit: &dyn Circuit,
+        seed: u64,
+    ) -> (std::sync::Arc<CircuitKeys>, bool) {
         let digest = circuit.shape_digest();
         let cell = {
             let mut map = self.entries.lock().expect("key cache poisoned");
-            map.entry((digest, backend))
+            map.entry((digest, backend, seed))
                 .or_insert_with(|| std::sync::Arc::new(OnceLock::new()))
                 .clone()
         };
@@ -126,12 +151,13 @@ impl KeyCache {
         let keys = cell
             .get_or_init(|| {
                 ran_setup = true;
-                let mut rng = StdRng::seed_from_u64(self.setup_seed(&digest, backend));
+                let mut rng = StdRng::seed_from_u64(setup_seed(&digest, backend, seed));
                 let t0 = Instant::now();
                 let (prover, verifier) = backend.system().setup(circuit, &mut rng);
                 std::sync::Arc::new(CircuitKeys {
                     backend,
                     digest,
+                    setup_seed: seed,
                     prover,
                     verifier,
                     setup_time: t0.elapsed(),
@@ -147,14 +173,21 @@ impl KeyCache {
         (keys, !ran_setup)
     }
 
-    fn setup_seed(&self, digest: &[u8; 32], backend: Backend) -> u64 {
-        let mut seed = u64::from_le_bytes(digest[..8].try_into().expect("8 bytes"));
-        seed ^= self.seed.rotate_left(17);
-        seed ^= match backend {
-            Backend::Groth16 => 0x4752_4F54_4831_3600, // "GROTH16\0"
-            Backend::Spartan => 0x5350_4152_5441_4E00, // "SPARTAN\0"
-        };
-        seed
+    /// Fetches an existing entry without running setup (`None` when the
+    /// entry is absent or its setup is still in flight on another
+    /// thread). `zkvc serve` uses this to stream a shape's verification
+    /// key the moment its first job completes.
+    pub fn get(
+        &self,
+        digest: &[u8; 32],
+        backend: Backend,
+        seed: u64,
+    ) -> Option<std::sync::Arc<CircuitKeys>> {
+        self.entries
+            .lock()
+            .expect("key cache poisoned")
+            .get(&(*digest, backend, seed))
+            .and_then(|cell| cell.get().cloned())
     }
 
     /// A snapshot of every fully-initialised cache entry (entries whose
@@ -182,6 +215,18 @@ impl KeyCache {
     pub fn clear(&self) {
         self.entries.lock().expect("key cache poisoned").clear();
     }
+}
+
+/// Mixes the shape digest, backend tag and setup seed into the rng seed
+/// the backend's setup runs from.
+fn setup_seed(digest: &[u8; 32], backend: Backend, seed: u64) -> u64 {
+    let mut mixed = u64::from_le_bytes(digest[..8].try_into().expect("8 bytes"));
+    mixed ^= seed.rotate_left(17);
+    mixed ^= match backend {
+        Backend::Groth16 => 0x4752_4F54_4831_3600, // "GROTH16\0"
+        Backend::Spartan => 0x5350_4152_5441_4E00, // "SPARTAN\0"
+    };
+    mixed
 }
 
 #[cfg(test)]
@@ -256,6 +301,34 @@ mod tests {
         assert!(keys
             .windows(2)
             .all(|w| std::sync::Arc::ptr_eq(&w[0], &w[1])));
+    }
+
+    #[test]
+    fn entries_are_seed_aware() {
+        use zkvc_core::api::RawCircuit;
+        let cache = KeyCache::with_seed(1);
+        let cs = matmul_cs(5, 3);
+        let circuit = RawCircuit::new(&cs);
+        let digest = circuit.shape_digest();
+
+        // Default-seed lookup and an explicit same-seed lookup share one
+        // entry; a different seed gets its own (deterministic) setup.
+        let (k1, hit1) = cache.get_or_setup_circuit(Backend::Spartan, &circuit);
+        let (k2, hit2) = cache.get_or_setup_circuit_seeded(Backend::Spartan, &circuit, 1);
+        let (k3, hit3) = cache.get_or_setup_circuit_seeded(Backend::Spartan, &circuit, 2);
+        assert!(!hit1 && hit2 && !hit3);
+        assert!(std::sync::Arc::ptr_eq(&k1, &k2));
+        assert_eq!(k1.setup_seed, 1);
+        assert_eq!(k3.setup_seed, 2);
+        assert_eq!(cache.stats().entries, 2);
+
+        // get() fetches without setting up, per (digest, backend, seed).
+        assert!(cache.get(&digest, Backend::Spartan, 1).is_some());
+        assert!(cache.get(&digest, Backend::Spartan, 2).is_some());
+        assert!(cache.get(&digest, Backend::Spartan, 3).is_none());
+        assert!(cache.get(&digest, Backend::Groth16, 1).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2), "get() is not a lookup");
     }
 
     #[test]

@@ -46,6 +46,18 @@ pub enum Error {
     StatementMismatch,
     /// The proof failed cryptographic verification.
     VerificationFailed,
+    /// A `zkvc serve` request line was malformed (bad JSON, wrong field
+    /// type, unknown field). Answered in-stream with code 2; never fatal
+    /// to the server.
+    Request(String),
+    /// A `zkvc serve` request line exceeded the configured size bound.
+    /// Answered in-stream with code 2; never fatal to the server.
+    RequestTooLarge {
+        /// Bytes the offending line carried (the whole line is discarded).
+        actual: usize,
+        /// The configured bound.
+        limit: usize,
+    },
 }
 
 impl Error {
@@ -75,7 +87,9 @@ impl Error {
             | Error::Spec { .. }
             | Error::Io { .. }
             | Error::MalformedEnvelope
-            | Error::BackendMismatch { .. } => 2,
+            | Error::BackendMismatch { .. }
+            | Error::Request(_)
+            | Error::RequestTooLarge { .. } => 2,
         }
     }
 }
@@ -95,6 +109,10 @@ impl fmt::Display for Error {
                 write!(f, "proof public outputs do not match the statement")
             }
             Error::VerificationFailed => write!(f, "proof verification failed"),
+            Error::Request(reason) => write!(f, "bad request: {reason}"),
+            Error::RequestTooLarge { actual, limit } => {
+                write!(f, "request too large: {actual} bytes (limit {limit})")
+            }
         }
     }
 }
@@ -130,6 +148,15 @@ mod tests {
         let io = Error::io("/nope", io::Error::new(io::ErrorKind::NotFound, "gone"));
         assert_eq!(io.exit_code(), 2);
         assert!(std::error::Error::source(&io).is_some());
+        assert_eq!(Error::Request("bad json".into()).exit_code(), 2);
+        assert_eq!(
+            Error::RequestTooLarge {
+                actual: 99,
+                limit: 10
+            }
+            .exit_code(),
+            2
+        );
     }
 
     #[test]

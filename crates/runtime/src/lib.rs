@@ -17,9 +17,13 @@
 //! * [`DiskKeyCache`] — persists Groth16 verification keys on disk keyed
 //!   by shape digest + setup seed, so repeat `zkvc verify` invocations skip
 //!   CRS re-derivation entirely (constant-pairing verification).
-//! * [`ProvingPool`] — a fixed set of worker threads draining an mpsc job
-//!   queue with `submit`/`join` semantics, per-job metrics
+//! * [`ProvingPool`] — worker threads fed by a sharded **work-stealing
+//!   scheduler** (per-worker deques, steal-on-idle, job priorities,
+//!   bounded-queue backpressure, cooperative cancellation, per-job panic
+//!   containment) with `submit`/`join` semantics, per-job metrics
 //!   ([`JobResult`]) and aggregate throughput stats ([`BatchReport`]).
+//! * [`serve`] — the resident `zkvc serve` loop: JSON-lines requests in,
+//!   streamed proof responses out, key cache warm across requests.
 //! * [`ProofEnvelope`] — the self-describing byte format proofs travel in
 //!   (the pool round-trips every proof through it before verifying).
 //! * [`JobSpec`] — the job grammar shared with the `zkvc` CLI binary:
@@ -53,17 +57,23 @@ mod cache;
 mod disk;
 mod error;
 mod pool;
+mod sched;
 mod serial;
+mod serve;
 mod spec;
+mod util;
 
 pub use cache::{CacheStats, CircuitKeys, KeyCache};
 pub use disk::DiskKeyCache;
 pub use error::Error;
 pub use pool::{
-    build_statement, prove_batch, prove_batch_serial, BatchKey, BatchReport, JobResult, ProvingPool,
+    build_statement, prove_batch, prove_batch_serial, prove_batch_with_policy, BatchKey,
+    BatchReport, JobError, JobResult, PoolConfig, ProvingPool, ResultSink,
 };
+pub use sched::{Priority, SchedulerPolicy};
 pub use serial::{EnvelopeProof, ProofEnvelope};
-pub use spec::{JobSpec, ModelPreset};
+pub use serve::{serve, ServeConfig, ServeSummary};
+pub use spec::{JobSpec, ModelPreset, SMALL_MATMUL_CELLS};
 // The shape digest moved into `zkvc-core` with the trait API; re-exported
 // here so existing `zkvc_runtime::circuit_shape_digest` callers keep
 // working.

@@ -1,31 +1,80 @@
-//! The proving pool: a fixed set of worker threads draining an mpsc job
-//! queue, sharing one [`KeyCache`] so each circuit shape pays for setup
-//! exactly once across the whole batch.
+//! The proving pool: a fixed set of worker threads fed by the sharded
+//! work-stealing [`Scheduler`](crate::sched::Scheduler), sharing one
+//! [`KeyCache`] so each circuit shape pays for setup exactly once across
+//! the whole batch.
 //!
-//! Every job is fully deterministic given `(pool seed, job id)`: inputs,
-//! the CRPC folding challenge, setup randomness (via the cache) and prover
-//! randomness are all derived from them, so a batch re-run reproduces
-//! byte-identical proofs regardless of how jobs land on workers. Proofs
+//! Every job is fully deterministic given `(job seed, statement id)`:
+//! inputs, the CRPC folding challenge, setup randomness (via the cache)
+//! and prover randomness are all derived from them, so a batch re-run
+//! reproduces byte-identical proofs regardless of how jobs land on
+//! workers, which policy the scheduler runs, or who steals what. Proofs
 //! additionally make a round trip through the
-//! [`ProofEnvelope`](crate::ProofEnvelope) byte format before verification,
-//! so the pool continuously exercises the cross-process path.
+//! [`ProofEnvelope`](crate::ProofEnvelope) byte format before
+//! verification, so the pool continuously exercises the cross-process
+//! path.
+//!
+//! Failure containment: each job runs under `catch_unwind`, so a
+//! panicking job (or a panicking proving backend) becomes a recorded
+//! [`JobError::Panicked`] result instead of unwinding through the worker
+//! and aborting the process — one bad job cannot take down a long-running
+//! `zkvc serve`. Cooperative cancellation ([`ProvingPool::cancel`])
+//! drains the backlog as [`JobError::Cancelled`] results promptly,
+//! without proving them.
 
+use std::collections::HashSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
+
+use core::fmt;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use zkvc_core::api::Circuit;
 use zkvc_core::matmul::{MatMulBuilder, ZSource};
 use zkvc_core::VerifierKey;
-use zkvc_hash::Transcript;
+use zkvc_hash::{sha256, Transcript};
 use zkvc_nn::circuit::ModelCircuit;
 
 use crate::cache::{CacheStats, KeyCache};
+use crate::sched::{Priority, Scheduler, SchedulerPolicy};
 use crate::serial::ProofEnvelope;
 use crate::spec::JobSpec;
+use crate::util::{hex, json_escape};
+
+/// Why a job finished without a proof.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// The pool was cancelled before (or while) the job ran; nothing was
+    /// proved.
+    Cancelled,
+    /// The job panicked; the payload message is preserved. The worker
+    /// thread survives and keeps serving other jobs.
+    Panicked(String),
+}
+
+impl JobError {
+    /// Stable one-word kind, used by machine-readable reports (panic
+    /// payloads can carry addresses or line numbers and are not
+    /// deterministic enough to diff).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobError::Cancelled => "cancelled",
+            JobError::Panicked(_) => "panicked",
+        }
+    }
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::Cancelled => write!(f, "cancelled before proving"),
+            JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+        }
+    }
+}
 
 /// The outcome of one pooled proving job.
 #[derive(Clone, Debug)]
@@ -34,19 +83,30 @@ pub struct JobResult {
     pub id: usize,
     /// The spec the job ran.
     pub spec: JobSpec,
+    /// The determinism seed the job's statement was derived from (the
+    /// pool seed for batch jobs; per-request for `zkvc serve` jobs).
+    pub seed: u64,
     /// Serialised proof envelope (backend tag, public inputs, proof).
     /// Pool envelopes are keyless: Groth16 verification keys ship once per
-    /// batch in [`BatchReport::key_table`].
+    /// batch in [`BatchReport::key_table`]. Empty when `error` is set.
     pub proof_bytes: Vec<u8>,
     /// Whether the proof — after a bytes round trip — verified against the
-    /// cached verifier key.
+    /// cached verifier key. Always `false` when `error` is set.
     pub verified: bool,
+    /// Set when the job did not complete (cancelled, or the job panicked).
+    pub error: Option<JobError>,
     /// Whether key material came from the cache (`false` exactly once per
     /// circuit shape per batch).
     pub cache_hit: bool,
     /// Digest of the circuit shape this job proved (keys into
-    /// [`BatchReport::key_table`]).
+    /// [`BatchReport::key_table`]; zero for jobs that never built a
+    /// statement).
     pub shape_digest: [u8; 32],
+    /// Index of the worker thread that ran (or drained) the job.
+    pub worker: usize,
+    /// Opaque caller reference carried through the pool untouched
+    /// (`zkvc serve` uses it to echo request ids).
+    pub tag: Option<String>,
     /// Time from submission until a worker picked the job up.
     pub queue_wait: Duration,
     /// Circuit synthesis time (witness generation included).
@@ -66,6 +126,9 @@ pub struct JobResult {
 pub struct BatchKey {
     /// Circuit-shape digest the key belongs to.
     pub digest: [u8; 32],
+    /// Setup seed the key was derived under (batch jobs share the pool
+    /// seed; `zkvc serve` requests may override it per job).
+    pub seed: u64,
     /// Serialised Groth16 verification key
     /// ([`zkvc_groth16::VerifyingKey::to_bytes`]).
     pub vk_bytes: Vec<u8>,
@@ -80,13 +143,18 @@ pub struct BatchReport {
     pub wall_time: Duration,
     /// Number of worker threads used.
     pub workers: usize,
+    /// The pool's determinism seed.
+    pub seed: u64,
     /// Key-cache counters at the end of the batch.
     pub cache: CacheStats,
     /// Groth16 verification keys for the batch's circuit shapes: job
     /// envelopes are keyless, so a consumer verifies them against this
     /// table (Spartan preprocessing is derived from the circuit structure
-    /// and has no wire form).
+    /// and has no wire form). Sorted by digest for deterministic reports.
     pub key_table: Vec<BatchKey>,
+    /// Worker threads that died outside the per-job panic guard (should
+    /// be zero; non-zero means some results may be missing).
+    pub worker_panics: usize,
 }
 
 impl BatchReport {
@@ -114,9 +182,41 @@ impl BatchReport {
         }
     }
 
+    /// Jobs drained as cancelled.
+    pub fn cancelled_jobs(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| matches!(r.error, Some(JobError::Cancelled)))
+            .count()
+    }
+
+    /// Jobs that panicked (and were contained).
+    pub fn panicked_jobs(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| matches!(r.error, Some(JobError::Panicked(_))))
+            .count()
+    }
+
     /// Sum of per-job proving times (CPU time, not wall time).
     pub fn total_prove_time(&self) -> Duration {
         self.results.iter().map(|r| r.prove_time).sum()
+    }
+
+    /// Mean queue wait of the jobs selected by `pred` (e.g. only the
+    /// high-priority ones), or zero when none match.
+    pub fn mean_queue_wait(&self, pred: impl Fn(&JobResult) -> bool) -> Duration {
+        let waits: Vec<Duration> = self
+            .results
+            .iter()
+            .filter(|r| pred(r))
+            .map(|r| r.queue_wait)
+            .collect();
+        if waits.is_empty() {
+            Duration::ZERO
+        } else {
+            waits.iter().sum::<Duration>() / waits.len() as u32
+        }
     }
 
     /// Renders the per-job metrics table plus aggregate lines, as printed
@@ -127,12 +227,13 @@ impl BatchReport {
         let _ = writeln!(out, "== {title} ==");
         let _ = writeln!(
             out,
-            "{:>4} {:<12} {:<12} {:<8} {:>6} {:>10} {:>10} {:>10} {:>9} {:>6}",
+            "{:>4} {:<12} {:<12} {:<8} {:>6} {:>4} {:>10} {:>10} {:>10} {:>9} {:>6}",
             "job",
             "shape",
             "strategy",
             "backend",
             "cache",
+            "wkr",
             "build(ms)",
             "prove(ms)",
             "verify(ms)",
@@ -140,19 +241,26 @@ impl BatchReport {
             "ok"
         );
         for r in &self.results {
+            let ok = match (&r.error, r.verified) {
+                (Some(JobError::Cancelled), _) => "cxl",
+                (Some(JobError::Panicked(_)), _) => "panic",
+                (None, true) => "yes",
+                (None, false) => "NO",
+            };
             let _ = writeln!(
                 out,
-                "{:>4} {:<12} {:<12} {:<8} {:>6} {:>10.2} {:>10.2} {:>10.2} {:>9} {:>6}",
+                "{:>4} {:<12} {:<12} {:<8} {:>6} {:>4} {:>10.2} {:>10.2} {:>10.2} {:>9} {:>6}",
                 r.id,
                 r.spec.shape_label(),
                 r.spec.strategy().token(),
                 r.spec.backend().name(),
                 if r.cache_hit { "hit" } else { "miss" },
+                r.worker,
                 r.build_time.as_secs_f64() * 1e3,
                 r.prove_time.as_secs_f64() * 1e3,
                 r.verify_time.as_secs_f64() * 1e3,
                 r.proof_bytes.len(),
-                if r.verified { "yes" } else { "NO" },
+                ok,
             );
         }
         let _ = writeln!(
@@ -163,6 +271,15 @@ impl BatchReport {
             self.wall_time.as_secs_f64(),
             self.jobs_per_sec()
         );
+        let cancelled = self.cancelled_jobs();
+        let panicked = self.panicked_jobs();
+        if cancelled > 0 || panicked > 0 || self.worker_panics > 0 {
+            let _ = writeln!(
+                out,
+                "incidents: {} cancelled, {} panicked job(s), {} worker thread panic(s)",
+                cancelled, panicked, self.worker_panics
+            );
+        }
         // The percentage must agree with the counters on the same line, so
         // both come from the cache's lifetime stats (a shared or pre-warmed
         // cache can have seen lookups outside this batch); the batch-local
@@ -193,17 +310,142 @@ impl BatchReport {
         }
         out
     }
+
+    /// Machine-readable batch report containing **only deterministic
+    /// fields** (no timings, no cache hit/miss attribution — which job
+    /// wins the setup race depends on scheduling): job ids, specs,
+    /// verdicts, error kinds, constraint counts, proof digests, and the
+    /// key table. Two runs of the same batch with the same seed must
+    /// produce byte-identical output — the CI determinism step runs the
+    /// batch twice and diffs exactly this.
+    pub fn render_report_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"schema\": \"zkvc-batch-report/v1\",");
+        let _ = writeln!(out, "  \"seed\": {},", self.seed);
+        let _ = writeln!(out, "  \"jobs\": [");
+        for (i, r) in self.results.iter().enumerate() {
+            let error = match &r.error {
+                None => "null".to_string(),
+                Some(e) => format!("\"{}\"", e.kind()),
+            };
+            let _ = writeln!(
+                out,
+                "    {{\"id\": {}, \"spec\": \"{}\", \"seed\": {}, \"verified\": {}, \"error\": {}, \"constraints\": {}, \"proof_sha256\": \"{}\", \"shape_digest\": \"{}\"}}{}",
+                r.id,
+                json_escape(&r.spec.to_string()),
+                r.seed,
+                r.verified,
+                error,
+                r.num_constraints,
+                hex(&sha256(&r.proof_bytes)),
+                hex(&r.shape_digest),
+                if i + 1 < self.results.len() { "," } else { "" }
+            );
+        }
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(out, "  \"key_table\": [");
+        for (i, k) in self.key_table.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"digest\": \"{}\", \"seed\": {}, \"vk_sha256\": \"{}\"}}{}",
+                hex(&k.digest),
+                k.seed,
+                hex(&sha256(&k.vk_bytes)),
+                if i + 1 < self.key_table.len() {
+                    ","
+                } else {
+                    ""
+                }
+            );
+        }
+        let _ = writeln!(out, "  ]");
+        let _ = writeln!(out, "}}");
+        out
+    }
 }
 
+/// Configuration for a [`ProvingPool`]; the two-argument constructors
+/// cover the common cases, this covers the rest.
+#[derive(Clone, Debug)]
+pub struct PoolConfig {
+    /// Worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Determinism seed: batch jobs derive statements from it.
+    pub seed: u64,
+    /// Backpressure bound: `submit` blocks while this many jobs are
+    /// queued and unclaimed.
+    pub queue_bound: usize,
+    /// Queueing discipline (work-stealing by default; single-queue is the
+    /// bench baseline).
+    pub policy: SchedulerPolicy,
+    /// Whether results accumulate for [`ProvingPool::join`]'s report. A
+    /// resident `zkvc serve` pool sets this to `false` and consumes
+    /// results through its sink instead, so a long-lived process does not
+    /// hold every proof it ever made.
+    pub retain_results: bool,
+}
+
+impl PoolConfig {
+    /// Defaults: `workers` threads, seed 0, a 1024-job queue bound,
+    /// work-stealing, results retained.
+    pub fn new(workers: usize) -> Self {
+        PoolConfig {
+            workers: workers.max(1),
+            seed: 0,
+            queue_bound: 1024,
+            policy: SchedulerPolicy::WorkStealing,
+            retain_results: true,
+        }
+    }
+
+    /// Sets the determinism seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the backpressure bound (clamped to at least 1).
+    pub fn queue_bound(mut self, bound: usize) -> Self {
+        self.queue_bound = bound.max(1);
+        self
+    }
+
+    /// Sets the queueing discipline.
+    pub fn policy(mut self, policy: SchedulerPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets whether results accumulate for the final report.
+    pub fn retain_results(mut self, retain: bool) -> Self {
+        self.retain_results = retain;
+        self
+    }
+}
+
+/// A callback invoked by worker threads as each result lands, in
+/// completion order. Used by `zkvc serve` to stream responses.
+pub type ResultSink = Arc<dyn Fn(&JobResult) + Send + Sync>;
+
 struct QueuedJob {
+    /// Submission-order id (orders the report).
     id: usize,
+    /// Statement derivation id: equals `id` for batch jobs; pinned to 0
+    /// for `zkvc serve` requests so their proofs match what
+    /// `zkvc prove --spec S --seed N` produces and `zkvc verify` expects.
+    statement_id: usize,
+    /// Determinism seed for this job's statement and prover randomness.
+    seed: u64,
     spec: JobSpec,
+    tag: Option<String>,
     enqueued: Instant,
 }
 
 /// A worker pool proving jobs concurrently with shared key caching.
 pub struct ProvingPool {
-    sender: Option<mpsc::Sender<QueuedJob>>,
+    sched: Arc<Scheduler<QueuedJob>>,
     handles: Vec<thread::JoinHandle<()>>,
     results: Arc<Mutex<Vec<JobResult>>>,
     cache: Arc<KeyCache>,
@@ -211,10 +453,6 @@ pub struct ProvingPool {
     seed: u64,
     next_id: AtomicUsize,
     started: Instant,
-    /// Set when the pool is dropped without `join`: workers drain the
-    /// queue without proving, so abandoned batches don't burn CPU on
-    /// results nobody will read.
-    discard: Arc<std::sync::atomic::AtomicBool>,
 }
 
 impl ProvingPool {
@@ -226,59 +464,119 @@ impl ProvingPool {
     /// A pool with `workers` threads, the given determinism seed, and a
     /// (possibly shared) key cache.
     pub fn with_cache(workers: usize, seed: u64, cache: Arc<KeyCache>) -> Self {
-        let workers = workers.max(1);
-        let (sender, receiver) = mpsc::channel::<QueuedJob>();
-        let receiver = Arc::new(Mutex::new(receiver));
+        Self::configured(PoolConfig::new(workers).seed(seed), cache, None)
+    }
+
+    /// The fully-configurable constructor: scheduling policy, queue
+    /// bound, result retention, and an optional per-result sink invoked
+    /// from worker threads as each job completes.
+    pub fn configured(config: PoolConfig, cache: Arc<KeyCache>, sink: Option<ResultSink>) -> Self {
+        let workers = config.workers.max(1);
+        let sched = Arc::new(Scheduler::new(workers, config.queue_bound, config.policy));
         let results = Arc::new(Mutex::new(Vec::new()));
-        let discard = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let retain = config.retain_results;
         let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
-            let receiver = Arc::clone(&receiver);
+        for w in 0..workers {
+            let sched = Arc::clone(&sched);
             let results = Arc::clone(&results);
             let cache = Arc::clone(&cache);
-            let discard = Arc::clone(&discard);
-            handles.push(thread::spawn(move || loop {
-                let job = {
-                    let guard = receiver.lock().expect("job queue poisoned");
-                    guard.recv()
-                };
-                let Ok(job) = job else {
-                    break; // channel closed: pool is joining
-                };
-                if discard.load(Ordering::Relaxed) {
-                    continue; // abandoned pool: drain without proving
-                }
-                let result = run_job(job, seed, &cache);
-                results.lock().expect("results poisoned").push(result);
-            }));
+            let sink = sink.clone();
+            handles.push(
+                thread::Builder::new()
+                    .name(format!("zkvc-worker-{w}"))
+                    .spawn(move || {
+                        while let Some(job) = sched.next(w) {
+                            let result = execute_job(job, w, &cache, &sched);
+                            if let Some(sink) = &sink {
+                                sink(&result);
+                            }
+                            if retain {
+                                results.lock().expect("results poisoned").push(result);
+                            }
+                        }
+                    })
+                    .expect("spawn pool worker"),
+            );
         }
         ProvingPool {
-            sender: Some(sender),
+            sched,
             handles,
             results,
             cache,
             workers,
-            seed,
+            seed: config.seed,
             next_id: AtomicUsize::new(0),
             started: Instant::now(),
-            discard,
         }
     }
 
-    /// Enqueues a job, returning its id (ids are assigned in submission
-    /// order and order the results of [`Self::join`]).
+    /// Enqueues a job at its spec-derived priority, returning its id (ids
+    /// are assigned in submission order and order the results of
+    /// [`Self::join`]). Blocks while the queue is at its bound.
     pub fn submit(&self, spec: JobSpec) -> usize {
+        self.submit_prioritized(spec, spec.priority())
+    }
+
+    /// Enqueues a job with an explicit priority.
+    pub fn submit_prioritized(&self, spec: JobSpec, priority: Priority) -> usize {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.sender
-            .as_ref()
-            .expect("pool already joined")
-            .send(QueuedJob {
-                id,
-                spec,
-                enqueued: Instant::now(),
-            })
-            .expect("workers terminated early");
+        let job = QueuedJob {
+            id,
+            statement_id: id,
+            seed: self.seed,
+            spec,
+            tag: None,
+            enqueued: Instant::now(),
+        };
+        if self.sched.submit(job, priority).is_err() {
+            panic!("pool already joined");
+        }
         id
+    }
+
+    /// The `zkvc serve` entry point: a job with its own seed and an
+    /// opaque tag echoed in the result. The statement id is pinned to 0,
+    /// so the produced proof is exactly the one `zkvc prove --spec S
+    /// --seed N` would emit and `zkvc verify --spec S --seed N` expects —
+    /// resident-server proofs stay verifiable offline.
+    pub fn submit_request(
+        &self,
+        spec: JobSpec,
+        seed: u64,
+        priority: Priority,
+        tag: Option<String>,
+    ) -> usize {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let job = QueuedJob {
+            id,
+            statement_id: 0,
+            seed,
+            spec,
+            tag,
+            enqueued: Instant::now(),
+        };
+        if self.sched.submit(job, priority).is_err() {
+            panic!("pool already joined");
+        }
+        id
+    }
+
+    /// Requests cooperative cancellation: jobs not yet started are
+    /// drained as [`JobError::Cancelled`] results (promptly — no proving),
+    /// the job in flight stops at its next checkpoint, and any producer
+    /// blocked on backpressure is released.
+    pub fn cancel(&self) {
+        self.sched.cancel();
+    }
+
+    /// `true` once the pool has been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.sched.is_cancelled()
+    }
+
+    /// Jobs accepted but not yet picked up by a worker.
+    pub fn queued(&self) -> usize {
+        self.sched.queued()
     }
 
     /// The shared key cache (e.g. to pre-warm it or to read stats).
@@ -294,52 +592,67 @@ impl ProvingPool {
     /// Closes the queue, waits for every submitted job to finish, and
     /// returns the batch report with results sorted by job id.
     pub fn join(mut self) -> BatchReport {
-        drop(self.sender.take()); // close the channel; workers drain + exit
+        self.sched.close();
+        let mut worker_panics = 0;
         for handle in self.handles.drain(..) {
-            handle.join().expect("worker thread panicked");
+            // A worker dying outside the per-job guard (sink or results
+            // mutex panic) is recorded, not propagated: the report must
+            // come back even from a degraded pool.
+            if handle.join().is_err() {
+                worker_panics += 1;
+            }
         }
         let mut results = std::mem::take(&mut *self.results.lock().expect("results poisoned"));
         results.sort_by_key(|r| r.id);
-        // Only the shapes this batch actually proved: a shared or
-        // pre-warmed cache may hold keys for unrelated shapes, which must
-        // not leak into this report's table.
-        let batch_digests: std::collections::HashSet<[u8; 32]> =
-            results.iter().map(|r| r.shape_digest).collect();
-        let key_table = self
+        // Only the (shape, seed) pairs this batch actually proved: a
+        // shared or pre-warmed cache may hold keys for unrelated shapes,
+        // which must not leak into this report's table.
+        let batch_keys: HashSet<([u8; 32], u64)> = results
+            .iter()
+            .filter(|r| r.error.is_none())
+            .map(|r| (r.shape_digest, r.seed))
+            .collect();
+        let mut key_table: Vec<BatchKey> = self
             .cache
             .entries()
             .iter()
-            .filter(|entry| batch_digests.contains(&entry.digest))
+            .filter(|entry| batch_keys.contains(&(entry.digest, entry.setup_seed)))
             .filter_map(|entry| match &entry.verifier {
                 VerifierKey::Groth16(vk) => Some(BatchKey {
                     digest: entry.digest,
+                    seed: entry.setup_seed,
                     vk_bytes: vk.to_bytes(),
                 }),
                 VerifierKey::Spartan(_) => None,
             })
             .collect();
+        // The cache map iterates in hash order; reports must not.
+        key_table.sort_by_key(|k| (k.digest, k.seed));
         BatchReport {
             wall_time: self.started.elapsed(),
             workers: self.workers,
+            seed: self.seed,
             cache: self.cache.stats(),
             results,
             key_table,
+            worker_panics,
         }
     }
 }
 
 impl Drop for ProvingPool {
     fn drop(&mut self) {
-        // `join` consumed the sender and handles already; this path only
-        // fires when the pool is abandoned (early return, panic). Tell the
-        // workers to drain without proving, then wait for them to exit so
-        // no detached thread keeps burning CPU on a discarded batch.
-        if let Some(sender) = self.sender.take() {
-            self.discard.store(true, Ordering::Relaxed);
-            drop(sender);
-            for handle in self.handles.drain(..) {
-                let _ = handle.join();
-            }
+        // `join` drained the handles already; this path only fires when
+        // the pool is abandoned (early return, panic). Cancel so workers
+        // drain the backlog without proving, then wait for them to exit
+        // so no detached thread keeps burning CPU on a discarded batch.
+        if self.handles.is_empty() {
+            return;
+        }
+        self.sched.cancel();
+        self.sched.close();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
         }
     }
 }
@@ -418,18 +731,98 @@ fn envelope_verifies_for_statement(
     }
 }
 
-fn run_job(job: QueuedJob, seed: u64, cache: &KeyCache) -> JobResult {
-    let queue_wait = job.enqueued.elapsed();
+/// A result for a job that never proved anything (cancelled or panicked).
+fn aborted_result(
+    job: &QueuedJob,
+    worker: usize,
+    queue_wait: Duration,
+    build_time: Duration,
+    error: JobError,
+) -> JobResult {
+    JobResult {
+        id: job.id,
+        spec: job.spec,
+        seed: job.seed,
+        proof_bytes: Vec::new(),
+        verified: false,
+        error: Some(error),
+        cache_hit: false,
+        shape_digest: [0u8; 32],
+        worker,
+        tag: job.tag.clone(),
+        queue_wait,
+        build_time,
+        prove_time: Duration::ZERO,
+        verify_time: Duration::ZERO,
+        num_constraints: 0,
+    }
+}
 
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one job under the cancellation + panic guards. Never panics.
+fn execute_job(
+    job: QueuedJob,
+    worker: usize,
+    cache: &KeyCache,
+    sched: &Scheduler<QueuedJob>,
+) -> JobResult {
+    let queue_wait = job.enqueued.elapsed();
+    if sched.is_cancelled() {
+        return aborted_result(
+            &job,
+            worker,
+            queue_wait,
+            Duration::ZERO,
+            JobError::Cancelled,
+        );
+    }
+    match catch_unwind(AssertUnwindSafe(|| {
+        run_job(&job, worker, queue_wait, cache, &|| sched.is_cancelled())
+    })) {
+        Ok(result) => result,
+        Err(payload) => aborted_result(
+            &job,
+            worker,
+            queue_wait,
+            Duration::ZERO,
+            JobError::Panicked(panic_message(payload.as_ref())),
+        ),
+    }
+}
+
+fn run_job(
+    job: &QueuedJob,
+    worker: usize,
+    queue_wait: Duration,
+    cache: &KeyCache,
+    is_cancelled: &dyn Fn() -> bool,
+) -> JobResult {
     let t0 = Instant::now();
-    let statement = build_statement(seed, job.id, &job.spec);
+    let statement = build_statement(job.seed, job.statement_id, &job.spec);
     let build_time = t0.elapsed();
 
-    let system = job.spec.backend().system();
-    let (keys, cache_hit) = cache.get_or_setup_circuit(job.spec.backend(), statement.as_ref());
+    // Cooperative checkpoint: a cancellation that lands mid-build skips
+    // the (much more expensive) setup + prove work.
+    if is_cancelled() {
+        return aborted_result(job, worker, queue_wait, build_time, JobError::Cancelled);
+    }
 
-    let mut prover_rng =
-        StdRng::seed_from_u64(seed ^ (job.id as u64).wrapping_mul(0xD1B5_4A32_D192_ED03));
+    let system = job.spec.backend().system();
+    let (keys, cache_hit) =
+        cache.get_or_setup_circuit_seeded(job.spec.backend(), statement.as_ref(), job.seed);
+
+    let mut prover_rng = StdRng::seed_from_u64(
+        job.seed ^ (job.statement_id as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
+    );
     let t1 = Instant::now();
     let artifacts = system.prove(&keys.prover, statement.as_ref(), &mut prover_rng);
     let prove_time = t1.elapsed();
@@ -452,10 +845,14 @@ fn run_job(job: QueuedJob, seed: u64, cache: &KeyCache) -> JobResult {
     JobResult {
         id: job.id,
         spec: job.spec,
+        seed: job.seed,
         proof_bytes,
         verified,
+        error: None,
         cache_hit,
         shape_digest: keys.digest,
+        worker,
+        tag: job.tag.clone(),
         queue_wait,
         build_time,
         prove_time,
@@ -467,7 +864,22 @@ fn run_job(job: QueuedJob, seed: u64, cache: &KeyCache) -> JobResult {
 /// Proves `specs` on a `workers`-thread pool with a fresh cache; the
 /// convenience entry point behind the `zkvc prove-batch` CLI.
 pub fn prove_batch(specs: &[JobSpec], workers: usize, seed: u64) -> BatchReport {
-    let pool = ProvingPool::with_cache(workers, seed, Arc::new(KeyCache::with_seed(seed)));
+    prove_batch_with_policy(specs, workers, seed, SchedulerPolicy::WorkStealing)
+}
+
+/// [`prove_batch`] with an explicit scheduling policy (the pool bench
+/// compares `WorkStealing` against the `SingleQueue` baseline).
+pub fn prove_batch_with_policy(
+    specs: &[JobSpec],
+    workers: usize,
+    seed: u64,
+    policy: SchedulerPolicy,
+) -> BatchReport {
+    let pool = ProvingPool::configured(
+        PoolConfig::new(workers).seed(seed).policy(policy),
+        Arc::new(KeyCache::with_seed(seed)),
+        None,
+    );
     for spec in specs {
         pool.submit(*spec);
     }
@@ -500,10 +912,14 @@ pub fn prove_batch_serial(specs: &[JobSpec], seed: u64) -> BatchReport {
         results.push(JobResult {
             id,
             spec: *spec,
+            seed,
             proof_bytes,
             verified,
+            error: None,
             cache_hit: false,
             shape_digest: statement.shape_digest(),
+            worker: 0,
+            tag: None,
             queue_wait: Duration::ZERO,
             build_time,
             // One-shot proving pays setup every time; count it as part of
@@ -517,10 +933,12 @@ pub fn prove_batch_serial(specs: &[JobSpec], seed: u64) -> BatchReport {
     BatchReport {
         wall_time: started.elapsed(),
         workers: 1,
+        seed,
         cache: CacheStats::default(),
         results,
         // One-shot envelopes embed their vk, so there is no key table.
         key_table: Vec::new(),
+        worker_panics: 0,
     }
 }
 
@@ -549,6 +967,7 @@ mod tests {
         let report = prove_batch(&specs, 4, 42);
         assert_eq!(report.results.len(), 8);
         assert!(report.all_verified(), "all 8 proofs must verify");
+        assert_eq!(report.worker_panics, 0);
         assert_eq!(
             report.results.iter().map(|r| r.id).collect::<Vec<_>>(),
             (0..8).collect::<Vec<_>>(),
@@ -561,14 +980,26 @@ mod tests {
         assert!(report.jobs_per_sec() > 0.0);
 
         // Re-running the identical batch reproduces byte-identical proofs,
-        // regardless of worker scheduling.
-        let rerun = prove_batch(&specs, 2, 42);
-        for (a, b) in report.results.iter().zip(rerun.results.iter()) {
-            assert_eq!(a.id, b.id);
+        // regardless of worker scheduling or queueing policy.
+        for (label, rerun) in [
+            ("2 workers", prove_batch(&specs, 2, 42)),
+            (
+                "single-queue",
+                prove_batch_with_policy(&specs, 2, 42, SchedulerPolicy::SingleQueue),
+            ),
+        ] {
+            for (a, b) in report.results.iter().zip(rerun.results.iter()) {
+                assert_eq!(a.id, b.id);
+                assert_eq!(
+                    a.proof_bytes, b.proof_bytes,
+                    "job {} not deterministic ({label})",
+                    a.id
+                );
+            }
             assert_eq!(
-                a.proof_bytes, b.proof_bytes,
-                "job {} not deterministic",
-                a.id
+                report.render_report_json(),
+                rerun.render_report_json(),
+                "deterministic report must be byte-identical ({label})"
             );
         }
 
@@ -660,6 +1091,7 @@ mod tests {
             "empty batch is not vacuously verified"
         );
         assert_eq!(report.jobs_per_sec(), 0.0);
+        assert_eq!(report.worker_panics, 0);
     }
 
     #[test]
@@ -688,5 +1120,41 @@ mod tests {
         assert!(serial.all_verified());
         assert_eq!(serial.workers, 1);
         assert_eq!(serial.cache, CacheStats::default());
+
+        let pooled = prove_batch(&specs, 2, 11);
+        let verdicts = |r: &BatchReport| {
+            r.results
+                .iter()
+                .map(|j| (j.id, j.verified))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(verdicts(&serial), verdicts(&pooled));
+    }
+
+    #[test]
+    fn serve_style_requests_match_single_prove() {
+        // submit_request pins the statement id to 0: the proof is
+        // byte-identical to job 0 of a fresh batch at the same seed, no
+        // matter how many requests preceded it in the resident pool.
+        let cache = Arc::new(KeyCache::with_seed(0));
+        let pool = ProvingPool::with_cache(1, 0, cache);
+        let spec = JobSpec::new(3, 3, 3).with_backend(Backend::Spartan);
+        pool.submit_request(spec, 5, Priority::Normal, Some("a".into()));
+        pool.submit_request(spec, 5, Priority::Normal, Some("b".into()));
+        let report = pool.join();
+        assert!(report.all_verified());
+        assert_eq!(report.results[0].tag.as_deref(), Some("a"));
+        assert_eq!(report.results[1].tag.as_deref(), Some("b"));
+        // Same (spec, seed) -> same statement -> identical proofs and one
+        // shared setup.
+        assert_eq!(report.results[0].proof_bytes, report.results[1].proof_bytes);
+        assert_eq!(report.cache.misses, 1);
+        // And the proof matches the "job 0 at seed 5" statement exactly.
+        let statement = build_statement(5, 0, &spec);
+        assert!(envelope_verifies_for_statement(
+            &report.results[0].proof_bytes,
+            statement.as_ref(),
+            |e| e.verify_cs(statement.constraint_system())
+        ));
     }
 }

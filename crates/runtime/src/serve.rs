@@ -1,0 +1,953 @@
+//! The resident proving server behind `zkvc serve`: a long-running
+//! process that reads JSON-lines job requests from a stream (stdin in the
+//! CLI), proves them on a [`ProvingPool`], and streams JSON-lines
+//! responses back **as each proof completes** — out of order, tagged with
+//! the request's own `id`. The pool's [`KeyCache`] lives as long as the
+//! server, so a repeat circuit shape is O(prove), not O(setup), no matter
+//! how many requests ago it was first seen.
+//!
+//! ## Wire format
+//!
+//! One JSON object per line, flat (no nested containers). Requests:
+//!
+//! ```text
+//! {"spec": "8x8x16:zkvc:g"}
+//! {"spec": "4x4x4:spartan:x3", "id": "batch-7", "seed": 42, "priority": "high"}
+//! ```
+//!
+//! * `spec` (required): the job grammar shared with the whole CLI,
+//!   including `:xCOUNT` repetition (capped at the queue bound per line,
+//!   so one line cannot commit the server to unbounded proving).
+//! * `id` (optional): string or number, echoed verbatim in every response
+//!   for this request.
+//! * `seed` (optional): statement seed for this request (default: the
+//!   server's `--seed`). Proofs are produced for *statement id 0* at that
+//!   seed, so `zkvc verify --spec S --seed N` can check them offline.
+//! * `priority` (optional): `"high"` or `"normal"`, overriding the
+//!   spec-derived class.
+//!
+//! Responses (`type` field discriminates):
+//!
+//! ```text
+//! {"type":"ready","proto":"zkvc-serve/v1","workers":4,"seed":0,"queue_bound":256}
+//! {"type":"result","id":"batch-7","job":3,"spec":"4x4x4:crpc+psq:spartan","seed":42,
+//!  "verified":true,"cache_hit":false,"worker":1,"constraints":208,
+//!  "shape_digest":"...","queue_ms":0.1,"build_ms":1.2,"prove_ms":31.0,
+//!  "verify_ms":2.4,"proof_bytes":412,"proof_hex":"..."}
+//! {"type":"key","backend":"groth16","shape_digest":"...","seed":0,"vk_hex":"..."}
+//! {"type":"error","id":null,"code":2,"error":"bad request: ..."}
+//! {"type":"summary","jobs":4,"verified":4,"failed":0,"rejected":1,
+//!  "cache_hits":3,"cache_misses":1,"wall_s":1.204}
+//! ```
+//!
+//! A `key` line is emitted once per new Groth16 `(shape, seed)` — result
+//! envelopes are keyless, exactly like pool batches — when the shape's
+//! first-setup job completes (results for cache-hit jobs of the same
+//! shape may land before it; buffer if verifying online). Malformed,
+//! oversized, or unparseable requests are answered with an `error` line
+//! carrying the exit-code class the CLI would have used (`2`), and the
+//! server keeps running: one bad client line never kills the process.
+
+use std::io::{self, BufRead, Write};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use zkvc_core::{Backend, VerifierKey};
+
+use crate::cache::KeyCache;
+use crate::disk::DiskKeyCache;
+use crate::error::Error;
+use crate::pool::{JobResult, PoolConfig, ProvingPool, ResultSink};
+use crate::sched::Priority;
+use crate::spec::JobSpec;
+use crate::util::{hex, json_escape};
+
+/// Configuration for [`serve`].
+#[derive(Debug)]
+pub struct ServeConfig {
+    /// Worker threads proving requests.
+    pub workers: usize,
+    /// Default statement seed for requests that carry none; also seeds
+    /// the resident key cache.
+    pub seed: u64,
+    /// Backpressure bound: request intake blocks (in the pipe) while this
+    /// many jobs are queued.
+    pub queue_bound: usize,
+    /// Maximum accepted request-line length in bytes; longer lines are
+    /// discarded whole and answered with an error response.
+    pub max_request_bytes: usize,
+    /// Whether `result` lines carry the proof envelope as `proof_hex`
+    /// (disable for throughput probes that only want verdicts).
+    pub include_proofs: bool,
+    /// When set, Groth16 verification keys are persisted here as shapes
+    /// are first proved, so offline `zkvc verify --key-cache` calls skip
+    /// CRS re-derivation.
+    pub disk_cache: Option<DiskKeyCache>,
+}
+
+impl ServeConfig {
+    /// Defaults: `workers` threads, seed 0, 256-job queue bound, 64 KiB
+    /// request lines, proofs included, no disk persistence.
+    pub fn new(workers: usize) -> Self {
+        ServeConfig {
+            workers: workers.max(1),
+            seed: 0,
+            queue_bound: 256,
+            max_request_bytes: 64 * 1024,
+            include_proofs: true,
+            disk_cache: None,
+        }
+    }
+
+    /// Sets the default statement seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the backpressure bound (clamped to at least 1).
+    pub fn queue_bound(mut self, bound: usize) -> Self {
+        self.queue_bound = bound.max(1);
+        self
+    }
+
+    /// Sets the request-line size limit (clamped to at least 64 bytes).
+    pub fn max_request_bytes(mut self, max: usize) -> Self {
+        self.max_request_bytes = max.max(64);
+        self
+    }
+
+    /// Sets whether result lines include the proof bytes.
+    pub fn include_proofs(mut self, include: bool) -> Self {
+        self.include_proofs = include;
+        self
+    }
+
+    /// Enables on-disk persistence of Groth16 verification keys.
+    pub fn disk_cache(mut self, disk: Option<DiskKeyCache>) -> Self {
+        self.disk_cache = disk;
+        self
+    }
+}
+
+/// What a [`serve`] session did, returned after the input stream ends.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Jobs accepted and run (including cancelled/panicked ones).
+    pub jobs: usize,
+    /// Jobs whose proof verified.
+    pub verified: usize,
+    /// Jobs that did not verify (bad proof, cancelled, panicked).
+    pub failed: usize,
+    /// Request lines rejected before reaching the pool (malformed JSON,
+    /// unknown fields, bad specs, oversized lines).
+    pub rejected: usize,
+}
+
+#[derive(Default)]
+struct Counters {
+    jobs: AtomicUsize,
+    verified: AtomicUsize,
+}
+
+/// Shared writer: worker sinks and the intake loop interleave whole
+/// lines; the first I/O error is latched and ends the session.
+struct Output<W: Write> {
+    writer: Mutex<W>,
+    broken: Mutex<Option<io::Error>>,
+}
+
+impl<W: Write> Output<W> {
+    fn emit(&self, line: &str) {
+        let mut w = self.writer.lock().expect("serve output poisoned");
+        let result = writeln!(w, "{line}").and_then(|_| w.flush());
+        if let Err(e) = result {
+            let mut broken = self.broken.lock().expect("serve output poisoned");
+            broken.get_or_insert(e);
+        }
+    }
+
+    /// `true` once any emit has failed; the latched error stays put for
+    /// [`Output::take_error`] so a broken-pipe session still reports its
+    /// root cause at the end.
+    fn is_broken(&self) -> bool {
+        self.broken.lock().expect("serve output poisoned").is_some()
+    }
+
+    fn take_error(&self) -> Option<io::Error> {
+        self.broken.lock().expect("serve output poisoned").take()
+    }
+}
+
+/// Runs the serve loop over `input`/`output` until `input` reaches EOF,
+/// then drains the pool, writes the `summary` line, and returns the
+/// totals. Fatal errors are I/O errors on the streams themselves; request
+/// problems are answered in-stream and never returned.
+pub fn serve<R: BufRead, W: Write + Send + 'static>(
+    mut input: R,
+    output: W,
+    config: ServeConfig,
+) -> Result<ServeSummary, Error> {
+    let started = Instant::now();
+    let out = Arc::new(Output {
+        writer: Mutex::new(output),
+        broken: Mutex::new(None),
+    });
+    let cache = Arc::new(KeyCache::with_seed(config.seed));
+    let counters = Arc::new(Counters::default());
+
+    let sink: ResultSink = {
+        let out = Arc::clone(&out);
+        let cache = Arc::clone(&cache);
+        let counters = Arc::clone(&counters);
+        let include_proofs = config.include_proofs;
+        let disk = config.disk_cache.clone();
+        Arc::new(move |result: &JobResult| {
+            // First setup of a Groth16 (shape, seed): stream the vk once
+            // (results are keyless) and persist it if configured.
+            if result.error.is_none()
+                && !result.cache_hit
+                && result.spec.backend() == Backend::Groth16
+            {
+                if let Some(keys) = cache.get(&result.shape_digest, Backend::Groth16, result.seed) {
+                    if let VerifierKey::Groth16(vk) = &keys.verifier {
+                        out.emit(&format!(
+                            "{{\"type\":\"key\",\"backend\":\"groth16\",\"shape_digest\":\"{}\",\"seed\":{},\"vk_hex\":\"{}\"}}",
+                            hex(&result.shape_digest),
+                            result.seed,
+                            hex(&vk.to_bytes())
+                        ));
+                        if let Some(disk) = &disk {
+                            // Persistence is best-effort: a read-only disk
+                            // must not fail the job.
+                            let _ = disk.store_groth16_vk(&result.shape_digest, result.seed, vk);
+                        }
+                    }
+                }
+            }
+            counters.jobs.fetch_add(1, Ordering::Relaxed);
+            if result.verified {
+                counters.verified.fetch_add(1, Ordering::Relaxed);
+            }
+            out.emit(&result_line(result, include_proofs));
+        })
+    };
+
+    let pool = ProvingPool::configured(
+        PoolConfig::new(config.workers)
+            .seed(config.seed)
+            .queue_bound(config.queue_bound)
+            .retain_results(false),
+        Arc::clone(&cache),
+        Some(sink),
+    );
+
+    out.emit(&format!(
+        "{{\"type\":\"ready\",\"proto\":\"zkvc-serve/v1\",\"workers\":{},\"seed\":{},\"queue_bound\":{}}}",
+        pool_workers(&config),
+        config.seed,
+        config.queue_bound
+    ));
+
+    let mut rejected = 0usize;
+    loop {
+        if out.is_broken() {
+            // The consumer hung up; stop reading, drain, and report below.
+            break;
+        }
+        match read_bounded_line(&mut input, config.max_request_bytes) {
+            Ok(None) => break, // EOF: orderly shutdown
+            Ok(Some(Err(LineReject::TooLarge(actual)))) => {
+                rejected += 1;
+                let error = Error::RequestTooLarge {
+                    actual,
+                    limit: config.max_request_bytes,
+                };
+                out.emit(&error_line(None, &error));
+            }
+            Ok(Some(Err(LineReject::NotUtf8))) => {
+                rejected += 1;
+                let error = Error::Request("request line is not valid UTF-8".into());
+                out.emit(&error_line(None, &error));
+            }
+            Ok(Some(Ok(line))) => {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                match parse_request(line) {
+                    // The repetition count is bounded by the queue: one
+                    // tiny `:xN` line must not be able to commit the
+                    // server to an unbounded amount of proving (the
+                    // request-size bound would be meaningless otherwise).
+                    Ok(request) if request.count > config.queue_bound => {
+                        rejected += 1;
+                        let error = Error::Request(format!(
+                            "repetition count {} exceeds the queue bound {} (send more lines instead)",
+                            request.count, config.queue_bound
+                        ));
+                        out.emit(&error_line(request.id_json.as_deref(), &error));
+                    }
+                    Ok(request) => {
+                        let seed = request.seed.unwrap_or(config.seed);
+                        let priority = request.priority.unwrap_or(request.spec.priority());
+                        for _ in 0..request.count {
+                            pool.submit_request(
+                                request.spec,
+                                seed,
+                                priority,
+                                request.id_json.clone(),
+                            );
+                        }
+                    }
+                    Err((error, id_json)) => {
+                        rejected += 1;
+                        out.emit(&error_line(id_json.as_deref(), &error));
+                    }
+                }
+            }
+            Err(e) => return Err(Error::io("<serve input>", e)),
+        }
+    }
+
+    let report = pool.join();
+    let jobs = counters.jobs.load(Ordering::Relaxed);
+    let verified = counters.verified.load(Ordering::Relaxed);
+    let summary = ServeSummary {
+        jobs,
+        verified,
+        failed: jobs - verified,
+        rejected,
+    };
+    out.emit(&format!(
+        "{{\"type\":\"summary\",\"jobs\":{},\"verified\":{},\"failed\":{},\"rejected\":{},\"cache_hits\":{},\"cache_misses\":{},\"wall_s\":{:.3}}}",
+        summary.jobs,
+        summary.verified,
+        summary.failed,
+        summary.rejected,
+        report.cache.hits,
+        report.cache.misses,
+        started.elapsed().as_secs_f64()
+    ));
+    if let Some(e) = out.take_error() {
+        return Err(Error::io("<serve output>", e));
+    }
+    Ok(summary)
+}
+
+fn pool_workers(config: &ServeConfig) -> usize {
+    config.workers.max(1)
+}
+
+/// Renders one `result` response line.
+fn result_line(r: &JobResult, include_proof: bool) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = write!(
+        s,
+        "{{\"type\":\"result\",\"id\":{},\"job\":{},\"spec\":\"{}\",\"seed\":{},\"verified\":{}",
+        r.tag.as_deref().unwrap_or("null"),
+        r.id,
+        json_escape(&r.spec.to_string()),
+        r.seed,
+        r.verified
+    );
+    match &r.error {
+        Some(error) => {
+            let _ = write!(
+                s,
+                ",\"code\":1,\"error\":\"{}\"",
+                json_escape(&error.to_string())
+            );
+        }
+        None => {
+            let _ = write!(
+                s,
+                ",\"cache_hit\":{},\"worker\":{},\"constraints\":{},\"shape_digest\":\"{}\",\"queue_ms\":{:.3},\"build_ms\":{:.3},\"prove_ms\":{:.3},\"verify_ms\":{:.3},\"proof_bytes\":{}",
+                r.cache_hit,
+                r.worker,
+                r.num_constraints,
+                hex(&r.shape_digest),
+                r.queue_wait.as_secs_f64() * 1e3,
+                r.build_time.as_secs_f64() * 1e3,
+                r.prove_time.as_secs_f64() * 1e3,
+                r.verify_time.as_secs_f64() * 1e3,
+                r.proof_bytes.len()
+            );
+            if include_proof {
+                let _ = write!(s, ",\"proof_hex\":\"{}\"", hex(&r.proof_bytes));
+            }
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// Renders one `error` response line; `id_json` is the request's echoed
+/// id when it could be recovered from the malformed line.
+fn error_line(id_json: Option<&str>, error: &Error) -> String {
+    format!(
+        "{{\"type\":\"error\",\"id\":{},\"code\":{},\"error\":\"{}\"}}",
+        id_json.unwrap_or("null"),
+        error.exit_code(),
+        json_escape(&error.to_string())
+    )
+}
+
+/// Why a request line was rejected before parsing.
+#[derive(Debug, PartialEq, Eq)]
+enum LineReject {
+    /// The line exceeded the size bound; carries the total bytes consumed.
+    TooLarge(usize),
+    /// The line was not valid UTF-8 (rejected outright: lossy decoding
+    /// would corrupt echoed ids without the client noticing).
+    NotUtf8,
+}
+
+/// Reads one request line of at most `max` bytes. Returns `Ok(None)` at
+/// EOF, `Ok(Some(Err(..)))` for a rejected line (an oversized line is
+/// consumed and discarded in full so the stream stays line-aligned), and
+/// the line without its terminator otherwise.
+fn read_bounded_line<R: BufRead>(
+    input: &mut R,
+    max: usize,
+) -> io::Result<Option<Result<String, LineReject>>> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut total = 0usize;
+    let mut saw_any = false;
+    loop {
+        let chunk = input.fill_buf()?;
+        if chunk.is_empty() {
+            if !saw_any {
+                return Ok(None); // EOF before any byte of a line
+            }
+            break; // EOF terminates the final (newline-less) line
+        }
+        saw_any = true;
+        let (line_part, found_newline) = match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => (&chunk[..pos], true),
+            None => (chunk, false),
+        };
+        total += line_part.len();
+        if total <= max {
+            buf.extend_from_slice(line_part);
+        }
+        let consumed = line_part.len() + usize::from(found_newline);
+        input.consume(consumed);
+        if found_newline {
+            break;
+        }
+    }
+    if total > max {
+        // Oversized: the whole line was consumed (keeping the stream
+        // line-aligned) but never buffered beyond the bound.
+        return Ok(Some(Err(LineReject::TooLarge(total))));
+    }
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+    match String::from_utf8(buf) {
+        Ok(line) => Ok(Some(Ok(line))),
+        Err(_) => Ok(Some(Err(LineReject::NotUtf8))),
+    }
+}
+
+/// One parsed request line.
+#[derive(Debug)]
+struct Request {
+    spec: JobSpec,
+    count: usize,
+    seed: Option<u64>,
+    priority: Option<Priority>,
+    /// The request's `id`, re-encoded as a JSON token for echoing.
+    id_json: Option<String>,
+}
+
+/// A flat JSON value (the wire format forbids nested containers).
+#[derive(Clone, Debug, PartialEq)]
+enum Json {
+    Str(String),
+    /// Numbers keep their raw token so 64-bit seeds survive exactly.
+    Num(String),
+    Bool(bool),
+    Null,
+}
+
+/// Parses a request line; on failure returns the error plus the request
+/// id if one could still be recovered (so the error response correlates).
+fn parse_request(line: &str) -> Result<Request, (Error, Option<String>)> {
+    let fields = parse_json_object(line).map_err(|reason| (Error::Request(reason), None))?;
+    let id_json = fields
+        .iter()
+        .find(|(k, _)| k == "id")
+        .map(|(_, v)| match v {
+            Json::Str(s) => format!("\"{}\"", json_escape(s)),
+            Json::Num(raw) => raw.clone(),
+            Json::Bool(b) => b.to_string(),
+            Json::Null => "null".to_string(),
+        });
+    let fail = |error: Error| (error, id_json.clone());
+
+    let mut spec_count: Option<(JobSpec, usize)> = None;
+    let mut seed = None;
+    let mut priority = None;
+    for (key, value) in &fields {
+        match key.as_str() {
+            "spec" => {
+                let Json::Str(s) = value else {
+                    return Err(fail(Error::Request("\"spec\" must be a string".into())));
+                };
+                spec_count = Some(JobSpec::parse(s).map_err(&fail)?);
+            }
+            "seed" => {
+                let parsed = match value {
+                    Json::Num(raw) => raw.parse::<u64>().ok(),
+                    _ => None,
+                };
+                let Some(parsed) = parsed else {
+                    return Err(fail(Error::Request(
+                        "\"seed\" must be a non-negative integer".into(),
+                    )));
+                };
+                seed = Some(parsed);
+            }
+            "priority" => {
+                let token = match value {
+                    Json::Str(s) => s.as_str(),
+                    _ => "",
+                };
+                priority = Some(match token {
+                    "high" => Priority::High,
+                    "normal" => Priority::Normal,
+                    _ => {
+                        return Err(fail(Error::Request(
+                            "\"priority\" must be \"high\" or \"normal\"".into(),
+                        )))
+                    }
+                });
+            }
+            "id" => match value {
+                Json::Str(_) | Json::Num(_) => {} // captured above
+                _ => {
+                    return Err(fail(Error::Request(
+                        "\"id\" must be a string or a number".into(),
+                    )))
+                }
+            },
+            other => {
+                return Err(fail(Error::Request(format!(
+                    "unknown field {other:?} (expected spec, id, seed, priority)"
+                ))));
+            }
+        }
+    }
+    let Some((spec, count)) = spec_count else {
+        return Err(fail(Error::Request(
+            "missing required field \"spec\"".into(),
+        )));
+    };
+    Ok(Request {
+        spec,
+        count,
+        seed,
+        priority,
+        id_json,
+    })
+}
+
+/// Minimal JSON parser for one flat object: string keys, and string /
+/// number / boolean / null values. Nested objects and arrays are
+/// rejected — the request grammar has no use for them, and refusing them
+/// keeps the attack surface of a network-facing loop small.
+fn parse_json_object(input: &str) -> Result<Vec<(String, Json)>, String> {
+    let mut p = JsonParser {
+        chars: input.char_indices().peekable(),
+        input,
+    };
+    p.skip_ws();
+    p.expect('{')?;
+    let mut fields = Vec::new();
+    p.skip_ws();
+    if p.eat('}') {
+        p.expect_end()?;
+        return Ok(fields);
+    }
+    loop {
+        p.skip_ws();
+        let key = p.parse_string()?;
+        p.skip_ws();
+        p.expect(':')?;
+        p.skip_ws();
+        let value = p.parse_value()?;
+        fields.push((key, value));
+        p.skip_ws();
+        if p.eat(',') {
+            continue;
+        }
+        p.expect('}')?;
+        p.expect_end()?;
+        return Ok(fields);
+    }
+}
+
+struct JsonParser<'a> {
+    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
+    input: &'a str,
+}
+
+impl JsonParser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
+            self.chars.next();
+        }
+    }
+
+    fn eat(&mut self, want: char) -> bool {
+        if matches!(self.chars.peek(), Some((_, c)) if *c == want) {
+            self.chars.next();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, want: char) -> Result<(), String> {
+        match self.chars.next() {
+            Some((_, c)) if c == want => Ok(()),
+            Some((i, c)) => Err(format!("expected {want:?} at byte {i}, found {c:?}")),
+            None => Err(format!("expected {want:?}, found end of line")),
+        }
+    }
+
+    fn expect_end(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        match self.chars.next() {
+            None => Ok(()),
+            Some((i, c)) => Err(format!("trailing content at byte {i}: {c:?}")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.chars.next() {
+                None => return Err("unterminated string".into()),
+                Some((_, '"')) => return Ok(out),
+                Some((i, '\\')) => match self.chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    Some((_, '/')) => out.push('/'),
+                    Some((_, 'n')) => out.push('\n'),
+                    Some((_, 't')) => out.push('\t'),
+                    Some((_, 'r')) => out.push('\r'),
+                    Some((_, 'b')) => out.push('\u{8}'),
+                    Some((_, 'f')) => out.push('\u{c}'),
+                    Some((_, 'u')) => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let Some((_, h)) = self.chars.next() else {
+                                return Err("truncated \\u escape".into());
+                            };
+                            let Some(digit) = h.to_digit(16) else {
+                                return Err(format!("bad hex digit {h:?} in \\u escape"));
+                            };
+                            code = code * 16 + digit;
+                        }
+                        let Some(c) = char::from_u32(code) else {
+                            return Err(format!(
+                                "\\u{code:04x} is not a scalar value (surrogate pairs unsupported)"
+                            ));
+                        };
+                        out.push(c);
+                    }
+                    Some((j, other)) => {
+                        return Err(format!("unknown escape \\{other} at byte {j}"))
+                    }
+                    None => return Err(format!("dangling escape at byte {i}")),
+                },
+                Some((i, c)) if (c as u32) < 0x20 => {
+                    return Err(format!("raw control character at byte {i}"))
+                }
+                Some((_, c)) => out.push(c),
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, String> {
+        match self.chars.peek().copied() {
+            None => Err("expected a value, found end of line".into()),
+            Some((_, '"')) => Ok(Json::Str(self.parse_string()?)),
+            Some((_, '{')) | Some((_, '[')) => {
+                Err("nested objects/arrays are not part of the request grammar".into())
+            }
+            Some((start, c)) if c == '-' || c.is_ascii_digit() => {
+                let mut end = start;
+                while let Some((i, c)) = self.chars.peek().copied() {
+                    if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                        end = i + c.len_utf8();
+                        self.chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let raw = &self.input[start..end];
+                // Validate the token is at least f64-shaped.
+                raw.parse::<f64>()
+                    .map_err(|_| format!("bad number {raw:?}"))?;
+                Ok(Json::Num(raw.to_string()))
+            }
+            Some((start, c)) if c.is_ascii_alphabetic() => {
+                let mut end = start;
+                while let Some((i, c)) = self.chars.peek().copied() {
+                    if c.is_ascii_alphabetic() {
+                        end = i + c.len_utf8();
+                        self.chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                match &self.input[start..end] {
+                    "true" => Ok(Json::Bool(true)),
+                    "false" => Ok(Json::Bool(false)),
+                    "null" => Ok(Json::Null),
+                    other => Err(format!("unknown literal {other:?}")),
+                }
+            }
+            Some((i, c)) => Err(format!("unexpected {c:?} at byte {i}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+    use zkvc_core::matmul::Strategy;
+
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedBuf {
+        fn text(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    #[test]
+    fn parses_full_and_minimal_requests() {
+        let r = parse_request(r#"{"spec": "2x3x2:zkvc:s"}"#).unwrap();
+        assert_eq!(
+            r.spec,
+            JobSpec::new(2, 3, 2).with_backend(zkvc_core::Backend::Spartan)
+        );
+        assert_eq!(r.count, 1);
+        assert_eq!(r.seed, None);
+        assert_eq!(r.priority, None);
+        assert_eq!(r.id_json, None);
+
+        let r = parse_request(
+            r#"{"id": "req-1", "spec": "4x4x4:vanilla:x3", "seed": 42, "priority": "normal"}"#,
+        )
+        .unwrap();
+        assert_eq!(r.spec.strategy(), Strategy::Vanilla);
+        assert_eq!(r.count, 3);
+        assert_eq!(r.seed, Some(42));
+        assert_eq!(r.priority, Some(Priority::Normal));
+        assert_eq!(r.id_json.as_deref(), Some("\"req-1\""));
+
+        // Numeric ids echo as numbers; 64-bit seeds survive exactly.
+        let r =
+            parse_request(r#"{"id": 7, "spec": "2x2x2", "seed": 18446744073709551615}"#).unwrap();
+        assert_eq!(r.id_json.as_deref(), Some("7"));
+        assert_eq!(r.seed, Some(u64::MAX));
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_recovered_ids() {
+        for (line, needle) in [
+            ("not json at all", "expected '{'"),
+            ("{\"spec\": \"2x2x2\"", "expected '}'"),
+            (r#"{"spec": 7}"#, "must be a string"),
+            (r#"{"spec": "2x2x2", "extra": 1}"#, "unknown field"),
+            (r#"{"seed": 1}"#, "missing required field"),
+            (r#"{"spec": "2x2x2", "seed": -4}"#, "non-negative integer"),
+            (r#"{"spec": "2x2x2", "seed": 1.5}"#, "non-negative integer"),
+            (r#"{"spec": "2x2x2", "priority": "urgent"}"#, "priority"),
+            (r#"{"spec": "bogus"}"#, "bad spec"),
+            (r#"{"spec": ["2x2x2"]}"#, "nested"),
+            (r#"{"spec": "2x2x2"} trailing"#, "trailing content"),
+        ] {
+            let (error, _) = parse_request(line).unwrap_err();
+            assert_eq!(error.exit_code(), 2, "{line}");
+            assert!(error.to_string().contains(needle), "{line}: {error}");
+        }
+
+        // The id is recovered even when another field is broken.
+        let (_, id) = parse_request(r#"{"id": "x", "spec": 1}"#).unwrap_err();
+        assert_eq!(id.as_deref(), Some("\"x\""));
+    }
+
+    #[test]
+    fn bounded_reader_discards_whole_oversized_lines() {
+        let long = format!("{}\nshort\n", "a".repeat(200));
+        let mut input = Cursor::new(long.into_bytes());
+        match read_bounded_line(&mut input, 64).unwrap() {
+            Some(Err(LineReject::TooLarge(total))) => assert_eq!(total, 200),
+            other => panic!("expected oversize, got {other:?}"),
+        }
+        // The stream is still line-aligned: the next read sees "short".
+        assert_eq!(
+            read_bounded_line(&mut input, 64).unwrap(),
+            Some(Ok("short".to_string()))
+        );
+        assert_eq!(read_bounded_line(&mut input, 64).unwrap(), None);
+    }
+
+    #[test]
+    fn serve_round_trips_requests_and_survives_garbage() {
+        // Two good requests (same shape: second must hit the cache), one
+        // malformed JSON line, one unknown-field line, one oversized line.
+        let oversized = format!(r#"{{"spec": "2x3x2:zkvc:s", "id": "{}"}}"#, "x".repeat(300));
+        let input = format!(
+            "{}\n{}\nnot json\n{}\n{oversized}\n",
+            r#"{"id": "a", "spec": "2x3x2:zkvc:s"}"#,
+            r#"{"id": "b", "spec": "2x3x2:zkvc:s"}"#,
+            r#"{"id": "c", "spec": "2x3x2:zkvc:s", "frobnicate": true}"#,
+        );
+        let buf = SharedBuf::default();
+        let summary = serve(
+            Cursor::new(input.into_bytes()),
+            buf.clone(),
+            ServeConfig::new(2).seed(7).max_request_bytes(256),
+        )
+        .unwrap();
+        assert_eq!(summary.jobs, 2);
+        assert_eq!(summary.verified, 2);
+        assert_eq!(summary.failed, 0);
+        assert_eq!(summary.rejected, 3);
+
+        let text = buf.text();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("\"type\":\"ready\""), "{text}");
+        assert!(
+            lines.last().unwrap().contains("\"type\":\"summary\""),
+            "{text}"
+        );
+        assert_eq!(
+            lines
+                .iter()
+                .filter(|l| l.contains("\"type\":\"result\"") && l.contains("\"verified\":true"))
+                .count(),
+            2,
+            "{text}"
+        );
+        // Request ids are echoed; the cache was warm for one of the two.
+        assert!(
+            text.contains("\"id\":\"a\"") && text.contains("\"id\":\"b\""),
+            "{text}"
+        );
+        assert_eq!(
+            lines
+                .iter()
+                .filter(|l| l.contains("\"cache_hit\":true"))
+                .count(),
+            1,
+            "{text}"
+        );
+        assert_eq!(
+            lines
+                .iter()
+                .filter(|l| l.contains("\"type\":\"error\"") && l.contains("\"code\":2"))
+                .count(),
+            3,
+            "{text}"
+        );
+        assert!(text.contains("request too large"), "{text}");
+        // Spartan jobs ship no key lines (no wire form).
+        assert!(!text.contains("\"type\":\"key\""), "{text}");
+
+        // Responses are themselves valid flat JSON per this module's own
+        // parser (modulo the proof hex payload, which is plain).
+        for line in &lines {
+            parse_json_object(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        }
+    }
+
+    #[test]
+    fn bounded_reader_rejects_invalid_utf8() {
+        let mut input = Cursor::new(b"\xff\xfe bad bytes\nok\n".to_vec());
+        assert_eq!(
+            read_bounded_line(&mut input, 64).unwrap(),
+            Some(Err(LineReject::NotUtf8))
+        );
+        assert_eq!(
+            read_bounded_line(&mut input, 64).unwrap(),
+            Some(Ok("ok".to_string()))
+        );
+    }
+
+    #[test]
+    fn serve_caps_per_request_repetition_at_the_queue_bound() {
+        // One tiny `:xN` line must not commit the server to unbounded
+        // proving: counts above the queue bound are rejected with a
+        // code-2 error and the server keeps serving.
+        let input = concat!(
+            "{\"spec\": \"2x2x2:zkvc:s:x4000000000\", \"id\": \"flood\"}\n",
+            "{\"spec\": \"2x2x2:zkvc:s:x2\", \"id\": \"ok\"}\n",
+        );
+        let buf = SharedBuf::default();
+        let summary = serve(
+            Cursor::new(input.as_bytes().to_vec()),
+            buf.clone(),
+            ServeConfig::new(1).queue_bound(8),
+        )
+        .unwrap();
+        assert_eq!(summary.rejected, 1);
+        assert_eq!(summary.jobs, 2, "the in-bound repetition still ran");
+        assert_eq!(summary.verified, 2);
+        let text = buf.text();
+        assert!(
+            text.contains("\"id\":\"flood\"")
+                && text.contains("exceeds the queue bound")
+                && text.contains("\"code\":2"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn serve_streams_groth16_keys_once_per_shape() {
+        let input = concat!(
+            "{\"spec\": \"2x2x2:vanilla:g\", \"id\": 1}\n",
+            "{\"spec\": \"2x2x2:vanilla:g\", \"id\": 2}\n",
+        );
+        let buf = SharedBuf::default();
+        let summary = serve(
+            Cursor::new(input.as_bytes().to_vec()),
+            buf.clone(),
+            ServeConfig::new(1),
+        )
+        .unwrap();
+        assert_eq!(summary.verified, 2);
+        let text = buf.text();
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.contains("\"type\":\"key\""))
+                .count(),
+            1,
+            "one key line per (shape, seed): {text}"
+        );
+        assert!(text.contains("\"vk_hex\":\""), "{text}");
+    }
+}

@@ -29,6 +29,12 @@ use zkvc_nn::mixer::MixerSchedule;
 use zkvc_nn::models::{BertConfig, ModelConfig, VitConfig};
 
 use crate::error::Error;
+use crate::sched::Priority;
+
+/// Matmuls at or below this many output-matrix cells (`a*n*b`) are
+/// scheduled [`Priority::High`]: they are interactive-latency statements
+/// that must not starve behind model blocks in a mixed queue.
+pub const SMALL_MATMUL_CELLS: usize = 4096;
 
 /// The tiny reference models a [`JobSpec::Model`] job can prove: one
 /// Transformer block each, sized so they are provable under the
@@ -202,6 +208,20 @@ impl JobSpec {
         match self {
             JobSpec::MatMul { public_outputs, .. } => *public_outputs,
             JobSpec::Model { .. } => true,
+        }
+    }
+
+    /// The scheduling class the pool assigns this spec by default: small
+    /// matmuls (at most [`SMALL_MATMUL_CELLS`] `a*n*b` cells) are
+    /// [`Priority::High`], everything else — big matmuls and whole model
+    /// blocks — is [`Priority::Normal`], so a queue full of model jobs
+    /// cannot starve the quick statements behind it.
+    pub fn priority(&self) -> Priority {
+        match self {
+            JobSpec::MatMul { dims, .. } if dims.0 * dims.1 * dims.2 <= SMALL_MATMUL_CELLS => {
+                Priority::High
+            }
+            JobSpec::MatMul { .. } | JobSpec::Model { .. } => Priority::Normal,
         }
     }
 
@@ -393,5 +413,16 @@ mod tests {
     fn private_outputs_is_a_model_noop() {
         let spec = JobSpec::model(ModelPreset::VitMicro).with_private_outputs();
         assert!(spec.binds_outputs());
+    }
+
+    #[test]
+    fn priority_tracks_statement_size() {
+        assert_eq!(JobSpec::new(4, 4, 4).priority(), Priority::High);
+        assert_eq!(JobSpec::new(16, 16, 16).priority(), Priority::High);
+        assert_eq!(JobSpec::new(49, 64, 128).priority(), Priority::Normal);
+        assert_eq!(
+            JobSpec::model(ModelPreset::MixerBlock).priority(),
+            Priority::Normal
+        );
     }
 }
