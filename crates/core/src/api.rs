@@ -1,14 +1,21 @@
 //! The circuit-generic proving API: the [`Circuit`] and [`ProofSystem`]
 //! traits that decouple *what* is proved from *how* it is proved.
 //!
-//! Anything that can synthesise an R1CS with a witness — a matmul statement
-//! ([`MatMulJob`](crate::matmul::MatMulJob)), a whole Transformer forward
-//! pass (`zkvc_nn::ModelCircuit`), or a raw constraint system wrapped in
-//! [`RawCircuit`] — implements [`Circuit`] and can then be proved by any
-//! [`ProofSystem`]. The two systems built in this workspace are
-//! [`Groth16System`] (`zkVC-G`) and [`SpartanSystem`] (`zkVC-S`); the
-//! [`Backend`] enum remains as a thin dispatcher over them for callers
-//! that want a `Copy` value instead of a trait object.
+//! As of the compile-once / prove-many split, a [`Circuit`] is a *driver*:
+//! its [`Circuit::synthesize`] emits the constraint structure (and,
+//! when the sink carries values, the witness) into any
+//! [`ConstraintSink`]. Running it against a [`ShapeBuilder`] yields a
+//! [`CompiledShape`] — flat CSR matrices plus the canonical shape digest —
+//! **without ever materialising a witness value**; running it against a
+//! [`WitnessFiller`] yields only the flat
+//! assignment for a shape compiled earlier. Setup consumes shapes, proving
+//! consumes assignments, and a prove-many workload compiles each shape
+//! exactly once.
+//!
+//! The two systems built in this workspace are [`Groth16System`] (`zkVC-G`)
+//! and [`SpartanSystem`] (`zkVC-S`); the [`Backend`] enum remains as a thin
+//! dispatcher over them for callers that want a `Copy` value instead of a
+//! trait object.
 //!
 //! A circuit's **public outputs** are its instance assignment: the values a
 //! proof *binds*. A circuit with no instance variables (e.g. a matmul with
@@ -19,7 +26,7 @@
 //! outputs fails verification.
 //!
 //! ```rust
-//! use zkvc_core::api::{Circuit, ProofSystem};
+//! use zkvc_core::api::{compile_shape, Circuit, ProofSystem};
 //! use zkvc_core::matmul::{MatMulBuilder, Strategy};
 //! use zkvc_core::Backend;
 //! use rand::rngs::StdRng;
@@ -46,27 +53,32 @@
 //! assert!(!system.verify(&vk, &tampered));
 //! ```
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::RngCore;
-use zkvc_ff::{Fr, PrimeField};
+use zkvc_ff::Fr;
 use zkvc_groth16 as groth16;
-use zkvc_hash::Sha256;
-use zkvc_r1cs::{ConstraintSystem, LinearCombination};
+use zkvc_r1cs::{
+    replay, CompiledShape, ConstraintSink, ConstraintSystem, LinearCombination, ShapeBuilder,
+    WitnessAssignment, WitnessFiller,
+};
 use zkvc_spartan::{SpartanProver, SpartanVerifier};
 
 use crate::backend::{Backend, ProofArtifacts, ProofData, ProverKey, VerifierKey};
 
-/// A statement plus its witness, in the only form the proof systems need:
-/// a synthesised constraint system together with a canonical identity
-/// (shape digest) and the public outputs the statement binds.
+/// A statement plus (when asked for) its witness, as a synthesis driver.
 ///
-/// Implementors typically hold the constraint system they built during
-/// synthesis; the trait only *reads* it, so one circuit value can be proved
-/// many times (or by several systems) without re-synthesising.
+/// `synthesize` must be **pass-oblivious**: it emits the same allocation
+/// and constraint sequence whether or not the sink wants values, and only
+/// computes witness data when it does (the `Option`-returning sink
+/// evaluators make the skip natural). That contract is what lets
+/// [`compile_shape`] run witness-free and [`generate_witness`] skip all
+/// structural bookkeeping.
 pub trait Circuit {
-    /// The synthesised constraint system, witness included.
-    fn constraint_system(&self) -> &ConstraintSystem<Fr>;
+    /// Drives synthesis into the sink: structure always, values only when
+    /// `sink.wants_values()`.
+    fn synthesize(&self, sink: &mut dyn ConstraintSink<Fr>);
 
     /// Human-readable label for reports and diagnostics.
     fn name(&self) -> String {
@@ -76,20 +88,58 @@ pub trait Circuit {
     /// The public outputs this statement binds — the circuit's instance
     /// assignment, in allocation order. Empty for circuits that keep every
     /// value private (shape-level binding only).
+    ///
+    /// The default runs a witness pass; implementors that cache their
+    /// outputs should override it.
     fn public_outputs(&self) -> Vec<Fr> {
-        self.constraint_system().instance_assignment().to_vec()
+        let mut filler = WitnessFiller::new();
+        self.synthesize(&mut filler);
+        filler.finish().instance
     }
 
     /// A collision-resistant fingerprint of the circuit *structure* (not
     /// the assignment): the identity under which proving/verifying key
-    /// material is reusable. See [`circuit_shape_digest`].
+    /// material is reusable. The default compiles the shape — witness-free
+    /// — and takes its digest; implementors holding a prebuilt
+    /// [`ConstraintSystem`] may override with [`circuit_shape_digest`].
     fn shape_digest(&self) -> [u8; 32] {
-        circuit_shape_digest(self.constraint_system())
+        compile_shape(self).digest
     }
 }
 
+/// Runs the witness-free shape pass over a circuit, producing its
+/// [`CompiledShape`]: CSR matrices plus the canonical digest. No witness
+/// value is ever materialised.
+pub fn compile_shape<C: Circuit + ?Sized>(circuit: &C) -> CompiledShape<Fr> {
+    let mut builder = ShapeBuilder::new();
+    circuit.synthesize(&mut builder);
+    builder.finish()
+}
+
+/// Runs the witness pass over a circuit, producing only the flat
+/// instance/witness assignment. No constraints are stored.
+pub fn generate_witness<C: Circuit + ?Sized>(circuit: &C) -> WitnessAssignment<Fr> {
+    let mut filler = WitnessFiller::new();
+    circuit.synthesize(&mut filler);
+    filler.finish()
+}
+
+/// [`generate_witness`] validated against an already-compiled shape:
+/// panics if the circuit's structure diverged from the shape (a
+/// pass-obliviousness bug in the circuit).
+pub fn generate_witness_for<C: Circuit + ?Sized>(
+    circuit: &C,
+    shape: &CompiledShape<Fr>,
+) -> WitnessAssignment<Fr> {
+    let mut filler = WitnessFiller::new();
+    circuit.synthesize(&mut filler);
+    filler.finish_for(shape)
+}
+
 /// A raw constraint system viewed as a [`Circuit`], for callers that
-/// synthesise R1CS directly instead of going through a builder.
+/// synthesise R1CS directly instead of going through a builder. Synthesis
+/// replays the stored system into the sink, so the legacy eager pipeline
+/// and the two-pass pipeline produce identical shapes and digests.
 #[derive(Clone, Debug)]
 pub struct RawCircuit<'a> {
     cs: &'a ConstraintSystem<Fr>,
@@ -106,21 +156,40 @@ impl<'a> RawCircuit<'a> {
     pub fn named(cs: &'a ConstraintSystem<Fr>, label: &'a str) -> Self {
         RawCircuit { cs, label }
     }
+
+    /// The wrapped constraint system.
+    pub fn constraint_system(&self) -> &ConstraintSystem<Fr> {
+        self.cs
+    }
 }
 
 impl Circuit for RawCircuit<'_> {
-    fn constraint_system(&self) -> &ConstraintSystem<Fr> {
-        self.cs
+    fn synthesize(&self, sink: &mut dyn ConstraintSink<Fr>) {
+        replay(self.cs, sink);
     }
 
     fn name(&self) -> String {
         self.label.to_string()
+    }
+
+    fn public_outputs(&self) -> Vec<Fr> {
+        self.cs.instance_assignment().to_vec()
+    }
+
+    fn shape_digest(&self) -> [u8; 32] {
+        circuit_shape_digest(self.cs)
     }
 }
 
 /// A zero-knowledge proof system that can prove and verify any [`Circuit`]:
 /// per-shape `setup`, per-statement `prove`, and `verify` against prepared
 /// key material.
+///
+/// The split API is shape/assignment-level: [`ProofSystem::setup_shape`]
+/// consumes a witness-free [`CompiledShape`] (and the returned keys retain
+/// it), [`ProofSystem::prove_assignment`] consumes only a statement's flat
+/// [`WitnessAssignment`]. The circuit-level methods are conveniences that
+/// compile/fill on the caller's behalf.
 ///
 /// The trait is object-safe — the runtime's pool, cache and CLI all work
 /// with `&dyn ProofSystem` — which is why randomness arrives as
@@ -134,15 +203,52 @@ pub trait ProofSystem: Send + Sync {
         self.backend().name()
     }
 
-    /// Runs the per-circuit-shape setup: CRS generation for Groth16,
-    /// transparent preprocessing for Spartan. Only the constraint
-    /// *structure* of the circuit matters; the returned keys prove and
-    /// verify any statement with an identical shape.
-    fn setup(&self, circuit: &dyn Circuit, rng: &mut dyn RngCore) -> (ProverKey, VerifierKey);
+    /// Runs the per-circuit-shape setup — CRS generation for Groth16,
+    /// transparent preprocessing for Spartan — from a compiled shape.
+    /// Witness-free by construction: a shape pass never materialises
+    /// values, and this method only sees its output.
+    fn setup_shape(
+        &self,
+        shape: &Arc<CompiledShape<Fr>>,
+        rng: &mut dyn RngCore,
+    ) -> (ProverKey, VerifierKey);
 
-    /// Proves the circuit's witness against a key prepared by
-    /// [`ProofSystem::setup`] for the same shape. The returned metrics
-    /// report zero setup time (the key is assumed amortised).
+    /// Proves a statement given only its flat assignment, against a key
+    /// prepared by [`ProofSystem::setup_shape`] for the statement's shape.
+    /// This is the prove-many hot path: no synthesis, no matrix
+    /// extraction. The returned metrics report zero setup time (the key is
+    /// assumed amortised).
+    ///
+    /// # Panics
+    /// Panics if the key belongs to a different proof system or the
+    /// assignment does not match the key's shape.
+    fn prove_assignment(
+        &self,
+        key: &ProverKey,
+        witness: &WitnessAssignment<Fr>,
+        rng: &mut dyn RngCore,
+    ) -> ProofArtifacts;
+
+    /// Verifies artifacts against a key prepared by
+    /// [`ProofSystem::setup_shape`]. Returns `false` (rather than
+    /// panicking) on key/proof mismatch.
+    fn verify(&self, key: &VerifierKey, artifacts: &ProofArtifacts) -> bool;
+
+    /// Verifies against a compiled shape without prepared keys: Spartan
+    /// re-derives its preprocessing from the shape, while Groth16 trusts
+    /// the verification key embedded in the artifacts. When the expected
+    /// key material is known, prefer [`ProofSystem::verify`], which binds
+    /// the proof to that key.
+    fn verify_with_shape(&self, shape: &CompiledShape<Fr>, artifacts: &ProofArtifacts) -> bool;
+
+    /// Circuit-level setup: compiles the shape (witness-free) and runs
+    /// [`ProofSystem::setup_shape`].
+    fn setup(&self, circuit: &dyn Circuit, rng: &mut dyn RngCore) -> (ProverKey, VerifierKey) {
+        self.setup_shape(&Arc::new(compile_shape(circuit)), rng)
+    }
+
+    /// Circuit-level prove: runs the witness pass and
+    /// [`ProofSystem::prove_assignment`].
     ///
     /// # Panics
     /// Panics if the key belongs to a different proof system.
@@ -151,25 +257,25 @@ pub trait ProofSystem: Send + Sync {
         key: &ProverKey,
         circuit: &dyn Circuit,
         rng: &mut dyn RngCore,
-    ) -> ProofArtifacts;
+    ) -> ProofArtifacts {
+        self.prove_assignment(key, &generate_witness(circuit), rng)
+    }
 
-    /// Verifies artifacts against a key prepared by [`ProofSystem::setup`].
-    /// Returns `false` (rather than panicking) on key/proof mismatch.
-    fn verify(&self, key: &VerifierKey, artifacts: &ProofArtifacts) -> bool;
+    /// Circuit-level keyless verification: compiles the shape and runs
+    /// [`ProofSystem::verify_with_shape`].
+    fn verify_with_circuit(&self, circuit: &dyn Circuit, artifacts: &ProofArtifacts) -> bool {
+        self.verify_with_shape(&compile_shape(circuit), artifacts)
+    }
 
-    /// Verifies against the circuit structure without prepared keys:
-    /// Spartan re-derives its preprocessing from the constraint system,
-    /// while Groth16 trusts the verification key embedded in the artifacts.
-    /// When the expected key material is known, prefer
-    /// [`ProofSystem::verify`], which binds the proof to that key.
-    fn verify_with_circuit(&self, circuit: &dyn Circuit, artifacts: &ProofArtifacts) -> bool;
-
-    /// One-shot setup + prove, with the setup time recorded in the metrics.
+    /// One-shot setup + prove, with the setup time recorded in the
+    /// metrics. The shape is compiled once and shared by both steps.
     fn prove_oneshot(&self, circuit: &dyn Circuit, rng: &mut dyn RngCore) -> ProofArtifacts {
         let t0 = Instant::now();
-        let (pk, _vk) = self.setup(circuit, rng);
+        let shape = Arc::new(compile_shape(circuit));
+        let (pk, _vk) = self.setup_shape(&shape, rng);
         let setup_time = t0.elapsed();
-        let mut artifacts = self.prove(&pk, circuit, rng);
+        let witness = generate_witness_for(circuit, &shape);
+        let mut artifacts = self.prove_assignment(&pk, &witness, rng);
         artifacts.metrics.setup_time = setup_time;
         artifacts
     }
@@ -195,19 +301,21 @@ fn artifacts_from(
     data: ProofData,
     proof_size_bytes: usize,
     backend: Backend,
-    cs: &ConstraintSystem<Fr>,
+    public_inputs: Vec<Fr>,
+    num_constraints: usize,
+    num_variables: usize,
     prove_time: std::time::Duration,
 ) -> ProofArtifacts {
     ProofArtifacts {
         data,
-        public_inputs: cs.instance_assignment().to_vec(),
+        public_inputs,
         metrics: crate::backend::ProveMetrics {
             backend,
             setup_time: std::time::Duration::ZERO,
             prove_time,
             proof_size_bytes,
-            num_constraints: cs.num_constraints(),
-            num_variables: cs.num_variables(),
+            num_constraints,
+            num_variables,
         },
     }
 }
@@ -217,15 +325,19 @@ impl ProofSystem for Groth16System {
         Backend::Groth16
     }
 
-    fn setup(&self, circuit: &dyn Circuit, rng: &mut dyn RngCore) -> (ProverKey, VerifierKey) {
-        let (pk, vk) = groth16::setup(circuit.constraint_system(), rng);
+    fn setup_shape(
+        &self,
+        shape: &Arc<CompiledShape<Fr>>,
+        rng: &mut dyn RngCore,
+    ) -> (ProverKey, VerifierKey) {
+        let (pk, vk) = groth16::setup_shape(Arc::clone(shape), rng);
         (ProverKey::Groth16(pk), VerifierKey::Groth16(vk))
     }
 
-    fn prove(
+    fn prove_assignment(
         &self,
         key: &ProverKey,
-        circuit: &dyn Circuit,
+        witness: &WitnessAssignment<Fr>,
         rng: &mut dyn RngCore,
     ) -> ProofArtifacts {
         let ProverKey::Groth16(pk) = key else {
@@ -234,9 +346,9 @@ impl ProofSystem for Groth16System {
                 key.backend()
             );
         };
-        let cs = circuit.constraint_system();
+        let z = witness.full();
         let t0 = Instant::now();
-        let proof = groth16::prove(pk, cs, rng);
+        let proof = groth16::prove_assignment(pk, &z, rng);
         let prove_time = t0.elapsed();
         let size = proof.size_in_bytes();
         artifacts_from(
@@ -246,7 +358,9 @@ impl ProofSystem for Groth16System {
             },
             size,
             Backend::Groth16,
-            cs,
+            witness.instance.clone(),
+            pk.shape.num_constraints(),
+            pk.shape.num_variables(),
             prove_time,
         )
     }
@@ -260,7 +374,7 @@ impl ProofSystem for Groth16System {
         }
     }
 
-    fn verify_with_circuit(&self, _circuit: &dyn Circuit, artifacts: &ProofArtifacts) -> bool {
+    fn verify_with_shape(&self, _shape: &CompiledShape<Fr>, artifacts: &ProofArtifacts) -> bool {
         match &artifacts.data {
             ProofData::Groth16 { vk, proof } => {
                 groth16::verify(vk, &artifacts.public_inputs, proof)
@@ -275,18 +389,22 @@ impl ProofSystem for SpartanSystem {
         Backend::Spartan
     }
 
-    fn setup(&self, circuit: &dyn Circuit, _rng: &mut dyn RngCore) -> (ProverKey, VerifierKey) {
+    fn setup_shape(
+        &self,
+        shape: &Arc<CompiledShape<Fr>>,
+        _rng: &mut dyn RngCore,
+    ) -> (ProverKey, VerifierKey) {
         // Preprocess once; the verifier reuses the prover's instance
-        // instead of re-deriving it from the constraint system.
-        let prover = SpartanProver::preprocess(circuit.constraint_system());
+        // instead of re-deriving it from the shape.
+        let prover = SpartanProver::preprocess_shape(shape);
         let verifier = prover.to_verifier();
         (ProverKey::Spartan(prover), VerifierKey::Spartan(verifier))
     }
 
-    fn prove(
+    fn prove_assignment(
         &self,
         key: &ProverKey,
-        circuit: &dyn Circuit,
+        witness: &WitnessAssignment<Fr>,
         rng: &mut dyn RngCore,
     ) -> ProofArtifacts {
         let ProverKey::Spartan(prover) = key else {
@@ -295,9 +413,8 @@ impl ProofSystem for SpartanSystem {
                 key.backend()
             );
         };
-        let cs = circuit.constraint_system();
         let t0 = Instant::now();
-        let proof = prover.prove(cs, rng);
+        let proof = prover.prove_assignment(&witness.instance, &witness.witness, rng);
         let prove_time = t0.elapsed();
         let size = proof.size_in_bytes();
         artifacts_from(
@@ -306,7 +423,9 @@ impl ProofSystem for SpartanSystem {
             },
             size,
             Backend::Spartan,
-            cs,
+            witness.instance.clone(),
+            prover.num_constraints(),
+            prover.num_variables(),
             prove_time,
         )
     }
@@ -320,11 +439,10 @@ impl ProofSystem for SpartanSystem {
         }
     }
 
-    fn verify_with_circuit(&self, circuit: &dyn Circuit, artifacts: &ProofArtifacts) -> bool {
+    fn verify_with_shape(&self, shape: &CompiledShape<Fr>, artifacts: &ProofArtifacts) -> bool {
         match &artifacts.data {
             ProofData::Spartan { proof } => {
-                SpartanVerifier::preprocess(circuit.constraint_system())
-                    .verify(&artifacts.public_inputs, proof)
+                SpartanVerifier::preprocess_shape(shape).verify(&artifacts.public_inputs, proof)
             }
             _ => false,
         }
@@ -344,8 +462,8 @@ impl ProofSystem for SpartanSystem {
 ///
 /// # Panics
 /// Panics if the two slices differ in length.
-pub fn bind_public_outputs(
-    cs: &mut ConstraintSystem<Fr>,
+pub fn bind_public_outputs<S: ConstraintSink<Fr> + ?Sized>(
+    cs: &mut S,
     values: &[LinearCombination<Fr>],
     publics: &[LinearCombination<Fr>],
 ) {
@@ -364,15 +482,6 @@ pub fn bind_public_outputs(
     }
 }
 
-/// Domain-separation prefix so shape digests can never collide with other
-/// SHA-256 uses in the stack (string kept from the digest's previous home
-/// in `zkvc-runtime`). Note the digest of any given *job* still moves
-/// whenever its circuit structure does — e.g. this API redesign changed
-/// every default runtime matmul shape by making outputs public — in which
-/// case stale `DiskKeyCache` entries simply stop hitting; they are keyed
-/// by digest and never returned for a different circuit.
-const DIGEST_DOMAIN: &[u8] = b"zkvc-runtime-circuit-shape-v1";
-
 /// Computes the shape digest of a constraint system: a collision-resistant
 /// fingerprint of the R1CS *structure* (constraint matrices, coefficient
 /// values and the instance/witness split — not the assignment).
@@ -381,30 +490,13 @@ const DIGEST_DOMAIN: &[u8] = b"zkvc-runtime-circuit-shape-v1";
 /// Spartan preprocessed state are interchangeable between them. The
 /// encoding is injective: every section is length-prefixed and each
 /// linear-combination term serialises its resolved column index alongside
-/// the canonical coefficient bytes.
+/// the canonical coefficient bytes. The same digest is produced —
+/// witness-free — by the shape pass (see
+/// [`ShapeBuilder::finish`](zkvc_r1cs::ShapeBuilder::finish)); the
+/// canonical implementation lives in `zkvc-r1cs` and this is a re-export
+/// kept at its historical path.
 pub fn circuit_shape_digest(cs: &ConstraintSystem<Fr>) -> [u8; 32] {
-    let mut h = Sha256::new();
-    h.update(DIGEST_DOMAIN);
-    h.update(&(cs.num_instance() as u64).to_le_bytes());
-    h.update(&(cs.num_witness() as u64).to_le_bytes());
-    h.update(&(cs.num_constraints() as u64).to_le_bytes());
-
-    let absorb_lcs = |h: &mut Sha256, tag: u8, lcs: &[LinearCombination<Fr>]| {
-        h.update(&[tag]);
-        for lc in lcs {
-            h.update(&(lc.terms.len() as u64).to_le_bytes());
-            for (var, coeff) in &lc.terms {
-                h.update(&(cs.variable_index(*var) as u64).to_le_bytes());
-                h.update(&coeff.to_bytes_le());
-            }
-        }
-    };
-
-    let (a, b, c) = cs.constraints();
-    absorb_lcs(&mut h, b'A', a);
-    absorb_lcs(&mut h, b'B', b);
-    absorb_lcs(&mut h, b'C', c);
-    h.finalize()
+    zkvc_r1cs::shape_digest(cs)
 }
 
 #[cfg(test)]
@@ -413,7 +505,7 @@ mod tests {
     use crate::matmul::{MatMulBuilder, Strategy};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use zkvc_ff::Field;
+    use zkvc_ff::{Field, PrimeField};
 
     fn square_cs(x: u64) -> ConstraintSystem<Fr> {
         let mut cs = ConstraintSystem::<Fr>::new();
@@ -446,6 +538,61 @@ mod tests {
             tampered.public_inputs[0] += Fr::one();
             assert!(!system.verify(&vk, &tampered), "{backend:?}");
         }
+    }
+
+    #[test]
+    fn split_shape_and_witness_pipeline_roundtrips() {
+        // The fully split flow: compile once, fill witnesses per
+        // statement, prove against the shape-bound key.
+        let mut rng = StdRng::seed_from_u64(35);
+        let cs12 = square_cs(12);
+        let cs13 = square_cs(13);
+        let shape = Arc::new(compile_shape(&RawCircuit::new(&cs12)));
+        assert_eq!(shape.digest, circuit_shape_digest(&cs12));
+        for backend in Backend::ALL {
+            let system = backend.system();
+            let (pk, vk) = system.setup_shape(&shape, &mut rng);
+            for cs in [&cs12, &cs13] {
+                let witness = generate_witness_for(&RawCircuit::new(cs), &shape);
+                assert_eq!(witness.full(), cs.full_assignment());
+                let artifacts = system.prove_assignment(&pk, &witness, &mut rng);
+                assert!(system.verify(&vk, &artifacts), "{backend:?}");
+                assert!(system.verify_with_shape(&shape, &artifacts), "{backend:?}");
+                assert_eq!(artifacts.public_inputs, witness.instance);
+            }
+        }
+    }
+
+    #[test]
+    fn setup_is_witness_free() {
+        // A circuit whose witness closures panic when invoked: setup and
+        // shape digests must run without touching them.
+        struct PanickyWitness;
+        impl Circuit for PanickyWitness {
+            fn synthesize(&self, sink: &mut dyn ConstraintSink<Fr>) {
+                use zkvc_r1cs::SinkExt;
+                let out = sink.alloc_instance_lazy(|| panic!("instance value materialised"));
+                let w = sink.alloc_witness_lazy(|| panic!("witness value materialised"));
+                sink.enforce(w.into(), w.into(), out.into());
+            }
+        }
+        let circuit = PanickyWitness;
+        let shape = compile_shape(&circuit);
+        assert_eq!(shape.num_constraints(), 1);
+        assert_eq!(shape.num_instance(), 1);
+        assert_eq!(shape.num_witness(), 1);
+        assert_eq!(circuit.shape_digest(), shape.digest);
+        let mut rng = StdRng::seed_from_u64(36);
+        for backend in Backend::ALL {
+            // Both the shape-level and the circuit-level setup paths never
+            // materialise a value.
+            let _ = backend
+                .system()
+                .setup_shape(&Arc::new(shape.clone()), &mut rng);
+            let _ = backend.system().setup(&circuit, &mut rng);
+        }
+        // The witness pass, by contrast, must blow up.
+        assert!(std::panic::catch_unwind(|| generate_witness(&circuit)).is_err());
     }
 
     #[test]

@@ -14,16 +14,20 @@
 //! with one extra long-addition constraint (plain CRPC, `n + 1` constraints)
 //! or with PSQ prefix sums folded into the product constraints (`n`
 //! constraints — the full zkVC encoding).
+//!
+//! Emission is written against [`ConstraintSink`]; the challenge powers
+//! `Z^m` are *structural* (they live in the constraint coefficients), so
+//! the shape pass computes them while all witness values stay unevaluated.
 
 use zkvc_ff::{Field, Fr};
-use zkvc_r1cs::{ConstraintSystem, LinearCombination};
+use zkvc_r1cs::{ConstraintSink, LinearCombination, SinkExt};
 
 use super::powers_of;
 
 /// Allocates the output matrix as witness variables holding the honest
 /// product values, and returns (y LCs, folded-output LC `sum Z^{ib+j} y_ij`).
-fn allocate_outputs(
-    cs: &mut ConstraintSystem<Fr>,
+fn allocate_outputs<S: ConstraintSink<Fr> + ?Sized>(
+    cs: &mut S,
     x: &[Vec<LinearCombination<Fr>>],
     w: &[Vec<LinearCombination<Fr>>],
     zp: &[Fr],
@@ -36,11 +40,15 @@ fn allocate_outputs(
     for (i, xi) in x.iter().enumerate() {
         let mut row = Vec::with_capacity(b);
         for j in 0..b {
-            let mut val = Fr::zero();
-            for (k, wk) in w.iter().enumerate().take(n) {
-                val += cs.eval_lc(&xi[k]) * cs.eval_lc(&wk[j]);
-            }
-            let v = cs.alloc_witness(val);
+            let val = cs.wants_values().then(|| {
+                let mut acc = Fr::zero();
+                for (k, wk) in w.iter().enumerate().take(n) {
+                    acc += cs.lc_value(&xi[k]).expect("sink carries values")
+                        * cs.lc_value(&wk[j]).expect("sink carries values");
+                }
+                acc
+            });
+            let v = cs.alloc_witness_opt(val);
             folded.push(v, zp[i * b + j]);
             row.push(LinearCombination::from(v));
         }
@@ -73,8 +81,8 @@ fn folded_operands(
 /// the accumulated products with `folded` — the one copy of the
 /// soundness-critical loop shared by [`synthesize_crpc`] and
 /// [`synthesize_crpc_into`]. `n + 1` constraints.
-fn synthesize_crpc_fold(
-    cs: &mut ConstraintSystem<Fr>,
+fn synthesize_crpc_fold<S: ConstraintSink<Fr> + ?Sized>(
+    cs: &mut S,
     x: &[Vec<LinearCombination<Fr>>],
     w: &[Vec<LinearCombination<Fr>>],
     zp: &[Fr],
@@ -85,8 +93,8 @@ fn synthesize_crpc_fold(
     let mut t_vars = Vec::with_capacity(n);
     for k in 0..n {
         let (xcol, wrow) = folded_operands(x, w, k, zp, b);
-        let val = cs.eval_lc(&xcol) * cs.eval_lc(&wrow);
-        let t = cs.alloc_witness(val);
+        let val = cs.lc_product(&xcol, &wrow);
+        let t = cs.alloc_witness_opt(val);
         cs.enforce_named(xcol, wrow, t.into(), "crpc product");
         t_vars.push(t);
     }
@@ -107,8 +115,8 @@ fn synthesize_crpc_fold(
 /// product writing directly into `folded` — shared by
 /// [`synthesize_crpc_psq`] and [`synthesize_crpc_psq_into`]. `n`
 /// constraints.
-fn synthesize_crpc_psq_fold(
-    cs: &mut ConstraintSystem<Fr>,
+fn synthesize_crpc_psq_fold<S: ConstraintSink<Fr> + ?Sized>(
+    cs: &mut S,
     x: &[Vec<LinearCombination<Fr>>],
     w: &[Vec<LinearCombination<Fr>>],
     zp: &[Fr],
@@ -117,7 +125,7 @@ fn synthesize_crpc_psq_fold(
     let n = w.len();
     let b = w[0].len();
     let mut prev_lc = LinearCombination::zero();
-    let mut prev_val = Fr::zero();
+    let mut prev_val = cs.wants_values().then(Fr::zero);
     for k in 0..n {
         let (xcol, wrow) = folded_operands(x, w, k, zp, b);
         if k + 1 == n {
@@ -129,8 +137,8 @@ fn synthesize_crpc_psq_fold(
                 "crpc+psq final product",
             );
         } else {
-            let val = prev_val + cs.eval_lc(&xcol) * cs.eval_lc(&wrow);
-            let acc = cs.alloc_witness(val);
+            let val = prev_val.and_then(|p| cs.lc_product(&xcol, &wrow).map(|t| p + t));
+            let acc = cs.alloc_witness_opt(val);
             cs.enforce_named(
                 xcol,
                 wrow,
@@ -145,8 +153,8 @@ fn synthesize_crpc_psq_fold(
 
 /// CRPC without PSQ: `n` product constraints plus one long addition that
 /// equates the accumulated products with the folded output (Table II row 3).
-pub fn synthesize_crpc(
-    cs: &mut ConstraintSystem<Fr>,
+pub fn synthesize_crpc<S: ConstraintSink<Fr> + ?Sized>(
+    cs: &mut S,
     x: &[Vec<LinearCombination<Fr>>],
     w: &[Vec<LinearCombination<Fr>>],
     z: Fr,
@@ -162,8 +170,8 @@ pub fn synthesize_crpc(
 /// CRPC + PSQ — the full zkVC encoding: the `n` folded products are chained
 /// as prefix sums, and the final product constraint writes directly into the
 /// folded output, so exactly `n` constraints are emitted (Table II row 4).
-pub fn synthesize_crpc_psq(
-    cs: &mut ConstraintSystem<Fr>,
+pub fn synthesize_crpc_psq<S: ConstraintSink<Fr> + ?Sized>(
+    cs: &mut S,
     x: &[Vec<LinearCombination<Fr>>],
     w: &[Vec<LinearCombination<Fr>>],
     z: Fr,
@@ -185,8 +193,8 @@ pub fn synthesize_crpc_psq(
 /// satisfy it — a verifier checking only the fold could be handed an
 /// honest proof with forged outputs. The constraint form lives in
 /// [`crate::api::bind_public_outputs`].
-fn bind_outputs(
-    cs: &mut ConstraintSystem<Fr>,
+fn bind_outputs<S: ConstraintSink<Fr> + ?Sized>(
+    cs: &mut S,
     y_wit: &[Vec<LinearCombination<Fr>>],
     y_out: &[Vec<LinearCombination<Fr>>],
 ) {
@@ -201,8 +209,8 @@ fn bind_outputs(
 /// pinned to its supplied cell with a per-cell equality constraint —
 /// `n + 1 + a*b` constraints in total (the `a*b` binding constraints are
 /// the price of statement-level outputs).
-pub fn synthesize_crpc_into(
-    cs: &mut ConstraintSystem<Fr>,
+pub fn synthesize_crpc_into<S: ConstraintSink<Fr> + ?Sized>(
+    cs: &mut S,
     x: &[Vec<LinearCombination<Fr>>],
     w: &[Vec<LinearCombination<Fr>>],
     y_out: &[Vec<LinearCombination<Fr>>],
@@ -220,8 +228,8 @@ pub fn synthesize_crpc_into(
 /// prefix-sum fold runs over freshly allocated output witnesses, each
 /// pinned to its supplied cell — `n + a*b` constraints (the per-cell
 /// constraints are required because the public-Z fold alone is forgeable).
-pub fn synthesize_crpc_psq_into(
-    cs: &mut ConstraintSystem<Fr>,
+pub fn synthesize_crpc_psq_into<S: ConstraintSink<Fr> + ?Sized>(
+    cs: &mut S,
     x: &[Vec<LinearCombination<Fr>>],
     w: &[Vec<LinearCombination<Fr>>],
     y_out: &[Vec<LinearCombination<Fr>>],
@@ -241,6 +249,7 @@ mod tests {
     use crate::matmul::{synthesize_vanilla, MatMulBuilder, Strategy, ZSource};
     use proptest::prelude::*;
     use zkvc_ff::PrimeField;
+    use zkvc_r1cs::ConstraintSystem;
 
     fn alloc_matrix(
         cs: &mut ConstraintSystem<Fr>,

@@ -35,7 +35,7 @@ use std::str::FromStr;
 use rand::Rng;
 use zkvc_ff::{Field, Fr, PrimeField};
 use zkvc_hash::Transcript;
-use zkvc_r1cs::{ConstraintSystem, LinearCombination};
+use zkvc_r1cs::{ConstraintSink, ConstraintSystem, LinearCombination};
 
 use crate::api::Circuit;
 use crate::backend::UnknownTokenError;
@@ -144,8 +144,8 @@ pub enum ZSource {
 ///
 /// # Panics
 /// Panics if the matrix dimensions are inconsistent or empty.
-pub fn synthesize_matmul(
-    cs: &mut ConstraintSystem<Fr>,
+pub fn synthesize_matmul<S: ConstraintSink<Fr> + ?Sized>(
+    cs: &mut S,
     x: &[Vec<LinearCombination<Fr>>],
     w: &[Vec<LinearCombination<Fr>>],
     strategy: Strategy,
@@ -177,8 +177,8 @@ pub fn synthesize_matmul(
 /// # Panics
 /// Panics if the matrix dimensions are inconsistent or empty, or if `y` is
 /// not `a x b`.
-pub fn synthesize_matmul_into(
-    cs: &mut ConstraintSystem<Fr>,
+pub fn synthesize_matmul_into<S: ConstraintSink<Fr> + ?Sized>(
+    cs: &mut S,
     x: &[Vec<LinearCombination<Fr>>],
     w: &[Vec<LinearCombination<Fr>>],
     y: &[Vec<LinearCombination<Fr>>],
@@ -252,8 +252,95 @@ impl CircuitStats {
     }
 }
 
+/// A matrix-multiplication *statement*: the concrete `X`, `W`, honest
+/// product `Y`, strategy and CRPC challenge — everything needed to drive
+/// synthesis, with no constraint system built up front.
+///
+/// This is the lazy, two-pass-native form the runtime proves with: a
+/// [`compile_shape`](crate::api::compile_shape) over it is witness-free,
+/// and on a warm shape only the witness pass
+/// ([`generate_witness`](crate::api::generate_witness)) runs. The eager
+/// [`MatMulJob`] wraps one of these plus the legacy single-pass
+/// [`ConstraintSystem`].
+#[derive(Clone, Debug)]
+pub struct MatMulCircuit {
+    x: Vec<Vec<Fr>>,
+    w: Vec<Vec<Fr>>,
+    /// The honest product matrix.
+    pub y: Vec<Vec<Fr>>,
+    /// `(a, n, b)` dimensions.
+    pub dims: (usize, usize, usize),
+    /// The strategy used.
+    pub strategy: Strategy,
+    /// The CRPC challenge (identity for vanilla strategies).
+    pub z: Fr,
+    /// Whether `Y` is allocated as public instance variables.
+    pub outputs_public: bool,
+}
+
+impl MatMulCircuit {
+    /// Emits the statement into any sink: inputs and (when public) outputs
+    /// are allocated, then the strategy's constraints. Pass-oblivious by
+    /// construction — the shape pass allocates the same variables without
+    /// reading a single value.
+    fn emit(&self, cs: &mut dyn ConstraintSink<Fr>) {
+        let wants = cs.wants_values();
+        let alloc_witness_matrix =
+            |cs: &mut dyn ConstraintSink<Fr>, m: &[Vec<Fr>]| -> Vec<Vec<LinearCombination<Fr>>> {
+                m.iter()
+                    .map(|row| {
+                        row.iter()
+                            .map(|v| cs.alloc_witness_opt(wants.then_some(*v)).into())
+                            .collect()
+                    })
+                    .collect()
+            };
+        let x_lcs = alloc_witness_matrix(cs, &self.x);
+        let w_lcs = alloc_witness_matrix(cs, &self.w);
+        if self.outputs_public {
+            let y_lcs: Vec<Vec<LinearCombination<Fr>>> = self
+                .y
+                .iter()
+                .map(|row| {
+                    row.iter()
+                        .map(|v| cs.alloc_instance_opt(wants.then_some(*v)).into())
+                        .collect()
+                })
+                .collect();
+            synthesize_matmul_into(cs, &x_lcs, &w_lcs, &y_lcs, self.strategy, self.z);
+        } else {
+            let _y_lcs = synthesize_matmul(cs, &x_lcs, &w_lcs, self.strategy, self.z);
+        }
+    }
+}
+
+impl Circuit for MatMulCircuit {
+    fn synthesize(&self, sink: &mut dyn ConstraintSink<Fr>) {
+        self.emit(sink);
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "matmul {}x{}x{} ({})",
+            self.dims.0, self.dims.1, self.dims.2, self.strategy
+        )
+    }
+
+    fn public_outputs(&self) -> Vec<Fr> {
+        if self.outputs_public {
+            self.y.iter().flatten().copied().collect()
+        } else {
+            Vec::new()
+        }
+    }
+}
+
 /// A fully synthesised matrix-multiplication statement: the constraint
 /// system with its witness, the computed product, and circuit statistics.
+///
+/// This is the eager (legacy single-pass) product of [`MatMulBuilder`]; the
+/// lazy two-pass form is [`MatMulCircuit`]
+/// ([`MatMulBuilder::build_circuit_field`] and friends).
 #[derive(Clone, Debug)]
 pub struct MatMulJob {
     /// The synthesised constraint system (witness included).
@@ -273,18 +360,33 @@ pub struct MatMulJob {
     /// distinctly from the inherited [`Circuit::public_outputs`] method,
     /// which returns the bound *values*.
     pub outputs_public: bool,
+    /// The underlying statement, kept so the job can re-synthesise through
+    /// the two-pass pipeline.
+    circuit: MatMulCircuit,
+}
+
+impl MatMulJob {
+    /// The lazy statement form of this job (same inputs, same challenge).
+    pub fn circuit(&self) -> &MatMulCircuit {
+        &self.circuit
+    }
 }
 
 impl Circuit for MatMulJob {
-    fn constraint_system(&self) -> &ConstraintSystem<Fr> {
-        &self.cs
+    fn synthesize(&self, sink: &mut dyn ConstraintSink<Fr>) {
+        self.circuit.emit(sink);
     }
 
     fn name(&self) -> String {
-        format!(
-            "matmul {}x{}x{} ({})",
-            self.dims.0, self.dims.1, self.dims.2, self.strategy
-        )
+        Circuit::name(&self.circuit)
+    }
+
+    fn public_outputs(&self) -> Vec<Fr> {
+        self.cs.instance_assignment().to_vec()
+    }
+
+    fn shape_digest(&self) -> [u8; 32] {
+        crate::api::circuit_shape_digest(&self.cs)
     }
 }
 
@@ -351,17 +453,37 @@ impl MatMulBuilder {
     /// # Panics
     /// Panics if the matrix dimensions do not match the builder.
     pub fn build_integers(&self, x: &[Vec<i64>], w: &[Vec<i64>]) -> MatMulJob {
-        let conv = |m: &[Vec<i64>]| -> Vec<Vec<Fr>> {
-            m.iter()
-                .map(|row| row.iter().map(|v| Fr::from_i64(*v)).collect())
-                .collect()
-        };
-        self.build_field(&conv(x), &conv(w))
+        self.eager(self.build_circuit_integers(x, w))
     }
 
     /// Builds the job with uniformly random matrices (used by the benchmark
     /// harnesses, where only the cost profile matters).
     pub fn build_random<R: Rng + ?Sized>(&self, rng: &mut R) -> MatMulJob {
+        self.eager(self.build_circuit_random(rng))
+    }
+
+    /// Builds the job from field-element matrices.
+    ///
+    /// # Panics
+    /// Panics if the matrix dimensions do not match the builder.
+    pub fn build_field(&self, x: &[Vec<Fr>], w: &[Vec<Fr>]) -> MatMulJob {
+        self.eager(self.build_circuit_field(x, w))
+    }
+
+    /// [`MatMulBuilder::build_integers`], but producing the lazy
+    /// [`MatMulCircuit`] statement (no constraint system is synthesised).
+    pub fn build_circuit_integers(&self, x: &[Vec<i64>], w: &[Vec<i64>]) -> MatMulCircuit {
+        let conv = |m: &[Vec<i64>]| -> Vec<Vec<Fr>> {
+            m.iter()
+                .map(|row| row.iter().map(|v| Fr::from_i64(*v)).collect())
+                .collect()
+        };
+        self.build_circuit_field(&conv(x), &conv(w))
+    }
+
+    /// [`MatMulBuilder::build_random`], but producing the lazy
+    /// [`MatMulCircuit`] statement.
+    pub fn build_circuit_random<R: Rng + ?Sized>(&self, rng: &mut R) -> MatMulCircuit {
         let x: Vec<Vec<Fr>> = (0..self.a)
             .map(|_| {
                 (0..self.n)
@@ -376,14 +498,17 @@ impl MatMulBuilder {
                     .collect()
             })
             .collect();
-        self.build_field(&x, &w)
+        self.build_circuit_field(&x, &w)
     }
 
-    /// Builds the job from field-element matrices.
+    /// [`MatMulBuilder::build_field`], but producing the lazy
+    /// [`MatMulCircuit`] statement: the honest product and the CRPC
+    /// challenge are computed, and synthesis is deferred to the two-pass
+    /// pipeline (shape pass for setup/digests, witness pass for proving).
     ///
     /// # Panics
     /// Panics if the matrix dimensions do not match the builder.
-    pub fn build_field(&self, x: &[Vec<Fr>], w: &[Vec<Fr>]) -> MatMulJob {
+    pub fn build_circuit_field(&self, x: &[Vec<Fr>], w: &[Vec<Fr>]) -> MatMulCircuit {
         assert_eq!(x.len(), self.a, "X row count mismatch");
         assert!(
             x.iter().all(|r| r.len() == self.n),
@@ -428,38 +553,32 @@ impl MatMulBuilder {
             }
         };
 
-        // Synthesise: X and W become witness variables; Y is either
-        // produced by the strategy (as witness variables whose correctness
-        // the constraints enforce) or pre-allocated as public instance
-        // variables the strategy writes into.
-        let mut cs = ConstraintSystem::<Fr>::new();
-        let x_lcs: Vec<Vec<LinearCombination<Fr>>> = x
-            .iter()
-            .map(|row| row.iter().map(|v| cs.alloc_witness(*v).into()).collect())
-            .collect();
-        let w_lcs: Vec<Vec<LinearCombination<Fr>>> = w
-            .iter()
-            .map(|row| row.iter().map(|v| cs.alloc_witness(*v).into()).collect())
-            .collect();
-        if self.public_outputs {
-            let y_lcs: Vec<Vec<LinearCombination<Fr>>> = y
-                .iter()
-                .map(|row| row.iter().map(|v| cs.alloc_instance(*v).into()).collect())
-                .collect();
-            synthesize_matmul_into(&mut cs, &x_lcs, &w_lcs, &y_lcs, self.strategy, z);
-        } else {
-            let _y_lcs = synthesize_matmul(&mut cs, &x_lcs, &w_lcs, self.strategy, z);
+        MatMulCircuit {
+            x: x.to_vec(),
+            w: w.to_vec(),
+            y,
+            dims: (self.a, self.n, self.b),
+            strategy: self.strategy,
+            z,
+            outputs_public: self.public_outputs,
         }
+    }
 
+    /// Runs the legacy single pass over a statement, producing the eager
+    /// job (constraint system + stats) most tests and harnesses consume.
+    fn eager(&self, circuit: MatMulCircuit) -> MatMulJob {
+        let mut cs = ConstraintSystem::<Fr>::new();
+        circuit.emit(&mut cs);
         let stats = CircuitStats::of(&cs);
         MatMulJob {
             cs,
-            dims: (self.a, self.n, self.b),
-            strategy: self.strategy,
-            y,
+            dims: circuit.dims,
+            strategy: circuit.strategy,
+            y: circuit.y.clone(),
             stats,
-            z,
-            outputs_public: self.public_outputs,
+            z: circuit.z,
+            outputs_public: circuit.outputs_public,
+            circuit,
         }
     }
 }

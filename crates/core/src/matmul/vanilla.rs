@@ -1,7 +1,11 @@
 //! The vanilla matrix-multiplication circuit and its PSQ variant.
+//!
+//! Emission is written against [`ConstraintSink`], so one copy of each
+//! loop serves the legacy single pass, the witness-free shape pass and the
+//! witness pass.
 
 use zkvc_ff::{Field, Fr};
-use zkvc_r1cs::{ConstraintSystem, LinearCombination};
+use zkvc_r1cs::{ConstraintSink, LinearCombination, SinkExt};
 
 /// Vanilla encoding: one multiplication constraint per scalar product
 /// `x_ik * w_kj`, followed by one long-addition constraint per output
@@ -10,8 +14,8 @@ use zkvc_r1cs::{ConstraintSystem, LinearCombination};
 ///
 /// Cost: `a*b*n + a*b` constraints and `a*b*n + a*b` fresh witness
 /// variables; the addition rows carry `n` left wires each.
-pub fn synthesize_vanilla(
-    cs: &mut ConstraintSystem<Fr>,
+pub fn synthesize_vanilla<S: ConstraintSink<Fr> + ?Sized>(
+    cs: &mut S,
     x: &[Vec<LinearCombination<Fr>>],
     w: &[Vec<LinearCombination<Fr>>],
 ) -> Vec<Vec<LinearCombination<Fr>>> {
@@ -25,8 +29,8 @@ pub fn synthesize_vanilla(
 ///
 /// Cost: `a*b*n` constraints and `a*b*n` fresh witness variables; the final
 /// prefix sum *is* the output element.
-pub fn synthesize_vanilla_psq(
-    cs: &mut ConstraintSystem<Fr>,
+pub fn synthesize_vanilla_psq<S: ConstraintSink<Fr> + ?Sized>(
+    cs: &mut S,
     x: &[Vec<LinearCombination<Fr>>],
     w: &[Vec<LinearCombination<Fr>>],
 ) -> Vec<Vec<LinearCombination<Fr>>> {
@@ -37,8 +41,8 @@ pub fn synthesize_vanilla_psq(
 /// addition writes directly into `y_out[i][j]` (typically a public instance
 /// variable holding the honest product) instead of a fresh witness. Same
 /// `a*b*n + a*b` constraints, `a*b` fewer witness variables.
-pub fn synthesize_vanilla_into(
-    cs: &mut ConstraintSystem<Fr>,
+pub fn synthesize_vanilla_into<S: ConstraintSink<Fr> + ?Sized>(
+    cs: &mut S,
     x: &[Vec<LinearCombination<Fr>>],
     w: &[Vec<LinearCombination<Fr>>],
     y_out: &[Vec<LinearCombination<Fr>>],
@@ -49,8 +53,8 @@ pub fn synthesize_vanilla_into(
 /// [`synthesize_vanilla_psq`] with caller-supplied output cells: the last
 /// prefix-sum constraint writes `y_out[i][j] - acc_{n-2}` instead of
 /// allocating the final accumulator. Same `a*b*n` constraints.
-pub fn synthesize_vanilla_psq_into(
-    cs: &mut ConstraintSystem<Fr>,
+pub fn synthesize_vanilla_psq_into<S: ConstraintSink<Fr> + ?Sized>(
+    cs: &mut S,
     x: &[Vec<LinearCombination<Fr>>],
     w: &[Vec<LinearCombination<Fr>>],
     y_out: &[Vec<LinearCombination<Fr>>],
@@ -59,11 +63,11 @@ pub fn synthesize_vanilla_psq_into(
 }
 
 /// The one copy of the vanilla constraint-emission loop: products are
-/// computed (and their witnesses allocated) exactly once; the long
-/// addition writes into the supplied cell when `y_out` is given, or into a
-/// fresh witness otherwise.
-fn vanilla_core(
-    cs: &mut ConstraintSystem<Fr>,
+/// computed (only when the sink carries values) and their witnesses
+/// allocated exactly once; the long addition writes into the supplied cell
+/// when `y_out` is given, or into a fresh witness otherwise.
+fn vanilla_core<S: ConstraintSink<Fr> + ?Sized>(
+    cs: &mut S,
     x: &[Vec<LinearCombination<Fr>>],
     w: &[Vec<LinearCombination<Fr>>],
     y_out: Option<&[Vec<LinearCombination<Fr>>]>,
@@ -74,19 +78,21 @@ fn vanilla_core(
     for (i, xi) in x.iter().enumerate() {
         let mut row = Vec::with_capacity(b);
         for j in 0..b {
-            let mut sum_val = Fr::zero();
+            let mut sum_val = cs.wants_values().then(Fr::zero);
             let mut sum_lc = LinearCombination::zero();
             for (k, wk) in w.iter().enumerate().take(n) {
-                let val = cs.eval_lc(&xi[k]) * cs.eval_lc(&wk[j]);
-                sum_val += val;
-                let p = cs.alloc_witness(val);
+                let val = cs.lc_product(&xi[k], &wk[j]);
+                if let (Some(acc), Some(v)) = (sum_val.as_mut(), val.as_ref()) {
+                    *acc += *v;
+                }
+                let p = cs.alloc_witness_opt(val);
                 cs.enforce_named(xi[k].clone(), wk[j].clone(), p.into(), "vanilla product");
                 sum_lc.push(p, Fr::one());
             }
             // long addition: (sum of products) * 1 = y_ij
             let y_ij = match y_out {
                 Some(out) => out[i][j].clone(),
-                None => cs.alloc_witness(sum_val).into(),
+                None => cs.alloc_witness_opt(sum_val).into(),
             };
             cs.enforce_named(
                 sum_lc,
@@ -105,8 +111,8 @@ fn vanilla_core(
 /// prefix-sum accumulator exactly once; the final constraint writes into
 /// the supplied cell when `y_out` is given, or into a fresh accumulator
 /// witness (which *is* the output) otherwise.
-fn vanilla_psq_core(
-    cs: &mut ConstraintSystem<Fr>,
+fn vanilla_psq_core<S: ConstraintSink<Fr> + ?Sized>(
+    cs: &mut S,
     x: &[Vec<LinearCombination<Fr>>],
     w: &[Vec<LinearCombination<Fr>>],
     y_out: Option<&[Vec<LinearCombination<Fr>>]>,
@@ -118,7 +124,7 @@ fn vanilla_psq_core(
         let mut row = Vec::with_capacity(b);
         for j in 0..b {
             let mut prev_lc = LinearCombination::zero();
-            let mut prev_val = Fr::zero();
+            let mut prev_val = cs.wants_values().then(Fr::zero);
             let mut last = LinearCombination::zero();
             for (k, wk) in w.iter().enumerate().take(n) {
                 // last step with a supplied cell: x_ik * w_kj = y_ij - acc_{n-2}
@@ -134,9 +140,8 @@ fn vanilla_psq_core(
                         continue;
                     }
                 }
-                let term = cs.eval_lc(&xi[k]) * cs.eval_lc(&wk[j]);
-                let acc_val = prev_val + term;
-                let acc = cs.alloc_witness(acc_val);
+                let acc_val = prev_val.and_then(|p| cs.lc_product(&xi[k], &wk[j]).map(|t| p + t));
+                let acc = cs.alloc_witness_opt(acc_val);
                 // x_ik * w_kj = acc_k - acc_{k-1}
                 cs.enforce_named(
                     xi[k].clone(),
@@ -159,6 +164,7 @@ fn vanilla_psq_core(
 mod tests {
     use super::*;
     use zkvc_ff::PrimeField;
+    use zkvc_r1cs::ConstraintSystem;
 
     type LcMatrix = Vec<Vec<LinearCombination<Fr>>>;
 

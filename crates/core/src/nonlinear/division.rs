@@ -3,7 +3,7 @@
 
 use zkvc_ff::{Field, Fr, PrimeField};
 use zkvc_r1cs::gadgets::{bit_decompose, greater_equal};
-use zkvc_r1cs::{ConstraintSystem, LinearCombination, SynthesisError, Variable};
+use zkvc_r1cs::{ConstraintSink, LinearCombination, SynthesisError, Variable};
 
 /// Computes `q = floor(value / 2^shift)` for a signed fixed-point `value`
 /// with `|value| < 2^(num_bits - 1)`, returning the quotient variable.
@@ -14,19 +14,23 @@ use zkvc_r1cs::{ConstraintSystem, LinearCombination, SynthesisError, Variable};
 ///
 /// # Errors
 /// Returns a range error if the assigned value exceeds the stated bound.
-pub fn div_by_const_pow2(
-    cs: &mut ConstraintSystem<Fr>,
+pub fn div_by_const_pow2<S: ConstraintSink<Fr> + ?Sized>(
+    cs: &mut S,
     value: &LinearCombination<Fr>,
     shift: u32,
     num_bits: usize,
 ) -> Result<Variable, SynthesisError> {
-    let val = signed_value(cs.eval_lc(value), num_bits)?;
     let divisor = 1i64 << shift;
-    let q_val = val.div_euclid(divisor);
-    let r_val = val.rem_euclid(divisor);
+    let quot_rem = match cs.lc_value(value) {
+        Some(v) => {
+            let val = signed_value(v, num_bits)?;
+            Some((val.div_euclid(divisor), val.rem_euclid(divisor)))
+        }
+        None => None,
+    };
 
-    let q = cs.alloc_witness(Fr::from_i64(q_val));
-    let r = cs.alloc_witness(Fr::from_i64(r_val));
+    let q = cs.alloc_witness_opt(quot_rem.map(|(q, _)| Fr::from_i64(q)));
+    let r = cs.alloc_witness_opt(quot_rem.map(|(_, r)| Fr::from_i64(r)));
 
     // value = q * 2^shift + r
     let two_pow = Fr::from_u64(2).pow(&[shift as u64]);
@@ -57,23 +61,27 @@ pub fn div_by_const_pow2(
 /// # Errors
 /// Returns a range error if the assigned values are out of bounds (e.g. a
 /// zero denominator).
-pub fn div_floor(
-    cs: &mut ConstraintSystem<Fr>,
+pub fn div_floor<S: ConstraintSink<Fr> + ?Sized>(
+    cs: &mut S,
     numerator: &LinearCombination<Fr>,
     denominator: &LinearCombination<Fr>,
     num_bits: usize,
 ) -> Result<Variable, SynthesisError> {
-    let n_val = unsigned_value(cs.eval_lc(numerator), 2 * num_bits)?;
-    let d_val = unsigned_value(cs.eval_lc(denominator), num_bits)?;
-    if d_val == 0 {
-        return Err(SynthesisError::ValueOutOfRange(
-            "div_floor: zero denominator",
-        ));
-    }
-    let q_val = n_val / d_val;
-    let r_val = n_val % d_val;
-    let q = cs.alloc_witness(Fr::from_u64(q_val));
-    let r = cs.alloc_witness(Fr::from_u64(r_val));
+    let quot_rem = match (cs.lc_value(numerator), cs.lc_value(denominator)) {
+        (Some(n), Some(d)) => {
+            let n_val = unsigned_value(n, 2 * num_bits)?;
+            let d_val = unsigned_value(d, num_bits)?;
+            if d_val == 0 {
+                return Err(SynthesisError::ValueOutOfRange(
+                    "div_floor: zero denominator",
+                ));
+            }
+            Some((n_val / d_val, n_val % d_val))
+        }
+        _ => None,
+    };
+    let q = cs.alloc_witness_opt(quot_rem.map(|(q, _)| Fr::from_u64(q)));
+    let r = cs.alloc_witness_opt(quot_rem.map(|(_, r)| Fr::from_u64(r)));
 
     // q * denominator = numerator - r
     cs.enforce_named(
@@ -144,6 +152,7 @@ pub(crate) fn unsigned_value(v: Fr, num_bits: usize) -> Result<u64, SynthesisErr
 #[cfg(test)]
 mod tests {
     use super::*;
+    use zkvc_r1cs::ConstraintSystem;
 
     #[test]
     fn div_by_pow2_signed() {

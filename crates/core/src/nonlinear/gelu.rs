@@ -2,7 +2,7 @@
 //! (paper §III-C).
 
 use zkvc_ff::{Fr, PrimeField};
-use zkvc_r1cs::{ConstraintSystem, LinearCombination, SynthesisError, Variable};
+use zkvc_r1cs::{ConstraintSink, LinearCombination, SinkExt, SynthesisError, Variable};
 
 use crate::fixed::FixedPointConfig;
 
@@ -17,8 +17,8 @@ use super::division::div_by_const_pow2;
 ///
 /// # Errors
 /// Propagates range errors if the value exceeds the configured bit-width.
-pub fn synthesize_gelu(
-    cs: &mut ConstraintSystem<Fr>,
+pub fn synthesize_gelu<S: ConstraintSink<Fr> + ?Sized>(
+    cs: &mut S,
     x: &LinearCombination<Fr>,
     cfg: &FixedPointConfig,
 ) -> Result<Variable, SynthesisError> {
@@ -26,8 +26,8 @@ pub fn synthesize_gelu(
     let s = cfg.scale();
 
     // x^2
-    let sq_val = cs.eval_lc(x) * cs.eval_lc(x);
-    let sq = cs.alloc_witness(sq_val);
+    let sq_val = cs.lc_product(x, x);
+    let sq = cs.alloc_witness_opt(sq_val);
     cs.enforce_named(x.clone(), x.clone(), sq.into(), "gelu square");
 
     // numerator = x^2 + 2 s x + 4 s^2
@@ -44,6 +44,7 @@ pub fn synthesize_gelu(
 mod tests {
     use super::*;
     use crate::nonlinear::division::signed_value;
+    use zkvc_r1cs::ConstraintSystem;
 
     #[test]
     fn gelu_matches_reference() {

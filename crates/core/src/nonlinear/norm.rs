@@ -8,7 +8,7 @@
 
 use zkvc_ff::{Field, Fr, PrimeField};
 use zkvc_r1cs::gadgets::greater_equal;
-use zkvc_r1cs::{ConstraintSystem, LinearCombination, SynthesisError, Variable};
+use zkvc_r1cs::{ConstraintSink, LinearCombination, SynthesisError, Variable};
 
 use crate::fixed::FixedPointConfig;
 
@@ -25,37 +25,40 @@ use super::division::unsigned_value;
 ///
 /// # Errors
 /// Returns a range error if `v` is zero or out of range.
-pub fn synthesize_rsqrt(
-    cs: &mut ConstraintSystem<Fr>,
+pub fn synthesize_rsqrt<S: ConstraintSink<Fr> + ?Sized>(
+    cs: &mut S,
     v: &LinearCombination<Fr>,
     cfg: &FixedPointConfig,
 ) -> Result<Variable, SynthesisError> {
     let bits = cfg.total_bits as usize;
     let f = cfg.fraction_bits;
-    let v_val = unsigned_value(cs.eval_lc(v), 2 * bits)?;
-    if v_val == 0 {
-        return Err(SynthesisError::ValueOutOfRange("rsqrt of zero"));
-    }
     // Witness hint: s = round(2^f / sqrt(v / 2^f)) = round(2^(3f/2) / sqrt(v)).
-    let scale = cfg.scale() as f64;
-    let s_val = (scale * scale * scale).sqrt() / (v_val as f64).sqrt();
-    let s_val = s_val.round() as i64;
-    let s = cs.alloc_witness(Fr::from_i64(s_val));
+    let hint = match cs.lc_value(v) {
+        Some(value) => {
+            let v_val = unsigned_value(value, 2 * bits)?;
+            if v_val == 0 {
+                return Err(SynthesisError::ValueOutOfRange("rsqrt of zero"));
+            }
+            let scale = cfg.scale() as f64;
+            let s_val = (scale * scale * scale).sqrt() / (v_val as f64).sqrt();
+            Some((Fr::from_i64(s_val.round() as i64), value))
+        }
+        None => None,
+    };
+    let s = cs.alloc_witness_opt(hint.map(|(s, _)| s));
 
     // t = s^2 (one constraint), u = t * v (one constraint)
-    let t_val = Fr::from_i64(s_val) * Fr::from_i64(s_val);
-    let t = cs.alloc_witness(t_val);
+    let t_val = hint.map(|(s, _)| s * s);
+    let t = cs.alloc_witness_opt(t_val);
     cs.enforce_named(s.into(), s.into(), t.into(), "rsqrt square");
-    let u_val = t_val * cs.eval_lc(v);
-    let u = cs.alloc_witness(u_val);
+    let u = cs.alloc_witness_opt(hint.and_then(|(_, v_val)| t_val.map(|t| t * v_val)));
     cs.enforce_named(t.into(), v.clone(), u.into(), "rsqrt product");
 
     // Rounding window: |u - 2^(3f)| <= s*v + v. The honest rounded witness
     // satisfies it (|s^2 v - 2^(3f)| <= (2 s + 1/2) * v / 2 < s*v + v) and
     // any s off by two or more units violates it.
     let target = Fr::from_u64(2).pow(&[3 * f as u64]);
-    let m_val = Fr::from_i64(s_val) * cs.eval_lc(v);
-    let m = cs.alloc_witness(m_val);
+    let m = cs.alloc_witness_opt(hint.map(|(s, v_val)| s * v_val));
     cs.enforce_named(s.into(), v.clone(), m.into(), "rsqrt tolerance product");
     let tol = LinearCombination::from(m) + v;
     let diff = LinearCombination::from(u) - LinearCombination::constant(target);
@@ -81,6 +84,7 @@ pub fn synthesize_rsqrt(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use zkvc_r1cs::ConstraintSystem;
 
     #[test]
     fn rsqrt_matches_float_reference() {

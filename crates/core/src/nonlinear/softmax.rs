@@ -2,7 +2,7 @@
 
 use zkvc_ff::{Field, Fr, PrimeField};
 use zkvc_r1cs::gadgets::{greater_equal, max_of, select};
-use zkvc_r1cs::{ConstraintSystem, LinearCombination, SynthesisError, Variable};
+use zkvc_r1cs::{ConstraintSink, LinearCombination, SinkExt, SynthesisError, Variable};
 
 use crate::fixed::FixedPointConfig;
 
@@ -40,8 +40,8 @@ impl Default for SoftmaxConfig {
 /// # Errors
 /// Propagates range errors if the assigned value falls outside the
 /// configured bit-width.
-pub fn synthesize_exp_neg(
-    cs: &mut ConstraintSystem<Fr>,
+pub fn synthesize_exp_neg<S: ConstraintSink<Fr> + ?Sized>(
+    cs: &mut S,
     x: &LinearCombination<Fr>,
     cfg: &SoftmaxConfig,
 ) -> Result<Variable, SynthesisError> {
@@ -60,9 +60,11 @@ pub fn synthesize_exp_neg(
     // clipping threshold for sensible parameter choices), the select below
     // discards the powered value anyway; to keep the squaring chain's range
     // checks satisfiable we work with max(base, 0).
-    let base_val = signed_value(cs.eval_lc(&base), bits)?;
-    let clamped_val = base_val.max(0);
-    let clamped = cs.alloc_witness(Fr::from_i64(clamped_val));
+    let clamped_val = match cs.lc_value(&base) {
+        Some(v) => Some(Fr::from_i64(signed_value(v, bits)?.max(0))),
+        None => None,
+    };
+    let clamped = cs.alloc_witness_opt(clamped_val);
     // (base - clamped) * above = 0 : when the input is above the clipping
     // threshold the clamped copy must equal the real base.
     cs.enforce_named(
@@ -75,8 +77,8 @@ pub fn synthesize_exp_neg(
     // Repeated squaring with rescale: p <- (p*p) / 2^f, t times.
     let mut p: LinearCombination<Fr> = clamped.into();
     for _ in 0..cfg.taylor_log2 {
-        let sq_val = cs.eval_lc(&p) * cs.eval_lc(&p);
-        let sq = cs.alloc_witness(sq_val);
+        let sq_val = cs.lc_product(&p, &p);
+        let sq = cs.alloc_witness_opt(sq_val);
         cs.enforce_named(p.clone(), p.clone(), sq.into(), "exp squaring");
         let rescaled = div_by_const_pow2(cs, &sq.into(), cfg.fixed.fraction_bits, 2 * bits)?;
         p = rescaled.into();
@@ -101,8 +103,8 @@ pub fn synthesize_exp_neg(
 ///
 /// # Panics
 /// Panics if `inputs` is empty.
-pub fn synthesize_softmax(
-    cs: &mut ConstraintSystem<Fr>,
+pub fn synthesize_softmax<S: ConstraintSink<Fr> + ?Sized>(
+    cs: &mut S,
     inputs: &[LinearCombination<Fr>],
     cfg: &SoftmaxConfig,
 ) -> Result<Vec<Variable>, SynthesisError> {
@@ -138,6 +140,7 @@ pub fn synthesize_softmax(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use zkvc_r1cs::ConstraintSystem;
 
     fn cfg() -> SoftmaxConfig {
         SoftmaxConfig::default()

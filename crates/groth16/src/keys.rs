@@ -1,11 +1,13 @@
 //! Key material: the circuit-specific CRS (proving key + verifying key) and
 //! the proof object.
 
+use std::sync::Arc;
+
 use rand::Rng;
 use zkvc_curve::{pairing, G1Affine, G1Projective, Gt};
 use zkvc_ff::{Field, Fr};
 use zkvc_qap::evaluate_qap_at_point;
-use zkvc_r1cs::ConstraintSystem;
+use zkvc_r1cs::{CompiledShape, ConstraintSystem};
 
 /// A Groth16 proof: three group elements, independent of circuit size.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -128,6 +130,11 @@ impl VerifyingKey {
 pub struct ProvingKey {
     /// The verification key (the prover embeds it in proofs' metadata).
     pub vk: VerifyingKey,
+    /// The compiled circuit shape (CSR matrices) the CRS was generated
+    /// for. Proving consumes it directly, so a statement only supplies its
+    /// flat witness assignment — no per-proof constraint synthesis or
+    /// matrix extraction.
+    pub shape: Arc<CompiledShape<Fr>>,
     /// The QAP quotient domain (with its precomputed twiddle tables), built
     /// once at setup so repeated proofs against this key skip the per-proof
     /// domain construction.
@@ -163,17 +170,26 @@ impl ProvingKey {
     }
 }
 
-/// Runs the circuit-specific trusted setup, producing a proving key and a
-/// verification key.
-///
-/// The constraint *structure* of `cs` is what matters here; the assigned
-/// values are ignored (callers typically synthesise the circuit with
-/// placeholder values first).
+/// Runs the circuit-specific trusted setup from a legacy single-pass
+/// constraint system. The constraint *structure* of `cs` is what matters
+/// here; the assigned values are ignored. Equivalent to
+/// [`setup_shape`] over [`CompiledShape::from_cs`].
 pub fn setup<R: Rng + ?Sized>(
     cs: &ConstraintSystem<Fr>,
     rng: &mut R,
 ) -> (ProvingKey, VerifyingKey) {
-    let matrices = cs.to_matrices();
+    setup_shape(Arc::new(CompiledShape::from_cs(cs)), rng)
+}
+
+/// Runs the circuit-specific trusted setup against a compiled shape,
+/// producing a proving key and a verification key. This is the witness-free
+/// entry point: nothing here ever sees an assignment, only the CSR
+/// constraint matrices.
+pub fn setup_shape<R: Rng + ?Sized>(
+    shape: Arc<CompiledShape<Fr>>,
+    rng: &mut R,
+) -> (ProvingKey, VerifyingKey) {
+    let matrices = &shape.matrices;
 
     // Toxic waste.
     let tau = Fr::random(rng);
@@ -194,7 +210,7 @@ pub fn setup<R: Rng + ?Sized>(
     let gamma_inv = gamma.inverse().expect("gamma != 0");
     let delta_inv = delta.inverse().expect("delta != 0");
 
-    let qap = evaluate_qap_at_point(&matrices, &tau);
+    let qap = evaluate_qap_at_point(matrices, &tau);
     let num_vars = matrices.num_variables();
     let num_instance = matrices.num_instance;
 
@@ -252,10 +268,12 @@ pub fn setup<R: Rng + ?Sized>(
         alpha_beta_gt: pairing(&alpha_g1, &beta_g2),
     };
 
+    let h_domain = zkvc_qap::qap_domain::<Fr>(matrices.num_constraints())
+        .expect("constraint count exceeds the field's FFT capacity");
     let pk = ProvingKey {
         vk: vk.clone(),
-        h_domain: zkvc_qap::qap_domain::<Fr>(matrices.num_constraints())
-            .expect("constraint count exceeds the field's FFT capacity"),
+        shape,
+        h_domain,
         beta_g1,
         delta_g1,
         a_query,

@@ -37,6 +37,6 @@ mod keys;
 mod prover;
 mod verifier;
 
-pub use keys::{setup, Proof, ProvingKey, VerifyingKey};
-pub use prover::prove;
+pub use keys::{setup, setup_shape, Proof, ProvingKey, VerifyingKey};
+pub use prover::{prove, prove_assignment};
 pub use verifier::{prepare_inputs, verify};

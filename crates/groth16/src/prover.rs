@@ -15,8 +15,10 @@ use zkvc_r1cs::ConstraintSystem;
 
 use crate::keys::{Proof, ProvingKey};
 
-/// Produces a proof that the assignment inside `cs` satisfies its
-/// constraints, with the instance part treated as public input.
+/// Produces a proof from a legacy single-pass constraint system: the full
+/// assignment is extracted and handed to [`prove_assignment`]. The
+/// constraint matrices come from the shape compiled at setup time — the
+/// system's own constraints are *not* re-extracted.
 ///
 /// # Panics
 /// Panics if the assignment does not satisfy the constraint system (callers
@@ -25,16 +27,33 @@ use crate::keys::{Proof, ProvingKey};
 /// key.
 pub fn prove<R: Rng + ?Sized>(pk: &ProvingKey, cs: &ConstraintSystem<Fr>, rng: &mut R) -> Proof {
     assert_eq!(
-        pk.a_query.len(),
+        pk.shape.num_variables(),
         cs.num_variables(),
         "proving key does not match this circuit"
     );
-    let matrices = cs.to_matrices();
-    let z = cs.full_assignment();
+    prove_assignment(pk, &cs.full_assignment(), rng)
+}
+
+/// Produces a proof from a flat assignment `z = (1, instance, witness)`
+/// against the shape compiled into the proving key. This is the whole
+/// prove-many hot path: no constraint synthesis, no matrix extraction —
+/// just the QAP quotient FFTs and the four MSMs.
+///
+/// # Panics
+/// Panics if `z` does not match the key's variable count or does not
+/// satisfy the compiled constraints (the quotient division would not be
+/// exact).
+pub fn prove_assignment<R: Rng + ?Sized>(pk: &ProvingKey, z: &[Fr], rng: &mut R) -> Proof {
+    assert_eq!(
+        pk.a_query.len(),
+        z.len(),
+        "assignment length does not match the proving key"
+    );
+    let matrices = &pk.shape.matrices;
 
     // Quotient polynomial H(X), over the domain cached in the proving key
     // (twiddle tables are built once per key, not once per proof).
-    let h = compute_h_coefficients_in(&pk.h_domain, &matrices, &z);
+    let h = compute_h_coefficients_in(&pk.h_domain, matrices, z);
 
     // Zero-knowledge blinders.
     let r = Fr::random(rng);
@@ -44,13 +63,13 @@ pub fn prove<R: Rng + ?Sized>(pk: &ProvingKey, cs: &ConstraintSystem<Fr>, rng: &
     let witness = &z[num_instance + 1..];
 
     // A = alpha + sum_i z_i A_i(tau) + r * delta
-    let a_acc = msm(&pk.a_query, &z);
+    let a_acc = msm(&pk.a_query, z);
     let a = a_acc + pk.vk.alpha_g1.to_projective() + pk.delta_g1.to_projective() * r;
 
     // B = beta + sum_i z_i B_i(tau) + s * delta
-    let b_acc_g2 = msm(&pk.b_g2_query, &z);
+    let b_acc_g2 = msm(&pk.b_g2_query, z);
     let b_g2 = b_acc_g2 + pk.vk.beta_g2.to_projective() + pk.vk.delta_g2.to_projective() * s;
-    let b_acc_g1 = msm(&pk.b_g1_query, &z);
+    let b_acc_g1 = msm(&pk.b_g1_query, z);
     let b_g1 = b_acc_g1 + pk.beta_g1.to_projective() + pk.delta_g1.to_projective() * s;
 
     // C = sum_w z_w L_w + sum_i h_i [tau^i Z/delta] + s*A + r*B1 - r*s*delta

@@ -3,11 +3,20 @@
 //! (embedding, every Transformer block, pooling and the classifier head),
 //! together with per-layer constraint statistics.
 //!
+//! Two entry points share one emission driver:
+//!
+//! * [`ModelStatement`] — the lazy, two-pass-native form: holds only the
+//!   configuration, weight seed and CRPC challenge, and synthesises on
+//!   demand into any [`ConstraintSink`]. A shape pass over it generates
+//!   **no weight tensors at all**; a witness pass computes exactly the flat
+//!   assignment. This is what the `zkvc-runtime` pool proves with.
+//! * [`ModelCircuit`] — the eager legacy form: one single pass up front,
+//!   keeping the full [`ConstraintSystem`], per-layer stats and the logits.
+//!
 //! The class logits of the reference run are bound as **public instance
-//! variables**, so a proof over a [`ModelCircuit`] commits to the concrete
+//! variables**, so a proof over either form commits to the concrete
 //! inference result: verifying the same proof against different claimed
-//! logits fails. `ModelCircuit` implements [`Circuit`], which is how the
-//! `zkvc-runtime` proving pool and CLI consume it.
+//! logits fails.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -16,9 +25,11 @@ use zkvc_core::fixed::FixedPointConfig;
 use zkvc_core::matmul::Strategy;
 use zkvc_core::nonlinear::SoftmaxConfig;
 use zkvc_ff::{Fr, PrimeField};
-use zkvc_r1cs::ConstraintSystem;
+use zkvc_r1cs::{ConstraintSink, ConstraintSystem};
 
-use crate::layers::{alloc_tensor, linear, transformer_block, BlockWeights, LcMatrix};
+use crate::layers::{
+    alloc_tensor_opt, linear, transformer_block_opt, BlockDims, BlockWeights, LcMatrix,
+};
 use crate::mixer::MixerSchedule;
 use crate::models::ModelConfig;
 use crate::tensor::Tensor;
@@ -34,7 +45,189 @@ pub struct LayerStats {
     pub variables: usize,
 }
 
-/// A fully synthesised verifiable-inference circuit.
+/// A verifiable-inference *statement*: model + schedule + strategy + weight
+/// seed + CRPC challenge, synthesised on demand. Implements [`Circuit`], so
+/// the runtime can compile its shape witness-free and then run only the
+/// witness pass per proof.
+#[derive(Clone, Debug)]
+pub struct ModelStatement {
+    model: ModelConfig,
+    schedule: MixerSchedule,
+    strategy: Strategy,
+    weight_seed: u64,
+    z: Fr,
+    name: String,
+}
+
+impl ModelStatement {
+    /// Creates the statement. Because `z` is baked into the constraint
+    /// coefficients, every statement built with the same
+    /// `(model, schedule, strategy, z)` shares one shape — which is what
+    /// lets a batch of per-`weight_seed` model jobs share a single setup
+    /// in the runtime's key cache.
+    ///
+    /// # Panics
+    /// Panics if the schedule does not cover every model layer.
+    pub fn new(
+        model: ModelConfig,
+        schedule: MixerSchedule,
+        strategy: Strategy,
+        weight_seed: u64,
+        z: Fr,
+    ) -> Self {
+        assert_eq!(
+            schedule.num_layers(),
+            model.num_layers(),
+            "mixer schedule must cover every layer"
+        );
+        let name = format!("{} / {}", model.name, schedule.name);
+        ModelStatement {
+            model,
+            schedule,
+            strategy,
+            weight_seed,
+            z,
+            name,
+        }
+    }
+
+    /// Emits the whole forward pass into `sink`. Weight/input tensors are
+    /// generated (from the seeded rng, in a fixed order) only when the sink
+    /// carries values; the structure is identical either way. Returns the
+    /// logits when values were carried, and appends per-layer stats when a
+    /// collector is supplied.
+    fn emit(
+        &self,
+        sink: &mut dyn ConstraintSink<Fr>,
+        mut stats: Option<&mut Vec<LayerStats>>,
+    ) -> Option<Vec<Fr>> {
+        let model = &self.model;
+        let strategy = self.strategy;
+        let z = self.z;
+        let wants = sink.wants_values();
+        let cfg = FixedPointConfig::default();
+        let softmax_cfg = SoftmaxConfig::default();
+        let mut rng = StdRng::seed_from_u64(self.weight_seed);
+        let record = |stats: &mut Option<&mut Vec<LayerStats>>,
+                      label: String,
+                      before: (usize, usize),
+                      sink: &dyn ConstraintSink<Fr>| {
+            if let Some(stats) = stats.as_deref_mut() {
+                stats.push(LayerStats {
+                    label,
+                    constraints: sink.num_constraints() - before.0,
+                    variables: sink.num_variables() - before.1,
+                });
+            }
+        };
+
+        let first = &model.layers[0];
+        // Synthetic input tokens and embedding.
+        let input = wants.then(|| Tensor::random(first.seq_len, model.input_dim, &cfg, &mut rng));
+        let w_embed = wants.then(|| Tensor::random(model.input_dim, first.dim, &cfg, &mut rng));
+        let before = (sink.num_constraints(), sink.num_variables());
+        let input_lcs = alloc_tensor_opt(sink, first.seq_len, model.input_dim, input.as_ref());
+        let w_embed_lcs = alloc_tensor_opt(sink, model.input_dim, first.dim, w_embed.as_ref());
+        let mut tokens: LcMatrix = linear(sink, &input_lcs, &w_embed_lcs, strategy, z, &cfg);
+        record(&mut stats, "embed".to_string(), before, sink);
+
+        // Transformer blocks.
+        for (idx, (spec, mixer)) in model
+            .layers
+            .iter()
+            .zip(self.schedule.layers.iter())
+            .enumerate()
+        {
+            // When the spec's sequence length or dim changes between stages
+            // (hierarchical ViT), downsample tokens by truncation/projection.
+            tokens = resize_tokens(
+                sink,
+                &tokens,
+                spec.seq_len,
+                spec.dim,
+                strategy,
+                z,
+                &cfg,
+                &mut rng,
+            );
+            let weights = wants.then(|| {
+                BlockWeights::random(spec.seq_len, spec.dim, spec.mlp_dim, &cfg, &mut rng)
+            });
+            let before = (sink.num_constraints(), sink.num_variables());
+            tokens = transformer_block_opt(
+                sink,
+                &tokens,
+                weights.as_ref(),
+                BlockDims {
+                    seq: spec.seq_len,
+                    dim: spec.dim,
+                    mlp_dim: spec.mlp_dim,
+                },
+                *mixer,
+                spec.num_heads,
+                strategy,
+                z,
+                &cfg,
+                &softmax_cfg,
+            );
+            record(
+                &mut stats,
+                format!("block {idx} ({})", mixer.name()),
+                before,
+                sink,
+            );
+        }
+
+        // Classifier: mean-pool tokens (linear), then a projection to
+        // `num_classes` logits.
+        let last = model.layers.last().expect("at least one layer");
+        let before = (sink.num_constraints(), sink.num_variables());
+        let mut pooled: LcMatrix = vec![Vec::with_capacity(last.dim)];
+        for c in 0..tokens[0].len() {
+            let mut acc = zkvc_r1cs::LinearCombination::zero();
+            for row in &tokens {
+                acc = acc + &row[c];
+            }
+            pooled[0].push(acc);
+        }
+        let head_dim = tokens[0].len();
+        let w_head = wants.then(|| Tensor::random(head_dim, model.num_classes, &cfg, &mut rng));
+        let w_head_lcs = alloc_tensor_opt(sink, head_dim, model.num_classes, w_head.as_ref());
+        let logits_lcs = linear(sink, &pooled, &w_head_lcs, strategy, z, &cfg);
+        let logits: Option<Vec<Fr>> = wants.then(|| {
+            logits_lcs[0]
+                .iter()
+                .map(|lc| sink.lc_value(lc).expect("sink carries values"))
+                .collect()
+        });
+        // Bind the inference result: each logit becomes a public instance
+        // variable constrained to equal the classifier output, so the proof
+        // commits to the concrete logits, not just the circuit shape.
+        let public_logits: Vec<zkvc_r1cs::LinearCombination<Fr>> = (0..model.num_classes)
+            .map(|i| {
+                sink.alloc_instance_opt(logits.as_ref().map(|l| l[i]))
+                    .into()
+            })
+            .collect();
+        zkvc_core::api::bind_public_outputs(sink, &logits_lcs[0], &public_logits);
+        record(&mut stats, "classifier".to_string(), before, sink);
+
+        logits
+    }
+}
+
+impl Circuit for ModelStatement {
+    fn synthesize(&self, sink: &mut dyn ConstraintSink<Fr>) {
+        self.emit(sink, None);
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+/// A fully synthesised verifiable-inference circuit (the eager form; see
+/// [`ModelStatement`] for the lazy two-pass form).
 #[derive(Clone, Debug)]
 pub struct ModelCircuit {
     /// The constraint system with the complete witness.
@@ -45,6 +238,9 @@ pub struct ModelCircuit {
     pub logits: Vec<Fr>,
     /// Name of the model + schedule combination.
     pub name: String,
+    /// The underlying statement, kept so the circuit can re-synthesise
+    /// through the two-pass pipeline.
+    statement: ModelStatement,
 }
 
 impl ModelCircuit {
@@ -78,102 +274,26 @@ impl ModelCircuit {
         weight_seed: u64,
         z: Fr,
     ) -> ModelCircuit {
-        assert_eq!(
-            schedule.num_layers(),
-            model.num_layers(),
-            "mixer schedule must cover every layer"
-        );
-        let cfg = FixedPointConfig::default();
-        let softmax_cfg = SoftmaxConfig::default();
-        let mut rng = StdRng::seed_from_u64(weight_seed);
+        let statement =
+            ModelStatement::new(model.clone(), schedule.clone(), strategy, weight_seed, z);
         let mut cs = ConstraintSystem::<Fr>::new();
         let mut layers = Vec::new();
-
-        let first = &model.layers[0];
-        // Synthetic input tokens and embedding.
-        let input = Tensor::random(first.seq_len, model.input_dim, &cfg, &mut rng);
-        let w_embed = Tensor::random(model.input_dim, first.dim, &cfg, &mut rng);
-        let before = (cs.num_constraints(), cs.num_variables());
-        let input_lcs = alloc_tensor(&mut cs, &input);
-        let w_embed_lcs = alloc_tensor(&mut cs, &w_embed);
-        let mut tokens: LcMatrix = linear(&mut cs, &input_lcs, &w_embed_lcs, strategy, z, &cfg);
-        layers.push(LayerStats {
-            label: "embed".to_string(),
-            constraints: cs.num_constraints() - before.0,
-            variables: cs.num_variables() - before.1,
-        });
-
-        // Transformer blocks.
-        for (idx, (spec, mixer)) in model.layers.iter().zip(schedule.layers.iter()).enumerate() {
-            // When the spec's sequence length or dim changes between stages
-            // (hierarchical ViT), downsample tokens by truncation/projection.
-            tokens = resize_tokens(
-                &mut cs,
-                &tokens,
-                spec.seq_len,
-                spec.dim,
-                strategy,
-                z,
-                &cfg,
-                &mut rng,
-            );
-            let weights =
-                BlockWeights::random(spec.seq_len, spec.dim, spec.mlp_dim, &cfg, &mut rng);
-            let before = (cs.num_constraints(), cs.num_variables());
-            tokens = transformer_block(
-                &mut cs,
-                &tokens,
-                &weights,
-                *mixer,
-                spec.num_heads,
-                strategy,
-                z,
-                &cfg,
-                &softmax_cfg,
-            );
-            layers.push(LayerStats {
-                label: format!("block {idx} ({})", mixer.name()),
-                constraints: cs.num_constraints() - before.0,
-                variables: cs.num_variables() - before.1,
-            });
-        }
-
-        // Classifier: mean-pool tokens (linear), then a projection to
-        // `num_classes` logits.
-        let last = model.layers.last().expect("at least one layer");
-        let before = (cs.num_constraints(), cs.num_variables());
-        let mut pooled: LcMatrix = vec![Vec::with_capacity(last.dim)];
-        for c in 0..tokens[0].len() {
-            let mut acc = zkvc_r1cs::LinearCombination::zero();
-            for row in &tokens {
-                acc = acc + &row[c];
-            }
-            pooled[0].push(acc);
-        }
-        let w_head = Tensor::random(tokens[0].len(), model.num_classes, &cfg, &mut rng);
-        let w_head_lcs = alloc_tensor(&mut cs, &w_head);
-        let logits_lcs = linear(&mut cs, &pooled, &w_head_lcs, strategy, z, &cfg);
-        let logits: Vec<Fr> = logits_lcs[0].iter().map(|lc| cs.eval_lc(lc)).collect();
-        // Bind the inference result: each logit becomes a public instance
-        // variable constrained to equal the classifier output, so the proof
-        // commits to the concrete logits, not just the circuit shape.
-        let public_logits: Vec<zkvc_r1cs::LinearCombination<Fr>> = logits
-            .iter()
-            .map(|value| cs.alloc_instance(*value).into())
-            .collect();
-        zkvc_core::api::bind_public_outputs(&mut cs, &logits_lcs[0], &public_logits);
-        layers.push(LayerStats {
-            label: "classifier".to_string(),
-            constraints: cs.num_constraints() - before.0,
-            variables: cs.num_variables() - before.1,
-        });
-
+        let logits = statement
+            .emit(&mut cs, Some(&mut layers))
+            .expect("single pass carries values");
         ModelCircuit {
             cs,
             layers,
             logits,
-            name: format!("{} / {}", model.name, schedule.name),
+            name: statement.name.clone(),
+            statement,
         }
+    }
+
+    /// The lazy statement form of this circuit (same configuration, same
+    /// weight seed and challenge).
+    pub fn statement(&self) -> &ModelStatement {
+        &self.statement
     }
 
     /// Total constraints in the circuit.
@@ -188,12 +308,20 @@ impl ModelCircuit {
 }
 
 impl Circuit for ModelCircuit {
-    fn constraint_system(&self) -> &ConstraintSystem<Fr> {
-        &self.cs
+    fn synthesize(&self, sink: &mut dyn ConstraintSink<Fr>) {
+        self.statement.emit(sink, None);
     }
 
     fn name(&self) -> String {
         self.name.clone()
+    }
+
+    fn public_outputs(&self) -> Vec<Fr> {
+        self.logits.clone()
+    }
+
+    fn shape_digest(&self) -> [u8; 32] {
+        zkvc_core::api::circuit_shape_digest(&self.cs)
     }
 }
 
@@ -202,7 +330,7 @@ impl Circuit for ModelCircuit {
 /// changed with a verified linear projection.
 #[allow(clippy::too_many_arguments)]
 fn resize_tokens(
-    cs: &mut ConstraintSystem<Fr>,
+    sink: &mut dyn ConstraintSink<Fr>,
     tokens: &LcMatrix,
     target_seq: usize,
     target_dim: usize,
@@ -232,9 +360,11 @@ fn resize_tokens(
             .collect();
     }
     if target_dim != cur_dim {
-        let proj = Tensor::random(cur_dim, target_dim, cfg, rng);
-        let proj_lcs = alloc_tensor(cs, &proj);
-        out = linear(cs, &out, &proj_lcs, strategy, z, cfg);
+        let proj = sink
+            .wants_values()
+            .then(|| Tensor::random(cur_dim, target_dim, cfg, rng));
+        let proj_lcs = alloc_tensor_opt(sink, cur_dim, target_dim, proj.as_ref());
+        out = linear(sink, &out, &proj_lcs, strategy, z, cfg);
     }
     out
 }
@@ -243,6 +373,7 @@ fn resize_tokens(
 mod tests {
     use super::*;
     use crate::models::VitConfig;
+    use zkvc_core::api::{circuit_shape_digest, compile_shape, generate_witness_for};
     use zkvc_ff::Field;
 
     #[test]
@@ -261,6 +392,30 @@ mod tests {
             assert_eq!(circuit.logits.len(), 4);
             assert!(circuit.num_constraints() > 0);
         }
+    }
+
+    #[test]
+    fn statement_two_pass_matches_eager_build() {
+        // The lazy statement's shape pass (no weights generated) and
+        // witness pass must reproduce the eager build exactly: same digest,
+        // same matrices, same flat assignment, same logits.
+        let cfg = VitConfig::custom(2, 2, 8, 4, 4).to_model();
+        let schedule = MixerSchedule::zkvc_hybrid(2);
+        let z = Fr::from_u64(0xFEED_5EED);
+        let eager = ModelCircuit::build_seeded(&cfg, &schedule, Strategy::CrpcPsq, 9, z);
+        let statement = ModelStatement::new(cfg, schedule, Strategy::CrpcPsq, 9, z);
+
+        let shape = compile_shape(&statement);
+        assert_eq!(shape.digest, circuit_shape_digest(&eager.cs));
+        assert_eq!(shape.num_constraints(), eager.num_constraints());
+
+        let witness = generate_witness_for(&statement, &shape);
+        assert_eq!(witness.full(), eager.cs.full_assignment());
+        assert_eq!(witness.instance, eager.logits);
+        assert!(shape.is_satisfied(&witness));
+
+        // The eager circuit re-synthesises to the same shape too.
+        assert_eq!(compile_shape(&eager).digest, shape.digest);
     }
 
     #[test]
@@ -350,5 +505,8 @@ mod tests {
         );
         assert!(circuit.cs.is_satisfied());
         assert_eq!(circuit.logits.len(), 3);
+        // The hierarchical resize path is pass-oblivious too.
+        let shape = compile_shape(circuit.statement());
+        assert_eq!(shape.digest, circuit.shape_digest());
     }
 }

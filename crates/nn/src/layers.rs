@@ -1,10 +1,12 @@
 //! Circuit synthesis for Transformer building blocks.
 //!
 //! Every function takes a "token matrix" — `seq_len x dim` linear
-//! combinations inside a [`ConstraintSystem`] — and returns the transformed
+//! combinations inside a [`ConstraintSink`] — and returns the transformed
 //! token matrix, adding the constraints that verify the computation. Matrix
 //! multiplications go through the configurable zkVC strategy; non-linear
-//! functions use the gadgets from `zkvc-core`.
+//! functions use the gadgets from `zkvc-core`. Because everything is
+//! written against the sink trait, the whole block compiler runs on the
+//! witness-free shape pass as well as the witness and legacy passes.
 
 use zkvc_core::fixed::FixedPointConfig;
 use zkvc_core::matmul::{synthesize_matmul, Strategy};
@@ -12,7 +14,7 @@ use zkvc_core::nonlinear::{
     div_by_const_pow2, synthesize_gelu, synthesize_rsqrt, synthesize_softmax, SoftmaxConfig,
 };
 use zkvc_ff::{Field, Fr, PrimeField};
-use zkvc_r1cs::{ConstraintSystem, LinearCombination};
+use zkvc_r1cs::{ConstraintSink, LinearCombination, SinkExt};
 
 use crate::mixer::TokenMixer;
 use crate::tensor::Tensor;
@@ -21,11 +23,29 @@ use crate::tensor::Tensor;
 pub type LcMatrix = Vec<Vec<LinearCombination<Fr>>>;
 
 /// Allocates a quantised tensor as witness variables.
-pub fn alloc_tensor(cs: &mut ConstraintSystem<Fr>, t: &Tensor) -> LcMatrix {
-    (0..t.rows())
+pub fn alloc_tensor<S: ConstraintSink<Fr> + ?Sized>(cs: &mut S, t: &Tensor) -> LcMatrix {
+    alloc_tensor_opt(cs, t.rows(), t.cols(), Some(t))
+}
+
+/// Allocates a `rows x cols` witness tensor whose values come from `t` when
+/// present — the shape-pass form: passing `None` allocates the same
+/// variables with no values (and no tensor ever needs to be generated).
+pub fn alloc_tensor_opt<S: ConstraintSink<Fr> + ?Sized>(
+    cs: &mut S,
+    rows: usize,
+    cols: usize,
+    t: Option<&Tensor>,
+) -> LcMatrix {
+    if let Some(t) = t {
+        assert_eq!((t.rows(), t.cols()), (rows, cols), "tensor shape mismatch");
+    }
+    (0..rows)
         .map(|r| {
-            (0..t.cols())
-                .map(|c| cs.alloc_witness(Fr::from_i64(t.get(r, c))).into())
+            (0..cols)
+                .map(|c| {
+                    cs.alloc_witness_opt(t.map(|t| Fr::from_i64(t.get(r, c))))
+                        .into()
+                })
                 .collect()
         })
         .collect()
@@ -40,22 +60,22 @@ pub fn alloc_tensor(cs: &mut ConstraintSystem<Fr>, t: &Tensor) -> LcMatrix {
 /// # Panics
 /// Panics if dimensions mismatch or an intermediate value exceeds the
 /// configured fixed-point range.
-pub fn linear(
-    cs: &mut ConstraintSystem<Fr>,
+pub fn linear<S: ConstraintSink<Fr> + ?Sized>(
+    cs: &mut S,
     x: &LcMatrix,
     w: &LcMatrix,
     strategy: Strategy,
     z: Fr,
     cfg: &FixedPointConfig,
 ) -> LcMatrix {
-    let y = synthesize_matmul(cs, x, w, strategy, z);
+    let y = synthesize_matmul(&mut *cs, x, w, strategy, z);
     rescale_all(cs, &y, cfg)
 }
 
 /// Rescales every element of a matrix of double-scale values back to single
 /// scale.
-pub fn rescale_all(
-    cs: &mut ConstraintSystem<Fr>,
+pub fn rescale_all<S: ConstraintSink<Fr> + ?Sized>(
+    cs: &mut S,
     x: &LcMatrix,
     cfg: &FixedPointConfig,
 ) -> LcMatrix {
@@ -63,7 +83,7 @@ pub fn rescale_all(
         .map(|row| {
             row.iter()
                 .map(|v| {
-                    div_by_const_pow2(cs, v, cfg.fraction_bits, 2 * cfg.total_bits as usize)
+                    div_by_const_pow2(&mut *cs, v, cfg.fraction_bits, 2 * cfg.total_bits as usize)
                         .expect("fixed-point value out of range during rescale")
                         .into()
                 })
@@ -73,12 +93,16 @@ pub fn rescale_all(
 }
 
 /// Element-wise verified GELU.
-pub fn gelu_all(cs: &mut ConstraintSystem<Fr>, x: &LcMatrix, cfg: &FixedPointConfig) -> LcMatrix {
+pub fn gelu_all<S: ConstraintSink<Fr> + ?Sized>(
+    cs: &mut S,
+    x: &LcMatrix,
+    cfg: &FixedPointConfig,
+) -> LcMatrix {
     x.iter()
         .map(|row| {
             row.iter()
                 .map(|v| {
-                    synthesize_gelu(cs, v, cfg)
+                    synthesize_gelu(&mut *cs, v, cfg)
                         .expect("fixed-point value out of range in GELU")
                         .into()
                 })
@@ -88,10 +112,14 @@ pub fn gelu_all(cs: &mut ConstraintSystem<Fr>, x: &LcMatrix, cfg: &FixedPointCon
 }
 
 /// Row-wise verified SoftMax.
-pub fn softmax_rows(cs: &mut ConstraintSystem<Fr>, x: &LcMatrix, cfg: &SoftmaxConfig) -> LcMatrix {
+pub fn softmax_rows<S: ConstraintSink<Fr> + ?Sized>(
+    cs: &mut S,
+    x: &LcMatrix,
+    cfg: &SoftmaxConfig,
+) -> LcMatrix {
     x.iter()
         .map(|row| {
-            synthesize_softmax(cs, row, cfg)
+            synthesize_softmax(&mut *cs, row, cfg)
                 .expect("fixed-point value out of range in SoftMax")
                 .into_iter()
                 .map(LinearCombination::from)
@@ -103,8 +131,8 @@ pub fn softmax_rows(cs: &mut ConstraintSystem<Fr>, x: &LcMatrix, cfg: &SoftmaxCo
 /// Row-wise RMS normalisation (`x_i * rsqrt(mean(x^2))`), the
 /// LayerNorm-style stabiliser used between blocks. The reciprocal square
 /// root is verified with the gadget from `zkvc-core`.
-pub fn rmsnorm_rows(
-    cs: &mut ConstraintSystem<Fr>,
+pub fn rmsnorm_rows<S: ConstraintSink<Fr> + ?Sized>(
+    cs: &mut S,
     x: &LcMatrix,
     cfg: &FixedPointConfig,
 ) -> LcMatrix {
@@ -113,38 +141,45 @@ pub fn rmsnorm_rows(
         .map(|row| {
             // sum of squares (scale 2^{2f})
             let mut ss_lc = LinearCombination::zero();
-            let mut ss_val = Fr::zero();
             for v in row {
-                let val = cs.eval_lc(v);
-                let sq = cs.alloc_witness(val * val);
+                let sq_val = cs.lc_product(v, v);
+                let sq = cs.alloc_witness_opt(sq_val);
                 cs.enforce_named(v.clone(), v.clone(), sq.into(), "rmsnorm square");
                 ss_lc.push(sq, Fr::one());
-                ss_val += val * val;
             }
             // mean square, still at scale 2^{2f}: divide by d (witnessed with
             // a power-of-two division after multiplying by a constant would
             // lose exactness for non-power-of-two d, so fold 1/d into the
             // rsqrt input instead: rsqrt(ss) * sqrt(d) ~ handled by scaling
             // the output).
-            let _ = ss_val;
             // s = rsqrt(ss / 2^f)  (ss is at 2^{2f}; the gadget expects 2^f)
-            let ms = div_by_const_pow2(cs, &ss_lc, cfg.fraction_bits, 2 * cfg.total_bits as usize)
-                .expect("rmsnorm mean square out of range");
+            let ms = div_by_const_pow2(
+                &mut *cs,
+                &ss_lc,
+                cfg.fraction_bits,
+                2 * cfg.total_bits as usize,
+            )
+            .expect("rmsnorm mean square out of range");
             // epsilon of one quantisation unit keeps the rsqrt input positive
             let ms_eps = LinearCombination::from(ms) + LinearCombination::constant(Fr::one());
-            let s = synthesize_rsqrt(cs, &ms_eps, cfg).expect("rmsnorm rsqrt failed");
+            let s = synthesize_rsqrt(&mut *cs, &ms_eps, cfg).expect("rmsnorm rsqrt failed");
             // out_i = rescale(x_i * s * sqrt(d)); sqrt(d) is folded in as an
             // integer constant approximation.
             let sqrt_d = ((d as f64).sqrt().round() as i64).max(1);
             row.iter()
                 .map(|v| {
-                    let prod_val = cs.eval_lc(v) * cs.value(s);
-                    let prod = cs.alloc_witness(prod_val);
+                    let prod_val = cs.lc_value(v).and_then(|a| cs.var_value(s).map(|b| a * b));
+                    let prod = cs.alloc_witness_opt(prod_val);
                     cs.enforce_named(v.clone(), s.into(), prod.into(), "rmsnorm scale");
                     let scaled = LinearCombination::from(prod) * Fr::from_i64(sqrt_d);
-                    div_by_const_pow2(cs, &scaled, cfg.fraction_bits, 2 * cfg.total_bits as usize)
-                        .expect("rmsnorm output out of range")
-                        .into()
+                    div_by_const_pow2(
+                        &mut *cs,
+                        &scaled,
+                        cfg.fraction_bits,
+                        2 * cfg.total_bits as usize,
+                    )
+                    .expect("rmsnorm output out of range")
+                    .into()
                 })
                 .collect()
         })
@@ -211,8 +246,8 @@ impl BlockWeights {
 /// the constraint count is what Tables III/IV measure, so the head split is
 /// honoured even though it does not change the asymptotics.
 #[allow(clippy::too_many_arguments)]
-pub fn transformer_block(
-    cs: &mut ConstraintSystem<Fr>,
+pub fn transformer_block<S: ConstraintSink<Fr> + ?Sized>(
+    cs: &mut S,
     tokens: &LcMatrix,
     weights: &BlockWeights,
     mixer: TokenMixer,
@@ -222,16 +257,75 @@ pub fn transformer_block(
     cfg: &FixedPointConfig,
     softmax_cfg: &SoftmaxConfig,
 ) -> LcMatrix {
-    let wo = alloc_tensor(cs, &weights.wo);
+    transformer_block_opt(
+        cs,
+        tokens,
+        Some(weights),
+        BlockDims::of(tokens, weights),
+        mixer,
+        num_heads,
+        strategy,
+        z,
+        cfg,
+        softmax_cfg,
+    )
+}
+
+/// The `(seq, dim, mlp_dim)` dimensions of a block — all a shape pass needs.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BlockDims {
+    /// Sequence length (token count).
+    pub seq: usize,
+    /// Hidden dimension.
+    pub dim: usize,
+    /// MLP inner dimension.
+    pub mlp_dim: usize,
+}
+
+impl BlockDims {
+    fn of(tokens: &LcMatrix, weights: &BlockWeights) -> Self {
+        BlockDims {
+            seq: tokens.len(),
+            dim: tokens[0].len(),
+            mlp_dim: weights.w1.cols(),
+        }
+    }
+}
+
+/// [`transformer_block`] with the weights optional: on a witness-free shape
+/// pass no weight tensors exist (or need to be generated) and only the
+/// dimensions drive synthesis. The constraint structure is identical.
+///
+/// # Panics
+/// Panics if `weights` is `None` while the sink wants values.
+#[allow(clippy::too_many_arguments)]
+pub fn transformer_block_opt<S: ConstraintSink<Fr> + ?Sized>(
+    cs: &mut S,
+    tokens: &LcMatrix,
+    weights: Option<&BlockWeights>,
+    dims: BlockDims,
+    mixer: TokenMixer,
+    num_heads: usize,
+    strategy: Strategy,
+    z: Fr,
+    cfg: &FixedPointConfig,
+    softmax_cfg: &SoftmaxConfig,
+) -> LcMatrix {
+    assert!(
+        weights.is_some() || !cs.wants_values(),
+        "value-carrying passes need block weights"
+    );
+    let (seq, dim, mlp_dim) = (dims.seq, dims.dim, dims.mlp_dim);
+    let wo = alloc_tensor_opt(&mut *cs, dim, dim, weights.map(|w| &w.wo));
 
     let mixed = match mixer {
         TokenMixer::SoftmaxAttention => {
-            let wq = alloc_tensor(cs, &weights.wq);
-            let wk = alloc_tensor(cs, &weights.wk);
-            let wv = alloc_tensor(cs, &weights.wv);
-            let q = linear(cs, tokens, &wq, strategy, z, cfg);
-            let k = linear(cs, tokens, &wk, strategy, z, cfg);
-            let v = linear(cs, tokens, &wv, strategy, z, cfg);
+            let wq = alloc_tensor_opt(&mut *cs, dim, dim, weights.map(|w| &w.wq));
+            let wk = alloc_tensor_opt(&mut *cs, dim, dim, weights.map(|w| &w.wk));
+            let wv = alloc_tensor_opt(&mut *cs, dim, dim, weights.map(|w| &w.wv));
+            let q = linear(&mut *cs, tokens, &wq, strategy, z, cfg);
+            let k = linear(&mut *cs, tokens, &wk, strategy, z, cfg);
+            let v = linear(&mut *cs, tokens, &wv, strategy, z, cfg);
             let mut head_outputs: Vec<LcMatrix> = Vec::with_capacity(num_heads);
             let dim = q[0].len();
             let head_dim = (dim / num_heads).max(1);
@@ -243,35 +337,34 @@ pub fn transformer_block(
                 let vh = slice_cols(&v, lo, hi);
                 // scores = Q_h * K_h^T  (seq x seq), rescaled
                 let kt = transpose_lcs(&kh);
-                let scores = linear(cs, &qh, &kt, strategy, z, cfg);
+                let scores = linear(&mut *cs, &qh, &kt, strategy, z, cfg);
                 // attention weights via verified SoftMax
-                let attn = softmax_rows(cs, &scores, softmax_cfg);
+                let attn = softmax_rows(&mut *cs, &scores, softmax_cfg);
                 // context = attn * V_h
-                let ctx = linear(cs, &attn, &vh, strategy, z, cfg);
+                let ctx = linear(&mut *cs, &attn, &vh, strategy, z, cfg);
                 head_outputs.push(ctx);
             }
             let concat = concat_cols(&head_outputs);
-            linear(cs, &concat, &wo, strategy, z, cfg)
+            linear(&mut *cs, &concat, &wo, strategy, z, cfg)
         }
         TokenMixer::ScalingAttention => {
-            let wq = alloc_tensor(cs, &weights.wq);
-            let wk = alloc_tensor(cs, &weights.wk);
-            let wv = alloc_tensor(cs, &weights.wv);
-            let q = linear(cs, tokens, &wq, strategy, z, cfg);
-            let k = linear(cs, tokens, &wk, strategy, z, cfg);
-            let v = linear(cs, tokens, &wv, strategy, z, cfg);
+            let wq = alloc_tensor_opt(&mut *cs, dim, dim, weights.map(|w| &w.wq));
+            let wk = alloc_tensor_opt(&mut *cs, dim, dim, weights.map(|w| &w.wk));
+            let wv = alloc_tensor_opt(&mut *cs, dim, dim, weights.map(|w| &w.wv));
+            let q = linear(&mut *cs, tokens, &wq, strategy, z, cfg);
+            let k = linear(&mut *cs, tokens, &wk, strategy, z, cfg);
+            let v = linear(&mut *cs, tokens, &wv, strategy, z, cfg);
             // ctx = K^T * V  (dim x dim), out = Q * ctx — linear complexity
             // in the sequence length, no SoftMax.
             let kt = transpose_lcs(&k);
-            let ctx = linear(cs, &kt, &v, strategy, z, cfg);
-            let out = linear(cs, &q, &ctx, strategy, z, cfg);
-            linear(cs, &out, &wo, strategy, z, cfg)
+            let ctx = linear(&mut *cs, &kt, &v, strategy, z, cfg);
+            let out = linear(&mut *cs, &q, &ctx, strategy, z, cfg);
+            linear(&mut *cs, &out, &wo, strategy, z, cfg)
         }
         TokenMixer::Pooling => {
             // Average pooling over tokens (the 1/seq factor is folded into
             // the following projection weights): every token becomes the
             // column sum, then the output projection is applied.
-            let seq = tokens.len();
             let dim = tokens[0].len();
             let mut pooled_row: Vec<LinearCombination<Fr>> = Vec::with_capacity(dim);
             for c in 0..dim {
@@ -282,26 +375,26 @@ pub fn transformer_block(
                 pooled_row.push(acc);
             }
             let pooled: LcMatrix = vec![pooled_row; seq];
-            linear(cs, &pooled, &wo, strategy, z, cfg)
+            linear(&mut *cs, &pooled, &wo, strategy, z, cfg)
         }
         TokenMixer::LinearMixing => {
             // tokens' = Wt * tokens (mix over the token axis), then project.
-            let wt = alloc_tensor(cs, &weights.wt);
-            let mixed = linear(cs, &wt, tokens, strategy, z, cfg);
-            linear(cs, &mixed, &wo, strategy, z, cfg)
+            let wt = alloc_tensor_opt(&mut *cs, seq, seq, weights.map(|w| &w.wt));
+            let mixed = linear(&mut *cs, &wt, tokens, strategy, z, cfg);
+            linear(&mut *cs, &mixed, &wo, strategy, z, cfg)
         }
     };
 
     // residual + norm
     let res1 = add_matrices(tokens, &mixed);
-    let normed = rmsnorm_rows(cs, &res1, cfg);
+    let normed = rmsnorm_rows(&mut *cs, &res1, cfg);
 
     // MLP: linear -> GELU -> linear, with residual
-    let w1 = alloc_tensor(cs, &weights.w1);
-    let w2 = alloc_tensor(cs, &weights.w2);
-    let h = linear(cs, &normed, &w1, strategy, z, cfg);
-    let h = gelu_all(cs, &h, cfg);
-    let h = linear(cs, &h, &w2, strategy, z, cfg);
+    let w1 = alloc_tensor_opt(&mut *cs, dim, mlp_dim, weights.map(|w| &w.w1));
+    let w2 = alloc_tensor_opt(&mut *cs, mlp_dim, dim, weights.map(|w| &w.w2));
+    let h = linear(&mut *cs, &normed, &w1, strategy, z, cfg);
+    let h = gelu_all(&mut *cs, &h, cfg);
+    let h = linear(&mut *cs, &h, &w2, strategy, z, cfg);
     add_matrices(&normed, &h)
 }
 
@@ -329,6 +422,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use zkvc_r1cs::ConstraintSystem;
 
     fn setup() -> (
         ConstraintSystem<Fr>,
@@ -399,6 +493,59 @@ mod tests {
             assert_eq!(out.len(), seq, "{mixer:?}");
             assert_eq!(out[0].len(), dim, "{mixer:?}");
             assert!(cs.is_satisfied(), "{mixer:?}");
+        }
+    }
+
+    #[test]
+    fn block_shape_pass_matches_single_pass() {
+        // The witness-free pass (no weight tensors at all) must produce the
+        // same structure as the single pass, for every mixer.
+        use zkvc_r1cs::{shape_digest, ShapeBuilder};
+        let cfg = FixedPointConfig::default();
+        let softmax_cfg = SoftmaxConfig::default();
+        let (seq, dim, mlp) = (3usize, 4usize, 8usize);
+        for mixer in [
+            TokenMixer::SoftmaxAttention,
+            TokenMixer::ScalingAttention,
+            TokenMixer::Pooling,
+            TokenMixer::LinearMixing,
+        ] {
+            let mut rng = StdRng::seed_from_u64(21);
+            let mut cs = ConstraintSystem::<Fr>::new();
+            let tokens_t = Tensor::random(seq, dim, &cfg, &mut rng);
+            let tokens = alloc_tensor(&mut cs, &tokens_t);
+            let weights = BlockWeights::random(seq, dim, mlp, &cfg, &mut rng);
+            transformer_block(
+                &mut cs,
+                &tokens,
+                &weights,
+                mixer,
+                2,
+                Strategy::CrpcPsq,
+                Fr::from_u64(65537),
+                &cfg,
+                &softmax_cfg,
+            );
+
+            let mut sb = ShapeBuilder::<Fr>::new();
+            let tokens_shape = alloc_tensor_opt(&mut sb, seq, dim, None);
+            transformer_block_opt(
+                &mut sb,
+                &tokens_shape,
+                None,
+                BlockDims {
+                    seq,
+                    dim,
+                    mlp_dim: mlp,
+                },
+                mixer,
+                2,
+                Strategy::CrpcPsq,
+                Fr::from_u64(65537),
+                &cfg,
+                &softmax_cfg,
+            );
+            assert_eq!(sb.finish().digest, shape_digest(&cs), "{mixer:?}");
         }
     }
 

@@ -36,7 +36,7 @@ pub mod mixer;
 pub mod models;
 pub mod tensor;
 
-pub use circuit::{LayerStats, ModelCircuit};
+pub use circuit::{LayerStats, ModelCircuit, ModelStatement};
 pub use mixer::{MixerSchedule, TokenMixer};
 pub use models::{BertConfig, ModelConfig, VitConfig};
 pub use tensor::Tensor;

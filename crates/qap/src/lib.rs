@@ -68,21 +68,18 @@ pub fn evaluate_qap_at_point<F: PrimeField>(
     let mut b = vec![F::zero(); num_vars];
     let mut c = vec![F::zero(); num_vars];
 
-    for (j, row) in matrices.a.rows.iter().enumerate() {
-        for (col, coeff) in row {
-            a[*col] += lagrange[j] * *coeff;
+    // One flat pass per CSR matrix: entry k of row j contributes
+    // `lagrange[j] * coeff` to its variable's column accumulator.
+    let accumulate = |matrix: &zkvc_r1cs::SparseMatrix<F>, out: &mut [F]| {
+        for (j, lj) in lagrange.iter().copied().enumerate().take(matrix.num_rows) {
+            for (col, coeff) in matrix.row(j) {
+                out[col] += lj * *coeff;
+            }
         }
-    }
-    for (j, row) in matrices.b.rows.iter().enumerate() {
-        for (col, coeff) in row {
-            b[*col] += lagrange[j] * *coeff;
-        }
-    }
-    for (j, row) in matrices.c.rows.iter().enumerate() {
-        for (col, coeff) in row {
-            c[*col] += lagrange[j] * *coeff;
-        }
-    }
+    };
+    accumulate(&matrices.a, &mut a);
+    accumulate(&matrices.b, &mut b);
+    accumulate(&matrices.c, &mut c);
 
     QapEvaluations {
         a,
@@ -272,10 +269,10 @@ mod tests {
         // pick a few columns and check directly
         for col in 0..m.num_variables() {
             let mut expect = Fr::zero();
-            for (j, row) in m.a.rows.iter().enumerate() {
-                for (c, v) in row {
-                    if *c == col {
-                        expect += lag[j] * *v;
+            for (j, lj) in lag.iter().enumerate().take(m.a.num_rows) {
+                for (c, v) in m.a.row(j) {
+                    if c == col {
+                        expect += *lj * *v;
                     }
                 }
             }

@@ -1,19 +1,23 @@
 //! Arithmetic helper gadgets: multiplication, inversion, zero / equality
 //! tests, conditional selection and product-of-many-terms.
+//!
+//! Every gadget is written against [`ConstraintSink`], so the same code
+//! drives the legacy single pass, the witness-free shape pass and the
+//! witness pass (values are computed only when the sink carries them).
 
 use zkvc_ff::Field;
 
-use crate::cs::ConstraintSystem;
 use crate::lc::{LinearCombination, Variable};
+use crate::sink::{ConstraintSink, SinkExt};
 
 /// Allocates `a * b` as a new witness and enforces the product constraint.
-pub fn mul<F: Field>(
-    cs: &mut ConstraintSystem<F>,
+pub fn mul<F: Field, S: ConstraintSink<F> + ?Sized>(
+    cs: &mut S,
     a: &LinearCombination<F>,
     b: &LinearCombination<F>,
 ) -> Variable {
-    let val = cs.eval_lc(a) * cs.eval_lc(b);
-    let out = cs.alloc_witness(val);
+    let val = cs.lc_product(a, b);
+    let out = cs.alloc_witness_opt(val);
     cs.enforce_named(a.clone(), b.clone(), out.into(), "mul");
     out
 }
@@ -23,9 +27,14 @@ pub fn mul<F: Field>(
 /// If the assigned value is zero the inverse witness is set to zero and the
 /// resulting system is unsatisfiable — callers that allow zero should use
 /// [`is_zero`] first.
-pub fn inverse<F: Field>(cs: &mut ConstraintSystem<F>, a: &LinearCombination<F>) -> Variable {
-    let val = cs.eval_lc(a);
-    let inv = cs.alloc_witness(val.inverse().unwrap_or_else(F::zero));
+pub fn inverse<F: Field, S: ConstraintSink<F> + ?Sized>(
+    cs: &mut S,
+    a: &LinearCombination<F>,
+) -> Variable {
+    let inv_val = cs
+        .lc_value(a)
+        .map(|val| val.inverse().unwrap_or_else(F::zero));
+    let inv = cs.alloc_witness_opt(inv_val);
     cs.enforce_named(
         a.clone(),
         inv.into(),
@@ -39,11 +48,13 @@ pub fn inverse<F: Field>(cs: &mut ConstraintSystem<F>, a: &LinearCombination<F>)
 ///
 /// Uses the classic trick: allocate `inv`, enforce `a * inv = 1 - b` and
 /// `a * b = 0`.
-pub fn is_zero<F: Field>(cs: &mut ConstraintSystem<F>, a: &LinearCombination<F>) -> Variable {
-    let val = cs.eval_lc(a);
-    let b_val = val.is_zero();
-    let b = cs.alloc_witness(if b_val { F::one() } else { F::zero() });
-    let inv = cs.alloc_witness(val.inverse().unwrap_or_else(F::zero));
+pub fn is_zero<F: Field, S: ConstraintSink<F> + ?Sized>(
+    cs: &mut S,
+    a: &LinearCombination<F>,
+) -> Variable {
+    let val = cs.lc_value(a);
+    let b = cs.alloc_witness_opt(val.map(|v| if v.is_zero() { F::one() } else { F::zero() }));
+    let inv = cs.alloc_witness_opt(val.map(|v| v.inverse().unwrap_or_else(F::zero)));
     // a * inv = 1 - b
     cs.enforce_named(
         a.clone(),
@@ -62,8 +73,8 @@ pub fn is_zero<F: Field>(cs: &mut ConstraintSystem<F>, a: &LinearCombination<F>)
 }
 
 /// Returns a boolean variable that is 1 iff `a == b`.
-pub fn is_equal<F: Field>(
-    cs: &mut ConstraintSystem<F>,
+pub fn is_equal<F: Field, S: ConstraintSink<F> + ?Sized>(
+    cs: &mut S,
     a: &LinearCombination<F>,
     b: &LinearCombination<F>,
 ) -> Variable {
@@ -73,19 +84,20 @@ pub fn is_equal<F: Field>(
 /// Returns `cond ? x : y` as a new witness, where `cond` must already be
 /// constrained boolean. Adds a single constraint
 /// `cond * (x - y) = out - y`.
-pub fn select<F: Field>(
-    cs: &mut ConstraintSystem<F>,
+pub fn select<F: Field, S: ConstraintSink<F> + ?Sized>(
+    cs: &mut S,
     cond: Variable,
     x: &LinearCombination<F>,
     y: &LinearCombination<F>,
 ) -> Variable {
-    let c = cs.value(cond);
-    let out_val = if c == F::one() {
-        cs.eval_lc(x)
-    } else {
-        cs.eval_lc(y)
-    };
-    let out = cs.alloc_witness(out_val);
+    let out_val = cs.var_value(cond).map(|c| {
+        if c == F::one() {
+            cs.lc_value(x).expect("sink carries values")
+        } else {
+            cs.lc_value(y).expect("sink carries values")
+        }
+    });
+    let out = cs.alloc_witness_opt(out_val);
     cs.enforce_named(
         cond.into(),
         x.clone() - y,
@@ -100,8 +112,8 @@ pub fn select<F: Field>(
 /// `x_max ∈ x`: `prod_j (x_max - x_j) = 0`.
 ///
 /// Uses a chain of `terms.len() - 1` multiplication constraints.
-pub fn enforce_product_is_zero<F: Field>(
-    cs: &mut ConstraintSystem<F>,
+pub fn enforce_product_is_zero<F: Field, S: ConstraintSink<F> + ?Sized>(
+    cs: &mut S,
     terms: &[LinearCombination<F>],
 ) {
     if terms.is_empty() {
@@ -111,9 +123,7 @@ pub fn enforce_product_is_zero<F: Field>(
         cs.enforce_zero(terms[0].clone());
         return;
     }
-    // acc_1 = t0 * t1; acc_i = acc_{i-1} * t_i; last product must be 0.
-    let mut acc_val = cs.eval_lc(&terms[0]) * cs.eval_lc(&terms[1]);
-    let mut acc: LinearCombination<F> = if terms.len() == 2 {
+    if terms.len() == 2 {
         // directly enforce t0 * t1 = 0
         cs.enforce_named(
             terms[0].clone(),
@@ -122,18 +132,19 @@ pub fn enforce_product_is_zero<F: Field>(
             "product_zero",
         );
         return;
-    } else {
-        let v = cs.alloc_witness(acc_val);
-        cs.enforce_named(
-            terms[0].clone(),
-            terms[1].clone(),
-            v.into(),
-            "product_zero step",
-        );
-        v.into()
-    };
+    }
+    // acc_1 = t0 * t1; acc_i = acc_{i-1} * t_i; last product must be 0.
+    let mut acc_val = cs.lc_product(&terms[0], &terms[1]);
+    let v = cs.alloc_witness_opt(acc_val);
+    cs.enforce_named(
+        terms[0].clone(),
+        terms[1].clone(),
+        v.into(),
+        "product_zero step",
+    );
+    let mut acc: LinearCombination<F> = v.into();
     for (i, t) in terms.iter().enumerate().skip(2) {
-        acc_val *= cs.eval_lc(t);
+        acc_val = acc_val.and_then(|a| cs.lc_value(t).map(|tv| a * tv));
         if i + 1 == terms.len() {
             cs.enforce_named(
                 acc,
@@ -143,7 +154,7 @@ pub fn enforce_product_is_zero<F: Field>(
             );
             return;
         }
-        let v = cs.alloc_witness(acc_val);
+        let v = cs.alloc_witness_opt(acc_val);
         cs.enforce_named(acc, t.clone(), v.into(), "product_zero step");
         acc = v.into();
     }
@@ -152,6 +163,7 @@ pub fn enforce_product_is_zero<F: Field>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cs::ConstraintSystem;
     use zkvc_ff::{Fr, PrimeField};
 
     #[test]
@@ -274,8 +286,50 @@ mod tests {
         assert!(cs.is_satisfied());
         // empty list is a no-op
         let mut cs = ConstraintSystem::<Fr>::new();
-        enforce_product_is_zero::<Fr>(&mut cs, &[]);
+        enforce_product_is_zero::<Fr, _>(&mut cs, &[]);
         assert!(cs.is_satisfied());
         assert_eq!(cs.num_constraints(), 0);
+    }
+
+    #[test]
+    fn gadgets_are_pass_oblivious() {
+        // The same gadget calls produce the same structure on a shape pass
+        // (no values) as on the single pass, and the witness pass matches.
+        use crate::sink::{shape_digest, ShapeBuilder, WitnessFiller};
+
+        fn emit(sink: &mut dyn ConstraintSink<Fr>) {
+            let a = sink.alloc_witness_lazy(|| Fr::from_u64(6));
+            let b = sink.alloc_witness_lazy(|| Fr::from_u64(7));
+            let p = mul(sink, &a.into(), &b.into());
+            inverse(sink, &b.into());
+            let z = is_zero(
+                sink,
+                &(LinearCombination::from(p) - LinearCombination::from(p)),
+            );
+            select(sink, z, &a.into(), &b.into());
+            enforce_product_is_zero(
+                sink,
+                &[
+                    LinearCombination::from(a),
+                    LinearCombination::from(a) - LinearCombination::from(a),
+                    LinearCombination::from(b),
+                ],
+            );
+        }
+
+        let mut cs = ConstraintSystem::<Fr>::new();
+        emit(&mut cs);
+        assert!(cs.is_satisfied());
+
+        let mut sb = ShapeBuilder::<Fr>::new();
+        emit(&mut sb);
+        let shape = sb.finish();
+        assert_eq!(shape.digest, shape_digest(&cs));
+
+        let mut wf = WitnessFiller::<Fr>::new();
+        emit(&mut wf);
+        let w = wf.finish_for(&shape);
+        assert_eq!(w.full(), cs.full_assignment());
+        assert!(shape.is_satisfied(&w));
     }
 }

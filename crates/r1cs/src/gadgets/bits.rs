@@ -2,19 +2,20 @@
 
 use zkvc_ff::{Field, PrimeField};
 
-use crate::cs::{ConstraintSystem, SynthesisError};
+use crate::cs::SynthesisError;
 use crate::lc::{LinearCombination, Variable};
+use crate::sink::ConstraintSink;
 
 /// Allocates a witness bit with value `bit` and constrains it to be boolean
 /// (`b * (1 - b) = 0`).
-pub fn alloc_bit<F: PrimeField>(cs: &mut ConstraintSystem<F>, bit: bool) -> Variable {
-    let v = cs.alloc_witness(if bit { F::one() } else { F::zero() });
+pub fn alloc_bit<F: PrimeField, S: ConstraintSink<F> + ?Sized>(cs: &mut S, bit: bool) -> Variable {
+    let v = cs.alloc_witness_opt(Some(if bit { F::one() } else { F::zero() }));
     enforce_boolean(cs, v);
     v
 }
 
 /// Constrains an existing variable to be 0 or 1.
-pub fn enforce_boolean<F: Field>(cs: &mut ConstraintSystem<F>, v: Variable) {
+pub fn enforce_boolean<F: Field, S: ConstraintSink<F> + ?Sized>(cs: &mut S, v: Variable) {
     cs.enforce_named(
         v.into(),
         LinearCombination::constant(F::one()) - LinearCombination::from(v),
@@ -27,25 +28,41 @@ pub fn enforce_boolean<F: Field>(cs: &mut ConstraintSystem<F>, v: Variable) {
 /// into `num_bits` boolean witness variables, least-significant first, and
 /// enforces that the bits recompose to `value`.
 ///
+/// On a witness-free shape pass the range check is skipped (there is no
+/// value to check) and the bits are allocated unassigned; the constraint
+/// structure is identical either way.
+///
 /// # Errors
 /// Returns [`SynthesisError::ValueOutOfRange`] if the assigned value does not
 /// fit in `num_bits` bits (the constraint system would be unsatisfiable).
-pub fn bit_decompose<F: PrimeField>(
-    cs: &mut ConstraintSystem<F>,
+pub fn bit_decompose<F: PrimeField, S: ConstraintSink<F> + ?Sized>(
+    cs: &mut S,
     value: &LinearCombination<F>,
     num_bits: usize,
 ) -> Result<Vec<Variable>, SynthesisError> {
-    let val = cs.eval_lc(value);
-    let canonical = val.to_canonical();
-    if num_bits < 256 && zkvc_ff::arith::num_bits_4(&canonical) as usize > num_bits {
-        return Err(SynthesisError::ValueOutOfRange("bit_decompose"));
-    }
+    let canonical = match cs.lc_value(value) {
+        Some(val) => {
+            let canonical = val.to_canonical();
+            if num_bits < 256 && zkvc_ff::arith::num_bits_4(&canonical) as usize > num_bits {
+                return Err(SynthesisError::ValueOutOfRange("bit_decompose"));
+            }
+            Some(canonical)
+        }
+        None => None,
+    };
     let mut bits = Vec::with_capacity(num_bits);
     let mut packing = LinearCombination::zero();
     let mut coeff = F::one();
     for i in 0..num_bits {
-        let bit_val = (canonical[i / 64] >> (i % 64)) & 1 == 1;
-        let b = alloc_bit(cs, bit_val);
+        let bit_val = canonical.map(|c| {
+            if (c[i / 64] >> (i % 64)) & 1 == 1 {
+                F::one()
+            } else {
+                F::zero()
+            }
+        });
+        let b = cs.alloc_witness_opt(bit_val);
+        enforce_boolean(cs, b);
         packing.push(b, coeff);
         coeff = coeff.double();
         bits.push(b);
@@ -75,6 +92,7 @@ pub fn pack_bits<F: PrimeField>(bits: &[Variable]) -> LinearCombination<F> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cs::ConstraintSystem;
     use zkvc_ff::Fr;
 
     #[test]
@@ -125,6 +143,19 @@ mod tests {
         let x = cs.alloc_witness(Fr::from_u64(5));
         bit_decompose(&mut cs, &x.into(), 16).unwrap();
         assert_eq!(cs.num_constraints(), 17);
+    }
+
+    #[test]
+    fn decompose_on_shape_pass_skips_range_check() {
+        use crate::sink::ShapeBuilder;
+        let mut sb = ShapeBuilder::<Fr>::new();
+        let x = sb.alloc_witness_opt(None);
+        // No value, no range failure — just structure.
+        let bits = bit_decompose(&mut sb, &x.into(), 8).unwrap();
+        assert_eq!(bits.len(), 8);
+        let shape = sb.finish();
+        assert_eq!(shape.num_constraints(), 9);
+        assert_eq!(shape.num_witness(), 9);
     }
 
     #[test]

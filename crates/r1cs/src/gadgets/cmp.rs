@@ -7,8 +7,9 @@
 
 use zkvc_ff::PrimeField;
 
-use crate::cs::{ConstraintSystem, SynthesisError};
+use crate::cs::SynthesisError;
 use crate::lc::{LinearCombination, Variable};
+use crate::sink::ConstraintSink;
 
 use super::{bit_decompose, enforce_product_is_zero};
 
@@ -25,8 +26,8 @@ pub const BIT_WIDTH_DEFAULT: usize = 32;
 /// # Errors
 /// Propagates [`SynthesisError::ValueOutOfRange`] if the operands exceed the
 /// stated magnitude bound.
-pub fn greater_equal<F: PrimeField>(
-    cs: &mut ConstraintSystem<F>,
+pub fn greater_equal<F: PrimeField, S: ConstraintSink<F> + ?Sized>(
+    cs: &mut S,
     a: &LinearCombination<F>,
     b: &LinearCombination<F>,
     num_bits: usize,
@@ -39,15 +40,15 @@ pub fn greater_equal<F: PrimeField>(
 
 /// Returns a boolean variable equal to 1 iff the signed value `x` (with
 /// magnitude `< 2^(num_bits - 1)`) is negative.
-pub fn is_negative_fixed<F: PrimeField>(
-    cs: &mut ConstraintSystem<F>,
+pub fn is_negative_fixed<F: PrimeField, S: ConstraintSink<F> + ?Sized>(
+    cs: &mut S,
     x: &LinearCombination<F>,
     num_bits: usize,
 ) -> Result<Variable, SynthesisError> {
     let ge_zero = greater_equal(cs, x, &LinearCombination::zero(), num_bits)?;
     // neg = 1 - ge_zero, constrained by neg + ge_zero = 1 (both boolean).
-    let neg_val = F::one() - cs.value(ge_zero);
-    let neg = cs.alloc_witness(neg_val);
+    let neg_val = cs.var_value(ge_zero).map(|v| F::one() - v);
+    let neg = cs.alloc_witness_opt(neg_val);
     cs.enforce_named(
         LinearCombination::from(neg) + LinearCombination::from(ge_zero),
         LinearCombination::constant(F::one()),
@@ -68,8 +69,8 @@ pub fn is_negative_fixed<F: PrimeField>(
 ///
 /// # Panics
 /// Panics if `values` is empty.
-pub fn max_of<F: PrimeField>(
-    cs: &mut ConstraintSystem<F>,
+pub fn max_of<F: PrimeField, S: ConstraintSink<F> + ?Sized>(
+    cs: &mut S,
     values: &[LinearCombination<F>],
     num_bits: usize,
 ) -> Result<Variable, SynthesisError> {
@@ -82,22 +83,23 @@ pub fn max_of<F: PrimeField>(
         // negative values (p - |v|) wrap below positives
         (v + half).to_canonical()
     };
-    let max_val = values
-        .iter()
-        .map(|lc| cs.eval_lc(lc))
-        .max_by(|a, b| {
-            let ka = to_signed_key(*a);
-            let kb = to_signed_key(*b);
-            if ka == kb {
-                core::cmp::Ordering::Equal
-            } else if zkvc_ff::arith::lt_4(&ka, &kb) {
-                core::cmp::Ordering::Less
-            } else {
-                core::cmp::Ordering::Greater
-            }
-        })
-        .expect("non-empty");
-    let max_var = cs.alloc_witness(max_val);
+    let assigned: Option<Vec<F>> = values.iter().map(|lc| cs.lc_value(lc)).collect();
+    let max_val = assigned.map(|vals| {
+        vals.into_iter()
+            .max_by(|a, b| {
+                let ka = to_signed_key(*a);
+                let kb = to_signed_key(*b);
+                if ka == kb {
+                    core::cmp::Ordering::Equal
+                } else if zkvc_ff::arith::lt_4(&ka, &kb) {
+                    core::cmp::Ordering::Less
+                } else {
+                    core::cmp::Ordering::Greater
+                }
+            })
+            .expect("non-empty")
+    });
+    let max_var = cs.alloc_witness_opt(max_val);
 
     // (1) max >= x_j for all j
     for v in values {
@@ -121,6 +123,7 @@ pub fn max_of<F: PrimeField>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cs::ConstraintSystem;
     use zkvc_ff::{Field, Fr};
 
     fn lc_of(cs: &mut ConstraintSystem<Fr>, v: i64) -> LinearCombination<Fr> {
@@ -193,6 +196,39 @@ mod tests {
             assert!(cs.is_satisfied(), "vals={vals:?}");
             assert_eq!(cs.value(m), Fr::from_i64(expect), "vals={vals:?}");
         }
+    }
+
+    #[test]
+    fn comparisons_are_pass_oblivious() {
+        use crate::sink::{shape_digest, ShapeBuilder, WitnessFiller};
+
+        fn emit(sink: &mut dyn ConstraintSink<Fr>) -> Result<(), SynthesisError> {
+            let vals = [3i64, -2, 7];
+            let lcs: Vec<LinearCombination<Fr>> = vals
+                .iter()
+                .map(|v| {
+                    LinearCombination::from(
+                        sink.alloc_witness_opt(sink.wants_values().then(|| Fr::from_i64(*v))),
+                    )
+                })
+                .collect();
+            max_of(sink, &lcs, 16)?;
+            is_negative_fixed(sink, &lcs[1], 16)?;
+            Ok(())
+        }
+
+        let mut cs = ConstraintSystem::<Fr>::new();
+        emit(&mut cs).unwrap();
+        assert!(cs.is_satisfied());
+
+        let mut sb = ShapeBuilder::<Fr>::new();
+        emit(&mut sb).unwrap();
+        let shape = sb.finish();
+        assert_eq!(shape.digest, shape_digest(&cs));
+
+        let mut wf = WitnessFiller::<Fr>::new();
+        emit(&mut wf).unwrap();
+        assert!(shape.is_satisfied(&wf.finish_for(&shape)));
     }
 
     #[test]

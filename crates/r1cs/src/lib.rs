@@ -34,9 +34,14 @@
 mod cs;
 mod lc;
 mod matrices;
+mod sink;
 
 pub mod gadgets;
 
 pub use cs::{ConstraintSystem, SynthesisError};
 pub use lc::{LinearCombination, Variable};
 pub use matrices::{R1csMatrices, SparseMatrix};
+pub use sink::{
+    replay, shape_digest, CompiledShape, ConstraintSink, ShapeBuilder, SinkExt, WitnessAssignment,
+    WitnessFiller,
+};

@@ -1,58 +1,134 @@
-//! Sparse matrix form of an R1CS instance.
+//! Sparse matrix form of an R1CS instance, in flat CSR layout.
 //!
 //! Both the QAP reduction (Groth16 path) and the Spartan-style sum-check
 //! SNARK consume the constraint system as three sparse matrices `A`, `B`,
-//! `C` with `Az ∘ Bz = Cz`.
+//! `C` with `Az ∘ Bz = Cz`. The matrices are stored in compressed sparse
+//! row form — one `row_ptr` offset table over flat `col_idx`/`vals`
+//! streams — so the prover's matrix-vector products and the verifier's
+//! multilinear evaluations run over contiguous memory with no per-row
+//! `Vec` indirection, and a compiled shape can be cached beside proving
+//! keys as three flat buffers.
 
 use zkvc_ff::Field;
 
 use crate::cs::ConstraintSystem;
 
-/// A sparse matrix in row-major coordinate form.
+/// A sparse matrix in compressed sparse row (CSR) form: entry `k` of row
+/// `i` lives at the flat index `row_ptr[i] + k`, with its column in
+/// `col_idx` and its coefficient in `vals`. Rows are normalised: column
+/// indices are strictly increasing within a row and no explicit zero
+/// coefficients are stored.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct SparseMatrix<F: Field> {
     /// Number of rows (constraints).
     pub num_rows: usize,
     /// Number of columns (variables, including the constant-one column 0).
     pub num_cols: usize,
-    /// Rows: each row is a list of `(column, coefficient)` entries.
-    pub rows: Vec<Vec<(usize, F)>>,
+    /// Row offsets into `col_idx`/`vals`; `row_ptr.len() == num_rows + 1`.
+    pub row_ptr: Vec<usize>,
+    /// Column index of every non-zero entry, row-major.
+    pub col_idx: Vec<usize>,
+    /// Coefficient of every non-zero entry, row-major.
+    pub vals: Vec<F>,
 }
 
 impl<F: Field> SparseMatrix<F> {
-    /// Multiplies the matrix by a dense vector.
+    /// An empty matrix with reserved capacity for `nnz` entries.
+    pub fn with_capacity(num_rows: usize, num_cols: usize, nnz: usize) -> Self {
+        let mut row_ptr = Vec::with_capacity(num_rows + 1);
+        row_ptr.push(0);
+        SparseMatrix {
+            num_rows: 0,
+            num_cols,
+            row_ptr,
+            col_idx: Vec::with_capacity(nnz),
+            vals: Vec::with_capacity(nnz),
+        }
+    }
+
+    /// Appends a row from `(column, coefficient)` entries, normalising in
+    /// place: entries are sorted by column, duplicate columns are summed,
+    /// and zero coefficients dropped. The scratch buffer is consumed (and
+    /// may be reused by the caller across rows).
+    pub fn push_row_normalizing(&mut self, entries: &mut [(usize, F)]) {
+        entries.sort_unstable_by_key(|(col, _)| *col);
+        let mut i = 0;
+        while i < entries.len() {
+            let col = entries[i].0;
+            let mut coeff = entries[i].1;
+            i += 1;
+            while i < entries.len() && entries[i].0 == col {
+                coeff += entries[i].1;
+                i += 1;
+            }
+            if !coeff.is_zero() {
+                self.col_idx.push(col);
+                self.vals.push(coeff);
+            }
+        }
+        self.num_rows += 1;
+        self.row_ptr.push(self.col_idx.len());
+    }
+
+    /// The `(column, coefficient)` entries of row `i`.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, &F)> + '_ {
+        let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
+        self.col_idx[lo..hi].iter().copied().zip(&self.vals[lo..hi])
+    }
+
+    /// Multiplies the matrix by a dense vector, writing one output per row
+    /// with no intermediate allocation beyond the result vector. Explicit
+    /// zero coefficients (possible only in hand-built matrices — the CSR
+    /// builders drop them) are skipped.
     ///
     /// # Panics
     /// Panics if `z.len() != self.num_cols`.
     pub fn mul_vector(&self, z: &[F]) -> Vec<F> {
         assert_eq!(z.len(), self.num_cols, "assignment length mismatch");
-        self.rows
-            .iter()
-            .map(|row| row.iter().map(|(j, v)| z[*j] * *v).sum())
-            .collect()
+        let mut out = Vec::with_capacity(self.num_rows);
+        for i in 0..self.num_rows {
+            let mut acc = F::zero();
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let v = self.vals[k];
+                if v.is_zero() {
+                    continue;
+                }
+                acc += z[self.col_idx[k]] * v;
+            }
+            out.push(acc);
+        }
+        out
     }
 
-    /// Total number of non-zero entries.
+    /// Total number of stored entries.
     pub fn num_nonzero(&self) -> usize {
-        self.rows.iter().map(Vec::len).sum()
+        self.vals.len()
     }
 
     /// Evaluates the multilinear extension of the matrix (viewed as a
     /// function `{0,1}^log(rows) x {0,1}^log(cols) -> F`) at `(rx, ry)`.
     ///
     /// Used by the Spartan-style verifier, which evaluates the public
-    /// matrices itself instead of relying on a sparse commitment.
+    /// matrices itself instead of relying on a sparse commitment. Runs one
+    /// flat pass over the CSR streams: rows whose `eq(rx, ·)` weight is
+    /// zero are skipped whole, as are explicit zero coefficients.
     pub fn evaluate_mle(&self, rx: &[F], ry: &[F]) -> F {
         let chi_rx = zkvc_ff::poly::eq_evals(rx);
         let chi_ry = zkvc_ff::poly::eq_evals(ry);
         let mut acc = F::zero();
-        for (i, row) in self.rows.iter().enumerate() {
-            if chi_rx[i].is_zero() {
+        for (i, weight) in chi_rx.iter().copied().enumerate().take(self.num_rows) {
+            if weight.is_zero() {
                 continue;
             }
-            for (j, v) in row {
-                acc += chi_rx[i] * chi_ry[*j] * *v;
+            let mut row_acc = F::zero();
+            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let v = self.vals[k];
+                if v.is_zero() {
+                    continue;
+                }
+                row_acc += chi_ry[self.col_idx[k]] * v;
             }
+            acc += weight * row_acc;
         }
         acc
     }
@@ -78,19 +154,15 @@ impl<F: Field> R1csMatrices<F> {
     pub fn from_constraint_system(cs: &ConstraintSystem<F>) -> Self {
         let num_cols = cs.num_variables();
         let (a_lcs, b_lcs, c_lcs) = cs.constraints();
-        let build = |lcs: &[crate::lc::LinearCombination<F>]| SparseMatrix {
-            num_rows: lcs.len(),
-            num_cols,
-            rows: lcs
-                .iter()
-                .map(|lc| {
-                    lc.normalize()
-                        .terms
-                        .iter()
-                        .map(|(v, c)| (cs.variable_index(*v), *c))
-                        .collect()
-                })
-                .collect(),
+        let build = |lcs: &[crate::lc::LinearCombination<F>]| {
+            let mut sm = SparseMatrix::with_capacity(lcs.len(), num_cols, lcs.len());
+            let mut scratch: Vec<(usize, F)> = Vec::new();
+            for lc in lcs {
+                scratch.clear();
+                scratch.extend(lc.terms.iter().map(|(v, c)| (cs.variable_index(*v), *c)));
+                sm.push_row_normalizing(&mut scratch);
+            }
+            sm
         };
         R1csMatrices {
             a: build(a_lcs),
@@ -153,6 +225,11 @@ mod tests {
         assert_eq!(m.b.num_nonzero(), 1);
         assert_eq!(m.c.num_nonzero(), 1);
         assert!(m.is_satisfied(&cs.full_assignment()));
+        // CSR layout: row 0 of A holds columns 1 (x) and 2 (y), sorted.
+        assert_eq!(m.a.row_ptr, vec![0, 2]);
+        assert_eq!(m.a.col_idx, vec![1, 2]);
+        let row: Vec<(usize, Fr)> = m.a.row(0).map(|(c, v)| (c, *v)).collect();
+        assert_eq!(row, vec![(1, Fr::one()), (2, Fr::one())]);
     }
 
     #[test]
@@ -162,6 +239,26 @@ mod tests {
         let mut z = cs.full_assignment();
         z[3] = Fr::from_u64(16); // wrong product
         assert!(!m.is_satisfied(&z));
+    }
+
+    #[test]
+    fn rows_normalise_duplicates_and_zeros() {
+        let mut sm = SparseMatrix::<Fr>::with_capacity(2, 4, 4);
+        // x + x - 2x cancels; y survives; an explicit zero is dropped.
+        let mut row = vec![
+            (2, Fr::from_u64(1)),
+            (1, Fr::from_u64(1)),
+            (1, Fr::from_u64(1)),
+            (3, Fr::zero()),
+            (1, -Fr::from_u64(2)),
+        ];
+        sm.push_row_normalizing(&mut row);
+        assert_eq!(sm.num_nonzero(), 1);
+        assert_eq!(sm.col_idx, vec![2]);
+        let mut empty = Vec::new();
+        sm.push_row_normalizing(&mut empty);
+        assert_eq!(sm.num_rows, 2);
+        assert_eq!(sm.row_ptr, vec![0, 1, 1]);
     }
 
     #[test]
@@ -176,8 +273,8 @@ mod tests {
                 Fr::from_u64((j & 1) as u64),
                 Fr::from_u64(((j >> 1) & 1) as u64),
             ];
-            let direct = a.rows[0]
-                .iter()
+            let direct = a
+                .row(0)
                 .find(|(col, _)| *col == j)
                 .map(|(_, v)| *v)
                 .unwrap_or_else(Fr::zero);

@@ -325,6 +325,8 @@ fn cmd_prove(args: &[String]) -> Result<(), Error> {
         .ok_or_else(|| Error::Usage("prove requires --out FILE".into()))?;
 
     let statement = build_statement(seed, 0, &spec);
+    // The shape pass is witness-free: setup (and the digest the disk cache
+    // keys on) never materialises statement values.
     let cache = KeyCache::with_seed(seed);
     let (keys, _) = cache.get_or_setup_circuit(spec.backend(), statement.as_ref());
     // Seed the disk cache so a later `zkvc verify` starts warm.
@@ -337,10 +339,13 @@ fn cmd_prove(args: &[String]) -> Result<(), Error> {
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let t0 = Instant::now();
+    // Witness pass against the cached shape, then the assignment-level
+    // prover — the same split hot path the pool runs.
+    let witness = zkvc_core::api::generate_witness_for(statement.as_ref(), &keys.shape);
     let artifacts = spec
         .backend()
         .system()
-        .prove(&keys.prover, statement.as_ref(), &mut rng);
+        .prove_assignment(&keys.prover, &witness, &mut rng);
     let bytes = ProofEnvelope::from_artifacts(&artifacts).to_bytes();
     std::fs::write(out_path, &bytes).map_err(|e| Error::io(out_path, e))?;
     println!(

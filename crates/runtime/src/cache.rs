@@ -1,12 +1,25 @@
-//! The key cache: one `setup` per circuit shape, shared by every job.
+//! The key cache: one shape compile + one `setup` per circuit shape,
+//! shared by every job.
 //!
-//! [`KeyCache`] maps a [`circuit_shape_digest`](crate::circuit_shape_digest)
-//! (plus backend) to the [`ProverKey`]/[`VerifierKey`] pair produced by
-//! [`Backend::setup`]. Lookups are lock-light: a short-held map mutex hands
-//! out a per-entry [`OnceLock`], so concurrent workers proving different
-//! shapes never serialise each other's setups, and concurrent workers
-//! racing on the *same* new shape run setup exactly once (the losers block
-//! on the `OnceLock` and reuse the winner's keys).
+//! [`KeyCache`] maps a circuit-shape digest (plus backend and setup seed)
+//! to the [`CircuitKeys`] produced by
+//! [`ProofSystem::setup_shape`](zkvc_core::ProofSystem::setup_shape) — and,
+//! since the compile-once / prove-many split, the [`CompiledShape`] itself
+//! (CSR matrices) is stored beside the keys, so anything that needs the
+//! structure later (witness-pass validation, Spartan re-preprocessing, the
+//! CLI) reads it from the cache instead of re-synthesising.
+//!
+//! Lookups are lock-light: a short-held map mutex hands out a per-entry
+//! [`OnceLock`], so concurrent workers proving different shapes never
+//! serialise each other's setups, and concurrent workers racing on the
+//! *same* new shape run setup exactly once (the losers block on the
+//! `OnceLock` and reuse the winner's keys).
+//!
+//! On top of the digest-keyed map sits a **template index**: a caller-chosen
+//! string key (the pool uses the job spec) that memoises the digest lookup
+//! *and* the shape compile. The first job of a template runs the
+//! witness-free shape pass once; every later job on the warm template skips
+//! constraint synthesis entirely and goes straight to its witness pass.
 //!
 //! Setup randomness is derived deterministically from the shape digest and
 //! a setup seed, so a batch re-run with the same seed reproduces
@@ -28,17 +41,18 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use zkvc_core::api::{Circuit, RawCircuit};
+use zkvc_core::api::{compile_shape, Circuit, RawCircuit};
 use zkvc_core::{Backend, ProverKey, VerifierKey};
 use zkvc_ff::Fr;
-use zkvc_r1cs::ConstraintSystem;
+use zkvc_r1cs::{CompiledShape, ConstraintSystem};
 
-/// The cached product of one [`Backend::setup`] run for one circuit shape.
+/// The cached product of one shape compile + setup run for one circuit
+/// shape.
 #[derive(Debug)]
 pub struct CircuitKeys {
     /// Backend the keys belong to.
@@ -47,6 +61,10 @@ pub struct CircuitKeys {
     pub digest: [u8; 32],
     /// Setup seed the key material was derived under.
     pub setup_seed: u64,
+    /// The compiled circuit shape (CSR matrices) the keys were generated
+    /// for — cached beside the keys so warm jobs validate their witness
+    /// pass against it without any re-synthesis.
+    pub shape: Arc<CompiledShape<Fr>>,
     /// Prover-side key material.
     pub prover: ProverKey,
     /// Verifier-side key material.
@@ -81,11 +99,15 @@ impl CacheStats {
 }
 
 type CacheKey = ([u8; 32], Backend, u64);
+type TemplateKey = (String, Backend, u64);
+type Cell = Arc<OnceLock<Arc<CircuitKeys>>>;
 
-/// A concurrent, shape-keyed cache of proving/verifying keys.
+/// A concurrent, shape-keyed cache of compiled shapes and proving/verifying
+/// keys, with a template index for synthesis-free warm lookups.
 #[derive(Debug, Default)]
 pub struct KeyCache {
-    entries: Mutex<HashMap<CacheKey, std::sync::Arc<OnceLock<std::sync::Arc<CircuitKeys>>>>>,
+    entries: Mutex<HashMap<CacheKey, Cell>>,
+    templates: Mutex<HashMap<TemplateKey, Cell>>,
     hits: AtomicU64,
     misses: AtomicU64,
     seed: u64,
@@ -105,45 +127,72 @@ impl KeyCache {
         }
     }
 
-    /// Returns the keys for the shape of `cs`, running the backend's
-    /// [`ProofSystem::setup`](zkvc_core::ProofSystem::setup) at most once
-    /// per shape. The boolean is `true` when the entry already existed (a
-    /// cache hit).
+    /// Returns the keys for the shape of `cs`, compiling the shape and
+    /// running the backend's
+    /// [`ProofSystem::setup_shape`](zkvc_core::ProofSystem::setup_shape) at
+    /// most once per shape. The boolean is `true` when the entry already
+    /// existed (a cache hit).
     pub fn get_or_setup(
         &self,
         backend: Backend,
         cs: &ConstraintSystem<Fr>,
-    ) -> (std::sync::Arc<CircuitKeys>, bool) {
+    ) -> (Arc<CircuitKeys>, bool) {
         self.get_or_setup_circuit(backend, &RawCircuit::new(cs))
     }
 
-    /// Trait-object entry point: any [`Circuit`] — a matmul job, a whole
-    /// model forward pass — is cached under its [`Circuit::shape_digest`]
-    /// and the cache's own default setup seed.
+    /// Trait-object entry point: any [`Circuit`] — a matmul statement, a
+    /// whole model forward pass — is cached under its compiled shape's
+    /// digest and the cache's own default setup seed. The shape pass is
+    /// witness-free; no witness value is materialised on this path.
     pub fn get_or_setup_circuit(
         &self,
         backend: Backend,
         circuit: &dyn Circuit,
-    ) -> (std::sync::Arc<CircuitKeys>, bool) {
+    ) -> (Arc<CircuitKeys>, bool) {
         self.get_or_setup_circuit_seeded(backend, circuit, self.seed)
     }
 
-    /// Seed-explicit entry point used by the proving pool: the entry is
-    /// keyed by `(digest, backend, seed)`, so jobs carrying different
-    /// seeds (resident `zkvc serve` requests) get independent — and
-    /// independently reproducible — key material, while same-seed jobs
-    /// still share one setup.
+    /// Seed-explicit entry point: the entry is keyed by
+    /// `(digest, backend, seed)`, so jobs carrying different seeds
+    /// (resident `zkvc serve` requests) get independent — and independently
+    /// reproducible — key material, while same-seed jobs still share one
+    /// setup.
+    ///
+    /// Warm lookups cost one [`Circuit::shape_digest`] — O(hash) for
+    /// circuits holding a prebuilt constraint system, one witness-free
+    /// shape pass for lazy statements — and never lower a shape to CSR;
+    /// only the first (miss) call compiles. Pool jobs that know their spec
+    /// should prefer [`KeyCache::get_or_setup_template`], whose warm path
+    /// skips even the digest.
     pub fn get_or_setup_circuit_seeded(
         &self,
         backend: Backend,
         circuit: &dyn Circuit,
         seed: u64,
-    ) -> (std::sync::Arc<CircuitKeys>, bool) {
+    ) -> (Arc<CircuitKeys>, bool) {
         let digest = circuit.shape_digest();
+        if let Some(keys) = self.get(&digest, backend, seed) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (keys, true);
+        }
+        let (keys, hit) = self.get_or_setup_shape(backend, Arc::new(compile_shape(circuit)), seed);
+        debug_assert_eq!(keys.digest, digest, "shape digest mismatch across passes");
+        (keys, hit)
+    }
+
+    /// Shape-level entry point: caches a pre-compiled shape under its
+    /// digest, running setup at most once.
+    pub fn get_or_setup_shape(
+        &self,
+        backend: Backend,
+        shape: Arc<CompiledShape<Fr>>,
+        seed: u64,
+    ) -> (Arc<CircuitKeys>, bool) {
+        let digest = shape.digest;
         let cell = {
             let mut map = self.entries.lock().expect("key cache poisoned");
             map.entry((digest, backend, seed))
-                .or_insert_with(|| std::sync::Arc::new(OnceLock::new()))
+                .or_insert_with(|| Arc::new(OnceLock::new()))
                 .clone()
         };
 
@@ -151,17 +200,7 @@ impl KeyCache {
         let keys = cell
             .get_or_init(|| {
                 ran_setup = true;
-                let mut rng = StdRng::seed_from_u64(setup_seed(&digest, backend, seed));
-                let t0 = Instant::now();
-                let (prover, verifier) = backend.system().setup(circuit, &mut rng);
-                std::sync::Arc::new(CircuitKeys {
-                    backend,
-                    digest,
-                    setup_seed: seed,
-                    prover,
-                    verifier,
-                    setup_time: t0.elapsed(),
-                })
+                Arc::new(Self::run_setup(backend, shape, seed))
             })
             .clone();
 
@@ -173,16 +212,72 @@ impl KeyCache {
         (keys, !ran_setup)
     }
 
+    /// Template-indexed entry point — the pool's warm path. `template` is
+    /// any string that, together with `(backend, seed)`, uniquely
+    /// determines the circuit shape (the pool uses the job spec; every
+    /// job of one spec shares a shape by construction).
+    ///
+    /// On a template hit, **no synthesis of any kind runs**: the circuit
+    /// is untouched and the cached keys (with their compiled shape) come
+    /// straight back. On a template miss, the circuit's shape is compiled
+    /// once — witness-free — and deduplicated against the digest-keyed
+    /// map, so two different templates with identical structure still
+    /// share one setup.
+    pub fn get_or_setup_template(
+        &self,
+        backend: Backend,
+        seed: u64,
+        template: &str,
+        circuit: &dyn Circuit,
+    ) -> (Arc<CircuitKeys>, bool) {
+        let cell = {
+            let mut map = self.templates.lock().expect("key cache poisoned");
+            map.entry((template.to_string(), backend, seed))
+                .or_insert_with(|| Arc::new(OnceLock::new()))
+                .clone()
+        };
+        let mut compiled = false;
+        let mut inner_hit = false;
+        let keys = cell
+            .get_or_init(|| {
+                compiled = true;
+                let (keys, hit) =
+                    self.get_or_setup_shape(backend, Arc::new(compile_shape(circuit)), seed);
+                inner_hit = hit;
+                keys
+            })
+            .clone();
+        if compiled {
+            (keys, inner_hit)
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            (keys, true)
+        }
+    }
+
+    /// Compiles nothing and proves nothing: the one place setup actually
+    /// runs, deterministically seeded from the digest + backend + seed.
+    fn run_setup(backend: Backend, shape: Arc<CompiledShape<Fr>>, seed: u64) -> CircuitKeys {
+        let digest = shape.digest;
+        let mut rng = StdRng::seed_from_u64(setup_seed(&digest, backend, seed));
+        let t0 = Instant::now();
+        let (prover, verifier) = backend.system().setup_shape(&shape, &mut rng);
+        CircuitKeys {
+            backend,
+            digest,
+            setup_seed: seed,
+            shape,
+            prover,
+            verifier,
+            setup_time: t0.elapsed(),
+        }
+    }
+
     /// Fetches an existing entry without running setup (`None` when the
     /// entry is absent or its setup is still in flight on another
     /// thread). `zkvc serve` uses this to stream a shape's verification
     /// key the moment its first job completes.
-    pub fn get(
-        &self,
-        digest: &[u8; 32],
-        backend: Backend,
-        seed: u64,
-    ) -> Option<std::sync::Arc<CircuitKeys>> {
+    pub fn get(&self, digest: &[u8; 32], backend: Backend, seed: u64) -> Option<Arc<CircuitKeys>> {
         self.entries
             .lock()
             .expect("key cache poisoned")
@@ -193,7 +288,7 @@ impl KeyCache {
     /// A snapshot of every fully-initialised cache entry (entries whose
     /// setup is still in flight on another thread are skipped). Used by the
     /// pool to assemble the once-per-batch key table.
-    pub fn entries(&self) -> Vec<std::sync::Arc<CircuitKeys>> {
+    pub fn entries(&self) -> Vec<Arc<CircuitKeys>> {
         self.entries
             .lock()
             .expect("key cache poisoned")
@@ -202,7 +297,8 @@ impl KeyCache {
             .collect()
     }
 
-    /// Counters and current size.
+    /// Counters and current size (distinct shapes; template aliases do not
+    /// count).
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -211,9 +307,10 @@ impl KeyCache {
         }
     }
 
-    /// Drops every cached entry (counters are kept).
+    /// Drops every cached entry and template alias (counters are kept).
     pub fn clear(&self) {
         self.entries.lock().expect("key cache poisoned").clear();
+        self.templates.lock().expect("key cache poisoned").clear();
     }
 }
 
@@ -251,7 +348,7 @@ mod tests {
         let (k2, hit2) = cache.get_or_setup(Backend::Spartan, &matmul_cs(2, 3));
         assert!(!hit1 && hit2);
         assert_eq!(k1.digest, k2.digest);
-        assert!(std::sync::Arc::ptr_eq(&k1, &k2));
+        assert!(Arc::ptr_eq(&k1, &k2));
 
         // Different shape and different backend each get their own entry.
         let (_k3, hit3) = cache.get_or_setup(Backend::Spartan, &matmul_cs(3, 4));
@@ -284,8 +381,19 @@ mod tests {
     }
 
     #[test]
+    fn cached_shape_matches_circuit() {
+        let cache = KeyCache::new();
+        let cs = matmul_cs(12, 3);
+        let (keys, _) = cache.get_or_setup(Backend::Groth16, &cs);
+        assert_eq!(keys.shape.digest, keys.digest);
+        assert_eq!(keys.shape.num_constraints(), cs.num_constraints());
+        assert_eq!(keys.shape.num_instance(), cs.num_instance());
+        assert!(keys.shape.matrices.is_satisfied(&cs.full_assignment()));
+    }
+
+    #[test]
     fn concurrent_lookups_run_setup_once() {
-        let cache = std::sync::Arc::new(KeyCache::new());
+        let cache = Arc::new(KeyCache::new());
         let mut handles = Vec::new();
         for i in 0..8 {
             let cache = cache.clone();
@@ -298,9 +406,57 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.misses, 1, "exactly one setup for one shape");
         assert_eq!(stats.hits, 7);
-        assert!(keys
-            .windows(2)
-            .all(|w| std::sync::Arc::ptr_eq(&w[0], &w[1])));
+        assert!(keys.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
+    }
+
+    #[test]
+    fn template_index_skips_synthesis_on_warm_shapes() {
+        // A circuit that counts how many times it is synthesised: the
+        // template path must compile it exactly once no matter how many
+        // jobs arrive.
+        use std::sync::atomic::AtomicUsize;
+        use zkvc_core::api::Circuit;
+        use zkvc_r1cs::{ConstraintSink, SinkExt};
+
+        struct Counting<'a> {
+            syntheses: &'a AtomicUsize,
+        }
+        impl Circuit for Counting<'_> {
+            fn synthesize(&self, sink: &mut dyn ConstraintSink<zkvc_ff::Fr>) {
+                self.syntheses.fetch_add(1, Ordering::Relaxed);
+                use zkvc_ff::PrimeField;
+                let out = sink.alloc_instance_lazy(|| Fr::from_u64(49));
+                let w = sink.alloc_witness_lazy(|| Fr::from_u64(7));
+                sink.enforce(w.into(), w.into(), out.into());
+            }
+        }
+
+        let syntheses = AtomicUsize::new(0);
+        let cache = KeyCache::new();
+        let circuit = Counting {
+            syntheses: &syntheses,
+        };
+        let (k1, hit1) =
+            cache.get_or_setup_template(Backend::Spartan, 0, "square:spartan", &circuit);
+        assert!(!hit1);
+        assert_eq!(syntheses.load(Ordering::Relaxed), 1);
+        for _ in 0..5 {
+            let (k, hit) =
+                cache.get_or_setup_template(Backend::Spartan, 0, "square:spartan", &circuit);
+            assert!(hit);
+            assert!(Arc::ptr_eq(&k, &k1));
+        }
+        // Warm lookups ran the circuit zero additional times.
+        assert_eq!(syntheses.load(Ordering::Relaxed), 1);
+
+        // A second template with the same structure compiles once more but
+        // reuses the digest-level entry (no second setup).
+        let (k2, hit2) = cache.get_or_setup_template(Backend::Spartan, 0, "square-alias", &circuit);
+        assert!(hit2, "digest-level dedup is a hit");
+        assert!(Arc::ptr_eq(&k2, &k1));
+        assert_eq!(syntheses.load(Ordering::Relaxed), 2);
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(cache.stats().misses, 1);
     }
 
     #[test]
@@ -317,7 +473,7 @@ mod tests {
         let (k2, hit2) = cache.get_or_setup_circuit_seeded(Backend::Spartan, &circuit, 1);
         let (k3, hit3) = cache.get_or_setup_circuit_seeded(Backend::Spartan, &circuit, 2);
         assert!(!hit1 && hit2 && !hit3);
-        assert!(std::sync::Arc::ptr_eq(&k1, &k2));
+        assert!(Arc::ptr_eq(&k1, &k2));
         assert_eq!(k1.setup_seed, 1);
         assert_eq!(k3.setup_seed, 2);
         assert_eq!(cache.stats().entries, 2);

@@ -32,11 +32,12 @@ use core::fmt;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use zkvc_core::api::Circuit;
+use zkvc_core::api::{compile_shape, generate_witness_for, Circuit};
 use zkvc_core::matmul::{MatMulBuilder, ZSource};
 use zkvc_core::VerifierKey;
+use zkvc_ff::Fr;
 use zkvc_hash::{sha256, Transcript};
-use zkvc_nn::circuit::ModelCircuit;
+use zkvc_nn::circuit::ModelStatement;
 
 use crate::cache::{CacheStats, KeyCache};
 use crate::sched::{Priority, Scheduler, SchedulerPolicy};
@@ -670,12 +671,15 @@ fn fixed_z(seed: u64, spec: &JobSpec) -> zkvc_ff::Fr {
     t.challenge_field(b"z")
 }
 
-/// Builds the deterministic statement for `(seed, id, spec)` as a
-/// [`Circuit`] trait object: matmul inputs (or model weights) drawn from
-/// the seeded per-job rng, and — for CRPC strategies — the shape-level
-/// fixed folding challenge. This is exactly the statement the pool proves
-/// for job `id`, so external tools (the `zkvc` CLI's `verify` subcommand)
-/// can reconstruct the circuit a proof refers to, including its expected
+/// Builds the deterministic statement for `(seed, id, spec)` as a *lazy*
+/// [`Circuit`] trait object: matmul inputs (or a model statement's
+/// configuration) are derived from the seeded per-job rng, and — for CRPC
+/// strategies — the shape-level fixed folding challenge. **No constraint
+/// synthesis happens here**: the returned circuit drives the two-pass
+/// pipeline on demand (shape pass for setup/digests, witness pass for
+/// proving). This is exactly the statement the pool proves for job `id`,
+/// so external tools (the `zkvc` CLI's `verify` subcommand) can
+/// reconstruct the circuit a proof refers to, including its expected
 /// public outputs.
 pub fn build_statement(seed: u64, id: usize, spec: &JobSpec) -> Box<dyn Circuit> {
     let input_seed = seed ^ (id as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
@@ -693,7 +697,7 @@ pub fn build_statement(seed: u64, id: usize, spec: &JobSpec) -> Box<dyn Circuit>
             if strategy.uses_crpc() {
                 builder = builder.z_source(ZSource::Fixed(fixed_z(seed, spec)));
             }
-            Box::new(builder.build_random(&mut rng))
+            Box::new(builder.build_circuit_random(&mut rng))
         }
         JobSpec::Model {
             preset, strategy, ..
@@ -702,31 +706,26 @@ pub fn build_statement(seed: u64, id: usize, spec: &JobSpec) -> Box<dyn Circuit>
             // The challenge is shape-level (shared across ids) while the
             // weights are per-id, so a batch of model jobs shares one
             // circuit shape and therefore one cache entry.
-            let circuit = ModelCircuit::build_seeded(
-                &model,
-                &schedule,
-                *strategy,
-                input_seed,
-                fixed_z(seed, spec),
-            );
+            let circuit =
+                ModelStatement::new(model, schedule, *strategy, input_seed, fixed_z(seed, spec));
             Box::new(circuit)
         }
     }
 }
 
-/// The pool's acceptance predicate for a proof that claims to prove
-/// `statement`: the envelope must decode, its public inputs must be
-/// exactly the statement's expected public outputs (statement binding — a
-/// replayed same-shape proof for a different `Y` dies here; trivially
-/// satisfied for circuits with no public outputs), and the proof must pass
-/// the supplied cryptographic check.
-fn envelope_verifies_for_statement(
+/// The pool's acceptance predicate for a proof that claims to prove a
+/// statement with the given expected public outputs: the envelope must
+/// decode, its public inputs must be exactly those outputs (statement
+/// binding — a replayed same-shape proof for a different `Y` dies here;
+/// trivially satisfied for circuits with no public outputs), and the proof
+/// must pass the supplied cryptographic check.
+fn envelope_verifies(
     bytes: &[u8],
-    statement: &dyn Circuit,
+    expected_publics: &[Fr],
     verify: impl FnOnce(&ProofEnvelope) -> bool,
 ) -> bool {
     match ProofEnvelope::from_bytes(bytes) {
-        Some(envelope) => envelope.public_inputs == statement.public_outputs() && verify(&envelope),
+        Some(envelope) => envelope.public_inputs == expected_publics && verify(&envelope),
         None => false,
     }
 }
@@ -808,23 +807,37 @@ fn run_job(
 ) -> JobResult {
     let t0 = Instant::now();
     let statement = build_statement(job.seed, job.statement_id, &job.spec);
-    let build_time = t0.elapsed();
+    let statement_time = t0.elapsed();
 
     // Cooperative checkpoint: a cancellation that lands mid-build skips
     // the (much more expensive) setup + prove work.
     if is_cancelled() {
-        return aborted_result(job, worker, queue_wait, build_time, JobError::Cancelled);
+        return aborted_result(job, worker, queue_wait, statement_time, JobError::Cancelled);
     }
 
+    // Shape + keys: on a warm template no synthesis of any kind runs —
+    // the compiled CSR shape and key material come straight from the
+    // cache, keyed by the job spec. The first job of a spec pays one
+    // witness-free shape pass plus the setup.
     let system = job.spec.backend().system();
-    let (keys, cache_hit) =
-        cache.get_or_setup_circuit_seeded(job.spec.backend(), statement.as_ref(), job.seed);
+    let (keys, cache_hit) = cache.get_or_setup_template(
+        job.spec.backend(),
+        job.seed,
+        &job.spec.to_string(),
+        statement.as_ref(),
+    );
+
+    // Witness pass: the only per-job synthesis work — a flat assignment,
+    // validated against the cached shape.
+    let t1 = Instant::now();
+    let witness = generate_witness_for(statement.as_ref(), &keys.shape);
+    let build_time = statement_time + t1.elapsed();
 
     let mut prover_rng = StdRng::seed_from_u64(
         job.seed ^ (job.statement_id as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
     );
     let t1 = Instant::now();
-    let artifacts = system.prove(&keys.prover, statement.as_ref(), &mut prover_rng);
+    let artifacts = system.prove_assignment(&keys.prover, &witness, &mut prover_rng);
     let prove_time = t1.elapsed();
     let num_constraints = artifacts.metrics.num_constraints;
 
@@ -832,12 +845,13 @@ fn run_job(
     // would. Pool envelopes are keyless: the Groth16 vk ships once per
     // batch in the report's key table, not once per proof. Verification
     // checks statement binding first: the envelope's public inputs must be
-    // exactly the statement's expected public outputs.
+    // exactly the statement's expected public outputs (the witness pass's
+    // instance values).
     let proof_bytes = ProofEnvelope::from_artifacts(&artifacts)
         .without_vk()
         .to_bytes();
     let t2 = Instant::now();
-    let verified = envelope_verifies_for_statement(&proof_bytes, statement.as_ref(), |envelope| {
+    let verified = envelope_verifies(&proof_bytes, &witness.instance, |envelope| {
         envelope.verify_with_key(&keys.verifier)
     });
     let verify_time = t2.elapsed();
@@ -903,11 +917,13 @@ pub fn prove_batch_serial(specs: &[JobSpec], seed: u64) -> BatchReport {
             .system()
             .prove_oneshot(statement.as_ref(), &mut rng);
         let proof_bytes = ProofEnvelope::from_artifacts(&artifacts).to_bytes();
+        // The naive baseline re-compiles the shape even to verify — that
+        // per-job re-synthesis is exactly what the split pipeline removes.
+        let shape = compile_shape(statement.as_ref());
         let t2 = Instant::now();
-        let verified =
-            envelope_verifies_for_statement(&proof_bytes, statement.as_ref(), |envelope| {
-                envelope.verify_cs(statement.constraint_system())
-            });
+        let verified = envelope_verifies(&proof_bytes, &artifacts.public_inputs, |envelope| {
+            envelope.verify_with_shape(&shape)
+        });
         let verify_time = t2.elapsed();
         results.push(JobResult {
             id,
@@ -917,7 +933,7 @@ pub fn prove_batch_serial(specs: &[JobSpec], seed: u64) -> BatchReport {
             verified,
             error: None,
             cache_hit: false,
-            shape_digest: statement.shape_digest(),
+            shape_digest: shape.digest,
             worker: 0,
             tag: None,
             queue_wait: Duration::ZERO,
@@ -1064,21 +1080,19 @@ mod tests {
         let system = spec.backend().system();
         let artifacts = system.prove(&keys.prover, s0.as_ref(), &mut rng);
         let bytes = ProofEnvelope::from_artifacts(&artifacts).to_bytes();
+        let p0 = s0.public_outputs();
+        let p1 = s1.public_outputs();
 
         // Honest: accepted for the statement it proves...
-        assert!(envelope_verifies_for_statement(&bytes, s0.as_ref(), |e| e
-            .verify_with_key(&keys.verifier)));
-        assert!(envelope_verifies_for_statement(&bytes, s0.as_ref(), |e| e
-            .verify_cs(s0.constraint_system())));
+        assert!(envelope_verifies(&bytes, &p0, |e| e.verify_with_key(&keys.verifier)));
+        assert!(envelope_verifies(&bytes, &p0, |e| e.verify_with_shape(&keys.shape)));
         // ...replayed: rejected for job 1's statement, even though the
         // cryptographic check alone would accept it (same shape and keys).
         assert!(ProofEnvelope::from_bytes(&bytes)
             .unwrap()
             .verify_with_key(&keys.verifier));
-        assert!(!envelope_verifies_for_statement(&bytes, s1.as_ref(), |e| e
-            .verify_with_key(&keys.verifier)));
-        assert!(!envelope_verifies_for_statement(&bytes, s1.as_ref(), |e| e
-            .verify_cs(s1.constraint_system())));
+        assert!(!envelope_verifies(&bytes, &p1, |e| e.verify_with_key(&keys.verifier)));
+        assert!(!envelope_verifies(&bytes, &p1, |e| e.verify_with_shape(&keys.shape)));
     }
 
     #[test]
@@ -1151,10 +1165,11 @@ mod tests {
         assert_eq!(report.cache.misses, 1);
         // And the proof matches the "job 0 at seed 5" statement exactly.
         let statement = build_statement(5, 0, &spec);
-        assert!(envelope_verifies_for_statement(
+        let shape = compile_shape(statement.as_ref());
+        assert!(envelope_verifies(
             &report.results[0].proof_bytes,
-            statement.as_ref(),
-            |e| e.verify_cs(statement.constraint_system())
+            &statement.public_outputs(),
+            |e| e.verify_with_shape(&shape)
         ));
     }
 }

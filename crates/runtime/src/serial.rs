@@ -221,6 +221,23 @@ impl ProofEnvelope {
         }
     }
 
+    /// [`Self::verify_cs`] against a compiled shape (the two-pass form):
+    /// Spartan preprocessing is re-derived from the CSR matrices, Groth16
+    /// trusts the embedded key and rejects keyless envelopes.
+    pub fn verify_with_shape(&self, shape: &zkvc_r1cs::CompiledShape<Fr>) -> bool {
+        match &self.proof {
+            EnvelopeProof::Groth16 {
+                vk: Some(vk),
+                proof,
+            } => groth16::verify(vk, &self.public_inputs, proof),
+            EnvelopeProof::Groth16 { vk: None, .. } => false,
+            EnvelopeProof::Spartan { proof } => {
+                zkvc_spartan::SpartanVerifier::preprocess_shape(shape)
+                    .verify(&self.public_inputs, proof)
+            }
+        }
+    }
+
     /// Converts back into [`ProofArtifacts`] for the verification APIs.
     /// Returns `None` for keyless Groth16 envelopes (the artifact format
     /// requires the vk). Prover-side metrics do not cross the wire: the

@@ -8,7 +8,7 @@ use zkvc_curve::G1Projective;
 use zkvc_ff::poly::eq_evals;
 use zkvc_ff::{Field, Fr, MultilinearPolynomial};
 use zkvc_hash::Transcript;
-use zkvc_r1cs::{ConstraintSystem, SparseMatrix};
+use zkvc_r1cs::{CompiledShape, ConstraintSystem, R1csMatrices, SparseMatrix};
 
 use crate::ipa::{InnerProductProof, IpaGenerators};
 use crate::sumcheck::{self, SumcheckProof};
@@ -37,7 +37,14 @@ struct Instance {
 
 impl Instance {
     fn from_cs(cs: &ConstraintSystem<Fr>) -> Self {
-        let m = cs.to_matrices();
+        Self::from_matrices(&cs.to_matrices())
+    }
+
+    /// Builds the remapped instance from CSR matrices (the compiled-shape
+    /// path; no constraint system required). Column remapping is monotone
+    /// (instance columns keep their index, witness columns shift up into
+    /// the upper half), so the CSR rows stay sorted.
+    fn from_matrices(m: &R1csMatrices<Fr>) -> Self {
         let num_io = m.num_instance;
         let num_witness = m.num_witness;
         let n_half = (num_io + 1).max(num_witness).max(2).next_power_of_two();
@@ -49,22 +56,19 @@ impl Instance {
         let remap = |mat: &SparseMatrix<Fr>| SparseMatrix {
             num_rows: mat.num_rows,
             num_cols,
-            rows: mat
-                .rows
+            row_ptr: mat.row_ptr.clone(),
+            col_idx: mat
+                .col_idx
                 .iter()
-                .map(|row| {
-                    row.iter()
-                        .map(|(col, v)| {
-                            let new_col = if *col <= num_io {
-                                *col
-                            } else {
-                                n_half + (*col - num_io - 1)
-                            };
-                            (new_col, *v)
-                        })
-                        .collect()
+                .map(|col| {
+                    if *col <= num_io {
+                        *col
+                    } else {
+                        n_half + (*col - num_io - 1)
+                    }
                 })
                 .collect(),
+            vals: mat.vals.clone(),
         };
 
         Instance {
@@ -150,6 +154,25 @@ impl SpartanProver {
         }
     }
 
+    /// Preprocesses a compiled shape — the witness-free entry point used
+    /// by the two-pass pipeline.
+    pub fn preprocess_shape(shape: &CompiledShape<Fr>) -> Self {
+        SpartanProver {
+            instance: std::sync::Arc::new(Instance::from_matrices(&shape.matrices)),
+        }
+    }
+
+    /// Number of constraints in the preprocessed structure.
+    pub fn num_constraints(&self) -> usize {
+        self.instance.a.num_rows
+    }
+
+    /// Number of variables (constant + instance + witness) in the original
+    /// (un-padded) circuit.
+    pub fn num_variables(&self) -> usize {
+        1 + self.instance.num_io + self.instance.num_witness
+    }
+
     /// Builds the matching verifier, sharing the already-preprocessed
     /// instance instead of running the `from_cs` pass (matrix remap and
     /// generator derivation) a second time.
@@ -163,13 +186,29 @@ impl SpartanProver {
     ///
     /// # Panics
     /// Panics if the circuit shape differs from the preprocessed structure.
-    pub fn prove<R: Rng + ?Sized>(&self, cs: &ConstraintSystem<Fr>, _rng: &mut R) -> SpartanProof {
-        let inst = &self.instance;
-        assert_eq!(cs.num_instance(), inst.num_io, "instance count mismatch");
-        assert_eq!(cs.num_witness(), inst.num_witness, "witness count mismatch");
+    pub fn prove<R: Rng + ?Sized>(&self, cs: &ConstraintSystem<Fr>, rng: &mut R) -> SpartanProof {
+        self.prove_assignment(cs.instance_assignment(), cs.witness_assignment(), rng)
+    }
 
-        let io = cs.instance_assignment().to_vec();
-        let mut witness = cs.witness_assignment().to_vec();
+    /// Produces a proof from a flat instance/witness assignment against the
+    /// preprocessed structure — the prove-many hot path: no constraint
+    /// system, no matrix extraction, just the sum-checks and the opening.
+    ///
+    /// # Panics
+    /// Panics if the assignment lengths differ from the preprocessed
+    /// structure.
+    pub fn prove_assignment<R: Rng + ?Sized>(
+        &self,
+        io: &[Fr],
+        witness: &[Fr],
+        _rng: &mut R,
+    ) -> SpartanProof {
+        let inst = &self.instance;
+        assert_eq!(io.len(), inst.num_io, "instance count mismatch");
+        assert_eq!(witness.len(), inst.num_witness, "witness count mismatch");
+
+        let io = io.to_vec();
+        let mut witness = witness.to_vec();
         witness.resize(inst.n_half, Fr::zero());
         let z = inst.build_z(&io, &witness);
 
@@ -207,13 +246,13 @@ impl SpartanProver {
         let chi_rx = eq_evals(&rx);
         let mut m_vec = vec![Fr::zero(); 2 * inst.n_half];
         for (mat, weight) in [(&inst.a, r_a), (&inst.b, r_b), (&inst.c, r_c)] {
-            for (x, row) in mat.rows.iter().enumerate() {
-                let w = weight * chi_rx[x];
+            for (x, chi) in chi_rx.iter().enumerate().take(mat.num_rows) {
+                let w = weight * *chi;
                 if w.is_zero() {
                     continue;
                 }
-                for (col, val) in row {
-                    m_vec[*col] += w * *val;
+                for (col, val) in mat.row(x) {
+                    m_vec[col] += w * *val;
                 }
             }
         }
@@ -249,6 +288,13 @@ impl SpartanVerifier {
     pub fn preprocess(cs: &ConstraintSystem<Fr>) -> Self {
         SpartanVerifier {
             instance: std::sync::Arc::new(Instance::from_cs(cs)),
+        }
+    }
+
+    /// Preprocesses a compiled shape for verification (witness-free).
+    pub fn preprocess_shape(shape: &CompiledShape<Fr>) -> Self {
+        SpartanVerifier {
+            instance: std::sync::Arc::new(Instance::from_matrices(&shape.matrices)),
         }
     }
 
