@@ -16,7 +16,7 @@ pub enum Variable {
 }
 
 /// A linear combination `sum_i coeff_i * var_i`.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct LinearCombination<F: Field> {
     /// The terms of the combination (unordered; duplicates allowed and
     /// summed on evaluation).

@@ -70,6 +70,14 @@ impl<F: Field> SparseMatrix<F> {
         self.row_ptr.push(self.col_idx.len());
     }
 
+    /// Approximate heap footprint of the CSR buffers in bytes (offset and
+    /// column tables plus coefficient stream). Cache-eviction accounting,
+    /// not an allocator-exact measure.
+    pub fn approx_bytes(&self) -> usize {
+        (self.row_ptr.len() + self.col_idx.len()) * core::mem::size_of::<usize>()
+            + self.vals.len() * core::mem::size_of::<F>()
+    }
+
     /// The `(column, coefficient)` entries of row `i`.
     pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, &F)> + '_ {
         let (lo, hi) = (self.row_ptr[i], self.row_ptr[i + 1]);
@@ -150,6 +158,11 @@ pub struct R1csMatrices<F: Field> {
 }
 
 impl<F: Field> R1csMatrices<F> {
+    /// Approximate heap footprint of the three CSR matrices in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.a.approx_bytes() + self.b.approx_bytes() + self.c.approx_bytes()
+    }
+
     /// Extracts the matrices from a constraint system.
     pub fn from_constraint_system(cs: &ConstraintSystem<F>) -> Self {
         let num_cols = cs.num_variables();

@@ -332,21 +332,46 @@ impl<F: PrimeField> ConstraintSink<F> for ShapeBuilder<F> {
 /// The witness pass: evaluates synthesis against an already-compiled shape,
 /// collecting only the flat assignment. Constraints are counted (so the
 /// result can be validated against the shape) but never stored.
+///
+/// Linear-combination evaluation is memoised per pass: synthesis code that
+/// reuses a folded combination many times (CRPC's `x_i`/`w_k` row folds are
+/// evaluated once per output cell) pays the term-by-term sum once and a
+/// hash lookup thereafter. Variable values are append-only within a pass,
+/// so a cached sum can never go stale; the cache dies with the pass. The
+/// memoised value is the *same field element* the uncached walk produces —
+/// field addition is exact — so assignments are bit-identical either way
+/// (asserted in tests).
 #[derive(Clone, Debug, Default)]
 pub struct WitnessFiller<F: Field> {
     instance: Vec<F>,
     witness: Vec<F>,
     constraints: usize,
+    lc_cache: core::cell::RefCell<std::collections::HashMap<LinearCombination<F>, F>>,
+    lc_cache_hits: core::cell::Cell<usize>,
 }
+
+/// Linear combinations shorter than this are evaluated directly: a one-term
+/// sum is cheaper than hashing it.
+const LC_CACHE_MIN_TERMS: usize = 2;
 
 impl<F: Field> WitnessFiller<F> {
     /// An empty witness pass.
     pub fn new() -> Self {
-        WitnessFiller {
-            instance: Vec::new(),
-            witness: Vec::new(),
-            constraints: 0,
-        }
+        WitnessFiller::default()
+    }
+
+    /// How many [`ConstraintSink::lc_value`] calls were answered from the
+    /// per-pass evaluation cache (diagnostics for benches and tests).
+    pub fn lc_cache_hits(&self) -> usize {
+        self.lc_cache_hits.get()
+    }
+
+    /// Evaluates a linear combination term by term, with no memoisation.
+    fn eval_lc_uncached(&self, lc: &LinearCombination<F>) -> F {
+        lc.terms
+            .iter()
+            .map(|(v, c)| self.var_value(*v).expect("witness pass carries values") * *c)
+            .sum()
     }
 
     /// Finishes the pass without shape validation.
@@ -405,12 +430,16 @@ impl<F: Field> ConstraintSink<F> for WitnessFiller<F> {
     }
 
     fn lc_value(&self, lc: &LinearCombination<F>) -> Option<F> {
-        Some(
-            lc.terms
-                .iter()
-                .map(|(v, c)| self.var_value(*v).expect("witness pass carries values") * *c)
-                .sum(),
-        )
+        if lc.terms.len() < LC_CACHE_MIN_TERMS {
+            return Some(self.eval_lc_uncached(lc));
+        }
+        if let Some(v) = self.lc_cache.borrow().get(lc) {
+            self.lc_cache_hits.set(self.lc_cache_hits.get() + 1);
+            return Some(*v);
+        }
+        let v = self.eval_lc_uncached(lc);
+        self.lc_cache.borrow_mut().insert(lc.clone(), v);
+        Some(v)
     }
 
     fn var_value(&self, v: Variable) -> Option<F> {
@@ -504,6 +533,12 @@ impl<F: Field> CompiledShape<F> {
     /// pass.
     pub fn is_satisfied(&self, assignment: &WitnessAssignment<F>) -> bool {
         self.matrices.is_satisfied(&assignment.full())
+    }
+
+    /// Approximate heap footprint of the compiled CSR buffers in bytes —
+    /// what a byte-bounded key cache charges this shape against its budget.
+    pub fn approx_bytes(&self) -> usize {
+        self.matrices.approx_bytes()
     }
 }
 
@@ -689,6 +724,62 @@ mod tests {
         wf.alloc_witness_opt(Some(Fr::zero())); // extra allocation
         let result = std::panic::catch_unwind(move || wf.finish_for(&shape));
         assert!(result.is_err());
+    }
+
+    /// A circuit that re-evaluates one shared multi-term combination per
+    /// output — the access pattern the `lc_value` memo exists for.
+    fn emit_shared_lc(sink: &mut dyn ConstraintSink<Fr>, seed: u64, uses: usize) {
+        let vars: Vec<Variable> = (0..6)
+            .map(|i| sink.alloc_witness_lazy(|| Fr::from_u64(seed.wrapping_mul(i + 3) ^ i)))
+            .collect();
+        let shared = vars
+            .iter()
+            .enumerate()
+            .fold(LinearCombination::<Fr>::zero(), |lc, (i, v)| {
+                lc.with_term(*v, Fr::from_u64(i as u64 + 1))
+            });
+        for _ in 0..uses {
+            let prod = sink.lc_product(&shared, &shared);
+            let sq = sink.alloc_witness_opt(prod);
+            sink.enforce(shared.clone(), shared.clone(), sq.into());
+        }
+    }
+
+    #[test]
+    fn lc_memoisation_is_bit_identical_and_hits() {
+        // Reference: the legacy single pass (no memo) and a shape to
+        // validate against.
+        let mut cs = ConstraintSystem::<Fr>::new();
+        emit_shared_lc(&mut cs, 0xfeed, 8);
+        assert!(cs.is_satisfied());
+        let mut sb = ShapeBuilder::<Fr>::new();
+        emit_shared_lc(&mut sb, 0xfeed, 8);
+        let shape = sb.finish();
+
+        let mut wf = WitnessFiller::<Fr>::new();
+        emit_shared_lc(&mut wf, 0xfeed, 8);
+        // `lc_product` evaluates the shared LC twice per use; only the
+        // first call pays the term walk.
+        assert!(wf.lc_cache_hits() >= 15, "hits = {}", wf.lc_cache_hits());
+        let w = wf.finish_for(&shape);
+        assert_eq!(
+            w.full(),
+            cs.full_assignment(),
+            "memoised pass must be bit-identical to the uncached pass"
+        );
+        assert!(shape.is_satisfied(&w));
+    }
+
+    #[test]
+    fn lc_memo_matches_uncached_evaluation_per_call() {
+        let mut wf = WitnessFiller::<Fr>::new();
+        emit_shared_lc(&mut wf, 0x5eed, 3);
+        // Every cached entry equals a fresh uncached evaluation of its key.
+        let cache = wf.lc_cache.borrow();
+        assert!(!cache.is_empty());
+        for (lc, v) in cache.iter() {
+            assert_eq!(*v, wf.eval_lc_uncached(lc));
+        }
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! ```text
 //! zkvc prove-batch --spec 8x8x16:crpc+psq:groth16:x8 --workers 4 [--seed N] [--compare-serial] [--report FILE]
 //! zkvc serve [--workers K] [--seed N] [--queue-bound B] [--max-request BYTES] [--no-proofs]
+//! zkvc serve --listen unix:/run/zkvc.sock [--idle-timeout SECS] [--session-bound B]
+//! zkvc client --connect unix:/run/zkvc.sock --spec 4x4x4:zkvc:g --sessions 8 --count 16
 //! zkvc prove  --spec 8x8x16:zkvc:g [--seed N] --out proof.bin
 //! zkvc prove  --spec mixer-block:spartan --out model.bin
 //! zkvc verify --in proof.bin --spec 8x8x16:zkvc:g [--seed N]
@@ -19,13 +21,14 @@
 
 use std::process::ExitCode;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use zkvc_runtime::{
-    build_statement, prove_batch_serial, serve, DiskKeyCache, Error, JobSpec, KeyCache,
-    ProofEnvelope, ProvingPool, ServeConfig,
+    build_statement, prove_batch_serial, run_client, run_sweep, serve, serve_listener,
+    ClientConfig, DiskKeyCache, Error, JobSpec, KeyCache, ListenAddr, NetConfig, ProofEnvelope,
+    ProvingPool, ServeConfig,
 };
 
 const USAGE: &str = "\
@@ -33,8 +36,11 @@ zkvc - concurrent batch proving for the zkVC stack
 
 USAGE:
     zkvc prove-batch --spec SPEC [--spec SPEC ...] [OPTIONS]
-    zkvc serve  [--workers K] [--seed N] [--queue-bound B] [--max-request BYTES]
-                [--no-proofs] [--key-cache DIR|none]
+    zkvc serve  [--listen ADDR] [--workers K] [--seed N] [--queue-bound B]
+                [--max-request BYTES] [--no-proofs] [--key-cache DIR|none]
+                [--cache-bytes N|none] [--idle-timeout SECS|none] [--session-bound B]
+    zkvc client --connect ADDR [--spec SPEC] [--seed N] [--sessions K] [--count M]
+                [--jobs FILE] [--no-verify] [--report FILE] [--bench FILE] [--sweep LIST]
     zkvc prove  --spec SPEC [--seed N] [--key-cache DIR|none] --out FILE
     zkvc verify --in FILE --spec SPEC [--seed N] [--key-cache DIR|none]
     zkvc help
@@ -70,6 +76,38 @@ OPTIONS (serve):
     --max-request N    reject request lines longer than N bytes (default 65536)
     --no-proofs        omit proof_hex from responses (verdict/throughput mode)
     --key-cache DIR    persist groth16 vks as shapes are first proved
+    --cache-bytes N    bound the resident key cache to N shape bytes, evicting
+                       cold shapes LRU (default 256 MiB; `none` disables)
+    --listen ADDR      serve a socket instead of stdin: unix:/path/to.sock or
+                       tcp:HOST:PORT. Each connection is its own session (own
+                       id space, own key announcements, own summary line) on
+                       one shared worker pool and warm key cache. SIGINT or
+                       SIGTERM drains gracefully: stop accepting, flush every
+                       in-flight result, summarise each session, exit 0.
+    --idle-timeout S   reap sessions silent for S seconds with nothing in
+                       flight (default 300; `none` keeps them forever)
+    --session-bound B  per-session in-flight job bound (default 64): a greedy
+                       client blocks in its own socket, not the shared queue
+
+OPTIONS (client):
+    connects to a `zkvc serve --listen` endpoint, streams requests, checks
+    that result ids stay inside its own session, and re-verifies returned
+    envelopes against the streamed key lines. Exit 1 if anything failed.
+    --connect ADDR     the endpoint (unix:/path or tcp:HOST:PORT); required
+    --spec SPEC        the spec generated requests prove (required unless
+                       --jobs; an :xCOUNT suffix sets the default --count)
+    --seed N           statement seed attached to every generated request
+    --sessions K       concurrent connections (default 1)
+    --count M          generated requests per session (default 8)
+    --jobs FILE        stream raw request lines from FILE instead
+    --no-verify        skip local envelope re-verification
+    --report FILE      write a deterministic per-job report (ids, verdicts,
+                       proof digests) — two runs against same-seed servers
+                       must produce identical files
+    --bench FILE       sweep session counts and write BENCH_serve.json-style
+                       throughput/latency points to FILE
+    --sweep LIST       comma-separated session counts for --bench
+                       (default 1,2,4,8)
 
 OPTIONS (prove / verify):
     --key-cache DIR    persist/load groth16 verification keys under DIR so a
@@ -95,6 +133,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "prove-batch" => cmd_prove_batch(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
+        "client" => cmd_client(&args[1..]),
         "prove" => cmd_prove(&args[1..]),
         "verify" => cmd_verify(&args[1..]),
         "help" | "--help" | "-h" => {
@@ -241,6 +280,10 @@ fn cmd_serve(args: &[String]) -> Result<(), Error> {
             "--queue-bound",
             "--max-request",
             "--key-cache",
+            "--cache-bytes",
+            "--listen",
+            "--idle-timeout",
+            "--session-bound",
         ],
         &["--no-proofs"],
     )?;
@@ -271,20 +314,241 @@ fn cmd_serve(args: &[String]) -> Result<(), Error> {
             .ok_or_else(|| Error::Usage(format!("bad --max-request {s:?}")))?;
         config = config.max_request_bytes(max);
     }
+    if let Some(s) = flag_value(args, "--cache-bytes")? {
+        config = config.cache_bytes(match s {
+            "none" => None,
+            _ => Some(
+                s.parse::<usize>()
+                    .map_err(|_| Error::Usage(format!("bad --cache-bytes {s:?}")))?,
+            ),
+        });
+    }
 
-    // Requests come from stdin, responses go to stdout (line-buffered by
-    // the serve loop itself); diagnostics would go to stderr. Malformed
-    // requests are answered in-stream and never kill the server — the
-    // exit code reflects proving outcomes only.
-    let summary = serve(std::io::stdin().lock(), std::io::stdout(), config)?;
+    let listen = flag_value(args, "--listen")?
+        .map(ListenAddr::parse)
+        .transpose()?;
+    let Some(addr) = listen else {
+        for flag in ["--idle-timeout", "--session-bound"] {
+            if flag_value(args, flag)?.is_some() {
+                return Err(Error::Usage(format!("{flag} requires --listen")));
+            }
+        }
+        // Requests come from stdin, responses go to stdout (line-buffered
+        // by the serve loop itself); diagnostics would go to stderr.
+        // Malformed requests are answered in-stream and never kill the
+        // server — the exit code reflects proving outcomes only.
+        let summary = serve(std::io::stdin().lock(), std::io::stdout(), config)?;
+        eprintln!(
+            "zkvc serve: {} job(s), {} verified, {} failed, {} request line(s) rejected",
+            summary.jobs, summary.verified, summary.failed, summary.rejected
+        );
+        return if summary.failed == 0 {
+            Ok(())
+        } else {
+            Err(Error::VerificationFailed)
+        };
+    };
+
+    let mut net = NetConfig::new(config);
+    if let Some(s) = flag_value(args, "--idle-timeout")? {
+        net = net.idle_timeout(match s {
+            "none" => None,
+            _ => {
+                Some(Duration::from_secs(s.parse::<u64>().map_err(|_| {
+                    Error::Usage(format!("bad --idle-timeout {s:?}"))
+                })?))
+            }
+        });
+    }
+    if let Some(s) = flag_value(args, "--session-bound")? {
+        let bound = s
+            .parse::<usize>()
+            .ok()
+            .filter(|b| *b > 0)
+            .ok_or_else(|| Error::Usage(format!("bad --session-bound {s:?}")))?;
+        net = net.session_bound(bound);
+    }
+
+    // A long-running service: SIGINT/SIGTERM raise the shutdown flag, the
+    // listener stops accepting, every session drains and summarises, and
+    // the process exits 0. Job failures of individual clients are their
+    // problem (reported in their own streams), not the service's exit
+    // code — a disconnecting client cancelling its jobs is normal
+    // operation.
+    let shutdown = sig::install_shutdown_flag();
+    let totals = serve_listener(&addr, net, shutdown, |bound| {
+        eprintln!("zkvc serve: listening on {bound} (SIGINT/SIGTERM drains and exits)");
+    })?;
     eprintln!(
-        "zkvc serve: {} job(s), {} verified, {} failed, {} request line(s) rejected",
-        summary.jobs, summary.verified, summary.failed, summary.rejected
+        "zkvc serve: {} session(s) ({} disconnected, {} idle-reaped), {} job(s), {} verified, {} failed, {} rejected",
+        totals.sessions,
+        totals.disconnected,
+        totals.reaped_idle,
+        totals.jobs,
+        totals.verified,
+        totals.failed,
+        totals.rejected
     );
-    if summary.failed == 0 {
+    Ok(())
+}
+
+fn cmd_client(args: &[String]) -> Result<(), Error> {
+    reject_unknown_args(
+        args,
+        &[
+            "--connect",
+            "--spec",
+            "--seed",
+            "--sessions",
+            "--count",
+            "--jobs",
+            "--report",
+            "--bench",
+            "--sweep",
+        ],
+        &["--no-verify"],
+    )?;
+    let addr = ListenAddr::parse(
+        flag_value(args, "--connect")?
+            .ok_or_else(|| Error::Usage("client requires --connect ADDR".into()))?,
+    )?;
+    let jobs = match flag_value(args, "--jobs")? {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| Error::io(path, e))?;
+            Some(text.lines().map(str::to_string).collect::<Vec<_>>())
+        }
+        None => None,
+    };
+    // The spec drives generated load; with --jobs the file's own lines
+    // are streamed and the spec (if any) is ignored for generation.
+    let (spec, spec_count) = match flag_value(args, "--spec")? {
+        Some(s) => JobSpec::parse(s)?,
+        None if jobs.is_some() => JobSpec::parse("2x2x2:zkvc:s")?,
+        None => {
+            return Err(Error::Usage(
+                "client requires --spec SPEC (or --jobs FILE)".into(),
+            ))
+        }
+    };
+    let seed = flag_value(args, "--seed")?
+        .map(|s| {
+            s.parse::<u64>()
+                .map_err(|_| Error::Usage(format!("bad --seed {s:?}")))
+        })
+        .transpose()?;
+    let count = match flag_value(args, "--count")? {
+        Some(s) => s
+            .parse::<usize>()
+            .ok()
+            .filter(|c| *c > 0)
+            .ok_or_else(|| Error::Usage(format!("bad --count {s:?}")))?,
+        // An :xCOUNT suffix on the spec sets the per-session count;
+        // otherwise 8 requests exercise the cache-warm path.
+        None => {
+            if spec_count > 1 {
+                spec_count
+            } else {
+                8
+            }
+        }
+    };
+    let mut config = ClientConfig::new(addr, spec)
+        .seed(seed)
+        .count(count)
+        .verify(!args.iter().any(|a| a == "--no-verify"))
+        .jobs(jobs);
+    if let Some(s) = flag_value(args, "--sessions")? {
+        let sessions = s
+            .parse::<usize>()
+            .ok()
+            .filter(|k| *k > 0)
+            .ok_or_else(|| Error::Usage(format!("bad --sessions {s:?}")))?;
+        config = config.sessions(sessions);
+    }
+
+    if let Some(path) = flag_value(args, "--bench")? {
+        let sweep: Vec<usize> = match flag_value(args, "--sweep")? {
+            Some(list) => list
+                .split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse::<usize>()
+                        .ok()
+                        .filter(|k| *k > 0)
+                        .ok_or_else(|| Error::Usage(format!("bad --sweep entry {s:?}")))
+                })
+                .collect::<Result<_, _>>()?,
+            None => vec![1, 2, 4, 8],
+        };
+        let json = run_sweep(&config, &sweep)?;
+        std::fs::write(path, format!("{json}\n")).map_err(|e| Error::io(path, e))?;
+        println!("wrote serve bench ({} point(s)) to {path}", sweep.len());
+        return Ok(());
+    }
+
+    let report = run_client(&config)?;
+    println!("{}", report.render_table());
+    if let Some(path) = flag_value(args, "--report")? {
+        std::fs::write(path, format!("{}\n", report.render_report_json()))
+            .map_err(|e| Error::io(path, e))?;
+        println!("wrote deterministic client report to {path}");
+    }
+    if report.all_ok() {
         Ok(())
     } else {
         Err(Error::VerificationFailed)
+    }
+}
+
+/// SIGINT/SIGTERM handling without a signals crate: the handler (an
+/// async-signal-safe atomic store into a static) raises a process-wide
+/// flag; a watcher thread mirrors it into the `Arc<AtomicBool>` the
+/// listener polls every accept/read tick.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        // C `signal(2)`; handler travels as a plain function address.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub fn install_shutdown_flag() -> Arc<AtomicBool> {
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        let handler = on_signal as extern "C" fn(i32) as usize;
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+        let flag = Arc::new(AtomicBool::new(false));
+        let mirror = Arc::clone(&flag);
+        std::thread::spawn(move || {
+            while !SHUTDOWN.load(Ordering::SeqCst) {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            mirror.store(true, Ordering::SeqCst);
+        });
+        flag
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    use std::sync::atomic::AtomicBool;
+    use std::sync::Arc;
+
+    /// No signal plumbing off unix: the flag simply never trips and the
+    /// server runs until the process is killed.
+    pub fn install_shutdown_flag() -> Arc<AtomicBool> {
+        Arc::new(AtomicBool::new(false))
     }
 }
 

@@ -83,6 +83,10 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries currently cached.
     pub entries: usize,
+    /// Entries evicted to stay under the shape-byte bound.
+    pub evictions: u64,
+    /// Total compiled-shape bytes currently resident.
+    pub shape_bytes: usize,
 }
 
 impl CacheStats {
@@ -102,14 +106,36 @@ type CacheKey = ([u8; 32], Backend, u64);
 type TemplateKey = (String, Backend, u64);
 type Cell = Arc<OnceLock<Arc<CircuitKeys>>>;
 
+/// One digest-keyed cache entry: the setup cell plus its last-use stamp
+/// (a logical clock tick, not wall time — the eviction scan only compares
+/// recency).
+#[derive(Debug, Default)]
+struct Slot {
+    cell: OnceLock<Arc<CircuitKeys>>,
+    last_use: AtomicU64,
+}
+
 /// A concurrent, shape-keyed cache of compiled shapes and proving/verifying
 /// keys, with a template index for synthesis-free warm lookups.
+///
+/// By default the cache grows without bound — the right behaviour for a
+/// one-shot batch, where every shape in flight is live. A resident server
+/// instead constructs it with [`KeyCache::bound_shape_bytes`]: whenever the
+/// compiled shapes' total CSR footprint exceeds the bound, least-recently
+/// used entries (and their template aliases) are evicted until it fits.
+/// Hot shapes are re-stamped on every lookup, so steady traffic keeps them
+/// warm while one-off shapes age out. The entry just inserted is never
+/// evicted by its own insertion, so a single shape larger than the whole
+/// bound still serves (and is dropped by the *next* distinct shape).
 #[derive(Debug, Default)]
 pub struct KeyCache {
-    entries: Mutex<HashMap<CacheKey, Cell>>,
+    entries: Mutex<HashMap<CacheKey, Arc<Slot>>>,
     templates: Mutex<HashMap<TemplateKey, Cell>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    clock: AtomicU64,
+    max_shape_bytes: Option<usize>,
     seed: u64,
 }
 
@@ -124,6 +150,92 @@ impl KeyCache {
         KeyCache {
             seed,
             ..Self::default()
+        }
+    }
+
+    /// Bounds the total compiled-shape footprint (in bytes, as measured by
+    /// [`CompiledShape::approx_bytes`]); exceeding it evicts
+    /// least-recently-used entries. `zkvc serve` uses this so a long-lived
+    /// process fed an unbounded variety of specs cannot grow its key cache
+    /// without limit.
+    pub fn bound_shape_bytes(mut self, max_bytes: usize) -> Self {
+        self.max_shape_bytes = Some(max_bytes);
+        self
+    }
+
+    /// The configured shape-byte bound, if any.
+    pub fn shape_byte_bound(&self) -> Option<usize> {
+        self.max_shape_bytes
+    }
+
+    /// Next tick of the logical recency clock.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Re-stamps the entry backing `keys` as just-used (no-op when the
+    /// entry was evicted concurrently).
+    fn touch(&self, keys: &CircuitKeys) {
+        let stamp = self.tick();
+        if let Some(slot) = self.entries.lock().expect("key cache poisoned").get(&(
+            keys.digest,
+            keys.backend,
+            keys.setup_seed,
+        )) {
+            slot.last_use.store(stamp, Ordering::Relaxed);
+        }
+    }
+
+    /// Enforces the shape-byte bound: evicts initialised entries in
+    /// least-recently-used order (never `protect`, never a cell whose setup
+    /// is still in flight) until the resident footprint fits, then drops
+    /// template aliases of everything evicted.
+    fn evict_to_bound(&self, protect: &CacheKey) {
+        let Some(bound) = self.max_shape_bytes else {
+            return;
+        };
+        let mut evicted: Vec<Arc<CircuitKeys>> = Vec::new();
+        {
+            let mut map = self.entries.lock().expect("key cache poisoned");
+            loop {
+                let mut total = 0usize;
+                let mut victim: Option<(CacheKey, u64, usize)> = None;
+                for (key, slot) in map.iter() {
+                    let Some(keys) = slot.cell.get() else {
+                        continue; // setup in flight: unaccounted, unevictable
+                    };
+                    let bytes = keys.shape.approx_bytes();
+                    total += bytes;
+                    if key == protect {
+                        continue;
+                    }
+                    let stamp = slot.last_use.load(Ordering::Relaxed);
+                    if victim.as_ref().is_none_or(|(_, s, _)| stamp < *s) {
+                        victim = Some((*key, stamp, bytes));
+                    }
+                }
+                if total <= bound {
+                    break;
+                }
+                let Some((key, _, _)) = victim else {
+                    break; // only the protected / in-flight entries remain
+                };
+                if let Some(slot) = map.remove(&key) {
+                    if let Some(keys) = slot.cell.get() {
+                        evicted.push(keys.clone());
+                    }
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        if !evicted.is_empty() {
+            self.templates
+                .lock()
+                .expect("key cache poisoned")
+                .retain(|_, cell| match cell.get() {
+                    Some(keys) => !evicted.iter().any(|e| Arc::ptr_eq(e, keys)),
+                    None => true, // template compile in flight
+                });
         }
     }
 
@@ -189,23 +301,25 @@ impl KeyCache {
         seed: u64,
     ) -> (Arc<CircuitKeys>, bool) {
         let digest = shape.digest;
-        let cell = {
+        let key = (digest, backend, seed);
+        let slot = {
             let mut map = self.entries.lock().expect("key cache poisoned");
-            map.entry((digest, backend, seed))
-                .or_insert_with(|| Arc::new(OnceLock::new()))
-                .clone()
+            map.entry(key).or_default().clone()
         };
 
         let mut ran_setup = false;
-        let keys = cell
+        let keys = slot
+            .cell
             .get_or_init(|| {
                 ran_setup = true;
                 Arc::new(Self::run_setup(backend, shape, seed))
             })
             .clone();
+        slot.last_use.store(self.tick(), Ordering::Relaxed);
 
         if ran_setup {
             self.misses.fetch_add(1, Ordering::Relaxed);
+            self.evict_to_bound(&key);
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
@@ -251,6 +365,7 @@ impl KeyCache {
             (keys, inner_hit)
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.touch(&keys);
             (keys, true)
         }
     }
@@ -278,11 +393,16 @@ impl KeyCache {
     /// thread). `zkvc serve` uses this to stream a shape's verification
     /// key the moment its first job completes.
     pub fn get(&self, digest: &[u8; 32], backend: Backend, seed: u64) -> Option<Arc<CircuitKeys>> {
+        let stamp = self.tick();
         self.entries
             .lock()
             .expect("key cache poisoned")
             .get(&(*digest, backend, seed))
-            .and_then(|cell| cell.get().cloned())
+            .and_then(|slot| {
+                let keys = slot.cell.get().cloned()?;
+                slot.last_use.store(stamp, Ordering::Relaxed);
+                Some(keys)
+            })
     }
 
     /// A snapshot of every fully-initialised cache entry (entries whose
@@ -293,17 +413,28 @@ impl KeyCache {
             .lock()
             .expect("key cache poisoned")
             .values()
-            .filter_map(|cell| cell.get().cloned())
+            .filter_map(|slot| slot.cell.get().cloned())
             .collect()
     }
 
     /// Counters and current size (distinct shapes; template aliases do not
     /// count).
     pub fn stats(&self) -> CacheStats {
+        let (entries, shape_bytes) = {
+            let map = self.entries.lock().expect("key cache poisoned");
+            let bytes = map
+                .values()
+                .filter_map(|slot| slot.cell.get())
+                .map(|keys| keys.shape.approx_bytes())
+                .sum();
+            (map.len(), bytes)
+        };
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.entries.lock().expect("key cache poisoned").len(),
+            entries,
+            evictions: self.evictions.load(Ordering::Relaxed),
+            shape_bytes,
         }
     }
 
@@ -485,6 +616,77 @@ mod tests {
         assert!(cache.get(&digest, Backend::Groth16, 1).is_none());
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses), (1, 2), "get() is not a lookup");
+    }
+
+    #[test]
+    fn byte_bound_evicts_cold_shapes_and_keeps_hot_ones_warm() {
+        use zkvc_core::api::{compile_shape, RawCircuit};
+        let hot_cs = matmul_cs(1, 3);
+        let probe = compile_shape(&RawCircuit::new(&hot_cs)).approx_bytes();
+        let max_cold = compile_shape(&RawCircuit::new(&matmul_cs(1, 9))).approx_bytes();
+        assert!(probe > 0);
+        // Room for the hot shape plus any single cold one — never two colds.
+        let bound = probe + max_cold;
+        let cache = KeyCache::new().bound_shape_bytes(bound);
+        assert_eq!(cache.shape_byte_bound(), Some(bound));
+
+        let (hot, _) =
+            cache.get_or_setup_template(Backend::Spartan, 0, "hot", &RawCircuit::new(&hot_cs));
+        // A stream of one-off shapes (largest first), with the hot template
+        // touched after each: the strangers age out, the hot entry never
+        // does.
+        for n in (4..10).rev() {
+            let cs = matmul_cs(1, n);
+            cache.get_or_setup_template(
+                Backend::Spartan,
+                0,
+                &format!("cold-{n}"),
+                &RawCircuit::new(&cs),
+            );
+            let (again, hit) =
+                cache.get_or_setup_template(Backend::Spartan, 0, "hot", &RawCircuit::new(&hot_cs));
+            assert!(hit, "hot shape must stay warm while n={n} streams past");
+            assert!(Arc::ptr_eq(&again, &hot));
+        }
+
+        let stats = cache.stats();
+        assert!(stats.evictions >= 4, "cold shapes were evicted: {stats:?}");
+        assert!(
+            stats.shape_bytes <= bound,
+            "resident bytes respect the bound: {stats:?}"
+        );
+        assert!(
+            cache.get(&hot.digest, Backend::Spartan, 0).is_some(),
+            "hot entry still resident at digest level"
+        );
+        // An evicted template alias was purged with its entry: looking it
+        // up again re-runs setup instead of serving dropped keys.
+        let (_, hit) = cache.get_or_setup_template(
+            Backend::Spartan,
+            0,
+            "cold-9",
+            &RawCircuit::new(&matmul_cs(1, 9)),
+        );
+        assert!(!hit, "evicted template must miss");
+    }
+
+    #[test]
+    fn bound_never_evicts_the_entry_just_inserted() {
+        // A bound smaller than any single shape: each insertion survives
+        // its own eviction pass and is displaced by the next shape.
+        let cache = KeyCache::new().bound_shape_bytes(1);
+        let (k1, hit1) = cache.get_or_setup(Backend::Spartan, &matmul_cs(1, 3));
+        assert!(!hit1);
+        assert!(cache.get(&k1.digest, Backend::Spartan, 0).is_some());
+
+        let (k2, _) = cache.get_or_setup(Backend::Spartan, &matmul_cs(1, 4));
+        assert!(
+            cache.get(&k1.digest, Backend::Spartan, 0).is_none(),
+            "previous oversized entry displaced"
+        );
+        assert!(cache.get(&k2.digest, Backend::Spartan, 0).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().entries, 1);
     }
 
     #[test]

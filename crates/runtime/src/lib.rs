@@ -56,23 +56,29 @@
 mod cache;
 mod disk;
 mod error;
+pub mod net;
 mod pool;
 mod sched;
 mod serial;
 mod serve;
 mod spec;
 mod util;
+pub mod wire;
 
 pub use cache::{CacheStats, CircuitKeys, KeyCache};
 pub use disk::DiskKeyCache;
 pub use error::Error;
+pub use net::{
+    run_client, run_sweep, serve_listener, AnyStream, ClientConfig, ClientReport, ListenAddr,
+    NetConfig, NetSummary, SessionReport,
+};
 pub use pool::{
     build_statement, prove_batch, prove_batch_serial, prove_batch_with_policy, BatchKey,
-    BatchReport, JobError, JobResult, PoolConfig, ProvingPool, ResultSink,
+    BatchReport, JobError, JobResult, PoolConfig, ProvingPool, ResultSink, SessionCtl,
 };
 pub use sched::{Priority, SchedulerPolicy};
 pub use serial::{EnvelopeProof, ProofEnvelope};
-pub use serve::{serve, ServeConfig, ServeSummary};
+pub use serve::{serve, ServeConfig, ServeSummary, DEFAULT_CACHE_BYTES};
 pub use spec::{JobSpec, ModelPreset, SMALL_MATMUL_CELLS};
 // The shape digest moved into `zkvc-core` with the trait API; re-exported
 // here so existing `zkvc_runtime::circuit_shape_digest` callers keep

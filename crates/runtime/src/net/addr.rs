@@ -1,0 +1,273 @@
+//! Endpoint grammar and the stream/listener abstraction over Unix-domain
+//! and TCP sockets. Both transports behave identically at the session
+//! layer; everything protocol-shaped lives above this file.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+use crate::error::Error;
+
+/// A serve/client endpoint: `unix:/path/to.sock` or `tcp:HOST:PORT`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ListenAddr {
+    /// A Unix-domain socket at the given filesystem path.
+    Unix(PathBuf),
+    /// A TCP endpoint (`HOST:PORT`, as accepted by `ToSocketAddrs`).
+    Tcp(String),
+}
+
+impl ListenAddr {
+    /// Parses the `unix:PATH` / `tcp:HOST:PORT` endpoint grammar.
+    pub fn parse(s: &str) -> Result<Self, Error> {
+        if let Some(path) = s.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err(Error::Usage("unix: endpoint needs a path".into()));
+            }
+            return Ok(ListenAddr::Unix(PathBuf::from(path)));
+        }
+        if let Some(hostport) = s.strip_prefix("tcp:") {
+            // Reject early rather than at bind time: HOST:PORT with a
+            // numeric port is the whole grammar.
+            let valid = hostport
+                .rsplit_once(':')
+                .is_some_and(|(host, port)| !host.is_empty() && port.parse::<u16>().is_ok());
+            if !valid {
+                return Err(Error::Usage(format!(
+                    "tcp: endpoint must be HOST:PORT, got {hostport:?}"
+                )));
+            }
+            return Ok(ListenAddr::Tcp(hostport.to_string()));
+        }
+        Err(Error::Usage(format!(
+            "listen address must start with unix: or tcp:, got {s:?}"
+        )))
+    }
+}
+
+impl fmt::Display for ListenAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ListenAddr::Unix(path) => write!(f, "unix:{}", path.display()),
+            ListenAddr::Tcp(hostport) => write!(f, "tcp:{hostport}"),
+        }
+    }
+}
+
+/// A connected stream over either transport. `Read`/`Write` plus the few
+/// socket controls the session layer needs (clone into read/write
+/// halves, read timeouts as poll ticks, half-close for client EOF).
+#[derive(Debug)]
+pub enum AnyStream {
+    /// A Unix-domain socket connection.
+    #[cfg(unix)]
+    Unix(UnixStream),
+    /// A TCP connection.
+    Tcp(TcpStream),
+}
+
+impl AnyStream {
+    /// Connects to a listening endpoint (the client side).
+    pub fn connect(addr: &ListenAddr) -> Result<Self, Error> {
+        match addr {
+            #[cfg(unix)]
+            ListenAddr::Unix(path) => UnixStream::connect(path)
+                .map(AnyStream::Unix)
+                .map_err(|e| Error::io(path.clone(), e)),
+            #[cfg(not(unix))]
+            ListenAddr::Unix(path) => Err(Error::io(
+                path.clone(),
+                io::Error::new(io::ErrorKind::Unsupported, "unix sockets need a unix host"),
+            )),
+            ListenAddr::Tcp(hostport) => {
+                // Nagle would batch our small JSON lines; the protocol is
+                // latency-sensitive request/response, so disable it.
+                let stream = TcpStream::connect(hostport.as_str())
+                    .map_err(|e| Error::io(hostport.as_str(), e))?;
+                let _ = stream.set_nodelay(true);
+                Ok(AnyStream::Tcp(stream))
+            }
+        }
+    }
+
+    /// Clones the stream into an independent handle (read/write halves
+    /// share the one socket).
+    pub fn try_clone(&self) -> io::Result<Self> {
+        match self {
+            #[cfg(unix)]
+            AnyStream::Unix(s) => s.try_clone().map(AnyStream::Unix),
+            AnyStream::Tcp(s) => s.try_clone().map(AnyStream::Tcp),
+        }
+    }
+
+    /// Sets the read timeout; timed-out reads surface as
+    /// `WouldBlock`/`TimedOut` errors and serve as poll ticks.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            AnyStream::Unix(s) => s.set_read_timeout(timeout),
+            AnyStream::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    /// Half-closes the write side: the peer sees EOF after draining, but
+    /// this end can keep reading responses (how a client says "no more
+    /// requests, flush everything").
+    pub fn shutdown_write(&self) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            AnyStream::Unix(s) => s.shutdown(Shutdown::Write),
+            AnyStream::Tcp(s) => s.shutdown(Shutdown::Write),
+        }
+    }
+}
+
+impl Read for AnyStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            AnyStream::Unix(s) => s.read(buf),
+            AnyStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for AnyStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            #[cfg(unix)]
+            AnyStream::Unix(s) => s.write(buf),
+            AnyStream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            #[cfg(unix)]
+            AnyStream::Unix(s) => s.flush(),
+            AnyStream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A bound, non-blocking listener over either transport. Owns the Unix
+/// socket path and removes it on drop.
+#[derive(Debug)]
+pub(crate) enum AnyListener {
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+    Tcp(TcpListener),
+}
+
+impl AnyListener {
+    /// Binds the endpoint non-blocking. A stale Unix socket file (left
+    /// by a killed server) is removed first, matching daemon convention.
+    pub(crate) fn bind(addr: &ListenAddr) -> Result<Self, Error> {
+        let listener = match addr {
+            #[cfg(unix)]
+            ListenAddr::Unix(path) => {
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path).map_err(|e| Error::io(path.clone(), e))?;
+                AnyListener::Unix(listener, path.clone())
+            }
+            #[cfg(not(unix))]
+            ListenAddr::Unix(path) => {
+                return Err(Error::io(
+                    path.clone(),
+                    io::Error::new(io::ErrorKind::Unsupported, "unix sockets need a unix host"),
+                ))
+            }
+            ListenAddr::Tcp(hostport) => {
+                let listener = TcpListener::bind(hostport.as_str())
+                    .map_err(|e| Error::io(hostport.as_str(), e))?;
+                AnyListener::Tcp(listener)
+            }
+        };
+        match &listener {
+            #[cfg(unix)]
+            AnyListener::Unix(l, path) => l
+                .set_nonblocking(true)
+                .map_err(|e| Error::io(path.clone(), e))?,
+            AnyListener::Tcp(l) => l
+                .set_nonblocking(true)
+                .map_err(|e| Error::io(addr.to_string(), e))?,
+        }
+        Ok(listener)
+    }
+
+    /// The address actually bound — `tcp:HOST:0` resolves to the real
+    /// ephemeral port here, which is what tests and `--listen` banners
+    /// need.
+    pub(crate) fn bound_addr(&self) -> ListenAddr {
+        match self {
+            #[cfg(unix)]
+            AnyListener::Unix(_, path) => ListenAddr::Unix(path.clone()),
+            AnyListener::Tcp(l) => ListenAddr::Tcp(
+                l.local_addr()
+                    .map(|a| a.to_string())
+                    .unwrap_or_else(|_| "?:0".into()),
+            ),
+        }
+    }
+
+    /// Accepts one pending connection; `WouldBlock` when none is ready.
+    pub(crate) fn accept(&self) -> io::Result<AnyStream> {
+        match self {
+            #[cfg(unix)]
+            AnyListener::Unix(l, _) => l.accept().map(|(s, _)| AnyStream::Unix(s)),
+            AnyListener::Tcp(l) => l.accept().map(|(s, _)| {
+                let _ = s.set_nodelay(true);
+                AnyStream::Tcp(s)
+            }),
+        }
+    }
+}
+
+impl Drop for AnyListener {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let AnyListener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn listen_addr_grammar_round_trips() {
+        let unix = ListenAddr::parse("unix:/tmp/zkvc.sock").unwrap();
+        assert_eq!(unix, ListenAddr::Unix(PathBuf::from("/tmp/zkvc.sock")));
+        assert_eq!(unix.to_string(), "unix:/tmp/zkvc.sock");
+        assert_eq!(ListenAddr::parse(&unix.to_string()).unwrap(), unix);
+
+        let tcp = ListenAddr::parse("tcp:127.0.0.1:7878").unwrap();
+        assert_eq!(tcp, ListenAddr::Tcp("127.0.0.1:7878".into()));
+        assert_eq!(tcp.to_string(), "tcp:127.0.0.1:7878");
+        assert_eq!(ListenAddr::parse(&tcp.to_string()).unwrap(), tcp);
+    }
+
+    #[test]
+    fn listen_addr_rejects_malformed_endpoints() {
+        for bad in [
+            "",
+            "unix:",
+            "tcp:",
+            "tcp:no-port",
+            "tcp::123",
+            "tcp:host:notaport",
+            "tcp:host:99999",
+            "udp:1.2.3.4:5",
+            "/plain/path",
+        ] {
+            let err = ListenAddr::parse(bad).unwrap_err();
+            assert!(matches!(err, Error::Usage(_)), "{bad:?} -> {err:?}");
+        }
+    }
+}

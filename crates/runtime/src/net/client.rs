@@ -1,0 +1,582 @@
+//! The `zkvc client` load driver: connects to a serve endpoint, streams
+//! request lines, and measures what comes back.
+//!
+//! The client is also the protocol's conformance checker: it verifies
+//! that result ids belong to its own session (id spaces must never cross
+//! connections), that the handshake speaks `zkvc-serve/v1`, and — unless
+//! disabled — it **re-verifies every returned proof envelope locally**:
+//! statement binding against the deterministic statement for `(spec,
+//! seed)`, Groth16 pairing checks against the *streamed* `key` lines
+//! (never a key the client derived itself — that is the whole
+//! trust-the-wire exercise), and transparent Spartan verification
+//! against locally derived preprocessing.
+//!
+//! Per-proof latency (request write to result read) and aggregate
+//! throughput feed `BENCH_serve.json` via [`run_sweep`].
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Instant;
+
+use zkvc_core::{Backend, Circuit, VerifierKey};
+use zkvc_ff::Fr;
+use zkvc_hash::sha256;
+
+use crate::cache::KeyCache;
+use crate::error::Error;
+use crate::net::addr::{AnyStream, ListenAddr};
+use crate::pool::build_statement;
+use crate::serial::ProofEnvelope;
+use crate::spec::JobSpec;
+use crate::util::{hex, json_escape, unhex};
+use crate::wire::{field, parse_json_object, Json};
+
+/// Statement data memoised per `(spec, seed)` during the local
+/// verification pass: the public inputs, the locally recomputed shape
+/// digest (hex), and the rebuilt circuit.
+type StatementMemo = HashMap<(String, u64), (Vec<Fr>, String, Box<dyn Circuit>)>;
+
+/// Configuration for [`run_client`] / [`run_sweep`].
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// The serve endpoint to connect to.
+    pub addr: ListenAddr,
+    /// The spec every generated request proves.
+    pub spec: JobSpec,
+    /// Generated requests per session (ignored when `jobs` is set).
+    pub count: usize,
+    /// Statement seed attached to generated requests (`None` leaves the
+    /// server's default in charge).
+    pub seed: Option<u64>,
+    /// Concurrent connections, each its own session.
+    pub sessions: usize,
+    /// Whether returned envelopes are re-verified locally.
+    pub verify: bool,
+    /// Raw request lines to stream instead of generated ones (the
+    /// `--jobs FILE` mode). Ids are the file's own; latency and
+    /// id-scoping checks are skipped.
+    pub jobs: Option<Vec<String>>,
+}
+
+impl ClientConfig {
+    /// Defaults: 8 generated requests, 1 session, local verification on.
+    pub fn new(addr: ListenAddr, spec: JobSpec) -> Self {
+        ClientConfig {
+            addr,
+            spec,
+            count: 8,
+            seed: None,
+            sessions: 1,
+            verify: true,
+            jobs: None,
+        }
+    }
+
+    /// Sets the generated-request count per session.
+    pub fn count(mut self, count: usize) -> Self {
+        self.count = count;
+        self
+    }
+
+    /// Sets the statement seed attached to generated requests.
+    pub fn seed(mut self, seed: Option<u64>) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of concurrent sessions.
+    pub fn sessions(mut self, sessions: usize) -> Self {
+        self.sessions = sessions.max(1);
+        self
+    }
+
+    /// Enables/disables local envelope verification.
+    pub fn verify(mut self, verify: bool) -> Self {
+        self.verify = verify;
+        self
+    }
+
+    /// Streams these raw request lines instead of generated ones.
+    pub fn jobs(mut self, jobs: Option<Vec<String>>) -> Self {
+        self.jobs = jobs;
+        self
+    }
+}
+
+/// One job's outcome in the deterministic client report (see
+/// [`ClientReport::render_report_json`]).
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// The result's `id` field, as its JSON token.
+    pub id: String,
+    /// The server's verdict for the proof.
+    pub verified: bool,
+    /// SHA-256 of the decoded proof envelope bytes (empty for error
+    /// results or when the server omitted `proof_hex`).
+    pub proof_sha256: String,
+}
+
+/// What one client session observed.
+#[derive(Clone, Debug, Default)]
+pub struct SessionReport {
+    /// Client-side session index (the `cK-` id prefix).
+    pub session: usize,
+    /// Request lines successfully written.
+    pub sent: usize,
+    /// `result` lines received.
+    pub results: usize,
+    /// `error` lines, unparseable lines, and handshake problems.
+    pub errors: usize,
+    /// Results whose id was not one of this session's own.
+    pub id_mismatches: usize,
+    /// Results the *server* reported unverified (or failed).
+    pub verdict_failures: usize,
+    /// Envelopes that passed local re-verification.
+    pub verified_local: usize,
+    /// Envelopes that failed local re-verification (binding, pairing,
+    /// missing key, undecodable proof).
+    pub verify_failures: usize,
+    /// Request-to-result latency per job, milliseconds.
+    pub latencies_ms: Vec<f64>,
+    /// Whether the session ended with the server's `summary` line.
+    pub summary_seen: bool,
+    /// Per-job records for the deterministic report.
+    pub jobs: Vec<JobRecord>,
+}
+
+/// Aggregate over all sessions of one [`run_client`] call.
+#[derive(Clone, Debug, Default)]
+pub struct ClientReport {
+    /// Per-session breakdowns.
+    pub sessions: Vec<SessionReport>,
+    /// Wall-clock for the whole run, seconds.
+    pub wall_s: f64,
+}
+
+impl ClientReport {
+    fn sum(&self, f: impl Fn(&SessionReport) -> usize) -> usize {
+        self.sessions.iter().map(f).sum()
+    }
+
+    /// Total `result` lines received.
+    pub fn results(&self) -> usize {
+        self.sum(|s| s.results)
+    }
+
+    /// Total results the server reported unverified.
+    pub fn verdict_failures(&self) -> usize {
+        self.sum(|s| s.verdict_failures)
+    }
+
+    /// Total envelopes that passed local re-verification.
+    pub fn verified_local(&self) -> usize {
+        self.sum(|s| s.verified_local)
+    }
+
+    /// Total envelopes that failed local re-verification.
+    pub fn verify_failures(&self) -> usize {
+        self.sum(|s| s.verify_failures)
+    }
+
+    /// Total error lines / protocol problems.
+    pub fn errors(&self) -> usize {
+        self.sum(|s| s.errors)
+    }
+
+    /// Total results whose id belonged to some other session.
+    pub fn id_mismatches(&self) -> usize {
+        self.sum(|s| s.id_mismatches)
+    }
+
+    /// Results per wall-clock second across all sessions.
+    pub fn jobs_per_sec(&self) -> f64 {
+        if self.wall_s <= 0.0 {
+            return 0.0;
+        }
+        self.results() as f64 / self.wall_s
+    }
+
+    /// The `pct`-th latency percentile (nearest-rank over all sessions),
+    /// in milliseconds; 0 when no latencies were measured.
+    pub fn latency_ms(&self, pct: f64) -> f64 {
+        let mut all: Vec<f64> = self
+            .sessions
+            .iter()
+            .flat_map(|s| s.latencies_ms.iter().copied())
+            .collect();
+        if all.is_empty() {
+            return 0.0;
+        }
+        all.sort_by(|a, b| a.partial_cmp(b).expect("latency NaN"));
+        let rank = ((pct / 100.0) * (all.len() as f64 - 1.0)).round() as usize;
+        all[rank.min(all.len() - 1)]
+    }
+
+    /// `true` when every session got its summary, every verdict was
+    /// positive, ids stayed in their sessions, and (when local
+    /// verification ran) every envelope checked out.
+    pub fn all_ok(&self) -> bool {
+        self.sessions.iter().all(|s| s.summary_seen)
+            && self.verdict_failures() == 0
+            && self.verify_failures() == 0
+            && self.id_mismatches() == 0
+            && self.errors() == 0
+    }
+
+    /// Human summary for the CLI.
+    pub fn render_table(&self) -> String {
+        format!(
+            "zkvc client: {} session(s), {} results in {:.3}s ({:.2} jobs/s)\n  \
+             latency p50 {:.3} ms, p99 {:.3} ms\n  \
+             server verdicts: {} ok, {} failed; local verification: {} ok, {} failed\n  \
+             errors {}, id mismatches {}",
+            self.sessions.len(),
+            self.results(),
+            self.wall_s,
+            self.jobs_per_sec(),
+            self.latency_ms(50.0),
+            self.latency_ms(99.0),
+            self.results() - self.verdict_failures(),
+            self.verdict_failures(),
+            self.verified_local(),
+            self.verify_failures(),
+            self.errors(),
+            self.id_mismatches(),
+        )
+    }
+
+    /// Deterministic per-job report (flat JSON): ids, verdicts, and
+    /// proof digests, sorted — two runs against deterministic servers
+    /// diff clean, which is what the CI smoke job checks.
+    pub fn render_report_json(&self) -> String {
+        let mut jobs: Vec<&JobRecord> = self.sessions.iter().flat_map(|s| s.jobs.iter()).collect();
+        jobs.sort_by(|a, b| (&a.id, &a.proof_sha256).cmp(&(&b.id, &b.proof_sha256)));
+        let body: Vec<String> = jobs
+            .iter()
+            .map(|j| {
+                format!(
+                    "{{\"id\":{},\"verified\":{},\"proof_sha256\":\"{}\"}}",
+                    j.id, j.verified, j.proof_sha256
+                )
+            })
+            .collect();
+        format!(
+            "{{\"schema\":\"zkvc-client-report/v1\",\"jobs\":[{}]}}",
+            body.join(",")
+        )
+    }
+}
+
+/// Runs `config.sessions` concurrent client sessions against the
+/// endpoint and aggregates what they saw. Connection failures and hard
+/// stream errors are returned; protocol-level problems are counted in
+/// the report instead.
+pub fn run_client(config: &ClientConfig) -> Result<ClientReport, Error> {
+    let started = Instant::now();
+    let mut handles = Vec::new();
+    for k in 0..config.sessions.max(1) {
+        let config = config.clone();
+        handles.push(thread::spawn(move || run_one_session(&config, k)));
+    }
+    let mut sessions = Vec::new();
+    for handle in handles {
+        let report = handle
+            .join()
+            .map_err(|_| Error::Request("client session thread panicked".into()))??;
+        sessions.push(report);
+    }
+    Ok(ClientReport {
+        sessions,
+        wall_s: started.elapsed().as_secs_f64(),
+    })
+}
+
+/// Runs [`run_client`] once per session count in `sweep` and renders the
+/// `BENCH_serve.json` document: throughput and latency percentiles vs
+/// concurrency against one resident server (so later points run against
+/// a warm key cache, like production traffic would).
+pub fn run_sweep(config: &ClientConfig, sweep: &[usize]) -> Result<String, Error> {
+    let mut points = Vec::new();
+    for &sessions in sweep {
+        let report = run_client(&config.clone().sessions(sessions))?;
+        points.push(format!(
+            "{{\"sessions\":{sessions},\"jobs\":{},\"verdict_failures\":{},\"verified_local\":{},\"jobs_per_sec\":{:.3},\"p50_ms\":{:.3},\"p99_ms\":{:.3},\"wall_s\":{:.3}}}",
+            report.results(),
+            report.verdict_failures(),
+            report.verified_local(),
+            report.jobs_per_sec(),
+            report.latency_ms(50.0),
+            report.latency_ms(99.0),
+            report.wall_s,
+        ));
+    }
+    Ok(format!(
+        "{{\"schema\":\"zkvc-serve-bench/v1\",\"spec\":\"{}\",\"seed\":{},\"count_per_session\":{},\"points\":[{}]}}",
+        json_escape(&config.spec.to_string()),
+        config
+            .seed
+            .map(|s| s.to_string())
+            .unwrap_or_else(|| "null".into()),
+        config.count,
+        points.join(",")
+    ))
+}
+
+/// A `result` line held until the session ends: verification runs after
+/// the read loop so `key` lines that arrive late (another worker's
+/// result raced ahead of the announcement) are still available.
+struct PendingResult {
+    id_token: String,
+    spec_str: String,
+    seed: u64,
+    verified: bool,
+    proof_hex: Option<String>,
+    is_error: bool,
+}
+
+fn str_val(v: &Json) -> Option<&str> {
+    match v {
+        Json::Str(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn num_u64(v: &Json) -> Option<u64> {
+    match v {
+        Json::Num(raw) => raw.parse().ok(),
+        _ => None,
+    }
+}
+
+fn run_one_session(config: &ClientConfig, k: usize) -> Result<SessionReport, Error> {
+    let stream = AnyStream::connect(&config.addr)?;
+    let writer_stream = stream
+        .try_clone()
+        .map_err(|e| Error::io(config.addr.to_string(), e))?;
+    let mut reader = BufReader::new(stream);
+
+    let requests: Vec<(Option<String>, String)> = match &config.jobs {
+        Some(lines) => lines
+            .iter()
+            .filter(|l| !l.trim().is_empty())
+            .map(|l| (None, l.trim().to_string()))
+            .collect(),
+        None => (0..config.count)
+            .map(|i| {
+                let id = format!("c{k}-{i}");
+                let seed = config
+                    .seed
+                    .map(|s| format!(",\"seed\":{s}"))
+                    .unwrap_or_default();
+                let line = format!(
+                    "{{\"spec\":\"{}\",\"id\":\"{id}\"{seed}}}",
+                    json_escape(&config.spec.to_string())
+                );
+                (Some(id), line)
+            })
+            .collect(),
+    };
+
+    let sent_at: Arc<Mutex<HashMap<String, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
+    let writer = {
+        let sent_at = Arc::clone(&sent_at);
+        let mut w = writer_stream;
+        thread::spawn(move || -> usize {
+            let mut sent = 0usize;
+            for (id, line) in requests {
+                if let Some(id) = id {
+                    sent_at
+                        .lock()
+                        .expect("sent-at map poisoned")
+                        .insert(id, Instant::now());
+                }
+                if w.write_all(line.as_bytes())
+                    .and_then(|_| w.write_all(b"\n"))
+                    .is_err()
+                {
+                    break;
+                }
+                sent += 1;
+            }
+            // Half-close: the server reads EOF once it has consumed
+            // everything, flushes our results, and summarises — while
+            // this end keeps reading.
+            let _ = w.shutdown_write();
+            sent
+        })
+    };
+
+    let mut report = SessionReport {
+        session: k,
+        ..SessionReport::default()
+    };
+    let mut keys: HashMap<(String, u64), zkvc_groth16::VerifyingKey> = HashMap::new();
+    let mut pending: Vec<PendingResult> = Vec::new();
+    let mut proto_ok = false;
+    let id_prefix = format!("c{k}-");
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                let _ = writer.join();
+                return Err(Error::io(config.addr.to_string(), e));
+            }
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let Ok(fields) = parse_json_object(trimmed) else {
+            report.errors += 1;
+            continue;
+        };
+        match field(&fields, "type").and_then(str_val).unwrap_or("") {
+            "ready" => {
+                proto_ok = field(&fields, "proto").and_then(str_val) == Some("zkvc-serve/v1");
+            }
+            "key" => {
+                let digest = field(&fields, "shape_digest").and_then(str_val);
+                let seed = field(&fields, "seed").and_then(num_u64);
+                let vk = field(&fields, "vk_hex")
+                    .and_then(str_val)
+                    .and_then(unhex)
+                    .and_then(|bytes| zkvc_groth16::VerifyingKey::from_bytes(&bytes));
+                match (digest, seed, vk) {
+                    (Some(digest), Some(seed), Some(vk)) => {
+                        keys.insert((digest.to_string(), seed), vk);
+                    }
+                    _ => report.errors += 1,
+                }
+            }
+            "result" => {
+                report.results += 1;
+                if config.jobs.is_none() {
+                    match field(&fields, "id") {
+                        Some(Json::Str(id)) if id.starts_with(&id_prefix) => {
+                            let t0 = sent_at.lock().expect("sent-at map poisoned").remove(id);
+                            if let Some(t0) = t0 {
+                                report.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                            } else {
+                                // A duplicate or an id this session never
+                                // sent with this exact index.
+                                report.id_mismatches += 1;
+                            }
+                        }
+                        _ => report.id_mismatches += 1,
+                    }
+                }
+                let verified = field(&fields, "verified") == Some(&Json::Bool(true));
+                if !verified {
+                    report.verdict_failures += 1;
+                }
+                pending.push(PendingResult {
+                    id_token: field(&fields, "id")
+                        .map(Json::to_token)
+                        .unwrap_or_else(|| "null".into()),
+                    spec_str: field(&fields, "spec")
+                        .and_then(str_val)
+                        .unwrap_or("")
+                        .to_string(),
+                    seed: field(&fields, "seed").and_then(num_u64).unwrap_or(0),
+                    verified,
+                    proof_hex: field(&fields, "proof_hex")
+                        .and_then(str_val)
+                        .map(str::to_string),
+                    is_error: field(&fields, "code").is_some(),
+                });
+            }
+            "error" => report.errors += 1,
+            "summary" => {
+                report.summary_seen = true;
+                break;
+            }
+            _ => report.errors += 1,
+        }
+    }
+    report.sent = writer.join().unwrap_or(0);
+    if !proto_ok {
+        report.errors += 1;
+    }
+
+    // Local verification pass, now that every key line is in hand.
+    // Statements (and Spartan preprocessing) are deterministic in
+    // `(spec, seed)`, so each pair is derived once.
+    let mut statements = StatementMemo::new();
+    let mut spartan_verifiers: HashMap<(String, u64), VerifierKey> = HashMap::new();
+    for p in &pending {
+        let mut record = JobRecord {
+            id: p.id_token.clone(),
+            verified: p.verified,
+            proof_sha256: String::new(),
+        };
+        if let Some(proof_hex) = &p.proof_hex {
+            if let Some(bytes) = unhex(proof_hex) {
+                record.proof_sha256 = hex(&sha256(&bytes));
+            }
+        }
+        if config.verify && !p.is_error {
+            match verify_result(p, &keys, &mut statements, &mut spartan_verifiers) {
+                Some(true) => report.verified_local += 1,
+                Some(false) | None => report.verify_failures += 1,
+            }
+        }
+        report.jobs.push(record);
+    }
+    Ok(report)
+}
+
+/// Re-verifies one result envelope exactly the way `zkvc verify` would:
+/// statement binding first, then cryptographic verification against the
+/// expected key for the shape — the streamed vk for Groth16 (looked up
+/// by the *locally recomputed* shape digest, so a server lying about
+/// digests fails here), derived transparent preprocessing for Spartan.
+fn verify_result(
+    p: &PendingResult,
+    keys: &HashMap<(String, u64), zkvc_groth16::VerifyingKey>,
+    statements: &mut StatementMemo,
+    spartan_verifiers: &mut HashMap<(String, u64), VerifierKey>,
+) -> Option<bool> {
+    let (spec, _count) = JobSpec::parse(&p.spec_str).ok()?;
+    let bytes = unhex(p.proof_hex.as_deref()?)?;
+    let envelope = ProofEnvelope::from_bytes(&bytes)?;
+    if envelope.backend != spec.backend() {
+        return Some(false);
+    }
+    let key = (p.spec_str.clone(), p.seed);
+    let (expected, digest_hex, statement) = statements.entry(key.clone()).or_insert_with(|| {
+        let statement = build_statement(p.seed, 0, &spec);
+        let expected = statement.public_outputs();
+        let digest_hex = hex(&statement.shape_digest());
+        (expected, digest_hex, statement)
+    });
+    if !expected.is_empty() && &envelope.public_inputs != expected {
+        return Some(false);
+    }
+    match envelope.backend {
+        Backend::Groth16 => {
+            let vk = keys.get(&(digest_hex.clone(), p.seed))?;
+            Some(envelope.verify_with_key(&VerifierKey::Groth16(vk.clone())))
+        }
+        Backend::Spartan => {
+            let verifier = match spartan_verifiers.get(&key) {
+                Some(v) => v.clone(),
+                None => {
+                    let cache = KeyCache::with_seed(p.seed);
+                    let verifier = cache
+                        .get_or_setup_circuit(Backend::Spartan, statement.as_ref())
+                        .0
+                        .verifier
+                        .clone();
+                    spartan_verifiers.insert(key, verifier.clone());
+                    verifier
+                }
+            };
+            Some(envelope.verify_with_key(&verifier))
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Network-native proving service: the socket transports behind
+//! `zkvc serve --listen` and the `zkvc client` load driver.
+//!
+//! The stdin serve loop ([`crate::serve`]) handles exactly one session
+//! over one pipe. This module promotes the same wire dialect
+//! (`zkvc-serve/v1`, see [`crate::wire`] and `docs/PROTOCOL.md`) to a
+//! real server:
+//!
+//! * [`ListenAddr`] — `unix:/path/to.sock` and `tcp:HOST:PORT` endpoint
+//!   grammar, shared by server and client.
+//! * [`serve_listener`] — accept loop + thread-per-connection sessions,
+//!   all multiplexed onto **one** shared [`ProvingPool`](crate::ProvingPool)
+//!   and warm [`KeyCache`](crate::KeyCache). Each session keeps its own
+//!   id space, key-announcement state, and summary counters; a
+//!   per-session [`SessionCtl`](crate::SessionCtl) bounds its in-flight
+//!   jobs (backpressure lands in the client's socket, not in server
+//!   memory) and cancels the remainder when the client disconnects.
+//! * [`run_client`] / [`run_sweep`] — the measuring client: streams
+//!   requests, verifies returned envelopes against the streamed `key`
+//!   lines, and reports latency percentiles and throughput
+//!   (`BENCH_serve.json`).
+//!
+//! Everything is hand-rolled on `std` blocking sockets — no async
+//! runtime. Read timeouts double as the poll tick that notices shutdown
+//! flags, idle sessions, and broken outputs.
+
+mod addr;
+mod client;
+mod server;
+
+pub use addr::{AnyStream, ListenAddr};
+pub use client::{run_client, run_sweep, ClientConfig, ClientReport, SessionReport};
+pub use server::{serve_listener, NetConfig, NetSummary};

@@ -1,0 +1,413 @@
+//! The socket listener: accept loop, thread-per-connection sessions, and
+//! the connection registry that routes pool results back to the session
+//! that submitted them.
+//!
+//! Every connection gets its own thread running the same intake loop as
+//! the stdin [`crate::serve`] path (shared wire grammar, shared
+//! [`SessionOut`](crate::serve) response plumbing), but all sessions
+//! feed **one** [`ProvingPool`] and one warm [`KeyCache`]: a shape set
+//! up for client A is a cache hit for client B. Isolation is per
+//! session — id spaces, key announcements, summary counters, and a
+//! [`SessionCtl`] that (a) bounds the session's in-flight jobs so one
+//! greedy client parks in its own socket rather than flooding the shared
+//! queue, and (b) cancels the remainder when the client disconnects.
+//!
+//! Blocking reads with a short timeout double as the poll tick: each
+//! tick checks the shutdown flag, the idle deadline, and whether the
+//! response stream broke (dead peer). On shutdown the listener stops
+//! accepting, every session drains its in-flight jobs, flushes its
+//! responses, and emits its summary line before the process exits.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::cache::KeyCache;
+use crate::error::Error;
+use crate::net::addr::{AnyListener, AnyStream, ListenAddr};
+use crate::pool::{PoolConfig, ProvingPool, ResultSink, SessionCtl};
+use crate::serve::{ready_line, ServeConfig, ServeSummary, SessionOut};
+use crate::wire::{error_line, parse_request, LineReader, LineReject};
+
+/// How often a blocked session read wakes to poll shutdown/idle/broken
+/// state.
+const READ_TICK: Duration = Duration::from_millis(250);
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_TICK: Duration = Duration::from_millis(25);
+
+/// Configuration for [`serve_listener`]: the per-session serve settings
+/// plus the listener-level policies.
+#[derive(Debug)]
+pub struct NetConfig {
+    /// Per-session settings (workers and queue bound apply to the one
+    /// shared pool; seed, request-size bound, proof inclusion and cache
+    /// settings apply to every session).
+    pub serve: ServeConfig,
+    /// Sessions silent for this long (no complete request line) with no
+    /// in-flight jobs are reaped: answered with an error line, summarised
+    /// and closed. `None` keeps idle connections forever.
+    pub idle_timeout: Option<Duration>,
+    /// Per-session in-flight job bound: a session blocks in its own
+    /// socket once this many of its jobs are queued or running, leaving
+    /// the shared queue fair for other sessions.
+    pub session_bound: usize,
+}
+
+impl NetConfig {
+    /// Defaults: 5-minute idle timeout, 64 in-flight jobs per session.
+    pub fn new(serve: ServeConfig) -> Self {
+        NetConfig {
+            serve,
+            idle_timeout: Some(Duration::from_secs(300)),
+            session_bound: 64,
+        }
+    }
+
+    /// Sets (or disables) the idle-session reap timeout.
+    pub fn idle_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.idle_timeout = timeout;
+        self
+    }
+
+    /// Sets the per-session in-flight bound (clamped to at least 1).
+    pub fn session_bound(mut self, bound: usize) -> Self {
+        self.session_bound = bound.max(1);
+        self
+    }
+}
+
+/// What a whole [`serve_listener`] run did, aggregated over every
+/// session it accepted.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetSummary {
+    /// Connections accepted.
+    pub sessions: usize,
+    /// Jobs accepted and run across all sessions (cancelled included).
+    pub jobs: usize,
+    /// Jobs whose proof verified.
+    pub verified: usize,
+    /// Jobs that did not verify (bad proof, cancelled, panicked).
+    pub failed: usize,
+    /// Request lines rejected before reaching the pool.
+    pub rejected: usize,
+    /// Sessions that ended uncleanly (peer vanished; their in-flight
+    /// jobs were cancelled).
+    pub disconnected: usize,
+    /// Sessions reaped by the idle timeout.
+    pub reaped_idle: usize,
+}
+
+/// How a session ended; folded into [`NetSummary`].
+enum SessionEnd {
+    /// Client half-closed its write side: the orderly goodbye.
+    Eof,
+    /// The server-wide shutdown flag was raised.
+    Shutdown,
+    /// The peer vanished (read error or broken response stream).
+    Disconnected,
+    /// The idle timeout fired with nothing in flight.
+    ReapedIdle,
+}
+
+/// One live session in the registry: its response plumbing and its
+/// cancellation/backpressure scope. The pool's result sink routes by
+/// [`JobResult::session_id`](crate::JobResult::session_id) into this.
+struct SessionEntry {
+    out: SessionOut<AnyStream>,
+    ctl: Arc<SessionCtl>,
+}
+
+type Registry = Mutex<HashMap<u64, Arc<SessionEntry>>>;
+
+/// Settings every session thread needs, extracted once.
+struct SessionParams {
+    max_request_bytes: usize,
+    queue_bound: usize,
+    seed: u64,
+    workers: usize,
+    session_bound: usize,
+    idle_timeout: Option<Duration>,
+}
+
+/// Binds `addr` and serves connections until `shutdown` becomes `true`,
+/// then drains: stops accepting, lets every live session flush its
+/// in-flight results and summary line, joins the pool, and returns the
+/// aggregate totals. `on_bound` runs once with the address actually
+/// bound (the resolved port for `tcp:HOST:0`) before the first accept.
+///
+/// Request problems are answered in-stream per session; a vanished
+/// client cancels only its own remaining jobs. The returned `Err` is
+/// reserved for listener-level failures (bind errors).
+pub fn serve_listener(
+    addr: &ListenAddr,
+    config: NetConfig,
+    shutdown: Arc<AtomicBool>,
+    on_bound: impl FnOnce(&ListenAddr),
+) -> Result<NetSummary, Error> {
+    let listener = AnyListener::bind(addr)?;
+    on_bound(&listener.bound_addr());
+
+    let cache = Arc::new(config.serve.build_cache());
+    let registry: Arc<Registry> = Arc::new(Mutex::new(HashMap::new()));
+    let params = Arc::new(SessionParams {
+        max_request_bytes: config.serve.max_request_bytes,
+        queue_bound: config.serve.queue_bound,
+        seed: config.serve.seed,
+        workers: config.serve.workers.max(1),
+        session_bound: config.session_bound,
+        idle_timeout: config.idle_timeout,
+    });
+
+    // One sink for the whole pool: route each result to its session's
+    // writer. A result whose session already deregistered (reaped or
+    // long gone) is dropped — there is nowhere left to send it. A broken
+    // writer (peer vanished mid-stream) cancels the session's remaining
+    // jobs right here, so they drain instead of proving into the void.
+    let sink: ResultSink = {
+        let registry = Arc::clone(&registry);
+        let cache = Arc::clone(&cache);
+        let include_proofs = config.serve.include_proofs;
+        let disk = config.serve.disk_cache.clone();
+        Arc::new(move |result| {
+            let Some(sid) = result.session_id else { return };
+            let entry = registry
+                .lock()
+                .expect("session registry poisoned")
+                .get(&sid)
+                .cloned();
+            if let Some(entry) = entry {
+                entry
+                    .out
+                    .emit_result(&cache, disk.as_ref(), include_proofs, result);
+                if entry.out.out.is_broken() {
+                    entry.ctl.cancel();
+                }
+            }
+        })
+    };
+
+    let pool = Arc::new(ProvingPool::configured(
+        PoolConfig::new(config.serve.workers)
+            .seed(config.serve.seed)
+            .queue_bound(config.serve.queue_bound)
+            .retain_results(false),
+        Arc::clone(&cache),
+        Some(sink),
+    ));
+
+    let totals = Arc::new(Mutex::new(NetSummary::default()));
+    let mut handles = Vec::new();
+    let mut next_sid: u64 = 0;
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok(stream) => {
+                next_sid += 1;
+                let sid = next_sid;
+                let pool = Arc::clone(&pool);
+                let cache = Arc::clone(&cache);
+                let registry = Arc::clone(&registry);
+                let params = Arc::clone(&params);
+                let shutdown = Arc::clone(&shutdown);
+                let totals = Arc::clone(&totals);
+                handles.push(thread::spawn(move || {
+                    let (summary, end) =
+                        run_session(stream, sid, &pool, &cache, &registry, &params, &shutdown);
+                    let mut totals = totals.lock().expect("net totals poisoned");
+                    totals.sessions += 1;
+                    totals.jobs += summary.jobs;
+                    totals.verified += summary.verified;
+                    totals.failed += summary.failed;
+                    totals.rejected += summary.rejected;
+                    match end {
+                        SessionEnd::Disconnected => totals.disconnected += 1,
+                        SessionEnd::ReapedIdle => totals.reaped_idle += 1,
+                        SessionEnd::Eof | SessionEnd::Shutdown => {}
+                    }
+                }));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_TICK),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            // Transient accept failures (fd exhaustion, aborted
+            // handshakes): back off and keep listening — one hiccup must
+            // not take the whole service down.
+            Err(_) => thread::sleep(ACCEPT_TICK),
+        }
+    }
+
+    // Graceful drain: the accept loop has stopped; every session notices
+    // the flag within a read tick, drains its in-flight jobs through the
+    // sink, and writes its summary. Only then is the shared pool joined.
+    for handle in handles {
+        let _ = handle.join();
+    }
+    drop(listener);
+    Arc::try_unwrap(pool)
+        .ok()
+        .expect("all session threads joined")
+        .join();
+    let totals = *totals.lock().expect("net totals poisoned");
+    Ok(totals)
+}
+
+/// One connection's lifecycle: handshake, request intake with
+/// per-session backpressure, drain, summary.
+fn run_session(
+    stream: AnyStream,
+    sid: u64,
+    pool: &ProvingPool,
+    cache: &KeyCache,
+    registry: &Registry,
+    params: &SessionParams,
+    shutdown: &AtomicBool,
+) -> (ServeSummary, SessionEnd) {
+    let started = Instant::now();
+    let _ = stream.set_read_timeout(Some(READ_TICK));
+    let Ok(write_half) = stream.try_clone() else {
+        return (ServeSummary::default(), SessionEnd::Disconnected);
+    };
+    let entry = Arc::new(SessionEntry {
+        out: SessionOut::new(write_half),
+        ctl: Arc::new(SessionCtl::new(sid, params.session_bound)),
+    });
+    registry
+        .lock()
+        .expect("session registry poisoned")
+        .insert(sid, Arc::clone(&entry));
+
+    entry.out.out.emit(&ready_line(
+        Some(sid),
+        params.workers,
+        params.seed,
+        params.queue_bound,
+    ));
+
+    let mut reader = BufReader::new(stream);
+    // One stateful reader across ticks: a read timeout mid-line must not
+    // tear the partial request (see `wire::LineReader`).
+    let mut lines = LineReader::new(params.max_request_bytes);
+    let mut rejected = 0usize;
+    let mut last_activity = Instant::now();
+    let mut end = loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break SessionEnd::Shutdown;
+        }
+        if entry.out.out.is_broken() {
+            entry.ctl.cancel();
+            break SessionEnd::Disconnected;
+        }
+        match lines.read_line(&mut reader) {
+            Ok(None) => break SessionEnd::Eof,
+            Ok(Some(Err(LineReject::TooLarge(actual)))) => {
+                rejected += 1;
+                last_activity = Instant::now();
+                let error = Error::RequestTooLarge {
+                    actual,
+                    limit: params.max_request_bytes,
+                };
+                entry.out.out.emit(&error_line(None, &error));
+            }
+            Ok(Some(Err(LineReject::NotUtf8))) => {
+                rejected += 1;
+                last_activity = Instant::now();
+                let error = Error::Request("request line is not valid UTF-8".into());
+                entry.out.out.emit(&error_line(None, &error));
+            }
+            Ok(Some(Ok(line))) => {
+                last_activity = Instant::now();
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                match parse_request(line) {
+                    Ok(request) if request.count > params.queue_bound => {
+                        rejected += 1;
+                        let error = Error::Request(format!(
+                            "repetition count {} exceeds the queue bound {} (send more lines instead)",
+                            request.count, params.queue_bound
+                        ));
+                        entry
+                            .out
+                            .out
+                            .emit(&error_line(request.id_json.as_deref(), &error));
+                    }
+                    Ok(request) => {
+                        let seed = request.seed.unwrap_or(params.seed);
+                        let priority = request.priority.unwrap_or(request.spec.priority());
+                        for _ in 0..request.count {
+                            // A session cancelled mid-request (peer died
+                            // while we were blocked on its own bound)
+                            // stops submitting; the drain below settles
+                            // what was already accepted.
+                            if entry.ctl.is_cancelled() {
+                                break;
+                            }
+                            pool.submit_for_session(
+                                request.spec,
+                                seed,
+                                priority,
+                                request.id_json.clone(),
+                                Arc::clone(&entry.ctl),
+                            );
+                        }
+                    }
+                    Err((error, id_json)) => {
+                        rejected += 1;
+                        entry.out.out.emit(&error_line(id_json.as_deref(), &error));
+                    }
+                }
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                // Poll tick. Reap only truly idle sessions: a client
+                // quietly waiting for a deep queue of its own jobs is
+                // not idle.
+                if let Some(idle) = params.idle_timeout {
+                    if last_activity.elapsed() >= idle && entry.ctl.in_flight() == 0 {
+                        let error = Error::Request(format!(
+                            "idle for {}s with no in-flight jobs, closing session",
+                            idle.as_secs()
+                        ));
+                        entry.out.out.emit(&error_line(None, &error));
+                        break SessionEnd::ReapedIdle;
+                    }
+                }
+            }
+            Err(_) => {
+                entry.ctl.cancel();
+                break SessionEnd::Disconnected;
+            }
+        }
+    };
+
+    // Settle every accepted job before summarising: results flow through
+    // the pool sink into this session's writer; `drain` returns only
+    // once the last one has been fully emitted. If the peer is gone the
+    // first failed write latches the output broken, the sink cancels the
+    // session, and the remaining jobs drain unproved — so this never
+    // waits on proofs nobody will read.
+    entry.ctl.drain();
+    if matches!(end, SessionEnd::Eof) && entry.out.out.is_broken() {
+        end = SessionEnd::Disconnected;
+    }
+    let summary = entry.out.emit_summary(
+        Some(sid),
+        rejected,
+        cache,
+        started.elapsed().as_secs_f64(),
+        "",
+    );
+    registry
+        .lock()
+        .expect("session registry poisoned")
+        .remove(&sid);
+    (summary, end)
+}

@@ -23,8 +23,8 @@
 
 use std::collections::HashSet;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -77,6 +77,99 @@ impl fmt::Display for JobError {
     }
 }
 
+/// Admission control and cancellation scope for one client session
+/// multiplexed onto a shared [`ProvingPool`] (the socket listener in
+/// [`crate::net`] creates one per connection).
+///
+/// Two jobs it does for the network layer:
+///
+/// * **Per-session backpressure** — [`ProvingPool::submit_for_session`]
+///   blocks while the session already has `limit` jobs in flight
+///   (queued or proving), so one flooding client fills its own pipe
+///   instead of monopolising the pool's shared queue bound.
+/// * **Cancel-on-disconnect** — [`SessionCtl::cancel`] marks the
+///   session; its queued jobs drain as [`JobError::Cancelled`] without
+///   proving, and the one in flight stops at its next checkpoint. Other
+///   sessions are untouched.
+///
+/// [`SessionCtl::drain`] blocks until every in-flight job has been
+/// *fully processed* (result sink included), which is what lets a
+/// session thread flush all of its responses before emitting the
+/// summary line.
+#[derive(Debug)]
+pub struct SessionCtl {
+    id: u64,
+    cancelled: AtomicBool,
+    in_flight: Mutex<usize>,
+    changed: Condvar,
+    limit: usize,
+}
+
+impl SessionCtl {
+    /// A session scope admitting at most `limit` in-flight jobs
+    /// (clamped to at least 1); `id` tags this session's results.
+    pub fn new(id: u64, limit: usize) -> Self {
+        SessionCtl {
+            id,
+            cancelled: AtomicBool::new(false),
+            in_flight: Mutex::new(0),
+            changed: Condvar::new(),
+            limit: limit.max(1),
+        }
+    }
+
+    /// The session id carried in [`JobResult::session_id`].
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Marks the session cancelled: its queued jobs drain unproved, and
+    /// producers blocked on the session bound are released.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
+        // Empty critical section orders the store before the wakeups.
+        drop(self.in_flight.lock().expect("session state poisoned"));
+        self.changed.notify_all();
+    }
+
+    /// `true` once [`SessionCtl::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+
+    /// Jobs submitted for this session and not yet fully processed.
+    pub fn in_flight(&self) -> usize {
+        *self.in_flight.lock().expect("session state poisoned")
+    }
+
+    /// Blocks while the session is at its in-flight limit (unless
+    /// cancelled — drains must not deadlock), then claims a slot.
+    fn acquire(&self) {
+        let mut count = self.in_flight.lock().expect("session state poisoned");
+        while *count >= self.limit && !self.is_cancelled() {
+            count = self.changed.wait(count).expect("session state poisoned");
+        }
+        *count += 1;
+    }
+
+    /// Releases a slot after the job's result has been fully processed.
+    fn release(&self) {
+        let mut count = self.in_flight.lock().expect("session state poisoned");
+        *count -= 1;
+        drop(count);
+        self.changed.notify_all();
+    }
+
+    /// Blocks until every in-flight job of this session has been fully
+    /// processed (its result delivered through the pool's sink).
+    pub fn drain(&self) {
+        let mut count = self.in_flight.lock().expect("session state poisoned");
+        while *count > 0 {
+            count = self.changed.wait(count).expect("session state poisoned");
+        }
+    }
+}
+
 /// The outcome of one pooled proving job.
 #[derive(Clone, Debug)]
 pub struct JobResult {
@@ -118,6 +211,10 @@ pub struct JobResult {
     pub verify_time: Duration,
     /// R1CS constraints proved.
     pub num_constraints: usize,
+    /// Id of the [`SessionCtl`] scope the job was submitted under, when
+    /// any (the socket listener routes results back to their session's
+    /// connection by it).
+    pub session_id: Option<u64>,
 }
 
 /// One entry of a batch's out-of-band key table: the verification key for
@@ -441,7 +538,19 @@ struct QueuedJob {
     seed: u64,
     spec: JobSpec,
     tag: Option<String>,
+    /// The session scope the job belongs to (socket sessions only): its
+    /// cancellation is honoured alongside the pool-wide flag, and its
+    /// in-flight slot is released once the result has been processed.
+    session: Option<Arc<SessionCtl>>,
     enqueued: Instant,
+}
+
+impl QueuedJob {
+    /// `true` when either the whole pool or this job's session has been
+    /// cancelled.
+    fn is_cancelled(&self, sched: &Scheduler<QueuedJob>) -> bool {
+        sched.is_cancelled() || self.session.as_ref().is_some_and(|s| s.is_cancelled())
+    }
 }
 
 /// A worker pool proving jobs concurrently with shared key caching.
@@ -473,7 +582,11 @@ impl ProvingPool {
     /// from worker threads as each job completes.
     pub fn configured(config: PoolConfig, cache: Arc<KeyCache>, sink: Option<ResultSink>) -> Self {
         let workers = config.workers.max(1);
-        let sched = Arc::new(Scheduler::new(workers, config.queue_bound, config.policy));
+        let sched = Arc::new(Scheduler::<QueuedJob>::new(
+            workers,
+            config.queue_bound,
+            config.policy,
+        ));
         let results = Arc::new(Mutex::new(Vec::new()));
         let retain = config.retain_results;
         let mut handles = Vec::with_capacity(workers);
@@ -487,12 +600,19 @@ impl ProvingPool {
                     .name(format!("zkvc-worker-{w}"))
                     .spawn(move || {
                         while let Some(job) = sched.next(w) {
+                            let session = job.session.clone();
                             let result = execute_job(job, w, &cache, &sched);
                             if let Some(sink) = &sink {
                                 sink(&result);
                             }
                             if retain {
                                 results.lock().expect("results poisoned").push(result);
+                            }
+                            // Release only after the sink ran: a session
+                            // drain returning means every response line
+                            // for that session has been written.
+                            if let Some(session) = session {
+                                session.release();
                             }
                         }
                     })
@@ -527,6 +647,7 @@ impl ProvingPool {
             seed: self.seed,
             spec,
             tag: None,
+            session: None,
             enqueued: Instant::now(),
         };
         if self.sched.submit(job, priority).is_err() {
@@ -554,6 +675,37 @@ impl ProvingPool {
             seed,
             spec,
             tag,
+            session: None,
+            enqueued: Instant::now(),
+        };
+        if self.sched.submit(job, priority).is_err() {
+            panic!("pool already joined");
+        }
+        id
+    }
+
+    /// [`Self::submit_request`] scoped to a client session: blocks first
+    /// on the session's own in-flight limit (per-connection
+    /// backpressure), then on the pool's shared queue bound. The job
+    /// honours the session's cancellation and carries its id in
+    /// [`JobResult::session_id`].
+    pub fn submit_for_session(
+        &self,
+        spec: JobSpec,
+        seed: u64,
+        priority: Priority,
+        tag: Option<String>,
+        session: Arc<SessionCtl>,
+    ) -> usize {
+        session.acquire();
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let job = QueuedJob {
+            id,
+            statement_id: 0,
+            seed,
+            spec,
+            tag,
+            session: Some(session),
             enqueued: Instant::now(),
         };
         if self.sched.submit(job, priority).is_err() {
@@ -754,6 +906,7 @@ fn aborted_result(
         prove_time: Duration::ZERO,
         verify_time: Duration::ZERO,
         num_constraints: 0,
+        session_id: job.session.as_ref().map(|s| s.id()),
     }
 }
 
@@ -775,7 +928,7 @@ fn execute_job(
     sched: &Scheduler<QueuedJob>,
 ) -> JobResult {
     let queue_wait = job.enqueued.elapsed();
-    if sched.is_cancelled() {
+    if job.is_cancelled(sched) {
         return aborted_result(
             &job,
             worker,
@@ -785,7 +938,7 @@ fn execute_job(
         );
     }
     match catch_unwind(AssertUnwindSafe(|| {
-        run_job(&job, worker, queue_wait, cache, &|| sched.is_cancelled())
+        run_job(&job, worker, queue_wait, cache, &|| job.is_cancelled(sched))
     })) {
         Ok(result) => result,
         Err(payload) => aborted_result(
@@ -872,6 +1025,7 @@ fn run_job(
         prove_time,
         verify_time,
         num_constraints,
+        session_id: job.session.as_ref().map(|s| s.id()),
     }
 }
 
@@ -944,6 +1098,7 @@ pub fn prove_batch_serial(specs: &[JobSpec], seed: u64) -> BatchReport {
             prove_time: artifacts.metrics.setup_time + artifacts.metrics.prove_time,
             verify_time,
             num_constraints: artifacts.metrics.num_constraints,
+            session_id: None,
         });
     }
     BatchReport {
@@ -1171,5 +1326,78 @@ mod tests {
             &statement.public_outputs(),
             |e| e.verify_with_shape(&shape)
         ));
+    }
+
+    #[test]
+    fn session_cancellation_is_scoped_to_the_session() {
+        // Two sessions share one pool; cancelling one must drain only its
+        // jobs (as Cancelled, tagged with its session id) while the other
+        // session's jobs prove normally. Cancelling *before* submission
+        // makes the outcome deterministic: acquire passes through on a
+        // cancelled session, and every worker pickup sees it cancelled.
+        let pool = ProvingPool::new(2);
+        let dead = Arc::new(SessionCtl::new(1, 8));
+        let live = Arc::new(SessionCtl::new(2, 8));
+        dead.cancel();
+        let spec = JobSpec::new(3, 3, 3).with_backend(Backend::Spartan);
+        for _ in 0..3 {
+            pool.submit_for_session(spec, 5, Priority::Normal, None, Arc::clone(&dead));
+        }
+        for _ in 0..3 {
+            pool.submit_for_session(spec, 5, Priority::Normal, None, Arc::clone(&live));
+        }
+        let report = pool.join();
+        let by = |sid: u64| {
+            report
+                .results
+                .iter()
+                .filter(move |r| r.session_id == Some(sid))
+        };
+        assert_eq!(by(1).count(), 3);
+        assert!(by(1).all(|r| matches!(r.error, Some(JobError::Cancelled)) && !r.verified));
+        assert_eq!(by(2).count(), 3);
+        assert!(by(2).all(|r| r.verified));
+        // Every slot was released through the sink path.
+        assert_eq!(dead.in_flight(), 0);
+        assert_eq!(live.in_flight(), 0);
+    }
+
+    #[test]
+    fn session_admission_blocks_at_the_limit_until_release_or_cancel() {
+        let ctl = Arc::new(SessionCtl::new(7, 2));
+        ctl.acquire();
+        ctl.acquire();
+        assert_eq!(ctl.in_flight(), 2);
+
+        // A third acquire parks until a slot frees up.
+        let acquired = Arc::new(AtomicBool::new(false));
+        let waiter = {
+            let ctl = Arc::clone(&ctl);
+            let acquired = Arc::clone(&acquired);
+            thread::spawn(move || {
+                ctl.acquire();
+                acquired.store(true, Ordering::SeqCst);
+            })
+        };
+        thread::sleep(Duration::from_millis(100));
+        assert!(!acquired.load(Ordering::SeqCst), "blocked at the limit");
+        ctl.release();
+        waiter.join().unwrap();
+        assert!(acquired.load(Ordering::SeqCst));
+        assert_eq!(ctl.in_flight(), 2);
+
+        // Cancellation lifts the bound so a draining session can never
+        // deadlock a producer.
+        let post_cancel = {
+            let ctl = Arc::clone(&ctl);
+            thread::spawn(move || {
+                ctl.acquire();
+                ctl.acquire();
+            })
+        };
+        thread::sleep(Duration::from_millis(50));
+        ctl.cancel();
+        post_cancel.join().unwrap();
+        assert!(ctl.in_flight() >= 2);
     }
 }

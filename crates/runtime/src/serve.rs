@@ -6,48 +6,21 @@
 //! server, so a repeat circuit shape is O(prove), not O(setup), no matter
 //! how many requests ago it was first seen.
 //!
-//! ## Wire format
-//!
-//! One JSON object per line, flat (no nested containers). Requests:
-//!
-//! ```text
-//! {"spec": "8x8x16:zkvc:g"}
-//! {"spec": "4x4x4:spartan:x3", "id": "batch-7", "seed": 42, "priority": "high"}
-//! ```
-//!
-//! * `spec` (required): the job grammar shared with the whole CLI,
-//!   including `:xCOUNT` repetition (capped at the queue bound per line,
-//!   so one line cannot commit the server to unbounded proving).
-//! * `id` (optional): string or number, echoed verbatim in every response
-//!   for this request.
-//! * `seed` (optional): statement seed for this request (default: the
-//!   server's `--seed`). Proofs are produced for *statement id 0* at that
-//!   seed, so `zkvc verify --spec S --seed N` can check them offline.
-//! * `priority` (optional): `"high"` or `"normal"`, overriding the
-//!   spec-derived class.
-//!
-//! Responses (`type` field discriminates):
-//!
-//! ```text
-//! {"type":"ready","proto":"zkvc-serve/v1","workers":4,"seed":0,"queue_bound":256}
-//! {"type":"result","id":"batch-7","job":3,"spec":"4x4x4:crpc+psq:spartan","seed":42,
-//!  "verified":true,"cache_hit":false,"worker":1,"constraints":208,
-//!  "shape_digest":"...","queue_ms":0.1,"build_ms":1.2,"prove_ms":31.0,
-//!  "verify_ms":2.4,"proof_bytes":412,"proof_hex":"..."}
-//! {"type":"key","backend":"groth16","shape_digest":"...","seed":0,"vk_hex":"..."}
-//! {"type":"error","id":null,"code":2,"error":"bad request: ..."}
-//! {"type":"summary","jobs":4,"verified":4,"failed":0,"rejected":1,
-//!  "cache_hits":3,"cache_misses":1,"wall_s":1.204}
-//! ```
+//! The wire dialect (flat JSON-lines, `zkvc-serve/v1`) lives in
+//! [`crate::wire`] and is shared with the socket listener sessions in
+//! [`crate::net`]; `docs/PROTOCOL.md` freezes the schema. This module
+//! owns the *session semantics*: request intake with backpressure,
+//! per-`(shape, seed)` key streaming, counters, and the summary line.
 //!
 //! A `key` line is emitted once per new Groth16 `(shape, seed)` — result
 //! envelopes are keyless, exactly like pool batches — when the shape's
-//! first-setup job completes (results for cache-hit jobs of the same
-//! shape may land before it; buffer if verifying online). Malformed,
-//! oversized, or unparseable requests are answered with an `error` line
-//! carrying the exit-code class the CLI would have used (`2`), and the
-//! server keeps running: one bad client line never kills the process.
+//! first job completes (results for cache-hit jobs of the same shape may
+//! land before it; buffer if verifying online). Malformed, oversized, or
+//! unparseable requests are answered with an `error` line carrying the
+//! exit-code class the CLI would have used (`2`), and the server keeps
+//! running: one bad client line never kills the process.
 
+use std::collections::HashSet;
 use std::io::{self, BufRead, Write};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -59,11 +32,15 @@ use crate::cache::KeyCache;
 use crate::disk::DiskKeyCache;
 use crate::error::Error;
 use crate::pool::{JobResult, PoolConfig, ProvingPool, ResultSink};
-use crate::sched::Priority;
-use crate::spec::JobSpec;
-use crate::util::{hex, json_escape};
+use crate::util::hex;
+use crate::wire::{error_line, parse_request, read_bounded_line, result_line, LineReject};
 
-/// Configuration for [`serve`].
+/// Default byte bound for the resident key cache (see
+/// [`ServeConfig::cache_bytes`]).
+pub const DEFAULT_CACHE_BYTES: usize = 256 << 20;
+
+/// Configuration for [`serve`] (and, via [`crate::net::NetConfig`], for
+/// every socket listener session).
 #[derive(Debug)]
 pub struct ServeConfig {
     /// Worker threads proving requests.
@@ -84,11 +61,16 @@ pub struct ServeConfig {
     /// are first proved, so offline `zkvc verify --key-cache` calls skip
     /// CRS re-derivation.
     pub disk_cache: Option<DiskKeyCache>,
+    /// Byte bound on the resident [`KeyCache`]: when the compiled shapes
+    /// held alive exceed this, the least-recently-used cold shapes are
+    /// evicted (and re-set-up on next use). `None` disables the bound.
+    pub cache_bytes: Option<usize>,
 }
 
 impl ServeConfig {
     /// Defaults: `workers` threads, seed 0, 256-job queue bound, 64 KiB
-    /// request lines, proofs included, no disk persistence.
+    /// request lines, proofs included, no disk persistence, a 256 MiB
+    /// shape-byte bound on the resident key cache.
     pub fn new(workers: usize) -> Self {
         ServeConfig {
             workers: workers.max(1),
@@ -97,6 +79,7 @@ impl ServeConfig {
             max_request_bytes: 64 * 1024,
             include_proofs: true,
             disk_cache: None,
+            cache_bytes: Some(DEFAULT_CACHE_BYTES),
         }
     }
 
@@ -129,6 +112,21 @@ impl ServeConfig {
         self.disk_cache = disk;
         self
     }
+
+    /// Sets (or disables) the resident key cache's shape-byte bound.
+    pub fn cache_bytes(mut self, bytes: Option<usize>) -> Self {
+        self.cache_bytes = bytes;
+        self
+    }
+
+    /// Builds the resident key cache this config describes.
+    pub(crate) fn build_cache(&self) -> KeyCache {
+        let cache = KeyCache::with_seed(self.seed);
+        match self.cache_bytes {
+            Some(bytes) => cache.bound_shape_bytes(bytes),
+            None => cache,
+        }
+    }
 }
 
 /// What a [`serve`] session did, returned after the input stream ends.
@@ -145,21 +143,22 @@ pub struct ServeSummary {
     pub rejected: usize,
 }
 
-#[derive(Default)]
-struct Counters {
-    jobs: AtomicUsize,
-    verified: AtomicUsize,
-}
-
 /// Shared writer: worker sinks and the intake loop interleave whole
 /// lines; the first I/O error is latched and ends the session.
-struct Output<W: Write> {
+pub(crate) struct Output<W: Write> {
     writer: Mutex<W>,
     broken: Mutex<Option<io::Error>>,
 }
 
 impl<W: Write> Output<W> {
-    fn emit(&self, line: &str) {
+    pub(crate) fn new(writer: W) -> Self {
+        Output {
+            writer: Mutex::new(writer),
+            broken: Mutex::new(None),
+        }
+    }
+
+    pub(crate) fn emit(&self, line: &str) {
         let mut w = self.writer.lock().expect("serve output poisoned");
         let result = writeln!(w, "{line}").and_then(|_| w.flush());
         if let Err(e) = result {
@@ -171,13 +170,143 @@ impl<W: Write> Output<W> {
     /// `true` once any emit has failed; the latched error stays put for
     /// [`Output::take_error`] so a broken-pipe session still reports its
     /// root cause at the end.
-    fn is_broken(&self) -> bool {
+    pub(crate) fn is_broken(&self) -> bool {
         self.broken.lock().expect("serve output poisoned").is_some()
     }
 
-    fn take_error(&self) -> Option<io::Error> {
+    pub(crate) fn take_error(&self) -> Option<io::Error> {
         self.broken.lock().expect("serve output poisoned").take()
     }
+}
+
+/// Per-session response state shared between the intake loop and the
+/// pool's result sink: the latched line writer, the set of `(shape,
+/// seed)` pairs whose Groth16 key line already streamed, and the
+/// jobs/verified counters feeding the session summary.
+///
+/// The sent-key set (rather than the result's `cache_hit` flag) decides
+/// key emission: with a byte-bounded cache a shape can be evicted and
+/// re-set-up, which would re-announce the key mid-session otherwise —
+/// and each socket session needs its own announcement state anyway.
+pub(crate) struct SessionOut<W: Write> {
+    pub(crate) out: Output<W>,
+    sent_keys: Mutex<HashSet<([u8; 32], u64)>>,
+    pub(crate) jobs: AtomicUsize,
+    pub(crate) verified: AtomicUsize,
+}
+
+impl<W: Write> SessionOut<W> {
+    pub(crate) fn new(writer: W) -> Self {
+        SessionOut {
+            out: Output::new(writer),
+            sent_keys: Mutex::new(HashSet::new()),
+            jobs: AtomicUsize::new(0),
+            verified: AtomicUsize::new(0),
+        }
+    }
+
+    /// Streams one job result to this session: the `key` line first if
+    /// this is the session's first Groth16 result for its `(shape,
+    /// seed)` (persisting the vk to `disk` best-effort), then the
+    /// `result` line; updates the session counters.
+    pub(crate) fn emit_result(
+        &self,
+        cache: &KeyCache,
+        disk: Option<&DiskKeyCache>,
+        include_proofs: bool,
+        result: &JobResult,
+    ) {
+        if result.error.is_none() && result.spec.backend() == Backend::Groth16 {
+            let key = (result.shape_digest, result.seed);
+            let already = self
+                .sent_keys
+                .lock()
+                .expect("sent-keys poisoned")
+                .contains(&key);
+            if !already {
+                // Fetch under no lock (setup can be slow); mark sent only
+                // once the vk was actually found and emitted, so an
+                // eviction race just retries on the next same-shape result.
+                if let Some(keys) = cache.get(&result.shape_digest, Backend::Groth16, result.seed) {
+                    if let VerifierKey::Groth16(vk) = &keys.verifier {
+                        let first = self
+                            .sent_keys
+                            .lock()
+                            .expect("sent-keys poisoned")
+                            .insert(key);
+                        if first {
+                            self.out.emit(&format!(
+                                "{{\"type\":\"key\",\"backend\":\"groth16\",\"shape_digest\":\"{}\",\"seed\":{},\"vk_hex\":\"{}\"}}",
+                                hex(&result.shape_digest),
+                                result.seed,
+                                hex(&vk.to_bytes())
+                            ));
+                            if let Some(disk) = disk {
+                                // Persistence is best-effort: a read-only
+                                // disk must not fail the job.
+                                let _ =
+                                    disk.store_groth16_vk(&result.shape_digest, result.seed, vk);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.jobs.fetch_add(1, Ordering::Relaxed);
+        if result.verified {
+            self.verified.fetch_add(1, Ordering::Relaxed);
+        }
+        self.out.emit(&result_line(result, include_proofs));
+    }
+
+    /// Renders and emits the session `summary` line; `session` tags it
+    /// for multi-session transports, `extra` appends transport-specific
+    /// fields (already comma-prefixed).
+    pub(crate) fn emit_summary(
+        &self,
+        session: Option<u64>,
+        rejected: usize,
+        cache: &KeyCache,
+        wall_s: f64,
+        extra: &str,
+    ) -> ServeSummary {
+        let jobs = self.jobs.load(Ordering::Relaxed);
+        let verified = self.verified.load(Ordering::Relaxed);
+        let summary = ServeSummary {
+            jobs,
+            verified,
+            failed: jobs - verified,
+            rejected,
+        };
+        let stats = cache.stats();
+        let session = match session {
+            Some(id) => format!("\"session\":{id},"),
+            None => String::new(),
+        };
+        self.out.emit(&format!(
+            "{{\"type\":\"summary\",{session}\"jobs\":{},\"verified\":{},\"failed\":{},\"rejected\":{},\"cache_hits\":{},\"cache_misses\":{},\"wall_s\":{:.3}{extra}}}",
+            summary.jobs,
+            summary.verified,
+            summary.failed,
+            summary.rejected,
+            stats.hits,
+            stats.misses,
+            wall_s,
+        ));
+        summary
+    }
+}
+
+/// Renders the session `ready` line: the protocol handshake every
+/// transport opens with.
+pub(crate) fn ready_line(session: Option<u64>, workers: usize, seed: u64, bound: usize) -> String {
+    let session = match session {
+        Some(id) => format!("\"session\":{id},"),
+        None => String::new(),
+    };
+    format!(
+        "{{\"type\":\"ready\",\"proto\":\"zkvc-serve/v1\",{session}\"workers\":{workers},\"seed\":{seed},\"queue_bound\":{bound}}}"
+    )
 }
 
 /// Runs the serve loop over `input`/`output` until `input` reaches EOF,
@@ -190,47 +319,16 @@ pub fn serve<R: BufRead, W: Write + Send + 'static>(
     config: ServeConfig,
 ) -> Result<ServeSummary, Error> {
     let started = Instant::now();
-    let out = Arc::new(Output {
-        writer: Mutex::new(output),
-        broken: Mutex::new(None),
-    });
-    let cache = Arc::new(KeyCache::with_seed(config.seed));
-    let counters = Arc::new(Counters::default());
+    let session = Arc::new(SessionOut::new(output));
+    let cache = Arc::new(config.build_cache());
 
     let sink: ResultSink = {
-        let out = Arc::clone(&out);
+        let session = Arc::clone(&session);
         let cache = Arc::clone(&cache);
-        let counters = Arc::clone(&counters);
         let include_proofs = config.include_proofs;
         let disk = config.disk_cache.clone();
         Arc::new(move |result: &JobResult| {
-            // First setup of a Groth16 (shape, seed): stream the vk once
-            // (results are keyless) and persist it if configured.
-            if result.error.is_none()
-                && !result.cache_hit
-                && result.spec.backend() == Backend::Groth16
-            {
-                if let Some(keys) = cache.get(&result.shape_digest, Backend::Groth16, result.seed) {
-                    if let VerifierKey::Groth16(vk) = &keys.verifier {
-                        out.emit(&format!(
-                            "{{\"type\":\"key\",\"backend\":\"groth16\",\"shape_digest\":\"{}\",\"seed\":{},\"vk_hex\":\"{}\"}}",
-                            hex(&result.shape_digest),
-                            result.seed,
-                            hex(&vk.to_bytes())
-                        ));
-                        if let Some(disk) = &disk {
-                            // Persistence is best-effort: a read-only disk
-                            // must not fail the job.
-                            let _ = disk.store_groth16_vk(&result.shape_digest, result.seed, vk);
-                        }
-                    }
-                }
-            }
-            counters.jobs.fetch_add(1, Ordering::Relaxed);
-            if result.verified {
-                counters.verified.fetch_add(1, Ordering::Relaxed);
-            }
-            out.emit(&result_line(result, include_proofs));
+            session.emit_result(&cache, disk.as_ref(), include_proofs, result);
         })
     };
 
@@ -243,16 +341,16 @@ pub fn serve<R: BufRead, W: Write + Send + 'static>(
         Some(sink),
     );
 
-    out.emit(&format!(
-        "{{\"type\":\"ready\",\"proto\":\"zkvc-serve/v1\",\"workers\":{},\"seed\":{},\"queue_bound\":{}}}",
-        pool_workers(&config),
+    session.out.emit(&ready_line(
+        None,
+        config.workers.max(1),
         config.seed,
-        config.queue_bound
+        config.queue_bound,
     ));
 
     let mut rejected = 0usize;
     loop {
-        if out.is_broken() {
+        if session.out.is_broken() {
             // The consumer hung up; stop reading, drain, and report below.
             break;
         }
@@ -264,12 +362,12 @@ pub fn serve<R: BufRead, W: Write + Send + 'static>(
                     actual,
                     limit: config.max_request_bytes,
                 };
-                out.emit(&error_line(None, &error));
+                session.out.emit(&error_line(None, &error));
             }
             Ok(Some(Err(LineReject::NotUtf8))) => {
                 rejected += 1;
                 let error = Error::Request("request line is not valid UTF-8".into());
-                out.emit(&error_line(None, &error));
+                session.out.emit(&error_line(None, &error));
             }
             Ok(Some(Ok(line))) => {
                 let line = line.trim();
@@ -287,7 +385,9 @@ pub fn serve<R: BufRead, W: Write + Send + 'static>(
                             "repetition count {} exceeds the queue bound {} (send more lines instead)",
                             request.count, config.queue_bound
                         ));
-                        out.emit(&error_line(request.id_json.as_deref(), &error));
+                        session
+                            .out
+                            .emit(&error_line(request.id_json.as_deref(), &error));
                     }
                     Ok(request) => {
                         let seed = request.seed.unwrap_or(config.seed);
@@ -303,7 +403,7 @@ pub fn serve<R: BufRead, W: Write + Send + 'static>(
                     }
                     Err((error, id_json)) => {
                         rejected += 1;
-                        out.emit(&error_line(id_json.as_deref(), &error));
+                        session.out.emit(&error_line(id_json.as_deref(), &error));
                     }
                 }
             }
@@ -311,420 +411,19 @@ pub fn serve<R: BufRead, W: Write + Send + 'static>(
         }
     }
 
-    let report = pool.join();
-    let jobs = counters.jobs.load(Ordering::Relaxed);
-    let verified = counters.verified.load(Ordering::Relaxed);
-    let summary = ServeSummary {
-        jobs,
-        verified,
-        failed: jobs - verified,
-        rejected,
-    };
-    out.emit(&format!(
-        "{{\"type\":\"summary\",\"jobs\":{},\"verified\":{},\"failed\":{},\"rejected\":{},\"cache_hits\":{},\"cache_misses\":{},\"wall_s\":{:.3}}}",
-        summary.jobs,
-        summary.verified,
-        summary.failed,
-        summary.rejected,
-        report.cache.hits,
-        report.cache.misses,
-        started.elapsed().as_secs_f64()
-    ));
-    if let Some(e) = out.take_error() {
+    pool.join();
+    let summary = session.emit_summary(None, rejected, &cache, started.elapsed().as_secs_f64(), "");
+    if let Some(e) = session.out.take_error() {
         return Err(Error::io("<serve output>", e));
     }
     Ok(summary)
 }
 
-fn pool_workers(config: &ServeConfig) -> usize {
-    config.workers.max(1)
-}
-
-/// Renders one `result` response line.
-fn result_line(r: &JobResult, include_proof: bool) -> String {
-    use std::fmt::Write as _;
-    let mut s = String::new();
-    let _ = write!(
-        s,
-        "{{\"type\":\"result\",\"id\":{},\"job\":{},\"spec\":\"{}\",\"seed\":{},\"verified\":{}",
-        r.tag.as_deref().unwrap_or("null"),
-        r.id,
-        json_escape(&r.spec.to_string()),
-        r.seed,
-        r.verified
-    );
-    match &r.error {
-        Some(error) => {
-            let _ = write!(
-                s,
-                ",\"code\":1,\"error\":\"{}\"",
-                json_escape(&error.to_string())
-            );
-        }
-        None => {
-            let _ = write!(
-                s,
-                ",\"cache_hit\":{},\"worker\":{},\"constraints\":{},\"shape_digest\":\"{}\",\"queue_ms\":{:.3},\"build_ms\":{:.3},\"prove_ms\":{:.3},\"verify_ms\":{:.3},\"proof_bytes\":{}",
-                r.cache_hit,
-                r.worker,
-                r.num_constraints,
-                hex(&r.shape_digest),
-                r.queue_wait.as_secs_f64() * 1e3,
-                r.build_time.as_secs_f64() * 1e3,
-                r.prove_time.as_secs_f64() * 1e3,
-                r.verify_time.as_secs_f64() * 1e3,
-                r.proof_bytes.len()
-            );
-            if include_proof {
-                let _ = write!(s, ",\"proof_hex\":\"{}\"", hex(&r.proof_bytes));
-            }
-        }
-    }
-    s.push('}');
-    s
-}
-
-/// Renders one `error` response line; `id_json` is the request's echoed
-/// id when it could be recovered from the malformed line.
-fn error_line(id_json: Option<&str>, error: &Error) -> String {
-    format!(
-        "{{\"type\":\"error\",\"id\":{},\"code\":{},\"error\":\"{}\"}}",
-        id_json.unwrap_or("null"),
-        error.exit_code(),
-        json_escape(&error.to_string())
-    )
-}
-
-/// Why a request line was rejected before parsing.
-#[derive(Debug, PartialEq, Eq)]
-enum LineReject {
-    /// The line exceeded the size bound; carries the total bytes consumed.
-    TooLarge(usize),
-    /// The line was not valid UTF-8 (rejected outright: lossy decoding
-    /// would corrupt echoed ids without the client noticing).
-    NotUtf8,
-}
-
-/// Reads one request line of at most `max` bytes. Returns `Ok(None)` at
-/// EOF, `Ok(Some(Err(..)))` for a rejected line (an oversized line is
-/// consumed and discarded in full so the stream stays line-aligned), and
-/// the line without its terminator otherwise.
-fn read_bounded_line<R: BufRead>(
-    input: &mut R,
-    max: usize,
-) -> io::Result<Option<Result<String, LineReject>>> {
-    let mut buf: Vec<u8> = Vec::new();
-    let mut total = 0usize;
-    let mut saw_any = false;
-    loop {
-        let chunk = input.fill_buf()?;
-        if chunk.is_empty() {
-            if !saw_any {
-                return Ok(None); // EOF before any byte of a line
-            }
-            break; // EOF terminates the final (newline-less) line
-        }
-        saw_any = true;
-        let (line_part, found_newline) = match chunk.iter().position(|&b| b == b'\n') {
-            Some(pos) => (&chunk[..pos], true),
-            None => (chunk, false),
-        };
-        total += line_part.len();
-        if total <= max {
-            buf.extend_from_slice(line_part);
-        }
-        let consumed = line_part.len() + usize::from(found_newline);
-        input.consume(consumed);
-        if found_newline {
-            break;
-        }
-    }
-    if total > max {
-        // Oversized: the whole line was consumed (keeping the stream
-        // line-aligned) but never buffered beyond the bound.
-        return Ok(Some(Err(LineReject::TooLarge(total))));
-    }
-    if buf.last() == Some(&b'\r') {
-        buf.pop();
-    }
-    match String::from_utf8(buf) {
-        Ok(line) => Ok(Some(Ok(line))),
-        Err(_) => Ok(Some(Err(LineReject::NotUtf8))),
-    }
-}
-
-/// One parsed request line.
-#[derive(Debug)]
-struct Request {
-    spec: JobSpec,
-    count: usize,
-    seed: Option<u64>,
-    priority: Option<Priority>,
-    /// The request's `id`, re-encoded as a JSON token for echoing.
-    id_json: Option<String>,
-}
-
-/// A flat JSON value (the wire format forbids nested containers).
-#[derive(Clone, Debug, PartialEq)]
-enum Json {
-    Str(String),
-    /// Numbers keep their raw token so 64-bit seeds survive exactly.
-    Num(String),
-    Bool(bool),
-    Null,
-}
-
-/// Parses a request line; on failure returns the error plus the request
-/// id if one could still be recovered (so the error response correlates).
-fn parse_request(line: &str) -> Result<Request, (Error, Option<String>)> {
-    let fields = parse_json_object(line).map_err(|reason| (Error::Request(reason), None))?;
-    let id_json = fields
-        .iter()
-        .find(|(k, _)| k == "id")
-        .map(|(_, v)| match v {
-            Json::Str(s) => format!("\"{}\"", json_escape(s)),
-            Json::Num(raw) => raw.clone(),
-            Json::Bool(b) => b.to_string(),
-            Json::Null => "null".to_string(),
-        });
-    let fail = |error: Error| (error, id_json.clone());
-
-    let mut spec_count: Option<(JobSpec, usize)> = None;
-    let mut seed = None;
-    let mut priority = None;
-    for (key, value) in &fields {
-        match key.as_str() {
-            "spec" => {
-                let Json::Str(s) = value else {
-                    return Err(fail(Error::Request("\"spec\" must be a string".into())));
-                };
-                spec_count = Some(JobSpec::parse(s).map_err(&fail)?);
-            }
-            "seed" => {
-                let parsed = match value {
-                    Json::Num(raw) => raw.parse::<u64>().ok(),
-                    _ => None,
-                };
-                let Some(parsed) = parsed else {
-                    return Err(fail(Error::Request(
-                        "\"seed\" must be a non-negative integer".into(),
-                    )));
-                };
-                seed = Some(parsed);
-            }
-            "priority" => {
-                let token = match value {
-                    Json::Str(s) => s.as_str(),
-                    _ => "",
-                };
-                priority = Some(match token {
-                    "high" => Priority::High,
-                    "normal" => Priority::Normal,
-                    _ => {
-                        return Err(fail(Error::Request(
-                            "\"priority\" must be \"high\" or \"normal\"".into(),
-                        )))
-                    }
-                });
-            }
-            "id" => match value {
-                Json::Str(_) | Json::Num(_) => {} // captured above
-                _ => {
-                    return Err(fail(Error::Request(
-                        "\"id\" must be a string or a number".into(),
-                    )))
-                }
-            },
-            other => {
-                return Err(fail(Error::Request(format!(
-                    "unknown field {other:?} (expected spec, id, seed, priority)"
-                ))));
-            }
-        }
-    }
-    let Some((spec, count)) = spec_count else {
-        return Err(fail(Error::Request(
-            "missing required field \"spec\"".into(),
-        )));
-    };
-    Ok(Request {
-        spec,
-        count,
-        seed,
-        priority,
-        id_json,
-    })
-}
-
-/// Minimal JSON parser for one flat object: string keys, and string /
-/// number / boolean / null values. Nested objects and arrays are
-/// rejected — the request grammar has no use for them, and refusing them
-/// keeps the attack surface of a network-facing loop small.
-fn parse_json_object(input: &str) -> Result<Vec<(String, Json)>, String> {
-    let mut p = JsonParser {
-        chars: input.char_indices().peekable(),
-        input,
-    };
-    p.skip_ws();
-    p.expect('{')?;
-    let mut fields = Vec::new();
-    p.skip_ws();
-    if p.eat('}') {
-        p.expect_end()?;
-        return Ok(fields);
-    }
-    loop {
-        p.skip_ws();
-        let key = p.parse_string()?;
-        p.skip_ws();
-        p.expect(':')?;
-        p.skip_ws();
-        let value = p.parse_value()?;
-        fields.push((key, value));
-        p.skip_ws();
-        if p.eat(',') {
-            continue;
-        }
-        p.expect('}')?;
-        p.expect_end()?;
-        return Ok(fields);
-    }
-}
-
-struct JsonParser<'a> {
-    chars: std::iter::Peekable<std::str::CharIndices<'a>>,
-    input: &'a str,
-}
-
-impl JsonParser<'_> {
-    fn skip_ws(&mut self) {
-        while matches!(self.chars.peek(), Some((_, c)) if c.is_ascii_whitespace()) {
-            self.chars.next();
-        }
-    }
-
-    fn eat(&mut self, want: char) -> bool {
-        if matches!(self.chars.peek(), Some((_, c)) if *c == want) {
-            self.chars.next();
-            true
-        } else {
-            false
-        }
-    }
-
-    fn expect(&mut self, want: char) -> Result<(), String> {
-        match self.chars.next() {
-            Some((_, c)) if c == want => Ok(()),
-            Some((i, c)) => Err(format!("expected {want:?} at byte {i}, found {c:?}")),
-            None => Err(format!("expected {want:?}, found end of line")),
-        }
-    }
-
-    fn expect_end(&mut self) -> Result<(), String> {
-        self.skip_ws();
-        match self.chars.next() {
-            None => Ok(()),
-            Some((i, c)) => Err(format!("trailing content at byte {i}: {c:?}")),
-        }
-    }
-
-    fn parse_string(&mut self) -> Result<String, String> {
-        self.expect('"')?;
-        let mut out = String::new();
-        loop {
-            match self.chars.next() {
-                None => return Err("unterminated string".into()),
-                Some((_, '"')) => return Ok(out),
-                Some((i, '\\')) => match self.chars.next() {
-                    Some((_, '"')) => out.push('"'),
-                    Some((_, '\\')) => out.push('\\'),
-                    Some((_, '/')) => out.push('/'),
-                    Some((_, 'n')) => out.push('\n'),
-                    Some((_, 't')) => out.push('\t'),
-                    Some((_, 'r')) => out.push('\r'),
-                    Some((_, 'b')) => out.push('\u{8}'),
-                    Some((_, 'f')) => out.push('\u{c}'),
-                    Some((_, 'u')) => {
-                        let mut code = 0u32;
-                        for _ in 0..4 {
-                            let Some((_, h)) = self.chars.next() else {
-                                return Err("truncated \\u escape".into());
-                            };
-                            let Some(digit) = h.to_digit(16) else {
-                                return Err(format!("bad hex digit {h:?} in \\u escape"));
-                            };
-                            code = code * 16 + digit;
-                        }
-                        let Some(c) = char::from_u32(code) else {
-                            return Err(format!(
-                                "\\u{code:04x} is not a scalar value (surrogate pairs unsupported)"
-                            ));
-                        };
-                        out.push(c);
-                    }
-                    Some((j, other)) => {
-                        return Err(format!("unknown escape \\{other} at byte {j}"))
-                    }
-                    None => return Err(format!("dangling escape at byte {i}")),
-                },
-                Some((i, c)) if (c as u32) < 0x20 => {
-                    return Err(format!("raw control character at byte {i}"))
-                }
-                Some((_, c)) => out.push(c),
-            }
-        }
-    }
-
-    fn parse_value(&mut self) -> Result<Json, String> {
-        match self.chars.peek().copied() {
-            None => Err("expected a value, found end of line".into()),
-            Some((_, '"')) => Ok(Json::Str(self.parse_string()?)),
-            Some((_, '{')) | Some((_, '[')) => {
-                Err("nested objects/arrays are not part of the request grammar".into())
-            }
-            Some((start, c)) if c == '-' || c.is_ascii_digit() => {
-                let mut end = start;
-                while let Some((i, c)) = self.chars.peek().copied() {
-                    if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
-                        end = i + c.len_utf8();
-                        self.chars.next();
-                    } else {
-                        break;
-                    }
-                }
-                let raw = &self.input[start..end];
-                // Validate the token is at least f64-shaped.
-                raw.parse::<f64>()
-                    .map_err(|_| format!("bad number {raw:?}"))?;
-                Ok(Json::Num(raw.to_string()))
-            }
-            Some((start, c)) if c.is_ascii_alphabetic() => {
-                let mut end = start;
-                while let Some((i, c)) = self.chars.peek().copied() {
-                    if c.is_ascii_alphabetic() {
-                        end = i + c.len_utf8();
-                        self.chars.next();
-                    } else {
-                        break;
-                    }
-                }
-                match &self.input[start..end] {
-                    "true" => Ok(Json::Bool(true)),
-                    "false" => Ok(Json::Bool(false)),
-                    "null" => Ok(Json::Null),
-                    other => Err(format!("unknown literal {other:?}")),
-                }
-            }
-            Some((i, c)) => Err(format!("unexpected {c:?} at byte {i}")),
-        }
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::wire::parse_json_object;
     use std::io::Cursor;
-    use zkvc_core::matmul::Strategy;
 
     #[derive(Clone, Default)]
     struct SharedBuf(Arc<Mutex<Vec<u8>>>);
@@ -743,76 +442,6 @@ mod tests {
         fn text(&self) -> String {
             String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
         }
-    }
-
-    #[test]
-    fn parses_full_and_minimal_requests() {
-        let r = parse_request(r#"{"spec": "2x3x2:zkvc:s"}"#).unwrap();
-        assert_eq!(
-            r.spec,
-            JobSpec::new(2, 3, 2).with_backend(zkvc_core::Backend::Spartan)
-        );
-        assert_eq!(r.count, 1);
-        assert_eq!(r.seed, None);
-        assert_eq!(r.priority, None);
-        assert_eq!(r.id_json, None);
-
-        let r = parse_request(
-            r#"{"id": "req-1", "spec": "4x4x4:vanilla:x3", "seed": 42, "priority": "normal"}"#,
-        )
-        .unwrap();
-        assert_eq!(r.spec.strategy(), Strategy::Vanilla);
-        assert_eq!(r.count, 3);
-        assert_eq!(r.seed, Some(42));
-        assert_eq!(r.priority, Some(Priority::Normal));
-        assert_eq!(r.id_json.as_deref(), Some("\"req-1\""));
-
-        // Numeric ids echo as numbers; 64-bit seeds survive exactly.
-        let r =
-            parse_request(r#"{"id": 7, "spec": "2x2x2", "seed": 18446744073709551615}"#).unwrap();
-        assert_eq!(r.id_json.as_deref(), Some("7"));
-        assert_eq!(r.seed, Some(u64::MAX));
-    }
-
-    #[test]
-    fn rejects_malformed_requests_with_recovered_ids() {
-        for (line, needle) in [
-            ("not json at all", "expected '{'"),
-            ("{\"spec\": \"2x2x2\"", "expected '}'"),
-            (r#"{"spec": 7}"#, "must be a string"),
-            (r#"{"spec": "2x2x2", "extra": 1}"#, "unknown field"),
-            (r#"{"seed": 1}"#, "missing required field"),
-            (r#"{"spec": "2x2x2", "seed": -4}"#, "non-negative integer"),
-            (r#"{"spec": "2x2x2", "seed": 1.5}"#, "non-negative integer"),
-            (r#"{"spec": "2x2x2", "priority": "urgent"}"#, "priority"),
-            (r#"{"spec": "bogus"}"#, "bad spec"),
-            (r#"{"spec": ["2x2x2"]}"#, "nested"),
-            (r#"{"spec": "2x2x2"} trailing"#, "trailing content"),
-        ] {
-            let (error, _) = parse_request(line).unwrap_err();
-            assert_eq!(error.exit_code(), 2, "{line}");
-            assert!(error.to_string().contains(needle), "{line}: {error}");
-        }
-
-        // The id is recovered even when another field is broken.
-        let (_, id) = parse_request(r#"{"id": "x", "spec": 1}"#).unwrap_err();
-        assert_eq!(id.as_deref(), Some("\"x\""));
-    }
-
-    #[test]
-    fn bounded_reader_discards_whole_oversized_lines() {
-        let long = format!("{}\nshort\n", "a".repeat(200));
-        let mut input = Cursor::new(long.into_bytes());
-        match read_bounded_line(&mut input, 64).unwrap() {
-            Some(Err(LineReject::TooLarge(total))) => assert_eq!(total, 200),
-            other => panic!("expected oversize, got {other:?}"),
-        }
-        // The stream is still line-aligned: the next read sees "short".
-        assert_eq!(
-            read_bounded_line(&mut input, 64).unwrap(),
-            Some(Ok("short".to_string()))
-        );
-        assert_eq!(read_bounded_line(&mut input, 64).unwrap(), None);
     }
 
     #[test]
@@ -886,19 +515,6 @@ mod tests {
     }
 
     #[test]
-    fn bounded_reader_rejects_invalid_utf8() {
-        let mut input = Cursor::new(b"\xff\xfe bad bytes\nok\n".to_vec());
-        assert_eq!(
-            read_bounded_line(&mut input, 64).unwrap(),
-            Some(Err(LineReject::NotUtf8))
-        );
-        assert_eq!(
-            read_bounded_line(&mut input, 64).unwrap(),
-            Some(Ok("ok".to_string()))
-        );
-    }
-
-    #[test]
     fn serve_caps_per_request_repetition_at_the_queue_bound() {
         // One tiny `:xN` line must not commit the server to unbounded
         // proving: counts above the queue bound are rejected with a
@@ -949,5 +565,35 @@ mod tests {
             "one key line per (shape, seed): {text}"
         );
         assert!(text.contains("\"vk_hex\":\""), "{text}");
+    }
+
+    #[test]
+    fn key_lines_reannounce_after_cache_eviction_only_to_new_sessions() {
+        // A byte-bounded resident cache may evict and re-set-up a shape
+        // mid-session; the sent-key set must still emit the key exactly
+        // once per session. cache_bytes(1) forces every job to re-setup.
+        let input = concat!(
+            "{\"spec\": \"2x2x2:vanilla:g\", \"id\": 1}\n",
+            "{\"spec\": \"3x2x3:vanilla:g\", \"id\": 2}\n",
+            "{\"spec\": \"2x2x2:vanilla:g\", \"id\": 3}\n",
+        );
+        let buf = SharedBuf::default();
+        let summary = serve(
+            Cursor::new(input.as_bytes().to_vec()),
+            buf.clone(),
+            ServeConfig::new(1).cache_bytes(Some(1)),
+        )
+        .unwrap();
+        assert_eq!(summary.verified, 3);
+        let text = buf.text();
+        // Two distinct shapes -> exactly two key lines, even though the
+        // 2x2x2 shape was set up twice (evicted in between).
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.contains("\"type\":\"key\""))
+                .count(),
+            2,
+            "{text}"
+        );
     }
 }

@@ -1,0 +1,384 @@
+//! Integration tests for the socket listener: concurrent sessions, id
+//! scoping, per-connection fault isolation, disconnect cancellation, and
+//! graceful drain — all against a real `serve_listener` on a Unix socket
+//! (plus one TCP round trip), with raw `AnyStream` clients so the tests
+//! exercise the wire, not the client library.
+
+use std::collections::HashSet;
+use std::io::{BufRead, BufReader, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::Duration;
+
+use zkvc_runtime::{
+    serve_listener, AnyStream, Error, ListenAddr, NetConfig, NetSummary, ServeConfig,
+};
+
+struct Server {
+    addr: ListenAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: thread::JoinHandle<Result<NetSummary, Error>>,
+}
+
+impl Server {
+    /// Starts a listener on a fresh Unix socket; returns once it is
+    /// accepting (the `on_bound` callback has fired).
+    fn start_unix(name: &str, config: NetConfig) -> Server {
+        let path =
+            std::env::temp_dir().join(format!("zkvc-net-{}-{name}.sock", std::process::id()));
+        Server::start(ListenAddr::Unix(path), config)
+    }
+
+    fn start(addr: ListenAddr, config: NetConfig) -> Server {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel();
+        let handle = {
+            let shutdown = Arc::clone(&shutdown);
+            thread::spawn(move || {
+                serve_listener(&addr, config, shutdown, move |bound| {
+                    tx.send(bound.clone()).expect("report bound address");
+                })
+            })
+        };
+        let addr = rx.recv().expect("server bound");
+        Server {
+            addr,
+            shutdown,
+            handle,
+        }
+    }
+
+    /// Raises the shutdown flag and returns the aggregate totals.
+    fn finish(self) -> NetSummary {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.handle
+            .join()
+            .expect("server thread")
+            .expect("serve_listener")
+    }
+}
+
+/// Reads whole response lines until (and including) the summary line.
+fn read_until_summary(reader: &mut impl BufRead) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).expect("read response") == 0 {
+            break;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let is_summary = trimmed.contains("\"type\":\"summary\"");
+        lines.push(trimmed.to_string());
+        if is_summary {
+            break;
+        }
+    }
+    lines
+}
+
+fn count(lines: &[String], needle: &str) -> usize {
+    lines.iter().filter(|l| l.contains(needle)).count()
+}
+
+#[test]
+fn concurrent_sessions_keep_ids_scoped() {
+    // 8 concurrent clients, each with its own id space, multiplexed onto
+    // one pool + one warm cache. Every client must get back exactly its
+    // own ids and nothing from any neighbour.
+    let server = Server::start_unix(
+        "scoped",
+        NetConfig::new(ServeConfig::new(4).seed(7)).session_bound(16),
+    );
+    let addr = server.addr.clone();
+    let clients: Vec<_> = (0..8)
+        .map(|k| {
+            let addr = addr.clone();
+            thread::spawn(move || {
+                let stream = AnyStream::connect(&addr).expect("connect");
+                let mut writer = stream.try_clone().expect("clone");
+                for i in 0..3 {
+                    writeln!(writer, "{{\"spec\":\"2x2x2:zkvc:s\",\"id\":\"t{k}-{i}\"}}")
+                        .expect("send request");
+                }
+                writer.shutdown_write().expect("half-close");
+                let lines = read_until_summary(&mut BufReader::new(stream));
+                (k, lines)
+            })
+        })
+        .collect();
+
+    let mut session_ids = HashSet::new();
+    for client in clients {
+        let (k, lines) = client.join().expect("client thread");
+        assert_eq!(count(&lines, "\"type\":\"ready\""), 1, "{lines:?}");
+        assert_eq!(count(&lines, "\"type\":\"result\""), 3, "{lines:?}");
+        assert_eq!(count(&lines, "\"verified\":true"), 3, "{lines:?}");
+        assert_eq!(count(&lines, "\"type\":\"summary\""), 1, "{lines:?}");
+        // All three of this session's ids came back; no foreign ids did.
+        for i in 0..3 {
+            assert_eq!(count(&lines, &format!("\"id\":\"t{k}-{i}\"")), 1);
+        }
+        for other in 0..8 {
+            if other != k {
+                assert_eq!(
+                    count(&lines, &format!("\"id\":\"t{other}-")),
+                    0,
+                    "session {k} saw ids of session {other}: {lines:?}"
+                );
+            }
+        }
+        // The handshake names this connection's distinct server-side
+        // session id; the summary repeats it.
+        let ready = &lines[0];
+        let sid = ready
+            .split("\"session\":")
+            .nth(1)
+            .and_then(|rest| rest.split(',').next())
+            .expect("session id in ready line")
+            .to_string();
+        assert!(
+            lines
+                .last()
+                .unwrap()
+                .contains(&format!("\"session\":{sid}")),
+            "{lines:?}"
+        );
+        session_ids.insert(sid);
+    }
+    assert_eq!(session_ids.len(), 8, "session ids must be distinct");
+
+    let totals = server.finish();
+    assert_eq!(totals.sessions, 8);
+    assert_eq!(totals.jobs, 24);
+    assert_eq!(totals.verified, 24);
+    assert_eq!(totals.failed, 0);
+    assert_eq!(totals.disconnected, 0);
+}
+
+#[test]
+fn garbage_poisons_only_its_own_connection() {
+    let server = Server::start_unix(
+        "garbage",
+        NetConfig::new(ServeConfig::new(2).max_request_bytes(256)),
+    );
+
+    // Session A: garbage, an oversized line, and one valid request.
+    let a = {
+        let addr = server.addr.clone();
+        thread::spawn(move || {
+            let stream = AnyStream::connect(&addr).expect("connect");
+            let mut writer = stream.try_clone().expect("clone");
+            writeln!(writer, "this is not json").unwrap();
+            writeln!(
+                writer,
+                "{{\"spec\":\"2x2x2:zkvc:s\",\"id\":\"{}\"}}",
+                "x".repeat(400)
+            )
+            .unwrap();
+            writeln!(writer, "{{\"spec\":\"2x2x2:zkvc:s\",\"id\":\"a-ok\"}}").unwrap();
+            writer.shutdown_write().unwrap();
+            read_until_summary(&mut BufReader::new(stream))
+        })
+    };
+    // Session B: only valid requests.
+    let b = {
+        let addr = server.addr.clone();
+        thread::spawn(move || {
+            let stream = AnyStream::connect(&addr).expect("connect");
+            let mut writer = stream.try_clone().expect("clone");
+            writeln!(writer, "{{\"spec\":\"2x2x2:zkvc:s\",\"id\":\"b-ok\"}}").unwrap();
+            writer.shutdown_write().unwrap();
+            read_until_summary(&mut BufReader::new(stream))
+        })
+    };
+
+    let a = a.join().expect("session a");
+    let b = b.join().expect("session b");
+
+    // A's bad lines are answered in A's stream with code 2; its valid
+    // request still proves — one bad line never kills the connection.
+    assert_eq!(count(&a, "\"type\":\"error\""), 2, "{a:?}");
+    assert_eq!(count(&a, "\"code\":2"), 2, "{a:?}");
+    assert_eq!(count(&a, "\"id\":\"a-ok\""), 1, "{a:?}");
+    assert_eq!(count(&a, "\"verified\":true"), 1, "{a:?}");
+    assert!(a.last().unwrap().contains("\"rejected\":2"), "{a:?}");
+
+    // B saw none of it.
+    assert_eq!(count(&b, "\"type\":\"error\""), 0, "{b:?}");
+    assert_eq!(count(&b, "\"verified\":true"), 1, "{b:?}");
+    assert!(b.last().unwrap().contains("\"rejected\":0"), "{b:?}");
+
+    let totals = server.finish();
+    assert_eq!(totals.jobs, 2);
+    assert_eq!(totals.verified, 2);
+    assert_eq!(totals.rejected, 2);
+}
+
+#[test]
+fn disconnect_mid_batch_cancels_inflight_and_server_survives() {
+    // One worker, a deep batch of slow Groth16 jobs, and a client that
+    // vanishes right after the handshake. The first result write hits the
+    // dead socket, the session's remaining jobs are cancelled (drained
+    // unproved, not ground through), and the server keeps serving other
+    // clients.
+    let server = Server::start_unix(
+        "disconnect",
+        NetConfig::new(ServeConfig::new(1).queue_bound(64)).session_bound(32),
+    );
+
+    {
+        let stream = AnyStream::connect(&server.addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        writeln!(
+            writer,
+            "{{\"spec\":\"8x8x8:vanilla:g:x12\",\"id\":\"doomed\"}}"
+        )
+        .unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("ready line");
+        assert!(line.contains("\"type\":\"ready\""), "{line}");
+        // Drop both halves: the peer is gone mid-batch.
+    }
+
+    // A second client gets served while (and after) the wreckage drains.
+    let stream = AnyStream::connect(&server.addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    writeln!(writer, "{{\"spec\":\"2x2x2:zkvc:s\",\"id\":\"survivor\"}}").unwrap();
+    writer.shutdown_write().unwrap();
+    let lines = read_until_summary(&mut BufReader::new(stream));
+    assert_eq!(count(&lines, "\"id\":\"survivor\""), 1, "{lines:?}");
+    assert_eq!(count(&lines, "\"verified\":true"), 1, "{lines:?}");
+
+    let totals = server.finish();
+    assert_eq!(totals.sessions, 2);
+    assert_eq!(totals.disconnected, 1);
+    // Every accepted job is accounted for: proved before the pipe broke,
+    // or drained as cancelled after it.
+    assert_eq!(totals.jobs, 13);
+    assert_eq!(totals.verified + totals.failed, 13);
+    assert!(
+        totals.failed >= 1,
+        "at least one queued job of the vanished client must be cancelled, got {totals:?}"
+    );
+    assert!(
+        totals.verified >= 1,
+        "the survivor's job proved: {totals:?}"
+    );
+}
+
+#[test]
+fn shutdown_drains_every_accepted_job_and_summarises_open_sessions() {
+    // A client with its connection still open (no EOF sent) when the
+    // server is told to shut down: the session must flush every accepted
+    // job's result and its summary line before the listener exits.
+    let server = Server::start_unix(
+        "drain",
+        NetConfig::new(ServeConfig::new(1)).session_bound(16),
+    );
+
+    let stream = AnyStream::connect(&server.addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    for i in 0..6 {
+        writeln!(writer, "{{\"spec\":\"4x4x4:vanilla:g\",\"id\":\"d-{i}\"}}").unwrap();
+    }
+    // Note: no shutdown_write — the connection stays open; only the
+    // server-side shutdown ends this session.
+    thread::sleep(Duration::from_millis(300)); // let intake parse all six
+    let reader = thread::spawn(move || read_until_summary(&mut BufReader::new(stream)));
+
+    let totals = server.finish();
+    let lines = reader.join().expect("reader thread");
+    assert_eq!(count(&lines, "\"type\":\"result\""), 6, "{lines:?}");
+    assert_eq!(count(&lines, "\"verified\":true"), 6, "{lines:?}");
+    assert_eq!(count(&lines, "\"type\":\"summary\""), 1, "{lines:?}");
+    assert!(lines.last().unwrap().contains("\"jobs\":6"), "{lines:?}");
+    assert_eq!(totals.jobs, 6);
+    assert_eq!(totals.verified, 6);
+    drop(writer);
+}
+
+#[test]
+fn idle_sessions_are_reaped_but_busy_ones_are_not() {
+    let server = Server::start_unix(
+        "idle",
+        NetConfig::new(ServeConfig::new(1)).idle_timeout(Some(Duration::from_secs(1))),
+    );
+
+    // This client connects and then says nothing: reaped after ~1s with
+    // an error line and its summary.
+    let stream = AnyStream::connect(&server.addr).expect("connect");
+    let lines = read_until_summary(&mut BufReader::new(stream));
+    assert_eq!(count(&lines, "\"type\":\"error\""), 1, "{lines:?}");
+    assert!(lines.iter().any(|l| l.contains("idle")), "{lines:?}");
+    assert_eq!(count(&lines, "\"type\":\"summary\""), 1, "{lines:?}");
+
+    let totals = server.finish();
+    assert_eq!(totals.reaped_idle, 1);
+}
+
+#[test]
+fn tcp_transport_round_trips_on_an_ephemeral_port() {
+    let server = Server::start(
+        ListenAddr::parse("tcp:127.0.0.1:0").unwrap(),
+        NetConfig::new(ServeConfig::new(1)),
+    );
+    // The bound address resolved the ephemeral port.
+    let ListenAddr::Tcp(hostport) = &server.addr else {
+        panic!("expected tcp addr, got {}", server.addr);
+    };
+    assert!(!hostport.ends_with(":0"), "resolved port: {hostport}");
+
+    let stream = AnyStream::connect(&server.addr).expect("connect");
+    let mut writer = stream.try_clone().expect("clone");
+    writeln!(writer, "{{\"spec\":\"2x2x2:zkvc:s\",\"id\":\"tcp-1\"}}").unwrap();
+    writer.shutdown_write().unwrap();
+    let lines = read_until_summary(&mut BufReader::new(stream));
+    assert_eq!(count(&lines, "\"id\":\"tcp-1\""), 1, "{lines:?}");
+    assert_eq!(count(&lines, "\"verified\":true"), 1, "{lines:?}");
+
+    let totals = server.finish();
+    assert_eq!(totals.jobs, 1);
+    assert_eq!(totals.verified, 1);
+}
+
+#[test]
+fn client_driver_verifies_against_streamed_keys_across_sessions() {
+    // The library client against a real server: 4 concurrent sessions of
+    // Groth16 jobs, envelopes re-verified locally against the streamed
+    // key lines (the client never derives a Groth16 key itself).
+    use zkvc_runtime::{run_client, ClientConfig, JobSpec};
+
+    let server = Server::start_unix(
+        "driver",
+        NetConfig::new(ServeConfig::new(2).seed(3)).session_bound(16),
+    );
+    let (spec, _) = JobSpec::parse("3x3x3:zkvc:g").unwrap();
+    let report = run_client(
+        &ClientConfig::new(server.addr.clone(), spec)
+            .sessions(4)
+            .count(3)
+            .seed(Some(11)),
+    )
+    .expect("client run");
+    assert!(report.all_ok(), "{report:?}");
+    assert_eq!(report.results(), 12);
+    assert_eq!(report.verified_local(), 12);
+    assert_eq!(report.verify_failures(), 0);
+    assert_eq!(report.id_mismatches(), 0);
+    assert!(report.latency_ms(50.0) > 0.0);
+    // The deterministic report carries one record per job with a real
+    // digest; all twelve proofs are the same statement, so all digests
+    // (and the two same-seed runs CI diffs) agree.
+    let json = report.render_report_json();
+    assert_eq!(json.matches("\"proof_sha256\":\"").count(), 12);
+
+    let totals = server.finish();
+    assert_eq!(totals.sessions, 4);
+    assert_eq!(totals.verified, 12);
+}

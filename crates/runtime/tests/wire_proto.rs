@@ -1,0 +1,195 @@
+//! Property tests for the `zkvc-serve/v1` wire grammar: the request
+//! parser must never panic on arbitrary input, valid requests must round
+//! trip, every response line the server renders must re-parse under the
+//! protocol's own flat-JSON parser, and the bounded line reader must
+//! honour its size bound on arbitrary byte streams.
+
+use std::io::Cursor;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use zkvc_runtime::wire::{
+    error_line, field, parse_json_object, parse_request, result_line, Json, LineReader,
+};
+use zkvc_runtime::{Error, JobError, JobResult, JobSpec};
+
+/// Arbitrary (possibly non-ASCII, possibly control-laden) text built from
+/// raw bytes; lossy conversion keeps it valid UTF-8 the way a socket read
+/// would after the reader's own UTF-8 gate.
+fn lossy_text(max: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(any::<u8>(), 0..max)
+        .prop_map(|bytes| String::from_utf8_lossy(&bytes).into_owned())
+}
+
+/// Text drawn from an explicit character set, standing in for the regex
+/// strategies of full proptest.
+fn charset_text(
+    chars: &'static [char],
+    size: core::ops::Range<usize>,
+) -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..chars.len(), size)
+        .prop_map(|picks| picks.into_iter().map(|i| chars[i]).collect())
+}
+
+const ID_CHARS: &[char] = &['A', 'B', 'C', 'x', 'y', 'z', '0', '1', '5', '9', '_', '-'];
+const HOSTILE_KEY_CHARS: &[char] = &['a', 'b', 'c', 'z', '"', '\\'];
+const DIGITS: &[char] = &['0', '1', '2', '3', '4', '5', '6', '7', '8', '9'];
+
+/// A synthetic result to render; `tag` is the only field whose content is
+/// caller-controlled (request ids echo through it), so that is where the
+/// fuzz pressure goes.
+fn sample_result(tag: Option<String>, error: Option<JobError>, proof_bytes: Vec<u8>) -> JobResult {
+    let (spec, _) = JobSpec::parse("2x3x2:zkvc:g").unwrap();
+    let verified = error.is_none();
+    JobResult {
+        id: 7,
+        spec,
+        seed: 11,
+        proof_bytes,
+        verified,
+        error,
+        cache_hit: true,
+        shape_digest: [0xab; 32],
+        worker: 1,
+        tag,
+        queue_wait: Duration::from_micros(1500),
+        build_time: Duration::from_micros(2500),
+        prove_time: Duration::from_micros(3500),
+        verify_time: Duration::from_micros(4500),
+        num_constraints: 42,
+        session_id: Some(3),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary input never panics the request parser; whatever comes
+    /// back is a clean accept or a typed rejection.
+    #[test]
+    fn prop_parse_request_never_panics(line in lossy_text(200)) {
+        let _ = parse_request(&line);
+    }
+
+    /// Arbitrary *flat-JSON-shaped* garbage (random keys and string
+    /// values, quotes and backslashes included) parses or rejects without
+    /// panicking, and a recovered id — when the line had one — is itself
+    /// a valid JSON token.
+    #[test]
+    fn prop_parse_request_handles_jsonish_lines(
+        key in charset_text(HOSTILE_KEY_CHARS, 1..9),
+        value in lossy_text(20),
+        id in charset_text(ID_CHARS, 0..13),
+    ) {
+        let line = format!(
+            "{{\"id\": \"{}\", \"{}\": \"{}\"}}",
+            id,
+            key.replace('\\', "\\\\").replace('"', "\\\""),
+            value.replace('\\', "\\\\").replace('"', "\\\""),
+        );
+        if let Err((_, Some(id_json))) = parse_request(&line) {
+            let reparsed = parse_json_object(&format!("{{\"id\": {id_json}}}"));
+            prop_assert!(reparsed.is_ok(), "recovered id {id_json:?} must be a token");
+        }
+    }
+
+    /// A well-formed request round-trips every field.
+    #[test]
+    fn prop_valid_requests_round_trip(
+        a in 1usize..5, n in 1usize..5, b in 1usize..5,
+        count in 1usize..9,
+        has_seed in any::<bool>(),
+        seed_value in any::<u64>(),
+        high in any::<bool>(),
+        id in charset_text(ID_CHARS, 1..13),
+    ) {
+        let seed = has_seed.then_some(seed_value);
+        let spec = format!("{a}x{n}x{b}:zkvc:s:x{count}");
+        let mut line = format!("{{\"spec\": \"{spec}\", \"id\": \"{id}\"");
+        if let Some(seed) = seed {
+            line.push_str(&format!(", \"seed\": {seed}"));
+        }
+        line.push_str(&format!(
+            ", \"priority\": \"{}\"}}",
+            if high { "high" } else { "normal" }
+        ));
+        let request = parse_request(&line).expect("valid request");
+        prop_assert_eq!(request.spec.to_string(), format!("{a}x{n}x{b}:crpc+psq:spartan"));
+        prop_assert_eq!(request.count, count);
+        prop_assert_eq!(request.seed, seed);
+        prop_assert_eq!(request.id_json, Some(format!("\"{id}\"")));
+    }
+
+    /// Every rendered result line — including ones echoing hostile tags
+    /// full of quotes, backslashes and control characters — re-parses
+    /// under the protocol's own flat-JSON parser with the id intact.
+    #[test]
+    fn prop_result_lines_reparse(
+        has_tag in any::<bool>(),
+        tag in lossy_text(24),
+        failed in any::<bool>(),
+        proof in proptest::collection::vec(any::<u8>(), 0..48),
+        include_proof in any::<bool>(),
+    ) {
+        // Ids travel as pre-encoded JSON tokens, exactly like serve
+        // builds them from parsed requests.
+        let tag_token = has_tag.then(|| Json::Str(tag.clone()).to_token());
+        let error = failed.then_some(JobError::Panicked("boom \"quote\" \\ \n".into()));
+        let result = sample_result(tag_token.clone(), error, proof);
+        let line = result_line(&result, include_proof);
+        let fields = parse_json_object(&line)
+            .unwrap_or_else(|e| panic!("result line must reparse: {e}: {line}"));
+        prop_assert_eq!(
+            field(&fields, "type"),
+            Some(&Json::Str("result".into()))
+        );
+        let id = field(&fields, "id").expect("id field");
+        match tag_token {
+            Some(token) => prop_assert_eq!(id.to_token(), token),
+            None => prop_assert_eq!(id, &Json::Null),
+        }
+        prop_assert_eq!(
+            field(&fields, "verified"),
+            Some(&Json::Bool(!failed))
+        );
+    }
+
+    /// Error lines re-parse for arbitrary message content and echo the
+    /// recovered id token.
+    #[test]
+    fn prop_error_lines_reparse(
+        message in lossy_text(64),
+        has_id in any::<bool>(),
+        id_digits in charset_text(DIGITS, 1..7),
+    ) {
+        let id = has_id.then_some(id_digits);
+        let line = error_line(id.as_deref(), &Error::Request(message));
+        let fields = parse_json_object(&line)
+            .unwrap_or_else(|e| panic!("error line must reparse: {e}: {line}"));
+        prop_assert_eq!(field(&fields, "type"), Some(&Json::Str("error".into())));
+        prop_assert_eq!(field(&fields, "code"), Some(&Json::Num("2".into())));
+        match id {
+            Some(id) => prop_assert_eq!(field(&fields, "id"), Some(&Json::Num(id))),
+            None => prop_assert_eq!(field(&fields, "id"), Some(&Json::Null)),
+        }
+    }
+
+    /// The bounded reader never returns a line longer than its bound and
+    /// never panics, for arbitrary byte streams (newlines occur naturally
+    /// in the full-range byte draw).
+    #[test]
+    fn prop_line_reader_honours_bound(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let mut reader = LineReader::new(32);
+        let mut input = Cursor::new(bytes);
+        let mut guard = 0;
+        loop {
+            match reader.read_line(&mut input).expect("cursor reads never fail") {
+                None => break,
+                Some(Ok(line)) => prop_assert!(line.len() <= 32, "line {line:?}"),
+                Some(Err(_)) => {}
+            }
+            guard += 1;
+            prop_assert!(guard <= 400, "reader must consume input");
+        }
+    }
+}
