@@ -22,7 +22,7 @@
 //! and `G2` MSMs of the prover share this single implementation.
 
 use crossbeam::thread;
-use zkvc_ff::{batch_inverse, Field, PrimeField};
+use zkvc_ff::{batch_inverse, cancel, Field, PrimeField};
 
 use crate::group::{AffinePoint, CurveGroup};
 
@@ -66,6 +66,10 @@ pub fn msm_window_parallel<A: AffinePoint>(bases: &[A], scalars: &[A::Scalar]) -
     if bases.len() < 64 {
         return msm_serial(bases, scalars);
     }
+    // Small-MSM path: one checkpoint on the orchestrating thread per call
+    // (the window workers below are not joined individually, so they must
+    // not raise the cancellation marker themselves).
+    cancel::checkpoint();
     let c = unsigned_window_size(bases.len());
     let num_bits = A::Scalar::MODULUS_BITS as usize;
     let windows: Vec<usize> = (0..num_bits).step_by(c).collect();
@@ -135,15 +139,29 @@ fn msm_with_chunks<A: AffinePoint>(
     }
 
     let chunk_len = n.div_ceil(num_chunks);
+    // Workers are fresh threads, so the caller's cancellation check (if
+    // any) is re-installed in each; handles are joined explicitly and
+    // panic payloads re-raised intact so a `cancel::Cancelled` marker
+    // thrown mid-window reaches the pool's catch site undisturbed.
+    let cancel_check = cancel::current();
     let mut partials: Vec<Vec<A::Projective>> = Vec::with_capacity(num_chunks);
     thread::scope(|s| {
         let handles: Vec<_> = bases
             .chunks(chunk_len)
             .zip(scalars.chunks(chunk_len))
-            .map(|(b, sc)| s.spawn(move |_| chunk_window_sums(b, sc, c, num_windows)))
+            .map(|(b, sc)| {
+                let cancel_check = cancel_check.clone();
+                s.spawn(move |_| {
+                    let _guard = cancel_check.map(cancel::install);
+                    chunk_window_sums(b, sc, c, num_windows)
+                })
+            })
             .collect();
         for h in handles {
-            partials.push(h.join().expect("msm worker thread panicked"));
+            match h.join() {
+                Ok(part) => partials.push(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         }
     })
     .expect("msm scope failed");
@@ -194,6 +212,10 @@ fn chunk_window_sums<A: AffinePoint>(
     let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(n);
     let mut out = Vec::with_capacity(num_windows);
     for w in 0..num_windows {
+        // One cooperative cancellation point per window (~20-90 per MSM):
+        // granular enough that a deadline interrupts a multi-second prove
+        // mid-kernel, coarse enough to be free when nothing is installed.
+        cancel::checkpoint();
         pairs.clear();
         for (i, &d) in digits[w * n..(w + 1) * n].iter().enumerate() {
             match d.cmp(&0) {

@@ -283,6 +283,9 @@ fn radix2_fft<F: PrimeField>(values: &mut [F], twiddles: &[F]) {
     bit_reverse(values);
     let mut m = 1usize;
     for _ in 0..log_n {
+        // Cooperative cancellation point once per stage (log2(n) per FFT),
+        // a no-op unless the proving pool installed a deadline check.
+        crate::cancel::checkpoint();
         let stride = n / (2 * m);
         for block in values.chunks_mut(2 * m) {
             let (lo, hi) = block.split_at_mut(m);
@@ -315,6 +318,7 @@ fn parallel_radix2_fft<F: PrimeField>(values: &mut [F], twiddles: &[F], threads:
     let chunk_len = n / chunks;
 
     bit_reverse(values);
+    crate::cancel::checkpoint();
 
     // Phase 1: all stages with block size <= chunk_len, local per chunk.
     crossbeam::thread::scope(|s| {
@@ -334,9 +338,14 @@ fn parallel_radix2_fft<F: PrimeField>(values: &mut [F], twiddles: &[F], threads:
     })
     .expect("fft worker panicked");
 
-    // Phase 2: cross-chunk stages; split each block's butterflies.
+    // Phase 2: cross-chunk stages; split each block's butterflies. The
+    // cancellation checkpoints sit on the orchestrating thread, between
+    // stages — spawned workers are not joined individually, so they must
+    // not raise the marker themselves (checkpoints there would be inert
+    // anyway: thread locals do not propagate into scoped spawns).
     let mut m = chunk_len;
     while m < n {
+        crate::cancel::checkpoint();
         let stride = n / (2 * m);
         let num_blocks = n / (2 * m);
         let pieces = (threads / num_blocks).max(1);

@@ -7,7 +7,7 @@
 //! ```text
 //! zkvc prove-batch --spec 8x8x16:crpc+psq:groth16:x8 --workers 4 [--seed N] [--compare-serial] [--report FILE]
 //! zkvc serve [--workers K] [--seed N] [--queue-bound B] [--max-request BYTES] [--no-proofs]
-//! zkvc serve --listen unix:/run/zkvc.sock [--idle-timeout SECS] [--session-bound B]
+//! zkvc serve --listen unix:/run/zkvc.sock [--idle-timeout SECS] [--session-bound B] [--admission-bound N]
 //! zkvc client --connect unix:/run/zkvc.sock --spec 4x4x4:zkvc:g --sessions 8 --count 16
 //! zkvc prove  --spec 8x8x16:zkvc:g [--seed N] --out proof.bin
 //! zkvc prove  --spec mixer-block:spartan --out model.bin
@@ -39,8 +39,10 @@ USAGE:
     zkvc serve  [--listen ADDR] [--workers K] [--seed N] [--queue-bound B]
                 [--max-request BYTES] [--no-proofs] [--key-cache DIR|none]
                 [--cache-bytes N|none] [--idle-timeout SECS|none] [--session-bound B]
+                [--admission-bound N|none] [--retry-after-ms MS]
     zkvc client --connect ADDR [--spec SPEC] [--seed N] [--sessions K] [--count M]
                 [--jobs FILE] [--no-verify] [--report FILE] [--bench FILE] [--sweep LIST]
+                [--deadline-ms MS] [--retries R] [--backoff-ms MS] [--retry-seed N]
     zkvc prove  --spec SPEC [--seed N] [--key-cache DIR|none] --out FILE
     zkvc verify --in FILE --spec SPEC [--seed N] [--key-cache DIR|none]
     zkvc help
@@ -88,6 +90,10 @@ OPTIONS (serve):
                        flight (default 300; `none` keeps them forever)
     --session-bound B  per-session in-flight job bound (default 64): a greedy
                        client blocks in its own socket, not the shared queue
+    --admission-bound N  shed requests that would push total in-flight jobs
+                       past N: answered with a code-3 error carrying a
+                       retry_after_ms hint, never queued (default none)
+    --retry-after-ms MS  the hint shed responses carry (default 100)
 
 OPTIONS (client):
     connects to a `zkvc serve --listen` endpoint, streams requests, checks
@@ -108,6 +114,17 @@ OPTIONS (client):
                        throughput/latency points to FILE
     --sweep LIST       comma-separated session counts for --bench
                        (default 1,2,4,8)
+    --deadline-ms MS   attach a deadline_ms to every generated request: the
+                       server abandons proofs still running MS ms after
+                       admission and answers deadline_exceeded
+    --retries R        reconnect-and-resubmit budget after a failed attempt
+                       (default 2; 0 disables). Only still-unanswered ids are
+                       resent, so retries are idempotent; exhausting the
+                       budget exits 3
+    --backoff-ms MS    exponential backoff base between attempts, plus seeded
+                       jitter, floored at any shed retry_after_ms hint
+                       (default 50)
+    --retry-seed N     seed for the deterministic backoff jitter (default 0)
 
 OPTIONS (prove / verify):
     --key-cache DIR    persist/load groth16 verification keys under DIR so a
@@ -284,6 +301,8 @@ fn cmd_serve(args: &[String]) -> Result<(), Error> {
             "--listen",
             "--idle-timeout",
             "--session-bound",
+            "--admission-bound",
+            "--retry-after-ms",
         ],
         &["--no-proofs"],
     )?;
@@ -328,7 +347,12 @@ fn cmd_serve(args: &[String]) -> Result<(), Error> {
         .map(ListenAddr::parse)
         .transpose()?;
     let Some(addr) = listen else {
-        for flag in ["--idle-timeout", "--session-bound"] {
+        for flag in [
+            "--idle-timeout",
+            "--session-bound",
+            "--admission-bound",
+            "--retry-after-ms",
+        ] {
             if flag_value(args, flag)?.is_some() {
                 return Err(Error::Usage(format!("{flag} requires --listen")));
             }
@@ -368,6 +392,23 @@ fn cmd_serve(args: &[String]) -> Result<(), Error> {
             .ok_or_else(|| Error::Usage(format!("bad --session-bound {s:?}")))?;
         net = net.session_bound(bound);
     }
+    if let Some(s) = flag_value(args, "--admission-bound")? {
+        net = net.admission_bound(match s {
+            "none" => None,
+            _ => Some(
+                s.parse::<usize>()
+                    .ok()
+                    .filter(|b| *b > 0)
+                    .ok_or_else(|| Error::Usage(format!("bad --admission-bound {s:?}")))?,
+            ),
+        });
+    }
+    if let Some(s) = flag_value(args, "--retry-after-ms")? {
+        let ms = s
+            .parse::<u64>()
+            .map_err(|_| Error::Usage(format!("bad --retry-after-ms {s:?}")))?;
+        net = net.retry_after_ms(ms);
+    }
 
     // A long-running service: SIGINT/SIGTERM raise the shutdown flag, the
     // listener stops accepting, every session drains and summarises, and
@@ -380,14 +421,15 @@ fn cmd_serve(args: &[String]) -> Result<(), Error> {
         eprintln!("zkvc serve: listening on {bound} (SIGINT/SIGTERM drains and exits)");
     })?;
     eprintln!(
-        "zkvc serve: {} session(s) ({} disconnected, {} idle-reaped), {} job(s), {} verified, {} failed, {} rejected",
+        "zkvc serve: {} session(s) ({} disconnected, {} idle-reaped), {} job(s), {} verified, {} failed, {} rejected, {} shed",
         totals.sessions,
         totals.disconnected,
         totals.reaped_idle,
         totals.jobs,
         totals.verified,
         totals.failed,
-        totals.rejected
+        totals.rejected,
+        totals.shed
     );
     Ok(())
 }
@@ -405,6 +447,10 @@ fn cmd_client(args: &[String]) -> Result<(), Error> {
             "--report",
             "--bench",
             "--sweep",
+            "--deadline-ms",
+            "--retries",
+            "--backoff-ms",
+            "--retry-seed",
         ],
         &["--no-verify"],
     )?;
@@ -464,6 +510,32 @@ fn cmd_client(args: &[String]) -> Result<(), Error> {
             .filter(|k| *k > 0)
             .ok_or_else(|| Error::Usage(format!("bad --sessions {s:?}")))?;
         config = config.sessions(sessions);
+    }
+    if let Some(s) = flag_value(args, "--deadline-ms")? {
+        let ms = s
+            .parse::<u64>()
+            .ok()
+            .filter(|ms| *ms > 0)
+            .ok_or_else(|| Error::Usage(format!("bad --deadline-ms {s:?}")))?;
+        config = config.deadline_ms(Some(ms));
+    }
+    if let Some(s) = flag_value(args, "--retries")? {
+        let retries = s
+            .parse::<usize>()
+            .map_err(|_| Error::Usage(format!("bad --retries {s:?}")))?;
+        config = config.retries(retries);
+    }
+    if let Some(s) = flag_value(args, "--backoff-ms")? {
+        let ms = s
+            .parse::<u64>()
+            .map_err(|_| Error::Usage(format!("bad --backoff-ms {s:?}")))?;
+        config = config.backoff_ms(ms);
+    }
+    if let Some(s) = flag_value(args, "--retry-seed")? {
+        let seed = s
+            .parse::<u64>()
+            .map_err(|_| Error::Usage(format!("bad --retry-seed {s:?}")))?;
+        config = config.retry_seed(seed);
     }
 
     if let Some(path) = flag_value(args, "--bench")? {

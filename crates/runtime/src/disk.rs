@@ -42,10 +42,30 @@ impl DiskKeyCache {
     }
 
     /// Loads a persisted Groth16 verification key, or `None` when absent
-    /// or undecodable (a corrupt file is a cache miss, not an error).
+    /// or undecodable. A corrupt file is a cache miss, not an error, and
+    /// is **quarantined**: renamed to `<entry>.bad` so the next store can
+    /// rewrite the entry cleanly and the damaged bytes stay around for
+    /// inspection instead of being re-decoded (and re-failed) forever.
     pub fn load_groth16_vk(&self, digest: &[u8; 32], seed: u64) -> Option<VerifyingKey> {
-        let bytes = std::fs::read(self.key_path(digest, seed)).ok()?;
-        VerifyingKey::from_bytes(&bytes)
+        let path = self.key_path(digest, seed);
+        let mut bytes = std::fs::read(&path).ok()?;
+        if crate::fault::fires("disk.vk.poison").is_some() {
+            // Injected corruption: flip the tail so decode fails exactly
+            // like a torn or tampered entry would.
+            match bytes.last_mut() {
+                Some(last) => *last ^= 0xff,
+                None => bytes.push(0),
+            }
+        }
+        match VerifyingKey::from_bytes(&bytes) {
+            Some(vk) => Some(vk),
+            None => {
+                let mut bad = path.clone().into_os_string();
+                bad.push(".bad");
+                let _ = std::fs::rename(&path, &bad);
+                None
+            }
+        }
     }
 
     /// Persists a Groth16 verification key, returning the file written.
@@ -120,13 +140,31 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_cache_file_is_a_miss() {
+    fn corrupt_cache_file_is_a_miss_and_quarantined() {
         let dir = temp_dir("corrupt");
         let cache = DiskKeyCache::new(&dir);
         let digest = [7u8; 32];
+        let path = cache.key_path(&digest, 1);
         std::fs::create_dir_all(&dir).unwrap();
-        std::fs::write(cache.key_path(&digest, 1), b"garbage").unwrap();
+        std::fs::write(&path, b"garbage").unwrap();
         assert!(cache.load_groth16_vk(&digest, 1).is_none());
+
+        // The garbage entry was moved aside, not left in place: the key
+        // path is free for a clean rewrite and the damaged bytes survive
+        // under `.bad` for inspection.
+        assert!(
+            !path.exists(),
+            "corrupt entry must not stay at the key path"
+        );
+        let mut bad = path.clone().into_os_string();
+        bad.push(".bad");
+        let bad = PathBuf::from(bad);
+        assert_eq!(std::fs::read(&bad).unwrap(), b"garbage");
+
+        // A second load is a plain miss (nothing left to quarantine), and
+        // the quarantine file is untouched.
+        assert!(cache.load_groth16_vk(&digest, 1).is_none());
+        assert!(bad.exists());
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

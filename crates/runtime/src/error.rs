@@ -58,6 +58,24 @@ pub enum Error {
         /// The configured bound.
         limit: usize,
     },
+    /// The server refused the request because the pool is at its global
+    /// admission bound. Answered in-stream with code 3 and a
+    /// `retry_after_ms` hint; never fatal to the server, and never
+    /// queued — a shed request was *not* accepted.
+    Shed {
+        /// How long the client should wait before retrying, in
+        /// milliseconds.
+        retry_after_ms: u64,
+    },
+    /// `zkvc client` gave up: every retry attempt failed (connect errors
+    /// or persistent shedding). Maps to its own exit code so scripts can
+    /// tell "the server was unavailable" from "a proof was bad".
+    RetriesExhausted {
+        /// Attempts made before giving up.
+        attempts: usize,
+        /// The last failure seen.
+        last: String,
+    },
 }
 
 impl Error {
@@ -79,7 +97,10 @@ impl Error {
 
     /// The process exit code this error maps to: `1` for
     /// verification-class failures (the proof is bad), `2` for
-    /// usage/input errors (the invocation is bad).
+    /// usage/input errors (the invocation is bad), `3` for
+    /// availability failures (the server shed the request, or the client
+    /// exhausted its retries) — the same numbers double as the wire
+    /// protocol's error `code`.
     pub fn exit_code(&self) -> u8 {
         match self {
             Error::VerificationFailed | Error::StatementMismatch => 1,
@@ -90,6 +111,7 @@ impl Error {
             | Error::BackendMismatch { .. }
             | Error::Request(_)
             | Error::RequestTooLarge { .. } => 2,
+            Error::Shed { .. } | Error::RetriesExhausted { .. } => 3,
         }
     }
 }
@@ -112,6 +134,15 @@ impl fmt::Display for Error {
             Error::Request(reason) => write!(f, "bad request: {reason}"),
             Error::RequestTooLarge { actual, limit } => {
                 write!(f, "request too large: {actual} bytes (limit {limit})")
+            }
+            Error::Shed { retry_after_ms } => {
+                write!(
+                    f,
+                    "shed: server at its admission bound, retry after {retry_after_ms} ms"
+                )
+            }
+            Error::RetriesExhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempt(s): {last}")
             }
         }
     }
@@ -156,6 +187,15 @@ mod tests {
             }
             .exit_code(),
             2
+        );
+        assert_eq!(Error::Shed { retry_after_ms: 50 }.exit_code(), 3);
+        assert_eq!(
+            Error::RetriesExhausted {
+                attempts: 4,
+                last: "connection refused".into()
+            }
+            .exit_code(),
+            3
         );
     }
 

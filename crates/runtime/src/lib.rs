@@ -56,6 +56,7 @@
 mod cache;
 mod disk;
 mod error;
+pub mod fault;
 pub mod net;
 mod pool;
 mod sched;

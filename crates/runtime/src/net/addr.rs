@@ -128,6 +128,23 @@ impl AnyStream {
 
 impl Read for AnyStream {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        // Fault points (no-ops unless a ZKVC_FAULTS schedule arms them):
+        // a stalled, failed, or short read — the three ways a real socket
+        // goes bad under load. A short read must stay a *valid* `Read`
+        // outcome (some bytes delivered), so it truncates the destination
+        // rather than dropping data already read off the socket.
+        crate::fault::fire_delay("net.read.delay");
+        if crate::fault::fires("net.read.io_error").is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "injected fault: net.read.io_error",
+            ));
+        }
+        let buf = if crate::fault::fires("net.read.short").is_some() && !buf.is_empty() {
+            &mut buf[..1]
+        } else {
+            buf
+        };
         match self {
             #[cfg(unix)]
             AnyStream::Unix(s) => s.read(buf),
@@ -138,6 +155,13 @@ impl Read for AnyStream {
 
 impl Write for AnyStream {
     fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        crate::fault::fire_delay("net.write.delay");
+        if crate::fault::fires("net.write.io_error").is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "injected fault: net.write.io_error",
+            ));
+        }
         match self {
             #[cfg(unix)]
             AnyStream::Unix(s) => s.write(buf),

@@ -14,11 +14,11 @@
 //! Per-proof latency (request write to result read) and aggregate
 //! throughput feed `BENCH_serve.json` via [`run_sweep`].
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{BufRead, BufReader, Write};
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use zkvc_core::{Backend, Circuit, VerifierKey};
 use zkvc_ff::Fr;
@@ -56,12 +56,30 @@ pub struct ClientConfig {
     pub verify: bool,
     /// Raw request lines to stream instead of generated ones (the
     /// `--jobs FILE` mode). Ids are the file's own; latency and
-    /// id-scoping checks are skipped.
+    /// id-scoping checks are skipped, and retries only cover the
+    /// connect (raw lines cannot be resubmitted idempotently).
     pub jobs: Option<Vec<String>>,
+    /// Retry attempts after the first try. A retry reconnects and
+    /// resubmits only the still-unanswered client-assigned ids, so
+    /// retries are idempotent: proofs are deterministic in `(spec,
+    /// seed)` and answered ids are never resent. `0` disables retrying.
+    pub retries: usize,
+    /// Base for the exponential retry backoff, in milliseconds (delay
+    /// before retry `r` is `backoff_ms * 2^(r-1)` plus seeded jitter,
+    /// floored at any `retry_after_ms` hint a shed response carried).
+    pub backoff_ms: u64,
+    /// Seed for the deterministic backoff jitter: same seed, same
+    /// session index, same attempt — same delay.
+    pub retry_seed: u64,
+    /// `deadline_ms` attached to every generated request (`None` sends
+    /// none): the server abandons a proof still running this long after
+    /// admission and answers `deadline_exceeded`.
+    pub deadline_ms: Option<u64>,
 }
 
 impl ClientConfig {
-    /// Defaults: 8 generated requests, 1 session, local verification on.
+    /// Defaults: 8 generated requests, 1 session, local verification on,
+    /// 2 retries with a 50 ms backoff base.
     pub fn new(addr: ListenAddr, spec: JobSpec) -> Self {
         ClientConfig {
             addr,
@@ -71,6 +89,10 @@ impl ClientConfig {
             sessions: 1,
             verify: true,
             jobs: None,
+            retries: 2,
+            backoff_ms: 50,
+            retry_seed: 0,
+            deadline_ms: None,
         }
     }
 
@@ -101,6 +123,30 @@ impl ClientConfig {
     /// Streams these raw request lines instead of generated ones.
     pub fn jobs(mut self, jobs: Option<Vec<String>>) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Sets the retry budget (`0` disables retrying).
+    pub fn retries(mut self, retries: usize) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Sets the exponential-backoff base in milliseconds.
+    pub fn backoff_ms(mut self, ms: u64) -> Self {
+        self.backoff_ms = ms;
+        self
+    }
+
+    /// Sets the deterministic backoff-jitter seed.
+    pub fn retry_seed(mut self, seed: u64) -> Self {
+        self.retry_seed = seed;
+        self
+    }
+
+    /// Sets the per-request deadline attached to generated requests.
+    pub fn deadline_ms(mut self, ms: Option<u64>) -> Self {
+        self.deadline_ms = ms;
         self
     }
 }
@@ -140,6 +186,11 @@ pub struct SessionReport {
     pub verify_failures: usize,
     /// Request-to-result latency per job, milliseconds.
     pub latencies_ms: Vec<f64>,
+    /// Shed responses received (the request stayed unanswered and was
+    /// resubmitted on a later attempt — informational, not a failure).
+    pub shed: usize,
+    /// Connection attempts this session made (1 = no retries needed).
+    pub attempts: usize,
     /// Whether the session ended with the server's `summary` line.
     pub summary_seen: bool,
     /// Per-job records for the deterministic report.
@@ -190,6 +241,16 @@ impl ClientReport {
         self.sum(|s| s.id_mismatches)
     }
 
+    /// Total shed responses (each was later retried).
+    pub fn sheds(&self) -> usize {
+        self.sum(|s| s.shed)
+    }
+
+    /// Total connection attempts across all sessions.
+    pub fn attempts(&self) -> usize {
+        self.sum(|s| s.attempts)
+    }
+
     /// Results per wall-clock second across all sessions.
     pub fn jobs_per_sec(&self) -> f64 {
         if self.wall_s <= 0.0 {
@@ -231,7 +292,7 @@ impl ClientReport {
             "zkvc client: {} session(s), {} results in {:.3}s ({:.2} jobs/s)\n  \
              latency p50 {:.3} ms, p99 {:.3} ms\n  \
              server verdicts: {} ok, {} failed; local verification: {} ok, {} failed\n  \
-             errors {}, id mismatches {}",
+             errors {}, id mismatches {}, shed {} (over {} connection attempts)",
             self.sessions.len(),
             self.results(),
             self.wall_s,
@@ -244,6 +305,8 @@ impl ClientReport {
             self.verify_failures(),
             self.errors(),
             self.id_mismatches(),
+            self.sheds(),
+            self.attempts(),
         )
     }
 
@@ -350,13 +413,53 @@ fn num_u64(v: &Json) -> Option<u64> {
     }
 }
 
-fn run_one_session(config: &ClientConfig, k: usize) -> Result<SessionReport, Error> {
-    let stream = AnyStream::connect(&config.addr)?;
-    let writer_stream = stream
-        .try_clone()
-        .map_err(|e| Error::io(config.addr.to_string(), e))?;
-    let mut reader = BufReader::new(stream);
+/// Deterministic jitter in `[0, modulus)` from `(seed, session,
+/// attempt)` — splitmix64, so retry timing is reproducible by pinning
+/// `retry_seed` (which is what keeps chaos runs diffable).
+fn jitter(seed: u64, session: u64, attempt: u64, modulus: u64) -> u64 {
+    if modulus == 0 {
+        return 0;
+    }
+    let mut x = seed
+        ^ session.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ attempt.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    x % modulus
+}
 
+/// The pause before retry `attempt` (1-based): exponential in the
+/// backoff base plus seeded jitter, floored at the strongest
+/// `retry_after_ms` hint the previous attempt's shed responses carried,
+/// capped at 10 s.
+fn retry_delay(config: &ClientConfig, k: usize, attempt: usize, shed_hint: u64) -> Duration {
+    let shift = attempt.saturating_sub(1).min(10) as u32;
+    let base = config.backoff_ms.saturating_mul(1u64 << shift);
+    let delay = base
+        .saturating_add(jitter(
+            config.retry_seed,
+            k as u64,
+            attempt as u64,
+            config.backoff_ms,
+        ))
+        .max(shed_hint)
+        .min(10_000);
+    Duration::from_millis(delay)
+}
+
+/// What one connection attempt observed beyond the per-job accounting:
+/// protocol-level noise is folded into the session report only when the
+/// attempt is terminal — lines torn by a connection a retry then
+/// replaced are not errors of the session's final outcome.
+#[derive(Default)]
+struct AttemptTally {
+    proto_errors: usize,
+    summary_seen: bool,
+}
+
+fn run_one_session(config: &ClientConfig, k: usize) -> Result<SessionReport, Error> {
     let requests: Vec<(Option<String>, String)> = match &config.jobs {
         Some(lines) => lines
             .iter()
@@ -370,43 +473,24 @@ fn run_one_session(config: &ClientConfig, k: usize) -> Result<SessionReport, Err
                     .seed
                     .map(|s| format!(",\"seed\":{s}"))
                     .unwrap_or_default();
+                let deadline = config
+                    .deadline_ms
+                    .map(|ms| format!(",\"deadline_ms\":{ms}"))
+                    .unwrap_or_default();
                 let line = format!(
-                    "{{\"spec\":\"{}\",\"id\":\"{id}\"{seed}}}",
+                    "{{\"spec\":\"{}\",\"id\":\"{id}\"{seed}{deadline}}}",
                     json_escape(&config.spec.to_string())
                 );
                 (Some(id), line)
             })
             .collect(),
     };
-
-    let sent_at: Arc<Mutex<HashMap<String, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
-    let writer = {
-        let sent_at = Arc::clone(&sent_at);
-        let mut w = writer_stream;
-        thread::spawn(move || -> usize {
-            let mut sent = 0usize;
-            for (id, line) in requests {
-                if let Some(id) = id {
-                    sent_at
-                        .lock()
-                        .expect("sent-at map poisoned")
-                        .insert(id, Instant::now());
-                }
-                if w.write_all(line.as_bytes())
-                    .and_then(|_| w.write_all(b"\n"))
-                    .is_err()
-                {
-                    break;
-                }
-                sent += 1;
-            }
-            // Half-close: the server reads EOF once it has consumed
-            // everything, flushes our results, and summarises — while
-            // this end keeps reading.
-            let _ = w.shutdown_write();
-            sent
-        })
-    };
+    let generated = config.jobs.is_none();
+    // The retry ledger: ids with no terminal answer yet. A retry
+    // resubmits exactly these — answered ids are never resent, so a
+    // flaky connection cannot double-count a job in the report.
+    let mut unanswered: HashSet<String> =
+        requests.iter().filter_map(|(id, _)| id.clone()).collect();
 
     let mut report = SessionReport {
         session: k,
@@ -414,93 +498,81 @@ fn run_one_session(config: &ClientConfig, k: usize) -> Result<SessionReport, Err
     };
     let mut keys: HashMap<(String, u64), zkvc_groth16::VerifyingKey> = HashMap::new();
     let mut pending: Vec<PendingResult> = Vec::new();
-    let mut proto_ok = false;
-    let id_prefix = format!("c{k}-");
-    let mut line = String::new();
-    loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) => break,
-            Ok(_) => {}
-            Err(e) => {
-                let _ = writer.join();
-                return Err(Error::io(config.addr.to_string(), e));
-            }
+
+    let attempts = config.retries + 1;
+    let mut shed_hint = 0u64;
+    let mut last_failure: Option<Error> = None;
+    let mut settled = false;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            let delay = retry_delay(config, k, attempt, shed_hint);
+            let last = last_failure
+                .as_ref()
+                .map(|e| e.to_string())
+                .unwrap_or_default();
+            eprintln!(
+                "zkvc client: session {k} attempt {attempt} of {attempts} failed ({last}); retrying in {} ms",
+                delay.as_millis()
+            );
+            thread::sleep(delay);
+            shed_hint = 0;
         }
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        let Ok(fields) = parse_json_object(trimmed) else {
-            report.errors += 1;
-            continue;
-        };
-        match field(&fields, "type").and_then(str_val).unwrap_or("") {
-            "ready" => {
-                proto_ok = field(&fields, "proto").and_then(str_val) == Some("zkvc-serve/v1");
-            }
-            "key" => {
-                let digest = field(&fields, "shape_digest").and_then(str_val);
-                let seed = field(&fields, "seed").and_then(num_u64);
-                let vk = field(&fields, "vk_hex")
-                    .and_then(str_val)
-                    .and_then(unhex)
-                    .and_then(|bytes| zkvc_groth16::VerifyingKey::from_bytes(&bytes));
-                match (digest, seed, vk) {
-                    (Some(digest), Some(seed), Some(vk)) => {
-                        keys.insert((digest.to_string(), seed), vk);
+        report.attempts += 1;
+        let sent_before = report.sent;
+        match run_attempt(
+            config,
+            k,
+            &requests,
+            &mut unanswered,
+            &mut report,
+            &mut keys,
+            &mut pending,
+            &mut shed_hint,
+        ) {
+            Ok(tally) => {
+                report.summary_seen = tally.summary_seen;
+                if tally.summary_seen && (!generated || unanswered.is_empty()) {
+                    report.errors += tally.proto_errors;
+                    settled = true;
+                    break;
+                }
+                if !generated && report.sent > sent_before {
+                    // Raw `--jobs` lines cannot be resubmitted
+                    // idempotently once any went out: settle with what
+                    // was observed (`all_ok` will be false).
+                    report.errors += tally.proto_errors;
+                    settled = true;
+                    break;
+                }
+                last_failure = Some(if shed_hint > 0 {
+                    Error::Shed {
+                        retry_after_ms: shed_hint,
                     }
-                    _ => report.errors += 1,
-                }
-            }
-            "result" => {
-                report.results += 1;
-                if config.jobs.is_none() {
-                    match field(&fields, "id") {
-                        Some(Json::Str(id)) if id.starts_with(&id_prefix) => {
-                            let t0 = sent_at.lock().expect("sent-at map poisoned").remove(id);
-                            if let Some(t0) = t0 {
-                                report.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
-                            } else {
-                                // A duplicate or an id this session never
-                                // sent with this exact index.
-                                report.id_mismatches += 1;
-                            }
-                        }
-                        _ => report.id_mismatches += 1,
-                    }
-                }
-                let verified = field(&fields, "verified") == Some(&Json::Bool(true));
-                if !verified {
-                    report.verdict_failures += 1;
-                }
-                pending.push(PendingResult {
-                    id_token: field(&fields, "id")
-                        .map(Json::to_token)
-                        .unwrap_or_else(|| "null".into()),
-                    spec_str: field(&fields, "spec")
-                        .and_then(str_val)
-                        .unwrap_or("")
-                        .to_string(),
-                    seed: field(&fields, "seed").and_then(num_u64).unwrap_or(0),
-                    verified,
-                    proof_hex: field(&fields, "proof_hex")
-                        .and_then(str_val)
-                        .map(str::to_string),
-                    is_error: field(&fields, "code").is_some(),
+                } else if generated && !unanswered.is_empty() {
+                    Error::Request(format!(
+                        "{} request(s) unanswered when the stream ended",
+                        unanswered.len()
+                    ))
+                } else {
+                    Error::Request("stream ended before the summary line".into())
                 });
             }
-            "error" => report.errors += 1,
-            "summary" => {
-                report.summary_seen = true;
-                break;
-            }
-            _ => report.errors += 1,
+            Err(e) => last_failure = Some(e),
         }
     }
-    report.sent = writer.join().unwrap_or(0);
-    if !proto_ok {
-        report.errors += 1;
+    if !settled {
+        let last = last_failure.unwrap_or_else(|| Error::Request("no attempt was made".into()));
+        if config.retries == 0 {
+            // No retry budget configured: surface the original failure
+            // untranslated, as pre-retry clients did.
+            return Err(last);
+        }
+        let message = last.to_string();
+        eprintln!("zkvc client: session {k} giving up after {attempts} attempts: {message}");
+        return Err(Error::RetriesExhausted {
+            attempts,
+            last: message,
+        });
     }
 
     // Local verification pass, now that every key line is in hand.
@@ -528,6 +600,182 @@ fn run_one_session(config: &ClientConfig, k: usize) -> Result<SessionReport, Err
         report.jobs.push(record);
     }
     Ok(report)
+}
+
+/// One connection's worth of the session: connect, stream the
+/// still-unanswered requests, read responses until summary or EOF.
+/// Results, latencies, shed counts and key lines accumulate straight
+/// into the caller's state; protocol noise comes back in the tally for
+/// the caller to fold in (or discard, when this attempt gets retried).
+#[allow(clippy::too_many_arguments)]
+fn run_attempt(
+    config: &ClientConfig,
+    k: usize,
+    requests: &[(Option<String>, String)],
+    unanswered: &mut HashSet<String>,
+    report: &mut SessionReport,
+    keys: &mut HashMap<(String, u64), zkvc_groth16::VerifyingKey>,
+    pending: &mut Vec<PendingResult>,
+    shed_hint: &mut u64,
+) -> Result<AttemptTally, Error> {
+    let stream = AnyStream::connect(&config.addr)?;
+    let writer_stream = stream
+        .try_clone()
+        .map_err(|e| Error::io(config.addr.to_string(), e))?;
+    let mut reader = BufReader::new(stream);
+
+    let batch: Vec<(Option<String>, String)> = requests
+        .iter()
+        .filter(|(id, _)| id.as_ref().is_none_or(|i| unanswered.contains(i)))
+        .cloned()
+        .collect();
+
+    let sent_at: Arc<Mutex<HashMap<String, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
+    let writer = {
+        let sent_at = Arc::clone(&sent_at);
+        let mut w = writer_stream;
+        thread::spawn(move || -> usize {
+            let mut sent = 0usize;
+            for (id, line) in batch {
+                if let Some(id) = id {
+                    sent_at
+                        .lock()
+                        .expect("sent-at map poisoned")
+                        .insert(id, Instant::now());
+                }
+                if w.write_all(line.as_bytes())
+                    .and_then(|_| w.write_all(b"\n"))
+                    .is_err()
+                {
+                    break;
+                }
+                sent += 1;
+            }
+            // Half-close: the server reads EOF once it has consumed
+            // everything, flushes our results, and summarises — while
+            // this end keeps reading.
+            let _ = w.shutdown_write();
+            sent
+        })
+    };
+
+    let generated = config.jobs.is_none();
+    let mut tally = AttemptTally::default();
+    let mut proto_ok = false;
+    let id_prefix = format!("c{k}-");
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                report.sent += writer.join().unwrap_or(0);
+                return Err(Error::io(config.addr.to_string(), e));
+            }
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let Ok(fields) = parse_json_object(trimmed) else {
+            tally.proto_errors += 1;
+            continue;
+        };
+        match field(&fields, "type").and_then(str_val).unwrap_or("") {
+            "ready" => {
+                proto_ok = field(&fields, "proto").and_then(str_val) == Some("zkvc-serve/v1");
+            }
+            "key" => {
+                let digest = field(&fields, "shape_digest").and_then(str_val);
+                let seed = field(&fields, "seed").and_then(num_u64);
+                let vk = field(&fields, "vk_hex")
+                    .and_then(str_val)
+                    .and_then(unhex)
+                    .and_then(|bytes| zkvc_groth16::VerifyingKey::from_bytes(&bytes));
+                match (digest, seed, vk) {
+                    (Some(digest), Some(seed), Some(vk)) => {
+                        keys.insert((digest.to_string(), seed), vk);
+                    }
+                    _ => tally.proto_errors += 1,
+                }
+            }
+            "result" => {
+                report.results += 1;
+                // `fresh` guards the per-job accounting: a duplicate
+                // terminal answer (or an id from another session's space)
+                // must not add a second JobRecord — that is what keeps
+                // `--report` byte-diffable across retries.
+                let mut fresh = true;
+                if generated {
+                    match field(&fields, "id") {
+                        Some(Json::Str(id)) if id.starts_with(&id_prefix) => {
+                            let t0 = sent_at.lock().expect("sent-at map poisoned").remove(id);
+                            if let Some(t0) = t0 {
+                                report.latencies_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+                            }
+                            if !unanswered.remove(id) {
+                                report.id_mismatches += 1;
+                                fresh = false;
+                            }
+                        }
+                        _ => {
+                            report.id_mismatches += 1;
+                            fresh = false;
+                        }
+                    }
+                }
+                if fresh {
+                    let verified = field(&fields, "verified") == Some(&Json::Bool(true));
+                    if !verified {
+                        report.verdict_failures += 1;
+                    }
+                    pending.push(PendingResult {
+                        id_token: field(&fields, "id")
+                            .map(Json::to_token)
+                            .unwrap_or_else(|| "null".into()),
+                        spec_str: field(&fields, "spec")
+                            .and_then(str_val)
+                            .unwrap_or("")
+                            .to_string(),
+                        seed: field(&fields, "seed").and_then(num_u64).unwrap_or(0),
+                        verified,
+                        proof_hex: field(&fields, "proof_hex")
+                            .and_then(str_val)
+                            .map(str::to_string),
+                        is_error: field(&fields, "code").is_some(),
+                    });
+                }
+            }
+            "error" => {
+                // A shed answer for one of our own still-open ids is not a
+                // failure: the request was refused before admission, stays
+                // on the retry ledger, and the hint shapes the next
+                // backoff. Everything else on an error line is counted.
+                let retry_after = field(&fields, "retry_after_ms").and_then(num_u64);
+                let ours = generated
+                    && matches!(field(&fields, "id"),
+                        Some(Json::Str(id)) if id.starts_with(&id_prefix) && unanswered.contains(id));
+                match retry_after {
+                    Some(hint) if ours => {
+                        report.shed += 1;
+                        *shed_hint = (*shed_hint).max(hint.max(1));
+                    }
+                    _ => tally.proto_errors += 1,
+                }
+            }
+            "summary" => {
+                tally.summary_seen = true;
+                break;
+            }
+            _ => tally.proto_errors += 1,
+        }
+    }
+    report.sent += writer.join().unwrap_or(0);
+    if !proto_ok {
+        tally.proto_errors += 1;
+    }
+    Ok(tally)
 }
 
 /// Re-verifies one result envelope exactly the way `zkvc verify` would:

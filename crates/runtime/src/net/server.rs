@@ -33,8 +33,11 @@ use crate::serve::{ready_line, ServeConfig, ServeSummary, SessionOut};
 use crate::wire::{error_line, parse_request, LineReader, LineReject};
 
 /// How often a blocked session read wakes to poll shutdown/idle/broken
-/// state.
-const READ_TICK: Duration = Duration::from_millis(250);
+/// state. This bounds how stale a session's view of the shutdown flag
+/// can get, so it is also the floor on SIGTERM drain latency — kept
+/// small enough that a drain is dominated by the jobs it flushes (or
+/// their deadlines), not by polling.
+const READ_TICK: Duration = Duration::from_millis(50);
 /// How long the accept loop sleeps when no connection is pending.
 const ACCEPT_TICK: Duration = Duration::from_millis(25);
 
@@ -54,15 +57,26 @@ pub struct NetConfig {
     /// socket once this many of its jobs are queued or running, leaving
     /// the shared queue fair for other sessions.
     pub session_bound: usize,
+    /// Global admission bound across *all* sessions: a request that would
+    /// push the pool's total in-flight jobs past this is refused with a
+    /// code-3 `shed` error (and a `retry_after_ms` hint) instead of
+    /// queueing. `None` disables shedding (requests park on the session
+    /// and queue bounds instead).
+    pub admission_bound: Option<usize>,
+    /// The backoff hint a shed response carries, in milliseconds.
+    pub retry_after_ms: u64,
 }
 
 impl NetConfig {
-    /// Defaults: 5-minute idle timeout, 64 in-flight jobs per session.
+    /// Defaults: 5-minute idle timeout, 64 in-flight jobs per session, no
+    /// global admission bound, a 100 ms shed retry hint.
     pub fn new(serve: ServeConfig) -> Self {
         NetConfig {
             serve,
             idle_timeout: Some(Duration::from_secs(300)),
             session_bound: 64,
+            admission_bound: None,
+            retry_after_ms: 100,
         }
     }
 
@@ -75,6 +89,19 @@ impl NetConfig {
     /// Sets the per-session in-flight bound (clamped to at least 1).
     pub fn session_bound(mut self, bound: usize) -> Self {
         self.session_bound = bound.max(1);
+        self
+    }
+
+    /// Sets (or disables) the global admission bound (clamped to at
+    /// least 1 when set).
+    pub fn admission_bound(mut self, bound: Option<usize>) -> Self {
+        self.admission_bound = bound.map(|b| b.max(1));
+        self
+    }
+
+    /// Sets the `retry_after_ms` hint shed responses carry.
+    pub fn retry_after_ms(mut self, ms: u64) -> Self {
+        self.retry_after_ms = ms;
         self
     }
 }
@@ -93,6 +120,9 @@ pub struct NetSummary {
     pub failed: usize,
     /// Request lines rejected before reaching the pool.
     pub rejected: usize,
+    /// Well-formed requests refused by the global admission bound (each
+    /// was answered with a code-3 `shed` error, never queued).
+    pub shed: usize,
     /// Sessions that ended uncleanly (peer vanished; their in-flight
     /// jobs were cancelled).
     pub disconnected: usize,
@@ -130,6 +160,8 @@ struct SessionParams {
     workers: usize,
     session_bound: usize,
     idle_timeout: Option<Duration>,
+    admission_bound: Option<usize>,
+    retry_after_ms: u64,
 }
 
 /// Binds `addr` and serves connections until `shutdown` becomes `true`,
@@ -159,6 +191,8 @@ pub fn serve_listener(
         workers: config.serve.workers.max(1),
         session_bound: config.session_bound,
         idle_timeout: config.idle_timeout,
+        admission_bound: config.admission_bound,
+        retry_after_ms: config.retry_after_ms,
     });
 
     // One sink for the whole pool: route each result to its session's
@@ -213,7 +247,7 @@ pub fn serve_listener(
                 let shutdown = Arc::clone(&shutdown);
                 let totals = Arc::clone(&totals);
                 handles.push(thread::spawn(move || {
-                    let (summary, end) =
+                    let (summary, end, shed) =
                         run_session(stream, sid, &pool, &cache, &registry, &params, &shutdown);
                     let mut totals = totals.lock().expect("net totals poisoned");
                     totals.sessions += 1;
@@ -221,6 +255,7 @@ pub fn serve_listener(
                     totals.verified += summary.verified;
                     totals.failed += summary.failed;
                     totals.rejected += summary.rejected;
+                    totals.shed += shed;
                     match end {
                         SessionEnd::Disconnected => totals.disconnected += 1,
                         SessionEnd::ReapedIdle => totals.reaped_idle += 1,
@@ -262,11 +297,11 @@ fn run_session(
     registry: &Registry,
     params: &SessionParams,
     shutdown: &AtomicBool,
-) -> (ServeSummary, SessionEnd) {
+) -> (ServeSummary, SessionEnd, usize) {
     let started = Instant::now();
     let _ = stream.set_read_timeout(Some(READ_TICK));
     let Ok(write_half) = stream.try_clone() else {
-        return (ServeSummary::default(), SessionEnd::Disconnected);
+        return (ServeSummary::default(), SessionEnd::Disconnected, 0);
     };
     let entry = Arc::new(SessionEntry {
         out: SessionOut::new(write_half),
@@ -289,6 +324,7 @@ fn run_session(
     // tear the partial request (see `wire::LineReader`).
     let mut lines = LineReader::new(params.max_request_bytes);
     let mut rejected = 0usize;
+    let mut shed = 0usize;
     let mut last_activity = Instant::now();
     let mut end = loop {
         if shutdown.load(Ordering::SeqCst) {
@@ -333,9 +369,32 @@ fn run_session(
                             .out
                             .emit(&error_line(request.id_json.as_deref(), &error));
                     }
+                    // Overload shedding: refuse the whole request up front
+                    // when admitting it would push the pool past the global
+                    // bound. The refusal is a terminal answer (code 3 with a
+                    // retry hint), never a queued job — a shed request does
+                    // not exist as far as the drain path is concerned. The
+                    // check is admission-time-only and races benignly with
+                    // other sessions: the bound is a load shed, not a hard
+                    // capacity invariant.
+                    Ok(request)
+                        if params
+                            .admission_bound
+                            .is_some_and(|bound| pool.in_flight() + request.count > bound) =>
+                    {
+                        shed += 1;
+                        let error = Error::Shed {
+                            retry_after_ms: params.retry_after_ms,
+                        };
+                        entry
+                            .out
+                            .out
+                            .emit(&error_line(request.id_json.as_deref(), &error));
+                    }
                     Ok(request) => {
                         let seed = request.seed.unwrap_or(params.seed);
                         let priority = request.priority.unwrap_or(request.spec.priority());
+                        let deadline = request.deadline_ms.map(Duration::from_millis);
                         for _ in 0..request.count {
                             // A session cancelled mid-request (peer died
                             // while we were blocked on its own bound)
@@ -344,12 +403,13 @@ fn run_session(
                             if entry.ctl.is_cancelled() {
                                 break;
                             }
-                            pool.submit_for_session(
+                            pool.submit_for_session_with_deadline(
                                 request.spec,
                                 seed,
                                 priority,
                                 request.id_json.clone(),
                                 Arc::clone(&entry.ctl),
+                                deadline,
                             );
                         }
                     }
@@ -409,5 +469,5 @@ fn run_session(
         .lock()
         .expect("session registry poisoned")
         .remove(&sid);
-    (summary, end)
+    (summary, end, shed)
 }

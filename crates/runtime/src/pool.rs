@@ -51,6 +51,10 @@ pub enum JobError {
     /// The pool was cancelled before (or while) the job ran; nothing was
     /// proved.
     Cancelled,
+    /// The job's deadline passed before it finished: either it expired in
+    /// the queue, or a kernel cancellation checkpoint stopped the prove
+    /// mid-flight. Nothing usable was proved.
+    DeadlineExceeded,
     /// The job panicked; the payload message is preserved. The worker
     /// thread survives and keeps serving other jobs.
     Panicked(String),
@@ -63,6 +67,7 @@ impl JobError {
     pub fn kind(&self) -> &'static str {
         match self {
             JobError::Cancelled => "cancelled",
+            JobError::DeadlineExceeded => "deadline_exceeded",
             JobError::Panicked(_) => "panicked",
         }
     }
@@ -72,6 +77,7 @@ impl fmt::Display for JobError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             JobError::Cancelled => write!(f, "cancelled before proving"),
+            JobError::DeadlineExceeded => write!(f, "deadline exceeded before the proof finished"),
             JobError::Panicked(msg) => write!(f, "job panicked: {msg}"),
         }
     }
@@ -288,6 +294,14 @@ impl BatchReport {
             .count()
     }
 
+    /// Jobs stopped because their deadline passed.
+    pub fn deadline_jobs(&self) -> usize {
+        self.results
+            .iter()
+            .filter(|r| matches!(r.error, Some(JobError::DeadlineExceeded)))
+            .count()
+    }
+
     /// Jobs that panicked (and were contained).
     pub fn panicked_jobs(&self) -> usize {
         self.results
@@ -341,6 +355,7 @@ impl BatchReport {
         for r in &self.results {
             let ok = match (&r.error, r.verified) {
                 (Some(JobError::Cancelled), _) => "cxl",
+                (Some(JobError::DeadlineExceeded), _) => "ddl",
                 (Some(JobError::Panicked(_)), _) => "panic",
                 (None, true) => "yes",
                 (None, false) => "NO",
@@ -370,12 +385,13 @@ impl BatchReport {
             self.jobs_per_sec()
         );
         let cancelled = self.cancelled_jobs();
+        let deadline = self.deadline_jobs();
         let panicked = self.panicked_jobs();
-        if cancelled > 0 || panicked > 0 || self.worker_panics > 0 {
+        if cancelled > 0 || deadline > 0 || panicked > 0 || self.worker_panics > 0 {
             let _ = writeln!(
                 out,
-                "incidents: {} cancelled, {} panicked job(s), {} worker thread panic(s)",
-                cancelled, panicked, self.worker_panics
+                "incidents: {} cancelled, {} past deadline, {} panicked job(s), {} worker thread panic(s)",
+                cancelled, deadline, panicked, self.worker_panics
             );
         }
         // The percentage must agree with the counters on the same line, so
@@ -543,6 +559,11 @@ struct QueuedJob {
     /// in-flight slot is released once the result has been processed.
     session: Option<Arc<SessionCtl>>,
     enqueued: Instant,
+    /// Absolute time after which the job must stop (converted from the
+    /// request's `deadline_ms` at admission). Enforced at worker pickup,
+    /// after statement build, and — via the [`zkvc_ff::cancel`]
+    /// checkpoints — mid-MSM and mid-FFT inside the prove itself.
+    deadline: Option<Instant>,
 }
 
 impl QueuedJob {
@@ -563,6 +584,10 @@ pub struct ProvingPool {
     seed: u64,
     next_id: AtomicUsize,
     started: Instant,
+    /// Jobs admitted and not yet fully processed (sink included), across
+    /// *all* sessions — the load signal the network layer's global
+    /// admission bound sheds on.
+    in_flight: Arc<AtomicUsize>,
 }
 
 impl ProvingPool {
@@ -589,12 +614,14 @@ impl ProvingPool {
         ));
         let results = Arc::new(Mutex::new(Vec::new()));
         let retain = config.retain_results;
+        let in_flight = Arc::new(AtomicUsize::new(0));
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             let sched = Arc::clone(&sched);
             let results = Arc::clone(&results);
             let cache = Arc::clone(&cache);
             let sink = sink.clone();
+            let in_flight = Arc::clone(&in_flight);
             handles.push(
                 thread::Builder::new()
                     .name(format!("zkvc-worker-{w}"))
@@ -614,6 +641,7 @@ impl ProvingPool {
                             if let Some(session) = session {
                                 session.release();
                             }
+                            in_flight.fetch_sub(1, Ordering::SeqCst);
                         }
                     })
                     .expect("spawn pool worker"),
@@ -628,6 +656,7 @@ impl ProvingPool {
             seed: config.seed,
             next_id: AtomicUsize::new(0),
             started: Instant::now(),
+            in_flight,
         }
     }
 
@@ -641,19 +670,19 @@ impl ProvingPool {
     /// Enqueues a job with an explicit priority.
     pub fn submit_prioritized(&self, spec: JobSpec, priority: Priority) -> usize {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let job = QueuedJob {
-            id,
-            statement_id: id,
-            seed: self.seed,
-            spec,
-            tag: None,
-            session: None,
-            enqueued: Instant::now(),
-        };
-        if self.sched.submit(job, priority).is_err() {
-            panic!("pool already joined");
-        }
-        id
+        self.enqueue(
+            QueuedJob {
+                id,
+                statement_id: id,
+                seed: self.seed,
+                spec,
+                tag: None,
+                session: None,
+                enqueued: Instant::now(),
+                deadline: None,
+            },
+            priority,
+        )
     }
 
     /// The `zkvc serve` entry point: a job with its own seed and an
@@ -668,20 +697,36 @@ impl ProvingPool {
         priority: Priority,
         tag: Option<String>,
     ) -> usize {
+        self.submit_request_with_deadline(spec, seed, priority, tag, None)
+    }
+
+    /// [`Self::submit_request`] with an optional per-job deadline,
+    /// measured from admission: once it passes, the job is answered
+    /// [`JobError::DeadlineExceeded`] — unstarted jobs without proving,
+    /// a running prove at its next kernel cancellation checkpoint.
+    pub fn submit_request_with_deadline(
+        &self,
+        spec: JobSpec,
+        seed: u64,
+        priority: Priority,
+        tag: Option<String>,
+        deadline: Option<Duration>,
+    ) -> usize {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let job = QueuedJob {
-            id,
-            statement_id: 0,
-            seed,
-            spec,
-            tag,
-            session: None,
-            enqueued: Instant::now(),
-        };
-        if self.sched.submit(job, priority).is_err() {
-            panic!("pool already joined");
-        }
-        id
+        let now = Instant::now();
+        self.enqueue(
+            QueuedJob {
+                id,
+                statement_id: 0,
+                seed,
+                spec,
+                tag,
+                session: None,
+                enqueued: now,
+                deadline: deadline.map(|d| now + d),
+            },
+            priority,
+        )
     }
 
     /// [`Self::submit_request`] scoped to a client session: blocks first
@@ -697,18 +742,46 @@ impl ProvingPool {
         tag: Option<String>,
         session: Arc<SessionCtl>,
     ) -> usize {
+        self.submit_for_session_with_deadline(spec, seed, priority, tag, session, None)
+    }
+
+    /// [`Self::submit_for_session`] with an optional per-job deadline
+    /// (see [`Self::submit_request_with_deadline`]); the deadline clock
+    /// starts *after* the session's admission gate admits the job.
+    pub fn submit_for_session_with_deadline(
+        &self,
+        spec: JobSpec,
+        seed: u64,
+        priority: Priority,
+        tag: Option<String>,
+        session: Arc<SessionCtl>,
+        deadline: Option<Duration>,
+    ) -> usize {
         session.acquire();
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let job = QueuedJob {
-            id,
-            statement_id: 0,
-            seed,
-            spec,
-            tag,
-            session: Some(session),
-            enqueued: Instant::now(),
-        };
+        let now = Instant::now();
+        self.enqueue(
+            QueuedJob {
+                id,
+                statement_id: 0,
+                seed,
+                spec,
+                tag,
+                session: Some(session),
+                enqueued: now,
+                deadline: deadline.map(|d| now + d),
+            },
+            priority,
+        )
+    }
+
+    /// Shared tail of every submit path: counts the job in flight and
+    /// hands it to the scheduler.
+    fn enqueue(&self, job: QueuedJob, priority: Priority) -> usize {
+        let id = job.id;
+        self.in_flight.fetch_add(1, Ordering::SeqCst);
         if self.sched.submit(job, priority).is_err() {
+            self.in_flight.fetch_sub(1, Ordering::SeqCst);
             panic!("pool already joined");
         }
         id
@@ -730,6 +803,13 @@ impl ProvingPool {
     /// Jobs accepted but not yet picked up by a worker.
     pub fn queued(&self) -> usize {
         self.sched.queued()
+    }
+
+    /// Jobs admitted (any submit path, any session) and not yet fully
+    /// processed — queued, proving, or mid-sink. The network layer sheds
+    /// new requests when this crosses its global admission bound.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::SeqCst)
     }
 
     /// The shared key cache (e.g. to pre-warm it or to read stats).
@@ -920,34 +1000,63 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// The reason this job must stop right now, if any. The deadline is
+/// checked first: a job that is both cancelled and past its deadline
+/// reports the deadline (a draining server that outlives a job's budget
+/// must still answer `deadline_exceeded`, not a generic cancel).
+fn job_status(job: &QueuedJob, sched: &Scheduler<QueuedJob>) -> Option<JobError> {
+    if job.deadline.is_some_and(|d| Instant::now() >= d) {
+        Some(JobError::DeadlineExceeded)
+    } else if job.is_cancelled(sched) {
+        Some(JobError::Cancelled)
+    } else {
+        None
+    }
+}
+
 /// Runs one job under the cancellation + panic guards. Never panics.
 fn execute_job(
     job: QueuedJob,
     worker: usize,
     cache: &KeyCache,
-    sched: &Scheduler<QueuedJob>,
+    sched: &Arc<Scheduler<QueuedJob>>,
 ) -> JobResult {
     let queue_wait = job.enqueued.elapsed();
-    if job.is_cancelled(sched) {
-        return aborted_result(
-            &job,
-            worker,
-            queue_wait,
-            Duration::ZERO,
-            JobError::Cancelled,
-        );
+    if let Some(error) = job_status(&job, sched) {
+        return aborted_result(&job, worker, queue_wait, Duration::ZERO, error);
     }
+    // The kernel-level cancellation check must own its captures (it is
+    // re-installed inside MSM worker threads), so it clones the job's
+    // scoping handles instead of borrowing the job.
+    let check: zkvc_ff::cancel::CancelCheck = {
+        let sched = Arc::clone(sched);
+        let session = job.session.clone();
+        let deadline = job.deadline;
+        Arc::new(move || {
+            deadline.is_some_and(|d| Instant::now() >= d)
+                || sched.is_cancelled()
+                || session.as_ref().is_some_and(|s| s.is_cancelled())
+        })
+    };
     match catch_unwind(AssertUnwindSafe(|| {
-        run_job(&job, worker, queue_wait, cache, &|| job.is_cancelled(sched))
+        crate::fault::fire_panic("pool.pickup.panic");
+        let _cancel = zkvc_ff::cancel::install(check);
+        run_job(&job, worker, queue_wait, cache, &|| job_status(&job, sched))
     })) {
         Ok(result) => result,
-        Err(payload) => aborted_result(
-            &job,
-            worker,
-            queue_wait,
-            Duration::ZERO,
-            JobError::Panicked(panic_message(payload.as_ref())),
-        ),
+        Err(payload) => {
+            let error = if payload
+                .downcast_ref::<zkvc_ff::cancel::Cancelled>()
+                .is_some()
+            {
+                // A kernel checkpoint stopped the job cooperatively;
+                // re-derive which condition tripped it.
+                job_status(&job, sched).unwrap_or(JobError::Cancelled)
+            } else {
+                JobError::Panicked(panic_message(payload.as_ref()))
+            };
+            aborted_result(&job, worker, queue_wait, Duration::ZERO, error)
+        }
     }
 }
 
@@ -956,7 +1065,7 @@ fn run_job(
     worker: usize,
     queue_wait: Duration,
     cache: &KeyCache,
-    is_cancelled: &dyn Fn() -> bool,
+    status: &dyn Fn() -> Option<JobError>,
 ) -> JobResult {
     let t0 = Instant::now();
     let statement = build_statement(job.seed, job.statement_id, &job.spec);
@@ -964,8 +1073,8 @@ fn run_job(
 
     // Cooperative checkpoint: a cancellation that lands mid-build skips
     // the (much more expensive) setup + prove work.
-    if is_cancelled() {
-        return aborted_result(job, worker, queue_wait, statement_time, JobError::Cancelled);
+    if let Some(error) = status() {
+        return aborted_result(job, worker, queue_wait, statement_time, error);
     }
 
     // Shape + keys: on a warm template no synthesis of any kind runs —

@@ -24,7 +24,7 @@ use std::collections::HashSet;
 use std::io::{self, BufRead, Write};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use zkvc_core::{Backend, VerifierKey};
 
@@ -159,6 +159,14 @@ impl<W: Write> Output<W> {
     }
 
     pub(crate) fn emit(&self, line: &str) {
+        // A latched failure condemns the whole stream: nothing written
+        // after it can be trusted to arrive in order (the peer is gone,
+        // or — under fault injection — the session is being torn down),
+        // so later emits are dropped rather than interleaved onto a
+        // half-dead connection.
+        if self.is_broken() {
+            return;
+        }
         let mut w = self.writer.lock().expect("serve output poisoned");
         let result = writeln!(w, "{line}").and_then(|_| w.flush());
         if let Err(e) = result {
@@ -392,12 +400,14 @@ pub fn serve<R: BufRead, W: Write + Send + 'static>(
                     Ok(request) => {
                         let seed = request.seed.unwrap_or(config.seed);
                         let priority = request.priority.unwrap_or(request.spec.priority());
+                        let deadline = request.deadline_ms.map(Duration::from_millis);
                         for _ in 0..request.count {
-                            pool.submit_request(
+                            pool.submit_request_with_deadline(
                                 request.spec,
                                 seed,
                                 priority,
                                 request.id_json.clone(),
+                                deadline,
                             );
                         }
                     }

@@ -14,7 +14,7 @@
 use std::io::{self, BufRead};
 
 use crate::error::Error;
-use crate::pool::JobResult;
+use crate::pool::{JobError, JobResult};
 use crate::sched::Priority;
 use crate::spec::JobSpec;
 use crate::util::{hex, json_escape};
@@ -126,6 +126,10 @@ pub struct Request {
     pub seed: Option<u64>,
     /// Priority override, when the request carried one.
     pub priority: Option<Priority>,
+    /// Per-job deadline in milliseconds from admission, when the request
+    /// carried one: past it, the job is answered `deadline_exceeded`
+    /// instead of a proof.
+    pub deadline_ms: Option<u64>,
     /// The request's `id`, re-encoded as a JSON token for echoing.
     pub id_json: Option<String>,
 }
@@ -170,6 +174,7 @@ pub fn parse_request(line: &str) -> Result<Request, (Error, Option<String>)> {
     let mut spec_count: Option<(JobSpec, usize)> = None;
     let mut seed = None;
     let mut priority = None;
+    let mut deadline_ms = None;
     for (key, value) in &fields {
         match key.as_str() {
             "spec" => {
@@ -205,6 +210,18 @@ pub fn parse_request(line: &str) -> Result<Request, (Error, Option<String>)> {
                     }
                 });
             }
+            "deadline_ms" => {
+                let parsed = match value {
+                    Json::Num(raw) => raw.parse::<u64>().ok().filter(|ms| *ms > 0),
+                    _ => None,
+                };
+                let Some(parsed) = parsed else {
+                    return Err(fail(Error::Request(
+                        "\"deadline_ms\" must be a positive integer".into(),
+                    )));
+                };
+                deadline_ms = Some(parsed);
+            }
             "id" => match value {
                 Json::Str(_) | Json::Num(_) => {} // captured above
                 _ => {
@@ -215,7 +232,7 @@ pub fn parse_request(line: &str) -> Result<Request, (Error, Option<String>)> {
             },
             other => {
                 return Err(fail(Error::Request(format!(
-                    "unknown field {other:?} (expected spec, id, seed, priority)"
+                    "unknown field {other:?} (expected spec, id, seed, priority, deadline_ms)"
                 ))));
             }
         }
@@ -230,6 +247,7 @@ pub fn parse_request(line: &str) -> Result<Request, (Error, Option<String>)> {
         count,
         seed,
         priority,
+        deadline_ms,
         id_json,
     })
 }
@@ -249,9 +267,19 @@ pub fn result_line(r: &JobResult, include_proof: bool) -> String {
     );
     match &r.error {
         Some(error) => {
+            // Code 4 marks a deadline miss so clients can tell "your
+            // budget ran out" (do not retry as-is) from code 1's "the job
+            // failed" without string-matching; `kind` carries the stable
+            // one-word reason either way.
+            let code = match error {
+                JobError::DeadlineExceeded => 4,
+                _ => 1,
+            };
             let _ = write!(
                 s,
-                ",\"code\":1,\"error\":\"{}\"",
+                ",\"code\":{},\"kind\":\"{}\",\"error\":\"{}\"",
+                code,
+                error.kind(),
                 json_escape(&error.to_string())
             );
         }
@@ -279,12 +307,18 @@ pub fn result_line(r: &JobResult, include_proof: bool) -> String {
 }
 
 /// Renders one `error` response line; `id_json` is the request's echoed
-/// id when it could be recovered from the malformed line.
+/// id when it could be recovered from the malformed line. A shed error
+/// additionally carries `retry_after_ms`, the server's backoff hint.
 pub fn error_line(id_json: Option<&str>, error: &Error) -> String {
+    let retry = match error {
+        Error::Shed { retry_after_ms } => format!(",\"retry_after_ms\":{retry_after_ms}"),
+        _ => String::new(),
+    };
     format!(
-        "{{\"type\":\"error\",\"id\":{},\"code\":{},\"error\":\"{}\"}}",
+        "{{\"type\":\"error\",\"id\":{},\"code\":{}{},\"error\":\"{}\"}}",
         id_json.unwrap_or("null"),
         error.exit_code(),
+        retry,
         json_escape(&error.to_string())
     )
 }
@@ -486,6 +520,10 @@ mod tests {
             parse_request(r#"{"id": 7, "spec": "2x2x2", "seed": 18446744073709551615}"#).unwrap();
         assert_eq!(r.id_json.as_deref(), Some("7"));
         assert_eq!(r.seed, Some(u64::MAX));
+
+        // A deadline rides along in milliseconds.
+        let r = parse_request(r#"{"spec": "2x2x2", "deadline_ms": 1500}"#).unwrap();
+        assert_eq!(r.deadline_ms, Some(1500));
     }
 
     #[test]
@@ -499,6 +537,11 @@ mod tests {
             (r#"{"spec": "2x2x2", "seed": -4}"#, "non-negative integer"),
             (r#"{"spec": "2x2x2", "seed": 1.5}"#, "non-negative integer"),
             (r#"{"spec": "2x2x2", "priority": "urgent"}"#, "priority"),
+            (r#"{"spec": "2x2x2", "deadline_ms": 0}"#, "positive integer"),
+            (
+                r#"{"spec": "2x2x2", "deadline_ms": "fast"}"#,
+                "positive integer",
+            ),
             (r#"{"spec": "bogus"}"#, "bad spec"),
             (r#"{"spec": ["2x2x2"]}"#, "nested"),
             (r#"{"spec": "2x2x2"} trailing"#, "trailing content"),
