@@ -170,7 +170,7 @@ fn bench_synth(shapes: &[(&str, (usize, usize, usize), Strategy)]) -> Vec<SynthR
             row.legacy_single_pass_ms,
             row.shape_compile_ms,
             row.witness_pass_ms,
-            row.amortised.last().map(|a| a.speedup).unwrap_or(0.0),
+            row.amortised.last().map_or(0.0, |a| a.speedup),
             row.proofs_bit_identical,
         );
         rows.push(row);
@@ -425,9 +425,7 @@ fn main() {
         ("default", (10..=16).collect(), (10..=18).collect())
     };
 
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     println!("kernel bench: mode={mode}, threads={threads}");
 
     let msm_rows = bench_msm(&msm_sizes);

@@ -174,7 +174,7 @@ fn measure(
         );
         runs.push(run);
     }
-    let mut spec_labels: Vec<String> = specs.iter().map(|s| s.to_string()).collect();
+    let mut spec_labels: Vec<String> = specs.iter().map(std::string::ToString::to_string).collect();
     spec_labels.dedup();
     Section {
         name,
@@ -203,9 +203,7 @@ fn main() {
     } else {
         "default"
     };
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    let threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
     let workers = 4;
     let seed = 0xB00570;
     let reps = if smoke { 1 } else { 3 };

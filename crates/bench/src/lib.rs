@@ -11,6 +11,8 @@
 //! mode runs reduced shapes with the same structure so that the relative
 //! behaviour — who wins and by roughly what factor — is visible in seconds.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 use std::time::{Duration, Instant};

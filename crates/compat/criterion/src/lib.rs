@@ -10,13 +10,15 @@
 //! `cargo bench` runnable (and the paper harnesses comparable) without
 //! network access to crates.io.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 
 /// Entry point handed to benchmark functions by [`criterion_group!`].
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct Criterion {}
 
 impl Criterion {
@@ -31,6 +33,7 @@ impl Criterion {
 }
 
 /// A group of benchmarks sharing configuration.
+#[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
     sample_size: usize,
@@ -60,7 +63,7 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        self.run(id.into(), |b| f(b));
+        self.run(&id.into(), |b| f(b));
         self
     }
 
@@ -74,14 +77,14 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        self.run(id.into(), |b| f(b, input));
+        self.run(&id.into(), |b| f(b, input));
         self
     }
 
     /// Ends the group (no-op; results are printed as they complete).
     pub fn finish(&mut self) {}
 
-    fn run(&mut self, id: BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+    fn run(&mut self, id: &BenchmarkId, mut f: impl FnMut(&mut Bencher)) {
         let mut bencher = Bencher {
             samples: self.sample_size,
             elapsed: Duration::ZERO,
@@ -98,6 +101,7 @@ impl BenchmarkGroup<'_> {
 }
 
 /// Timing handle passed to benchmark closures.
+#[derive(Debug)]
 pub struct Bencher {
     samples: usize,
     elapsed: Duration,
@@ -119,6 +123,7 @@ impl Bencher {
 }
 
 /// An identifier combining a function name and a parameter display string.
+#[derive(Debug)]
 pub struct BenchmarkId {
     label: String,
 }
@@ -186,7 +191,7 @@ mod tests {
         // one warm-up + three timed samples
         assert_eq!(calls, 4);
         group.bench_with_input(BenchmarkId::new("with", 7), &7usize, |b, v| {
-            b.iter(|| assert_eq!(*v, 7))
+            b.iter(|| assert_eq!(*v, 7));
         });
         group.finish();
     }

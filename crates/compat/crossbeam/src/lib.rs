@@ -15,6 +15,8 @@
 //! real crate must route cross-thread submissions through an `Injector`
 //! (see the `deque` module docs).
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 /// Work-stealing double-ended queues, crossbeam-deque-style.
@@ -132,6 +134,7 @@ pub mod thread {
     /// A scope handle passed to [`scope`]'s closure; spawned closures
     /// receive a reference to it (crossbeam convention), enabling nested
     /// spawns.
+    #[derive(Debug)]
     pub struct Scope<'scope, 'env: 'scope> {
         inner: &'scope std::thread::Scope<'scope, 'env>,
     }
@@ -182,7 +185,7 @@ mod tests {
         // Owner pops oldest-first; thieves steal oldest-first too.
         assert_eq!(w.pop(), Some(0));
         assert_eq!(s.steal(), Steal::Success(1));
-        assert_eq!(s.clone().steal().success(), Some(2));
+        assert_eq!(s.steal().success(), Some(2));
         assert_eq!(w.pop(), Some(3));
         assert_eq!(w.pop(), None);
     }

@@ -11,6 +11,8 @@
 //! There is no shrinking: a failing case reports its arguments via `Debug`
 //! and panics.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 use rand::rngs::StdRng;
@@ -84,6 +86,14 @@ pub struct Map<S, F> {
     f: F,
 }
 
+impl<S, F> core::fmt::Debug for Map<S, F> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // The mapping closure is opaque; no bound on S keeps closures
+        // composable.
+        f.debug_struct("Map").finish_non_exhaustive()
+    }
+}
+
 impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
     type Value = O;
     fn generate(&self, rng: &mut StdRng) -> O {
@@ -146,6 +156,12 @@ pub struct AnyStrategy<T> {
     _marker: core::marker::PhantomData<T>,
 }
 
+impl<T> core::fmt::Debug for AnyStrategy<T> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("AnyStrategy").finish_non_exhaustive()
+    }
+}
+
 impl<T: Arbitrary> Strategy for AnyStrategy<T> {
     type Value = T;
     fn generate(&self, rng: &mut StdRng) -> T {
@@ -169,6 +185,15 @@ pub mod collection {
     pub struct VecStrategy<S> {
         elem: S,
         size: core::ops::Range<usize>,
+    }
+
+    impl<S> core::fmt::Debug for VecStrategy<S> {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            // No bound on S: element strategies may wrap closures.
+            f.debug_struct("VecStrategy")
+                .field("size", &self.size)
+                .finish_non_exhaustive()
+        }
     }
 
     impl<S: Strategy> Strategy for VecStrategy<S> {

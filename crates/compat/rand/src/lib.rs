@@ -13,6 +13,8 @@
 //! benchmark inputs and protocol randomness where only determinism and
 //! statistical quality matter, not cross-crate reproducibility.
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 /// The core of a random number generator: a source of `u64` words.
@@ -159,7 +161,7 @@ pub mod rngs {
     impl SeedableRng for StdRng {
         fn seed_from_u64(mut state: u64) -> Self {
             let mut s = [0u64; 4];
-            for word in s.iter_mut() {
+            for word in &mut s {
                 *word = splitmix64(&mut state);
             }
             // xoshiro requires a non-zero state; SplitMix64 output of any

@@ -105,6 +105,20 @@ pub trait Circuit {
     fn shape_digest(&self) -> [u8; 32] {
         compile_shape(self).digest
     }
+
+    /// The number of public outputs this circuit's *statement* exposes —
+    /// what the static analyzer checks the compiled shape against. For a
+    /// well-formed circuit this equals the instance count; a circuit that
+    /// declares more than its shape allocates (a matmul compiled with its
+    /// outputs left private) is flagged `unbound-public` by
+    /// `CompiledShape::analyze`.
+    ///
+    /// The default counts [`Circuit::public_outputs`] (a witness pass);
+    /// implementors that know their statement arity should override with
+    /// the cheap answer.
+    fn declared_publics(&self) -> usize {
+        self.public_outputs().len()
+    }
 }
 
 /// Runs the witness-free shape pass over a circuit, producing its

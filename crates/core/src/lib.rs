@@ -41,6 +41,8 @@
 //! assert!(Backend::Groth16.verify(&job, &artifacts));
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod api;

@@ -120,7 +120,7 @@ fn synthesize_crpc_psq_fold<S: ConstraintSink<Fr> + ?Sized>(
     x: &[Vec<LinearCombination<Fr>>],
     w: &[Vec<LinearCombination<Fr>>],
     zp: &[Fr],
-    folded: LinearCombination<Fr>,
+    folded: &LinearCombination<Fr>,
 ) {
     let n = w.len();
     let b = w[0].len();
@@ -180,7 +180,7 @@ pub fn synthesize_crpc_psq<S: ConstraintSink<Fr> + ?Sized>(
     let b = w[0].len();
     let zp = powers_of(z, a * b);
     let (y, folded) = allocate_outputs(cs, x, w, &zp);
-    synthesize_crpc_psq_fold(cs, x, w, &zp, folded);
+    synthesize_crpc_psq_fold(cs, x, w, &zp, &folded);
     y
 }
 
@@ -239,7 +239,7 @@ pub fn synthesize_crpc_psq_into<S: ConstraintSink<Fr> + ?Sized>(
     let b = w[0].len();
     let zp = powers_of(z, a * b);
     let (y_wit, folded) = allocate_outputs(cs, x, w, &zp);
-    synthesize_crpc_psq_fold(cs, x, w, &zp, folded);
+    synthesize_crpc_psq_fold(cs, x, w, &zp, &folded);
     bind_outputs(cs, &y_wit, y_out);
 }
 

@@ -333,6 +333,13 @@ impl Circuit for MatMulCircuit {
             Vec::new()
         }
     }
+
+    fn declared_publics(&self) -> usize {
+        // The matmul *statement* always has a·b outputs, even when the
+        // circuit was compiled with them left private — that gap is
+        // exactly what the analyzer's `unbound-public` lint reports.
+        self.dims.0 * self.dims.2
+    }
 }
 
 /// A fully synthesised matrix-multiplication statement: the constraint
@@ -387,6 +394,10 @@ impl Circuit for MatMulJob {
 
     fn shape_digest(&self) -> [u8; 32] {
         crate::api::circuit_shape_digest(&self.cs)
+    }
+
+    fn declared_publics(&self) -> usize {
+        self.circuit.declared_publics()
     }
 }
 
@@ -453,13 +464,13 @@ impl MatMulBuilder {
     /// # Panics
     /// Panics if the matrix dimensions do not match the builder.
     pub fn build_integers(&self, x: &[Vec<i64>], w: &[Vec<i64>]) -> MatMulJob {
-        self.eager(self.build_circuit_integers(x, w))
+        Self::eager(self.build_circuit_integers(x, w))
     }
 
     /// Builds the job with uniformly random matrices (used by the benchmark
     /// harnesses, where only the cost profile matters).
     pub fn build_random<R: Rng + ?Sized>(&self, rng: &mut R) -> MatMulJob {
-        self.eager(self.build_circuit_random(rng))
+        Self::eager(self.build_circuit_random(rng))
     }
 
     /// Builds the job from field-element matrices.
@@ -467,7 +478,7 @@ impl MatMulBuilder {
     /// # Panics
     /// Panics if the matrix dimensions do not match the builder.
     pub fn build_field(&self, x: &[Vec<Fr>], w: &[Vec<Fr>]) -> MatMulJob {
-        self.eager(self.build_circuit_field(x, w))
+        Self::eager(self.build_circuit_field(x, w))
     }
 
     /// [`MatMulBuilder::build_integers`], but producing the lazy
@@ -566,7 +577,7 @@ impl MatMulBuilder {
 
     /// Runs the legacy single pass over a statement, producing the eager
     /// job (constraint system + stats) most tests and harnesses consume.
-    fn eager(&self, circuit: MatMulCircuit) -> MatMulJob {
+    fn eager(circuit: MatMulCircuit) -> MatMulJob {
         let mut cs = ConstraintSystem::<Fr>::new();
         circuit.emit(&mut cs);
         let stats = CircuitStats::of(&cs);

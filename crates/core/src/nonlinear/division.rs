@@ -197,9 +197,8 @@ mod tests {
         let x = cs.alloc_witness(Fr::from_i64(100));
         let q = div_by_const_pow2(&mut cs, &x.into(), 3, 16).unwrap();
         assert!(cs.is_satisfied());
-        let q_idx = match q {
-            Variable::Witness(i) => i,
-            _ => unreachable!(),
+        let Variable::Witness(q_idx) = q else {
+            unreachable!()
         };
         let mut w = cs.witness_assignment().to_vec();
         w[q_idx] = Fr::from_i64(13); // wrong quotient

@@ -88,9 +88,8 @@ mod tests {
         let x = cs.alloc_witness(Fr::from_i64(cfg.quantize(1.25)));
         let g = synthesize_gelu(&mut cs, &x.into(), &cfg).unwrap();
         assert!(cs.is_satisfied());
-        let idx = match g {
-            Variable::Witness(i) => i,
-            _ => unreachable!(),
+        let Variable::Witness(idx) = g else {
+            unreachable!()
         };
         let mut w = cs.witness_assignment().to_vec();
         w[idx] += Fr::from_u64(1);

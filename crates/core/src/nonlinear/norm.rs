@@ -120,9 +120,8 @@ mod tests {
         let v = cs.alloc_witness(Fr::from_i64(cfg.quantize(4.0)));
         let s = synthesize_rsqrt(&mut cs, &v.into(), &cfg).unwrap();
         assert!(cs.is_satisfied());
-        let idx = match s {
-            Variable::Witness(i) => i,
-            _ => unreachable!(),
+        let Variable::Witness(idx) = s else {
+            unreachable!()
         };
         // Double the claimed reciprocal sqrt; the tolerance window must
         // reject it (the dependent witnesses are left stale, which is what a

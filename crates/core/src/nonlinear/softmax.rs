@@ -222,9 +222,8 @@ mod tests {
             .collect();
         let outs = synthesize_softmax(&mut cs, &input_lcs, &c).unwrap();
         assert!(cs.is_satisfied());
-        let idx = match outs[0] {
-            Variable::Witness(i) => i,
-            _ => unreachable!(),
+        let Variable::Witness(idx) = outs[0] else {
+            unreachable!()
         };
         let mut w = cs.witness_assignment().to_vec();
         w[idx] += Fr::from_u64(2);

@@ -26,6 +26,8 @@
 //! assert_eq!(lhs, rhs);
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 mod g1;

@@ -40,7 +40,10 @@ pub fn msm_serial<A: AffinePoint>(bases: &[A], scalars: &[A::Scalar]) -> A::Proj
     let c = unsigned_window_size(bases.len());
     let num_bits = A::Scalar::MODULUS_BITS as usize;
     let windows: Vec<usize> = (0..num_bits).step_by(c).collect();
-    let canon: Vec<[u64; 4]> = scalars.iter().map(|s| s.to_canonical()).collect();
+    let canon: Vec<[u64; 4]> = scalars
+        .iter()
+        .map(zkvc_ff::PrimeField::to_canonical)
+        .collect();
 
     let window_sums: Vec<A::Projective> = windows
         .iter()
@@ -73,10 +76,12 @@ pub fn msm_window_parallel<A: AffinePoint>(bases: &[A], scalars: &[A::Scalar]) -
     let c = unsigned_window_size(bases.len());
     let num_bits = A::Scalar::MODULUS_BITS as usize;
     let windows: Vec<usize> = (0..num_bits).step_by(c).collect();
-    let canon: Vec<[u64; 4]> = scalars.iter().map(|s| s.to_canonical()).collect();
+    let canon: Vec<[u64; 4]> = scalars
+        .iter()
+        .map(zkvc_ff::PrimeField::to_canonical)
+        .collect();
     let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
+        .map_or(4, std::num::NonZero::get)
         .min(windows.len());
 
     let mut window_sums = vec![A::Projective::identity(); windows.len()];
@@ -113,9 +118,7 @@ pub fn msm<A: AffinePoint>(bases: &[A], scalars: &[A::Scalar]) -> A::Projective 
         // (few buckets per batch) to beat the plain projective driver.
         return msm_window_parallel(bases, scalars);
     }
-    let threads = std::thread::available_parallelism()
-        .map(|t| t.get())
-        .unwrap_or(4);
+    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
     // Below ~MIN_CHUNK points per thread the spawn + bucket-merge overhead
     // dominates; shrink the chunk count instead of the chunks.
     const MIN_CHUNK: usize = 1 << 8;
@@ -304,7 +307,7 @@ impl<A: AffinePoint> BatchAffineBuckets<A> {
             self.jobs.clear();
             self.denoms.clear();
             next.clear();
-            for &(b, code) in retry.iter() {
+            for &(b, code) in &retry {
                 if self.stamp[b as usize] == self.round {
                     next.push((b, code));
                 } else {

@@ -59,6 +59,16 @@ pub struct CancelGuard {
     prev: Option<CancelCheck>,
 }
 
+impl core::fmt::Debug for CancelGuard {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        // The predicate itself is an opaque closure; show only whether a
+        // previous one is being shadowed.
+        f.debug_struct("CancelGuard")
+            .field("shadows_previous", &self.prev.is_some())
+            .finish()
+    }
+}
+
 impl Drop for CancelGuard {
     fn drop(&mut self) {
         CHECK.with(|c| *c.borrow_mut() = self.prev.take());

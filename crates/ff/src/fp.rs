@@ -346,7 +346,7 @@ impl<P: FpParams> Field for Fp<P> {
     fn random<R: Rng + ?Sized>(rng: &mut R) -> Self {
         loop {
             let mut limbs = [0u64; 4];
-            for l in limbs.iter_mut() {
+            for l in &mut limbs {
                 *l = rng.gen();
             }
             // Mask away bits above the modulus to make rejection fast.

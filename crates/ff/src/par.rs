@@ -3,9 +3,7 @@
 
 /// Number of worker threads worth spawning on this machine.
 pub(crate) fn num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
 /// Splits `data` into at most `threads` contiguous chunks of at least

@@ -18,7 +18,7 @@ impl<F: Field> DensePolynomial<F> {
     /// Creates a polynomial from coefficients (lowest degree first),
     /// trimming trailing zeros.
     pub fn from_coeffs(mut coeffs: Vec<F>) -> Self {
-        while coeffs.last().map(Field::is_zero).unwrap_or(false) {
+        while coeffs.last().is_some_and(Field::is_zero) {
             coeffs.pop();
         }
         DensePolynomial { coeffs }
@@ -115,9 +115,8 @@ impl<F: PrimeField> DensePolynomial<F> {
             return Self::zero();
         }
         let result_len = self.coeffs.len() + other.coeffs.len() - 1;
-        let domain = match EvaluationDomain::<F>::new(result_len) {
-            Some(d) => d,
-            None => return self.naive_mul(other),
+        let Some(domain) = EvaluationDomain::<F>::new(result_len) else {
+            return self.naive_mul(other);
         };
         let mut a = self.coeffs.clone();
         let mut b = other.coeffs.clone();

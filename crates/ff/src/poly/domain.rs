@@ -160,7 +160,7 @@ impl<F: PrimeField> EvaluationDomain<F> {
 
     /// Forward FFT over the coset `shift * H`.
     pub fn coset_fft_in_place(&self, values: &mut [F]) {
-        self.distribute_powers(values, self.coset_shift);
+        Self::distribute_powers(values, self.coset_shift);
         self.fft_in_place(values);
     }
 
@@ -168,7 +168,7 @@ impl<F: PrimeField> EvaluationDomain<F> {
     pub fn coset_ifft_in_place(&self, values: &mut [F]) {
         self.ifft_in_place(values);
         let shift_inv = self.coset_shift.inverse().expect("coset shift is non-zero");
-        self.distribute_powers(values, shift_inv);
+        Self::distribute_powers(values, shift_inv);
     }
 
     /// Evaluates the vanishing polynomial on the coset `shift * H`, where it
@@ -217,7 +217,7 @@ impl<F: PrimeField> EvaluationDomain<F> {
 
     /// Multiplies `values[i]` by `g^i`, in parallel for large inputs (each
     /// chunk starts from `g^offset` and runs its own running product).
-    fn distribute_powers(&self, values: &mut [F], g: F) {
+    fn distribute_powers(values: &mut [F], g: F) {
         for_chunks_mut(values, PAR_CHUNK_MIN, num_threads(), |offset, chunk| {
             let mut pow = g.pow(&[offset as u64]);
             for v in chunk.iter_mut() {
@@ -431,7 +431,7 @@ mod tests {
             domain.ifft_in_place_serial(&mut iserial);
             let mut ipar = original.clone();
             parallel_radix2_fft(&mut ipar, &domain.inv_twiddles, 4);
-            for x in ipar.iter_mut() {
+            for x in &mut ipar {
                 *x *= domain.size_inv;
             }
             assert_eq!(ipar, iserial, "ifft log_n={log_n}");

@@ -43,7 +43,7 @@ impl<F: Field> SparsePolynomial<F> {
 
     /// Degree (0 for the zero polynomial).
     pub fn degree(&self) -> usize {
-        self.terms.last().map(|(d, _)| *d).unwrap_or(0)
+        self.terms.last().map_or(0, |(d, _)| *d)
     }
 
     /// The non-zero terms, ascending by degree.

@@ -224,9 +224,8 @@ pub fn batch_inverse<F: Field>(elems: &mut [F]) {
         }
         prod.push(acc);
     }
-    let mut inv = match acc.inverse() {
-        Some(i) => i,
-        None => return, // all elements zero
+    let Some(mut inv) = acc.inverse() else {
+        return; // all elements zero
     };
     for i in (0..elems.len()).rev() {
         if elems[i].is_zero() {

@@ -323,7 +323,7 @@ mod tests {
         assert_eq!(bytes.len(), p.size_in_bytes());
         assert_eq!(Proof::from_bytes(&bytes).unwrap(), p);
         assert!(Proof::from_bytes(&bytes[..100]).is_none());
-        let mut corrupted = bytes.clone();
+        let mut corrupted = bytes;
         corrupted[1] ^= 0xff;
         assert!(Proof::from_bytes(&corrupted).is_none());
     }
@@ -344,7 +344,7 @@ mod tests {
         assert_eq!(back.alpha_beta_gt, vk.alpha_beta_gt);
         // Truncated and padded inputs are rejected.
         assert!(VerifyingKey::from_bytes(&bytes[..bytes.len() - 1]).is_none());
-        let mut padded = bytes.clone();
+        let mut padded = bytes;
         padded.push(0);
         assert!(VerifyingKey::from_bytes(&padded).is_none());
     }

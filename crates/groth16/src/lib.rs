@@ -31,6 +31,8 @@
 //! assert!(verify(&vk, cs.instance_assignment(), &proof));
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 mod keys;

@@ -21,6 +21,8 @@
 //! assert_ne!(c, zkvc_ff::Field::zero());
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 mod sha256;

@@ -31,6 +31,8 @@
 //! assert!(verify_matmul(&x, &w, &claim, &proof));
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 use zkvc_ff::poly::eq_evals;
@@ -191,9 +193,8 @@ pub fn verify_matmul(
     let ry = transcript.challenge_fields(b"ry", log_b);
     let y_eval = matrix_eval(&claim.y, claim.a, claim.b, &rx, &ry);
 
-    let sub = match sumcheck::verify(&y_eval, log_n, 2, &proof.sumcheck, &mut transcript) {
-        Some(s) => s,
-        None => return false,
+    let Some(sub) = sumcheck::verify(&y_eval, log_n, 2, &proof.sumcheck, &mut transcript) else {
+        return false;
     };
     if sub.expected_evaluation != proof.x_eval * proof.w_eval {
         return false;

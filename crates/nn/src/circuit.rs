@@ -224,6 +224,11 @@ impl Circuit for ModelStatement {
     fn name(&self) -> String {
         self.name.clone()
     }
+
+    fn declared_publics(&self) -> usize {
+        // One public logit per class, always bound.
+        self.model.num_classes
+    }
 }
 
 /// A fully synthesised verifiable-inference circuit (the eager form; see
@@ -322,6 +327,10 @@ impl Circuit for ModelCircuit {
 
     fn shape_digest(&self) -> [u8; 32] {
         zkvc_core::api::circuit_shape_digest(&self.cs)
+    }
+
+    fn declared_publics(&self) -> usize {
+        self.statement.declared_publics()
     }
 }
 
@@ -451,7 +460,7 @@ mod tests {
         // Claiming different logits breaks the circuit.
         let mut instance = circuit.cs.instance_assignment().to_vec();
         instance[1] += Fr::one();
-        let mut cs = circuit.cs.clone();
+        let mut cs = circuit.cs;
         cs.set_instance_assignment(instance);
         assert!(!cs.is_satisfied(), "tampered logit accepted");
     }

@@ -28,6 +28,8 @@
 //! assert!(circuit.cs.is_satisfied());
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 pub mod circuit;

@@ -20,6 +20,8 @@
 //!   `O(d log d)` time; [`compute_h_coefficients_in`] is the same against a
 //!   caller-cached [`EvaluationDomain`] (no per-proof twiddle rebuild).
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 use zkvc_ff::{EvaluationDomain, Field, PrimeField};
@@ -168,7 +170,7 @@ pub fn compute_h_coefficients_in<F: PrimeField>(
     // Degree must be <= d - 2; the top coefficient is zero for satisfying
     // assignments.
     debug_assert!(
-        h.last().map(Field::is_zero).unwrap_or(true),
+        h.last().is_none_or(Field::is_zero),
         "assignment does not satisfy the R1CS (non-exact division by Z)"
     );
     h.truncate(d - 1);

@@ -54,6 +54,8 @@ pub struct ConstraintSystem<F: Field> {
     b: Vec<LinearCombination<F>>,
     c: Vec<LinearCombination<F>>,
     names: Vec<&'static str>,
+    expected_boolean: Vec<Variable>,
+    provided_boolean: Vec<Variable>,
 }
 
 impl<F: Field> ConstraintSystem<F> {
@@ -66,7 +68,28 @@ impl<F: Field> ConstraintSystem<F> {
             b: vec![],
             c: vec![],
             names: vec![],
+            expected_boolean: vec![],
+            provided_boolean: vec![],
         }
+    }
+
+    /// Records that downstream logic assumes `v` is boolean — analysis
+    /// metadata consumed by the shape analyzer, never a constraint. See
+    /// [`ConstraintSink::expect_boolean`](crate::ConstraintSink::expect_boolean).
+    pub fn expect_boolean(&mut self, v: Variable) {
+        self.expected_boolean.push(v);
+    }
+
+    /// Records that `v` is boolean by construction. See
+    /// [`ConstraintSink::provide_boolean`](crate::ConstraintSink::provide_boolean).
+    pub fn provide_boolean(&mut self, v: Variable) {
+        self.provided_boolean.push(v);
+    }
+
+    /// The recorded boolean hints, as `(expected, provided)` variable
+    /// lists in recording order.
+    pub fn boolean_hints(&self) -> (&[Variable], &[Variable]) {
+        (&self.expected_boolean, &self.provided_boolean)
     }
 
     /// Allocates a public-input variable with the given value.
@@ -176,20 +199,35 @@ impl<F: Field> ConstraintSystem<F> {
     /// linear combinations summed over all constraints. This is the quantity
     /// the paper's PSQ optimisation reduces.
     pub fn num_left_wires(&self) -> usize {
-        self.a.iter().map(|lc| lc.num_wires()).sum()
+        self.a
+            .iter()
+            .map(super::lc::LinearCombination::num_wires)
+            .sum()
     }
 
     /// Like [`Self::num_left_wires`] but for the `B` (right) wires.
     pub fn num_right_wires(&self) -> usize {
-        self.b.iter().map(|lc| lc.num_wires()).sum()
+        self.b
+            .iter()
+            .map(super::lc::LinearCombination::num_wires)
+            .sum()
     }
 
     /// Density of the constraint matrices: total non-zero entries in A, B, C.
     pub fn num_nonzero_entries(&self) -> (usize, usize, usize) {
         (
-            self.a.iter().map(|lc| lc.num_wires()).sum(),
-            self.b.iter().map(|lc| lc.num_wires()).sum(),
-            self.c.iter().map(|lc| lc.num_wires()).sum(),
+            self.a
+                .iter()
+                .map(super::lc::LinearCombination::num_wires)
+                .sum(),
+            self.b
+                .iter()
+                .map(super::lc::LinearCombination::num_wires)
+                .sum(),
+            self.c
+                .iter()
+                .map(super::lc::LinearCombination::num_wires)
+                .sum(),
         )
     }
 

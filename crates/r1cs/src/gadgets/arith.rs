@@ -69,6 +69,10 @@ pub fn is_zero<F: Field, S: ConstraintSink<F> + ?Sized>(
         LinearCombination::zero(),
         "is_zero: a*b",
     );
+    // The two rows jointly force b ∈ {0, 1} without a literal
+    // x·(x−1) = 0 row: a = 0 gives b = 1 (first row), a ≠ 0 gives b = 0
+    // (second row).
+    cs.provide_boolean(b);
     b
 }
 
@@ -98,6 +102,7 @@ pub fn select<F: Field, S: ConstraintSink<F> + ?Sized>(
         }
     });
     let out = cs.alloc_witness_opt(out_val);
+    cs.expect_boolean(cond);
     cs.enforce_named(
         cond.into(),
         x.clone() - y,
@@ -213,9 +218,8 @@ mod tests {
         assert!(cs.is_satisfied());
         // tamper: claim b = 1
         let mut w = cs.witness_assignment().to_vec();
-        let b_index = match b {
-            crate::lc::Variable::Witness(i) => i,
-            _ => unreachable!(),
+        let crate::lc::Variable::Witness(b_index) = b else {
+            unreachable!()
         };
         w[b_index] = Fr::one();
         cs.set_witness_assignment(w);

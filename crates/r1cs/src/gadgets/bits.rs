@@ -63,6 +63,10 @@ pub fn bit_decompose<F: PrimeField, S: ConstraintSink<F> + ?Sized>(
         });
         let b = cs.alloc_witness_opt(bit_val);
         enforce_boolean(cs, b);
+        // The packing row consumes each bit as a binary digit; the
+        // booleanity row just emitted is what discharges this expectation
+        // under the static analyzer.
+        cs.expect_boolean(b);
         packing.push(b, coeff);
         coeff = coeff.double();
         bits.push(b);

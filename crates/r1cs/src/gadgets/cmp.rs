@@ -55,6 +55,10 @@ pub fn is_negative_fixed<F: PrimeField, S: ConstraintSink<F> + ?Sized>(
         LinearCombination::constant(F::one()),
         "is_negative complement",
     );
+    // neg = 1 − ge_zero with ge_zero already pinned boolean by its
+    // decomposition row, so neg is boolean by construction even though it
+    // has no x·(x−1) = 0 row of its own.
+    cs.provide_boolean(neg);
     Ok(neg)
 }
 
@@ -240,9 +244,8 @@ mod tests {
             [1i64, 5, 3].iter().map(|v| lc_of(&mut cs, *v)).collect();
         let m = max_of(&mut cs, &lcs, 16).unwrap();
         assert!(cs.is_satisfied());
-        let m_idx = match m {
-            Variable::Witness(i) => i,
-            _ => unreachable!(),
+        let Variable::Witness(m_idx) = m else {
+            unreachable!()
         };
         // tamper with the max witness only (leaving the rest inconsistent)
         let mut w = cs.witness_assignment().to_vec();

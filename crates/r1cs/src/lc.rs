@@ -107,7 +107,7 @@ impl<F: Field> Add for LinearCombination<F> {
 impl<F: Field> Add<&LinearCombination<F>> for LinearCombination<F> {
     type Output = LinearCombination<F>;
     fn add(mut self, rhs: &Self) -> Self {
-        self.terms.extend(rhs.terms.iter().cloned());
+        self.terms.extend(rhs.terms.iter().copied());
         self
     }
 }

@@ -29,8 +29,11 @@
 //! assert!(cs.is_satisfied());
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
+mod analyze;
 mod cs;
 mod lc;
 mod matrices;
@@ -38,6 +41,7 @@ mod sink;
 
 pub mod gadgets;
 
+pub use analyze::{Finding, Rule, Severity, ShapeReport};
 pub use cs::{ConstraintSystem, SynthesisError};
 pub use lc::{LinearCombination, Variable};
 pub use matrices::{R1csMatrices, SparseMatrix};

@@ -289,8 +289,7 @@ mod tests {
             let direct = a
                 .row(0)
                 .find(|(col, _)| *col == j)
-                .map(|(_, v)| *v)
-                .unwrap_or_else(Fr::zero);
+                .map_or_else(Fr::zero, |(_, v)| *v);
             assert_eq!(a.evaluate_mle(&[], &ry), direct);
         }
     }

@@ -92,6 +92,24 @@ pub trait ConstraintSink<F: Field> {
         1 + self.num_instance() + self.num_witness()
     }
 
+    /// Records that downstream logic *assumes* this variable carries a
+    /// boolean (0/1) value — e.g. a gadget that multiplies by it as a
+    /// selector. The hint is pure analysis metadata: it emits no
+    /// constraint, does not enter the shape digest, and defaults to a
+    /// no-op so value-only passes can ignore it. The static analyzer
+    /// flags every expected-boolean variable that is neither provided
+    /// boolean nor pinned by an `x · (x − 1) = 0`-shaped row
+    /// (`missing-booleanity`).
+    fn expect_boolean(&mut self, _v: Variable) {}
+
+    /// Records that this variable is boolean *by construction* — a gadget
+    /// output whose booleanity follows from its defining constraints even
+    /// though no literal `x · (x − 1) = 0` row exists (e.g. `is_zero`,
+    /// whose output is forced to 0/1 by its two rows jointly). Like
+    /// [`Self::expect_boolean`] this is analysis metadata only: no
+    /// constraint, no digest contribution, default no-op.
+    fn provide_boolean(&mut self, _v: Variable) {}
+
     /// Emits `a * b = c` under the generic constraint name.
     fn enforce(
         &mut self,
@@ -187,6 +205,14 @@ impl<F: Field> ConstraintSink<F> for ConstraintSystem<F> {
     fn num_witness(&self) -> usize {
         ConstraintSystem::num_witness(self)
     }
+
+    fn expect_boolean(&mut self, v: Variable) {
+        ConstraintSystem::expect_boolean(self, v);
+    }
+
+    fn provide_boolean(&mut self, v: Variable) {
+        ConstraintSystem::provide_boolean(self, v);
+    }
 }
 
 /// Raw (insertion-order, un-normalised) linear combinations of one matrix,
@@ -215,6 +241,8 @@ pub struct ShapeBuilder<F: Field> {
     a: RawMatrix<F>,
     b: RawMatrix<F>,
     c: RawMatrix<F>,
+    expected_boolean: Vec<Variable>,
+    provided_boolean: Vec<Variable>,
 }
 
 impl<F: PrimeField> ShapeBuilder<F> {
@@ -226,6 +254,8 @@ impl<F: PrimeField> ShapeBuilder<F> {
             a: RawMatrix::default(),
             b: RawMatrix::default(),
             c: RawMatrix::default(),
+            expected_boolean: Vec::new(),
+            provided_boolean: Vec::new(),
         }
     }
 
@@ -277,8 +307,23 @@ impl<F: PrimeField> ShapeBuilder<F> {
                 num_witness: nw,
             },
             digest,
+            expected_boolean: hint_columns(&self.expected_boolean, ni),
+            provided_boolean: hint_columns(&self.provided_boolean, ni),
         }
     }
+}
+
+/// Lowers recorded boolean-hint variables to a sorted, deduplicated list
+/// of assignment-vector columns. Hints are analysis metadata and are
+/// deliberately *not* part of the shape digest.
+fn hint_columns(vars: &[Variable], num_instance: usize) -> Vec<usize> {
+    let mut cols: Vec<usize> = vars
+        .iter()
+        .map(|v| variable_column(*v, num_instance))
+        .collect();
+    cols.sort_unstable();
+    cols.dedup();
+    cols
 }
 
 impl<F: PrimeField> ConstraintSink<F> for ShapeBuilder<F> {
@@ -326,6 +371,14 @@ impl<F: PrimeField> ConstraintSink<F> for ShapeBuilder<F> {
 
     fn num_witness(&self) -> usize {
         self.num_witness
+    }
+
+    fn expect_boolean(&mut self, v: Variable) {
+        self.expected_boolean.push(v);
+    }
+
+    fn provide_boolean(&mut self, v: Variable) {
+        self.provided_boolean.push(v);
     }
 }
 
@@ -494,6 +547,14 @@ pub struct CompiledShape<F: Field> {
     pub matrices: R1csMatrices<F>,
     /// The canonical shape digest (see [`shape_digest`]).
     pub digest: [u8; 32],
+    /// Assignment-vector columns synthesis declared boolean-*expected*
+    /// (sorted, deduplicated). Analysis metadata only: the digest does not
+    /// cover it, so hint changes never invalidate cached key material.
+    pub expected_boolean: Vec<usize>,
+    /// Assignment-vector columns synthesis declared boolean *by
+    /// construction* (sorted, deduplicated). Same metadata-only status as
+    /// [`Self::expected_boolean`].
+    pub provided_boolean: Vec<usize>,
 }
 
 impl<F: PrimeField> CompiledShape<F> {
@@ -501,9 +562,13 @@ impl<F: PrimeField> CompiledShape<F> {
     /// The digest equals [`shape_digest`] of `cs`, so both pipelines cache
     /// and verify interchangeably.
     pub fn from_cs(cs: &ConstraintSystem<F>) -> Self {
+        let ni = cs.num_instance();
+        let (expected, provided) = cs.boolean_hints();
         CompiledShape {
             matrices: cs.to_matrices(),
             digest: shape_digest(cs),
+            expected_boolean: hint_columns(expected, ni),
+            provided_boolean: hint_columns(provided, ni),
         }
     }
 }
@@ -557,6 +622,13 @@ pub fn replay<F: Field>(cs: &ConstraintSystem<F>, sink: &mut dyn ConstraintSink<
     let (a, b, c) = cs.constraints();
     for i in 0..a.len() {
         sink.enforce_named(a[i].clone(), b[i].clone(), c[i].clone(), "replay");
+    }
+    let (expected, provided) = cs.boolean_hints();
+    for v in expected {
+        sink.expect_boolean(*v);
+    }
+    for v in provided {
+        sink.provide_boolean(*v);
     }
 }
 

@@ -19,14 +19,21 @@
 //! are data-driven in `main` via [`Error::exit_code`] (`1` = the proof is
 //! bad, `2` = the invocation is bad).
 
+// No `forbid(unsafe_code)` here, unlike every library crate: the `sig`
+// module's signal-handler installation is the one necessary unsafe block
+// in the workspace.
+#![deny(missing_debug_implementations)]
+
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use zkvc_r1cs::Severity;
+use zkvc_runtime::analysis::{self, Baseline};
 use zkvc_runtime::{
-    build_statement, prove_batch_serial, run_client, run_sweep, serve, serve_listener,
+    build_statement, fault, prove_batch_serial, run_client, run_sweep, serve, serve_listener,
     ClientConfig, DiskKeyCache, Error, JobSpec, KeyCache, ListenAddr, NetConfig, ProofEnvelope,
     ProvingPool, ServeConfig,
 };
@@ -45,6 +52,8 @@ USAGE:
                 [--deadline-ms MS] [--retries R] [--backoff-ms MS] [--retry-seed N]
     zkvc prove  --spec SPEC [--seed N] [--key-cache DIR|none] --out FILE
     zkvc verify --in FILE --spec SPEC [--seed N] [--key-cache DIR|none]
+    zkvc analyze [--spec SPEC ...] [--seed N] [--json] [--deny LEVEL]
+                 [--baseline FILE]
     zkvc help
 
 SPEC grammar:
@@ -90,6 +99,10 @@ OPTIONS (serve):
                        flight (default 300; `none` keeps them forever)
     --session-bound B  per-session in-flight job bound (default 64): a greedy
                        client blocks in its own socket, not the shared queue
+    --analyze-on-compile  statically lint each spec's circuit shape before its
+                       first job is admitted (see `zkvc analyze`); specs with
+                       deny-severity findings are rejected with an in-stream
+                       code-2 error instead of being proved
     --admission-bound N  shed requests that would push total in-flight jobs
                        past N: answered with a code-3 error carrying a
                        retry_after_ms hint, never queued (default none)
@@ -126,6 +139,23 @@ OPTIONS (client):
                        (default 50)
     --retry-seed N     seed for the deterministic backoff jitter (default 0)
 
+OPTIONS (analyze):
+    statically lints compiled circuit shapes for soundness hazards —
+    unconstrained witnesses, unbound public outputs, constant violations,
+    missing booleanity rows (deny class), dead and duplicate constraints
+    (warn class). Witness-free: no proving, no setup. With no --spec the
+    whole shipping matrix is swept (every preset x strategy x backend).
+    --spec SPEC        analyze this spec (repeatable; :xCOUNT is ignored)
+    --seed N           statement seed for circuit construction (default 0;
+                       shapes are seed-independent, values are not)
+    --json             emit one machine-readable JSON report object instead
+                       of the human table (this is the CI artifact format)
+    --deny LEVEL       exit 1 when any non-waived finding is at or above
+                       LEVEL: info | warn | deny (default deny)
+    --baseline FILE    waive reviewed findings: one `SPEC FINGERPRINT` (or
+                       bare `FINGERPRINT` for any spec) per line, `#`
+                       comments allowed; fingerprints are shown in reports
+
 OPTIONS (prove / verify):
     --key-cache DIR    persist/load groth16 verification keys under DIR so a
                        repeat `zkvc verify` skips CRS re-derivation entirely.
@@ -147,12 +177,20 @@ fn main() -> ExitCode {
         eprint!("{USAGE}");
         return ExitCode::from(2);
     };
+    // A malformed fault schedule is a usage error at startup, not a
+    // panic in whichever worker thread happens to hit the first fault
+    // point mid-run.
+    if let Err(message) = fault::validate_env() {
+        eprintln!("error: {message}");
+        return ExitCode::from(2);
+    }
     let result = match command.as_str() {
         "prove-batch" => cmd_prove_batch(&args[1..]),
         "serve" => cmd_serve(&args[1..]),
         "client" => cmd_client(&args[1..]),
         "prove" => cmd_prove(&args[1..]),
         "verify" => cmd_verify(&args[1..]),
+        "analyze" => cmd_analyze(&args[1..]),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -233,9 +271,7 @@ fn workers_from_args(args: &[String]) -> Result<usize, Error> {
             .ok()
             .filter(|w| *w > 0)
             .ok_or_else(|| Error::Usage(format!("bad --workers {s:?}"))),
-        None => Ok(std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)),
+        None => Ok(std::thread::available_parallelism().map_or(4, std::num::NonZero::get)),
     }
 }
 
@@ -304,7 +340,7 @@ fn cmd_serve(args: &[String]) -> Result<(), Error> {
             "--admission-bound",
             "--retry-after-ms",
         ],
-        &["--no-proofs"],
+        &["--no-proofs", "--analyze-on-compile"],
     )?;
     let workers = workers_from_args(args)?;
     let seed = match flag_value(args, "--seed")? {
@@ -316,6 +352,7 @@ fn cmd_serve(args: &[String]) -> Result<(), Error> {
     let mut config = ServeConfig::new(workers)
         .seed(seed)
         .include_proofs(!args.iter().any(|a| a == "--no-proofs"))
+        .analyze_on_compile(args.iter().any(|a| a == "--analyze-on-compile"))
         .disk_cache(key_cache_from_args(args)?);
     if let Some(s) = flag_value(args, "--queue-bound")? {
         let bound = s
@@ -646,6 +683,49 @@ fn key_cache_from_args(args: &[String]) -> Result<Option<DiskKeyCache>, Error> {
                 });
             Ok(base.map(|b| DiskKeyCache::new(b.join("zkvc").join("keys"))))
         }
+    }
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), Error> {
+    reject_unknown_args(
+        args,
+        &["--spec", "--seed", "--deny", "--baseline"],
+        &["--json"],
+    )?;
+    let (mut specs, seed) = parse_common(args)?;
+    // :xCOUNT repetition is meaningless for analysis; collapse it.
+    specs.dedup();
+    if specs.is_empty() {
+        specs = analysis::default_sweep();
+    }
+    let deny = match flag_value(args, "--deny")? {
+        Some(s) => Severity::parse(s).ok_or_else(|| {
+            Error::Usage(format!("bad --deny {s:?} (expected info, warn or deny)"))
+        })?,
+        None => Severity::Deny,
+    };
+    let baseline = match flag_value(args, "--baseline")? {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| Error::io(path, e))?;
+            Baseline::parse(&text).map_err(Error::Usage)?
+        }
+        None => Baseline::default(),
+    };
+
+    let results = analysis::analyze_specs(&specs, seed);
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", analysis::render_json(&results, &baseline));
+    } else {
+        print!("{}", analysis::render_human(&results, &baseline));
+    }
+    let gated = analysis::gate_count(&results, deny, &baseline);
+    if gated == 0 {
+        Ok(())
+    } else {
+        Err(Error::AnalysisFailed {
+            findings: gated,
+            threshold: deny.token().to_string(),
+        })
     }
 }
 

@@ -156,7 +156,7 @@ mod tests {
             !path.exists(),
             "corrupt entry must not stay at the key path"
         );
-        let mut bad = path.clone().into_os_string();
+        let mut bad = path.into_os_string();
         bad.push(".bad");
         let bad = PathBuf::from(bad);
         assert_eq!(std::fs::read(&bad).unwrap(), b"garbage");

@@ -76,6 +76,16 @@ pub enum Error {
         /// The last failure seen.
         last: String,
     },
+    /// `zkvc analyze` found lint violations at or above its gate
+    /// threshold (after baseline waivers). A soundness-class failure —
+    /// the circuit is bad, not the invocation — so it exits `1` like a
+    /// bad proof.
+    AnalysisFailed {
+        /// Gated findings remaining after waivers.
+        findings: usize,
+        /// The gate threshold's lowercase token (`warn`, `deny`, ...).
+        threshold: String,
+    },
 }
 
 impl Error {
@@ -103,7 +113,9 @@ impl Error {
     /// protocol's error `code`.
     pub fn exit_code(&self) -> u8 {
         match self {
-            Error::VerificationFailed | Error::StatementMismatch => 1,
+            Error::VerificationFailed | Error::StatementMismatch | Error::AnalysisFailed { .. } => {
+                1
+            }
             Error::Usage(_)
             | Error::Spec { .. }
             | Error::Io { .. }
@@ -144,6 +156,15 @@ impl fmt::Display for Error {
             Error::RetriesExhausted { attempts, last } => {
                 write!(f, "retries exhausted after {attempts} attempt(s): {last}")
             }
+            Error::AnalysisFailed {
+                findings,
+                threshold,
+            } => {
+                write!(
+                    f,
+                    "analysis failed: {findings} finding(s) at or above `{threshold}` severity"
+                )
+            }
         }
     }
 }
@@ -165,6 +186,14 @@ mod tests {
     fn exit_codes_are_data_driven() {
         assert_eq!(Error::VerificationFailed.exit_code(), 1);
         assert_eq!(Error::StatementMismatch.exit_code(), 1);
+        assert_eq!(
+            Error::AnalysisFailed {
+                findings: 3,
+                threshold: "warn".into()
+            }
+            .exit_code(),
+            1
+        );
         assert_eq!(Error::Usage("x".into()).exit_code(), 2);
         assert_eq!(Error::spec("1x2", "oops").exit_code(), 2);
         assert_eq!(Error::MalformedEnvelope.exit_code(), 2);

@@ -86,6 +86,20 @@ fn schedule() -> Option<&'static Schedule> {
     }
 }
 
+/// Validates any armed [`ENV_VAR`] schedule **eagerly**, returning the
+/// parse error the first lazy fault-point check would otherwise panic
+/// with mid-flight. The CLI calls this at startup so a typo'd schedule
+/// is a clear usage error before any work begins, instead of a panic
+/// deep inside a worker thread.
+pub fn validate_env() -> Result<(), String> {
+    match std::env::var(ENV_VAR).ok().filter(|s| !s.trim().is_empty()) {
+        Some(raw) => parse_schedule(&raw)
+            .map(|_| ())
+            .map_err(|e| format!("bad {ENV_VAR} fault schedule {raw:?}: {e}")),
+        None => Ok(()),
+    }
+}
+
 fn parse_schedule(raw: &str) -> Result<Schedule, String> {
     let mut seed = 0u64;
     let mut rules = HashMap::new();
@@ -181,6 +195,18 @@ pub fn fire_delay(point: &str) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn validate_env_rejects_what_parse_rejects() {
+        // Parse-level check (no env mutation: the lazy schedule() memo
+        // makes env races between tests unrecoverable). The env-level
+        // path is exercised end-to-end through the `zkvc` binary in
+        // `tests/analyze.rs`.
+        assert!(parse_schedule("seed=oops").is_err());
+        assert!(parse_schedule("net.read.io_error=2.0").is_err());
+        assert!(parse_schedule("just-a-word").is_err());
+        assert!(parse_schedule("seed=1;net.read.io_error=0.5").is_ok());
+    }
 
     #[test]
     fn parses_a_full_schedule() {

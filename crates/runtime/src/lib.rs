@@ -24,6 +24,10 @@
 //!   ([`JobResult`]) and aggregate throughput stats ([`BatchReport`]).
 //! * [`serve`] — the resident `zkvc serve` loop: JSON-lines requests in,
 //!   streamed proof responses out, key cache warm across requests.
+//! * [`analysis`] — the `zkvc analyze` layer: runs the `zkvc-r1cs`
+//!   static soundness lints over the circuit a [`JobSpec`] names, sweeps
+//!   the shipping spec matrix for the CI gate, and pre-flights serve
+//!   requests (`--analyze-on-compile`).
 //! * [`ProofEnvelope`] — the self-describing byte format proofs travel in
 //!   (the pool round-trips every proof through it before verifying).
 //! * [`JobSpec`] — the job grammar shared with the `zkvc` CLI binary:
@@ -51,8 +55,11 @@
 //! assert!(prove_batch(&nn, 1, 1).all_verified());
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 mod cache;
 mod disk;
 mod error;
@@ -66,6 +73,7 @@ mod spec;
 mod util;
 pub mod wire;
 
+pub use analysis::{analyze_spec, analyze_specs, Baseline, Preflight, SpecAnalysis};
 pub use cache::{CacheStats, CircuitKeys, KeyCache};
 pub use disk::DiskKeyCache;
 pub use error::Error;

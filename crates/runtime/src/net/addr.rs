@@ -232,8 +232,7 @@ impl AnyListener {
             AnyListener::Unix(_, path) => ListenAddr::Unix(path.clone()),
             AnyListener::Tcp(l) => ListenAddr::Tcp(
                 l.local_addr()
-                    .map(|a| a.to_string())
-                    .unwrap_or_else(|_| "?:0".into()),
+                    .map_or_else(|_| "?:0".into(), |a| a.to_string()),
             ),
         }
     }

@@ -379,9 +379,7 @@ pub fn run_sweep(config: &ClientConfig, sweep: &[usize]) -> Result<String, Error
         "{{\"schema\":\"zkvc-serve-bench/v1\",\"spec\":\"{}\",\"seed\":{},\"count_per_session\":{},\"points\":[{}]}}",
         json_escape(&config.spec.to_string()),
         config
-            .seed
-            .map(|s| s.to_string())
-            .unwrap_or_else(|| "null".into()),
+            .seed.map_or_else(|| "null".into(), |s| s.to_string()),
         config.count,
         points.join(",")
     ))
@@ -508,7 +506,7 @@ fn run_one_session(config: &ClientConfig, k: usize) -> Result<SessionReport, Err
             let delay = retry_delay(config, k, attempt, shed_hint);
             let last = last_failure
                 .as_ref()
-                .map(|e| e.to_string())
+                .map(std::string::ToString::to_string)
                 .unwrap_or_default();
             eprintln!(
                 "zkvc client: session {k} attempt {attempt} of {attempts} failed ({last}); retrying in {} ms",
@@ -732,8 +730,7 @@ fn run_attempt(
                     }
                     pending.push(PendingResult {
                         id_token: field(&fields, "id")
-                            .map(Json::to_token)
-                            .unwrap_or_else(|| "null".into()),
+                            .map_or_else(|| "null".into(), Json::to_token),
                         spec_str: field(&fields, "spec")
                             .and_then(str_val)
                             .unwrap_or("")

@@ -25,6 +25,7 @@ use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use crate::analysis::Preflight;
 use crate::cache::KeyCache;
 use crate::error::Error;
 use crate::net::addr::{AnyListener, AnyStream, ListenAddr};
@@ -162,6 +163,9 @@ struct SessionParams {
     idle_timeout: Option<Duration>,
     admission_bound: Option<usize>,
     retry_after_ms: u64,
+    /// Shared across sessions: the memoised `--analyze-on-compile`
+    /// verdict cache, when the pre-flight is enabled.
+    preflight: Option<Preflight>,
 }
 
 /// Binds `addr` and serves connections until `shutdown` becomes `true`,
@@ -173,6 +177,9 @@ struct SessionParams {
 /// Request problems are answered in-stream per session; a vanished
 /// client cancels only its own remaining jobs. The returned `Err` is
 /// reserved for listener-level failures (bind errors).
+// Config and shutdown flag are taken by value: the server owns both for
+// its whole lifetime, and callers hand them over at startup.
+#[allow(clippy::needless_pass_by_value)]
 pub fn serve_listener(
     addr: &ListenAddr,
     config: NetConfig,
@@ -193,6 +200,7 @@ pub fn serve_listener(
         idle_timeout: config.idle_timeout,
         admission_bound: config.admission_bound,
         retry_after_ms: config.retry_after_ms,
+        preflight: config.serve.analyze_on_compile.then(Preflight::new),
     });
 
     // One sink for the whole pool: route each result to its session's
@@ -280,7 +288,6 @@ pub fn serve_listener(
     }
     drop(listener);
     Arc::try_unwrap(pool)
-        .ok()
         .expect("all session threads joined")
         .join();
     let totals = *totals.lock().expect("net totals poisoned");
@@ -393,6 +400,17 @@ fn run_session(
                     }
                     Ok(request) => {
                         let seed = request.seed.unwrap_or(params.seed);
+                        if let Some(preflight) = &params.preflight {
+                            if let Err(reason) = preflight.check(&request.spec, seed) {
+                                rejected += 1;
+                                let error = Error::Request(reason);
+                                entry
+                                    .out
+                                    .out
+                                    .emit(&error_line(request.id_json.as_deref(), &error));
+                                continue;
+                            }
+                        }
                         let priority = request.priority.unwrap_or(request.spec.priority());
                         let deadline = request.deadline_ms.map(Duration::from_millis);
                         for _ in 0..request.count {

@@ -590,6 +590,16 @@ pub struct ProvingPool {
     in_flight: Arc<AtomicUsize>,
 }
 
+impl std::fmt::Debug for ProvingPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProvingPool")
+            .field("workers", &self.workers)
+            .field("seed", &self.seed)
+            .field("in_flight", &self.in_flight.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
 impl ProvingPool {
     /// A pool with `workers` threads, a fresh key cache and seed 0.
     pub fn new(workers: usize) -> Self {
@@ -605,6 +615,9 @@ impl ProvingPool {
     /// The fully-configurable constructor: scheduling policy, queue
     /// bound, result retention, and an optional per-result sink invoked
     /// from worker threads as each job completes.
+    // The pool owns its config and cache handle; constructors take them
+    // by value so call sites read as hand-offs.
+    #[allow(clippy::needless_pass_by_value)]
     pub fn configured(config: PoolConfig, cache: Arc<KeyCache>, sink: Option<ResultSink>) -> Self {
         let workers = config.workers.max(1);
         let sched = Arc::new(Scheduler::<QueuedJob>::new(
@@ -628,7 +641,7 @@ impl ProvingPool {
                     .spawn(move || {
                         while let Some(job) = sched.next(w) {
                             let session = job.session.clone();
-                            let result = execute_job(job, w, &cache, &sched);
+                            let result = execute_job(&job, w, &cache, &sched);
                             if let Some(sink) = &sink {
                                 sink(&result);
                             }
@@ -1016,14 +1029,14 @@ fn job_status(job: &QueuedJob, sched: &Scheduler<QueuedJob>) -> Option<JobError>
 
 /// Runs one job under the cancellation + panic guards. Never panics.
 fn execute_job(
-    job: QueuedJob,
+    job: &QueuedJob,
     worker: usize,
     cache: &KeyCache,
     sched: &Arc<Scheduler<QueuedJob>>,
 ) -> JobResult {
     let queue_wait = job.enqueued.elapsed();
-    if let Some(error) = job_status(&job, sched) {
-        return aborted_result(&job, worker, queue_wait, Duration::ZERO, error);
+    if let Some(error) = job_status(job, sched) {
+        return aborted_result(job, worker, queue_wait, Duration::ZERO, error);
     }
     // The kernel-level cancellation check must own its captures (it is
     // re-installed inside MSM worker threads), so it clones the job's
@@ -1041,7 +1054,7 @@ fn execute_job(
     match catch_unwind(AssertUnwindSafe(|| {
         crate::fault::fire_panic("pool.pickup.panic");
         let _cancel = zkvc_ff::cancel::install(check);
-        run_job(&job, worker, queue_wait, cache, &|| job_status(&job, sched))
+        run_job(job, worker, queue_wait, cache, &|| job_status(job, sched))
     })) {
         Ok(result) => result,
         Err(payload) => {
@@ -1051,11 +1064,11 @@ fn execute_job(
             {
                 // A kernel checkpoint stopped the job cooperatively;
                 // re-derive which condition tripped it.
-                job_status(&job, sched).unwrap_or(JobError::Cancelled)
+                job_status(job, sched).unwrap_or(JobError::Cancelled)
             } else {
                 JobError::Panicked(panic_message(payload.as_ref()))
             };
-            aborted_result(&job, worker, queue_wait, Duration::ZERO, error)
+            aborted_result(job, worker, queue_wait, Duration::ZERO, error)
         }
     }
 }

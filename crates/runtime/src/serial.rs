@@ -325,7 +325,7 @@ mod tests {
         assert!(!decoded.verify_cs(&job.cs));
         assert!(decoded.into_artifacts().is_none());
         // The self-contained form still round-trips through artifacts.
-        assert!(full.clone().into_artifacts().is_some());
+        assert!(full.into_artifacts().is_some());
         // Stable re-encoding of the keyless form.
         assert_eq!(
             ProofEnvelope::from_bytes(&keyless_bytes)
@@ -378,7 +378,7 @@ mod tests {
         let bytes = ProofEnvelope::from_artifacts(&artifacts).to_bytes();
         assert!(ProofEnvelope::from_bytes(&bytes[..bytes.len() - 1]).is_none());
         assert!(ProofEnvelope::from_bytes(b"NOTMAGIC").is_none());
-        let mut wrong_tag = bytes.clone();
+        let mut wrong_tag = bytes;
         // magic(8) + count(4) + publics(0 here? job has no instance vars)
         let tag_pos = 8 + 4 + 32 * artifacts.public_inputs.len();
         wrong_tag[tag_pos] = 9;

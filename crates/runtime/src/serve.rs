@@ -28,6 +28,7 @@ use std::time::{Duration, Instant};
 
 use zkvc_core::{Backend, VerifierKey};
 
+use crate::analysis::Preflight;
 use crate::cache::KeyCache;
 use crate::disk::DiskKeyCache;
 use crate::error::Error;
@@ -65,6 +66,13 @@ pub struct ServeConfig {
     /// held alive exceed this, the least-recently-used cold shapes are
     /// evicted (and re-set-up on next use). `None` disables the bound.
     pub cache_bytes: Option<usize>,
+    /// When set, every spec is statically analyzed before its first job
+    /// is admitted (see [`crate::analysis`]); specs whose shapes carry
+    /// deny-severity findings are rejected with an in-stream code-2
+    /// error instead of being proved. The verdict is memoised per spec,
+    /// so the pre-flight costs one witness-free compile per distinct
+    /// circuit per session.
+    pub analyze_on_compile: bool,
 }
 
 impl ServeConfig {
@@ -80,6 +88,7 @@ impl ServeConfig {
             include_proofs: true,
             disk_cache: None,
             cache_bytes: Some(DEFAULT_CACHE_BYTES),
+            analyze_on_compile: false,
         }
     }
 
@@ -116,6 +125,12 @@ impl ServeConfig {
     /// Sets (or disables) the resident key cache's shape-byte bound.
     pub fn cache_bytes(mut self, bytes: Option<usize>) -> Self {
         self.cache_bytes = bytes;
+        self
+    }
+
+    /// Enables the static-analysis pre-flight on every spec's first job.
+    pub fn analyze_on_compile(mut self, enable: bool) -> Self {
+        self.analyze_on_compile = enable;
         self
     }
 
@@ -321,6 +336,8 @@ pub(crate) fn ready_line(session: Option<u64>, workers: usize, seed: u64, bound:
 /// then drains the pool, writes the `summary` line, and returns the
 /// totals. Fatal errors are I/O errors on the streams themselves; request
 /// problems are answered in-stream and never returned.
+// The loop owns its config for its whole run; callers hand it over.
+#[allow(clippy::needless_pass_by_value)]
 pub fn serve<R: BufRead, W: Write + Send + 'static>(
     mut input: R,
     output: W,
@@ -329,6 +346,7 @@ pub fn serve<R: BufRead, W: Write + Send + 'static>(
     let started = Instant::now();
     let session = Arc::new(SessionOut::new(output));
     let cache = Arc::new(config.build_cache());
+    let preflight = config.analyze_on_compile.then(Preflight::new);
 
     let sink: ResultSink = {
         let session = Arc::clone(&session);
@@ -399,6 +417,16 @@ pub fn serve<R: BufRead, W: Write + Send + 'static>(
                     }
                     Ok(request) => {
                         let seed = request.seed.unwrap_or(config.seed);
+                        if let Some(preflight) = &preflight {
+                            if let Err(reason) = preflight.check(&request.spec, seed) {
+                                rejected += 1;
+                                let error = Error::Request(reason);
+                                session
+                                    .out
+                                    .emit(&error_line(request.id_json.as_deref(), &error));
+                                continue;
+                            }
+                        }
                         let priority = request.priority.unwrap_or(request.spec.priority());
                         let deadline = request.deadline_ms.map(Duration::from_millis);
                         for _ in 0..request.count {

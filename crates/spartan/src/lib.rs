@@ -39,6 +39,8 @@
 //! assert!(verifier.verify(cs.instance_assignment(), &proof));
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 mod ipa;

@@ -257,7 +257,7 @@ mod tests {
         let bytes = proof.to_bytes();
         assert!(SpartanProof::from_bytes(&bytes[..bytes.len() - 1]).is_none());
         assert!(SpartanProof::from_bytes(&[]).is_none());
-        let mut padded = bytes.clone();
+        let mut padded = bytes;
         padded.push(0);
         assert!(SpartanProof::from_bytes(&padded).is_none());
     }

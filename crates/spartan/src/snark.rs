@@ -309,9 +309,9 @@ impl SpartanVerifier {
 
         // 1. first sum-check
         let tau = transcript.challenge_fields(b"tau", inst.log_m);
-        let sub1 = match sumcheck::verify(&Fr::zero(), inst.log_m, 3, &proof.sc1, &mut transcript) {
-            Some(s) => s,
-            None => return false,
+        let Some(sub1) = sumcheck::verify(&Fr::zero(), inst.log_m, 3, &proof.sc1, &mut transcript)
+        else {
+            return false;
         };
         let (va, vb, vc) = proof.claims;
         // eq(tau, rx)
@@ -332,9 +332,9 @@ impl SpartanVerifier {
         let r_b = transcript.challenge_field(b"r_b");
         let r_c = transcript.challenge_field(b"r_c");
         let claim2 = r_a * va + r_b * vb + r_c * vc;
-        let sub2 = match sumcheck::verify(&claim2, inst.log_cols, 2, &proof.sc2, &mut transcript) {
-            Some(s) => s,
-            None => return false,
+        let Some(sub2) = sumcheck::verify(&claim2, inst.log_cols, 2, &proof.sc2, &mut transcript)
+        else {
+            return false;
         };
         let rx = &sub1.point;
         let ry = &sub2.point;

@@ -68,9 +68,7 @@ use zkvc_ff::PrimeField;
 const PAR_ROUND_MIN: usize = 1 << 12;
 
 fn round_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
 /// Splits `0..half` across `threads` workers, runs `fold` on each range and

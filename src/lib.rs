@@ -31,6 +31,8 @@
 //! assert!(system.verify(&vk, &proof));
 //! ```
 
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 #![warn(missing_docs)]
 
 /// Finite fields, polynomials, FFT domains and multilinear extensions.

@@ -78,7 +78,7 @@ fn groth16_proof_does_not_verify_for_a_different_statement() {
         .build_integers(&x2, &w2);
     // The proof still verifies under its own public inputs (there are none
     // beyond the statement structure), but a tampered proof must fail.
-    let mut bad = artifacts.clone();
+    let mut bad = artifacts;
     if let zkvc::core::backend::ProofData::Groth16 { proof, .. } = &mut bad.data {
         proof.a = (proof.a.to_projective() + zkvc::curve::G1Projective::generator()).to_affine();
     }
@@ -95,7 +95,7 @@ fn dishonest_witness_cannot_be_proved_with_spartan() {
     let job = MatMulBuilder::new(3, 3, 3)
         .strategy(Strategy::CrpcPsq)
         .build_integers(&x, &w);
-    let mut cs = job.cs.clone();
+    let mut cs = job.cs;
     let mut witness = cs.witness_assignment().to_vec();
     let y_index = 3 * 3 + 3 * 3; // first output variable after the inputs
     witness[y_index] += Fr::from_u64(1);
