@@ -332,11 +332,12 @@ fn render_json(
     let _ = writeln!(out, "  \"schema\": \"zkvc-bench-kernels/v1\",");
     let _ = writeln!(out, "  \"mode\": \"{mode}\",");
     let _ = writeln!(out, "  \"threads\": {threads},");
+    let _ = writeln!(out, "  \"cores\": {threads},");
     let _ = writeln!(out, "  \"msm\": [");
     for (i, r) in msm.iter().enumerate() {
         let _ = writeln!(
             out,
-            "    {{\"size\": {}, \"seed_window_parallel_ms\": {:.3}, \"new_ms\": {:.3}, \"points_per_sec\": {:.0}, \"speedup\": {:.3}}}{}",
+            "    {{\"size\": {}, \"seed_window_parallel_ms\": {:.3}, \"new_ms\": {:.3}, \"points_per_sec\": {:.0}, \"speedup\": {:.3}, \"workers\": {threads}, \"cores\": {threads}}}{}",
             1u64 << r.log_size,
             r.seed_window_parallel_ms,
             r.new_ms,
@@ -350,7 +351,7 @@ fn render_json(
     for (i, r) in fft.iter().enumerate() {
         let _ = writeln!(
             out,
-            "    {{\"size\": {}, \"seed_recompute_ms\": {:.3}, \"cached_serial_ms\": {:.3}, \"dispatch_ms\": {:.3}, \"speedup\": {:.3}}}{}",
+            "    {{\"size\": {}, \"seed_recompute_ms\": {:.3}, \"cached_serial_ms\": {:.3}, \"dispatch_ms\": {:.3}, \"speedup\": {:.3}, \"workers\": {threads}, \"cores\": {threads}}}{}",
             1u64 << r.log_size,
             r.seed_recompute_ms,
             r.cached_serial_ms,
@@ -374,7 +375,7 @@ fn render_json(
             .collect();
         let _ = writeln!(
             out,
-            "    {{\"label\": \"{}\", \"dims\": [{}, {}, {}], \"constraints\": {}, \"legacy_single_pass_ms\": {:.3}, \"shape_compile_ms\": {:.3}, \"witness_pass_ms\": {:.3}, \"amortised\": [{}], \"proofs_bit_identical\": {}}}{}",
+            "    {{\"label\": \"{}\", \"dims\": [{}, {}, {}], \"constraints\": {}, \"legacy_single_pass_ms\": {:.3}, \"shape_compile_ms\": {:.3}, \"witness_pass_ms\": {:.3}, \"amortised\": [{}], \"proofs_bit_identical\": {}, \"workers\": {threads}, \"cores\": {threads}}}{}",
             r.label,
             r.dims.0,
             r.dims.1,
@@ -393,7 +394,7 @@ fn render_json(
     for (i, r) in prove.iter().enumerate() {
         let _ = writeln!(
             out,
-            "    {{\"label\": \"{}\", \"dims\": [{}, {}, {}], \"prove_ms\": {:.3}, \"verify_ms\": {:.3}, \"constraints\": {}}}{}",
+            "    {{\"label\": \"{}\", \"dims\": [{}, {}, {}], \"prove_ms\": {:.3}, \"verify_ms\": {:.3}, \"constraints\": {}, \"workers\": {threads}, \"cores\": {threads}}}{}",
             r.label,
             r.dims.0,
             r.dims.1,

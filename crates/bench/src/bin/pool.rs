@@ -34,9 +34,15 @@ use zkvc_runtime::{
     SchedulerPolicy,
 };
 
+/// Physical core count recorded alongside every measured point.
+fn cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+}
+
 /// One measured pool configuration.
 struct Run {
     label: &'static str,
+    workers: usize,
     wall: Duration,
     jobs_per_sec: f64,
     high_priority_mean_wait: Duration,
@@ -59,6 +65,7 @@ fn run_pool(
         assert!(report.all_verified(), "{label}: all proofs must verify");
         let candidate = Run {
             label,
+            workers,
             wall,
             jobs_per_sec: specs.len() as f64 / wall.as_secs_f64(),
             high_priority_mean_wait: report
@@ -133,8 +140,10 @@ impl Section {
         for (i, run) in self.runs.iter().enumerate() {
             let _ = writeln!(
                 out,
-                "    \"{}\": {{\"wall_s\": {:.3}, \"jobs_per_sec\": {:.2}, \"speedup_vs_serial\": {:.2}, \"high_priority_mean_wait_ms\": {:.2}}}{}",
+                "    \"{}\": {{\"workers\": {}, \"cores\": {}, \"wall_s\": {:.3}, \"jobs_per_sec\": {:.2}, \"speedup_vs_serial\": {:.2}, \"high_priority_mean_wait_ms\": {:.2}}}{}",
                 run.label,
+                run.workers,
+                cores(),
                 run.wall.as_secs_f64(),
                 run.jobs_per_sec,
                 self.speedup_vs_serial(run.label),
@@ -300,6 +309,7 @@ fn main() {
     let _ = writeln!(json, "  \"schema\": \"zkvc-bench-pool/v1\",");
     let _ = writeln!(json, "  \"mode\": \"{mode}\",");
     let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"cores\": {},", cores());
     let _ = writeln!(json, "  \"reps\": {reps},");
     let _ = writeln!(json, "{},", uniform_section.render_json());
     let _ = writeln!(json, "{},", skewed_section.render_json());

@@ -1,0 +1,163 @@
+//! The runtime's shared byte/format codec layer: one home for every
+//! versioned serialization the crate speaks, instead of magic strings
+//! scattered per module.
+//!
+//! Three families live here:
+//!
+//! - **Binary formats** — the proof envelope magic (`ZKVCPRF` + a version
+//!   digit) and the canonical [`CompiledShape`](zkvc_r1cs::CompiledShape) /
+//!   [`WitnessAssignment`](zkvc_r1cs::WitnessAssignment) encodings
+//!   (re-exported from `zkvc-r1cs`, where the structures live). All of
+//!   them lead with an explicit version; bytes from a *newer* version
+//!   decode to a typed [`Error::FutureVersion`], never a parse panic, so
+//!   a mixed-version fleet fails loudly and diagnosably.
+//! - **Line-protocol identifiers** — the `proto` strings of the serve and
+//!   worker dialects, checked on both ends of a connection.
+//! - **Report schemas** — the `schema` strings stamped into every JSON
+//!   report and bench file, so downstream tooling can dispatch on version.
+//!
+//! Version-bump protocol: a format change bumps exactly one constant
+//! here, and decoders keep accepting every version they historically
+//! wrote. Decoders never guess — an unknown version is an error, not a
+//! best-effort parse.
+
+use crate::error::Error;
+
+pub use zkvc_r1cs::{
+    decode_shape, decode_shape_expecting, decode_witness, encode_shape, encode_witness, ByteReader,
+    DecodeError, SHAPE_ENCODING_VERSION, WITNESS_ENCODING_VERSION,
+};
+
+/// The proof-envelope magic: a fixed prefix plus one ASCII version digit.
+pub(crate) const ENVELOPE_MAGIC_PREFIX: &[u8; 7] = b"ZKVCPRF";
+
+/// The envelope format version this build reads and writes.
+pub const ENVELOPE_FORMAT_VERSION: u8 = 1;
+
+/// The full magic written at the head of every envelope this build
+/// produces (`ZKVCPRF1`).
+pub(crate) const ENVELOPE_MAGIC: &[u8; 8] = b"ZKVCPRF1";
+
+/// The serve line-protocol identifier announced in every `ready` line.
+pub const SERVE_PROTO: &str = "zkvc-serve/v1";
+
+/// The worker dialect identifier announced in every `worker_register`
+/// line (and echoed back in `worker_ack`).
+pub const WORKER_PROTO: &str = "zkvc-worker/v1";
+
+/// Schema string of `zkvc client --report` JSON documents.
+pub const CLIENT_REPORT_SCHEMA: &str = "zkvc-client-report/v1";
+
+/// Schema string of `zkvc client --sweep` / serve bench JSON documents.
+pub const SERVE_BENCH_SCHEMA: &str = "zkvc-serve-bench/v1";
+
+/// Schema string of the distributed bench (`BENCH_distributed.json`).
+pub const DISTRIBUTED_BENCH_SCHEMA: &str = "zkvc-bench-distributed/v1";
+
+/// Probes the version of proof-envelope bytes without decoding them:
+/// `Ok(version)` for any `ZKVCPRF<digit>` head, [`Error::FutureVersion`]
+/// when the digit is newer than [`ENVELOPE_FORMAT_VERSION`], and
+/// [`Error::MalformedEnvelope`] when the magic is absent entirely.
+pub fn envelope_format_version(bytes: &[u8]) -> Result<u8, Error> {
+    let rest = bytes
+        .strip_prefix(ENVELOPE_MAGIC_PREFIX.as_slice())
+        .ok_or(Error::MalformedEnvelope)?;
+    let version = match rest.first() {
+        Some(d @ b'0'..=b'9') => d - b'0',
+        _ => return Err(Error::MalformedEnvelope),
+    };
+    if version > ENVELOPE_FORMAT_VERSION {
+        return Err(Error::FutureVersion {
+            what: "proof envelope",
+            found: version,
+            supported: ENVELOPE_FORMAT_VERSION,
+        });
+    }
+    Ok(version)
+}
+
+impl From<DecodeError> for Error {
+    /// Maps shape/witness decode failures onto the runtime error surface:
+    /// future versions keep their typed identity, everything else names
+    /// the broken field.
+    fn from(e: DecodeError) -> Self {
+        match e {
+            DecodeError::FutureVersion {
+                context,
+                found,
+                supported,
+            } => Error::FutureVersion {
+                what: context,
+                found,
+                supported,
+            },
+            other => Error::Codec(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_magic_is_prefix_plus_version_digit() {
+        let mut expected = ENVELOPE_MAGIC_PREFIX.to_vec();
+        expected.push(b'0' + ENVELOPE_FORMAT_VERSION);
+        assert_eq!(ENVELOPE_MAGIC.as_slice(), expected.as_slice());
+    }
+
+    #[test]
+    fn envelope_version_probe_is_typed() {
+        assert_eq!(envelope_format_version(b"ZKVCPRF1rest").unwrap(), 1);
+        // A future version is a FutureVersion error, not "malformed".
+        match envelope_format_version(b"ZKVCPRF2rest") {
+            Err(Error::FutureVersion {
+                what,
+                found,
+                supported,
+            }) => {
+                assert_eq!(what, "proof envelope");
+                assert_eq!(found, 2);
+                assert_eq!(supported, ENVELOPE_FORMAT_VERSION);
+            }
+            other => panic!("expected FutureVersion, got {other:?}"),
+        }
+        // Garbage is malformed, not future-versioned.
+        assert!(matches!(
+            envelope_format_version(b"NOTMAGIC"),
+            Err(Error::MalformedEnvelope)
+        ));
+        assert!(matches!(
+            envelope_format_version(b"ZKVCPRFx"),
+            Err(Error::MalformedEnvelope)
+        ));
+        assert!(matches!(
+            envelope_format_version(b"ZKVCPRF"),
+            Err(Error::MalformedEnvelope)
+        ));
+    }
+
+    #[test]
+    fn shape_decode_errors_map_onto_runtime_errors() {
+        let future = DecodeError::FutureVersion {
+            context: "shape",
+            found: 9,
+            supported: SHAPE_ENCODING_VERSION,
+        };
+        match Error::from(future) {
+            Error::FutureVersion { what, found, .. } => {
+                assert_eq!(what, "shape");
+                assert_eq!(found, 9);
+            }
+            other => panic!("expected FutureVersion, got {other:?}"),
+        }
+        let truncated = DecodeError::Truncated {
+            context: "matrix A",
+        };
+        match Error::from(truncated) {
+            Error::Codec(detail) => assert!(detail.contains("matrix A"), "{detail}"),
+            other => panic!("expected Codec, got {other:?}"),
+        }
+    }
+}

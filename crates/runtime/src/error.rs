@@ -33,6 +33,21 @@ pub enum Error {
     },
     /// Proof envelope bytes could not be decoded.
     MalformedEnvelope,
+    /// Bytes carried a format version newer than this build understands
+    /// (proof envelope, shape, or witness encoding). The payload may be
+    /// fine — the decoder is too old — so the message says *upgrade*,
+    /// not *corrupt*.
+    FutureVersion {
+        /// What was being decoded ("proof envelope", "shape", ...).
+        what: &'static str,
+        /// The version the bytes carried.
+        found: u8,
+        /// The newest version this build decodes.
+        supported: u8,
+    },
+    /// A shape/witness payload failed structural validation while
+    /// decoding (truncated, malformed CSR, digest mismatch, ...).
+    Codec(String),
     /// The envelope was produced by a different backend than the spec
     /// demands.
     BackendMismatch {
@@ -120,6 +135,8 @@ impl Error {
             | Error::Spec { .. }
             | Error::Io { .. }
             | Error::MalformedEnvelope
+            | Error::FutureVersion { .. }
+            | Error::Codec(_)
             | Error::BackendMismatch { .. }
             | Error::Request(_)
             | Error::RequestTooLarge { .. } => 2,
@@ -135,6 +152,16 @@ impl fmt::Display for Error {
             Error::Spec { input, reason } => write!(f, "bad spec {input:?}: {reason}"),
             Error::Io { path, source } => write!(f, "{}: {source}", path.display()),
             Error::MalformedEnvelope => write!(f, "malformed proof envelope"),
+            Error::FutureVersion {
+                what,
+                found,
+                supported,
+            } => write!(
+                f,
+                "{what} uses format version {found}, newer than the supported \
+                 version {supported} — upgrade this binary to read it"
+            ),
+            Error::Codec(detail) => write!(f, "malformed payload: {detail}"),
             Error::BackendMismatch { proof, expected } => write!(
                 f,
                 "proof was produced by the {proof} backend, spec says {expected}"
@@ -198,6 +225,16 @@ mod tests {
         assert_eq!(Error::spec("1x2", "oops").exit_code(), 2);
         assert_eq!(Error::MalformedEnvelope.exit_code(), 2);
         assert_eq!(
+            Error::FutureVersion {
+                what: "proof envelope",
+                found: 2,
+                supported: 1
+            }
+            .exit_code(),
+            2
+        );
+        assert_eq!(Error::Codec("truncated matrix A".into()).exit_code(), 2);
+        assert_eq!(
             Error::BackendMismatch {
                 proof: Backend::Groth16,
                 expected: Backend::Spartan
@@ -237,5 +274,14 @@ mod tests {
             expected: Backend::Spartan,
         };
         assert!(e.to_string().contains("groth16") && e.to_string().contains("spartan"));
+        let e = Error::FutureVersion {
+            what: "shape",
+            found: 3,
+            supported: 1,
+        };
+        let shown = e.to_string();
+        assert!(shown.contains("shape") && shown.contains('3') && shown.contains('1'));
+        let e = Error::Codec("matrix B row 4 columns are not strictly increasing".into());
+        assert!(e.to_string().contains("matrix B"));
     }
 }

@@ -35,6 +35,10 @@
 //! | `net.write.io_error` | stream write fails with `BrokenPipe`          |
 //! | `net.write.delay`    | stream write stalls `param` ms first          |
 //! | `pool.pickup.panic`  | worker panics picking the job up (contained)  |
+//! | `pool.prove.delay`   | proving stalls `param` ms first (local pool   |
+//! |                      | and remote workers alike; the distributed     |
+//! |                      | bench uses it to emulate paper-scale proof    |
+//! |                      | latency on small CI shapes)                   |
 //! | `disk.vk.poison`     | disk key-cache read sees a corrupted entry    |
 
 use std::collections::HashMap;

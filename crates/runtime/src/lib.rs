@@ -61,6 +61,8 @@
 
 pub mod analysis;
 mod cache;
+pub mod codec;
+mod coordinator;
 mod disk;
 mod error;
 pub mod fault;
@@ -72,6 +74,7 @@ mod serve;
 mod spec;
 mod util;
 pub mod wire;
+mod worker;
 
 pub use analysis::{analyze_spec, analyze_specs, Baseline, Preflight, SpecAnalysis};
 pub use cache::{CacheStats, CircuitKeys, KeyCache};
@@ -83,12 +86,13 @@ pub use net::{
 };
 pub use pool::{
     build_statement, prove_batch, prove_batch_serial, prove_batch_with_policy, BatchKey,
-    BatchReport, JobError, JobResult, PoolConfig, ProvingPool, ResultSink, SessionCtl,
+    BatchReport, JobError, JobOptions, JobResult, PoolConfig, ProvingPool, ResultSink, SessionCtl,
 };
 pub use sched::{Priority, SchedulerPolicy};
 pub use serial::{EnvelopeProof, ProofEnvelope};
 pub use serve::{serve, ServeConfig, ServeSummary, DEFAULT_CACHE_BYTES};
 pub use spec::{JobSpec, ModelPreset, SMALL_MATMUL_CELLS};
+pub use worker::{run_worker, WorkerConfig, WorkerSummary};
 // The shape digest moved into `zkvc-core` with the trait API; re-exported
 // here so existing `zkvc_runtime::circuit_shape_digest` callers keep
 // working.

@@ -25,6 +25,7 @@ use zkvc_ff::Fr;
 use zkvc_hash::sha256;
 
 use crate::cache::KeyCache;
+use crate::codec::{CLIENT_REPORT_SCHEMA, SERVE_BENCH_SCHEMA, SERVE_PROTO};
 use crate::error::Error;
 use crate::net::addr::{AnyStream, ListenAddr};
 use crate::pool::build_statement;
@@ -193,6 +194,10 @@ pub struct SessionReport {
     pub attempts: usize,
     /// Whether the session ended with the server's `summary` line.
     pub summary_seen: bool,
+    /// Local worker-thread count the server advertised in its ready
+    /// line (0 when no ready line was seen). Remote workers joining the
+    /// server later are not reflected here.
+    pub server_workers: usize,
     /// Per-job records for the deterministic report.
     pub jobs: Vec<JobRecord>,
 }
@@ -249,6 +254,16 @@ impl ClientReport {
     /// Total connection attempts across all sessions.
     pub fn attempts(&self) -> usize {
         self.sum(|s| s.attempts)
+    }
+
+    /// The worker-thread count the server advertised (max over sessions;
+    /// 0 when no session saw a ready line).
+    pub fn server_workers(&self) -> usize {
+        self.sessions
+            .iter()
+            .map(|s| s.server_workers)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Results per wall-clock second across all sessions.
@@ -326,7 +341,7 @@ impl ClientReport {
             })
             .collect();
         format!(
-            "{{\"schema\":\"zkvc-client-report/v1\",\"jobs\":[{}]}}",
+            "{{\"schema\":\"{CLIENT_REPORT_SCHEMA}\",\"jobs\":[{}]}}",
             body.join(",")
         )
     }
@@ -365,7 +380,9 @@ pub fn run_sweep(config: &ClientConfig, sweep: &[usize]) -> Result<String, Error
     for &sessions in sweep {
         let report = run_client(&config.clone().sessions(sessions))?;
         points.push(format!(
-            "{{\"sessions\":{sessions},\"jobs\":{},\"verdict_failures\":{},\"verified_local\":{},\"jobs_per_sec\":{:.3},\"p50_ms\":{:.3},\"p99_ms\":{:.3},\"wall_s\":{:.3}}}",
+            "{{\"sessions\":{sessions},\"workers\":{},\"cores\":{},\"jobs\":{},\"verdict_failures\":{},\"verified_local\":{},\"jobs_per_sec\":{:.3},\"p50_ms\":{:.3},\"p99_ms\":{:.3},\"wall_s\":{:.3}}}",
+            report.server_workers(),
+            available_cores(),
             report.results(),
             report.verdict_failures(),
             report.verified_local(),
@@ -376,13 +393,19 @@ pub fn run_sweep(config: &ClientConfig, sweep: &[usize]) -> Result<String, Error
         ));
     }
     Ok(format!(
-        "{{\"schema\":\"zkvc-serve-bench/v1\",\"spec\":\"{}\",\"seed\":{},\"count_per_session\":{},\"points\":[{}]}}",
+        "{{\"schema\":\"{SERVE_BENCH_SCHEMA}\",\"spec\":\"{}\",\"seed\":{},\"count_per_session\":{},\"points\":[{}]}}",
         json_escape(&config.spec.to_string()),
         config
             .seed.map_or_else(|| "null".into(), |s| s.to_string()),
         config.count,
         points.join(",")
     ))
+}
+
+/// Machine core count for bench provenance (what the hardware offered,
+/// as opposed to what `--workers` used of it).
+pub(crate) fn available_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
 }
 
 /// A `result` line held until the session ends: verification runs after
@@ -682,7 +705,10 @@ fn run_attempt(
         };
         match field(&fields, "type").and_then(str_val).unwrap_or("") {
             "ready" => {
-                proto_ok = field(&fields, "proto").and_then(str_val) == Some("zkvc-serve/v1");
+                proto_ok = field(&fields, "proto").and_then(str_val) == Some(SERVE_PROTO);
+                if let Some(workers) = field(&fields, "workers").and_then(num_u64) {
+                    report.server_workers = workers as usize;
+                }
             }
             "key" => {
                 let digest = field(&fields, "shape_digest").and_then(str_val);

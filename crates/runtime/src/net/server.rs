@@ -27,11 +27,12 @@ use std::time::{Duration, Instant};
 
 use crate::analysis::Preflight;
 use crate::cache::KeyCache;
+use crate::coordinator::Coordinator;
 use crate::error::Error;
 use crate::net::addr::{AnyListener, AnyStream, ListenAddr};
-use crate::pool::{PoolConfig, ProvingPool, ResultSink, SessionCtl};
-use crate::serve::{ready_line, ServeConfig, ServeSummary, SessionOut};
-use crate::wire::{error_line, parse_request, LineReader, LineReject};
+use crate::pool::{JobOptions, PoolConfig, ProvingPool, ResultSink, SessionCtl};
+use crate::serve::{ready_line, Output, ServeConfig, ServeSummary, SessionOut};
+use crate::wire::{error_line, parse_request, parse_worker_register, LineReader, LineReject};
 
 /// How often a blocked session read wakes to poll shutdown/idle/broken
 /// state. This bounds how stale a session's view of the shutdown flag
@@ -129,6 +130,12 @@ pub struct NetSummary {
     pub disconnected: usize,
     /// Sessions reaped by the idle timeout.
     pub reaped_idle: usize,
+    /// Connections that registered as remote proving workers
+    /// (zkvc-worker/v1) over the run's lifetime. Worker connections are
+    /// counted in `sessions` too, but contribute no job totals of their
+    /// own — their results are attributed to the client session that
+    /// submitted each job.
+    pub remote_workers: usize,
 }
 
 /// How a session ended; folded into [`NetSummary`].
@@ -141,6 +148,9 @@ enum SessionEnd {
     Disconnected,
     /// The idle timeout fired with nothing in flight.
     ReapedIdle,
+    /// The connection registered as a remote proving worker and spent its
+    /// life in the coordinator's read loop.
+    Worker,
 }
 
 /// One live session in the registry: its response plumbing and its
@@ -240,6 +250,12 @@ pub fn serve_listener(
         Some(sink),
     ));
 
+    // The distributed coordinator: its dispatcher thread competes with
+    // the local worker threads for queued jobs and places its leases on
+    // whatever remote workers have registered. With no workers connected
+    // it simply parks — a purely local server pays one idle thread.
+    let (coordinator, dispatcher) = Coordinator::start(&pool, &cache);
+
     let totals = Arc::new(Mutex::new(NetSummary::default()));
     let mut handles = Vec::new();
     let mut next_sid: u64 = 0;
@@ -254,9 +270,18 @@ pub fn serve_listener(
                 let params = Arc::clone(&params);
                 let shutdown = Arc::clone(&shutdown);
                 let totals = Arc::clone(&totals);
+                let coordinator = Arc::clone(&coordinator);
                 handles.push(thread::spawn(move || {
-                    let (summary, end, shed) =
-                        run_session(stream, sid, &pool, &cache, &registry, &params, &shutdown);
+                    let (summary, end, shed) = run_session(
+                        stream,
+                        sid,
+                        &pool,
+                        &cache,
+                        &registry,
+                        &params,
+                        &shutdown,
+                        &coordinator,
+                    );
                     let mut totals = totals.lock().expect("net totals poisoned");
                     totals.sessions += 1;
                     totals.jobs += summary.jobs;
@@ -267,6 +292,7 @@ pub fn serve_listener(
                     match end {
                         SessionEnd::Disconnected => totals.disconnected += 1,
                         SessionEnd::ReapedIdle => totals.reaped_idle += 1,
+                        SessionEnd::Worker => totals.remote_workers += 1,
                         SessionEnd::Eof | SessionEnd::Shutdown => {}
                     }
                 }));
@@ -281,11 +307,18 @@ pub fn serve_listener(
     }
 
     // Graceful drain: the accept loop has stopped; every session notices
-    // the flag within a read tick, drains its in-flight jobs through the
-    // sink, and writes its summary. Only then is the shared pool joined.
+    // the flag within a read tick. Client sessions drain their in-flight
+    // jobs through the sink and write their summaries; worker-connection
+    // threads say goodbye to their workers and re-queue any outstanding
+    // leases onto the local pool. Only after all of that does the
+    // coordinator's dispatcher stop, the queue close, and the shared
+    // pool join — so every accepted job is answered before exit.
     for handle in handles {
         let _ = handle.join();
     }
+    coordinator.shutdown();
+    pool.close_intake();
+    let _ = dispatcher.join();
     drop(listener);
     Arc::try_unwrap(pool)
         .expect("all session threads joined")
@@ -295,15 +328,19 @@ pub fn serve_listener(
 }
 
 /// One connection's lifecycle: handshake, request intake with
-/// per-session backpressure, drain, summary.
+/// per-session backpressure, drain, summary. A connection whose first
+/// line is a `worker_register` is handed to the coordinator instead and
+/// this thread becomes the worker's reader.
+#[allow(clippy::too_many_arguments)]
 fn run_session(
     stream: AnyStream,
     sid: u64,
-    pool: &ProvingPool,
+    pool: &Arc<ProvingPool>,
     cache: &KeyCache,
     registry: &Registry,
     params: &SessionParams,
     shutdown: &AtomicBool,
+    coordinator: &Coordinator,
 ) -> (ServeSummary, SessionEnd, usize) {
     let started = Instant::now();
     let _ = stream.set_read_timeout(Some(READ_TICK));
@@ -364,6 +401,38 @@ fn run_session(
                 if line.is_empty() {
                     continue;
                 }
+                // A worker announcing itself turns this connection into a
+                // coordinator-managed proving worker: deregister the
+                // session (no client results will ever route here) and
+                // let the coordinator own the rest of the stream.
+                match parse_worker_register(line) {
+                    Some(Ok(capacity)) => {
+                        registry
+                            .lock()
+                            .expect("session registry poisoned")
+                            .remove(&sid);
+                        let Ok(worker_write) = reader.get_ref().try_clone() else {
+                            return (ServeSummary::default(), SessionEnd::Disconnected, shed);
+                        };
+                        coordinator.run_worker_connection(
+                            pool,
+                            &mut reader,
+                            Output::new(worker_write),
+                            capacity,
+                            shutdown,
+                        );
+                        return (ServeSummary::default(), SessionEnd::Worker, shed);
+                    }
+                    Some(Err(reason)) => {
+                        rejected += 1;
+                        entry
+                            .out
+                            .out
+                            .emit(&error_line(None, &Error::Request(reason)));
+                        continue;
+                    }
+                    None => {}
+                }
                 match parse_request(line) {
                     Ok(request) if request.count > params.queue_bound => {
                         rejected += 1;
@@ -421,13 +490,14 @@ fn run_session(
                             if entry.ctl.is_cancelled() {
                                 break;
                             }
-                            pool.submit_for_session_with_deadline(
+                            pool.submit(
                                 request.spec,
-                                seed,
-                                priority,
-                                request.id_json.clone(),
-                                Arc::clone(&entry.ctl),
-                                deadline,
+                                JobOptions::new()
+                                    .seed(seed)
+                                    .priority(priority)
+                                    .tag_opt(request.id_json.clone())
+                                    .session(Arc::clone(&entry.ctl))
+                                    .deadline_opt(deadline),
                             );
                         }
                     }

@@ -543,27 +543,124 @@ impl PoolConfig {
 /// completion order. Used by `zkvc serve` to stream responses.
 pub type ResultSink = Arc<dyn Fn(&JobResult) + Send + Sync>;
 
-struct QueuedJob {
+/// Per-job submission options for [`ProvingPool::submit`] — the one
+/// submission surface, replacing the accreted
+/// `submit`/`submit_prioritized`/`submit_request`/`submit_for_session`
+/// method family. Build with the fluent setters; the default is a plain
+/// batch job at its spec-derived priority:
+///
+/// ```rust
+/// use zkvc_runtime::{JobOptions, JobSpec, Priority, ProvingPool};
+/// let pool = ProvingPool::new(1);
+/// // A batch job, spec-derived priority.
+/// pool.submit(JobSpec::new(2, 2, 2), JobOptions::new());
+/// // A serve-style request: own seed (statement id pinned to 0), an
+/// // echoed tag, an explicit priority, and a deadline.
+/// pool.submit(
+///     JobSpec::new(2, 2, 2),
+///     JobOptions::new()
+///         .seed(7)
+///         .tag("req-1")
+///         .priority(Priority::High)
+///         .deadline(std::time::Duration::from_secs(30)),
+/// );
+/// pool.join();
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct JobOptions {
+    priority: Option<Priority>,
+    seed: Option<u64>,
+    session: Option<Arc<SessionCtl>>,
+    deadline: Option<Duration>,
+    tag: Option<String>,
+}
+
+impl JobOptions {
+    /// Default options: batch mode (pool seed, statement id = job id),
+    /// spec-derived priority, no session, no deadline, no tag.
+    pub fn new() -> Self {
+        JobOptions::default()
+    }
+
+    /// Overrides the spec-derived scheduling priority.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = Some(priority);
+        self
+    }
+
+    /// Makes this a *request-mode* job with its own determinism seed: the
+    /// statement id is pinned to 0, so the proof is exactly what
+    /// `zkvc prove --spec S --seed N` emits and `zkvc verify` expects —
+    /// the `zkvc serve` semantics. Without this, the job is *batch-mode*:
+    /// it derives its statement from the pool seed and its job id.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Scopes the job to a client session: submission blocks on the
+    /// session's in-flight limit first, the job honours the session's
+    /// cancellation, and the result carries the session id.
+    pub fn session(mut self, session: Arc<SessionCtl>) -> Self {
+        self.session = Some(session);
+        self
+    }
+
+    /// Gives the job a deadline, measured from admission: once it passes,
+    /// the job is answered [`JobError::DeadlineExceeded`] — unstarted jobs
+    /// without proving, a running prove at its next kernel checkpoint.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches an opaque tag, echoed untouched in [`JobResult::tag`]
+    /// (`zkvc serve` uses it to echo request ids).
+    pub fn tag(mut self, tag: impl Into<String>) -> Self {
+        self.tag = Some(tag.into());
+        self
+    }
+
+    /// [`Self::tag`] taking an `Option` — convenience for call sites that
+    /// already hold one (the serve request parser).
+    pub fn tag_opt(mut self, tag: Option<String>) -> Self {
+        self.tag = tag;
+        self
+    }
+
+    /// [`Self::deadline`] taking an `Option` — convenience for call sites
+    /// that already hold one.
+    pub fn deadline_opt(mut self, deadline: Option<Duration>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+}
+
+pub(crate) struct QueuedJob {
     /// Submission-order id (orders the report).
-    id: usize,
+    pub(crate) id: usize,
     /// Statement derivation id: equals `id` for batch jobs; pinned to 0
     /// for `zkvc serve` requests so their proofs match what
     /// `zkvc prove --spec S --seed N` produces and `zkvc verify` expects.
-    statement_id: usize,
+    pub(crate) statement_id: usize,
     /// Determinism seed for this job's statement and prover randomness.
-    seed: u64,
-    spec: JobSpec,
-    tag: Option<String>,
+    pub(crate) seed: u64,
+    pub(crate) spec: JobSpec,
+    pub(crate) tag: Option<String>,
     /// The session scope the job belongs to (socket sessions only): its
     /// cancellation is honoured alongside the pool-wide flag, and its
     /// in-flight slot is released once the result has been processed.
-    session: Option<Arc<SessionCtl>>,
-    enqueued: Instant,
+    pub(crate) session: Option<Arc<SessionCtl>>,
+    pub(crate) enqueued: Instant,
     /// Absolute time after which the job must stop (converted from the
     /// request's `deadline_ms` at admission). Enforced at worker pickup,
     /// after statement build, and — via the [`zkvc_ff::cancel`]
     /// checkpoints — mid-MSM and mid-FFT inside the prove itself.
-    deadline: Option<Instant>,
+    pub(crate) deadline: Option<Instant>,
+    /// The scheduling class the job was admitted at, kept on the job so a
+    /// coordinator can re-queue a leased job (after a remote worker dies)
+    /// at its original priority.
+    pub(crate) priority: Priority,
 }
 
 impl QueuedJob {
@@ -571,6 +668,41 @@ impl QueuedJob {
     /// cancelled.
     fn is_cancelled(&self, sched: &Scheduler<QueuedJob>) -> bool {
         sched.is_cancelled() || self.session.as_ref().is_some_and(|s| s.is_cancelled())
+    }
+
+    /// The id of the session the job is scoped to, if any.
+    pub(crate) fn session_id(&self) -> Option<u64> {
+        self.session.as_ref().map(|s| s.id())
+    }
+}
+
+/// The shared result-delivery tail of every job, local or remote: sink
+/// first, then retention, then the session slot, then the global
+/// in-flight count. Split out of the worker loop so the distributed
+/// coordinator delivers remotely-proved results through the identical
+/// path — which is what guarantees each admitted job is answered exactly
+/// once, whoever proves it.
+struct Deliverer {
+    sink: Option<ResultSink>,
+    results: Arc<Mutex<Vec<JobResult>>>,
+    retain: bool,
+    in_flight: Arc<AtomicUsize>,
+}
+
+impl Deliverer {
+    fn deliver(&self, session: Option<Arc<SessionCtl>>, result: JobResult) {
+        if let Some(sink) = &self.sink {
+            sink(&result);
+        }
+        if self.retain {
+            self.results.lock().expect("results poisoned").push(result);
+        }
+        // Release only after the sink ran: a session drain returning
+        // means every response line for that session has been written.
+        if let Some(session) = session {
+            session.release();
+        }
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -580,6 +712,7 @@ pub struct ProvingPool {
     handles: Vec<thread::JoinHandle<()>>,
     results: Arc<Mutex<Vec<JobResult>>>,
     cache: Arc<KeyCache>,
+    deliverer: Arc<Deliverer>,
     workers: usize,
     seed: u64,
     next_id: AtomicUsize,
@@ -626,15 +759,18 @@ impl ProvingPool {
             config.policy,
         ));
         let results = Arc::new(Mutex::new(Vec::new()));
-        let retain = config.retain_results;
         let in_flight = Arc::new(AtomicUsize::new(0));
+        let deliverer = Arc::new(Deliverer {
+            sink,
+            results: Arc::clone(&results),
+            retain: config.retain_results,
+            in_flight: Arc::clone(&in_flight),
+        });
         let mut handles = Vec::with_capacity(workers);
         for w in 0..workers {
             let sched = Arc::clone(&sched);
-            let results = Arc::clone(&results);
             let cache = Arc::clone(&cache);
-            let sink = sink.clone();
-            let in_flight = Arc::clone(&in_flight);
+            let deliverer = Arc::clone(&deliverer);
             handles.push(
                 thread::Builder::new()
                     .name(format!("zkvc-worker-{w}"))
@@ -642,19 +778,7 @@ impl ProvingPool {
                         while let Some(job) = sched.next(w) {
                             let session = job.session.clone();
                             let result = execute_job(&job, w, &cache, &sched);
-                            if let Some(sink) = &sink {
-                                sink(&result);
-                            }
-                            if retain {
-                                results.lock().expect("results poisoned").push(result);
-                            }
-                            // Release only after the sink ran: a session
-                            // drain returning means every response line
-                            // for that session has been written.
-                            if let Some(session) = session {
-                                session.release();
-                            }
-                            in_flight.fetch_sub(1, Ordering::SeqCst);
+                            deliverer.deliver(session, result);
                         }
                     })
                     .expect("spawn pool worker"),
@@ -665,6 +789,7 @@ impl ProvingPool {
             handles,
             results,
             cache,
+            deliverer,
             workers,
             seed: config.seed,
             next_id: AtomicUsize::new(0),
@@ -673,36 +798,58 @@ impl ProvingPool {
         }
     }
 
-    /// Enqueues a job at its spec-derived priority, returning its id (ids
-    /// are assigned in submission order and order the results of
-    /// [`Self::join`]). Blocks while the queue is at its bound.
-    pub fn submit(&self, spec: JobSpec) -> usize {
-        self.submit_prioritized(spec, spec.priority())
-    }
-
-    /// Enqueues a job with an explicit priority.
-    pub fn submit_prioritized(&self, spec: JobSpec, priority: Priority) -> usize {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.enqueue(
-            QueuedJob {
-                id,
-                statement_id: id,
-                seed: self.seed,
-                spec,
-                tag: None,
-                session: None,
-                enqueued: Instant::now(),
-                deadline: None,
-            },
+    /// The pool's one submission entry point: enqueues a job described by
+    /// `options`, returning its id (ids are assigned in submission order
+    /// and order the results of [`Self::join`]). Blocks on the session's
+    /// in-flight limit first (when a session is set), then on the pool's
+    /// shared queue bound.
+    ///
+    /// Without [`JobOptions::seed`] the job is *batch-mode*: its
+    /// statement derives from the pool seed and its job id. With it, the
+    /// job is *request-mode* (the `zkvc serve` semantics): its statement
+    /// derives from the given seed with the statement id pinned to 0, so
+    /// the proof is exactly what `zkvc prove --spec S --seed N` emits and
+    /// `zkvc verify --spec S --seed N` expects.
+    pub fn submit(&self, spec: JobSpec, options: JobOptions) -> usize {
+        let JobOptions {
             priority,
-        )
+            seed,
+            session,
+            deadline,
+            tag,
+        } = options;
+        // Per-session backpressure gates admission *before* the job id is
+        // assigned and before the deadline clock starts.
+        if let Some(session) = &session {
+            session.acquire();
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let now = Instant::now();
+        let (seed, statement_id) = match seed {
+            Some(seed) => (seed, 0),
+            None => (self.seed, id),
+        };
+        self.enqueue(QueuedJob {
+            id,
+            statement_id,
+            seed,
+            spec,
+            tag,
+            session,
+            enqueued: now,
+            deadline: deadline.map(|d| now + d),
+            priority: priority.unwrap_or_else(|| spec.priority()),
+        })
     }
 
-    /// The `zkvc serve` entry point: a job with its own seed and an
-    /// opaque tag echoed in the result. The statement id is pinned to 0,
-    /// so the produced proof is exactly the one `zkvc prove --spec S
-    /// --seed N` would emit and `zkvc verify --spec S --seed N` expects —
-    /// resident-server proofs stay verifiable offline.
+    /// Enqueues a batch-mode job with an explicit priority.
+    #[deprecated(note = "use submit(spec, JobOptions::new().priority(..))")]
+    pub fn submit_prioritized(&self, spec: JobSpec, priority: Priority) -> usize {
+        self.submit(spec, JobOptions::new().priority(priority))
+    }
+
+    /// Enqueues a request-mode job (own seed, statement id 0, echoed tag).
+    #[deprecated(note = "use submit(spec, JobOptions::new().seed(..).tag_opt(..))")]
     pub fn submit_request(
         &self,
         spec: JobSpec,
@@ -710,13 +857,14 @@ impl ProvingPool {
         priority: Priority,
         tag: Option<String>,
     ) -> usize {
-        self.submit_request_with_deadline(spec, seed, priority, tag, None)
+        self.submit(
+            spec,
+            JobOptions::new().seed(seed).priority(priority).tag_opt(tag),
+        )
     }
 
-    /// [`Self::submit_request`] with an optional per-job deadline,
-    /// measured from admission: once it passes, the job is answered
-    /// [`JobError::DeadlineExceeded`] — unstarted jobs without proving,
-    /// a running prove at its next kernel cancellation checkpoint.
+    /// Enqueues a request-mode job with an optional deadline.
+    #[deprecated(note = "use submit(spec, JobOptions::new().seed(..).deadline_opt(..))")]
     pub fn submit_request_with_deadline(
         &self,
         spec: JobSpec,
@@ -725,28 +873,18 @@ impl ProvingPool {
         tag: Option<String>,
         deadline: Option<Duration>,
     ) -> usize {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let now = Instant::now();
-        self.enqueue(
-            QueuedJob {
-                id,
-                statement_id: 0,
-                seed,
-                spec,
-                tag,
-                session: None,
-                enqueued: now,
-                deadline: deadline.map(|d| now + d),
-            },
-            priority,
+        self.submit(
+            spec,
+            JobOptions::new()
+                .seed(seed)
+                .priority(priority)
+                .tag_opt(tag)
+                .deadline_opt(deadline),
         )
     }
 
-    /// [`Self::submit_request`] scoped to a client session: blocks first
-    /// on the session's own in-flight limit (per-connection
-    /// backpressure), then on the pool's shared queue bound. The job
-    /// honours the session's cancellation and carries its id in
-    /// [`JobResult::session_id`].
+    /// Enqueues a request-mode job scoped to a client session.
+    #[deprecated(note = "use submit(spec, JobOptions::new().seed(..).session(..))")]
     pub fn submit_for_session(
         &self,
         spec: JobSpec,
@@ -755,12 +893,22 @@ impl ProvingPool {
         tag: Option<String>,
         session: Arc<SessionCtl>,
     ) -> usize {
-        self.submit_for_session_with_deadline(spec, seed, priority, tag, session, None)
+        self.submit(
+            spec,
+            JobOptions::new()
+                .seed(seed)
+                .priority(priority)
+                .tag_opt(tag)
+                .session(session),
+        )
     }
 
-    /// [`Self::submit_for_session`] with an optional per-job deadline
-    /// (see [`Self::submit_request_with_deadline`]); the deadline clock
-    /// starts *after* the session's admission gate admits the job.
+    /// Enqueues a session-scoped request-mode job with an optional
+    /// deadline; the deadline clock starts *after* the session's
+    /// admission gate admits the job.
+    #[deprecated(
+        note = "use submit(spec, JobOptions::new().seed(..).session(..).deadline_opt(..))"
+    )]
     pub fn submit_for_session_with_deadline(
         &self,
         spec: JobSpec,
@@ -770,34 +918,97 @@ impl ProvingPool {
         session: Arc<SessionCtl>,
         deadline: Option<Duration>,
     ) -> usize {
-        session.acquire();
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let now = Instant::now();
-        self.enqueue(
-            QueuedJob {
-                id,
-                statement_id: 0,
-                seed,
-                spec,
-                tag,
-                session: Some(session),
-                enqueued: now,
-                deadline: deadline.map(|d| now + d),
-            },
-            priority,
+        self.submit(
+            spec,
+            JobOptions::new()
+                .seed(seed)
+                .priority(priority)
+                .tag_opt(tag)
+                .session(session)
+                .deadline_opt(deadline),
         )
     }
 
     /// Shared tail of every submit path: counts the job in flight and
-    /// hands it to the scheduler.
-    fn enqueue(&self, job: QueuedJob, priority: Priority) -> usize {
+    /// hands it to the scheduler at the priority recorded on the job.
+    fn enqueue(&self, job: QueuedJob) -> usize {
         let id = job.id;
+        let priority = job.priority;
         self.in_flight.fetch_add(1, Ordering::SeqCst);
         if self.sched.submit(job, priority).is_err() {
             self.in_flight.fetch_sub(1, Ordering::SeqCst);
             panic!("pool already joined");
         }
         id
+    }
+
+    /// Claims the next queued job for an external executor (the
+    /// distributed coordinator's dispatcher), competing with the local
+    /// worker threads through the same scheduler lane mechanics. Blocks
+    /// until a job is available; `None` once the queue is closed and
+    /// drained. The leased job stays counted in flight — whoever holds it
+    /// must eventually [`Self::deliver`] a result for it (or
+    /// [`Self::requeue`] it).
+    pub(crate) fn lease(&self, lane: usize) -> Option<QueuedJob> {
+        self.sched.next(lane)
+    }
+
+    /// Puts a leased job back on the queue at its original priority —
+    /// the failure-handling path when a remote worker dies with leases
+    /// outstanding. Does *not* touch the in-flight count (the job never
+    /// stopped being in flight). Returns the job back as `Err` when the
+    /// queue has already closed; the caller must then execute it inline
+    /// (via [`Self::execute_locally`]) so the job is still answered.
+    // The Err variant hands the whole job back by value on purpose: the
+    // caller must still answer it, so losing it to a boxing round-trip
+    // buys nothing.
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn requeue(&self, job: QueuedJob) -> Result<(), QueuedJob> {
+        let priority = job.priority;
+        self.sched.submit(job, priority)
+    }
+
+    /// Runs a job on the caller's thread under the pool's standard
+    /// cancellation + panic guards (the coordinator's inline fallback,
+    /// and its cheap way to answer a job that is already cancelled or
+    /// past its deadline).
+    pub(crate) fn execute_locally(&self, job: &QueuedJob, worker: usize) -> JobResult {
+        execute_job(job, worker, &self.cache, &self.sched)
+    }
+
+    /// The reason `job` must stop right now, if any (deadline first, then
+    /// pool/session cancellation).
+    pub(crate) fn job_status(&self, job: &QueuedJob) -> Option<JobError> {
+        job_status(job, &self.sched)
+    }
+
+    /// Delivers a result for a leased job through the identical tail the
+    /// local workers use: sink, retention, session slot, in-flight count.
+    pub(crate) fn deliver(&self, session: Option<Arc<SessionCtl>>, result: JobResult) {
+        self.deliverer.deliver(session, result);
+    }
+
+    /// Builds the terminal error result for a leased job without running
+    /// it — the coordinator's answer when a remote worker reports a job
+    /// failure (deterministic, so retrying elsewhere would just repeat
+    /// it).
+    #[allow(clippy::unused_self)] // kept on the pool: it owns the JobResult shape
+    pub(crate) fn failed_result(
+        &self,
+        job: &QueuedJob,
+        worker: usize,
+        error: JobError,
+    ) -> JobResult {
+        aborted_result(job, worker, job.enqueued.elapsed(), Duration::ZERO, error)
+    }
+
+    /// Closes the queue without joining the worker threads: no new
+    /// submissions are accepted, [`Self::lease`] returns `None` once the
+    /// backlog drains. The coordinator uses this to stop its dispatcher
+    /// before the pool is finally joined (close is idempotent — the later
+    /// [`Self::join`] closes again harmlessly).
+    pub(crate) fn close_intake(&self) {
+        self.sched.close();
     }
 
     /// Requests cooperative cancellation: jobs not yet started are
@@ -964,7 +1175,7 @@ pub fn build_statement(seed: u64, id: usize, spec: &JobSpec) -> Box<dyn Circuit>
 /// binding — a replayed same-shape proof for a different `Y` dies here;
 /// trivially satisfied for circuits with no public outputs), and the proof
 /// must pass the supplied cryptographic check.
-fn envelope_verifies(
+pub(crate) fn envelope_verifies(
     bytes: &[u8],
     expected_publics: &[Fr],
     verify: impl FnOnce(&ProofEnvelope) -> bool,
@@ -1112,6 +1323,7 @@ fn run_job(
         job.seed ^ (job.statement_id as u64).wrapping_mul(0xD1B5_4A32_D192_ED03),
     );
     let t1 = Instant::now();
+    crate::fault::fire_delay("pool.prove.delay");
     let artifacts = system.prove_assignment(&keys.prover, &witness, &mut prover_rng);
     let prove_time = t1.elapsed();
     let num_constraints = artifacts.metrics.num_constraints;
@@ -1171,7 +1383,7 @@ pub fn prove_batch_with_policy(
         None,
     );
     for spec in specs {
-        pool.submit(*spec);
+        pool.submit(*spec, JobOptions::new());
     }
     pool.join()
 }
@@ -1393,7 +1605,10 @@ mod tests {
         // by finishing fast despite 32 queued Groth16 jobs.
         let pool = ProvingPool::new(1);
         for _ in 0..32 {
-            pool.submit(JobSpec::new(6, 6, 6).with_strategy(Strategy::Vanilla));
+            pool.submit(
+                JobSpec::new(6, 6, 6).with_strategy(Strategy::Vanilla),
+                JobOptions::new(),
+            );
         }
         let cache = Arc::clone(pool.cache());
         drop(pool);
@@ -1430,8 +1645,8 @@ mod tests {
         let cache = Arc::new(KeyCache::with_seed(0));
         let pool = ProvingPool::with_cache(1, 0, cache);
         let spec = JobSpec::new(3, 3, 3).with_backend(Backend::Spartan);
-        pool.submit_request(spec, 5, Priority::Normal, Some("a".into()));
-        pool.submit_request(spec, 5, Priority::Normal, Some("b".into()));
+        pool.submit(spec, JobOptions::new().seed(5).tag("a"));
+        pool.submit(spec, JobOptions::new().seed(5).tag("b"));
         let report = pool.join();
         assert!(report.all_verified());
         assert_eq!(report.results[0].tag.as_deref(), Some("a"));
@@ -1463,10 +1678,10 @@ mod tests {
         dead.cancel();
         let spec = JobSpec::new(3, 3, 3).with_backend(Backend::Spartan);
         for _ in 0..3 {
-            pool.submit_for_session(spec, 5, Priority::Normal, None, Arc::clone(&dead));
+            pool.submit(spec, JobOptions::new().seed(5).session(Arc::clone(&dead)));
         }
         for _ in 0..3 {
-            pool.submit_for_session(spec, 5, Priority::Normal, None, Arc::clone(&live));
+            pool.submit(spec, JobOptions::new().seed(5).session(Arc::clone(&live)));
         }
         let report = pool.join();
         let by = |sid: u64| {
@@ -1521,5 +1736,47 @@ mod tests {
         ctl.cancel();
         post_cancel.join().unwrap();
         assert!(ctl.in_flight() >= 2);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_submit_shims_match_the_unified_entry_point() {
+        // The five legacy submission methods are thin shims over
+        // submit(spec, JobOptions): each pair below must produce
+        // byte-identical proofs and identical metadata.
+        let spec = JobSpec::new(3, 3, 3).with_backend(Backend::Spartan);
+        let run = |f: &dyn Fn(&ProvingPool)| {
+            let pool = ProvingPool::with_cache(1, 3, Arc::new(KeyCache::with_seed(3)));
+            f(&pool);
+            pool.join()
+        };
+        let ctl = || Arc::new(SessionCtl::new(9, 4));
+
+        let old = run(&|p| {
+            p.submit_prioritized(spec, Priority::High);
+            p.submit_request(spec, 5, Priority::Normal, Some("r".into()));
+            p.submit_request_with_deadline(spec, 5, Priority::Normal, None, None);
+            p.submit_for_session(spec, 5, Priority::Normal, None, ctl());
+            p.submit_for_session_with_deadline(spec, 5, Priority::Normal, None, ctl(), None);
+        });
+        let new = run(&|p| {
+            p.submit(spec, JobOptions::new().priority(Priority::High));
+            p.submit(spec, JobOptions::new().seed(5).tag("r"));
+            p.submit(spec, JobOptions::new().seed(5));
+            p.submit(spec, JobOptions::new().seed(5).session(ctl()));
+            p.submit(
+                spec,
+                JobOptions::new().seed(5).session(ctl()).deadline_opt(None),
+            );
+        });
+        assert_eq!(old.results.len(), new.results.len());
+        for (a, b) in old.results.iter().zip(new.results.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.tag, b.tag);
+            assert_eq!(a.session_id, b.session_id);
+            assert_eq!(a.proof_bytes, b.proof_bytes, "job {}", a.id);
+            assert!(a.verified && b.verified);
+        }
     }
 }

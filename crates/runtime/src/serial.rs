@@ -19,8 +19,8 @@ use zkvc_groth16 as groth16;
 use zkvc_r1cs::ConstraintSystem;
 use zkvc_spartan::SpartanProof;
 
-/// Magic prefix identifying the envelope format (and its version).
-const MAGIC: &[u8; 8] = b"ZKVCPRF1";
+use crate::codec::ENVELOPE_MAGIC as MAGIC;
+use crate::error::Error;
 
 /// Backend tags on the wire.
 const TAG_GROTH16: u8 = 1;
@@ -127,6 +127,17 @@ impl ProofEnvelope {
             }
         }
         out
+    }
+
+    /// Parses an envelope with a typed error surface: future-versioned
+    /// bytes (a `ZKVCPRF` magic with a newer version digit) are reported
+    /// as [`Error::FutureVersion`] — the payload may be fine, the decoder
+    /// is too old — while everything else malformed is
+    /// [`Error::MalformedEnvelope`]. Prefer this over [`Self::from_bytes`]
+    /// anywhere the failure reason reaches a user.
+    pub fn decode(bytes: &[u8]) -> Result<Self, Error> {
+        crate::codec::envelope_format_version(bytes)?;
+        Self::from_bytes(bytes).ok_or(Error::MalformedEnvelope)
     }
 
     /// Parses an envelope, validating every field element and group
@@ -366,6 +377,33 @@ mod tests {
         assert!(envelope.verify_cs(&job_b.cs));
         // ...but rejected by the key the statement actually demands.
         assert!(!envelope.verify_with_key(&keys_a.verifier));
+    }
+
+    #[test]
+    fn decode_distinguishes_future_versions_from_garbage() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let job = MatMulBuilder::new(2, 2, 2)
+            .strategy(Strategy::Vanilla)
+            .build_random(&mut rng);
+        let artifacts = Backend::Spartan.prove_cs(&job.cs, &mut rng);
+        let bytes = ProofEnvelope::from_artifacts(&artifacts).to_bytes();
+        assert!(ProofEnvelope::decode(&bytes).is_ok());
+        // Same payload stamped with a future version digit: typed error.
+        let mut future = bytes.clone();
+        future[7] = b'2';
+        assert!(matches!(
+            ProofEnvelope::decode(&future),
+            Err(Error::FutureVersion { found: 2, .. })
+        ));
+        // Garbage stays "malformed", truncation too.
+        assert!(matches!(
+            ProofEnvelope::decode(b"NOTMAGIC"),
+            Err(Error::MalformedEnvelope)
+        ));
+        assert!(matches!(
+            ProofEnvelope::decode(&bytes[..bytes.len() - 1]),
+            Err(Error::MalformedEnvelope)
+        ));
     }
 
     #[test]

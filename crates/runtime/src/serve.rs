@@ -32,7 +32,7 @@ use crate::analysis::Preflight;
 use crate::cache::KeyCache;
 use crate::disk::DiskKeyCache;
 use crate::error::Error;
-use crate::pool::{JobResult, PoolConfig, ProvingPool, ResultSink};
+use crate::pool::{JobOptions, JobResult, PoolConfig, ProvingPool, ResultSink};
 use crate::util::hex;
 use crate::wire::{error_line, parse_request, read_bounded_line, result_line, LineReject};
 
@@ -328,7 +328,8 @@ pub(crate) fn ready_line(session: Option<u64>, workers: usize, seed: u64, bound:
         None => String::new(),
     };
     format!(
-        "{{\"type\":\"ready\",\"proto\":\"zkvc-serve/v1\",{session}\"workers\":{workers},\"seed\":{seed},\"queue_bound\":{bound}}}"
+        "{{\"type\":\"ready\",\"proto\":\"{}\",{session}\"workers\":{workers},\"seed\":{seed},\"queue_bound\":{bound}}}",
+        crate::codec::SERVE_PROTO
     )
 }
 
@@ -430,12 +431,13 @@ pub fn serve<R: BufRead, W: Write + Send + 'static>(
                         let priority = request.priority.unwrap_or(request.spec.priority());
                         let deadline = request.deadline_ms.map(Duration::from_millis);
                         for _ in 0..request.count {
-                            pool.submit_request_with_deadline(
+                            pool.submit(
                                 request.spec,
-                                seed,
-                                priority,
-                                request.id_json.clone(),
-                                deadline,
+                                JobOptions::new()
+                                    .seed(seed)
+                                    .priority(priority)
+                                    .tag_opt(request.id_json.clone())
+                                    .deadline_opt(deadline),
                             );
                         }
                     }

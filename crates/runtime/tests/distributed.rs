@@ -1,0 +1,182 @@
+//! Distributed-proving integration tests: a real `serve_listener`
+//! coordinator with real `zkvc worker` subprocesses attached.
+//!
+//! The load-bearing properties:
+//!
+//! * **Exactly-once under worker death** — SIGKILL a worker mid-batch and
+//!   every client-assigned id still gets exactly one answer (the dead
+//!   worker's leased jobs re-queue onto the survivors/local pool; nothing
+//!   is lost, nothing is double-answered).
+//! * **Placement is invisible to clients** — two same-seed runs, one with
+//!   remote workers and one without, render byte-identical deterministic
+//!   reports: proofs do not depend on *where* they were produced.
+
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use zkvc_runtime::{
+    run_client, serve_listener, ClientConfig, Error, JobSpec, ListenAddr, NetConfig, NetSummary,
+    ServeConfig,
+};
+
+struct Server {
+    addr: ListenAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: thread::JoinHandle<Result<NetSummary, Error>>,
+}
+
+impl Server {
+    fn start_unix(name: &str, config: NetConfig) -> Server {
+        let path =
+            std::env::temp_dir().join(format!("zkvc-dist-{}-{name}.sock", std::process::id()));
+        let addr = ListenAddr::Unix(path);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::channel();
+        let handle = {
+            let shutdown = Arc::clone(&shutdown);
+            thread::spawn(move || {
+                serve_listener(&addr, config, shutdown, move |bound| {
+                    tx.send(bound.clone()).expect("report bound address");
+                })
+            })
+        };
+        let addr = rx.recv().expect("server bound");
+        Server {
+            addr,
+            shutdown,
+            handle,
+        }
+    }
+
+    fn finish(self) -> NetSummary {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.handle
+            .join()
+            .expect("server thread")
+            .expect("serve_listener")
+    }
+}
+
+/// Spawns a `zkvc worker` subprocess attached to `addr`.
+fn spawn_worker(addr: &ListenAddr, capacity: usize) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_zkvc"))
+        .args([
+            "worker",
+            "--connect",
+            &addr.to_string(),
+            "--capacity",
+            &capacity.to_string(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn zkvc worker")
+}
+
+/// Polls until the coordinator has registered `n` live remote workers, by
+/// watching the client-visible effect: workers prove jobs. Cheaper: give
+/// the registration a grace window — registration is a single line each
+/// way on a local socket.
+fn settle() {
+    thread::sleep(Duration::from_millis(400));
+}
+
+#[test]
+fn killed_worker_jobs_requeue_with_exactly_one_answer_per_id() {
+    // Small local pool so remote workers carry real load and a mid-batch
+    // kill is guaranteed to strand leased jobs.
+    let server = Server::start_unix(
+        "kill",
+        NetConfig::new(ServeConfig::new(1).seed(5)).session_bound(64),
+    );
+    let mut w1 = spawn_worker(&server.addr, 2);
+    let mut w2 = spawn_worker(&server.addr, 2);
+    settle();
+
+    let (spec, _) = JobSpec::parse("6x6x6:zkvc:g").expect("spec");
+    let config = ClientConfig::new(server.addr.clone(), spec)
+        .count(24)
+        .seed(Some(5))
+        .retries(0);
+
+    // Drive the batch from one thread; SIGKILL a worker shortly after the
+    // batch starts, while its slots are leased.
+    let killer = {
+        thread::spawn(move || {
+            thread::sleep(Duration::from_millis(700));
+            w1.kill().expect("kill worker 1");
+            let _ = w1.wait();
+        })
+    };
+    let t0 = Instant::now();
+    let report = run_client(&config).expect("client run");
+    killer.join().expect("killer thread");
+
+    // Exactly-once: every id answered once, every proof verified. The
+    // client library independently asserts id-scoping (an unknown or
+    // duplicate id is recorded as a mismatch).
+    assert!(
+        report.all_ok(),
+        "all jobs must verify after worker death (elapsed {:?}): {report:?}",
+        t0.elapsed()
+    );
+    assert_eq!(report.results(), 24, "one answer per id, no extras");
+    assert_eq!(report.id_mismatches(), 0, "no duplicate or unknown ids");
+
+    let _ = w2.kill();
+    let _ = w2.wait();
+    let totals = server.finish();
+    assert_eq!(totals.jobs, 24);
+    assert_eq!(totals.failed, 0);
+    assert!(
+        totals.remote_workers >= 2,
+        "both workers must have registered: {totals:?}"
+    );
+}
+
+#[test]
+fn remote_placement_is_byte_invisible_in_reports() {
+    let (spec, _) = JobSpec::parse("4x4x4:zkvc:g").expect("spec");
+
+    // Run 1: coordinator with two remote workers.
+    let server = Server::start_unix(
+        "det-remote",
+        NetConfig::new(ServeConfig::new(2).seed(9)).session_bound(64),
+    );
+    let mut w1 = spawn_worker(&server.addr, 2);
+    let mut w2 = spawn_worker(&server.addr, 2);
+    settle();
+    let config = ClientConfig::new(server.addr.clone(), spec)
+        .count(10)
+        .seed(Some(9))
+        .retries(0);
+    let with_workers = run_client(&config).expect("client run (remote)");
+    assert!(with_workers.all_ok(), "{with_workers:?}");
+    let _ = w1.kill();
+    let _ = w1.wait();
+    let _ = w2.kill();
+    let _ = w2.wait();
+    server.finish();
+
+    // Run 2: same seed, local pool only.
+    let server = Server::start_unix(
+        "det-local",
+        NetConfig::new(ServeConfig::new(2).seed(9)).session_bound(64),
+    );
+    let config = ClientConfig::new(server.addr.clone(), spec)
+        .count(10)
+        .seed(Some(9))
+        .retries(0);
+    let local_only = run_client(&config).expect("client run (local)");
+    assert!(local_only.all_ok(), "{local_only:?}");
+    server.finish();
+
+    assert_eq!(
+        with_workers.render_report_json(),
+        local_only.render_report_json(),
+        "same-seed reports must be byte-identical regardless of placement"
+    );
+}

@@ -10,8 +10,8 @@ use std::time::{Duration, Instant};
 use zkvc_core::matmul::Strategy;
 use zkvc_core::Backend;
 use zkvc_runtime::{
-    prove_batch, prove_batch_serial, prove_batch_with_policy, JobError, JobSpec, KeyCache,
-    ModelPreset, PoolConfig, ProvingPool, SchedulerPolicy,
+    prove_batch, prove_batch_serial, prove_batch_with_policy, JobError, JobOptions, JobSpec,
+    KeyCache, ModelPreset, PoolConfig, ProvingPool, SchedulerPolicy,
 };
 
 /// Cancelling a loaded pool must drain the backlog as recorded
@@ -25,7 +25,10 @@ fn cancellation_drains_promptly_and_accountably() {
     // cancellation.
     let pool = ProvingPool::new(1);
     for n in 0..12 {
-        pool.submit(JobSpec::new(2, 2 + n, 2).with_backend(Backend::Spartan));
+        pool.submit(
+            JobSpec::new(2, 2 + n, 2).with_backend(Backend::Spartan),
+            JobOptions::new(),
+        );
     }
     pool.cancel();
     let t0 = Instant::now();
@@ -69,9 +72,15 @@ fn panicking_job_is_contained_not_fatal() {
         public_outputs: true,
     };
     let pool = ProvingPool::new(1);
-    pool.submit(poison);
-    pool.submit(JobSpec::new(2, 2, 2).with_backend(Backend::Spartan));
-    pool.submit(JobSpec::new(2, 2, 2).with_backend(Backend::Spartan));
+    pool.submit(poison, JobOptions::new());
+    pool.submit(
+        JobSpec::new(2, 2, 2).with_backend(Backend::Spartan),
+        JobOptions::new(),
+    );
+    pool.submit(
+        JobSpec::new(2, 2, 2).with_backend(Backend::Spartan),
+        JobOptions::new(),
+    );
     let report = pool.join();
 
     assert_eq!(report.results.len(), 3);
@@ -110,7 +119,7 @@ fn abandoned_pool_with_poison_job_is_safe() {
     };
     let pool = ProvingPool::new(1);
     for _ in 0..4 {
-        pool.submit(poison);
+        pool.submit(poison, JobOptions::new());
     }
     drop(pool); // must return, not abort
 }
@@ -186,15 +195,15 @@ fn cache_stays_warm_across_pools() {
     let spec = JobSpec::new(3, 2, 3).with_backend(Backend::Spartan);
 
     let pool = ProvingPool::with_cache(2, 3, Arc::clone(&cache));
-    pool.submit(spec);
-    pool.submit(spec);
+    pool.submit(spec, JobOptions::new());
+    pool.submit(spec, JobOptions::new());
     let first = pool.join();
     assert!(first.all_verified());
     assert_eq!(first.cache.misses, 1);
 
     let pool = ProvingPool::with_cache(2, 3, Arc::clone(&cache));
-    pool.submit(spec);
-    pool.submit(spec);
+    pool.submit(spec, JobOptions::new());
+    pool.submit(spec, JobOptions::new());
     let second = pool.join();
     assert!(second.all_verified());
     assert_eq!(
@@ -215,7 +224,10 @@ fn bounded_queue_pool_completes_deep_backlogs() {
         None,
     );
     for _ in 0..6 {
-        pool.submit(JobSpec::new(2, 2, 2).with_backend(Backend::Spartan));
+        pool.submit(
+            JobSpec::new(2, 2, 2).with_backend(Backend::Spartan),
+            JobOptions::new(),
+        );
     }
     let report = pool.join();
     assert_eq!(report.results.len(), 6);
