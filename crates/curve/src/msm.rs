@@ -105,6 +105,13 @@ pub fn msm_window_parallel<A: AffinePoint>(bases: &[A], scalars: &[A::Scalar]) -
 /// batch-affine buckets, and the points chunked across worker threads so
 /// the work scales with available cores.
 ///
+/// Dispatch — which driver runs and with what window width — is taken
+/// from the process-global [`crate::tune`] parameters. The static
+/// defaults reproduce the historical behavior (projective fallback below
+/// 4096 points, cost-model window above); a calibrated
+/// [`crate::tune::TuneProfile`] replaces the guesses with decisions
+/// measured on this host. The result is identical either way.
+///
 /// # Panics
 /// Panics if `bases.len() != scalars.len()`.
 pub fn msm<A: AffinePoint>(bases: &[A], scalars: &[A::Scalar]) -> A::Projective {
@@ -113,28 +120,52 @@ pub fn msm<A: AffinePoint>(bases: &[A], scalars: &[A::Scalar]) -> A::Projective 
     if n == 0 {
         return A::Projective::identity();
     }
-    if n < 4096 {
-        // Below this size the batched-inversion amortisation is too weak
+    let params = crate::tune::msm_params();
+    let lg = crate::tune::log2_class(n);
+    if !params.use_affine(lg) {
+        // For small inputs the batched-inversion amortisation is too weak
         // (few buckets per batch) to beat the plain projective driver.
         return msm_window_parallel(bases, scalars);
     }
-    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
-    // Below ~MIN_CHUNK points per thread the spawn + bucket-merge overhead
-    // dominates; shrink the chunk count instead of the chunks.
-    const MIN_CHUNK: usize = 1 << 8;
-    let num_chunks = threads.min(n.div_ceil(MIN_CHUNK)).max(1);
-    msm_with_chunks(bases, scalars, num_chunks)
+    let num_chunks = default_num_chunks(n);
+    let c = params
+        .window_override(lg)
+        .unwrap_or_else(|| signed_window_size(n, num_chunks));
+    msm_affine_with_window(bases, scalars, num_chunks, c)
 }
 
-/// The chunk-parallel driver with an explicit chunk count (exposed to the
-/// tests so the multi-chunk path is exercised deterministically).
+/// The chunk count [`msm`] splits `n` points into on this host: one chunk
+/// per available thread, shrunk so no chunk drops below ~`MIN_CHUNK`
+/// points (spawn + bucket-merge overhead dominates tiny chunks).
+pub(crate) fn default_num_chunks(n: usize) -> usize {
+    let threads = std::thread::available_parallelism().map_or(4, std::num::NonZero::get);
+    const MIN_CHUNK: usize = 1 << 8;
+    threads.min(n.div_ceil(MIN_CHUNK)).max(1)
+}
+
+/// The chunk-parallel driver with an explicit chunk count and the window
+/// width from the static cost model (exposed to the tests so the
+/// multi-chunk path is exercised deterministically).
+#[cfg(test)]
 fn msm_with_chunks<A: AffinePoint>(
     bases: &[A],
     scalars: &[A::Scalar],
     num_chunks: usize,
 ) -> A::Projective {
+    let c = signed_window_size(bases.len(), num_chunks);
+    msm_affine_with_window(bases, scalars, num_chunks, c)
+}
+
+/// The batch-affine chunk-parallel driver with every schedule parameter
+/// explicit — the calibration probe races candidate windows through this
+/// entry point.
+pub(crate) fn msm_affine_with_window<A: AffinePoint>(
+    bases: &[A],
+    scalars: &[A::Scalar],
+    num_chunks: usize,
+    c: usize,
+) -> A::Projective {
     let n = bases.len();
-    let c = signed_window_size(n, num_chunks);
     let num_windows = (A::Scalar::MODULUS_BITS as usize + 1).div_ceil(c);
 
     if num_chunks <= 1 {
@@ -440,7 +471,7 @@ fn unsigned_window_size(n: usize) -> usize {
 /// projective running sum over the `2^(c-1)` buckets at ~32 muls per
 /// bucket. Splitting points across more chunks pushes the optimum towards
 /// narrower windows; weak inversion amortisation pushes it wider.
-fn signed_window_size(n: usize, num_chunks: usize) -> usize {
+pub(crate) fn signed_window_size(n: usize, num_chunks: usize) -> usize {
     (3..=15usize)
         .min_by_key(|&c| {
             let windows = 256usize.div_ceil(c);

@@ -113,23 +113,31 @@ impl<F: PrimeField> EvaluationDomain<F> {
     /// In-place forward FFT: coefficients -> evaluations over the domain.
     /// Splits the butterfly work across worker threads for large domains.
     ///
+    /// The serial-vs-parallel choice comes from the installed
+    /// [`crate::tune::FftParams`] decision table (static default: the
+    /// historical `2^12` cutover); results are bit-identical either way.
+    ///
     /// # Panics
     /// Panics if `values.len() != self.size()`.
     pub fn fft_in_place(&self, values: &mut [F]) {
         assert_eq!(values.len(), self.size, "FFT input must match domain size");
-        let threads = num_threads();
-        if self.size >= PAR_FFT_MIN && threads > 1 {
-            parallel_radix2_fft(values, &self.twiddles, threads);
-        } else {
-            radix2_fft(values, &self.twiddles);
+        // Mask first, thread count second: sizes the decision table keeps
+        // serial never pay the `available_parallelism` syscall.
+        if crate::tune::fft_params().allows_parallel(self.log_size) {
+            let threads = num_threads();
+            if threads > 1 {
+                parallel_radix2_fft(values, &self.twiddles, threads);
+                return;
+            }
         }
+        radix2_fft(values, &self.twiddles);
     }
 
     /// In-place inverse FFT: evaluations -> coefficients.
     pub fn ifft_in_place(&self, values: &mut [F]) {
         assert_eq!(values.len(), self.size, "iFFT input must match domain size");
         let threads = num_threads();
-        if self.size >= PAR_FFT_MIN && threads > 1 {
+        if crate::tune::fft_params().parallel(self.log_size, threads) {
             parallel_radix2_fft(values, &self.inv_twiddles, threads);
         } else {
             radix2_fft(values, &self.inv_twiddles);
@@ -147,6 +155,15 @@ impl<F: PrimeField> EvaluationDomain<F> {
     pub fn fft_in_place_serial(&self, values: &mut [F]) {
         assert_eq!(values.len(), self.size, "FFT input must match domain size");
         radix2_fft(values, &self.twiddles);
+    }
+
+    /// Forward FFT forced onto the parallel kernel with an explicit
+    /// thread count, regardless of the installed dispatch table. Used by
+    /// the calibration probe and the benchmarks to time the parallel
+    /// path directly; bit-identical to [`Self::fft_in_place_serial`].
+    pub fn fft_in_place_parallel(&self, values: &mut [F], threads: usize) {
+        assert_eq!(values.len(), self.size, "FFT input must match domain size");
+        parallel_radix2_fft(values, &self.twiddles, threads.max(2));
     }
 
     /// Single-threaded inverse FFT (reference implementation).

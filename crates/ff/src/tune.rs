@@ -1,0 +1,131 @@
+//! Tunable FFT dispatch parameters.
+//!
+//! [`EvaluationDomain::fft_in_place`](crate::EvaluationDomain::fft_in_place)
+//! chooses between the serial cached-twiddle kernel and the two-phase
+//! parallel kernel. That choice used to be a hard-coded size cutover
+//! (`2^12` and up goes parallel whenever more than one thread is
+//! available) — a guess that the committed kernel benchmarks showed
+//! losing at some sizes on some hosts. This module makes the choice a
+//! **per-log-size decision table** that a calibration probe (see
+//! `zkvc_curve::tune`) can overwrite with measured-on-this-host answers.
+//!
+//! The parameters are process-global: install once at startup (the
+//! `zkvc` CLI does this from the persisted tune profile), read on every
+//! FFT dispatch. The static default [`FftParams::STATIC`] reproduces the
+//! historical behavior exactly, so a process that never installs a
+//! profile runs precisely as before.
+//!
+//! **Determinism invariant:** these parameters change only the schedule,
+//! never the arithmetic. The serial and parallel FFT kernels are
+//! bit-identical over a prime field (exact addition), so any decision
+//! table produces the same outputs.
+
+use std::sync::RwLock;
+
+/// Log-size classes above this are clamped onto it (the field's
+/// 2-adicity caps domains at `2^32` anyway).
+pub const MAX_LOG2: u32 = 32;
+
+/// Per-log-size FFT dispatch decisions.
+///
+/// Bit `k` of `par_mask` set means: a size-`2^k` FFT may take the
+/// parallel kernel (it still requires more than one available thread —
+/// on a single-core host every FFT stays serial regardless of the mask).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FftParams {
+    /// Bitmask over log2(domain size): bit `k` allows the parallel
+    /// kernel for `2^k`-point FFTs.
+    pub par_mask: u64,
+}
+
+impl FftParams {
+    /// The historical hard-coded dispatch: parallel for `2^12` points
+    /// and up (when threads are available).
+    pub const STATIC: FftParams = FftParams {
+        // Bits 12..=63.
+        par_mask: !0u64 << 12,
+    };
+
+    /// Whether the decision table allows the parallel kernel for a
+    /// `2^log2`-point FFT at all. Checking this before counting threads
+    /// lets the dispatch hot path skip the `available_parallelism`
+    /// syscall entirely for sizes the table keeps serial.
+    #[must_use]
+    pub fn allows_parallel(&self, log2: u32) -> bool {
+        (self.par_mask >> log2.min(MAX_LOG2)) & 1 == 1
+    }
+
+    /// Whether a `2^log2`-point FFT should take the parallel kernel
+    /// given `threads` available worker threads.
+    #[must_use]
+    pub fn parallel(&self, log2: u32, threads: usize) -> bool {
+        threads > 1 && self.allows_parallel(log2)
+    }
+
+    /// Sets the decision for one log-size class.
+    pub fn set_parallel(&mut self, log2: u32, parallel: bool) {
+        let bit = 1u64 << log2.min(MAX_LOG2);
+        if parallel {
+            self.par_mask |= bit;
+        } else {
+            self.par_mask &= !bit;
+        }
+    }
+}
+
+static ACTIVE: RwLock<FftParams> = RwLock::new(FftParams::STATIC);
+
+/// The currently installed FFT dispatch parameters.
+pub fn fft_params() -> FftParams {
+    *ACTIVE.read().expect("fft tune params poisoned")
+}
+
+/// Installs FFT dispatch parameters process-wide, returning the previous
+/// ones. Results are bit-identical under any parameters; only the
+/// schedule changes.
+pub fn set_fft_params(params: FftParams) -> FftParams {
+    let mut slot = ACTIVE.write().expect("fft tune params poisoned");
+    std::mem::replace(&mut slot, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_params_reproduce_historical_cutover() {
+        let p = FftParams::STATIC;
+        for log2 in 0..12 {
+            assert!(!p.parallel(log2, 8), "2^{log2} must stay serial");
+        }
+        for log2 in 12..=MAX_LOG2 {
+            assert!(p.parallel(log2, 8), "2^{log2} must go parallel");
+            assert!(!p.parallel(log2, 1), "one thread is always serial");
+        }
+    }
+
+    #[test]
+    fn set_parallel_flips_single_classes() {
+        let mut p = FftParams::STATIC;
+        p.set_parallel(18, false);
+        assert!(!p.parallel(18, 8));
+        assert!(p.parallel(17, 8));
+        assert!(p.parallel(19, 8));
+        p.set_parallel(10, true);
+        assert!(p.parallel(10, 2));
+        // Oversized classes clamp onto MAX_LOG2.
+        p.set_parallel(MAX_LOG2 + 5, false);
+        assert!(!p.parallel(MAX_LOG2, 4));
+    }
+
+    #[test]
+    fn install_round_trips() {
+        let original = fft_params();
+        let mut tuned = original;
+        tuned.set_parallel(13, false);
+        let previous = set_fft_params(tuned);
+        assert_eq!(previous, original);
+        assert_eq!(fft_params(), tuned);
+        set_fft_params(original);
+    }
+}

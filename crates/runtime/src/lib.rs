@@ -72,6 +72,7 @@ mod sched;
 mod serial;
 mod serve;
 mod spec;
+pub mod tune;
 mod util;
 pub mod wire;
 mod worker;

@@ -1,0 +1,409 @@
+//! Tune-profile persistence and startup activation: the runtime half of
+//! the adaptive kernel auto-tuning subsystem (`zkvc_curve::tune` holds
+//! the calibration probe and the dispatch tables themselves).
+//!
+//! A calibrated [`TuneProfile`] is persisted as JSON beside the existing
+//! verification-key cache (`<cache root>/zkvc/tune.json`, where the vk
+//! cache lives at `<cache root>/zkvc/keys/`) and reloaded at startup by
+//! `zkvc prove`, `prove-batch`, `serve` and `worker`. Resolution order:
+//!
+//! 1. `--tune-profile PATH` pins a profile file (`none` disables tuning);
+//! 2. `$ZKVC_TUNE` pins one the same way;
+//! 3. otherwise the default cache path is loaded **if present**.
+//!
+//! A pinned path that does not exist or does not parse is a usage error —
+//! you asked for that exact profile, so silently proving with different
+//! dispatch would defeat reproducible benching. A *version* mismatch
+//! anywhere (stale profile from an old build, or a future one) falls back
+//! to the static defaults with a warning: old hosts must never crash on a
+//! new profile format. A missing or corrupt file at the *default* path is
+//! handled like the vk cache handles corruption — warn, quarantine to
+//! `.bad`, run static.
+//!
+//! Profiles change kernel schedules only, never results (see
+//! `docs/TUNING.md`), so every path through this module yields
+//! bit-identical proofs.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::RwLock;
+
+pub use zkvc_curve::tune::{calibrate, ProbeConfig, ProfileError, TuneProfile, PROFILE_VERSION};
+
+use crate::Error;
+
+/// File name of the persisted profile in the zkvc cache directory.
+pub const PROFILE_FILE: &str = "tune.json";
+
+/// Short content digest of a profile: the first 8 bytes of the SHA-256 of
+/// its canonical JSON, hex-encoded. Logged by every consumer (CLI
+/// startup, worker registration, bench provenance) so runs can be traced
+/// to the exact dispatch decisions they used.
+#[must_use]
+pub fn profile_digest(profile: &TuneProfile) -> String {
+    let hash = zkvc_hash::sha256(profile.to_json().as_bytes());
+    crate::util::hex(&hash[..8])
+}
+
+/// The default on-disk profile location: `$XDG_CACHE_HOME/zkvc/tune.json`
+/// or `$HOME/.cache/zkvc/tune.json` — beside the vk cache's `keys/`
+/// directory. `None` when no user cache directory exists (tuning then
+/// stays in-process only).
+#[must_use]
+pub fn default_profile_path() -> Option<PathBuf> {
+    let base = std::env::var_os("XDG_CACHE_HOME")
+        .map(PathBuf::from)
+        .or_else(|| std::env::var_os("HOME").map(|h| PathBuf::from(h).join(".cache")))?;
+    Some(base.join("zkvc").join(PROFILE_FILE))
+}
+
+/// Where the active profile came from, for startup logging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TuneSource {
+    /// Explicitly pinned via `--tune-profile` or `$ZKVC_TUNE`.
+    Pinned(PathBuf),
+    /// Loaded from the default cache path.
+    Cached(PathBuf),
+    /// Freshly calibrated in this process; `Some` when also persisted.
+    Calibrated(Option<PathBuf>),
+    /// No profile: the static defaults (today's hard-coded dispatch).
+    Static,
+}
+
+/// The profile a process resolved and activated at startup.
+#[derive(Debug, Clone)]
+pub struct ActiveTune {
+    /// The activated profile ([`TuneProfile::static_profile`] when none
+    /// was found).
+    pub profile: TuneProfile,
+    /// Where it came from.
+    pub source: TuneSource,
+}
+
+impl ActiveTune {
+    /// The digest consumers log; `"static"` when no calibrated profile is
+    /// active, so log lines always carry a meaningful token.
+    #[must_use]
+    pub fn digest(&self) -> String {
+        match self.source {
+            TuneSource::Static => "static".to_string(),
+            _ => profile_digest(&self.profile),
+        }
+    }
+
+    /// One human line describing the active tuning, for startup logs.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match &self.source {
+            TuneSource::Pinned(path) => {
+                format!("profile {} pinned from {}", self.digest(), path.display())
+            }
+            TuneSource::Cached(path) => {
+                format!("profile {} loaded from {}", self.digest(), path.display())
+            }
+            TuneSource::Calibrated(Some(path)) => format!(
+                "profile {} calibrated and persisted to {}",
+                self.digest(),
+                path.display()
+            ),
+            TuneSource::Calibrated(None) => {
+                format!("profile {} calibrated (in-process only)", self.digest())
+            }
+            TuneSource::Static => "static defaults (no calibrated profile)".to_string(),
+        }
+    }
+}
+
+/// Reads and parses a profile file. [`ProfileError`] distinguishes a
+/// version mismatch (caller falls back) from garbage (caller quarantines
+/// or errors); plain I/O failure is reported separately.
+pub fn load_profile(path: &Path) -> Result<TuneProfile, LoadError> {
+    let text = std::fs::read_to_string(path).map_err(LoadError::Io)?;
+    TuneProfile::from_json(&text).map_err(LoadError::Profile)
+}
+
+/// Why [`load_profile`] failed.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The file could not be read at all.
+    Io(io::Error),
+    /// The bytes were read but are not a usable profile.
+    Profile(ProfileError),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "{e}"),
+            LoadError::Profile(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// Persists a profile atomically (tmp + rename, like the vk cache), and
+/// returns the path written. Parent directories are created as needed.
+pub fn persist_profile(profile: &TuneProfile, path: &Path) -> io::Result<PathBuf> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    std::fs::write(&tmp, profile.to_json())?;
+    std::fs::rename(&tmp, path)?;
+    Ok(path.to_path_buf())
+}
+
+/// Resolves which profile file (if any) governs this invocation.
+/// `flag` is the raw `--tune-profile` value when the user passed one.
+#[must_use]
+pub fn resolve_source(flag: Option<&str>) -> TuneSource {
+    match flag {
+        Some("none") => TuneSource::Static,
+        Some(path) => TuneSource::Pinned(PathBuf::from(path)),
+        None => match std::env::var_os("ZKVC_TUNE") {
+            Some(v) if v == "none" => TuneSource::Static,
+            Some(v) => TuneSource::Pinned(PathBuf::from(v)),
+            None => match default_profile_path() {
+                Some(path) => TuneSource::Cached(path),
+                None => TuneSource::Static,
+            },
+        },
+    }
+}
+
+/// Resolves, loads and **activates** the tune profile for this process —
+/// the single startup call shared by `zkvc prove/prove-batch/serve/
+/// worker`. Returns what was activated; failure modes follow the module
+/// contract above (pinned-and-broken is an error, everything else
+/// degrades to static with a warning on stderr).
+pub fn startup(flag: Option<&str>) -> Result<ActiveTune, Error> {
+    let source = resolve_source(flag);
+    let active = match &source {
+        // resolve_source never yields Calibrated — that source only comes
+        // out of calibrate_activate_persist.
+        TuneSource::Static | TuneSource::Calibrated(_) => ActiveTune {
+            profile: TuneProfile::static_profile(),
+            source: TuneSource::Static,
+        },
+        TuneSource::Pinned(path) => match load_profile(path) {
+            Ok(profile) => ActiveTune {
+                profile,
+                source: source.clone(),
+            },
+            Err(LoadError::Profile(ProfileError::Version { found })) => {
+                eprintln!(
+                    "warning: pinned tune profile {} has version {found} (this build speaks \
+                     {PROFILE_VERSION}); running with static kernel defaults",
+                    path.display()
+                );
+                ActiveTune {
+                    profile: TuneProfile::static_profile(),
+                    source: TuneSource::Static,
+                }
+            }
+            Err(e) => {
+                return Err(Error::Usage(format!(
+                    "cannot load pinned tune profile {}: {e}",
+                    path.display()
+                )));
+            }
+        },
+        TuneSource::Cached(path) => match load_profile(path) {
+            Ok(profile) => ActiveTune {
+                profile,
+                source: source.clone(),
+            },
+            Err(LoadError::Io(_)) => {
+                // No cached profile yet: the normal cold-start case.
+                ActiveTune {
+                    profile: TuneProfile::static_profile(),
+                    source: TuneSource::Static,
+                }
+            }
+            Err(LoadError::Profile(ProfileError::Version { found })) => {
+                eprintln!(
+                    "warning: cached tune profile {} has version {found} (this build speaks \
+                     {PROFILE_VERSION}); running with static kernel defaults \
+                     (re-run `zkvc tune` to recalibrate)",
+                    path.display()
+                );
+                ActiveTune {
+                    profile: TuneProfile::static_profile(),
+                    source: TuneSource::Static,
+                }
+            }
+            Err(LoadError::Profile(ProfileError::Parse(msg))) => {
+                // Same treatment as a corrupt vk-cache entry: quarantine
+                // so the damage is inspectable and the path is free for a
+                // clean rewrite.
+                let mut bad = path.clone().into_os_string();
+                bad.push(".bad");
+                let _ = std::fs::rename(path, &bad);
+                eprintln!(
+                    "warning: cached tune profile {} is corrupt ({msg}); quarantined to .bad, \
+                     running with static kernel defaults",
+                    path.display()
+                );
+                ActiveTune {
+                    profile: TuneProfile::static_profile(),
+                    source: TuneSource::Static,
+                }
+            }
+        },
+    };
+    zkvc_curve::tune::activate(&active.profile);
+    record_active(&active);
+    Ok(active)
+}
+
+/// The digest of whatever this process last activated, for bench/report
+/// provenance (`"static"` until a calibrated profile is installed).
+static ACTIVE_DIGEST: RwLock<Option<String>> = RwLock::new(None);
+
+fn record_active(active: &ActiveTune) {
+    let mut slot = ACTIVE_DIGEST.write().expect("active tune digest poisoned");
+    *slot = Some(active.digest());
+}
+
+/// Digest of the tune profile governing this process's kernel dispatch —
+/// what every `BENCH_*.json` emitter records as `tune_profile`
+/// provenance. `"static"` when no profile was ever activated.
+#[must_use]
+pub fn active_digest() -> String {
+    ACTIVE_DIGEST
+        .read()
+        .expect("active tune digest poisoned")
+        .clone()
+        .unwrap_or_else(|| "static".to_string())
+}
+
+/// Runs the calibration probe, activates the result, and (when a path is
+/// given) persists it for future startups. Persistence failure is a
+/// warning, not an error — the calibrated profile still governs this
+/// process. Shared by `zkvc tune` and the worker's cold-start path.
+pub fn calibrate_activate_persist(config: &ProbeConfig, path: Option<&Path>) -> ActiveTune {
+    let profile = calibrate(config);
+    zkvc_curve::tune::activate(&profile);
+    let source = match path {
+        Some(path) => match persist_profile(&profile, path) {
+            Ok(written) => TuneSource::Calibrated(Some(written)),
+            Err(e) => {
+                eprintln!(
+                    "warning: could not persist tune profile to {}: {e}",
+                    path.display()
+                );
+                TuneSource::Calibrated(None)
+            }
+        },
+        None => TuneSource::Calibrated(None),
+    };
+    let active = ActiveTune { profile, source };
+    record_active(&active);
+    active
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests that activate profiles mutate process-global dispatch
+    /// tables; serialise them so parallel test threads don't observe each
+    /// other's installs.
+    static GLOBALS: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("zkvc-tune-test-{tag}-{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn persist_load_roundtrip() {
+        let path = temp_path("roundtrip");
+        let mut profile = TuneProfile::static_profile();
+        profile.msm.set_affine(11, true);
+        profile.msm.set_window(11, 7);
+        persist_profile(&profile, &path).expect("persist");
+        let back = load_profile(&path).expect("load");
+        assert_eq!(back, profile);
+        // Digest is stable for identical content.
+        assert_eq!(profile_digest(&back), profile_digest(&profile));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_an_io_load_error() {
+        let path = temp_path("missing");
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(load_profile(&path), Err(LoadError::Io(_))));
+    }
+
+    #[test]
+    fn version_mismatch_is_distinguished_from_garbage() {
+        let path = temp_path("version");
+        let mut profile = TuneProfile::static_profile();
+        profile.version = PROFILE_VERSION + 9;
+        persist_profile(&profile, &path).expect("persist");
+        assert!(matches!(
+            load_profile(&path),
+            Err(LoadError::Profile(ProfileError::Version { found })) if found == PROFILE_VERSION + 9
+        ));
+        std::fs::write(&path, "{ not json").expect("scribble");
+        assert!(matches!(
+            load_profile(&path),
+            Err(LoadError::Profile(ProfileError::Parse(_)))
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resolve_source_honours_flag_over_env() {
+        // Flag wins outright; "none" disables even with an env var set.
+        assert_eq!(
+            resolve_source(Some("/tmp/p.json")),
+            TuneSource::Pinned(PathBuf::from("/tmp/p.json"))
+        );
+        assert_eq!(resolve_source(Some("none")), TuneSource::Static);
+    }
+
+    #[test]
+    fn pinned_missing_profile_is_a_usage_error() {
+        let path = temp_path("pinned-missing");
+        let _ = std::fs::remove_file(&path);
+        let err = startup(Some(path.to_str().expect("utf8 path")))
+            .expect_err("missing pinned profile must fail");
+        assert!(matches!(err, Error::Usage(_)), "{err}");
+    }
+
+    #[test]
+    fn pinned_version_mismatch_warns_and_falls_back_to_static() {
+        let _serial = GLOBALS.lock().expect("test mutex");
+        let path = temp_path("pinned-version");
+        let mut profile = TuneProfile::static_profile();
+        // A calibrated-looking profile with a future version stamp.
+        profile.version = PROFILE_VERSION + 1;
+        profile.fft.set_parallel(18, false);
+        persist_profile(&profile, &path).expect("persist");
+        let active = startup(Some(path.to_str().expect("utf8 path")))
+            .expect("version mismatch must not be fatal");
+        assert_eq!(active.source, TuneSource::Static);
+        assert_eq!(active.profile.msm, zkvc_curve::tune::MsmParams::STATIC);
+        assert_eq!(active.digest(), "static");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn pinned_profile_activates_and_digests() {
+        let _serial = GLOBALS.lock().expect("test mutex");
+        let path = temp_path("pinned-ok");
+        let mut profile = TuneProfile::static_profile();
+        profile.msm.set_affine(10, true);
+        profile.msm.set_window(10, 6);
+        persist_profile(&profile, &path).expect("persist");
+        let active = startup(Some(path.to_str().expect("utf8 path"))).expect("startup");
+        assert!(matches!(active.source, TuneSource::Pinned(_)));
+        assert_eq!(active.profile, profile);
+        assert_eq!(active.digest(), profile_digest(&profile));
+        assert_eq!(zkvc_curve::tune::msm_params(), profile.msm);
+        // Restore the static defaults for the rest of the test binary.
+        zkvc_curve::tune::activate(&TuneProfile::static_profile());
+        let _ = std::fs::remove_file(&path);
+    }
+}

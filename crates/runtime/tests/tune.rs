@@ -1,0 +1,232 @@
+//! Tune-profile contract tests: the profile document round-trips through
+//! its JSON form for arbitrary decision tables, unusable documents degrade
+//! to the static defaults instead of crashing, and — the load-bearing
+//! invariant of the whole subsystem — proofs are **bit-identical** under
+//! any profile, however extreme, because tuned parameters change only the
+//! kernel schedule, never the arithmetic.
+
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use zkvc_core::api::{compile_shape, generate_witness_for};
+use zkvc_curve::tune as curve_tune;
+use zkvc_ff::tune::FftParams;
+use zkvc_runtime::tune::{
+    load_profile, persist_profile, startup, ActiveTune, LoadError, ProfileError, TuneProfile,
+    TuneSource, PROFILE_VERSION,
+};
+use zkvc_runtime::{build_statement, JobSpec, KeyCache, ProofEnvelope};
+
+/// Tests that activate profiles mutate the process-global dispatch
+/// tables; serialise them so the default multi-threaded test runner
+/// doesn't interleave installs.
+static GLOBALS: Mutex<()> = Mutex::new(());
+
+fn temp_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "zkvc-tune-integration-{tag}-{}.json",
+        std::process::id()
+    ))
+}
+
+/// Replicates the in-memory canonical form of a 33-bit decision mask:
+/// the parser extends the 2^32 class upward so clamped lookups above it
+/// follow the top class, so a round-trippable mask must arrive that way.
+fn canonical_mask(bits33: u64) -> u64 {
+    let low = bits33 & ((1u64 << 33) - 1);
+    if (low >> 32) & 1 == 1 {
+        low | (!0u64 << 32)
+    } else {
+        low
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary decision tables, window overrides, core counts and probe
+    /// records survive `to_json` -> `from_json` unchanged.
+    #[test]
+    fn profile_json_round_trips(
+        affine_raw in 0u64..(1u64 << 33),
+        par_raw in 0u64..(1u64 << 33),
+        cores in 1usize..512,
+        window_seed in proptest::collection::vec(0u8..=32u8, 33..34),
+        probe_seeds in proptest::collection::vec(0u64..1_000_000_000u64, 0..8),
+    ) {
+        let mut windows = [0u8; 33];
+        windows.copy_from_slice(&window_seed);
+        let probes = probe_seeds
+            .iter()
+            .map(|&s| {
+                let choices = ["fallback", "serial", "parallel", "affine:c9"];
+                curve_tune::ProbePoint {
+                    kernel: if s % 2 == 0 { "msm" } else { "fft" }.to_string(),
+                    log2: (s % 33) as u32,
+                    choice: choices[(s as usize / 33) % choices.len()].to_string(),
+                    median_us: s,
+                }
+            })
+            .collect();
+        let profile = TuneProfile {
+            version: PROFILE_VERSION,
+            cores,
+            msm: curve_tune::MsmParams {
+                affine_mask: canonical_mask(affine_raw),
+                windows,
+            },
+            fft: FftParams { par_mask: canonical_mask(par_raw) },
+            probes,
+        };
+        let reparsed = TuneProfile::from_json(&profile.to_json());
+        prop_assert_eq!(reparsed, Ok(profile));
+    }
+}
+
+#[test]
+fn future_version_profile_falls_back_to_static_not_crash() {
+    let _guard = GLOBALS.lock().unwrap();
+    let path = temp_path("future-version");
+    let doc = TuneProfile::static_profile().to_json().replace(
+        &format!("\"version\": {PROFILE_VERSION}"),
+        "\"version\": 99",
+    );
+    std::fs::write(&path, &doc).unwrap();
+
+    // Loading reports the version distinctly from parse garbage...
+    match load_profile(&path) {
+        Err(LoadError::Profile(ProfileError::Version { found })) => assert_eq!(found, 99),
+        other => panic!("expected a version error, got {other:?}"),
+    }
+    // ...and the startup path degrades to the static defaults (with a
+    // warning on stderr) rather than erroring or crashing.
+    let active = startup(Some(path.to_str().unwrap())).expect("version skew must not be fatal");
+    assert!(matches!(active.source, TuneSource::Static));
+    assert_eq!(active.digest(), "static");
+    assert_eq!(active.profile, TuneProfile::static_profile());
+
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn stale_version_zero_profile_also_falls_back() {
+    let _guard = GLOBALS.lock().unwrap();
+    let path = temp_path("stale-version");
+    let doc = TuneProfile::static_profile()
+        .to_json()
+        .replace(&format!("\"version\": {PROFILE_VERSION}"), "\"version\": 0");
+    std::fs::write(&path, &doc).unwrap();
+    let active = startup(Some(path.to_str().unwrap())).expect("stale profile must not be fatal");
+    assert!(matches!(active.source, TuneSource::Static));
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn persisted_profile_reloads_identically() {
+    let path = temp_path("persist-reload");
+    let mut profile = TuneProfile::static_profile();
+    profile.msm.set_affine(9, true);
+    profile.msm.set_window(9, 7);
+    profile.fft.set_parallel(18, false);
+    persist_profile(&profile, &path).unwrap();
+    assert_eq!(load_profile(&path).unwrap(), profile);
+    std::fs::remove_file(&path).ok();
+}
+
+/// Proves `spec_str` exactly the way the pool does (shape compile ->
+/// deterministic setup -> witness -> `prove_assignment` with seeded
+/// prover randomness) and returns the envelope bytes.
+fn proof_bytes(spec_str: &str, seed: u64) -> Vec<u8> {
+    let (spec, _) = JobSpec::parse(spec_str).expect("spec parses");
+    let backend = spec.backend();
+    let statement = build_statement(seed, 0, &spec);
+    let shape = compile_shape(statement.as_ref());
+    let cache = KeyCache::new();
+    let (keys, _hit) = cache.get_or_setup_shape(backend, Arc::new(shape), seed);
+    let witness = generate_witness_for(statement.as_ref(), &keys.shape);
+    let mut prover_rng = StdRng::seed_from_u64(seed ^ 0xBEEF);
+    let artifacts = backend
+        .system()
+        .prove_assignment(&keys.prover, &witness, &mut prover_rng);
+    let envelope = ProofEnvelope::from_artifacts(&artifacts);
+    assert!(
+        envelope.verify_with_key(&keys.verifier),
+        "{spec_str}: proof must verify"
+    );
+    envelope.to_bytes()
+}
+
+/// The determinism invariant, end to end: three hand-built extreme
+/// profiles — every MSM forced through tiny-window batch-affine, every
+/// MSM forced onto the projective fallback, and everything-parallel FFT
+/// with oversized windows — all produce byte-identical proof envelopes
+/// to the static dispatch, on both backends.
+#[test]
+fn proofs_bit_identical_under_extreme_profiles() {
+    let _guard = GLOBALS.lock().unwrap();
+
+    let all_affine_tiny_windows = {
+        let mut p = TuneProfile::static_profile();
+        p.msm.affine_mask = !0u64;
+        p.msm.windows = [3u8; 33];
+        p
+    };
+    let all_fallback = {
+        let mut p = TuneProfile::static_profile();
+        p.msm.affine_mask = 0;
+        p.msm.windows = [0u8; 33];
+        p.fft.par_mask = 0;
+        p
+    };
+    let all_parallel_wide_windows = {
+        let mut p = TuneProfile::static_profile();
+        p.msm.affine_mask = !0u64;
+        p.msm.windows = [12u8; 33];
+        p.fft.par_mask = !0u64;
+        p
+    };
+
+    for spec in ["6x5x4:zkvc:g", "6x5x4:zkvc:s", "4x4x4:vanilla:g"] {
+        let baseline = proof_bytes(spec, 42);
+        for (label, profile) in [
+            ("all-affine/c3", &all_affine_tiny_windows),
+            ("all-fallback", &all_fallback),
+            ("all-parallel/c12", &all_parallel_wide_windows),
+        ] {
+            let previous = curve_tune::activate(profile);
+            let tuned = proof_bytes(spec, 42);
+            curve_tune::restore(previous);
+            assert_eq!(
+                tuned, baseline,
+                "{spec}: proof under {label} profile must be bit-identical to static"
+            );
+        }
+    }
+}
+
+/// `calibrate_activate_persist` writes a document `startup` accepts, and
+/// the active digest matches what the profile hashes to.
+#[test]
+fn calibrated_profile_persists_and_reactivates() {
+    let _guard = GLOBALS.lock().unwrap();
+    let path = temp_path("calibrate-persist");
+    let config = curve_tune::ProbeConfig {
+        msm_logs: vec![6],
+        fft_logs: vec![6],
+        reps: 1,
+        seed: 1,
+    };
+    let active = zkvc_runtime::tune::calibrate_activate_persist(&config, Some(&path));
+    assert!(matches!(active.source, TuneSource::Calibrated(Some(_))));
+
+    let reloaded: ActiveTune = startup(Some(path.to_str().unwrap())).expect("reload");
+    assert_eq!(reloaded.profile, active.profile);
+    assert_eq!(reloaded.digest(), active.digest());
+
+    // Leave the static defaults installed for whatever test runs next.
+    curve_tune::activate(&TuneProfile::static_profile());
+    std::fs::remove_file(&path).ok();
+}

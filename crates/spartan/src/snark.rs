@@ -415,6 +415,44 @@ mod tests {
     }
 
     #[test]
+    fn proofs_are_bit_identical_under_any_tune_profile() {
+        // The tune subsystem only reschedules the MSM kernels behind the
+        // witness commitment and IPA; under fixed prover randomness the
+        // proof must not change however extreme the installed profile.
+        // Compared via Debug rendering (`SpartanProof` exposes no
+        // `PartialEq`) with `comm_w` normalised to affine first: the
+        // projective Z coordinate is a representation detail the wire
+        // serialisation never sees, and different MSM drivers legally
+        // return the same point at different Z.
+        let canonical = |p: &SpartanProof| {
+            format!(
+                "{:?} {:?} {:?} {:?} {:?} {:?}",
+                p.comm_w.to_affine(),
+                p.sc1,
+                p.claims,
+                p.sc2,
+                p.eval_w,
+                p.ipa
+            )
+        };
+        let cs = cubic_cs(3);
+        let prover = SpartanProver::preprocess(&cs);
+        let mut rng = StdRng::seed_from_u64(80);
+        let baseline = canonical(&prover.prove(&cs, &mut rng));
+
+        let mut extreme = zkvc_curve::tune::TuneProfile::static_profile();
+        extreme.msm.affine_mask = !0u64;
+        extreme.msm.windows = [3u8; 33];
+        extreme.fft.par_mask = !0u64;
+        let previous = zkvc_curve::tune::activate(&extreme);
+        let mut rng = StdRng::seed_from_u64(80);
+        let tuned = canonical(&prover.prove(&cs, &mut rng));
+        zkvc_curve::tune::restore(previous);
+
+        assert_eq!(tuned, baseline);
+    }
+
+    #[test]
     fn wrong_public_input_rejected() {
         let mut rng = StdRng::seed_from_u64(78);
         let cs = cubic_cs(3);
